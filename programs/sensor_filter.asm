@@ -1,0 +1,29 @@
+; Three-tap moving-average over a sensor ring buffer, then a threshold
+; check writing an actuator command to I/O. Exercises data caching,
+; typed I/O accesses and an operating-mode style branch.
+main:
+  li r10, 16          ; samples
+  li r1, 0
+fill:
+  muli r2, r1, 3
+  st.d r2, 0(r1)
+  addi r1, r1, 1
+  blt r1, r10, fill
+  li r1, 2
+  li r9, 0            ; accumulated alarm count
+scan:
+  ld.d r2, 0(r1)
+  subi r3, r1, 1
+  ld.d r4, 0(r3)
+  subi r3, r1, 2
+  ld.d r5, 0(r3)
+  add r2, r2, r4
+  add r2, r2, r5
+  li r6, 60
+  blt r2, r6, ok
+  addi r9, r9, 1
+ok:
+  addi r1, r1, 1
+  blt r1, r10, scan
+  st.io r9, 0(r0)
+  halt

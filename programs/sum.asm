@@ -1,0 +1,10 @@
+; Sum the integers 1..N (N in r1). A minimal analyzable task:
+; the loop bound is inferred automatically from the counter.
+main:
+  li r1, 25
+  li r2, 0
+loop:
+  add r2, r2, r1
+  subi r1, r1, 1
+  bne r1, r0, loop
+  halt

@@ -1,0 +1,8 @@
+; Input-dependent loop: the analyzer must refuse this program unless a
+; loop bound annotation is supplied (see examples/annotations.ml).
+main:
+  ld.io r1, 0(r0)
+loop:
+  subi r1, r1, 1
+  bne r1, r0, loop
+  halt
