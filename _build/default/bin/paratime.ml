@@ -1,0 +1,268 @@
+(* paratime — command-line front end.
+
+   Subcommands:
+     analyze   <file.asm|bench:NAME>  static WCET analysis
+     simulate  <file.asm|bench:NAME>  cycle-level simulation
+     multicore <bench:NAME>...        task-set analysis under each approach
+     benchmarks                       list the bundled benchmark suite *)
+
+open Cmdliner
+
+let load source =
+  if String.length source > 6 && String.sub source 0 6 = "bench:" then
+    let name = String.sub source 6 (String.length source - 6) in
+    match Workloads.Bench_programs.by_name name with
+    | Some b ->
+        (b.Workloads.Bench_programs.program, b.Workloads.Bench_programs.annot)
+    | None -> failwith (Printf.sprintf "unknown benchmark %S" name)
+  else
+    let ic = open_in source in
+    let n = in_channel_length ic in
+    let text = really_input_string ic n in
+    close_in ic;
+    (Isa.Asm.parse ~name:(Filename.basename source) text, Dataflow.Annot.empty)
+
+let l2_of_flag with_l2 =
+  if with_l2 then Some (Cache.Config.make ~sets:64 ~assoc:4 ~line_size:16)
+  else None
+
+let arbiter_of cores kind =
+  match kind with
+  | "private" -> Interconnect.Arbiter.Private
+  | "rr" -> Interconnect.Arbiter.Round_robin { cores }
+  | "tdma" -> Interconnect.Arbiter.Tdma { cores; slot = 60 }
+  | "fcfs" -> Interconnect.Arbiter.Fcfs { cores }
+  | s -> failwith (Printf.sprintf "unknown arbiter %S" s)
+
+(* ---------------- analyze ---------------- *)
+
+let analyze_cmd =
+  let run source with_l2 cores arbiter_kind core_id method_cache verbose
+      report =
+    let program, annot = load source in
+    let l2 = l2_of_flag with_l2 in
+    let platform =
+      {
+        (Core.Platform.single_core ?l2 ()) with
+        Core.Platform.arbiter = arbiter_of cores arbiter_kind;
+        core = core_id;
+        method_cache =
+          (if method_cache then Some Cache.Method_cache.default else None);
+      }
+    in
+    match Core.Wcet.analyze ~annot platform program with
+    | exception Core.Wcet.Not_analysable msg ->
+        Printf.eprintf "not analysable: %s\n" msg;
+        exit 1
+    | a when report -> print_string (Core.Report.render a)
+    | a ->
+        Printf.printf "WCET bound: %d cycles\n" a.Core.Wcet.wcet;
+        (match Core.Bcet.analyze ~annot platform program with
+        | b ->
+            Printf.printf "BCET bound: %d cycles (analytic quotient %.3f)\n"
+              b.Core.Bcet.bcet
+              (Core.Bcet.analytic_quotient ~bcet:b.Core.Bcet.bcet
+                 ~wcet:a.Core.Wcet.wcet)
+        | exception Core.Wcet.Not_analysable _ -> ());
+        if verbose then
+          List.iter
+            (fun (name, (pr : Core.Wcet.proc_result)) ->
+              Printf.printf "procedure %s: wcet %d (path %d + persistence %d)\n"
+                name pr.Core.Wcet.wcet pr.Core.Wcet.ipet.Core.Ipet.wcet
+                pr.Core.Wcet.ps_penalty;
+              List.iter
+                (fun (b : Dataflow.Loop_bounds.bound) ->
+                  Printf.printf "  loop B%d: <= %d back edges (%s)\n"
+                    b.Dataflow.Loop_bounds.header
+                    b.Dataflow.Loop_bounds.max_back_edges
+                    (match b.Dataflow.Loop_bounds.source with
+                    | Dataflow.Loop_bounds.Inferred -> "inferred"
+                    | Dataflow.Loop_bounds.Annotated -> "annotated"))
+                pr.Core.Wcet.loop_bounds)
+            a.Core.Wcet.procs
+  in
+  let source =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SOURCE" ~doc:"Assembly file or bench:NAME.")
+  in
+  let with_l2 =
+    Arg.(value & flag & info [ "l2" ] ~doc:"Add a 64x4x16 private L2.")
+  in
+  let cores =
+    Arg.(value & opt int 1 & info [ "cores" ] ~doc:"Bus population (for the arbiter bound).")
+  in
+  let arbiter =
+    Arg.(
+      value & opt string "private"
+      & info [ "arbiter" ] ~doc:"private | rr | tdma | fcfs.")
+  in
+  let core_id =
+    Arg.(value & opt int 0 & info [ "core" ] ~doc:"This task's core id.")
+  in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Per-procedure detail.") in
+  let method_cache =
+    Arg.(
+      value & flag
+      & info [ "method-cache" ]
+          ~doc:"Serve instructions from a Schoeberl-style method cache.")
+  in
+  let report =
+    Arg.(value & flag & info [ "report" ] ~doc:"Full per-block report.")
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Static WCET analysis of one task")
+    Term.(
+      const run $ source $ with_l2 $ cores $ arbiter $ core_id $ method_cache
+      $ verbose $ report)
+
+(* ---------------- simulate ---------------- *)
+
+let simulate_cmd =
+  let run source with_l2 method_cache =
+    let program, _ = load source in
+    let l2 = l2_of_flag with_l2 in
+    let cfg =
+      {
+        Sim.Machine.latencies = Pipeline.Latencies.default;
+        l1i = Cache.Config.make ~sets:64 ~assoc:2 ~line_size:16;
+        l1d = Cache.Config.make ~sets:64 ~assoc:2 ~line_size:16;
+        l2 =
+          (match l2 with
+          | Some c -> Sim.Machine.Private_l2 [| c |]
+          | None -> Sim.Machine.No_l2);
+        arbiter = Interconnect.Arbiter.Private;
+        refresh = Interconnect.Arbiter.Burst;
+        i_path =
+          (if method_cache then
+             Sim.Machine.Method_cache Cache.Method_cache.default
+           else Sim.Machine.Conventional);
+      }
+    in
+    let r = Sim.Machine.run_single cfg program () in
+    Printf.printf "cycles:       %d\n" r.Sim.Machine.cycles;
+    Printf.printf "instructions: %d\n" r.Sim.Machine.instructions;
+    Printf.printf "halted:       %b\n" r.Sim.Machine.halted;
+    Printf.printf "l1i hits/misses: %d/%d\n" r.Sim.Machine.l1i_hits
+      r.Sim.Machine.l1i_misses;
+    Printf.printf "l1d hits/misses: %d/%d\n" r.Sim.Machine.l1d_hits
+      r.Sim.Machine.l1d_misses
+  in
+  let source =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SOURCE" ~doc:"Assembly file or bench:NAME.")
+  in
+  let with_l2 = Arg.(value & flag & info [ "l2" ] ~doc:"Add an L2.") in
+  let method_cache =
+    Arg.(
+      value & flag
+      & info [ "method-cache" ] ~doc:"Use a method cache for instructions.")
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Cycle-level simulation of one task")
+    Term.(const run $ source $ with_l2 $ method_cache)
+
+(* ---------------- multicore ---------------- *)
+
+let multicore_cmd =
+  let run sources =
+    let tasks = List.map load sources in
+    let cores = List.length tasks in
+    let sys =
+      Core.Multicore.default_system ~cores
+        ~tasks:(Array.of_list (List.map (fun t -> Some t) tasks))
+    in
+    let show label results =
+      Printf.printf "%-14s" label;
+      Array.iter
+        (function
+          | Some w -> Printf.printf " %10d" w
+          | None -> Printf.printf " %10s" "-")
+        (Core.Multicore.wcets results);
+      print_newline ()
+    in
+    Printf.printf "%-14s" "approach";
+    List.iteri (fun i _ -> Printf.printf " %10s" (Printf.sprintf "core%d" i)) sources;
+    print_newline ();
+    show "oblivious" (Core.Multicore.analyze_oblivious sys);
+    show "joint" (Core.Multicore.analyze_joint sys ());
+    show "joint+bypass" (Core.Multicore.analyze_joint sys ~bypass:true ());
+    show "columnized"
+      (Core.Multicore.analyze_partitioned sys
+         ~scheme:Cache.Partition.Columnization);
+    show "bankized"
+      (Core.Multicore.analyze_partitioned sys ~scheme:Cache.Partition.Bankization);
+    show "locked" (Core.Multicore.analyze_locked sys);
+    show "locked-dyn" (Core.Multicore.analyze_locked_dynamic sys)
+  in
+  let sources =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"SOURCE" ~doc:"One task per core (file or bench:NAME).")
+  in
+  Cmd.v
+    (Cmd.info "multicore"
+       ~doc:"Analyze a task set under every approach family of the paper")
+    Term.(const run $ sources)
+
+(* ---------------- cfg ---------------- *)
+
+let cfg_cmd =
+  let run source dot =
+    let program, annot = load source in
+    if dot then begin
+      let a =
+        Core.Wcet.analyze ~annot (Core.Platform.single_core ()) program
+      in
+      List.iter
+        (fun (name, _) -> print_string (Core.Report.dot_of_proc a name))
+        a.Core.Wcet.procs
+    end
+    else begin
+      let cg = Cfg.Callgraph.build program in
+      List.iter
+        (fun (_, g) -> Format.printf "%a@." Cfg.Graph.pp g)
+        (Cfg.Callgraph.bottom_up cg)
+    end
+  in
+  let source =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SOURCE" ~doc:"Assembly file or bench:NAME.")
+  in
+  let dot =
+    Arg.(
+      value & flag
+      & info [ "dot" ]
+          ~doc:"Graphviz output annotated with WCET costs and counts.")
+  in
+  Cmd.v
+    (Cmd.info "cfg" ~doc:"Dump the control-flow graphs of a task")
+    Term.(const run $ source $ dot)
+
+(* ---------------- benchmarks ---------------- *)
+
+let benchmarks_cmd =
+  let run () =
+    List.iter
+      (fun (b : Workloads.Bench_programs.t) ->
+        Printf.printf "%-14s %4d instrs  %s\n" b.Workloads.Bench_programs.name
+          (Isa.Program.length b.Workloads.Bench_programs.program)
+          b.Workloads.Bench_programs.description)
+      (Workloads.Bench_programs.suite ())
+  in
+  Cmd.v
+    (Cmd.info "benchmarks" ~doc:"List the bundled benchmark suite")
+    Term.(const run $ const ())
+
+let () =
+  let doc = "static WCET analysis for parallel architectures" in
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "paratime" ~version:"1.0.0" ~doc)
+          [ analyze_cmd; simulate_cmd; multicore_cmd; cfg_cmd; benchmarks_cmd ]))

@@ -1,0 +1,1 @@
+examples/annotations.ml: Array Core Dataflow Isa Printf

@@ -1,0 +1,1 @@
+examples/best_and_worst.ml: Array Core Interconnect Isa List Printf Sim

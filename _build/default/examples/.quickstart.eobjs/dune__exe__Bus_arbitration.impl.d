@@ -1,0 +1,1 @@
+examples/bus_arbitration.ml: Array Core Interconnect List Pipeline Printf Sim String Workloads

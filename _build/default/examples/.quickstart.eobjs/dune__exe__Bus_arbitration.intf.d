@@ -1,0 +1,1 @@
+examples/bus_arbitration.mli:

@@ -1,0 +1,1 @@
+examples/predictable_smt.ml: Array Cache Core Interconnect Isa List Pipeline Printf Sim String Workloads

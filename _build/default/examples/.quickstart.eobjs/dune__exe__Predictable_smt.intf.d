@@ -1,0 +1,1 @@
+examples/predictable_smt.mli:

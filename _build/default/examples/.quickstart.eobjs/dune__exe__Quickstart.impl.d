@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Cache Core Dataflow Interconnect Isa List Printf Sim

@@ -1,0 +1,1 @@
+examples/shared_cache_interference.ml: Array Cache Core Printf Sim String Workloads

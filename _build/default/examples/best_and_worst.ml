@@ -1,0 +1,64 @@
+(* The execution-time sandwich: BCET bound <= every observed run <= WCET
+   bound, plus the per-block report an industrial tool would print.
+
+   Run with: dune exec examples/best_and_worst.exe *)
+
+let source =
+  {|
+; Clamp-and-accumulate over an input-dependent branch: the worst path
+; multiplies, the best path skips.
+main:
+  li r1, 12
+  li r2, 0
+loop:
+  ld.d r3, 0(r1)
+  blt r3, r2, skip
+  mul r4, r3, r3
+  add r2, r2, r4
+skip:
+  subi r1, r1, 1
+  bne r1, r0, loop
+  halt
+|}
+
+let () =
+  let program = Isa.Asm.parse ~name:"clamp" source in
+  let platform = Core.Platform.single_core () in
+  let wcet = Core.Wcet.analyze platform program in
+  let bcet = Core.Bcet.analyze platform program in
+  Printf.printf "BCET bound: %5d cycles\n" bcet.Core.Bcet.bcet;
+  Printf.printf "WCET bound: %5d cycles\n" wcet.Core.Wcet.wcet;
+  Printf.printf "analytic predictability quotient: %.3f\n\n"
+    (Core.Bcet.analytic_quotient ~bcet:bcet.Core.Bcet.bcet
+       ~wcet:wcet.Core.Wcet.wcet);
+
+  (* Observe a few runs with different memory contents: all must land
+     inside the sandwich. *)
+  let machine =
+    {
+      Sim.Machine.latencies = platform.Core.Platform.latencies;
+      l1i = platform.Core.Platform.l1i;
+      l1d = platform.Core.Platform.l1d;
+      l2 = Sim.Machine.No_l2;
+      arbiter = Interconnect.Arbiter.Private;
+      refresh = platform.Core.Platform.refresh;
+      i_path = Sim.Machine.Conventional;
+    }
+  in
+  List.iter
+    (fun (label, init_data) ->
+      let setup = { (Sim.Machine.task program) with Sim.Machine.init_data } in
+      let r = (Sim.Machine.run machine ~cores:[| setup |] ()).(0) in
+      Printf.printf "input %-12s: %5d cycles (inside bounds: %b)\n" label
+        r.Sim.Machine.cycles
+        (bcet.Core.Bcet.bcet <= r.Sim.Machine.cycles
+        && r.Sim.Machine.cycles <= wcet.Core.Wcet.wcet))
+    [
+      ("all zero", []);
+      ("all positive", List.init 13 (fun i -> (i, 5)));
+      ("all negative", List.init 13 (fun i -> (i, -5)));
+      ("alternating", List.init 13 (fun i -> (i, if i mod 2 = 0 then 9 else -9)));
+    ];
+
+  print_newline ();
+  print_string (Core.Report.render wcet)

@@ -1,0 +1,66 @@
+(* Shared-L2 interference: the same four tasks analyzed under the three
+   approach families of the paper (Section 3), then validated against the
+   contended simulation.
+
+   Run with: dune exec examples/shared_cache_interference.exe *)
+
+module B = Workloads.Bench_programs
+
+let () =
+  let tasks =
+    [|
+      B.matmul ~n:4;
+      B.vector_sum ~n:32;
+      B.memory_bound ~n:32;
+      B.crc ~n:8;
+    |]
+  in
+  let sys =
+    Core.Multicore.default_system ~cores:4
+      ~tasks:(Array.map (fun (b : B.t) -> Some (b.B.program, b.B.annot)) tasks)
+  in
+  let name i = tasks.(i).B.name in
+
+  let oblivious = Core.Multicore.wcets (Core.Multicore.analyze_oblivious sys) in
+  let joint = Core.Multicore.wcets (Core.Multicore.analyze_joint sys ()) in
+  let joint_bypass =
+    Core.Multicore.wcets (Core.Multicore.analyze_joint sys ~bypass:true ())
+  in
+  let partitioned =
+    Core.Multicore.wcets
+      (Core.Multicore.analyze_partitioned sys
+         ~scheme:Cache.Partition.Columnization)
+  in
+
+  (* Validation run on the real shared-L2 machine. *)
+  let cfg =
+    Core.Multicore.machine_config sys
+      ~l2:(Sim.Machine.Shared_l2 sys.Core.Multicore.l2)
+  in
+  let rs =
+    Sim.Machine.run cfg
+      ~cores:(Array.map (fun (b : B.t) -> Sim.Machine.task b.B.program) tasks)
+      ()
+  in
+
+  Printf.printf
+    "%-12s %10s | %10s %10s %10s %10s\n" "task" "observed" "oblivious"
+    "joint" "joint+byp" "partition";
+  Printf.printf "%s\n" (String.make 72 '-');
+  let get a i = match a.(i) with Some v -> v | None -> 0 in
+  Array.iteri
+    (fun i r ->
+      Printf.printf "%-12s %10d | %10d %10d %10d %10d%s\n" (name i)
+        r.Sim.Machine.cycles (get oblivious i) (get joint i)
+        (get joint_bypass i) (get partitioned i)
+        (if r.Sim.Machine.cycles > get oblivious i then "  <-- oblivious VIOLATED"
+         else ""))
+    rs;
+  print_newline ();
+  Printf.printf
+    "The oblivious column pretends each task owns the machine — the paper's\n";
+  Printf.printf
+    "Section 2.2 point is that it may be *below* the observed time.  The\n";
+  Printf.printf
+    "joint and partitioned columns are sound; bypass tightens joint bounds\n";
+  Printf.printf "by removing single-usage lines from every footprint.\n"

@@ -1,0 +1,1 @@
+lib/cache/acs.ml: Array Config Format Int List Map

@@ -1,0 +1,1 @@
+lib/cache/acs.mli: Config Format

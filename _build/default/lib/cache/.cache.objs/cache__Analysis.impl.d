@@ -1,0 +1,1 @@
+lib/cache/analysis.ml: Acs Array Cfg Config Dataflow Hashtbl Isa List

@@ -1,0 +1,1 @@
+lib/cache/analysis.mli: Acs Cfg Config Dataflow

@@ -1,0 +1,1 @@
+lib/cache/locking.ml: Analysis Array Config List

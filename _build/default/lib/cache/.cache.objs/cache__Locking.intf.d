@@ -1,0 +1,1 @@
+lib/cache/locking.mli: Analysis Config

@@ -1,0 +1,1 @@
+lib/cache/method_cache.mli: Cfg

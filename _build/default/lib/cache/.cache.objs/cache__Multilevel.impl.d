@@ -1,0 +1,1 @@
+lib/cache/multilevel.ml: Acs Analysis Array Cfg Config Hashtbl List

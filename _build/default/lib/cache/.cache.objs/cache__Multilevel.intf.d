@@ -1,0 +1,1 @@
+lib/cache/multilevel.mli: Analysis Cfg Config

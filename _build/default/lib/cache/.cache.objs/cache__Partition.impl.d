@@ -1,0 +1,1 @@
+lib/cache/partition.ml: Config List Printf String

@@ -1,0 +1,1 @@
+lib/cache/shared.ml: Analysis Array Config List Multilevel

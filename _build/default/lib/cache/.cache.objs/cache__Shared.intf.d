@@ -1,0 +1,1 @@
+lib/cache/shared.mli: Analysis Config Multilevel

@@ -1,0 +1,301 @@
+type target = Lines of int list | Unknown
+
+type kind = Fetch | Data
+
+type access = { instr : int; kind : kind; target : target }
+
+type classification = Always_hit | Always_miss | Persistent | Not_classified
+
+let classification_to_string = function
+  | Always_hit -> "AH"
+  | Always_miss -> "AM"
+  | Persistent -> "PS"
+  | Not_classified -> "NC"
+
+type entry_state = Cold | Unknown_entry
+
+type t = {
+  config : Config.t;
+  graph : Cfg.Graph.t;
+  accesses_of : access list array;  (** per block *)
+  had_call : bool array;
+  must_ins : Acs.t array;
+  may_ins : Acs.t array;
+  pers_ins : Acs.t array;
+  must_outs : Acs.t array;
+  may_outs : Acs.t array;
+  classifications : (int * kind, classification) Hashtbl.t;
+}
+
+let instruction_accesses config g id =
+  let b = Cfg.Graph.block g id in
+  List.map
+    (fun i ->
+      let addr = Isa.Program.addr_of_index g.Cfg.Graph.program i in
+      { instr = i; kind = Fetch; target = Lines [ Config.line_of_addr config addr ] })
+    (Cfg.Block.instr_indices b)
+
+let data_accesses config g va ?(max_lines = 16) id =
+  let b = Cfg.Graph.block g id in
+  List.filter_map
+    (fun i ->
+      match Isa.Program.instr g.Cfg.Graph.program i with
+      | Isa.Instr.Load (sp, _, rb, off) | Isa.Instr.Store (sp, _, rb, off)
+        when Isa.Layout.is_cacheable sp -> (
+          match Dataflow.Value_analysis.state_before_instr va g i with
+          | None -> Some { instr = i; kind = Data; target = Unknown }
+          | Some st -> (
+              let base = Dataflow.Value_analysis.reg_interval st rb in
+              let idx =
+                Dataflow.Interval.add base (Dataflow.Interval.const off)
+              in
+              match
+                ( Dataflow.Interval.finite_lower idx,
+                  Dataflow.Interval.finite_upper idx )
+              with
+              | Some lo, Some hi ->
+                  let a_lo = Isa.Layout.byte_addr sp lo in
+                  let a_hi = Isa.Layout.byte_addr sp hi in
+                  let l_lo = Config.line_of_addr config a_lo in
+                  let l_hi = Config.line_of_addr config a_hi in
+                  if l_hi - l_lo + 1 > max_lines then
+                    Some { instr = i; kind = Data; target = Unknown }
+                  else
+                    Some
+                      {
+                        instr = i;
+                        kind = Data;
+                        target =
+                          Lines (List.init (l_hi - l_lo + 1) (fun k -> l_lo + k));
+                      }
+              | _ -> Some { instr = i; kind = Data; target = Unknown }))
+      | _ -> None)
+    (Cfg.Block.instr_indices b)
+
+let apply_access acs a =
+  match a.target with
+  | Lines ls -> Acs.access_one_of acs ls
+  | Unknown -> Acs.access_unknown acs
+
+(* Persistence steps are guided by the in-tandem must state (Cullmann's
+   sound-and-precise update); the must state is advanced alongside. *)
+let apply_access_guided (must, pers) a =
+  match a.target with
+  | Lines ls ->
+      (Acs.access_one_of must ls, Acs.access_one_of_guided pers ~must ls)
+  | Unknown -> (Acs.access_unknown must, Acs.access_unknown pers)
+
+let transfer acs accesses ~had_call =
+  let acs = List.fold_left apply_access acs accesses in
+  if had_call then Acs.havoc acs else acs
+
+let entry_acs config entry kind =
+  let cold = Acs.empty config kind in
+  match (entry, kind) with
+  | Cold, _ -> cold
+  | Unknown_entry, Acs.Must -> cold
+  | Unknown_entry, Acs.May -> Acs.havoc cold
+  | Unknown_entry, Acs.Pers -> cold
+
+let fixpoint config g ~entry ~accesses_of ~had_call kind =
+  let n = Cfg.Graph.num_blocks g in
+  let bottom = None in
+  let ins = Array.make n bottom and outs = Array.make n bottom in
+  let rpo = Cfg.Graph.reverse_postorder g in
+  let entry_state = entry_acs config entry kind in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun id ->
+        let input =
+          let from_preds =
+            List.fold_left
+              (fun acc (e : Cfg.Graph.edge) ->
+                match (acc, outs.(e.src)) with
+                | None, x -> x
+                | x, None -> x
+                | Some a, Some b -> Some (Acs.join a b))
+              None (Cfg.Graph.preds g id)
+          in
+          if id = g.Cfg.Graph.entry then
+            match from_preds with
+            | None -> Some entry_state
+            | Some x -> Some (Acs.join entry_state x)
+          else from_preds
+        in
+        match input with
+        | None -> ()
+        | Some input ->
+            let stale =
+              match ins.(id) with
+              | None -> true
+              | Some old -> not (Acs.equal old input)
+            in
+            if stale then begin
+              ins.(id) <- Some input;
+              outs.(id) <-
+                Some (transfer input accesses_of.(id) ~had_call:had_call.(id));
+              changed := true
+            end)
+      rpo
+  done;
+  let force = function
+    | Some x -> x
+    | None -> entry_acs config entry kind (* unreachable block: any state *)
+  in
+  (Array.map force ins, Array.map force outs)
+
+(* Fixpoint for the persistence state, with the must fixpoint's per-block
+   input states steering each access's aging. *)
+let pers_fixpoint config g ~entry ~accesses_of ~had_call ~must_ins =
+  let n = Cfg.Graph.num_blocks g in
+  let ins = Array.make n None and outs = Array.make n None in
+  let rpo = Cfg.Graph.reverse_postorder g in
+  let entry_state = entry_acs config entry Acs.Pers in
+  let transfer_pers id pers =
+    let _, pers =
+      List.fold_left apply_access_guided (must_ins.(id), pers)
+        accesses_of.(id)
+    in
+    if had_call.(id) then Acs.havoc pers else pers
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun id ->
+        let input =
+          let from_preds =
+            List.fold_left
+              (fun acc (e : Cfg.Graph.edge) ->
+                match (acc, outs.(e.src)) with
+                | None, x -> x
+                | x, None -> x
+                | Some a, Some b -> Some (Acs.join a b))
+              None (Cfg.Graph.preds g id)
+          in
+          if id = g.Cfg.Graph.entry then
+            match from_preds with
+            | None -> Some entry_state
+            | Some x -> Some (Acs.join entry_state x)
+          else from_preds
+        in
+        match input with
+        | None -> ()
+        | Some input ->
+            let stale =
+              match ins.(id) with
+              | None -> true
+              | Some old -> not (Acs.equal old input)
+            in
+            if stale then begin
+              ins.(id) <- Some input;
+              outs.(id) <- Some (transfer_pers id input);
+              changed := true
+            end)
+      rpo
+  done;
+  let force = function Some x -> x | None -> entry_state in
+  (Array.map force ins, Array.map force outs)
+
+let classify config must may pers a =
+  let assoc = config.Config.assoc in
+  match a.target with
+  | Unknown -> Not_classified
+  | Lines ls ->
+      let all_must = List.for_all (fun l -> Acs.contains_line must l) ls in
+      if all_must then Always_hit
+      else
+        let none_may =
+          List.for_all
+            (fun l ->
+              (not (Acs.contains_line may l))
+              && not (Acs.universe may ~set:(Config.set_of_line config l)))
+            ls
+        in
+        if none_may then Always_miss
+        else
+          let persistent =
+            match ls with
+            | [ l ] -> (
+                match Acs.age_of_line pers l with
+                | Some age -> age < assoc
+                | None -> false)
+            | _ -> false
+          in
+          if persistent then Persistent else Not_classified
+
+let analyze config g ~entry ~accesses =
+  let n = Cfg.Graph.num_blocks g in
+  let accesses_of = Array.init n accesses in
+  let had_call =
+    Array.init n (fun id -> Cfg.Graph.callee_of_block g id <> None)
+  in
+  let must_ins, must_outs =
+    fixpoint config g ~entry ~accesses_of ~had_call Acs.Must
+  in
+  let may_ins, may_outs =
+    fixpoint config g ~entry ~accesses_of ~had_call Acs.May
+  in
+  let pers_ins, _ =
+    pers_fixpoint config g ~entry ~accesses_of ~had_call ~must_ins
+  in
+  let classifications = Hashtbl.create 64 in
+  for id = 0 to n - 1 do
+    (* Replay the three states through the block, classifying at each
+       access point. *)
+    let rec replay must may pers = function
+      | [] -> ()
+      | a :: rest ->
+          Hashtbl.replace classifications (a.instr, a.kind)
+            (classify config must may pers a);
+          let must', pers' = apply_access_guided (must, pers) a in
+          replay must' (apply_access may a) pers' rest
+    in
+    replay must_ins.(id) may_ins.(id) pers_ins.(id) accesses_of.(id)
+  done;
+  {
+    config;
+    graph = g;
+    accesses_of;
+    had_call;
+    must_ins;
+    may_ins;
+    pers_ins;
+    must_outs;
+    may_outs;
+    classifications;
+  }
+
+let classification t ?(kind = Fetch) instr =
+  match Hashtbl.find_opt t.classifications (instr, kind) with
+  | Some c -> c
+  | None -> raise Not_found
+
+let accesses t =
+  Array.to_list t.accesses_of
+  |> List.concat
+  |> List.sort (fun a b -> compare (a.instr, a.kind) (b.instr, b.kind))
+  |> List.map (fun a -> (a, Hashtbl.find t.classifications (a.instr, a.kind)))
+
+let persistent_miss_count t =
+  Hashtbl.fold
+    (fun _ c acc -> if c = Persistent then acc + 1 else acc)
+    t.classifications 0
+
+let must_in t id = t.must_ins.(id)
+let may_in t id = t.may_ins.(id)
+let pers_in t id = t.pers_ins.(id)
+let must_out t id = t.must_outs.(id)
+let may_out t id = t.may_outs.(id)
+
+let reachable_lines t =
+  let lines = ref [] in
+  Array.iter
+    (List.iter (fun a ->
+         match a.target with
+         | Lines ls -> lines := ls @ !lines
+         | Unknown -> ()))
+    t.accesses_of;
+  List.sort_uniq compare !lines

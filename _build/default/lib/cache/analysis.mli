@@ -1,0 +1,77 @@
+(** Per-procedure cache analysis: must/may/persistence fixpoints over the
+    CFG plus per-access classification (Section 2.1 of the paper: accesses
+    get a category ALWAYS_HIT / ALWAYS_MISS / PERSISTENT / NOT_CLASSIFIED).
+
+    The same engine serves the instruction cache (every instruction fetch
+    is an access at a statically known address) and the data cache
+    (load/store addresses come from the interval value analysis; imprecise
+    addresses degrade to small line sets or to [Unknown]). *)
+
+type target =
+  | Lines of int list  (** the access touches exactly one of these lines *)
+  | Unknown
+
+type kind = Fetch | Data
+(** One instruction performs at most one access of each kind; [(instr,
+    kind)] identifies an access point uniquely, which matters when the
+    instruction and data paths share a cache level. *)
+
+type access = { instr : int; kind : kind; target : target }
+
+type classification = Always_hit | Always_miss | Persistent | Not_classified
+
+val classification_to_string : classification -> string
+
+(** Entry assumption: [Cold] for the task root (platform invalidates caches
+    at task start), [Unknown] for callees, whose entry cache content
+    depends on the caller. *)
+type entry_state = Cold | Unknown_entry
+
+type t
+
+val instruction_accesses :
+  Config.t -> Cfg.Graph.t -> Cfg.Block.id -> access list
+(** One access per instruction of the block, at its code address. *)
+
+val data_accesses :
+  Config.t ->
+  Cfg.Graph.t ->
+  Dataflow.Value_analysis.result ->
+  ?max_lines:int ->
+  Cfg.Block.id ->
+  access list
+(** Accesses for loads/stores to cacheable spaces.  Address intervals
+    spanning more than [max_lines] lines (default 16) become [Unknown].
+    [Io]-space accesses are omitted (uncached). *)
+
+val analyze :
+  Config.t ->
+  Cfg.Graph.t ->
+  entry:entry_state ->
+  accesses:(Cfg.Block.id -> access list) ->
+  t
+
+val classification : t -> ?kind:kind -> int -> classification
+(** Classification of the access at the given instruction index (default
+    kind [Fetch]).
+    @raise Not_found if that instruction has no such access. *)
+
+val accesses : t -> (access * classification) list
+(** All accesses, by instruction order. *)
+
+val persistent_miss_count : t -> int
+(** Number of accesses classified [Persistent]; each contributes at most
+    one miss per procedure execution (charged by the WCET composition). *)
+
+val must_in : t -> Cfg.Block.id -> Acs.t
+val may_in : t -> Cfg.Block.id -> Acs.t
+val pers_in : t -> Cfg.Block.id -> Acs.t
+val must_out : t -> Cfg.Block.id -> Acs.t
+val may_out : t -> Cfg.Block.id -> Acs.t
+
+val reachable_lines : t -> int list
+(** All lines any access of the procedure may touch (sorted): the
+    procedure's cache footprint, used by shared-cache conflict analysis. *)
+
+val transfer : Acs.t -> access list -> had_call:bool -> Acs.t
+(** Exposed for the multilevel/shared analyses and tests. *)

@@ -1,0 +1,79 @@
+(* Each set holds an MRU-first list of resident tags plus a locked set. *)
+type set_state = { mutable lru : int list; mutable locked : int list }
+
+type t = {
+  config : Config.t;
+  sets : set_state array;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create config =
+  {
+    config;
+    sets = Array.init config.Config.sets (fun _ -> { lru = []; locked = [] });
+    hits = 0;
+    misses = 0;
+  }
+
+let config t = t.config
+
+let access t addr =
+  let s = t.sets.(Config.set_of_addr t.config addr) in
+  let tag = Config.tag_of_addr t.config addr in
+  if List.mem tag s.locked then begin
+    t.hits <- t.hits + 1;
+    `Hit
+  end
+  else if List.mem tag s.lru then begin
+    t.hits <- t.hits + 1;
+    s.lru <- tag :: List.filter (fun x -> x <> tag) s.lru;
+    `Hit
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    let capacity = t.config.Config.assoc - List.length s.locked in
+    let resident = tag :: s.lru in
+    s.lru <-
+      (if List.length resident > capacity then
+         (* drop the LRU entry *)
+         List.filteri (fun i _ -> i < capacity) resident
+       else resident);
+    `Miss
+  end
+
+let probe t addr =
+  let s = t.sets.(Config.set_of_addr t.config addr) in
+  let tag = Config.tag_of_addr t.config addr in
+  List.mem tag s.locked || List.mem tag s.lru
+
+let lock_line t addr =
+  let s = t.sets.(Config.set_of_addr t.config addr) in
+  let tag = Config.tag_of_addr t.config addr in
+  if List.mem tag s.locked then ()
+  else if List.length s.locked >= t.config.Config.assoc then
+    failwith "Concrete.lock_line: set fully locked"
+  else begin
+    s.locked <- tag :: s.locked;
+    s.lru <- List.filter (fun x -> x <> tag) s.lru;
+    (* Locking may shrink the unlocked capacity below current residency. *)
+    let capacity = t.config.Config.assoc - List.length s.locked in
+    s.lru <- List.filteri (fun i _ -> i < capacity) s.lru
+  end
+
+let unlock_all t = Array.iter (fun s -> s.locked <- []) t.sets
+
+let invalidate t = Array.iter (fun s -> s.lru <- []) t.sets
+
+let resident_lines t =
+  let lines = ref [] in
+  Array.iteri
+    (fun set s ->
+      List.iter
+        (fun tag ->
+          lines := ((tag * t.config.Config.sets) + set) :: !lines)
+        (s.locked @ s.lru))
+    t.sets;
+  List.sort compare !lines
+
+let stats t = (t.hits, t.misses)

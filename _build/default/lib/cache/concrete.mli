@@ -1,0 +1,32 @@
+(** Concrete LRU cache, used by the cycle-level simulator.
+
+    Caches start cold (invalidated), matching the platform contract the
+    static analyses assume (time-predictable platforms invalidate caches at
+    task start).  Supports locked lines: a locked line is always resident
+    and reduces the effective associativity of its set. *)
+
+type t
+
+val create : Config.t -> t
+val config : t -> Config.t
+
+val access : t -> int -> [ `Hit | `Miss ]
+(** Look up the byte address; on miss the line is filled, evicting the LRU
+    unlocked line of the set if full.  Locked lines always hit. *)
+
+val probe : t -> int -> bool
+(** Is the address's line resident?  Does not update LRU state. *)
+
+val lock_line : t -> int -> unit
+(** Lock the line containing the byte address (fills it if absent).
+    @raise Failure if all ways of its set are already locked. *)
+
+val unlock_all : t -> unit
+val invalidate : t -> unit
+(** Unlocked lines are dropped; locked lines stay. *)
+
+val resident_lines : t -> int list
+(** Sorted line numbers currently resident (locked and unlocked). *)
+
+val stats : t -> int * int
+(** (hits, misses) since creation. *)

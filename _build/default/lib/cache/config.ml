@@ -1,0 +1,42 @@
+type t = { sets : int; assoc : int; line_size : int }
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let make ~sets ~assoc ~line_size =
+  if not (is_pow2 sets) then
+    invalid_arg "Cache.Config.make: sets must be a power of two";
+  if not (is_pow2 line_size) then
+    invalid_arg "Cache.Config.make: line_size must be a power of two";
+  if assoc <= 0 then invalid_arg "Cache.Config.make: assoc must be positive";
+  { sets; assoc; line_size }
+
+let num_lines t = t.sets * t.assoc
+let capacity_bytes t = num_lines t * t.line_size
+
+let line_of_addr t addr = addr / t.line_size
+let set_of_addr t addr = line_of_addr t addr mod t.sets
+let tag_of_addr t addr = line_of_addr t addr / t.sets
+
+let set_of_line t line = line mod t.sets
+let tag_of_line t line = line / t.sets
+let addr_of_line t line = line * t.line_size
+
+let columnize t ~ways =
+  if ways <= 0 || ways > t.assoc then
+    invalid_arg "Cache.Config.columnize: bad way count"
+  else { t with assoc = ways }
+
+let bankize t ~share ~of_ =
+  if share <= 0 || of_ <= 0 || share > of_ then
+    invalid_arg "Cache.Config.bankize: bad share"
+  else if t.sets mod of_ <> 0 then
+    invalid_arg "Cache.Config.bankize: banks must divide sets"
+  else
+    let sets = t.sets / of_ * share in
+    if not (is_pow2 sets) then
+      invalid_arg "Cache.Config.bankize: share yields non-power-of-two sets"
+    else { t with sets }
+
+let pp ppf t =
+  Format.fprintf ppf "%d sets x %d ways x %dB lines (%dB)" t.sets t.assoc
+    t.line_size (capacity_bytes t)

@@ -1,0 +1,45 @@
+(** Cache geometry.
+
+    All caches are LRU — the replacement policy the survey's references
+    single out as the analysable one (Wilhelm et al.'s recommendations).
+    The analyses and the concrete model share this geometry so bounds and
+    simulations are about the same machine. *)
+
+type t = private {
+  sets : int;  (** number of sets, power of two *)
+  assoc : int;  (** ways per set *)
+  line_size : int;  (** bytes per line, power of two *)
+}
+
+val make : sets:int -> assoc:int -> line_size:int -> t
+(** @raise Invalid_argument unless [sets] and [line_size] are powers of two
+    and all fields are positive. *)
+
+val num_lines : t -> int
+val capacity_bytes : t -> int
+
+val line_of_addr : t -> int -> int
+(** Line number = addr / line_size; identifies a memory block. *)
+
+val set_of_addr : t -> int -> int
+val tag_of_addr : t -> int -> int
+(** Tag disambiguates lines within a set; [set_of_addr] and [tag_of_addr]
+    together are injective on lines. *)
+
+val set_of_line : t -> int -> int
+val tag_of_line : t -> int -> int
+val addr_of_line : t -> int -> int
+(** Base byte address of a line ([tag * sets + set] recombined). *)
+
+(** Partition transformations (Section 4.2 of the paper). *)
+
+val columnize : t -> ways:int -> t
+(** Way partitioning: a private slice with [ways] ways and all sets.
+    @raise Invalid_argument if [ways] exceeds the associativity or is
+    not positive. *)
+
+val bankize : t -> share:int -> of_:int -> t
+(** Bank partitioning: a private slice of [share] of the [of_] equal
+    banks (sets are divided).  @raise Invalid_argument on non-divisors. *)
+
+val pp : Format.formatter -> t -> unit

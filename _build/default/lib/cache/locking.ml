@@ -1,0 +1,37 @@
+type selection = { locked : int list }
+
+let select (config : Config.t) ~candidates =
+  let sorted =
+    List.sort (fun (_, p1) (_, p2) -> compare p2 p1) candidates
+  in
+  let used = Array.make config.Config.sets 0 in
+  let locked =
+    List.filter_map
+      (fun (line, profit) ->
+        let s = Config.set_of_line config line in
+        if profit > 0 && used.(s) < config.Config.assoc then begin
+          used.(s) <- used.(s) + 1;
+          Some line
+        end
+        else None)
+      sorted
+  in
+  { locked = List.sort_uniq compare locked }
+
+let classify sel (target : Analysis.target) =
+  match target with
+  | Analysis.Unknown -> Analysis.Always_miss
+  | Analysis.Lines ls ->
+      if List.for_all (fun l -> List.mem l sel.locked) ls then
+        Analysis.Always_hit
+      else Analysis.Always_miss
+
+let locked_hit_count sel accesses =
+  List.fold_left
+    (fun (h, m) ((a : Analysis.access), freq) ->
+      match classify sel a.target with
+      | Analysis.Always_hit -> (h + freq, m)
+      | Analysis.Always_miss | Analysis.Persistent
+      | Analysis.Not_classified ->
+          (h, m + freq))
+    (0, 0) accesses

@@ -1,0 +1,28 @@
+(** Cache-content locking (Section 4.2: Puaut & Decotigny; Suhendra &
+    Mitra's static-vs-dynamic comparison).
+
+    With locked contents, the cache behaviour is trivial to analyze:
+    accesses to locked lines always hit, everything else always misses.
+    Selection is the greedy frequency×penalty heuristic of the
+    low-complexity algorithms in the literature.
+
+    Static locking picks one content set for the whole execution; dynamic
+    locking re-selects per region (outermost loop), paying a reload cost
+    of [lines × miss_penalty] on each region entry but letting hot loops
+    own the whole cache. *)
+
+type selection = { locked : int list (* lines *) }
+
+val select :
+  Config.t -> candidates:(int * int) list (* line, profit *) -> selection
+(** Greedy: highest profit first, respecting per-set way capacity. *)
+
+val classify :
+  selection -> Analysis.target -> Analysis.classification
+(** [Always_hit] iff every candidate line is locked, else [Always_miss]. *)
+
+val locked_hit_count :
+  selection -> (Analysis.access * int) list -> int * int
+(** Given accesses with execution frequencies, returns
+    [(hit_weight, miss_weight)] under the selection — the cost model the
+    greedy optimizes. *)

@@ -1,0 +1,41 @@
+type config = { slots : int; fill_per_word : int }
+
+let default = { slots = 8; fill_per_word = 2 }
+
+type t = { config : config; mutable fifo : int list (* oldest last *) }
+
+let create config =
+  if config.slots <= 0 then invalid_arg "Method_cache.create: slots <= 0";
+  { config; fifo = [] }
+
+let resident t f = List.mem f t.fifo
+
+let access t f =
+  if resident t f then `Hit
+  else begin
+    let installed = f :: t.fifo in
+    t.fifo <-
+      (if List.length installed > t.config.slots then
+         List.filteri (fun i _ -> i < t.config.slots) installed
+       else installed);
+    `Miss
+  end
+
+type analysis = { always_fits : bool; procs : (string * int) list }
+
+let proc_size (g : Cfg.Graph.t) =
+  let n = Cfg.Graph.num_blocks g in
+  let rec go id acc =
+    if id >= n then acc
+    else go (id + 1) (acc + Cfg.Block.length (Cfg.Graph.block g id))
+  in
+  go 0 0
+
+let analyze (cg : Cfg.Callgraph.t) config =
+  let procs =
+    List.map (fun (name, g) -> (name, proc_size g)) (Cfg.Callgraph.bottom_up cg)
+  in
+  { always_fits = List.length procs <= config.slots; procs }
+
+let load_cost config ~mem_latency ~size_words =
+  mem_latency + (size_words * config.fill_per_word)

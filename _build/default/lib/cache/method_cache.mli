@@ -1,0 +1,40 @@
+(** Method cache (Schoeberl; the Patmos paper of the same PPES'11
+    proceedings): instructions are cached at *function* granularity, so
+    misses can only occur at call and return points — the cache design
+    whose entire purpose is to make instruction-cache analysis trivial.
+
+    Simplified model: [slots] slots, each holding one whole function,
+    FIFO replacement; a miss loads the function over the bus at
+    [mem latency + size_words * fill_per_word] cycles.
+
+    The analysis side is intentionally simple (that is the design's
+    selling point): if the task's procedure count fits in the cache,
+    every procedure misses at most once per task execution (FIFO never
+    evicts when it never fills up); otherwise every call/return is
+    conservatively charged a reload. *)
+
+type config = { slots : int; fill_per_word : int }
+
+val default : config
+(** 8 slots, 2 cycles per instruction word. *)
+
+(** Concrete FIFO cache over function identifiers. *)
+type t
+
+val create : config -> t
+val access : t -> int -> [ `Hit | `Miss ]
+(** Look up a function id; on miss it is installed, evicting the
+    oldest-installed entry when full. *)
+
+val resident : t -> int -> bool
+
+(** Analysis-side facts about a program. *)
+type analysis = private {
+  always_fits : bool;  (** procedure count <= slots *)
+  procs : (string * int) list;  (** procedure name, size in words *)
+}
+
+val analyze : Cfg.Callgraph.t -> config -> analysis
+
+val load_cost : config -> mem_latency:int -> size_words:int -> int
+(** Cycles to fill one function: [mem_latency + size_words * fill_per_word]. *)

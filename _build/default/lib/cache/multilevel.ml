@@ -1,0 +1,346 @@
+type cac = Always | Never | Uncertain
+
+type access_info = {
+  instr : int;
+  kind : Analysis.kind;
+  target : Analysis.target;
+  cac : cac;
+  l2_class : Analysis.classification;
+  must_ages : (int * int option) list;
+  pers_ages : (int * int option) list;
+}
+
+type t = {
+  config : Config.t;
+  infos : access_info list;  (** instruction order *)
+  by_instr : (int * Analysis.kind, access_info) Hashtbl.t;
+  unknown_target : bool;
+  bypass : int -> bool;
+}
+
+let cac_of_l1 l1 (a : Analysis.access) =
+  match Analysis.classification l1 ~kind:a.Analysis.kind a.Analysis.instr with
+  | Analysis.Always_hit -> Never
+  | Analysis.Always_miss -> Always
+  | Analysis.Persistent | Analysis.Not_classified -> Uncertain
+  | exception Not_found -> Always
+
+let target_bypassed bypass = function
+  | Analysis.Lines ls -> List.for_all bypass ls
+  | Analysis.Unknown -> false
+
+let apply_l2 bypass acs ((a : Analysis.access), cac) =
+  if target_bypassed bypass a.target then acs
+  else
+    let updated =
+      match a.target with
+      | Analysis.Lines ls ->
+          (* Partially bypassed candidate sets: non-bypassed lines update. *)
+          let live = List.filter (fun l -> not (bypass l)) ls in
+          if live = [] then acs else Acs.access_one_of acs live
+      | Analysis.Unknown -> Acs.access_unknown acs
+    in
+    match cac with
+    | Always -> updated
+    | Never -> acs
+    | Uncertain -> Acs.join updated acs
+
+(* Persistence step at L2, guided by the L2 must state (advanced in
+   tandem with the same CAC decisions). *)
+let apply_l2_pers bypass (must, pers) ((a : Analysis.access), cac) =
+  let must' = apply_l2 bypass must (a, cac) in
+  let pers' =
+    if target_bypassed bypass a.target then pers
+    else
+      let updated =
+        match a.target with
+        | Analysis.Lines ls ->
+            let live = List.filter (fun l -> not (bypass l)) ls in
+            if live = [] then pers
+            else Acs.access_one_of_guided pers ~must live
+        | Analysis.Unknown -> Acs.access_unknown pers
+      in
+      match cac with
+      | Always -> updated
+      | Never -> pers
+      | Uncertain -> Acs.join updated pers
+  in
+  (must', pers')
+
+let pers_fixpoint_l2 config g ~entry ~tagged ~had_call bypass ~must_ins =
+  let n = Cfg.Graph.num_blocks g in
+  let ins = Array.make n None and outs = Array.make n None in
+  let rpo = Cfg.Graph.reverse_postorder g in
+  let entry_state =
+    match entry with
+    | Analysis.Cold | Analysis.Unknown_entry -> Acs.empty config Acs.Pers
+  in
+  let transfer pers id =
+    let _, pers =
+      List.fold_left (apply_l2_pers bypass) (must_ins.(id), pers) tagged.(id)
+    in
+    if had_call.(id) then Acs.havoc pers else pers
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun id ->
+        let input =
+          let from_preds =
+            List.fold_left
+              (fun acc (e : Cfg.Graph.edge) ->
+                match (acc, outs.(e.src)) with
+                | None, x -> x
+                | x, None -> x
+                | Some a, Some b -> Some (Acs.join a b))
+              None (Cfg.Graph.preds g id)
+          in
+          if id = g.Cfg.Graph.entry then
+            match from_preds with
+            | None -> Some entry_state
+            | Some x -> Some (Acs.join entry_state x)
+          else from_preds
+        in
+        match input with
+        | None -> ()
+        | Some input ->
+            let stale =
+              match ins.(id) with
+              | None -> true
+              | Some old -> not (Acs.equal old input)
+            in
+            if stale then begin
+              ins.(id) <- Some input;
+              outs.(id) <- Some (transfer input id);
+              changed := true
+            end)
+      rpo
+  done;
+  let force = function Some x -> x | None -> entry_state in
+  (Array.map force ins, Array.map force outs)
+
+let fixpoint_l2 config g ~entry ~tagged ~had_call bypass kind =
+  let n = Cfg.Graph.num_blocks g in
+  let ins = Array.make n None and outs = Array.make n None in
+  let rpo = Cfg.Graph.reverse_postorder g in
+  let entry_state =
+    match (entry, kind) with
+    | Analysis.Cold, _ -> Acs.empty config kind
+    | Analysis.Unknown_entry, Acs.May -> Acs.havoc (Acs.empty config kind)
+    | Analysis.Unknown_entry, (Acs.Must | Acs.Pers) -> Acs.empty config kind
+  in
+  let transfer acs id =
+    let acs = List.fold_left (apply_l2 bypass) acs tagged.(id) in
+    if had_call.(id) then Acs.havoc acs else acs
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun id ->
+        let input =
+          let from_preds =
+            List.fold_left
+              (fun acc (e : Cfg.Graph.edge) ->
+                match (acc, outs.(e.src)) with
+                | None, x -> x
+                | x, None -> x
+                | Some a, Some b -> Some (Acs.join a b))
+              None (Cfg.Graph.preds g id)
+          in
+          if id = g.Cfg.Graph.entry then
+            match from_preds with
+            | None -> Some entry_state
+            | Some x -> Some (Acs.join entry_state x)
+          else from_preds
+        in
+        match input with
+        | None -> ()
+        | Some input ->
+            let stale =
+              match ins.(id) with
+              | None -> true
+              | Some old -> not (Acs.equal old input)
+            in
+            if stale then begin
+              ins.(id) <- Some input;
+              outs.(id) <- Some (transfer input id);
+              changed := true
+            end)
+      rpo
+  done;
+  let force = function Some x -> x | None -> entry_state in
+  (Array.map force ins, Array.map force outs)
+
+let ages_of config acs target =
+  match (target : Analysis.target) with
+  | Analysis.Unknown -> []
+  | Analysis.Lines ls ->
+      ignore config;
+      List.map (fun l -> (l, Acs.age_of_line acs l)) ls
+
+let analyze config g ~entry ~cac_of ~l2_accesses ?(bypass = fun _ -> false)
+    () =
+  let n = Cfg.Graph.num_blocks g in
+  let accesses_of = Array.init n l2_accesses in
+  let had_call =
+    Array.init n (fun id -> Cfg.Graph.callee_of_block g id <> None)
+  in
+  let tagged =
+    Array.map
+      (List.map (fun (a : Analysis.access) -> (a, cac_of a)))
+      accesses_of
+  in
+  let must_ins, _ =
+    fixpoint_l2 config g ~entry ~tagged ~had_call bypass Acs.Must
+  in
+  let may_ins, _ =
+    fixpoint_l2 config g ~entry ~tagged ~had_call bypass Acs.May
+  in
+  let pers_ins, _ =
+    pers_fixpoint_l2 config g ~entry ~tagged ~had_call bypass ~must_ins
+  in
+  let infos = ref [] in
+  for id = 0 to n - 1 do
+    let rec replay must may pers = function
+      | [] -> ()
+      | ((a : Analysis.access), cac) :: rest ->
+          let l2_class =
+            if cac = Never then Analysis.Always_hit
+            else if target_bypassed bypass a.target then Analysis.Always_miss
+            else
+              (* Reuse the single-level classifier on the L2 states. *)
+              let classify_one =
+                let assoc = config.Config.assoc in
+                match a.target with
+                | Analysis.Unknown -> Analysis.Not_classified
+                | Analysis.Lines ls ->
+                    let live = List.filter (fun l -> not (bypass l)) ls in
+                    if live = [] then Analysis.Always_miss
+                    else if
+                      List.for_all (fun l -> Acs.contains_line must l) live
+                    then Analysis.Always_hit
+                    else if
+                      List.for_all
+                        (fun l ->
+                          (not (Acs.contains_line may l))
+                          && not
+                               (Acs.universe may
+                                  ~set:(Config.set_of_line config l)))
+                        live
+                    then Analysis.Always_miss
+                    else
+                      let persistent =
+                        match live with
+                        | [ l ] -> (
+                            match Acs.age_of_line pers l with
+                            | Some age -> age < assoc
+                            | None -> false)
+                        | _ -> false
+                      in
+                      if persistent then Analysis.Persistent
+                      else Analysis.Not_classified
+              in
+              classify_one
+          in
+          infos :=
+            {
+              instr = a.instr;
+              kind = a.kind;
+              target = a.target;
+              cac;
+              l2_class;
+              must_ages = ages_of config must a.target;
+              pers_ages = ages_of config pers a.target;
+            }
+            :: !infos;
+          let may = apply_l2 bypass may (a, cac) in
+          let must, pers = apply_l2_pers bypass (must, pers) (a, cac) in
+          replay must may pers rest
+    in
+    replay must_ins.(id) may_ins.(id) pers_ins.(id) tagged.(id)
+  done;
+  let infos =
+    List.sort (fun a b -> compare (a.instr, a.kind) (b.instr, b.kind)) !infos
+  in
+  let by_instr = Hashtbl.create 64 in
+  List.iter (fun i -> Hashtbl.replace by_instr (i.instr, i.kind) i) infos;
+  let unknown_target =
+    List.exists
+      (fun i -> i.cac <> Never && i.target = Analysis.Unknown)
+      infos
+  in
+  { config; infos; by_instr; unknown_target; bypass }
+
+let config t = t.config
+
+let find t kind instr =
+  match Hashtbl.find_opt t.by_instr (instr, kind) with
+  | Some i -> i
+  | None -> raise Not_found
+
+let classification t ?(kind = Analysis.Fetch) instr =
+  (find t kind instr).l2_class
+
+let cac t ?(kind = Analysis.Fetch) instr = (find t kind instr).cac
+
+let cac_of_l1_analysis l1 = cac_of_l1 l1
+let access_infos t = t.infos
+
+let persistent_miss_count t =
+  List.length
+    (List.filter (fun i -> i.l2_class = Analysis.Persistent) t.infos)
+
+let footprint t =
+  let counts = Array.make t.config.Config.sets 0 in
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun i ->
+      if i.cac <> Never then
+        match i.target with
+        | Analysis.Lines ls ->
+            List.iter
+              (fun l ->
+                if (not (t.bypass l)) && not (Hashtbl.mem seen l) then begin
+                  Hashtbl.add seen l ();
+                  let s = Config.set_of_line t.config l in
+                  counts.(s) <- counts.(s) + 1
+                end)
+              ls
+        | Analysis.Unknown -> ())
+    t.infos;
+  counts
+
+let uses_unknown_target t = t.unknown_target
+
+let single_usage_lines g loops ~l2_accesses =
+  let counts = Hashtbl.create 64 in
+  let n = Cfg.Graph.num_blocks g in
+  for id = 0 to n - 1 do
+    let in_loop = Cfg.Loops.loop_depth loops id > 0 in
+    (* A run of consecutive accesses to the same line within a block is
+       one use: only its first access can reach L2, the rest hit L1 by
+       spatial locality. *)
+    let last = ref (-1) in
+    List.iter
+      (fun (a : Analysis.access) ->
+        match a.target with
+        | Analysis.Lines [ l ] when l = !last && not in_loop -> ()
+        | Analysis.Lines ls ->
+            last := (match ls with [ l ] -> l | _ -> -1);
+            List.iter
+              (fun l ->
+                let prev =
+                  match Hashtbl.find_opt counts l with
+                  | Some c -> c
+                  | None -> 0
+                in
+                (* An access inside a loop counts as many. *)
+                Hashtbl.replace counts l (prev + if in_loop then 2 else 1))
+              ls
+        | Analysis.Unknown -> last := -1)
+      (l2_accesses id)
+  done;
+  Hashtbl.fold (fun l c acc -> if c = 1 then l :: acc else acc) counts []
+  |> List.sort compare

@@ -1,0 +1,47 @@
+type scheme = Columnization | Bankization
+
+type allocation = { scheme : scheme; shares : int list }
+
+let even_shares scheme (config : Config.t) ~parts =
+  let units =
+    match scheme with
+    | Columnization -> config.Config.assoc
+    | Bankization -> config.Config.sets
+  in
+  if parts <= 0 || parts > units then
+    invalid_arg "Partition.even_shares: too many partitions"
+  else begin
+    let base = units / parts and extra = units mod parts in
+    let shares = List.init parts (fun i -> base + if i < extra then 1 else 0) in
+    (* Bankization shares must keep power-of-two set counts; round down to
+       the nearest power of two. *)
+    let shares =
+      match scheme with
+      | Columnization -> shares
+      | Bankization ->
+          List.map
+            (fun s ->
+              let rec p2 acc = if acc * 2 <= s then p2 (acc * 2) else acc in
+              p2 1)
+            shares
+    in
+    { scheme; shares }
+  end
+
+let partition_config config alloc ~index =
+  match List.nth_opt alloc.shares index with
+  | None -> invalid_arg "Partition.partition_config: bad index"
+  | Some share -> (
+      match alloc.scheme with
+      | Columnization -> Config.columnize config ~ways:share
+      | Bankization ->
+          Config.bankize config ~share ~of_:config.Config.sets)
+
+let describe alloc =
+  let scheme =
+    match alloc.scheme with
+    | Columnization -> "columnization"
+    | Bankization -> "bankization"
+  in
+  Printf.sprintf "%s [%s]" scheme
+    (String.concat ";" (List.map string_of_int alloc.shares))

@@ -1,0 +1,34 @@
+(** Shared-cache partitioning schemes (Section 4.2 of the paper).
+
+    Partitioning turns interference analysis into private-cache analysis:
+    each core (or task) sees a smaller private cache and co-runner
+    conflicts vanish.
+
+    - Columnization = way partitioning (Paolieri et al.): each partition
+      keeps every set but owns a subset of the ways.
+    - Bankization = bank partitioning: each partition owns whole banks
+      (a subset of the sets), keeping the full associativity.
+
+    Allocation granularity:
+    - Core-based: every task of a core uses the core's whole partition.
+    - Task-based: each task owns a (smaller) private partition, sized by
+      dividing the core share among its tasks.  Suhendra & Mitra report
+      core-based wins; experiment T4 reproduces that comparison. *)
+
+type scheme = Columnization | Bankization
+
+type allocation = {
+  scheme : scheme;
+  shares : int list;  (** per partition, in declared order *)
+}
+
+val even_shares : scheme -> Config.t -> parts:int -> allocation
+(** Split ways (columnization) or banks (bankization) as evenly as the
+    geometry allows; every partition gets at least one unit.
+    @raise Invalid_argument if [parts] exceeds the available units. *)
+
+val partition_config : Config.t -> allocation -> index:int -> Config.t
+(** The private geometry seen by partition [index].
+    @raise Invalid_argument on out-of-range index. *)
+
+val describe : allocation -> string

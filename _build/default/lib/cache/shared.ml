@@ -1,0 +1,90 @@
+type conflicts = int array
+
+let no_conflicts (config : Config.t) = Array.make config.Config.sets 0
+
+let combine footprints (config : Config.t) =
+  let acc = Array.make config.Config.sets 0 in
+  List.iter
+    (fun fp ->
+      Array.iteri
+        (fun s c -> acc.(s) <- min config.Config.assoc (acc.(s) + c))
+        fp)
+    footprints;
+  acc
+
+let conflicts_of_corunners corunners (config : Config.t) =
+  let fps =
+    List.map
+      (fun m ->
+        if Multilevel.uses_unknown_target m then
+          (* Unknown addresses may conflict in every set. *)
+          Array.make config.Config.sets config.Config.assoc
+        else Multilevel.footprint m)
+      corunners
+  in
+  combine fps config
+
+let rank = function
+  | Analysis.Always_hit -> 0
+  | Analysis.Persistent -> 1
+  | Analysis.Not_classified -> 2
+  | Analysis.Always_miss -> 2
+(* AM is not "worse" than NC for WCET purposes; both cost a miss. *)
+
+let interfere m conflicts =
+  let config = Multilevel.config m in
+  let assoc = config.Config.assoc in
+  let conflict_of_line l = conflicts.(Config.set_of_line config l) in
+  List.map
+    (fun (i : Multilevel.access_info) ->
+      let adjusted =
+        match i.l2_class with
+        | Analysis.Always_miss -> Analysis.Always_miss
+        | Analysis.Not_classified -> Analysis.Not_classified
+        | Analysis.Always_hit ->
+            if i.cac = Multilevel.Never then Analysis.Always_hit
+              (* satisfied by private L1; L2 interference irrelevant *)
+            else if assoc = 1 then
+              (* Direct-mapped: any conflict destroys the guarantee. *)
+              if
+                List.exists (fun (l, _) -> conflict_of_line l > 0) i.must_ages
+              then Analysis.Not_classified
+              else Analysis.Always_hit
+            else if
+              List.for_all
+                (fun (l, age) ->
+                  match age with
+                  | Some a -> a + conflict_of_line l < assoc
+                  | None -> false)
+                i.must_ages
+            then Analysis.Always_hit
+            else Analysis.Not_classified
+        | Analysis.Persistent ->
+            if assoc = 1 then
+              if
+                List.exists (fun (l, _) -> conflict_of_line l > 0) i.pers_ages
+              then Analysis.Not_classified
+              else Analysis.Persistent
+            else if
+              List.for_all
+                (fun (l, age) ->
+                  match age with
+                  | Some a -> a + conflict_of_line l < assoc
+                  | None -> false)
+                i.pers_ages
+            then Analysis.Persistent
+            else Analysis.Not_classified
+      in
+      (i.instr, adjusted))
+    (Multilevel.access_infos m)
+
+let degraded_fraction ~before ~after =
+  let total = List.length before in
+  if total = 0 then 0.0
+  else
+    let worse =
+      List.fold_left2
+        (fun acc (_, b) (_, a) -> if rank a > rank b then acc + 1 else acc)
+        0 before after
+    in
+    float_of_int worse /. float_of_int total

@@ -1,0 +1,41 @@
+(** Joint analysis of a shared L2 cache under co-runner interference
+    (Section 4.1 of the paper).
+
+    Given the analyzed task's multilevel result and the L2 footprints of
+    its co-runners, the per-access classifications are degraded:
+
+    - Set-associative L2 (Hardy et al. / Li et al. style): every
+      co-runner line mapping to a set ages the task's lines in that set by
+      one; an [Always_hit] access whose must-age plus the conflict count
+      reaches the associativity becomes [Not_classified] (and similarly
+      for [Persistent]).
+    - Direct-mapped L2 (Yan & Zhang): any conflict in the set destroys
+      the classification outright.
+
+    [Always_miss] survives interference (co-runners touch disjoint
+    lines — they can evict, not install, the task's lines). *)
+
+type conflicts = int array
+(** Per L2 set: number of distinct foreign lines that may map there. *)
+
+val no_conflicts : Config.t -> conflicts
+
+val combine : conflicts list -> Config.t -> conflicts
+(** Sum of footprints, capped at the associativity per set (more
+    conflicting lines than ways cannot age a line further). *)
+
+val conflicts_of_corunners : Multilevel.t list -> Config.t -> conflicts
+(** Footprints of the co-running tasks (bypassed/never-L2 lines excluded).
+    A co-runner with a statically unknown L2 access is assumed to conflict
+    everywhere (whole-cache interference). *)
+
+val interfere :
+  Multilevel.t -> conflicts -> (int * Analysis.classification) list
+(** Adjusted L2 classification per instruction index. *)
+
+val degraded_fraction :
+  before:(int * Analysis.classification) list ->
+  after:(int * Analysis.classification) list ->
+  float
+(** Fraction of accesses whose classification got strictly worse —
+    the scalability metric of the joint approach. *)

@@ -1,0 +1,1 @@
+lib/cfg/block.ml: Format Isa List

@@ -1,0 +1,1 @@
+lib/cfg/callgraph.ml: Graph Hashtbl Isa List

@@ -1,0 +1,1 @@
+lib/cfg/callgraph.mli: Graph Isa

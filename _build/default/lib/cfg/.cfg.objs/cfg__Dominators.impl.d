@@ -1,0 +1,1 @@
+lib/cfg/dominators.ml: Array Block Graph List

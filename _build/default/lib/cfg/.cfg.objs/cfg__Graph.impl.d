@@ -1,0 +1,1 @@
+lib/cfg/graph.ml: Array Block Buffer Format Isa List Printf String

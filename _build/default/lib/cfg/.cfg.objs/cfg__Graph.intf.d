@@ -1,0 +1,1 @@
+lib/cfg/graph.mli: Block Format Isa

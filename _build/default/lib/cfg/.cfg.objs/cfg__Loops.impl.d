@@ -1,0 +1,1 @@
+lib/cfg/loops.ml: Array Block Dominators Graph Hashtbl List Printf

@@ -1,0 +1,16 @@
+type id = int
+
+type t = { id : id; first : int; last : int }
+
+let instr_indices t =
+  let rec go i acc = if i < t.first then acc else go (i - 1) (i :: acc) in
+  go t.last []
+
+let length t = t.last - t.first + 1
+
+let instrs program t =
+  List.map (Isa.Program.instr program) (instr_indices t)
+
+let terminator program t = Isa.Program.instr program t.last
+
+let pp ppf t = Format.fprintf ppf "B%d[%d..%d]" t.id t.first t.last

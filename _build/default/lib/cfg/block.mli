@@ -1,0 +1,23 @@
+(** Basic blocks.
+
+    A block is a maximal straight-line instruction range [first..last]
+    (inclusive instruction indices into the program).  Blocks are the unit
+    of the low-level timing analysis: cache classifications and pipeline
+    costs are attached per block, and IPET counts block executions. *)
+
+type id = int
+(** Dense block identifier within one {!Graph.t}. *)
+
+type t = { id : id; first : int; last : int }
+
+val instr_indices : t -> int list
+(** [first; first+1; ...; last]. *)
+
+val length : t -> int
+
+val instrs : Isa.Program.t -> t -> Isa.Instr.t list
+
+val terminator : Isa.Program.t -> t -> Isa.Instr.t
+(** The last instruction of the block. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,56 @@
+type t = {
+  program : Isa.Program.t;
+  procedures : (string * Graph.t) list;
+  root : string;
+}
+
+exception Recursive of string list
+
+let root_label program =
+  match Isa.Program.label_at program program.Isa.Program.entry with
+  | Some l -> l
+  | None ->
+      (* The entry instruction carries no label; synthesize one is not
+         possible on an immutable program, so require a label. *)
+      invalid_arg "Callgraph.build: program entry has no label"
+
+let build program =
+  let root = root_label program in
+  let graphs = Hashtbl.create 8 in
+  let order = ref [] in
+  (* DFS with an explicit path for cycle reporting; postorder gives the
+     bottom-up list. *)
+  let rec visit path name =
+    if List.mem name path then begin
+      let rec cycle = function
+        | [] -> [ name ]
+        | x :: _ when x = name -> [ x; name ]
+        | x :: rest -> x :: cycle rest
+      in
+      raise (Recursive (List.rev (cycle path)))
+    end;
+    if not (Hashtbl.mem graphs name) then begin
+      let g = Graph.build program ~entry:name in
+      Hashtbl.add graphs name g;
+      let callees =
+        List.sort_uniq compare (List.map snd g.Graph.calls)
+      in
+      List.iter (visit (name :: path)) callees;
+      order := name :: !order
+    end
+  in
+  visit [] root;
+  (* [!order] lists the root first (it is pushed last); reversing it gives
+     the bottom-up order with callees before callers. *)
+  let procedures =
+    List.rev_map (fun name -> (name, Hashtbl.find graphs name)) !order
+  in
+  { program; procedures; root }
+
+let graph t name = List.assoc name t.procedures
+
+let bottom_up t = t.procedures
+
+let callees t name =
+  let g = graph t name in
+  List.sort_uniq compare (List.map snd g.Graph.calls)

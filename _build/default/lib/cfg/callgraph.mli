@@ -1,0 +1,28 @@
+(** Call graph over procedure CFGs.
+
+    Procedures are discovered transitively from the program entry.  The
+    WCET analysis composes per-procedure results bottom-up, so recursion
+    (direct or mutual) is rejected — exactly the restriction MISRA-C rule
+    16.2 imposes on analysable embedded code. *)
+
+type t = private {
+  program : Isa.Program.t;
+  procedures : (string * Graph.t) list;  (** in bottom-up order *)
+  root : string;
+}
+
+exception Recursive of string list
+(** A call cycle, as the list of procedure names involved. *)
+
+val build : Isa.Program.t -> t
+(** Root is the program entry label (or the entry index's label).
+    @raise Recursive on call cycles. *)
+
+val graph : t -> string -> Graph.t
+(** @raise Not_found for unknown procedures. *)
+
+val bottom_up : t -> (string * Graph.t) list
+(** Callees before callers; the root is last. *)
+
+val callees : t -> string -> string list
+(** Distinct direct callees. *)

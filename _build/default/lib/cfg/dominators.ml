@@ -1,0 +1,58 @@
+type t = { idom : int array; entry : Block.id }
+
+let compute g =
+  let n = Graph.num_blocks g in
+  let rpo = Graph.reverse_postorder g in
+  let rpo_num = Array.make n (-1) in
+  List.iteri (fun i id -> rpo_num.(id) <- i) rpo;
+  let idom = Array.make n (-1) in
+  let entry = g.Graph.entry in
+  idom.(entry) <- entry;
+  let rec intersect a b =
+    if a = b then a
+    else if rpo_num.(a) > rpo_num.(b) then intersect idom.(a) b
+    else intersect a idom.(b)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun id ->
+        if id <> entry then begin
+          let processed_preds =
+            List.filter
+              (fun (e : Graph.edge) -> idom.(e.src) >= 0)
+              (Graph.preds g id)
+          in
+          match processed_preds with
+          | [] -> ()
+          | first :: rest ->
+              let new_idom =
+                List.fold_left
+                  (fun acc (e : Graph.edge) -> intersect acc e.src)
+                  first.Graph.src rest
+              in
+              if idom.(id) <> new_idom then begin
+                idom.(id) <- new_idom;
+                changed := true
+              end
+        end)
+      rpo
+  done;
+  { idom; entry }
+
+let idom t id =
+  if id = t.entry then None
+  else if t.idom.(id) < 0 then None (* unreachable *)
+  else Some t.idom.(id)
+
+let dominators t id =
+  let rec up id acc =
+    if id = t.entry then List.rev (t.entry :: acc)
+    else up t.idom.(id) (id :: acc)
+  in
+  if t.idom.(id) < 0 && id <> t.entry then [] else up id []
+
+let dominates t a b =
+  let rec up id = id = a || (id <> t.entry && up t.idom.(id)) in
+  if t.idom.(b) < 0 && b <> t.entry then false else up b

@@ -1,0 +1,20 @@
+(** Dominator analysis (iterative Cooper–Harvey–Kennedy algorithm).
+
+    Needed by loop detection: an edge [s -> h] is a back edge iff [h]
+    dominates [s]; loops whose entries violate this are irreducible and are
+    rejected by the WCET analysis (as in binary-level industrial tools,
+    which require manual annotations for them). *)
+
+type t
+
+val compute : Graph.t -> t
+
+val idom : t -> Block.id -> Block.id option
+(** Immediate dominator; [None] for the entry block. *)
+
+val dominates : t -> Block.id -> Block.id -> bool
+(** [dominates t a b] iff every path from the entry to [b] goes through
+    [a].  Reflexive. *)
+
+val dominators : t -> Block.id -> Block.id list
+(** All dominators of a block, from the block itself up to the entry. *)

@@ -1,0 +1,220 @@
+type edge_kind = Taken | Fallthrough
+
+type edge = { src : Block.id; dst : Block.id; kind : edge_kind }
+
+type t = {
+  program : Isa.Program.t;
+  name : string;
+  entry_index : int;
+  blocks : Block.t array;
+  succs : edge list array;
+  preds : edge list array;
+  entry : Block.id;
+  exits : Block.id list;
+  calls : (Block.id * string) list;
+}
+
+(* Intraprocedural successors of instruction [i] (instruction indices).
+   [Call] falls through; [Ret]/[Halt] have none. *)
+let instr_succs program i =
+  let n = Isa.Program.length program in
+  let next = if i + 1 < n then [ i + 1 ] else [] in
+  match Isa.Program.instr program i with
+  | Isa.Instr.Branch (_, _, _, l) ->
+      let t = Isa.Program.label_index program l in
+      if List.mem t next then next else t :: next
+  | Isa.Instr.Jump l -> [ Isa.Program.label_index program l ]
+  | Isa.Instr.Ret | Isa.Instr.Halt -> []
+  | Isa.Instr.Call _ | Isa.Instr.Alu _ | Isa.Instr.Alui _
+  | Isa.Instr.Load _ | Isa.Instr.Store _ | Isa.Instr.Nop ->
+      next
+
+let falls_off_end program i =
+  (not (Isa.Instr.is_control (Isa.Program.instr program i)))
+  && i + 1 >= Isa.Program.length program
+
+let build program ~entry =
+  let entry_index = Isa.Program.label_index program entry in
+  let n = Isa.Program.length program in
+  (* Reachable instructions from the entry (intraprocedural). *)
+  let reachable = Array.make n false in
+  let rec trace i =
+    if not reachable.(i) then begin
+      reachable.(i) <- true;
+      if falls_off_end program i then
+        invalid_arg
+          (Printf.sprintf "Graph.build: %s: instruction %d falls off the end"
+             entry i);
+      List.iter trace (instr_succs program i)
+    end
+  in
+  trace entry_index;
+  (* Leaders: the entry, every reachable branch/jump target, and every
+     reachable instruction following a control instruction. *)
+  let leader = Array.make n false in
+  leader.(entry_index) <- true;
+  for i = 0 to n - 1 do
+    if reachable.(i) then begin
+      (match Isa.Program.instr program i with
+      | Isa.Instr.Branch (_, _, _, l) | Isa.Instr.Jump l ->
+          let t = Isa.Program.label_index program l in
+          if reachable.(t) then leader.(t) <- true
+      | Isa.Instr.Call _ | Isa.Instr.Alu _ | Isa.Instr.Alui _
+      | Isa.Instr.Load _ | Isa.Instr.Store _ | Isa.Instr.Ret
+      | Isa.Instr.Nop | Isa.Instr.Halt ->
+          ());
+      if Isa.Instr.is_control (Isa.Program.instr program i) && i + 1 < n
+      then if reachable.(i + 1) then leader.(i + 1) <- true
+    end
+  done;
+  (* Carve blocks: from each leader to the next leader or control instr. *)
+  let blocks = ref [] in
+  let block_of = Array.make n (-1) in
+  let next_id = ref 0 in
+  for i = 0 to n - 1 do
+    if reachable.(i) && leader.(i) then begin
+      let rec extend j =
+        if
+          Isa.Instr.is_control (Isa.Program.instr program j)
+          || j + 1 >= n
+          || (not reachable.(j + 1))
+          || leader.(j + 1)
+        then j
+        else extend (j + 1)
+      in
+      let last = extend i in
+      let id = !next_id in
+      incr next_id;
+      blocks := { Block.id; first = i; last } :: !blocks;
+      for k = i to last do
+        block_of.(k) <- id
+      done
+    end
+  done;
+  let blocks = Array.of_list (List.rev !blocks) in
+  let nb = Array.length blocks in
+  let succs = Array.make nb [] and preds = Array.make nb [] in
+  let exits = ref [] and calls = ref [] in
+  Array.iter
+    (fun (b : Block.t) ->
+      let term = b.last in
+      (match Isa.Program.instr program term with
+      | Isa.Instr.Ret | Isa.Instr.Halt -> exits := b.id :: !exits
+      | Isa.Instr.Call l -> calls := (b.id, l) :: !calls
+      | Isa.Instr.Branch _ | Isa.Instr.Jump _ | Isa.Instr.Alu _
+      | Isa.Instr.Alui _ | Isa.Instr.Load _ | Isa.Instr.Store _
+      | Isa.Instr.Nop ->
+          ());
+      let add kind dst_instr =
+        let dst = block_of.(dst_instr) in
+        assert (dst >= 0);
+        let e = { src = b.id; dst; kind } in
+        succs.(b.id) <- e :: succs.(b.id);
+        preds.(dst) <- e :: preds.(dst)
+      in
+      match Isa.Program.instr program term with
+      | Isa.Instr.Branch (_, _, _, l) ->
+          let tgt = Isa.Program.label_index program l in
+          add Taken tgt;
+          if term + 1 < n && tgt <> term + 1 then add Fallthrough (term + 1)
+          else if tgt = term + 1 then () (* degenerate branch-to-next *)
+      | Isa.Instr.Jump l -> add Taken (Isa.Program.label_index program l)
+      | Isa.Instr.Ret | Isa.Instr.Halt -> ()
+      | Isa.Instr.Call _ | Isa.Instr.Alu _ | Isa.Instr.Alui _
+      | Isa.Instr.Load _ | Isa.Instr.Store _ | Isa.Instr.Nop ->
+          if term + 1 < n then add Fallthrough (term + 1))
+    blocks;
+  (* A conditional branch whose target is the next instruction generated
+     only one edge; treat the degenerate case as an unconditional edge. *)
+  {
+    program;
+    name = entry;
+    entry_index;
+    blocks;
+    succs = Array.map List.rev succs;
+    preds = Array.map List.rev preds;
+    entry = block_of.(entry_index);
+    exits = List.rev !exits;
+    calls = List.rev !calls;
+  }
+
+let num_blocks t = Array.length t.blocks
+let block t id = t.blocks.(id)
+let succs t id = t.succs.(id)
+let preds t id = t.preds.(id)
+
+let block_of_instr t i =
+  let rec find k =
+    if k >= Array.length t.blocks then None
+    else
+      let b = t.blocks.(k) in
+      if i >= b.Block.first && i <= b.Block.last then Some b.Block.id
+      else find (k + 1)
+  in
+  find 0
+
+let callee_of_block t id = List.assoc_opt id t.calls
+
+let reverse_postorder t =
+  let n = num_blocks t in
+  let visited = Array.make n false in
+  let order = ref [] in
+  let rec dfs id =
+    if not visited.(id) then begin
+      visited.(id) <- true;
+      List.iter (fun e -> dfs e.dst) t.succs.(id);
+      order := id :: !order
+    end
+  in
+  dfs t.entry;
+  !order
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>cfg %s (entry B%d):@," t.name t.entry;
+  Array.iter
+    (fun (b : Block.t) ->
+      let succ_str =
+        String.concat ","
+          (List.map
+             (fun e ->
+               Printf.sprintf "B%d%s" e.dst
+                 (match e.kind with Taken -> "(t)" | Fallthrough -> ""))
+             t.succs.(b.Block.id))
+      in
+      Format.fprintf ppf "  %a -> [%s]@," Block.pp b succ_str)
+    t.blocks;
+  Format.fprintf ppf "@]"
+
+let to_dot ?(block_label = fun _ -> "") t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "digraph %S {\n  node [shape=box, fontname=monospace];\n"
+       t.name);
+  Array.iter
+    (fun (b : Block.t) ->
+      let instrs =
+        String.concat "\\l"
+          (List.map
+             (fun i -> Isa.Instr.to_string (Isa.Program.instr t.program i))
+             (Block.instr_indices b))
+      in
+      let extra = block_label b.Block.id in
+      Buffer.add_string buf
+        (Printf.sprintf "  b%d [label=\"B%d%s\\l%s\\l\"];\n" b.Block.id
+           b.Block.id
+           (if extra = "" then "" else " " ^ extra)
+           instrs))
+    t.blocks;
+  Array.iter
+    (fun edges ->
+      List.iter
+        (fun e ->
+          Buffer.add_string buf
+            (Printf.sprintf "  b%d -> b%d%s;\n" e.src e.dst
+               (match e.kind with
+               | Taken -> " [label=\"T\"]"
+               | Fallthrough -> "")))
+        edges)
+    t.succs;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

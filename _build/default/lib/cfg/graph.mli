@@ -1,0 +1,50 @@
+(** Control-flow graph reconstruction.
+
+    One graph per procedure.  Reconstruction traces reachable instructions
+    from the procedure entry, treating [Call] as a fall-through instruction
+    (the callee has its own graph; the {!Callgraph} ties them together) and
+    stopping at [Ret]/[Halt].  This mirrors binary-level CFG reconstruction
+    in static WCET analyzers. *)
+
+type edge_kind = Taken | Fallthrough
+
+type edge = { src : Block.id; dst : Block.id; kind : edge_kind }
+
+type t = private {
+  program : Isa.Program.t;
+  name : string;  (** procedure name (entry label) *)
+  entry_index : int;  (** instruction index of the procedure entry *)
+  blocks : Block.t array;  (** indexed by {!Block.id} *)
+  succs : edge list array;
+  preds : edge list array;
+  entry : Block.id;
+  exits : Block.id list;  (** blocks ending in [Ret] or [Halt] *)
+  calls : (Block.id * string) list;
+      (** blocks whose terminator is [Call], with the callee label *)
+}
+
+val build : Isa.Program.t -> entry:string -> t
+(** @raise Not_found if [entry] is not a label of the program.
+    @raise Invalid_argument if reconstruction reaches code that falls off
+    the end of the program. *)
+
+val num_blocks : t -> int
+val block : t -> Block.id -> Block.t
+val succs : t -> Block.id -> edge list
+val preds : t -> Block.id -> edge list
+
+val block_of_instr : t -> int -> Block.id option
+(** Block containing the given instruction index, if the instruction is
+    reachable in this procedure. *)
+
+val callee_of_block : t -> Block.id -> string option
+
+val reverse_postorder : t -> Block.id list
+(** Order suitable for forward dataflow iteration. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_dot :
+  ?block_label:(Block.id -> string) -> t -> string
+(** Graphviz rendering of the CFG; [block_label] appends extra per-block
+    text (e.g. WCET costs or execution counts). *)

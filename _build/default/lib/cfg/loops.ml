@@ -1,0 +1,140 @@
+type loop = {
+  header : Block.id;
+  body : Block.id list;
+  back_edges : Graph.edge list;
+  entry_edges : Graph.edge list;
+  depth : int;
+  parent : Block.id option;
+}
+
+type t = { loops : loop list; depth_of : int array }
+
+exception Irreducible of string
+
+(* The body of a natural loop: header plus all blocks that reach a
+   back-edge source without passing through the header. *)
+let natural_loop_body g header back_srcs =
+  let n = Graph.num_blocks g in
+  let in_body = Array.make n false in
+  in_body.(header) <- true;
+  let rec pull id =
+    if not in_body.(id) then begin
+      in_body.(id) <- true;
+      List.iter (fun (e : Graph.edge) -> pull e.src) (Graph.preds g id)
+    end
+  in
+  List.iter pull back_srcs;
+  let body = ref [] in
+  for id = n - 1 downto 0 do
+    if in_body.(id) then body := id :: !body
+  done;
+  !body
+
+(* Irreducibility: after removing all dominance back edges, the remaining
+   graph must be acyclic. *)
+let check_reducible g dom =
+  let n = Graph.num_blocks g in
+  let color = Array.make n 0 in
+  (* 0 white, 1 grey, 2 black *)
+  let rec dfs id =
+    color.(id) <- 1;
+    List.iter
+      (fun (e : Graph.edge) ->
+        let is_back = Dominators.dominates dom e.dst e.src in
+        if not is_back then
+          if color.(e.dst) = 1 then
+            raise
+              (Irreducible
+                 (Printf.sprintf
+                    "cycle through B%d not reducible to a natural loop"
+                    e.dst))
+          else if color.(e.dst) = 0 then dfs e.dst)
+      (Graph.succs g id);
+    color.(id) <- 2
+  in
+  for id = 0 to n - 1 do
+    if color.(id) = 0 then dfs id
+  done
+
+let analyze g dom =
+  check_reducible g dom;
+  let n = Graph.num_blocks g in
+  (* Group back edges by header. *)
+  let back_by_header = Hashtbl.create 8 in
+  for id = 0 to n - 1 do
+    List.iter
+      (fun (e : Graph.edge) ->
+        if Dominators.dominates dom e.dst e.src then
+          Hashtbl.replace back_by_header e.dst
+            (e
+            :: (match Hashtbl.find_opt back_by_header e.dst with
+               | Some l -> l
+               | None -> [])))
+      (Graph.succs g id)
+  done;
+  let headers = Hashtbl.fold (fun h _ acc -> h :: acc) back_by_header [] in
+  let headers = List.sort compare headers in
+  let raw =
+    List.map
+      (fun header ->
+        let back_edges = Hashtbl.find back_by_header header in
+        let srcs = List.map (fun (e : Graph.edge) -> e.src) back_edges in
+        let body = natural_loop_body g header srcs in
+        let entry_edges =
+          List.filter
+            (fun (e : Graph.edge) -> not (List.mem e.src body))
+            (Graph.preds g header)
+        in
+        (header, body, back_edges, entry_edges))
+      headers
+  in
+  (* Nesting: loop H1 encloses H2 if H2's header is in H1's body. *)
+  let encloses (h1, body1, _, _) (h2, _, _, _) =
+    h1 <> h2 && List.mem h2 body1
+  in
+  let loops =
+    List.map
+      (fun ((header, body, back_edges, entry_edges) as l) ->
+        let enclosing = List.filter (fun l' -> encloses l' l) raw in
+        let depth = 1 + List.length enclosing in
+        (* The innermost enclosing loop is the one with the largest depth,
+           i.e. the smallest body. *)
+        let parent =
+          match
+            List.sort
+              (fun (_, b1, _, _) (_, b2, _, _) ->
+                compare (List.length b1) (List.length b2))
+              enclosing
+          with
+          | [] -> None
+          | (h, _, _, _) :: _ -> Some h
+        in
+        { header; body; back_edges; entry_edges; depth; parent })
+      raw
+  in
+  let depth_of = Array.make n 0 in
+  List.iter
+    (fun l ->
+      List.iter
+        (fun id -> if l.depth > depth_of.(id) then depth_of.(id) <- l.depth)
+        l.body)
+    loops;
+  let loops =
+    List.sort (fun a b -> compare (a.depth, a.header) (b.depth, b.header))
+      loops
+  in
+  { loops; depth_of }
+
+let loops t = t.loops
+
+let loop_of_header t h = List.find_opt (fun l -> l.header = h) t.loops
+
+let innermost_containing t id =
+  let containing = List.filter (fun l -> List.mem id l.body) t.loops in
+  match
+    List.sort (fun a b -> compare b.depth a.depth) containing
+  with
+  | [] -> None
+  | l :: _ -> Some l
+
+let loop_depth t id = t.depth_of.(id)

@@ -1,0 +1,36 @@
+(** Natural-loop detection and irreducibility checking.
+
+    Loop structure drives the IPET loop-bound constraints: for each loop,
+    the total count of back-edge traversals is bounded by
+    [bound * (entry-edge traversals)], which handles nested loops
+    correctly. *)
+
+type loop = {
+  header : Block.id;
+  body : Block.id list;  (** includes the header; sorted *)
+  back_edges : Graph.edge list;  (** edges [s -> header] with [header] dominating [s] *)
+  entry_edges : Graph.edge list;  (** edges into the header from outside the body *)
+  depth : int;  (** 1 = outermost *)
+  parent : Block.id option;  (** header of the enclosing loop, if nested *)
+}
+
+type t
+
+exception Irreducible of string
+(** Raised by {!analyze} when the CFG contains a cycle not headed by a
+    dominating header (e.g. built from [goto]-style multi-entry loops).
+    Industrial WCET tools reject these too — there is no sound automatic
+    bound for them. *)
+
+val analyze : Graph.t -> Dominators.t -> t
+(** @raise Irreducible on multi-entry loops. *)
+
+val loops : t -> loop list
+(** Outermost first, then by header id. *)
+
+val loop_of_header : t -> Block.id -> loop option
+
+val innermost_containing : t -> Block.id -> loop option
+
+val loop_depth : t -> Block.id -> int
+(** 0 when the block is in no loop. *)

@@ -1,0 +1,1 @@
+lib/core/bcet.ml: Cfg Dataflow Float Hashtbl Ipet Isa List Pipeline Platform Printf String Wcet

@@ -1,0 +1,1 @@
+lib/core/bcet.mli: Dataflow Ipet Isa Platform

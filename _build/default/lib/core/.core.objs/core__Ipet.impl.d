@@ -1,0 +1,1 @@
+lib/core/ipet.ml: Array Cfg Dataflow Hashtbl List Lp Printf

@@ -1,0 +1,1 @@
+lib/core/ipet.mli: Cfg Dataflow

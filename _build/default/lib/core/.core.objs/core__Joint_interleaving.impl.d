@@ -1,0 +1,1 @@
+lib/core/joint_interleaving.ml: Array Cfg Hashtbl List Queue

@@ -1,0 +1,1 @@
+lib/core/joint_interleaving.mli: Cfg

@@ -1,0 +1,1 @@
+lib/core/multicore.ml: Array Cache Cfg Dataflow Hashtbl Interconnect Ipet Isa List Option Pipeline Platform Sim Wcet

@@ -1,0 +1,1 @@
+lib/core/multicore.mli: Cache Dataflow Interconnect Isa Pipeline Sim Wcet

@@ -1,0 +1,1 @@
+lib/core/platform.ml: Cache Cfg Interconnect Pipeline Printf

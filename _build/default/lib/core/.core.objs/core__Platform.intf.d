@@ -1,0 +1,1 @@
+lib/core/platform.mli: Cache Cfg Interconnect Pipeline

@@ -1,0 +1,1 @@
+lib/core/predictability.ml: Array Interconnect List Sim

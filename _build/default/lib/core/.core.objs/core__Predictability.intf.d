@@ -1,0 +1,1 @@
+lib/core/predictability.mli: Isa Sim

@@ -1,0 +1,1 @@
+lib/core/report.ml: Array Buffer Cache Cfg Dataflow Hashtbl Interconnect Ipet Isa List Platform Printf Wcet

@@ -1,0 +1,1 @@
+lib/core/response_time.ml: Array List Multicore Option

@@ -1,0 +1,1 @@
+lib/core/wcet.ml: Array Cache Cfg Dataflow Hashtbl Ipet Isa List Option Pipeline Platform Printf String

@@ -1,0 +1,1 @@
+lib/core/wcet.mli: Cache Dataflow Ipet Isa Platform

@@ -1,0 +1,93 @@
+type proc_result = { name : string; bcet : int; ipet : Ipet.result }
+
+type t = {
+  program : Isa.Program.t;
+  procs : (string * proc_result) list;
+  bcet : int;
+}
+
+(* Optimistic per-instruction cost: one-cycle fetch, one-cycle memory
+   (L1 hit), no bus wait, branches fall through (no redirect penalty);
+   unconditional transfers still pay the redirect. *)
+let best_exec_cost (lat : Pipeline.Latencies.t) = function
+  | Isa.Instr.Alu (op, _, _, _) | Isa.Instr.Alui (op, _, _, _) -> (
+      match op with
+      | Isa.Instr.Mul -> lat.Pipeline.Latencies.mul
+      | Isa.Instr.Div | Isa.Instr.Rem -> lat.Pipeline.Latencies.div
+      | Isa.Instr.Add | Isa.Instr.Sub | Isa.Instr.And | Isa.Instr.Or
+      | Isa.Instr.Xor | Isa.Instr.Sll | Isa.Instr.Srl | Isa.Instr.Slt ->
+          lat.Pipeline.Latencies.base)
+  | Isa.Instr.Branch _ -> lat.Pipeline.Latencies.base
+  | Isa.Instr.Jump _ | Isa.Instr.Call _ | Isa.Instr.Ret ->
+      lat.Pipeline.Latencies.base + lat.Pipeline.Latencies.branch_penalty
+  | Isa.Instr.Load _ | Isa.Instr.Store _ | Isa.Instr.Nop | Isa.Instr.Halt ->
+      lat.Pipeline.Latencies.base
+
+let best_block_cost (lat : Pipeline.Latencies.t) g id =
+  let b = Cfg.Graph.block g id in
+  List.fold_left
+    (fun acc i ->
+      let ins = Isa.Program.instr g.Cfg.Graph.program i in
+      let mem =
+        match ins with
+        | Isa.Instr.Load (sp, _, _, _) | Isa.Instr.Store (sp, _, _, _) ->
+            if Isa.Layout.is_cacheable sp then lat.Pipeline.Latencies.l1_hit
+            else lat.Pipeline.Latencies.io
+        | _ -> 0
+      in
+      acc + best_exec_cost lat ins + lat.Pipeline.Latencies.l1_hit + mem)
+    0
+    (Cfg.Block.instr_indices b)
+
+let analyze ?(annot = Dataflow.Annot.empty) (platform : Platform.t) program =
+  let fail fmt =
+    Printf.ksprintf (fun s -> raise (Wcet.Not_analysable s)) fmt
+  in
+  let lat = platform.Platform.latencies in
+  let callgraph =
+    try Cfg.Callgraph.build program with
+    | Cfg.Callgraph.Recursive cycle ->
+        fail "recursive call cycle: %s" (String.concat " -> " cycle)
+    | Invalid_argument msg -> fail "%s" msg
+  in
+  let clobbers = Dataflow.Clobbers.compute callgraph in
+  let call_clobbers = Dataflow.Clobbers.clobbered clobbers in
+  let results = Hashtbl.create 8 in
+  let procs =
+    List.map
+      (fun (name, g) ->
+        let dom = Cfg.Dominators.compute g in
+        let loops =
+          try Cfg.Loops.analyze g dom
+          with Cfg.Loops.Irreducible msg -> fail "%s: %s" name msg
+        in
+        let va = Dataflow.Value_analysis.analyze ~call_clobbers g in
+        let loop_bounds =
+          try Dataflow.Loop_bounds.infer ~call_clobbers g dom loops va annot
+          with Dataflow.Loop_bounds.Unbounded msg -> fail "%s" msg
+        in
+        let block_cost id =
+          let base = best_block_cost lat g id in
+          match Cfg.Graph.callee_of_block g id with
+          | Some callee -> (
+              match Hashtbl.find_opt results callee with
+              | Some (r : proc_result) -> base + r.bcet
+              | None -> fail "callee %s analyzed out of order" callee)
+          | None -> base
+        in
+        let ipet =
+          try
+            Ipet.solve g ~loop_bounds ~block_cost ~direction:`Minimize ()
+          with Ipet.Flow_infeasible msg -> fail "%s: %s" name msg
+        in
+        let r = { name; bcet = ipet.Ipet.wcet; ipet } in
+        Hashtbl.replace results name r;
+        (name, r))
+      (Cfg.Callgraph.bottom_up callgraph)
+  in
+  let root = List.assoc callgraph.Cfg.Callgraph.root procs in
+  { program; procs; bcet = root.bcet }
+
+let analytic_quotient ~bcet ~wcet =
+  if wcet <= 0 then 1.0
+  else Float.max 0.0 (Float.min 1.0 (float_of_int bcet /. float_of_int wcet))

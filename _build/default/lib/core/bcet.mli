@@ -1,0 +1,31 @@
+(** Best-case execution time (BCET) analysis.
+
+    Li et al.'s shared-cache framework (Section 4.1 of the paper) is
+    iterative over *both* bounds: "each iteration estimates the BCET and
+    WCET of each task".  The BCET here is a sound lower bound computed
+    from optimistic block costs — every memory access hits the L1 in one
+    cycle, the bus never delays, conditional branches fall through — and
+    IPET minimization with the loops' guaranteed minimum trip counts.
+
+    Together with {!Wcet}, this also yields the *analytic* predictability
+    quotient BCET/WCET of Grund et al.'s template, comparable against the
+    measured quotients of {!Predictability}. *)
+
+type proc_result = {
+  name : string;
+  bcet : int;  (** includes callee BCETs *)
+  ipet : Ipet.result;
+}
+
+type t = {
+  program : Isa.Program.t;
+  procs : (string * proc_result) list;
+  bcet : int;
+}
+
+val analyze : ?annot:Dataflow.Annot.t -> Platform.t -> Isa.Program.t -> t
+(** @raise Wcet.Not_analysable on the same conditions as {!Wcet.analyze}
+    (the flow facts are shared). *)
+
+val analytic_quotient : bcet:int -> wcet:int -> float
+(** [bcet / wcet], clamped to [0, 1]. *)

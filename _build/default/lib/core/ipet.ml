@@ -1,0 +1,113 @@
+type result = { wcet : int; block_counts : int array }
+
+exception Flow_infeasible of string
+
+let solve g ~loop_bounds ~block_cost ?(mutually_exclusive = [])
+    ?(direction = `Maximize) () =
+  let n = Cfg.Graph.num_blocks g in
+  let m = Lp.Model.create () in
+  (* One variable per CFG edge, plus a virtual entry edge. *)
+  let edge_vars = Hashtbl.create 32 in
+  let edge_var (e : Cfg.Graph.edge) =
+    let key = (e.src, e.dst, e.kind) in
+    match Hashtbl.find_opt edge_vars key with
+    | Some v -> v
+    | None ->
+        let v =
+          Lp.Model.add_var m ~name:(Printf.sprintf "e%d_%d" e.src e.dst)
+        in
+        Hashtbl.add edge_vars key v;
+        v
+  in
+  let entry_var = Lp.Model.add_var m ~name:"entry" in
+  (* Virtual exit edges keep conservation exact on exit blocks. *)
+  let exit_vars =
+    List.map
+      (fun id -> (id, Lp.Model.add_var m ~name:(Printf.sprintf "exit%d" id)))
+      g.Cfg.Graph.exits
+  in
+  let one = Lp.Q.one and neg = Lp.Q.minus_one in
+  Lp.Model.add_constraint m [ (one, entry_var) ] Lp.Model.Eq Lp.Q.one;
+  (* Incoming terms per block (the block's execution count). *)
+  let in_terms id =
+    let preds = List.map (fun e -> (one, edge_var e)) (Cfg.Graph.preds g id) in
+    if id = g.Cfg.Graph.entry then (one, entry_var) :: preds else preds
+  in
+  let out_terms id =
+    let succs =
+      List.map (fun e -> (neg, edge_var e)) (Cfg.Graph.succs g id)
+    in
+    match List.assoc_opt id exit_vars with
+    | Some v -> (neg, v) :: succs
+    | None -> succs
+  in
+  for id = 0 to n - 1 do
+    Lp.Model.add_constraint m (in_terms id @ out_terms id) Lp.Model.Eq
+      Lp.Q.zero
+  done;
+  (* Loop bounds: sum(back) <= max_bound * sum(entry edges), and for the
+     best-case direction also sum(back) >= min_bound * sum(entries). *)
+  let dom = Cfg.Dominators.compute g in
+  let loops = Cfg.Loops.analyze g dom in
+  List.iter
+    (fun (b : Dataflow.Loop_bounds.bound) ->
+      match Cfg.Loops.loop_of_header loops b.Dataflow.Loop_bounds.header with
+      | None -> ()
+      | Some l ->
+          let backs =
+            List.map (fun e -> (one, edge_var e)) l.Cfg.Loops.back_edges
+          in
+          let entries coef =
+            List.map
+              (fun e -> (Lp.Q.of_int coef, edge_var e))
+              l.Cfg.Loops.entry_edges
+          in
+          Lp.Model.add_constraint m
+            (backs @ entries (-b.Dataflow.Loop_bounds.max_back_edges))
+            Lp.Model.Le Lp.Q.zero;
+          if direction = `Minimize && b.Dataflow.Loop_bounds.min_back_edges > 0
+          then
+            Lp.Model.add_constraint m
+              (backs @ entries (-b.Dataflow.Loop_bounds.min_back_edges))
+              Lp.Model.Ge Lp.Q.zero)
+    loop_bounds;
+  (* Mutually exclusive straight-line blocks: x_a + x_b <= 1. *)
+  List.iter
+    (fun (a, b) ->
+      if Cfg.Loops.loop_depth loops a > 0 || Cfg.Loops.loop_depth loops b > 0
+      then
+        invalid_arg "Ipet.solve: mutually-exclusive blocks must be loop-free"
+      else
+        Lp.Model.add_constraint m
+          (in_terms a @ in_terms b)
+          Lp.Model.Le Lp.Q.one)
+    mutually_exclusive;
+  (* Objective: extremize sum over blocks of cost * count (the solver
+     maximizes, so minimization negates costs). *)
+  let sign = match direction with `Maximize -> 1 | `Minimize -> -1 in
+  let objective =
+    List.concat
+      (List.init n (fun id ->
+           let c = Lp.Q.of_int (sign * block_cost id) in
+           List.map (fun (coef, v) -> (Lp.Q.mul c coef, v)) (in_terms id)))
+  in
+  Lp.Model.set_objective m objective;
+  match Lp.Ilp.solve m with
+  | Lp.Ilp.Optimal (obj, solution) ->
+      let obj = Lp.Q.mul (Lp.Q.of_int sign) obj in
+      let count_of id =
+        List.fold_left
+          (fun acc ((_, v) : Lp.Q.t * Lp.Model.var) ->
+            acc + solution.((v :> int)))
+          0 (in_terms id)
+      in
+      {
+        wcet = Lp.Q.to_int_exn obj;
+        block_counts = Array.init n count_of;
+      }
+  | Lp.Ilp.Infeasible ->
+      raise (Flow_infeasible "IPET constraint system is infeasible")
+  | Lp.Ilp.Unbounded ->
+      raise
+        (Flow_infeasible
+           "IPET objective unbounded: a loop is missing its bound")

@@ -1,0 +1,35 @@
+(** Implicit Path Enumeration Technique (IPET) — the path-analysis stage
+    of static WCET analysis (Li & Malik; Section 2.1 of the paper).
+
+    Variables count edge traversals; structural constraints encode flow
+    conservation with a virtual entry edge fixed to one execution; each
+    natural loop contributes [sum(back edges) <= bound * sum(entry edges)];
+    the objective maximizes the sum of block costs weighted by execution
+    counts.  Solved exactly with the in-repo rational simplex +
+    branch-and-bound. *)
+
+type result = {
+  wcet : int;
+  block_counts : int array;  (** worst-case execution count per block *)
+}
+
+exception Flow_infeasible of string
+
+val solve :
+  Cfg.Graph.t ->
+  loop_bounds:Dataflow.Loop_bounds.bound list ->
+  block_cost:(Cfg.Block.id -> int) ->
+  ?mutually_exclusive:(Cfg.Block.id * Cfg.Block.id) list ->
+  ?direction:[ `Maximize | `Minimize ] ->
+  unit ->
+  result
+(** [mutually_exclusive (a, b)] adds [x_a + x_b <= 1] and is only accepted
+    for blocks outside all loops (operating-mode exclusions).
+
+    [`Maximize] (default) computes the WCET path using the loops'
+    [max_back_edges]; [`Minimize] computes the BCET path, constraining
+    each loop's back edges from below by [min_back_edges] — the other
+    half of Li et al.'s iterative WCET/BCET framework.
+    @raise Flow_infeasible if the constraint system has no solution (a
+    contradictory annotation).
+    @raise Invalid_argument for a mutually-exclusive pair inside a loop. *)

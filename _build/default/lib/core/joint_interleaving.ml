@@ -1,0 +1,40 @@
+type stats = { states : int; transitions : int; capped : bool }
+
+let product_size_bound graphs =
+  List.fold_left (fun acc g -> acc * Cfg.Graph.num_blocks g) 1 graphs
+
+let explore ?(max_states = 1_000_000) graphs =
+  let graphs = Array.of_list graphs in
+  let k = Array.length graphs in
+  let initial = Array.to_list (Array.map (fun g -> g.Cfg.Graph.entry) graphs) in
+  let seen = Hashtbl.create 1024 in
+  let queue = Queue.create () in
+  Hashtbl.add seen initial ();
+  Queue.push initial queue;
+  let transitions = ref 0 in
+  let capped = ref false in
+  let rec drain () =
+    if not (Queue.is_empty queue) then begin
+      let state = Queue.pop queue in
+      let blocks = Array.of_list state in
+      (* Any one thread may advance: the interleaving choices. *)
+      for i = 0 to k - 1 do
+        List.iter
+          (fun (e : Cfg.Graph.edge) ->
+            incr transitions;
+            let blocks' = Array.copy blocks in
+            blocks'.(i) <- e.dst;
+            let state' = Array.to_list blocks' in
+            if not (Hashtbl.mem seen state') then
+              if Hashtbl.length seen >= max_states then capped := true
+              else begin
+                Hashtbl.add seen state' ();
+                Queue.push state' queue
+              end)
+          (Cfg.Graph.succs graphs.(i) blocks.(i))
+      done;
+      drain ()
+    end
+  in
+  drain ();
+  { states = Hashtbl.length seen; transitions = !transitions; capped = !capped }

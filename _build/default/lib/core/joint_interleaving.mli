@@ -1,0 +1,24 @@
+(** Joint analysis of concurrent threads by explicit interleaving
+    (Crowley & Baer, Section 5.1 of the paper).
+
+    The approach augments each thread's CFG with yield points and analyzes
+    the *product* control-flow graph of all threads.  The survey's verdict
+    — "such an approach is not scalable and cannot handle complex
+    applications" — is reproduced by experiment T10: the number of product
+    states explored here grows as the product of the per-thread block
+    counts, while the isolation analyses stay linear. *)
+
+type stats = {
+  states : int;  (** distinct product states reached (capped) *)
+  transitions : int;
+  capped : bool;  (** exploration hit the state cap *)
+}
+
+val explore : ?max_states:int -> Cfg.Graph.t list -> stats
+(** Breadth-first exploration of the block-level product graph, where at
+    each state any one thread advances along one of its CFG edges (the
+    interleaving non-determinism).  Default cap: 1_000_000 states. *)
+
+val product_size_bound : Cfg.Graph.t list -> int
+(** The a-priori product of block counts — what the joint approach must
+    be prepared to visit. *)

@@ -1,0 +1,352 @@
+type system = {
+  latencies : Pipeline.Latencies.t;
+  l1i : Cache.Config.t;
+  l1d : Cache.Config.t;
+  l2 : Cache.Config.t;
+  arbiter : Interconnect.Arbiter.t;
+  refresh : Interconnect.Arbiter.refresh_policy;
+  tasks : (Isa.Program.t * Dataflow.Annot.t) option array;
+}
+
+let default_system ~cores ~tasks =
+  if Array.length tasks <> cores then
+    invalid_arg "Multicore.default_system: one task slot per core";
+  {
+    latencies = Pipeline.Latencies.default;
+    l1i = Cache.Config.make ~sets:4 ~assoc:2 ~line_size:16;
+    l1d = Cache.Config.make ~sets:4 ~assoc:2 ~line_size:16;
+    l2 = Cache.Config.make ~sets:64 ~assoc:4 ~line_size:16;
+    arbiter = Interconnect.Arbiter.Round_robin { cores };
+    refresh = Interconnect.Arbiter.Burst;
+    tasks;
+  }
+
+let platform_of system ~core ~l2 ~arbiter =
+  {
+    Platform.latencies = system.latencies;
+    l1i = system.l1i;
+    l1d = system.l1d;
+    l2;
+    arbiter;
+    core;
+    refresh = system.refresh;
+    mem_arbiter = None;
+    method_cache = None;
+  }
+
+let analyze_each system ~platform_for =
+  Array.mapi
+    (fun core task ->
+      match task with
+      | None -> None
+      | Some (program, annot) ->
+          Some (Wcet.analyze ~annot (platform_for core) program))
+    system.tasks
+
+(* Oblivious: pretend the task owns the machine (private bus, whole L2). *)
+let analyze_oblivious system =
+  analyze_each system ~platform_for:(fun _core ->
+      platform_of system ~core:0 ~l2:(Platform.Private_l2 system.l2)
+        ~arbiter:Interconnect.Arbiter.Private)
+
+(* Single-usage bypass lines of a task: union over its procedures. *)
+let bypass_lines system (program, _annot) =
+  let cg = Cfg.Callgraph.build program in
+  List.concat_map
+    (fun (_, g) ->
+      let dom = Cfg.Dominators.compute g in
+      let loops = Cfg.Loops.analyze g dom in
+      let va = Dataflow.Value_analysis.analyze g in
+      Cache.Multilevel.single_usage_lines g loops ~l2_accesses:(fun id ->
+          Cache.Analysis.instruction_accesses system.l2 g id
+          @ Cache.Analysis.data_accesses system.l2 g va id))
+    (Cfg.Callgraph.bottom_up cg)
+  |> List.sort_uniq compare
+
+let analyze_joint system ?(bypass = false) ?(overlaps = fun _ _ -> true) () =
+  let n = Array.length system.tasks in
+  let bypass_of =
+    Array.map
+      (fun task ->
+        match (task, bypass) with
+        | Some t, true ->
+            let lines = bypass_lines system t in
+            fun l -> List.mem l lines
+        | _ -> fun _ -> false)
+      system.tasks
+  in
+  (* Phase 1: footprints under zero conflicts. *)
+  let phase conflicts_for =
+    Array.mapi
+      (fun core task ->
+        match task with
+        | None -> None
+        | Some (program, annot) ->
+            let l2 =
+              Platform.Shared_l2
+                {
+                  config = system.l2;
+                  conflicts = conflicts_for core;
+                  bypass = bypass_of.(core);
+                }
+            in
+            Some
+              (Wcet.analyze ~annot
+                 (platform_of system ~core ~l2 ~arbiter:system.arbiter)
+                 program))
+      system.tasks
+  in
+  let phase1 = phase (fun _ -> Cache.Shared.no_conflicts system.l2) in
+  let footprints =
+    Array.map
+      (function
+        | None -> None
+        | Some w ->
+            Some
+              ( (match Wcet.footprint w with
+                | Some fp -> fp
+                | None -> Cache.Shared.no_conflicts system.l2),
+                Wcet.uses_unknown_l2_target w ))
+      phase1
+  in
+  let conflicts_for core =
+    let foreign = ref [] in
+    for j = 0 to n - 1 do
+      if j <> core && overlaps core j then
+        match footprints.(j) with
+        | Some (fp, unknown) ->
+            let fp =
+              if unknown then
+                Array.make system.l2.Cache.Config.sets
+                  system.l2.Cache.Config.assoc
+              else fp
+            in
+            foreign := fp :: !foreign
+        | None -> ()
+    done;
+    Cache.Shared.combine !foreign system.l2
+  in
+  phase conflicts_for
+
+let analyze_partitioned system ~scheme =
+  let n = Array.length system.tasks in
+  let alloc = Cache.Partition.even_shares scheme system.l2 ~parts:n in
+  analyze_each system ~platform_for:(fun core ->
+      let slice = Cache.Partition.partition_config system.l2 alloc ~index:core in
+      platform_of system ~core ~l2:(Platform.Private_l2 slice)
+        ~arbiter:system.arbiter)
+
+(* Global greedy lock selection: line profits estimated from the
+   oblivious analysis's block execution counts. *)
+let lock_selection system =
+  let profits = Hashtbl.create 64 in
+  Array.iter
+    (function
+      | None -> ()
+      | Some (program, annot) -> (
+          match
+            Wcet.analyze ~annot
+              (platform_of system ~core:0 ~l2:(Platform.Private_l2 system.l2)
+                 ~arbiter:Interconnect.Arbiter.Private)
+              program
+          with
+          | w ->
+              let cg = Cfg.Callgraph.build program in
+              List.iter
+                (fun (name, g) ->
+                  let pr = List.assoc name w.Wcet.procs in
+                  let counts = pr.Wcet.ipet.Ipet.block_counts in
+                  let va = Dataflow.Value_analysis.analyze g in
+                  for id = 0 to Cfg.Graph.num_blocks g - 1 do
+                    let accs =
+                      Cache.Analysis.instruction_accesses system.l2 g id
+                      @ Cache.Analysis.data_accesses system.l2 g va id
+                    in
+                    List.iter
+                      (fun (a : Cache.Analysis.access) ->
+                        match a.Cache.Analysis.target with
+                        | Cache.Analysis.Lines [ l ] ->
+                            let prev =
+                              match Hashtbl.find_opt profits l with
+                              | Some p -> p
+                              | None -> 0
+                            in
+                            Hashtbl.replace profits l (prev + counts.(id))
+                        | Cache.Analysis.Lines _ | Cache.Analysis.Unknown ->
+                            ())
+                      accs
+                  done)
+                (Cfg.Callgraph.bottom_up cg)))
+    system.tasks;
+  let candidates = Hashtbl.fold (fun l p acc -> (l, p) :: acc) profits [] in
+  Cache.Locking.select system.l2 ~candidates
+
+let analyze_locked system =
+  let selection = lock_selection system in
+  analyze_each system ~platform_for:(fun core ->
+      platform_of system ~core
+        ~l2:
+          (Platform.Locked_l2
+             {
+               config = system.l2;
+               selection_of = (fun _ -> selection);
+               reload_cost = (fun ~proc:_ _ -> 0);
+             })
+        ~arbiter:system.arbiter)
+
+(* Dynamic locking (Suhendra & Mitra): each outermost loop of each task
+   gets its own locked contents, selected by in-region access frequency,
+   and pays a reload of [lines * (l2 + mem)] on region entry.  Since a
+   task owns the whole locked cache while it runs a region, each task's
+   selection may use the full capacity; the comparison against static
+   locking is at analysis level (the concrete machine model does not
+   reprogram locks at run time). *)
+let dynamic_lock_functions system program annot =
+  ignore annot;
+  let cg = Cfg.Callgraph.build program in
+  let lat = system.latencies in
+  let reload_per_line =
+    lat.Pipeline.Latencies.l2_hit + lat.Pipeline.Latencies.mem
+  in
+  (* Per proc: (instr -> selection), (block -> reload cost). *)
+  let per_proc =
+    List.map
+      (fun (name, g) ->
+        let dom = Cfg.Dominators.compute g in
+        let loops = Cfg.Loops.analyze g dom in
+        let va = Dataflow.Value_analysis.analyze g in
+        let accesses id =
+          Cache.Analysis.instruction_accesses system.l2 g id
+          @ Cache.Analysis.data_accesses system.l2 g va id
+        in
+        (* Frequency of a block *per region entry*: the product of the
+           bounds of the loops enclosing it below the region level is
+           over-approximated by a flat weight per extra nesting level. *)
+        let weight id =
+          let d = Cfg.Loops.loop_depth loops id in
+          let rec pow acc k = if k <= 0 then acc else pow (acc * 16) (k - 1) in
+          pow 1 (max 0 (d - 1))
+        in
+        let region_of_block id =
+          List.find_opt
+            (fun (l : Cfg.Loops.loop) ->
+              l.Cfg.Loops.depth = 1 && List.mem id l.Cfg.Loops.body)
+            (Cfg.Loops.loops loops)
+        in
+        let candidates_of blocks =
+          let profits = Hashtbl.create 16 in
+          List.iter
+            (fun id ->
+              List.iter
+                (fun (a : Cache.Analysis.access) ->
+                  match a.Cache.Analysis.target with
+                  | Cache.Analysis.Lines [ l ] ->
+                      let prev =
+                        match Hashtbl.find_opt profits l with
+                        | Some p -> p
+                        | None -> 0
+                      in
+                      Hashtbl.replace profits l (prev + weight id)
+                  | Cache.Analysis.Lines _ | Cache.Analysis.Unknown -> ())
+                (accesses id))
+            blocks;
+          Hashtbl.fold (fun l p acc -> (l, p) :: acc) profits []
+        in
+        let all_blocks =
+          List.init (Cfg.Graph.num_blocks g) (fun i -> i)
+        in
+        let toplevel_blocks =
+          List.filter (fun id -> Cfg.Loops.loop_depth loops id = 0) all_blocks
+        in
+        let toplevel_sel =
+          Cache.Locking.select system.l2 ~candidates:(candidates_of toplevel_blocks)
+        in
+        let region_sels =
+          List.filter_map
+            (fun (l : Cfg.Loops.loop) ->
+              if l.Cfg.Loops.depth = 1 then
+                Some
+                  ( l.Cfg.Loops.header,
+                    Cache.Locking.select system.l2
+                      ~candidates:(candidates_of l.Cfg.Loops.body) )
+              else None)
+            (Cfg.Loops.loops loops)
+        in
+        let selection_of instr =
+          match Cfg.Graph.block_of_instr g instr with
+          | None -> toplevel_sel
+          | Some id -> (
+              match region_of_block id with
+              | Some l -> List.assoc l.Cfg.Loops.header region_sels
+              | None -> toplevel_sel)
+        in
+        let reload_of_block id =
+          (* Entry-edge sources of depth-1 loops pay the reload of the
+             region they enter. *)
+          List.fold_left
+            (fun acc (l : Cfg.Loops.loop) ->
+              if
+                l.Cfg.Loops.depth = 1
+                && List.exists
+                     (fun (e : Cfg.Graph.edge) -> e.Cfg.Graph.src = id)
+                     l.Cfg.Loops.entry_edges
+              then
+                let sel = List.assoc l.Cfg.Loops.header region_sels in
+                acc
+                + (List.length sel.Cache.Locking.locked * reload_per_line)
+              else acc)
+            0 (Cfg.Loops.loops loops)
+        in
+        (name, (g, selection_of, reload_of_block)))
+      (Cfg.Callgraph.bottom_up cg)
+  in
+  (* Instruction indices are global to the program: route the lookup to
+     the procedure whose graph contains the instruction. *)
+  let selection_of instr =
+    let rec find = function
+      | [] -> Cache.Locking.{ locked = [] }
+      | (_, (g, sel_of, _)) :: rest ->
+          if Cfg.Graph.block_of_instr g instr <> None then sel_of instr
+          else find rest
+    in
+    find per_proc
+  in
+  let reload_cost ~proc id =
+    match List.assoc_opt proc per_proc with
+    | Some (_, _, reload) -> reload id
+    | None -> 0
+  in
+  (selection_of, reload_cost)
+
+let analyze_locked_dynamic system =
+  Array.mapi
+    (fun core task ->
+      match task with
+      | None -> None
+      | Some (program, annot) ->
+          let selection_of, reload_cost =
+            dynamic_lock_functions system program annot
+          in
+          let platform =
+            platform_of system ~core
+              ~l2:
+                (Platform.Locked_l2
+                   { config = system.l2; selection_of; reload_cost })
+              ~arbiter:system.arbiter
+          in
+          Some (Wcet.analyze ~annot platform program))
+    system.tasks
+
+let wcets results =
+  Array.map (Option.map (fun (w : Wcet.t) -> w.Wcet.wcet)) results
+
+let machine_config system ~l2 =
+  {
+    Sim.Machine.latencies = system.latencies;
+    l1i = system.l1i;
+    l1d = system.l1d;
+    l2;
+    arbiter = system.arbiter;
+    refresh = system.refresh;
+    i_path = Sim.Machine.Conventional;
+  }

@@ -1,0 +1,70 @@
+(** The paper's three approach families (Section 3), orchestrated over a
+    task set with one task per core:
+
+    - {!analyze_oblivious}: single-core analysis that *ignores* resource
+      sharing — the unsafe baseline Section 2.2 warns about; experiment T2
+      shows simulated executions exceeding these "bounds".
+    - {!analyze_joint}: joint analysis of the shared L2 (Section 4.1):
+      every co-runner's cache footprint ages this task's lines; optional
+      single-usage bypass (Hardy et al.) and an overlap predicate for
+      task-lifetime refinement (Li et al., computed by {!Response_time}).
+      The shared bus is bounded by the system's (analysable) arbiter.
+    - {!analyze_partitioned}: statically-controlled sharing / isolation
+      (Sections 4.2, 5.3): each core gets a private L2 slice
+      (columnization or bankization) and the arbiter bound; no co-runner
+      knowledge needed.
+    - {!analyze_locked}: statically locked shared L2 (Suhendra & Mitra):
+      contents chosen globally by greedy profit, every access trivially
+      classified. *)
+
+type system = {
+  latencies : Pipeline.Latencies.t;
+  l1i : Cache.Config.t;
+  l1d : Cache.Config.t;
+  l2 : Cache.Config.t;
+  arbiter : Interconnect.Arbiter.t;
+  refresh : Interconnect.Arbiter.refresh_policy;
+  tasks : (Isa.Program.t * Dataflow.Annot.t) option array;  (** per core *)
+}
+
+val default_system :
+  cores:int -> tasks:(Isa.Program.t * Dataflow.Annot.t) option array -> system
+(** Round-robin bus, 4-set/2-way L1s (16B lines), 64-set/4-way shared L2,
+    burst refresh — a deliberately small hierarchy so workloads exercise
+    misses. *)
+
+val analyze_oblivious : system -> Wcet.t option array
+
+val analyze_joint :
+  system ->
+  ?bypass:bool ->
+  ?overlaps:(int -> int -> bool) ->
+  unit ->
+  Wcet.t option array
+(** [overlaps i j] (default: always) — whether the tasks of cores [i] and
+    [j] can execute concurrently; non-overlapping tasks do not conflict. *)
+
+val bypass_lines : system -> Isa.Program.t * Dataflow.Annot.t -> int list
+(** The single-usage L2 lines of a task (the compiler-directed bypass set
+    of Hardy et al.), exposed so validation runs can configure the
+    simulator's bypass the same way the joint analysis assumed it. *)
+
+val analyze_partitioned :
+  system -> scheme:Cache.Partition.scheme -> Wcet.t option array
+
+val analyze_locked : system -> Wcet.t option array
+(** Static locking: one global selection for the whole run. *)
+
+val analyze_locked_dynamic : system -> Wcet.t option array
+(** Dynamic locking (Suhendra & Mitra): per-task, per-outermost-loop
+    selections with a reload cost charged on region entry.  A task uses
+    the whole locked capacity while its region runs, so hot loops can own
+    the cache — the reason dynamic locking beats static in their study.
+    Analysis-level comparison only (the simulator does not reprogram lock
+    bits at run time). *)
+
+val wcets : Wcet.t option array -> int option array
+
+val machine_config :
+  system -> l2:Sim.Machine.l2_config -> Sim.Machine.config
+(** The concrete machine matching the system, for validation runs. *)

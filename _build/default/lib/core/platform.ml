@@ -1,0 +1,82 @@
+type l2_mode =
+  | No_l2
+  | Private_l2 of Cache.Config.t
+  | Shared_l2 of {
+      config : Cache.Config.t;
+      conflicts : Cache.Shared.conflicts;
+      bypass : int -> bool;
+    }
+  | Locked_l2 of {
+      config : Cache.Config.t;
+      selection_of : int -> Cache.Locking.selection;
+      reload_cost : proc:string -> Cfg.Block.id -> int;
+    }
+
+type t = {
+  latencies : Pipeline.Latencies.t;
+  l1i : Cache.Config.t;
+  l1d : Cache.Config.t;
+  l2 : l2_mode;
+  arbiter : Interconnect.Arbiter.t;
+  core : int;
+  refresh : Interconnect.Arbiter.refresh_policy;
+  mem_arbiter : (Interconnect.Arbiter.t * int) option;
+  method_cache : Cache.Method_cache.config option;
+}
+
+let single_core ?l2 () =
+  {
+    latencies = Pipeline.Latencies.default;
+    l1i = Cache.Config.make ~sets:64 ~assoc:2 ~line_size:16;
+    l1d = Cache.Config.make ~sets:64 ~assoc:2 ~line_size:16;
+    l2 = (match l2 with Some c -> Private_l2 c | None -> No_l2);
+    arbiter = Interconnect.Arbiter.Private;
+    core = 0;
+    refresh = Interconnect.Arbiter.Burst;
+    mem_arbiter = None;
+    method_cache = None;
+  }
+
+let mem_wait t =
+  let refresh = Interconnect.Arbiter.refresh_wait t.refresh in
+  match t.mem_arbiter with
+  | None -> refresh
+  | Some (arb, port) ->
+      if not (Interconnect.Arbiter.analysable arb) then
+        failwith
+          (Printf.sprintf
+             "Platform.mem_wait: %s admits no co-runner-independent bound"
+             (Interconnect.Arbiter.describe arb))
+      else
+        let l = t.latencies.Pipeline.Latencies.mem + refresh in
+        refresh
+        + Interconnect.Arbiter.worst_wait arb ~core:port ~own_latency:l
+            ~max_latency:l
+
+let l2_config t =
+  match t.l2 with
+  | No_l2 -> None
+  | Private_l2 c -> Some c
+  | Shared_l2 { config; _ } -> Some config
+  | Locked_l2 { config; _ } -> Some config
+
+let max_tx_latency t =
+  let l = t.latencies in
+  let mem_path =
+    match t.l2 with
+    | No_l2 -> l.Pipeline.Latencies.mem + mem_wait t
+    | Private_l2 _ | Shared_l2 _ | Locked_l2 _ ->
+        l.Pipeline.Latencies.l2_hit + l.Pipeline.Latencies.mem + mem_wait t
+  in
+  max mem_path l.Pipeline.Latencies.io
+
+let bus_wait t =
+  if not (Interconnect.Arbiter.analysable t.arbiter) then
+    failwith
+      (Printf.sprintf
+         "Platform.bus_wait: %s admits no co-runner-independent bound"
+         (Interconnect.Arbiter.describe t.arbiter))
+  else
+    let lmax = max_tx_latency t in
+    Interconnect.Arbiter.worst_wait t.arbiter ~core:t.core ~own_latency:lmax
+      ~max_latency:lmax

@@ -1,0 +1,54 @@
+let quotient times =
+  match times with
+  | [] -> 1.0
+  | t :: _ ->
+      List.iter
+        (fun x ->
+          if x <= 0 then invalid_arg "Predictability.quotient: time <= 0")
+        times;
+      let mn = List.fold_left min t times
+      and mx = List.fold_left max t times in
+      float_of_int mn /. float_of_int mx
+
+let run_with config setup =
+  let config = { config with Sim.Machine.arbiter = Interconnect.Arbiter.Private } in
+  let r = (Sim.Machine.run config ~cores:[| setup |] ()).(0) in
+  r.Sim.Machine.cycles
+
+let state_induced config program ~warmups =
+  let times =
+    List.map
+      (fun (wi, wd) ->
+        run_with config
+          { (Sim.Machine.task program) with Sim.Machine.warm_i = wi; warm_d = wd })
+      warmups
+  in
+  quotient times
+
+let input_induced config program ~inputs =
+  let times =
+    List.map
+      (fun init_data ->
+        run_with config
+          { (Sim.Machine.task program) with Sim.Machine.init_data })
+      inputs
+  in
+  quotient times
+
+(* Small deterministic LCG so experiments are reproducible. *)
+let random_warmups ~seed ~count ~addresses =
+  let state = ref (seed land 0x3FFFFFFF) in
+  let next () =
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    !state
+  in
+  let addrs = Array.of_list addresses in
+  let pick () =
+    if Array.length addrs = 0 then []
+    else
+      List.init
+        (next () mod 8)
+        (fun _ -> addrs.(next () mod Array.length addrs))
+  in
+  ([], [])
+  :: List.init (max 0 (count - 1)) (fun _ -> (pick (), pick ()))

@@ -1,0 +1,35 @@
+(** Predictability quotients, following the template of Grund, Reineke &
+    Wilhelm (PPES'11, same proceedings as the surveyed paper): the
+    state-induced (SIPr) and input-induced (IIPr) timing predictability of
+    a program on a platform are
+
+    [min execution time / max execution time]
+
+    over the explored initial hardware states (cache warm-ups) resp.
+    program inputs — 1.0 means perfectly predictable.  Measured on the
+    simulator, these quotients separate platforms: the PRET-style
+    thread-interleaved core achieves SIPr = 1 by construction. *)
+
+val quotient : int list -> float
+(** [min / max] of the observed times; 1.0 for the empty or constant
+    list.  @raise Invalid_argument on non-positive times. *)
+
+val state_induced :
+  Sim.Machine.config ->
+  Isa.Program.t ->
+  warmups:(int list * int list) list ->
+  float
+(** Runs the task alone under each (instruction, data) cache warm-up
+    (the empty warm-up = the cold state the analyses assume). *)
+
+val input_induced :
+  Sim.Machine.config ->
+  Isa.Program.t ->
+  inputs:(int * int) list list ->
+  float
+(** Each input is a data-memory initialisation. *)
+
+val random_warmups :
+  seed:int -> count:int -> addresses:int list -> (int list * int list) list
+(** Deterministic pseudo-random warm-up sets drawn from the given byte
+    addresses (always includes the cold state). *)

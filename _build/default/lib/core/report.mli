@@ -1,0 +1,22 @@
+(** Human-readable WCET analysis reports.
+
+    Renders an analyzed task the way an industrial tool's report would:
+    per-procedure bounds with their decomposition, loop bounds with their
+    provenance, a cache-classification histogram, and the worst-case path
+    as block execution counts. *)
+
+val render : Wcet.t -> string
+
+val render_proc : Wcet.t -> string -> string
+(** One procedure only.
+    @raise Not_found for unknown procedure names. *)
+
+val dot_of_proc : Wcet.t -> string -> string
+(** Graphviz CFG of a procedure, blocks annotated with their worst-case
+    cost and IPET execution count.
+    @raise Not_found for unknown procedure names. *)
+
+val classification_histogram :
+  Wcet.t -> (Cache.Analysis.classification * int) list
+(** L2-level classification counts over every access of every procedure
+    (empty without an L2). *)

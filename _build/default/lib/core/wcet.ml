@@ -1,0 +1,345 @@
+type proc_result = {
+  name : string;
+  wcet : int;
+  ipet : Ipet.result;
+  loop_bounds : Dataflow.Loop_bounds.bound list;
+  block_costs : int array;
+  ps_penalty : int;
+}
+
+type t = {
+  program : Isa.Program.t;
+  platform : Platform.t;
+  procs : (string * proc_result) list;
+  wcet : int;
+  multilevels : (string * Cache.Multilevel.t) list;
+}
+
+exception Not_analysable of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Not_analysable s)) fmt
+
+(* L2 accesses of a block: instruction fetches interleaved with data
+   accesses, in program order, with targets in L2 geometry.  Platforms
+   with a method cache route no fetches through the L2. *)
+let combined_l2_accesses ~include_fetches l2cfg g va id =
+  let data = Cache.Analysis.data_accesses l2cfg g va id in
+  if not include_fetches then data
+  else
+    let fetches = Cache.Analysis.instruction_accesses l2cfg g id in
+    let by_instr i =
+      List.filter (fun (a : Cache.Analysis.access) -> a.instr = i) data
+    in
+    List.concat_map
+      (fun (f : Cache.Analysis.access) -> f :: by_instr f.instr)
+      fetches
+
+(* Per-access L2 classification lookup assembled per platform mode. *)
+type l2_view = {
+  l2_class : Cache.Analysis.kind -> int -> Cache.Analysis.classification;
+  multilevel : Cache.Multilevel.t option;
+}
+
+let no_l2_view =
+  {
+    l2_class = (fun _ _ -> Cache.Analysis.Always_miss);
+    multilevel = None;
+  }
+
+let make_l2_view platform g va ~entry ~l1i ~l1d =
+  let cac_of (a : Cache.Analysis.access) =
+    match a.Cache.Analysis.kind with
+    | Cache.Analysis.Fetch -> (
+        match l1i with
+        | Some l1i -> Cache.Multilevel.cac_of_l1_analysis l1i a
+        | None -> Cache.Multilevel.Never)
+    | Cache.Analysis.Data -> Cache.Multilevel.cac_of_l1_analysis l1d a
+  in
+  match platform.Platform.l2 with
+  | Platform.No_l2 -> no_l2_view
+  | Platform.Private_l2 config | Platform.Locked_l2 { config; _ }
+  | Platform.Shared_l2 { config; _ } -> (
+      let bypass =
+        match platform.Platform.l2 with
+        | Platform.Shared_l2 { bypass; _ } -> bypass
+        | Platform.No_l2 | Platform.Private_l2 _ | Platform.Locked_l2 _ ->
+            fun _ -> false
+      in
+      let m =
+        Cache.Multilevel.analyze config g ~entry ~cac_of
+          ~l2_accesses:
+            (combined_l2_accesses ~include_fetches:(l1i <> None) config g va)
+          ~bypass ()
+      in
+      match platform.Platform.l2 with
+      | Platform.No_l2 -> assert false
+      | Platform.Private_l2 _ ->
+          {
+            l2_class =
+              (fun kind i ->
+                match Cache.Multilevel.classification m ~kind i with
+                | c -> c
+                | exception Not_found -> Cache.Analysis.Always_miss);
+            multilevel = Some m;
+          }
+      | Platform.Shared_l2 { conflicts; _ } ->
+          let adjusted = Cache.Shared.interfere m conflicts in
+          let table = Hashtbl.create 64 in
+          List.iter2
+            (fun (info : Cache.Multilevel.access_info) (_, cls) ->
+              Hashtbl.replace table
+                (info.Cache.Multilevel.instr, info.Cache.Multilevel.kind)
+                cls)
+            (Cache.Multilevel.access_infos m)
+            adjusted;
+          {
+            l2_class =
+              (fun kind i ->
+                match Hashtbl.find_opt table (i, kind) with
+                | Some c -> c
+                | None -> Cache.Analysis.Always_miss);
+            multilevel = Some m;
+          }
+      | Platform.Locked_l2 { selection_of; _ } ->
+          (* Locked contents: trivial classification by membership in the
+             selection active at that instruction. *)
+          let table = Hashtbl.create 64 in
+          List.iter
+            (fun (info : Cache.Multilevel.access_info) ->
+              let cls =
+                Cache.Locking.classify
+                  (selection_of info.Cache.Multilevel.instr)
+                  info.Cache.Multilevel.target
+              in
+              Hashtbl.replace table
+                (info.Cache.Multilevel.instr, info.Cache.Multilevel.kind)
+                cls)
+            (Cache.Multilevel.access_infos m);
+          {
+            l2_class =
+              (fun kind i ->
+                match Hashtbl.find_opt table (i, kind) with
+                | Some c -> c
+                | None -> Cache.Analysis.Always_miss);
+            multilevel = Some m;
+          })
+
+let analyze ?(annot = Dataflow.Annot.empty) platform program =
+  let bus_wait =
+    try Platform.bus_wait platform with Failure msg -> fail "%s" msg
+  in
+  let mem_wait = Platform.mem_wait platform in
+  let lat = platform.Platform.latencies in
+  let callgraph =
+    try Cfg.Callgraph.build program with
+    | Cfg.Callgraph.Recursive cycle ->
+        fail "recursive call cycle: %s" (String.concat " -> " cycle)
+    | Invalid_argument msg -> fail "%s" msg
+  in
+  let root = callgraph.Cfg.Callgraph.root in
+  let clobbers = Dataflow.Clobbers.compute callgraph in
+  let call_clobbers = Dataflow.Clobbers.clobbered clobbers in
+  let results = Hashtbl.create 8 in
+  let multilevels = ref [] in
+  let mc_analysis =
+    Option.map
+      (fun mc -> (mc, Cache.Method_cache.analyze callgraph mc))
+      platform.Platform.method_cache
+  in
+  let mc_load callee =
+    match mc_analysis with
+    | None -> 0
+    | Some (mc, a) ->
+        let size =
+          match List.assoc_opt callee a.Cache.Method_cache.procs with
+          | Some sz -> sz
+          | None -> 0
+        in
+        Cache.Method_cache.load_cost mc
+          ~mem_latency:lat.Pipeline.Latencies.mem ~size_words:size
+        + bus_wait + mem_wait
+  in
+  let analyze_proc (name, g) =
+    let dom = Cfg.Dominators.compute g in
+    let loops =
+      try Cfg.Loops.analyze g dom
+      with Cfg.Loops.Irreducible msg -> fail "%s: %s" name msg
+    in
+    let va = Dataflow.Value_analysis.analyze ~call_clobbers g in
+    let loop_bounds =
+      try Dataflow.Loop_bounds.infer ~call_clobbers g dom loops va annot
+      with Dataflow.Loop_bounds.Unbounded msg -> fail "%s" msg
+    in
+    let entry =
+      if name = root then Cache.Analysis.Cold else Cache.Analysis.Unknown_entry
+    in
+    let l1i =
+      if mc_analysis <> None then None
+      else
+        Some
+          (Cache.Analysis.analyze platform.Platform.l1i g ~entry
+             ~accesses:
+               (Cache.Analysis.instruction_accesses platform.Platform.l1i g))
+    in
+    let l1d =
+      Cache.Analysis.analyze platform.Platform.l1d g ~entry
+        ~accesses:(Cache.Analysis.data_accesses platform.Platform.l1d g va)
+    in
+    let l2_view = make_l2_view platform g va ~entry ~l1i ~l1d in
+    (match l2_view.multilevel with
+    | Some m -> multilevels := (name, m) :: !multilevels
+    | None -> ());
+    let fetch_class i =
+      match l1i with
+      | Some l1i ->
+          {
+            Pipeline.Cost.l1 = Cache.Analysis.classification l1i i;
+            l2 = l2_view.l2_class Cache.Analysis.Fetch i;
+          }
+      | None ->
+          (* Method cache: every fetch is a one-cycle local access. *)
+          {
+            Pipeline.Cost.l1 = Cache.Analysis.Always_hit;
+            l2 = Cache.Analysis.Always_hit;
+          }
+    in
+    let data_class i =
+      match
+        Cache.Analysis.classification l1d ~kind:Cache.Analysis.Data i
+      with
+      | c -> Some { Pipeline.Cost.l1 = c; l2 = l2_view.l2_class Cache.Analysis.Data i }
+      | exception Not_found -> None
+    in
+    let is_io i =
+      match Isa.Program.instr program i with
+      | Isa.Instr.Load (Isa.Instr.Io, _, _, _)
+      | Isa.Instr.Store (Isa.Instr.Io, _, _, _) ->
+          true
+      | _ -> false
+    in
+    let oracle =
+      { Pipeline.Cost.fetch_class; data_class; is_io; bus_wait; mem_wait }
+    in
+    let block_costs =
+      Array.init (Cfg.Graph.num_blocks g) (fun id ->
+          let base = Pipeline.Cost.block_cost lat g oracle id in
+          let base =
+            match platform.Platform.l2 with
+            | Platform.Locked_l2 { reload_cost; _ } ->
+                base + reload_cost ~proc:name id
+            | Platform.No_l2 | Platform.Private_l2 _ | Platform.Shared_l2 _
+              ->
+                base
+          in
+          (* Method cache without a fit guarantee: a call may have to load
+             the callee and, on return, reload this procedure. *)
+          let base =
+            match (mc_analysis, Cfg.Graph.callee_of_block g id) with
+            | Some (_, a), Some callee when not a.Cache.Method_cache.always_fits
+              ->
+                base + mc_load callee + mc_load name
+            | _ -> base
+          in
+          match Cfg.Graph.callee_of_block g id with
+          | Some callee -> (
+              match Hashtbl.find_opt results callee with
+              | Some (r : proc_result) -> base + r.wcet
+              | None -> fail "callee %s analyzed out of order" callee)
+          | None -> base)
+    in
+    (* Persistence penalties: one worst-case miss per persistent access
+       point per procedure execution, at both levels. *)
+    let ps_penalty =
+      let of_kind analysis kind =
+        List.fold_left
+          (fun acc ((a : Cache.Analysis.access), _) ->
+            if a.Cache.Analysis.kind = kind then
+              let l1 =
+                Cache.Analysis.classification analysis ~kind
+                  a.Cache.Analysis.instr
+              in
+              let mc =
+                {
+                  Pipeline.Cost.l1;
+                  l2 = l2_view.l2_class kind a.Cache.Analysis.instr;
+                }
+              in
+              acc + Pipeline.Cost.first_miss_penalty lat oracle mc
+            else acc)
+          0
+          (Cache.Analysis.accesses analysis)
+      in
+      (match l1i with
+      | Some l1i -> of_kind l1i Cache.Analysis.Fetch
+      | None -> 0)
+      + of_kind l1d Cache.Analysis.Data
+    in
+    let mutually_exclusive =
+      List.filter_map
+        (fun (la, lb) ->
+          match
+            ( Cfg.Graph.block_of_instr g (Isa.Program.label_index program la),
+              Cfg.Graph.block_of_instr g (Isa.Program.label_index program lb)
+            )
+          with
+          | Some a, Some b -> Some (a, b)
+          | _ -> None)
+        (Dataflow.Annot.infeasible_pairs annot ~proc:name)
+    in
+    let ipet =
+      try
+        Ipet.solve g ~loop_bounds
+          ~block_cost:(fun id -> block_costs.(id))
+          ~mutually_exclusive ()
+      with Ipet.Flow_infeasible msg -> fail "%s: %s" name msg
+    in
+    let mc_penalty =
+      match mc_analysis with
+      | None -> 0
+      | Some (_, a) ->
+          if a.Cache.Method_cache.always_fits then
+            if name = root then
+              (* FIFO never evicts: one load per procedure per run. *)
+              List.fold_left
+                (fun acc (p, _) -> acc + mc_load p)
+                0 a.Cache.Method_cache.procs
+            else 0
+          else if name = root then mc_load root
+          else 0 (* per-execution reloads already in the call blocks *)
+    in
+    let result =
+      {
+        name;
+        wcet = ipet.Ipet.wcet + ps_penalty + mc_penalty;
+        ipet;
+        loop_bounds;
+        block_costs;
+        ps_penalty;
+      }
+    in
+    Hashtbl.replace results name result;
+    (name, result)
+  in
+  let procs = List.map analyze_proc (Cfg.Callgraph.bottom_up callgraph) in
+  let root_result = List.assoc root procs in
+  {
+    program;
+    platform;
+    procs;
+    wcet = root_result.wcet;
+    multilevels = List.rev !multilevels;
+  }
+
+let footprint t =
+  match Platform.l2_config t.platform with
+  | None -> None
+  | Some config ->
+      Some
+        (Cache.Shared.combine
+           (List.map (fun (_, m) -> Cache.Multilevel.footprint m) t.multilevels)
+           config)
+
+let uses_unknown_l2_target t =
+  List.exists (fun (_, m) -> Cache.Multilevel.uses_unknown_target m) t.multilevels
+
+let proc_wcet t name = (List.assoc name t.procs).wcet

@@ -1,0 +1,45 @@
+(** Single-task static WCET analysis: the full pipeline of Section 2.1 of
+    the paper — CFG reconstruction, value & loop-bound analysis, cache
+    analyses (L1, and the platform's L2 view), per-block worst-case costs
+    with arbiter bounds, and IPET path analysis — composed bottom-up over
+    the call graph (recursion rejected).
+
+    The task's root procedure starts with cold caches (platform contract);
+    callees are analyzed with unknown cache entry states and their WCETs
+    are folded into the cost of the calling block.  [Persistent] accesses
+    are charged as hits per execution plus one worst-case miss per
+    procedure execution. *)
+
+type proc_result = {
+  name : string;
+  wcet : int;  (** includes callee WCETs and persistence penalties *)
+  ipet : Ipet.result;
+  loop_bounds : Dataflow.Loop_bounds.bound list;
+  block_costs : int array;
+  ps_penalty : int;
+}
+
+type t = {
+  program : Isa.Program.t;
+  platform : Platform.t;
+  procs : (string * proc_result) list;  (** bottom-up order *)
+  wcet : int;  (** the root procedure's WCET *)
+  multilevels : (string * Cache.Multilevel.t) list;
+      (** per procedure, when the platform has an L2: the task's L2-level
+          behaviour — footprints for shared-cache composition *)
+}
+
+exception Not_analysable of string
+(** Irreducible loops, recursion, unboundable loops without annotations,
+    or a non-analysable arbiter. *)
+
+val analyze : ?annot:Dataflow.Annot.t -> Platform.t -> Isa.Program.t -> t
+(** @raise Not_analysable with a human-readable reason. *)
+
+val footprint : t -> Cache.Shared.conflicts option
+(** Combined L2 footprint of the whole task (None without L2). *)
+
+val uses_unknown_l2_target : t -> bool
+
+val proc_wcet : t -> string -> int
+(** @raise Not_found for unknown procedures. *)

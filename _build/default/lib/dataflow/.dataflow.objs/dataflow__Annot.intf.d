@@ -1,0 +1,1 @@
+lib/dataflow/annot.mli:

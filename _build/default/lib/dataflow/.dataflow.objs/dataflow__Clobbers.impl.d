@@ -1,0 +1,1 @@
+lib/dataflow/clobbers.ml: Array Cfg Fun Hashtbl Isa List

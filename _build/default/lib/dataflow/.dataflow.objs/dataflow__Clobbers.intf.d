@@ -1,0 +1,1 @@
+lib/dataflow/clobbers.mli: Cfg Isa

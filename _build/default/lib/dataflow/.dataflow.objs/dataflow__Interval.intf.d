@@ -1,0 +1,1 @@
+lib/dataflow/interval.mli: Format

@@ -1,0 +1,1 @@
+lib/dataflow/loop_bounds.ml: Annot Array Cfg Clobbers Interval Isa List Printf Result Value_analysis

@@ -1,0 +1,1 @@
+lib/dataflow/loop_bounds.mli: Annot Cfg Isa Result Value_analysis

@@ -1,0 +1,1 @@
+lib/dataflow/value_analysis.ml: Array Cfg Clobbers Format Interval Isa List

@@ -1,0 +1,1 @@
+lib/dataflow/value_analysis.mli: Cfg Format Interval Isa

@@ -1,0 +1,34 @@
+module Key = struct
+  type t = string * string
+
+  let compare = compare
+end
+
+module KeyMap = Map.Make (Key)
+
+type t = {
+  bounds : int KeyMap.t;
+  infeasible : (string * string) list KeyMap.t;
+      (* keyed by (proc, ""), value = label pairs *)
+}
+
+let empty = { bounds = KeyMap.empty; infeasible = KeyMap.empty }
+
+let with_loop_bound t ~proc ~header_label n =
+  if n < 0 then invalid_arg "Annot.with_loop_bound: negative bound"
+  else { t with bounds = KeyMap.add (proc, header_label) n t.bounds }
+
+let loop_bound t ~proc ~header_label =
+  KeyMap.find_opt (proc, header_label) t.bounds
+
+let infeasible_pair t ~proc l1 l2 =
+  let key = (proc, "") in
+  let existing =
+    match KeyMap.find_opt key t.infeasible with Some l -> l | None -> []
+  in
+  { t with infeasible = KeyMap.add key ((l1, l2) :: existing) t.infeasible }
+
+let infeasible_pairs t ~proc =
+  match KeyMap.find_opt (proc, "") t.infeasible with
+  | Some l -> List.rev l
+  | None -> []

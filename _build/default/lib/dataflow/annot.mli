@@ -1,0 +1,24 @@
+(** Flow-fact annotations.
+
+    When automatic loop-bound inference fails (input-data dependent loops,
+    Section 3.2 "tier-one challenges" of Gebhard et al., referenced by the
+    survey), the user supplies manual bounds keyed by procedure name and
+    the assembly label of the loop header — the binary-level analogue of
+    source-level annotations in industrial tools. *)
+
+type t
+
+val empty : t
+
+val with_loop_bound : t -> proc:string -> header_label:string -> int -> t
+(** [int] is the maximum number of back-edge traversals per loop entry.
+    @raise Invalid_argument if negative. *)
+
+val loop_bound : t -> proc:string -> header_label:string -> int option
+
+val infeasible_pair : t -> proc:string -> string -> string -> t
+(** Declares that the blocks starting at the two labels are mutually
+    exclusive within any single execution (operating-mode style exclusion);
+    consumed by the IPET builder as [x_a + x_b <= max(count)] constraints. *)
+
+val infeasible_pairs : t -> proc:string -> (string * string) list

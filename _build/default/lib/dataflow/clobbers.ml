@@ -1,0 +1,49 @@
+type t = (string, bool array) Hashtbl.t
+
+let all_registers =
+  List.filter (fun r -> r <> 0) (List.init Isa.Instr.num_regs (fun i -> i))
+
+let compute (cg : Cfg.Callgraph.t) =
+  let table : t = Hashtbl.create 8 in
+  (* Bottom-up order guarantees callees are computed first (recursion is
+     rejected at call-graph construction). *)
+  List.iter
+    (fun (name, (g : Cfg.Graph.t)) ->
+      let regs = Array.make Isa.Instr.num_regs false in
+      let n = Cfg.Graph.num_blocks g in
+      for id = 0 to n - 1 do
+        List.iter
+          (fun i ->
+            match Isa.Program.instr g.Cfg.Graph.program i with
+            | Isa.Instr.Alu (_, rd, _, _)
+            | Isa.Instr.Alui (_, rd, _, _)
+            | Isa.Instr.Load (_, rd, _, _) ->
+                if rd <> 0 then regs.(rd) <- true
+            | Isa.Instr.Call callee -> (
+                match Hashtbl.find_opt table callee with
+                | Some callee_regs ->
+                    Array.iteri
+                      (fun r b -> if b then regs.(r) <- true)
+                      callee_regs
+                | None ->
+                    (* Should not happen in bottom-up order; be sound. *)
+                    List.iter (fun r -> regs.(r) <- true) all_registers)
+            | Isa.Instr.Store _ | Isa.Instr.Branch _ | Isa.Instr.Jump _
+            | Isa.Instr.Ret | Isa.Instr.Nop | Isa.Instr.Halt ->
+                ())
+          (Cfg.Block.instr_indices (Cfg.Graph.block g id))
+      done;
+      Hashtbl.replace table name regs)
+    (Cfg.Callgraph.bottom_up cg);
+  table
+
+let clobbered t name =
+  match Hashtbl.find_opt t name with
+  | Some regs ->
+      List.filter (fun r -> regs.(r)) (List.init Isa.Instr.num_regs Fun.id)
+  | None -> all_registers
+
+let may_write t name r =
+  match Hashtbl.find_opt t name with
+  | Some regs -> regs.(r)
+  | None -> r <> 0

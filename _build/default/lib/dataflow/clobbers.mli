@@ -1,0 +1,21 @@
+(** Interprocedural register-clobber analysis.
+
+    For each procedure, the set of registers it (or anything it calls)
+    may write.  Lets the value analysis and the loop-bound inference keep
+    loop counters precise across calls instead of forgetting every
+    register — the difference between "annotate every loop containing a
+    call" and automatic bounds (the calling-convention knowledge an
+    industrial binary analyzer reconstructs). *)
+
+type t
+
+val compute : Cfg.Callgraph.t -> t
+
+val clobbered : t -> string -> Isa.Instr.reg list
+(** Registers the named procedure may write, transitively.  Unknown
+    procedures answer every register (sound default). *)
+
+val may_write : t -> string -> Isa.Instr.reg -> bool
+
+val all_registers : Isa.Instr.reg list
+(** The sound fallback: every register except [r0]. *)

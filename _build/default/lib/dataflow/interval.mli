@@ -1,0 +1,65 @@
+(** Interval abstract domain over integers, with infinities.
+
+    The classic domain for binary-level value analysis (Section 3.1 of the
+    paper: "loop and value analysis try to determine loop bounds and
+    (abstract) contents of registers").  [bottom] is the empty interval. *)
+
+type bound = Neg_inf | Finite of int | Pos_inf
+
+type t = private Bottom | Range of bound * bound
+
+val bottom : t
+val top : t
+val const : int -> t
+val range : int -> int -> t
+(** @raise Invalid_argument if [lo > hi]. *)
+
+val of_bounds : bound -> bound -> t
+(** Normalizes empty ranges to [bottom]. *)
+
+val is_bottom : t -> bool
+val is_const : t -> int option
+val lower : t -> bound
+val upper : t -> bound
+(** @raise Invalid_argument on [bottom]. *)
+
+val finite_lower : t -> int option
+val finite_upper : t -> int option
+
+val contains : t -> int -> bool
+val subset : t -> t -> bool
+val equal : t -> t -> bool
+
+val join : t -> t -> t
+val meet : t -> t -> t
+val widen : t -> t -> t
+(** [widen old new_]: unstable bounds jump to infinity. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mul : t -> t -> t
+(** Precise for finite operands; conservative (top) when an infinite bound
+    makes the sign analysis ambiguous. *)
+
+val div : t -> t -> t
+val rem : t -> t -> t
+val shift_left : t -> t -> t
+val shift_right_logical : t -> t -> t
+val logical_and : t -> t -> t
+val logical_or : t -> t -> t
+val logical_xor : t -> t -> t
+val slt : t -> t -> t
+(** Abstract set-less-than: [{0}], [{1}], or [{0,1}]. *)
+
+(** Refinement by branch conditions: [refine_cond c a b] returns the
+    largest sub-intervals [(a', b')] such that values satisfying [c] are
+    retained.  Used on CFG edges to sharpen loop counters. *)
+val refine_eq : t -> t -> t * t
+
+val refine_ne : t -> t -> t * t
+val refine_lt : t -> t -> t * t
+val refine_ge : t -> t -> t * t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,238 @@
+type source = Inferred | Annotated
+
+type bound = {
+  header : Cfg.Block.id;
+  max_back_edges : int;
+  min_back_edges : int;
+  source : source;
+}
+
+exception Unbounded of string
+
+(* Normalized continue-predicates over (counter value v, constant limit l). *)
+type pred = P_ne | P_eq | P_lt | P_ge | P_gt | P_le
+
+let writes_reg ~call_clobbers reg = function
+  | Isa.Instr.Alu (_, rd, _, _) | Isa.Instr.Alui (_, rd, _, _)
+  | Isa.Instr.Load (_, rd, _, _) ->
+      rd = reg
+  | Isa.Instr.Store _ | Isa.Instr.Branch _ | Isa.Instr.Jump _
+  | Isa.Instr.Ret | Isa.Instr.Nop | Isa.Instr.Halt ->
+      false
+  | Isa.Instr.Call callee -> reg <> 0 && List.mem reg (call_clobbers callee)
+
+(* All (instr index, block id) pairs in the loop body writing [reg]. *)
+let body_writes ~call_clobbers g (l : Cfg.Loops.loop) reg =
+  List.concat_map
+    (fun id ->
+      let b = Cfg.Graph.block g id in
+      List.filter_map
+        (fun i ->
+          if
+            writes_reg ~call_clobbers reg
+              (Isa.Program.instr g.Cfg.Graph.program i)
+          then Some (i, id)
+          else None)
+        (Cfg.Block.instr_indices b))
+    l.Cfg.Loops.body
+
+(* ceil/floor division for positive divisor *)
+let fdiv a b = if a >= 0 then a / b else -(((-a) + b - 1) / b)
+let cdiv a b = if a >= 0 then (a + b - 1) / b else -((-a) / b)
+
+(* Back-edge counts for counter dynamics v_j = init + j*step (j >= 1 body
+   executions), continuing while pred(v_j, limit): the maximum over the
+   initial interval [init_lo, init_hi] and the guaranteed minimum.
+   For a monotone counter the extreme trip counts come from the interval
+   endpoints: the far endpoint maximizes, the near one minimizes. *)
+let count_iterations pred ~step ~limit ~init_lo ~init_hi =
+  let clamp j = max 0 j in
+  let range f = Ok (clamp (f init_lo init_hi), clamp (f init_hi init_lo)) in
+  match pred with
+  | P_ge when step < 0 ->
+      (* stop first j with init + j*step < limit *)
+      range (fun _lo hi -> fdiv (hi - limit) (-step))
+  | P_gt when step < 0 -> range (fun _lo hi -> fdiv (hi - (limit + 1)) (-step))
+  | P_lt when step > 0 -> range (fun lo _hi -> cdiv (limit - lo) step - 1)
+  | P_le when step > 0 -> range (fun lo _hi -> cdiv (limit + 1 - lo) step - 1)
+  | P_ne when step < 0 ->
+      if init_lo <= limit then
+        Error "counter may start at or below its Ne limit (non-termination)"
+      else if -step = 1 then
+        Ok (clamp (init_hi - limit - 1), clamp (init_lo - limit - 1))
+      else if init_lo = init_hi && (init_hi - limit) mod -step = 0 then
+        let j = clamp (((init_hi - limit) / -step) - 1) in
+        Ok (j, j)
+      else Error "Ne limit not guaranteed to be hit exactly"
+  | P_ne when step > 0 ->
+      if init_hi >= limit then
+        Error "counter may start at or above its Ne limit (non-termination)"
+      else if step = 1 then
+        Ok (clamp (limit - init_lo - 1), clamp (limit - init_hi - 1))
+      else if init_lo = init_hi && (limit - init_lo) mod step = 0 then
+        let j = clamp (((limit - init_lo) / step) - 1) in
+        Ok (j, j)
+      else Error "Ne limit not guaranteed to be hit exactly"
+  | P_eq ->
+      (* Continue while v = limit; a nonzero step leaves the limit after
+         at most one more iteration. *)
+      Ok (1, 0)
+  | P_ne | P_lt | P_ge | P_gt | P_le ->
+      Error "loop direction does not terminate against its limit"
+
+let pred_of_branch cond ~taken ~counter_is_first =
+  (* The continue predicate holds when the back edge is traversed. *)
+  let base =
+    match (cond : Isa.Instr.cond), taken with
+    | Isa.Instr.Eq, true | Isa.Instr.Ne, false -> P_eq
+    | Isa.Instr.Ne, true | Isa.Instr.Eq, false -> P_ne
+    | Isa.Instr.Lt, true | Isa.Instr.Ge, false -> P_lt
+    | Isa.Instr.Ge, true | Isa.Instr.Lt, false -> P_ge
+  in
+  if counter_is_first then base
+  else
+    (* cond(limit, counter): swap the inequality. *)
+    match base with
+    | P_eq -> P_eq
+    | P_ne -> P_ne
+    | P_lt -> P_gt (* limit < v *)
+    | P_ge -> P_le (* limit >= v *)
+    | P_gt -> P_lt
+    | P_le -> P_ge
+
+let infer_loop ~call_clobbers g dom loop_info (l : Cfg.Loops.loop) va =
+  let ( let* ) r f = Result.bind r f in
+  let* back_edge =
+    match l.Cfg.Loops.back_edges with
+    | [ e ] -> Ok e
+    | _ -> Error "multiple back edges"
+  in
+  let latch = back_edge.Cfg.Graph.src in
+  let latch_block = Cfg.Graph.block g latch in
+  let* cond, r1, r2 =
+    match Cfg.Block.terminator g.Cfg.Graph.program latch_block with
+    | Isa.Instr.Branch (c, a, b, _) -> Ok (c, a, b)
+    | Isa.Instr.Jump _ ->
+        Error "back edge is an unconditional jump (no exit test at latch)"
+    | _ -> Error "back edge does not end in a branch"
+  in
+  let taken = back_edge.Cfg.Graph.kind = Cfg.Graph.Taken in
+  (* Identify counter vs. limit: the counter has exactly one constant-step
+     update in the body; the limit has none. *)
+  let classify reg =
+    match body_writes ~call_clobbers g l reg with
+    | [] -> `Constant
+    | [ (i, bid) ] -> (
+        match Isa.Program.instr g.Cfg.Graph.program i with
+        | Isa.Instr.Alui (Isa.Instr.Add, rd, rs, k) when rd = reg && rs = reg
+          ->
+            `Counter (k, bid)
+        | Isa.Instr.Alui (Isa.Instr.Sub, rd, rs, k) when rd = reg && rs = reg
+          ->
+            `Counter (-k, bid)
+        | _ -> `Other)
+    | _ :: _ :: _ -> `Other
+  in
+  let* counter, step, writer_block, limit_reg, counter_is_first =
+    match (classify r1, classify r2) with
+    | `Counter (k, bid), `Constant -> Ok (r1, k, bid, r2, true)
+    | `Constant, `Counter (k, bid) -> Ok (r2, k, bid, r1, false)
+    | `Constant, `Constant -> Error "no register is updated in the loop"
+    | _ -> Error "branch registers are not a (counter, constant) pair"
+  in
+  let* () = if step = 0 then Error "zero-step counter" else Ok () in
+  (* The single update must run exactly once per iteration: its block
+     dominates the latch and its innermost loop is this loop. *)
+  let* () =
+    if not (Cfg.Dominators.dominates dom writer_block latch) then
+      Error "counter update does not dominate the latch"
+    else
+      match Cfg.Loops.innermost_containing loop_info writer_block with
+      | Some l' when l'.Cfg.Loops.header = l.Cfg.Loops.header -> Ok ()
+      | Some _ -> Error "counter update sits in an inner loop"
+      | None -> Error "counter update outside any loop?"
+  in
+  (* Limit: constant interval at the latch branch. *)
+  let* limit =
+    match
+      Value_analysis.state_before_instr va g latch_block.Cfg.Block.last
+    with
+    | None -> Error "latch unreachable in value analysis"
+    | Some st -> (
+        match Interval.is_const st.(limit_reg) with
+        | Some c -> Ok c
+        | None ->
+            Error
+              (Printf.sprintf "limit r%d is not a known constant (%s)"
+                 limit_reg
+                 (Interval.to_string st.(limit_reg))))
+  in
+  (* Initial counter interval: join over refined entry edges. *)
+  let* init =
+    let joined =
+      List.fold_left
+        (fun acc e ->
+          let st = Value_analysis.edge_state va g e in
+          Interval.join acc st.(counter))
+        Interval.bottom l.Cfg.Loops.entry_edges
+    in
+    if Interval.is_bottom joined then Error "loop entry unreachable"
+    else Ok joined
+  in
+  let* init_lo, init_hi =
+    match (Interval.finite_lower init, Interval.finite_upper init) with
+    | Some lo, Some hi -> Ok (lo, hi)
+    | _ ->
+        Error
+          (Printf.sprintf "initial counter value unknown (%s)"
+             (Interval.to_string init))
+  in
+  let pred = pred_of_branch cond ~taken ~counter_is_first in
+  count_iterations pred ~step ~limit ~init_lo ~init_hi
+
+let infer_loop ?(call_clobbers = fun _ -> Clobbers.all_registers) g dom
+    loop_info va l =
+  infer_loop ~call_clobbers g dom loop_info l va
+
+let header_label g (l : Cfg.Loops.loop) =
+  let b = Cfg.Graph.block g l.Cfg.Loops.header in
+  Isa.Program.label_at g.Cfg.Graph.program b.Cfg.Block.first
+
+let infer ?(call_clobbers = fun _ -> Clobbers.all_registers) g dom loop_info
+    va annot =
+  List.map
+    (fun (l : Cfg.Loops.loop) ->
+      let annotated =
+        match header_label g l with
+        | Some label ->
+            Annot.loop_bound annot ~proc:g.Cfg.Graph.name ~header_label:label
+        | None -> None
+      in
+      match annotated with
+      | Some n ->
+          {
+            header = l.Cfg.Loops.header;
+            max_back_edges = n;
+            min_back_edges = 0;
+            source = Annotated;
+          }
+      | None -> (
+          match infer_loop ~call_clobbers g dom loop_info va l with
+          | Ok (mx, mn) ->
+              {
+                header = l.Cfg.Loops.header;
+                max_back_edges = mx;
+                min_back_edges = mn;
+                source = Inferred;
+              }
+          | Error reason ->
+              raise
+                (Unbounded
+                   (Printf.sprintf
+                      "%s: loop at B%d (%s): %s — annotate it"
+                      g.Cfg.Graph.name l.Cfg.Loops.header
+                      (match header_label g l with
+                      | Some lb -> lb
+                      | None -> "<no label>")
+                      reason))))
+    (Cfg.Loops.loops loop_info)

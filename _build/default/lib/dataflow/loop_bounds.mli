@@ -1,0 +1,55 @@
+(** Automatic loop-bound inference for counter loops, with annotation
+    fallback.
+
+    A loop bound here is the maximum number of *back-edge traversals per
+    entry into the loop*; the IPET builder turns it into the constraint
+    [sum(back edges) <= bound * sum(entry edges)], which composes correctly
+    under nesting.
+
+    Inference recognizes the MISRA-C-style "simple counter loop" shape the
+    paper's companion work singles out as analysable (rules 13.6/13.4):
+    a single back edge whose branch compares a counter register against a
+    constant limit, where the counter is updated exactly once per iteration
+    by a constant step on every path (checked by dominance), and the
+    initial value is known to the interval analysis.  Everything else needs
+    an annotation. *)
+
+type source = Inferred | Annotated
+
+type bound = {
+  header : Cfg.Block.id;
+  max_back_edges : int;
+  min_back_edges : int;
+      (** guaranteed traversals per entry — the BCET-side bound Li et
+          al.'s iterative WCET/BCET framework needs; 0 when unknown (an
+          annotation only gives the upper bound) *)
+  source : source;
+}
+
+exception Unbounded of string
+(** Human-readable description of the loop that could not be bounded. *)
+
+val infer :
+  ?call_clobbers:(string -> Isa.Instr.reg list) ->
+  Cfg.Graph.t ->
+  Cfg.Dominators.t ->
+  Cfg.Loops.t ->
+  Value_analysis.result ->
+  Annot.t ->
+  bound list
+(** One bound per natural loop.  [call_clobbers] (from {!Clobbers}) keeps
+    counters of loops that contain calls analysable when the callee
+    provably leaves them alone.
+    @raise Unbounded when a loop is neither inferable nor annotated. *)
+
+val infer_loop :
+  ?call_clobbers:(string -> Isa.Instr.reg list) ->
+  Cfg.Graph.t ->
+  Cfg.Dominators.t ->
+  Cfg.Loops.t ->
+  Value_analysis.result ->
+  Cfg.Loops.loop ->
+  (int * int, string) Result.t
+(** The inference engine for one loop, without annotations: [(max, min)]
+    back-edge traversals per entry; [Error] carries the reason (useful
+    for diagnostics and tests). *)

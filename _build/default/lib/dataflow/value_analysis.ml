@@ -1,0 +1,195 @@
+type astate = Interval.t array
+
+type result = {
+  graph : Cfg.Graph.t;
+  ins : astate array;
+  outs : astate array;
+  call_clobbers : string -> Isa.Instr.reg list;
+}
+
+let num_regs = Isa.Instr.num_regs
+
+let bottom_state () = Array.make num_regs Interval.bottom
+
+let top_state () =
+  let s = Array.make num_regs Interval.top in
+  s.(0) <- Interval.const 0;
+  s
+
+let is_bottom_state s = Array.exists Interval.is_bottom s
+
+let join_state a b =
+  if is_bottom_state a then Array.copy b
+  else if is_bottom_state b then Array.copy a
+  else Array.init num_regs (fun i -> Interval.join a.(i) b.(i))
+
+let widen_state old next =
+  Array.init num_regs (fun i -> Interval.widen old.(i) next.(i))
+
+let equal_state a b =
+  let rec go i =
+    i >= num_regs || (Interval.equal a.(i) b.(i) && go (i + 1))
+  in
+  go 0
+
+let set st r v =
+  let st = Array.copy st in
+  if r <> 0 then st.(r) <- v;
+  st
+
+let alu_interval op a b =
+  match (op : Isa.Instr.alu_op) with
+  | Isa.Instr.Add -> Interval.add a b
+  | Isa.Instr.Sub -> Interval.sub a b
+  | Isa.Instr.Mul -> Interval.mul a b
+  | Isa.Instr.Div -> Interval.div a b
+  | Isa.Instr.Rem -> Interval.rem a b
+  | Isa.Instr.And -> Interval.logical_and a b
+  | Isa.Instr.Or -> Interval.logical_or a b
+  | Isa.Instr.Xor -> Interval.logical_xor a b
+  | Isa.Instr.Sll -> Interval.shift_left a b
+  | Isa.Instr.Srl -> Interval.shift_right_logical a b
+  | Isa.Instr.Slt -> Interval.slt a b
+
+let transfer_instr_with ~call_clobbers ins st =
+  if is_bottom_state st then st
+  else
+    match (ins : Isa.Instr.t) with
+    | Isa.Instr.Alu (op, rd, rs1, rs2) ->
+        set st rd (alu_interval op st.(rs1) st.(rs2))
+    | Isa.Instr.Alui (op, rd, rs1, imm) ->
+        set st rd (alu_interval op st.(rs1) (Interval.const imm))
+    | Isa.Instr.Load (_, rd, _, _) -> set st rd Interval.top
+    | Isa.Instr.Store _ | Isa.Instr.Branch _ | Isa.Instr.Jump _
+    | Isa.Instr.Ret | Isa.Instr.Nop | Isa.Instr.Halt ->
+        st
+    | Isa.Instr.Call callee ->
+        (* Forget only what the callee (transitively) may write. *)
+        List.fold_left
+          (fun st r -> set st r Interval.top)
+          (Array.copy st) (call_clobbers callee)
+
+let transfer_instr ins st =
+  transfer_instr_with ~call_clobbers:(fun _ -> Clobbers.all_registers) ins st
+
+let transfer_block ~call_clobbers g id st =
+  let b = Cfg.Graph.block g id in
+  List.fold_left
+    (fun st i ->
+      transfer_instr_with ~call_clobbers
+        (Isa.Program.instr g.Cfg.Graph.program i)
+        st)
+    st
+    (Cfg.Block.instr_indices b)
+
+(* Refine [st] along edge [e] using the branch terminating [e.src]. *)
+let refine_along g (e : Cfg.Graph.edge) st =
+  if is_bottom_state st then st
+  else
+    let b = Cfg.Graph.block g e.src in
+    match Cfg.Block.terminator g.Cfg.Graph.program b with
+    | Isa.Instr.Branch (c, r1, r2, _) ->
+        let taken = e.kind = Cfg.Graph.Taken in
+        let a = st.(r1) and bv = st.(r2) in
+        let a', b' =
+          match (c, taken) with
+          | Isa.Instr.Eq, true | Isa.Instr.Ne, false ->
+              Interval.refine_eq a bv
+          | Isa.Instr.Ne, true | Isa.Instr.Eq, false ->
+              Interval.refine_ne a bv
+          | Isa.Instr.Lt, true | Isa.Instr.Ge, false ->
+              Interval.refine_lt a bv
+          | Isa.Instr.Ge, true | Isa.Instr.Lt, false ->
+              Interval.refine_ge a bv
+        in
+        let st = set st r1 a' in
+        set st r2 b'
+    | Isa.Instr.Alu _ | Isa.Instr.Alui _ | Isa.Instr.Load _
+    | Isa.Instr.Store _ | Isa.Instr.Jump _ | Isa.Instr.Call _
+    | Isa.Instr.Ret | Isa.Instr.Nop | Isa.Instr.Halt ->
+        st
+
+let analyze ?(widen_after = 3)
+    ?(call_clobbers = fun _ -> Clobbers.all_registers) g =
+  let n = Cfg.Graph.num_blocks g in
+  let ins = Array.init n (fun _ -> bottom_state ()) in
+  let outs = Array.init n (fun _ -> bottom_state ()) in
+  let visits = Array.make n 0 in
+  ins.(g.Cfg.Graph.entry) <- top_state ();
+  let rpo = Cfg.Graph.reverse_postorder g in
+  let compute_in id =
+    if id = g.Cfg.Graph.entry then top_state ()
+    else
+      List.fold_left
+        (fun acc (e : Cfg.Graph.edge) ->
+          join_state acc (refine_along g e outs.(e.src)))
+        (bottom_state ())
+        (Cfg.Graph.preds g id)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun id ->
+        let input = compute_in id in
+        let input =
+          if visits.(id) > widen_after then widen_state ins.(id) input
+          else input
+        in
+        visits.(id) <- visits.(id) + 1;
+        if not (equal_state input ins.(id)) then begin
+          ins.(id) <- input;
+          outs.(id) <- transfer_block ~call_clobbers g id input;
+          changed := true
+        end
+        else if is_bottom_state outs.(id) && not (is_bottom_state input)
+        then begin
+          outs.(id) <- transfer_block ~call_clobbers g id input;
+          changed := true
+        end)
+      rpo
+  done;
+  (* One narrowing sweep recovers precision lost to widening where the
+     refined inputs are strictly smaller. *)
+  List.iter
+    (fun id ->
+      let input = compute_in id in
+      let narrowed =
+        Array.init num_regs (fun i -> Interval.meet ins.(id).(i) input.(i))
+      in
+      ins.(id) <- narrowed;
+      outs.(id) <- transfer_block ~call_clobbers g id narrowed)
+    rpo;
+  { graph = g; ins; outs; call_clobbers }
+
+let block_in r id = r.ins.(id)
+let block_out r id = r.outs.(id)
+
+let state_before_instr r g i =
+  match Cfg.Graph.block_of_instr g i with
+  | None -> None
+  | Some id ->
+      let b = Cfg.Graph.block g id in
+      let rec replay st j =
+        if j >= i then st
+        else
+          replay
+            (transfer_instr_with ~call_clobbers:r.call_clobbers
+               (Isa.Program.instr g.Cfg.Graph.program j)
+               st)
+            (j + 1)
+      in
+      Some (replay r.ins.(id) b.Cfg.Block.first)
+
+let reg_interval st r = st.(r)
+
+let edge_state r g e = refine_along g e r.outs.(e.Cfg.Graph.src)
+
+let pp_astate ppf st =
+  Format.fprintf ppf "@[<h>";
+  Array.iteri
+    (fun i v ->
+      if not (Interval.equal v Interval.top) && i > 0 then
+        Format.fprintf ppf "r%d=%a " i Interval.pp v)
+    st;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,1 @@
+lib/interconnect/arbiter.ml: Array List Printf String

@@ -1,0 +1,100 @@
+type t =
+  | Private
+  | Round_robin of { cores : int }
+  | Tdma of { cores : int; slot : int }
+  | Weighted of { weights : int array }
+  | Fcfs of { cores : int }
+
+(* Smooth weighted round-robin: each step grants the core with the
+   largest accumulated credit; produces an evenly interleaved round. *)
+let smooth_wrr weights =
+  let n = Array.length weights in
+  let total = Array.fold_left ( + ) 0 weights in
+  let credit = Array.make n 0 in
+  Array.init total (fun _ ->
+      Array.iteri (fun i w -> credit.(i) <- credit.(i) + w) weights;
+      let best = ref 0 in
+      for i = 1 to n - 1 do
+        if credit.(i) > credit.(!best) then best := i
+      done;
+      credit.(!best) <- credit.(!best) - total;
+      !best)
+
+let round = function
+  | Private -> [| 0 |]
+  | Round_robin { cores } | Tdma { cores; _ } | Fcfs { cores } ->
+      Array.init cores (fun i -> i)
+  | Weighted { weights } -> smooth_wrr weights
+
+(* Largest cyclic run of foreign slots between two slots of [core]. *)
+let max_gap round core =
+  let n = Array.length round in
+  let occurrences =
+    Array.to_list round
+    |> List.mapi (fun i c -> (i, c))
+    |> List.filter (fun (_, c) -> c = core)
+    |> List.map fst
+  in
+  match occurrences with
+  | [] -> n
+  | [ _ ] -> n - 1
+  | first :: _ ->
+      let rec gaps = function
+        | a :: (b :: _ as rest) -> (b - a - 1) :: gaps rest
+        | [ last ] -> [ n - last - 1 + first ]
+        | [] -> []
+      in
+      List.fold_left max 0 (gaps occurrences)
+
+let cores = function
+  | Private -> 1
+  | Round_robin { cores } | Tdma { cores; _ } | Fcfs { cores } -> cores
+  | Weighted { weights } -> Array.length weights
+
+let worst_wait t ~core ~own_latency ~max_latency =
+  if own_latency <= 0 || max_latency < own_latency then
+    invalid_arg "Arbiter.worst_wait: bad latencies";
+  if core < 0 || core >= cores t then
+    invalid_arg "Arbiter.worst_wait: bad core";
+  match t with
+  | Private -> 0
+  | Round_robin { cores } ->
+      (* Between a request and its grant each other core is served at most
+         once: (N-1)*Lmax.  With uniform latencies the completion delay is
+         N*L — one cycle above the survey's continuous-time D = N*L-1
+         because a request can coincide with a foreign grant in a
+         discrete-time bus. *)
+      if cores <= 1 then 0 else (cores - 1) * max_latency
+  | Tdma { cores; slot } ->
+      if slot < own_latency then
+        invalid_arg "Arbiter.worst_wait: TDMA slot shorter than transaction"
+      else if cores <= 1 then 0
+      else ((cores - 1) * slot) + own_latency - 1
+  | Weighted { weights } ->
+      let r = smooth_wrr weights in
+      let gap = max_gap r core in
+      if gap = 0 then 0 else (gap + 1) * max_latency
+  | Fcfs { cores } -> if cores <= 1 then 0 else (cores - 1) * max_latency
+
+let analysable = function
+  | Private | Round_robin _ | Tdma _ | Weighted _ -> true
+  | Fcfs _ -> false
+
+let describe = function
+  | Private -> "private bus"
+  | Round_robin { cores } -> Printf.sprintf "round-robin (%d cores)" cores
+  | Tdma { cores; slot } ->
+      Printf.sprintf "TDMA (%d cores, slot %d)" cores slot
+  | Weighted { weights } ->
+      Printf.sprintf "weighted round-robin [%s]"
+        (String.concat ";"
+           (Array.to_list (Array.map string_of_int weights)))
+  | Fcfs { cores } -> Printf.sprintf "FCFS (%d cores, NOT analysable)" cores
+
+type refresh_policy =
+  | Distributed of { interval : int; duration : int }
+  | Burst
+
+let refresh_wait = function
+  | Distributed { interval = _; duration } -> duration
+  | Burst -> 0

@@ -1,0 +1,68 @@
+(** Shared-bus arbitration bound models (Section 5 of the paper).
+
+    Each model answers one question for the WCET analysis: how long can a
+    core wait before its bus transaction starts service — independently of
+    what the co-runners do (task isolation), or flagged as not analysable
+    when no such bound exists without knowing the co-runners (FCFS).
+
+    Transactions are heterogeneous (an L2 hit is short, a DRAM access is
+    long), so bounds take both the requesting transaction's [own_latency]
+    (TDMA fit) and the platform-wide [max_latency] any transaction can have
+    (what foreign services can cost us).
+
+    - [Round_robin]: token passing; between a request and its grant every
+      other core is served at most once: wait <= (N-1)*Lmax.  For uniform
+      latencies the completion delay is N*L, one cycle above the survey's
+      continuous-time D = N*L - 1 (Section 5.3) because in a discrete-time
+      bus a request can coincide with a foreign grant.
+    - [Tdma]: fixed slots of [slot] cycles; a transaction must fit inside
+      the core's own slot: wait <= (N-1)*slot + L - 1, which matches the
+      round-robin bound when [slot = Lmax = L] and degrades as slots grow
+      (the Section 5.2 discussion).
+    - [Weighted] (Bourgade et al.'s multiple-bandwidth arbiter): a token
+      round contains [w_i] slots for core [i], spread as evenly as
+      possible (smooth weighted round-robin); between two of core [i]'s
+      slots at most [gap_i] foreign slots occur, so
+      wait <= (gap_i + 1) * Lmax where [gap_i] is the largest such run —
+      heavier cores get structurally tighter bounds, fitting workloads
+      with heterogeneous memory demands.
+    - [Fcfs]: the queue content depends on co-runner behaviour; the
+      returned all-queued bound is *not* guaranteed ([analysable] is
+      false). *)
+
+type t =
+  | Private
+  | Round_robin of { cores : int }
+  | Tdma of { cores : int; slot : int }
+  | Weighted of { weights : int array }
+  | Fcfs of { cores : int }
+
+val worst_wait : t -> core:int -> own_latency:int -> max_latency:int -> int
+(** Worst-case cycles between issuing a bus request and the start of its
+    service, for any co-runner behaviour (except [Fcfs], see
+    {!analysable}).
+    @raise Invalid_argument on nonpositive latencies, a TDMA slot shorter
+    than [own_latency], or an out-of-range core. *)
+
+val analysable : t -> bool
+
+val round : t -> int array
+(** The grant round the token walks: per-core slot sequence for
+    [Round_robin] and [Weighted] (smooth-WRR interleaving), identity for
+    the rest.  The simulator's bus uses exactly this round, so the bounds
+    and the hardware agree by construction. *)
+
+val cores : t -> int
+val describe : t -> string
+
+(** Predictable memory-controller refresh handling (Section 5.3's
+    time-predictable memory controller; Bhat & Mueller's burst refresh). *)
+type refresh_policy =
+  | Distributed of { interval : int; duration : int }
+      (** standard controllers: any access may collide with one refresh *)
+  | Burst
+      (** refreshes batched into a schedulable task: no per-access
+          interference *)
+
+val refresh_wait : refresh_policy -> int
+(** Worst-case extra wait a single memory access can suffer. *)

@@ -1,0 +1,1 @@
+lib/isa/asm.ml: Array Instr List Printf Program String

@@ -1,0 +1,1 @@
+lib/isa/exec.ml: Array Instr Layout Printf Program

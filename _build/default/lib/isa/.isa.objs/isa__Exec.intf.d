@@ -1,0 +1,1 @@
+lib/isa/exec.mli: Instr Program

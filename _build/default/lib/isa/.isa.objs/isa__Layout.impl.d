@@ -1,0 +1,1 @@
+lib/isa/layout.ml: Instr Program

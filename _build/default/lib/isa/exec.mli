@@ -1,0 +1,54 @@
+(** Functional (untimed) semantics of MiniRISC.
+
+    This is the architectural reference model: the cycle-level simulator in
+    [lib/sim] drives it for state updates and adds timing on top, and tests
+    use it as the oracle for program behaviour.
+
+    Arithmetic is on native OCaml integers (no 32-bit wrap-around); division
+    and remainder by zero yield 0 so the semantics is total.  Shift amounts
+    are masked to 0..31 and logical right shift operates on the low 32 bits
+    of its operand. *)
+
+type event =
+  | Ev_alu of Instr.alu_op
+  | Ev_load of Instr.space * int  (** byte address *)
+  | Ev_store of Instr.space * int  (** byte address *)
+  | Ev_branch of bool  (** taken? *)
+  | Ev_jump
+  | Ev_call
+  | Ev_ret
+  | Ev_nop
+
+type state = {
+  regs : int array;
+  data : int array;  (** word-addressed *)
+  stack : int array;
+  io : int array;
+  mutable pc : int;  (** instruction index; [-1] once halted *)
+  mutable call_stack : int list;  (** return instruction indices *)
+  mutable steps : int;
+}
+
+exception Fault of string
+(** Out-of-range memory access or call-stack underflow. *)
+
+val init :
+  ?data_words:int -> ?stack_words:int -> ?io_words:int -> Program.t -> state
+(** Fresh state at the program entry; all registers and memories zero.
+    Defaults: 4096 data words, 1024 stack words, 64 io words. *)
+
+val halted : state -> bool
+
+val step : Program.t -> state -> event option
+(** Execute one instruction.  [None] if already halted or the executed
+    instruction is [Halt].
+    @raise Fault on memory/call-stack violations. *)
+
+val run : ?fuel:int -> Program.t -> state -> int
+(** Run to halt; returns the number of instructions executed (including
+    those executed before the call).  Default fuel: [10_000_000].
+    @raise Fault if the fuel is exhausted (likely a non-terminating
+    program, which a WCET workload must not be). *)
+
+val alu : Instr.alu_op -> int -> int -> int
+(** The pure ALU function, exposed for the simulator. *)

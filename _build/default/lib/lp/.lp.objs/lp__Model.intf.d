@@ -1,0 +1,1 @@
+lib/lp/model.mli: Format Q

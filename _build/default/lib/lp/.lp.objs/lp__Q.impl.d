@@ -1,0 +1,1 @@
+lib/lp/q.ml: Format Printf Stdlib

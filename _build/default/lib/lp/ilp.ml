@@ -1,0 +1,63 @@
+type outcome =
+  | Optimal of Q.t * int array
+  | Unbounded
+  | Infeasible
+
+let find_fractional solution =
+  let n = Array.length solution in
+  let rec go i =
+    if i >= n then None
+    else if Q.is_integer solution.(i) then go (i + 1)
+    else Some i
+  in
+  go 0
+
+let solve ?(max_nodes = 100_000) model =
+  let n = Model.num_vars model in
+  let incumbent = ref None in
+  let nodes = ref 0 in
+  let better obj =
+    match !incumbent with
+    | None -> true
+    | Some (best, _) -> Q.compare obj best > 0
+  in
+  (* DFS over subproblems, each a list of extra bound constraints. *)
+  let rec explore extra =
+    incr nodes;
+    if !nodes > max_nodes then
+      failwith "Ilp.solve: branch-and-bound node budget exhausted";
+    match Simplex.solve_with model ~extra with
+    | Simplex.Infeasible -> `Done
+    | Simplex.Unbounded -> `Unbounded
+    | Simplex.Optimal (obj, solution) ->
+        if not (better obj) then `Done
+        else begin
+          match find_fractional solution with
+          | None ->
+              if better obj then
+                incumbent :=
+                  Some (obj, Array.map Q.to_int_exn solution);
+              `Done
+          | Some i ->
+              let v = Model.var_of_index model i in
+              let x = solution.(i) in
+              let le =
+                ([ (Q.one, v) ], Model.Le, Q.of_int (Q.floor x))
+              in
+              let ge =
+                ([ (Q.one, v) ], Model.Ge, Q.of_int (Q.ceil x))
+              in
+              let r1 = explore (le :: extra) in
+              let r2 = explore (ge :: extra) in
+              if r1 = `Unbounded || r2 = `Unbounded then `Unbounded
+              else `Done
+        end
+  in
+  match explore [] with
+  | `Unbounded -> Unbounded
+  | `Done -> (
+      match !incumbent with
+      | Some (obj, sol) ->
+          assert (Array.length sol = n);
+          Optimal (obj, sol)
+      | None -> Infeasible)

@@ -1,0 +1,18 @@
+(** Integer linear programming by branch and bound on the exact simplex.
+
+    All model variables are required to take integer values.  IPET relaxations
+    are usually integral already (flow-conservation constraints form a
+    network-like matrix), so branching is rare; it exists to stay correct for
+    the few models where capacity constraints break integrality. *)
+
+type outcome =
+  | Optimal of Q.t * int array
+      (** Objective value (always an integer for integral models, kept as
+          {!Q.t} for uniformity) and an optimal integer assignment. *)
+  | Unbounded
+  | Infeasible
+
+val solve : ?max_nodes:int -> Model.t -> outcome
+(** [max_nodes] bounds the branch-and-bound tree size (default [100_000]).
+    @raise Failure if the node budget is exhausted, since a truncated search
+    could silently under-approximate a WCET bound. *)

@@ -1,0 +1,60 @@
+type var = int
+
+type relation = Le | Ge | Eq
+
+type linexpr = (Q.t * var) list
+
+type t = {
+  mutable names : string list; (* reversed *)
+  mutable nvars : int;
+  mutable cons : (linexpr * relation * Q.t) list; (* reversed *)
+  mutable obj : linexpr;
+}
+
+let create () = { names = []; nvars = 0; cons = []; obj = [] }
+
+let add_var t ~name =
+  let v = t.nvars in
+  t.names <- name :: t.names;
+  t.nvars <- v + 1;
+  v
+
+let num_vars t = t.nvars
+
+let var_name t v = List.nth t.names (t.nvars - 1 - v)
+
+let var_of_index t i =
+  if i < 0 || i >= t.nvars then invalid_arg "Model.var_of_index" else i
+
+let add_constraint t e rel b = t.cons <- (e, rel, b) :: t.cons
+
+let set_objective t e = t.obj <- e
+
+let constraints t = List.rev t.cons
+
+let objective t = t.obj
+
+let pp_linexpr t ppf e =
+  match e with
+  | [] -> Format.pp_print_string ppf "0"
+  | terms ->
+      List.iteri
+        (fun i (c, v) ->
+          if i > 0 then Format.pp_print_string ppf " + ";
+          Format.fprintf ppf "%a*%s" Q.pp c (var_name t v))
+        terms
+
+let pp_relation ppf = function
+  | Le -> Format.pp_print_string ppf "<="
+  | Ge -> Format.pp_print_string ppf ">="
+  | Eq -> Format.pp_print_string ppf "="
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>maximize %a@,subject to:@," (pp_linexpr t)
+    t.obj;
+  List.iter
+    (fun (e, rel, b) ->
+      Format.fprintf ppf "  %a %a %a@," (pp_linexpr t) e pp_relation rel Q.pp
+        b)
+    (constraints t);
+  Format.fprintf ppf "  (all variables >= 0)@]"

@@ -1,0 +1,42 @@
+(** Linear-program model building.
+
+    A model owns a set of named decision variables (all implicitly
+    constrained to be non-negative, which matches IPET execution-count
+    variables), a set of linear constraints, and a linear objective to
+    maximize.  Models are mutable builders; [Simplex.solve] and [Ilp.solve]
+    consume them without modifying them. *)
+
+type var = private int
+(** A variable handle, valid only for the model that created it. *)
+
+type relation = Le | Ge | Eq
+
+type linexpr = (Q.t * var) list
+(** A linear expression: sum of [coef * var] terms. *)
+
+type t
+
+val create : unit -> t
+
+val add_var : t -> name:string -> var
+(** Fresh non-negative variable.  Names are used for diagnostics only and
+    need not be unique. *)
+
+val num_vars : t -> int
+val var_name : t -> var -> string
+val var_of_index : t -> int -> var
+(** @raise Invalid_argument if the index is out of range. *)
+
+val add_constraint : t -> linexpr -> relation -> Q.t -> unit
+(** [add_constraint m e rel b] records the constraint [e rel b]. *)
+
+val set_objective : t -> linexpr -> unit
+(** Objective to maximize.  Defaults to the zero objective. *)
+
+val constraints : t -> (linexpr * relation * Q.t) list
+(** In insertion order. *)
+
+val objective : t -> linexpr
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable dump of the whole model. *)

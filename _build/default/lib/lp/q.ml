@@ -1,0 +1,75 @@
+type t = { num : int; den : int }
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let make num den =
+  if den = 0 then raise Division_by_zero
+  else
+    let s = if den < 0 then -1 else 1 in
+    let num = s * num and den = s * den in
+    if num = 0 then { num = 0; den = 1 }
+    else
+      let g = gcd (abs num) den in
+      { num = num / g; den = den / g }
+
+let of_int n = { num = n; den = 1 }
+
+let zero = of_int 0
+let one = of_int 1
+let minus_one = of_int (-1)
+
+let num t = t.num
+let den t = t.den
+
+let add a b = make ((a.num * b.den) + (b.num * a.den)) (a.den * b.den)
+let sub a b = make ((a.num * b.den) - (b.num * a.den)) (a.den * b.den)
+let mul a b = make (a.num * b.num) (a.den * b.den)
+
+let div a b =
+  if b.num = 0 then raise Division_by_zero
+  else make (a.num * b.den) (a.den * b.num)
+
+let neg a = { a with num = -a.num }
+let abs a = { a with num = Stdlib.abs a.num }
+
+let inv a =
+  if a.num = 0 then raise Division_by_zero else make a.den a.num
+
+let compare a b = Stdlib.compare (a.num * b.den) (b.num * a.den)
+let equal a b = compare a b = 0
+let sign a = Stdlib.compare a.num 0
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let is_zero a = a.num = 0
+let is_integer a = a.den = 1
+
+let floor a =
+  if a.num >= 0 then a.num / a.den
+  else if a.num mod a.den = 0 then a.num / a.den
+  else (a.num / a.den) - 1
+
+let ceil a = -floor (neg a)
+
+let to_float a = float_of_int a.num /. float_of_int a.den
+
+let to_int_exn a =
+  if a.den = 1 then a.num
+  else invalid_arg (Printf.sprintf "Q.to_int_exn: %d/%d" a.num a.den)
+
+let to_string a =
+  if a.den = 1 then string_of_int a.num
+  else Printf.sprintf "%d/%d" a.num a.den
+
+let pp ppf a = Format.pp_print_string ppf (to_string a)
+
+let ( + ) = add
+let ( - ) = sub
+let ( * ) = mul
+let ( / ) = div
+let ( ~- ) = neg
+let ( < ) a b = compare a b < 0
+let ( <= ) a b = compare a b <= 0
+let ( > ) a b = compare a b > 0
+let ( >= ) a b = compare a b >= 0
+let ( = ) = equal

@@ -1,0 +1,65 @@
+(** Exact rational arithmetic over native integers.
+
+    Values are kept in normal form: the denominator is positive and the
+    numerator and denominator are coprime.  Native [int] arithmetic (63-bit)
+    is sufficient for the LP/ILP instances produced by IPET path analysis,
+    which are small network-flow-like problems with modest coefficients. *)
+
+type t = private { num : int; den : int }
+
+val make : int -> int -> t
+(** [make num den] is the normalized rational [num/den].
+    @raise Division_by_zero if [den = 0]. *)
+
+val of_int : int -> t
+
+val zero : t
+val one : t
+val minus_one : t
+
+val num : t -> int
+val den : t -> int
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+(** @raise Division_by_zero if the divisor is zero. *)
+
+val neg : t -> t
+val abs : t -> t
+val inv : t -> t
+(** @raise Division_by_zero on zero. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val sign : t -> int
+val min : t -> t -> t
+val max : t -> t -> t
+
+val is_zero : t -> bool
+val is_integer : t -> bool
+
+val floor : t -> int
+(** Greatest integer [<= t]. *)
+
+val ceil : t -> int
+(** Least integer [>= t]. *)
+
+val to_float : t -> float
+val to_int_exn : t -> int
+(** @raise Invalid_argument if the value is not an integer. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( * ) : t -> t -> t
+val ( / ) : t -> t -> t
+val ( ~- ) : t -> t
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+val ( = ) : t -> t -> bool

@@ -1,0 +1,20 @@
+(** Two-phase primal simplex over exact rationals.
+
+    Solves [maximize c.x  s.t.  A.x rel b,  x >= 0] built with {!Model}.
+    Bland's anti-cycling rule guarantees termination; exact {!Q} arithmetic
+    makes the result free of floating-point artifacts, which matters because
+    IPET WCET bounds must be safe, not approximately safe. *)
+
+type outcome =
+  | Optimal of Q.t * Q.t array
+      (** Objective value and one optimal assignment, indexed by the
+          variable's creation order in the model. *)
+  | Unbounded
+  | Infeasible
+
+val solve : Model.t -> outcome
+
+val solve_with :
+  Model.t -> extra:(Model.linexpr * Model.relation * Q.t) list -> outcome
+(** Solve the model with additional constraints appended (used by
+    branch-and-bound without mutating the shared model). *)

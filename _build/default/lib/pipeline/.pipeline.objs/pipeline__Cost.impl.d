@@ -1,0 +1,1 @@
+lib/pipeline/cost.ml: Cache Cfg Isa Latencies List

@@ -1,0 +1,1 @@
+lib/pipeline/cost.mli: Cache Cfg Latencies

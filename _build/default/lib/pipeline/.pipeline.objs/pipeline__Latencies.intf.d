@@ -1,0 +1,1 @@
+lib/pipeline/latencies.mli: Isa

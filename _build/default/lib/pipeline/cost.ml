@@ -1,0 +1,67 @@
+type mem_class = {
+  l1 : Cache.Analysis.classification;
+  l2 : Cache.Analysis.classification;
+}
+
+type oracle = {
+  fetch_class : int -> mem_class;
+  data_class : int -> mem_class option;
+  is_io : int -> bool;
+  bus_wait : int;
+  mem_wait : int;
+}
+
+let l2_miss_cost (lat : Latencies.t) oracle = function
+  | Cache.Analysis.Always_hit | Cache.Analysis.Persistent -> 0
+  | Cache.Analysis.Always_miss | Cache.Analysis.Not_classified ->
+      lat.Latencies.mem + oracle.mem_wait
+
+let access_cost (lat : Latencies.t) oracle mc =
+  match mc.l1 with
+  | Cache.Analysis.Always_hit | Cache.Analysis.Persistent ->
+      lat.Latencies.l1_hit
+  | Cache.Analysis.Always_miss | Cache.Analysis.Not_classified ->
+      lat.Latencies.l1_hit + oracle.bus_wait + lat.Latencies.l2_hit
+      + l2_miss_cost lat oracle mc.l2
+
+let first_miss_penalty (lat : Latencies.t) oracle mc =
+  match mc.l1 with
+  | Cache.Analysis.Persistent ->
+      (* The one L1 miss crosses the bus into L2; if the L2 cannot
+         guarantee a hit — including when the line is merely *persistent*
+         there, since its one L2 miss coincides with this one L1 miss —
+         it continues into memory. *)
+      oracle.bus_wait + lat.Latencies.l2_hit
+      + (match mc.l2 with
+        | Cache.Analysis.Always_hit -> 0
+        | Cache.Analysis.Persistent | Cache.Analysis.Always_miss
+        | Cache.Analysis.Not_classified ->
+            lat.Latencies.mem + oracle.mem_wait)
+  | Cache.Analysis.Always_miss | Cache.Analysis.Not_classified -> (
+      match mc.l2 with
+      | Cache.Analysis.Persistent -> lat.Latencies.mem + oracle.mem_wait
+      | Cache.Analysis.Always_hit | Cache.Analysis.Always_miss
+      | Cache.Analysis.Not_classified ->
+          0)
+  | Cache.Analysis.Always_hit -> 0
+
+let data_cost lat oracle i =
+  if oracle.is_io i then oracle.bus_wait + lat.Latencies.io
+  else
+    match oracle.data_class i with
+    | Some mc -> access_cost lat oracle mc
+    | None -> 0
+
+let block_cost lat g oracle id =
+  let b = Cfg.Graph.block g id in
+  List.fold_left
+    (fun acc i ->
+      let ins = Isa.Program.instr g.Cfg.Graph.program i in
+      acc
+      + Latencies.exec_cost lat ins
+      + access_cost lat oracle (oracle.fetch_class i)
+      + data_cost lat oracle i)
+    0
+    (Cfg.Block.instr_indices b)
+
+let no_l2 c = { l1 = c; l2 = Cache.Analysis.Always_miss }

@@ -1,0 +1,45 @@
+(** Worst-case basic-block execution costs.
+
+    Combines the execution latency of each instruction with the worst-case
+    memory cost of its fetch and (for loads/stores) its data access, as
+    determined by the cache classifications and the shared-bus arbiter
+    bound.  This is the "computes lower and upper basic block execution
+    time bounds" stage of Figure 1 in Gebhard et al., instantiated for a
+    compositional pipeline.
+
+    Memory path model: the L1 caches are private; L1 misses cross the
+    shared bus (paying the arbiter's worst wait) into the L2; L2 misses
+    continue to DRAM, paying the memory controller's worst extra wait.
+    Uncached I/O accesses cross the bus every time. *)
+
+type mem_class = {
+  l1 : Cache.Analysis.classification;
+  l2 : Cache.Analysis.classification;
+      (** meaningful when the access can miss L1; use [Always_miss] for a
+          platform without L2 *)
+}
+
+type oracle = {
+  fetch_class : int -> mem_class;
+  data_class : int -> mem_class option;
+      (** [None] when the instruction performs no cacheable data access *)
+  is_io : int -> bool;  (** instruction performs an uncached I/O access *)
+  bus_wait : int;  (** arbiter worst-case wait per shared-bus transaction *)
+  mem_wait : int;  (** memory-controller worst-case extra wait (refresh) *)
+}
+
+val access_cost : Latencies.t -> oracle -> mem_class -> int
+(** Per-execution worst-case cost of one classified access.  [Persistent]
+    is charged as a hit here; its one-off miss is accounted separately by
+    {!first_miss_penalty} times the enclosing scope's entry count. *)
+
+val first_miss_penalty : Latencies.t -> oracle -> mem_class -> int
+(** The extra cost of the single allowed miss of a [Persistent] access
+    (zero if the access is not persistent at any level). *)
+
+val block_cost : Latencies.t -> Cfg.Graph.t -> oracle -> Cfg.Block.id -> int
+(** Sum over the block's instructions of execution, fetch, and data
+    costs. *)
+
+val no_l2 : Cache.Analysis.classification -> mem_class
+(** Lift a single-level classification to a platform without L2. *)

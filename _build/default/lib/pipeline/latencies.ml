@@ -1,0 +1,36 @@
+type t = {
+  base : int;
+  mul : int;
+  div : int;
+  branch_penalty : int;
+  l1_hit : int;
+  l2_hit : int;
+  mem : int;
+  io : int;
+}
+
+let default =
+  {
+    base = 1;
+    mul = 4;
+    div = 12;
+    branch_penalty = 2;
+    l1_hit = 1;
+    l2_hit = 10;
+    mem = 50;
+    io = 20;
+  }
+
+let exec_cost t = function
+  | Isa.Instr.Alu (op, _, _, _) | Isa.Instr.Alui (op, _, _, _) -> (
+      match op with
+      | Isa.Instr.Mul -> t.mul
+      | Isa.Instr.Div | Isa.Instr.Rem -> t.div
+      | Isa.Instr.Add | Isa.Instr.Sub | Isa.Instr.And | Isa.Instr.Or
+      | Isa.Instr.Xor | Isa.Instr.Sll | Isa.Instr.Srl | Isa.Instr.Slt ->
+          t.base)
+  | Isa.Instr.Load _ | Isa.Instr.Store _ | Isa.Instr.Nop | Isa.Instr.Halt ->
+      t.base
+  | Isa.Instr.Branch _ -> t.base + t.branch_penalty
+  | Isa.Instr.Jump _ | Isa.Instr.Call _ | Isa.Instr.Ret ->
+      t.base + t.branch_penalty

@@ -1,0 +1,28 @@
+(** Timing parameters of the in-order core and its memory hierarchy.
+
+    The pipeline is compositional by construction: in-order, no
+    speculation, every instruction's worst-case contribution is independent
+    of execution history (the "compositional architectures" the survey's
+    references recommend, and the property that makes local worst case =
+    global worst case, i.e. no timing anomalies). *)
+
+type t = {
+  base : int;  (** single-cycle ALU/nop/ret issue cost *)
+  mul : int;
+  div : int;
+  branch_penalty : int;  (** extra cycles for any taken control transfer *)
+  l1_hit : int;  (** L1 access time, charged on every memory operation *)
+  l2_hit : int;  (** additional cycles to read L2 on an L1 miss *)
+  mem : int;  (** additional cycles to read DRAM on an L2 miss *)
+  io : int;  (** uncached I/O access time (bus-side, before arbitration) *)
+}
+
+val default : t
+(** base 1, mul 4, div 12, branch 2, l1 1, l2 10, mem 50, io 20 — the
+    ratios of a small embedded multicore (an MPC755-class core with
+    on-chip L2 and external SDRAM). *)
+
+val exec_cost : t -> Isa.Instr.t -> int
+(** Execution (non-memory) cost: base/mul/div plus the branch penalty for
+    instructions that may redirect the fetch stream ([Branch] is charged
+    taken — the worst case —, [Jump]/[Call]/[Ret] always redirect). *)

@@ -1,0 +1,1 @@
+lib/sim/bus.ml: Array Interconnect Queue

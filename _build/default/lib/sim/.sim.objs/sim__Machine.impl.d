@@ -1,0 +1,1 @@
+lib/sim/machine.ml: Array Bus Cache Cfg Interconnect Isa List Pipeline

@@ -1,0 +1,1 @@
+lib/sim/machine.mli: Cache Interconnect Isa Pipeline

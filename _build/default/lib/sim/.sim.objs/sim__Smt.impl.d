@@ -1,0 +1,1 @@
+lib/sim/smt.ml: Array Isa Machine Pipeline

@@ -1,0 +1,1 @@
+lib/sim/smt.mli: Isa Machine Pipeline

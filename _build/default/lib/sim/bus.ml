@@ -1,0 +1,106 @@
+type req = { latency : int; issued_at : int }
+
+type t = {
+  policy : Interconnect.Arbiter.t;
+  ncores : int;
+  pending : req option array;  (* visible to arbitration *)
+  mutable in_service : (int * int) option;  (* core, remaining cycles *)
+  mutable token : int;  (* next position in the arbitration round *)
+  round : int array;  (* grant order for RR/weighted: a list of core ids *)
+  fifo : int Queue.t;  (* arrival order for FCFS *)
+  mutable clock : int;
+  max_wait : int array;
+  total_wait : int array;
+}
+
+let create policy =
+  let ncores = Interconnect.Arbiter.cores policy in
+  {
+    policy;
+    ncores;
+    pending = Array.make ncores None;
+    in_service = None;
+    token = 0;
+    round = Interconnect.Arbiter.round policy;
+    fifo = Queue.create ();
+    clock = 0;
+    max_wait = Array.make ncores 0;
+    total_wait = Array.make ncores 0;
+  }
+
+let request t ~core ~latency =
+  if latency <= 0 then invalid_arg "Bus.request: latency <= 0";
+  if t.pending.(core) <> None then
+    invalid_arg "Bus.request: outstanding request";
+  t.pending.(core) <- Some { latency; issued_at = t.clock };
+  Queue.push core t.fifo
+
+let pending t ~core = t.pending.(core) <> None
+
+(* Pick the next core to serve, if any, and advance arbitration state. *)
+let arbitrate t =
+  let pick_from_round () =
+    let n = Array.length t.round in
+    let rec go i =
+      if i >= n then None
+      else
+        let pos = (t.token + i) mod n in
+        let core = t.round.(pos) in
+        if t.pending.(core) <> None then begin
+          t.token <- (pos + 1) mod n;
+          Some core
+        end
+        else go (i + 1)
+    in
+    if n = 0 then None else go 0
+  in
+  match t.policy with
+  | Interconnect.Arbiter.Private -> (
+      match t.pending.(0) with Some _ -> Some 0 | None -> None)
+  | Interconnect.Arbiter.Round_robin _ | Interconnect.Arbiter.Weighted _ ->
+      pick_from_round ()
+  | Interconnect.Arbiter.Fcfs _ ->
+      let rec pop () =
+        if Queue.is_empty t.fifo then None
+        else
+          let core = Queue.pop t.fifo in
+          if t.pending.(core) <> None then Some core else pop ()
+      in
+      pop ()
+  | Interconnect.Arbiter.Tdma { cores; slot } ->
+      let period = cores * slot in
+      let pos = t.clock mod period in
+      let owner = pos / slot in
+      let slot_remaining = slot - (pos mod slot) in
+      (match t.pending.(owner) with
+      | Some r when r.latency <= slot_remaining -> Some owner
+      | Some _ | None -> None)
+
+let start_service t core =
+  match t.pending.(core) with
+  | None -> assert false
+  | Some r ->
+      let wait = t.clock - r.issued_at in
+      if wait > t.max_wait.(core) then t.max_wait.(core) <- wait;
+      t.total_wait.(core) <- t.total_wait.(core) + wait;
+      t.in_service <- Some (core, r.latency)
+
+let step t =
+  (if t.in_service = None then
+     match arbitrate t with
+     | Some core -> start_service t core
+     | None -> ());
+  (match t.in_service with
+  | Some (core, remaining) ->
+      let remaining = remaining - 1 in
+      if remaining = 0 then begin
+        t.in_service <- None;
+        t.pending.(core) <- None;
+      end
+      else t.in_service <- Some (core, remaining)
+  | None -> ());
+  t.clock <- t.clock + 1
+
+let now t = t.clock
+let max_wait t ~core = t.max_wait.(core)
+let total_wait t ~core = t.total_wait.(core)

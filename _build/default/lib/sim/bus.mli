@@ -1,0 +1,31 @@
+(** Concrete shared-bus arbiter, cycle-stepped.
+
+    One transaction is in service at a time; arbitration picks the next
+    transaction among pending requests according to the configured policy.
+    The simulator uses this to *measure* waiting times, which the
+    experiments compare against the {!Interconnect.Arbiter} bounds
+    (observed <= bound is the soundness check). *)
+
+type t
+
+val create : Interconnect.Arbiter.t -> t
+
+val request : t -> core:int -> latency:int -> unit
+(** Enqueue a transaction.  At most one outstanding request per core (the
+    cores in this platform block on their memory accesses).
+    @raise Invalid_argument on a second outstanding request. *)
+
+val pending : t -> core:int -> bool
+(** Request issued and not yet completed. *)
+
+val step : t -> unit
+(** Advance one cycle: start a service if the bus is idle and the policy
+    allows, then progress the in-flight service. *)
+
+val now : t -> int
+(** Cycles stepped so far (drives TDMA slot positions). *)
+
+val max_wait : t -> core:int -> int
+(** Largest observed request-to-service-start wait for that core. *)
+
+val total_wait : t -> core:int -> int

@@ -1,0 +1,88 @@
+(** Cycle-level multicore simulator.
+
+    Each core executes its task one instruction at a time through the
+    architectural model in {!Isa.Exec}, charging the same cost structure
+    the static analysis bounds: execution latency, L1 instruction/data
+    lookups, and — on L1 misses and I/O — shared-bus transactions into the
+    L2 and DRAM.  The bus is the concrete arbiter of {!Bus}; caches are
+    the concrete LRU models of {!Cache.Concrete}; caches start cold.
+
+    The simulator exists to *validate* bounds (observed <= WCET) and to
+    *measure* interference (the experiments of EXPERIMENTS.md), not to be
+    a microarchitecturally faithful pipeline: the per-instruction serial
+    model matches the compositional cost model of [Pipeline.Cost] by
+    construction.
+
+    Simplification (documented): L2 lookup/fill state updates happen when
+    the bus transaction is *issued*, not when it is granted, so concurrent
+    fills may be ordered differently than their bus services.  This only
+    reorders cache content among co-runners and cannot affect the
+    validation direction (each core's own accesses stay ordered). *)
+
+type l2_config =
+  | No_l2
+  | Shared_l2 of Cache.Config.t
+  | Private_l2 of Cache.Config.t array  (** one slice per core *)
+
+(** Instruction path: a conventional L1I (+L2) hierarchy, or a
+    Schoeberl-style method cache — fetches always take one cycle and the
+    only instruction traffic is whole-function loads at call/return
+    (misses occupy the bus for [mem + size * fill_per_word] cycles). *)
+type i_path = Conventional | Method_cache of Cache.Method_cache.config
+
+type config = {
+  latencies : Pipeline.Latencies.t;
+  l1i : Cache.Config.t;  (** ignored when [i_path] is [Method_cache] *)
+  l1d : Cache.Config.t;
+  l2 : l2_config;
+  arbiter : Interconnect.Arbiter.t;
+  refresh : Interconnect.Arbiter.refresh_policy;
+  i_path : i_path;
+}
+
+type core_setup = {
+  program : Isa.Program.t option;  (** [None]: the core idles *)
+  init_regs : (int * int) list;  (** input injection before start *)
+  init_data : (int * int) list;  (** data-memory word initialisation *)
+  locked_l2_lines : int list;
+      (** lines locked in this core's L2 slice (or the shared L2) before
+          the run *)
+  warm_i : int list;
+      (** byte addresses pre-accessed in the L1 instruction cache: an
+          *initial hardware state* perturbation for predictability
+          experiments (the analyses assume cold caches; warming explores
+          the state-induced variation the Grund et al. quotients measure) *)
+  warm_d : int list;  (** same for the L1 data cache *)
+  l2_bypass : int -> bool;
+      (** L2 lines (in L2 geometry) this core's accesses bypass — the
+          compiler-directed single-usage bypass of Hardy et al.; bypassed
+          misses go straight to memory and never fill the L2 *)
+}
+
+val task : Isa.Program.t -> core_setup
+val idle : core_setup
+
+type core_result = {
+  cycles : int;  (** completion time (cycle of halt), or the horizon *)
+  halted : bool;
+  instructions : int;
+  l1i_hits : int;
+  l1i_misses : int;
+  l1d_hits : int;
+  l1d_misses : int;
+  max_bus_wait : int;
+  bus_stall_cycles : int;
+      (** cycles the core spent stalled on bus transactions (waiting plus
+          being serviced) — the slack an SMT core could give co-threads *)
+  final_state : Isa.Exec.state option;
+}
+
+val run : config -> cores:core_setup array -> ?max_cycles:int -> unit -> core_result array
+(** Runs until every core halts or [max_cycles] (default 10_000_000).
+    @raise Invalid_argument if the core count does not match the
+    arbiter's, or a [Private_l2] array is missing slices. *)
+
+val run_single :
+  config -> Isa.Program.t -> ?max_cycles:int -> unit -> core_result
+(** One task on core 0 of a single-core instance of [config] (the
+    arbiter is replaced by [Private]). *)

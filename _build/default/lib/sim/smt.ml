@@ -1,0 +1,174 @@
+type pret_result = {
+  thread_cycles : int array;
+  thread_instructions : int array;
+  halted : bool array;
+}
+
+(* PRET work items: [Slot_local] consumes the thread's own pipeline
+   slots; [Wheel] waits for the thread's memory-wheel window and then
+   occupies it (expressed as a global-cycle deadline). *)
+type pret_work = Slot_local of int | Wheel
+
+type pret_thread = {
+  id : int;
+  program : Isa.Program.t;
+  exec : Isa.Exec.state;
+  mutable queue : pret_work list;
+  mutable wheel_until : int option;  (** busy with memory until this cycle *)
+  mutable done_cycle : int option;
+  mutable instructions : int;
+}
+
+let pret_plan lat th =
+  let ins = Isa.Program.instr th.program th.exec.Isa.Exec.pc in
+  let exec = Slot_local (Pipeline.Latencies.exec_cost lat ins) in
+  let data =
+    match ins with
+    | Isa.Instr.Load (sp, _, _, _) | Isa.Instr.Store (sp, _, _, _) -> (
+        match sp with
+        | Isa.Instr.Data -> [ Wheel ]
+        | Isa.Instr.Stack -> [ Slot_local 1 ]
+        | Isa.Instr.Io -> [ Slot_local lat.Pipeline.Latencies.io ])
+    | Isa.Instr.Alu _ | Isa.Instr.Alui _ | Isa.Instr.Branch _
+    | Isa.Instr.Jump _ | Isa.Instr.Call _ | Isa.Instr.Ret | Isa.Instr.Nop
+    | Isa.Instr.Halt ->
+        []
+  in
+  (* Fetch from the private instruction scratchpad: one slot. *)
+  th.queue <- Slot_local 1 :: exec :: data
+
+let pret_retire lat th clock =
+  th.instructions <- th.instructions + 1;
+  match Isa.Exec.step th.program th.exec with
+  | Some _ when not (Isa.Exec.halted th.exec) -> pret_plan lat th
+  | Some _ | None -> th.done_cycle <- Some clock
+
+let run_pret lat ~threads ?(max_cycles = 10_000_000) () =
+  let k = Array.length threads in
+  if k = 0 then invalid_arg "Smt.run_pret: no threads";
+  let wheel_slot = lat.Pipeline.Latencies.mem in
+  let wheel_period = k * wheel_slot in
+  let states =
+    Array.mapi
+      (fun i p ->
+        match p with
+        | None -> None
+        | Some program ->
+            let th =
+              {
+                id = i;
+                program;
+                exec = Isa.Exec.init program;
+                queue = [];
+                wheel_until = None;
+                done_cycle = None;
+                instructions = 0;
+              }
+            in
+            pret_plan lat th;
+            Some th)
+      threads
+  in
+  let all_done () =
+    Array.for_all
+      (function None -> true | Some th -> th.done_cycle <> None)
+      states
+  in
+  (* Next wheel-window start for thread i at or after cycle c. *)
+  let next_window i c =
+    let base = i * wheel_slot in
+    let pos = c mod wheel_period in
+    if pos <= base then c - pos + base
+    else c - pos + wheel_period + base
+  in
+  let rec loop c =
+    if c >= max_cycles || all_done () then ()
+    else begin
+      (* Memory-wheel completions are checked every cycle... *)
+      Array.iter
+        (function
+          | Some th when th.done_cycle = None -> (
+              match th.wheel_until with
+              | Some t when c >= t -> th.wheel_until <- None
+              | Some _ | None -> ())
+          | Some _ | None -> ())
+        states;
+      (* ...but the pipeline slot belongs to one thread. *)
+      (match states.(c mod k) with
+      | Some th when th.done_cycle = None && th.wheel_until = None -> (
+          if th.queue = [] then pret_retire lat th c;
+          if th.done_cycle = None then
+            match th.queue with
+            | Slot_local n :: rest ->
+                if n <= 1 then th.queue <- rest
+                else th.queue <- Slot_local (n - 1) :: rest
+            | Wheel :: rest ->
+                let start = next_window th.id c in
+                th.wheel_until <- Some (start + wheel_slot);
+                th.queue <- rest
+            | [] -> assert false)
+      | Some _ | None -> ());
+      loop (c + 1)
+    end
+  in
+  loop 0;
+  {
+    thread_cycles =
+      Array.map
+        (function
+          | None -> 0
+          | Some th -> (
+              match th.done_cycle with Some c -> c | None -> max_cycles))
+        states;
+    thread_instructions =
+      Array.map (function None -> 0 | Some th -> th.instructions) states;
+    halted =
+      Array.map
+        (function None -> true | Some th -> th.done_cycle <> None)
+        states;
+  }
+
+type carcore_result = {
+  hrt : Machine.core_result;
+  stall_cycles : int;
+  nrt_instructions : int array;
+}
+
+(* Flat per-instruction cost of an NRT thread (no caches, fixed memory
+   latency): how many instructions fit in a cycle budget. *)
+let nrt_progress lat program budget =
+  let exec = Isa.Exec.init program in
+  let rec go budget count =
+    if budget <= 0 || Isa.Exec.halted exec then count
+    else
+      let ins = Isa.Program.instr program exec.Isa.Exec.pc in
+      let cost =
+        1
+        + Pipeline.Latencies.exec_cost lat ins
+        + (match ins with
+          | Isa.Instr.Load (sp, _, _, _) | Isa.Instr.Store (sp, _, _, _) ->
+              if sp = Isa.Instr.Io then lat.Pipeline.Latencies.io
+              else lat.Pipeline.Latencies.mem
+          | _ -> 0)
+      in
+      if cost > budget then count
+      else begin
+        (match Isa.Exec.step program exec with
+        | Some _ -> ()
+        | None -> ());
+        go (budget - cost) (count + 1)
+      end
+  in
+  go budget 0
+
+let run_carcore cfg ~hrt ~nrts ?max_cycles () =
+  let hrt_result = Machine.run_single cfg hrt ?max_cycles () in
+  let stall = hrt_result.Machine.bus_stall_cycles in
+  let m = Array.length nrts in
+  let share = if m = 0 then 0 else stall / m in
+  {
+    hrt = hrt_result;
+    stall_cycles = stall;
+    nrt_instructions =
+      Array.map (fun p -> nrt_progress cfg.Machine.latencies p share) nrts;
+  }

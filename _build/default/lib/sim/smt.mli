@@ -1,0 +1,47 @@
+(** Multithreaded-core models from Section 5.3 of the paper.
+
+    {2 PRET-style thread-interleaved core}
+
+    [threads] hardware threads share one pipeline; cycle [c] belongs to
+    thread [c mod k].  Instructions and stack data come from private
+    scratchpads (single thread-cycle); [Data]-space accesses go through
+    the *memory wheel*: a TDMA window per thread, sized to one DRAM
+    transaction.  By construction a thread's completion time depends only
+    on its own program and its thread index — the timing-isolation
+    property experiment T9/F3 checks.
+
+    {2 CarCore-style HRT-priority SMT}
+
+    One hard real-time thread (HRT) owns the pipeline and the memory path;
+    its timing is *identical* to running alone on the core (that is the
+    CarCore guarantee, idealized here).  Non-real-time threads (NRTs)
+    progress only during cycles the HRT spends stalled on memory, and
+    each NRT instruction costs a flat [exec + mem] budget (no caches). *)
+
+type pret_result = {
+  thread_cycles : int array;  (** completion time per thread (global cycles) *)
+  thread_instructions : int array;
+  halted : bool array;
+}
+
+val run_pret :
+  Pipeline.Latencies.t ->
+  threads:Isa.Program.t option array ->
+  ?max_cycles:int ->
+  unit ->
+  pret_result
+
+type carcore_result = {
+  hrt : Machine.core_result;  (** bit-identical to running alone *)
+  stall_cycles : int;  (** pipeline cycles the HRT left to the NRTs *)
+  nrt_instructions : int array;  (** per NRT, completed in the slack *)
+}
+
+val run_carcore :
+  Machine.config ->
+  hrt:Isa.Program.t ->
+  nrts:Isa.Program.t array ->
+  ?max_cycles:int ->
+  unit ->
+  carcore_result
+(** [config]'s arbiter is ignored (the HRT owns a private bus). *)

@@ -1,0 +1,1 @@
+lib/workloads/bench_programs.ml: Array Dataflow Isa List Printf String

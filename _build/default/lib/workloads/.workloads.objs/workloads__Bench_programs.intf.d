@@ -1,0 +1,1 @@
+lib/workloads/bench_programs.mli: Dataflow Isa

@@ -1,0 +1,418 @@
+type t = {
+  name : string;
+  program : Isa.Program.t;
+  annot : Dataflow.Annot.t;
+  description : string;
+}
+
+let make name ?(annot = Dataflow.Annot.empty) description src =
+  { name; program = Isa.Asm.parse ~name src; annot; description }
+
+let fibonacci ~n =
+  make "fibonacci" "iterative Fibonacci (pure ALU counted loop)"
+    (Printf.sprintf
+       {|
+main:
+  li r1, %d
+  li r2, 0
+  li r3, 1
+loop:
+  add r4, r2, r3
+  mv r2, r3
+  mv r3, r4
+  subi r1, r1, 1
+  bne r1, r0, loop
+  halt
+|}
+       n)
+
+let vector_sum ~n =
+  make "vector_sum" "array init + reduction (streaming loads)"
+    (Printf.sprintf
+       {|
+main:
+  li r10, %d
+  li r1, 0
+init:
+  st.d r1, 0(r1)
+  addi r1, r1, 1
+  blt r1, r10, init
+  li r1, 0
+  li r2, 0
+sum:
+  ld.d r3, 0(r1)
+  add r2, r2, r3
+  addi r1, r1, 1
+  blt r1, r10, sum
+  halt
+|}
+       n)
+
+let memcpy ~n =
+  make "memcpy" "copy n words (two data accesses per iteration)"
+    (Printf.sprintf
+       {|
+main:
+  li r10, %d
+  li r1, 0
+init:
+  muli r2, r1, 3
+  st.d r2, 0(r1)
+  addi r1, r1, 1
+  blt r1, r10, init
+  li r1, 0
+copy:
+  ld.d r2, 0(r1)
+  add r3, r1, r10
+  st.d r2, 0(r3)
+  addi r1, r1, 1
+  blt r1, r10, copy
+  halt
+|}
+       n)
+
+let matmul ~n =
+  make "matmul" "dense matrix multiply (triple nest, quadratic footprint)"
+    (Printf.sprintf
+       {|
+main:
+  li r10, %d
+  mul r9, r10, r10
+  li r1, 0
+init:
+  addi r2, r1, 1
+  st.d r2, 0(r1)
+  addi r2, r1, 2
+  add r3, r1, r9
+  st.d r2, 0(r3)
+  addi r1, r1, 1
+  blt r1, r9, init
+  li r1, 0
+outer:
+  li r2, 0
+mid:
+  li r3, 0
+  li r8, 0
+inner:
+  mul r4, r1, r10
+  add r4, r4, r3
+  ld.d r5, 0(r4)
+  mul r6, r3, r10
+  add r6, r6, r2
+  add r6, r6, r9
+  ld.d r7, 0(r6)
+  mul r5, r5, r7
+  add r8, r8, r5
+  addi r3, r3, 1
+  blt r3, r10, inner
+  mul r4, r1, r10
+  add r4, r4, r2
+  add r4, r4, r9
+  add r4, r4, r9
+  st.d r8, 0(r4)
+  addi r2, r2, 1
+  blt r2, r10, mid
+  addi r1, r1, 1
+  blt r1, r10, outer
+  halt
+|}
+       n)
+
+let fir ~n ~taps =
+  if taps >= n then invalid_arg "Bench_programs.fir: taps must be < n";
+  make "fir" "FIR filter (sliding-window reuse)"
+    (Printf.sprintf
+       {|
+main:
+  li r10, %d
+  li r9, %d
+  li r1, 0
+initx:
+  st.d r1, 0(r1)
+  addi r1, r1, 1
+  blt r1, r10, initx
+  li r1, 0
+inith:
+  add r2, r1, r10
+  li r3, 1
+  st.d r3, 0(r2)
+  addi r1, r1, 1
+  blt r1, r9, inith
+  li r1, 0
+  sub r8, r10, r9
+outer:
+  li r2, 0
+  li r7, 0
+inner:
+  add r3, r1, r2
+  ld.d r4, 0(r3)
+  add r5, r2, r10
+  ld.d r6, 0(r5)
+  mul r4, r4, r6
+  add r7, r7, r4
+  addi r2, r2, 1
+  blt r2, r9, inner
+  add r3, r1, r10
+  add r3, r3, r9
+  st.d r7, 0(r3)
+  addi r1, r1, 1
+  blt r1, r8, outer
+  halt
+|}
+       n taps)
+
+let bubble_sort ~n =
+  make "bubble_sort"
+    "bubble sort, constant inner bound (data-dependent swaps)"
+    (Printf.sprintf
+       {|
+main:
+  li r10, %d
+  li r1, 0
+init:
+  sub r2, r10, r1
+  st.d r2, 0(r1)
+  addi r1, r1, 1
+  blt r1, r10, init
+  subi r9, r10, 1
+  li r1, 0
+outer:
+  li r2, 0
+pass:
+  ld.d r3, 0(r2)
+  addi r4, r2, 1
+  ld.d r5, 0(r4)
+  bge r5, r3, noswap
+  st.d r5, 0(r2)
+  st.d r3, 0(r4)
+noswap:
+  addi r2, r2, 1
+  blt r2, r9, pass
+  addi r1, r1, 1
+  blt r1, r9, outer
+  halt
+|}
+       n)
+
+let crc ~n =
+  make "crc" "bytewise CRC-16 (bit loop + data-dependent xor)"
+    (Printf.sprintf
+       {|
+main:
+  li r10, %d
+  li r1, 0
+init:
+  muli r2, r1, 37
+  li r3, 255
+  and r2, r2, r3
+  st.d r2, 0(r1)
+  addi r1, r1, 1
+  blt r1, r10, init
+  li r6, 0
+  li r1, 0
+byte:
+  ld.d r2, 0(r1)
+  xor r6, r6, r2
+  li r3, 8
+bit:
+  li r4, 1
+  and r5, r6, r4
+  srli r6, r6, 1
+  beq r5, r0, skip
+  li r7, 40961
+  xor r6, r6, r7
+skip:
+  subi r3, r3, 1
+  bne r3, r0, bit
+  addi r1, r1, 1
+  blt r1, r10, byte
+  halt
+|}
+       n)
+
+let bitcount =
+  make "bitcount" "population count of a constant (32-iteration loop)"
+    {|
+main:
+  li r1, 123456789
+  li r2, 0
+  li r3, 32
+loop:
+  li r4, 1
+  and r5, r1, r4
+  add r2, r2, r5
+  srli r1, r1, 1
+  subi r3, r3, 1
+  bne r3, r0, loop
+  halt
+|}
+
+let cache_stress ~stride ~count =
+  make "cache_stress" "strided loads (cache-set conflict generator)"
+    (Printf.sprintf
+       {|
+main:
+  li r10, %d
+  li r9, %d
+  li r1, 0
+loop:
+  mul r2, r1, r9
+  ld.d r3, 0(r2)
+  addi r1, r1, 1
+  blt r1, r10, loop
+  halt
+|}
+       count stride)
+
+let pointer_chase ~n ~steps =
+  make "pointer_chase" "pointer chain walk (unknown data addresses)"
+    (Printf.sprintf
+       {|
+main:
+  li r10, %d
+  li r1, 0
+init:
+  addi r2, r1, 3
+  rem r2, r2, r10
+  st.d r2, 0(r1)
+  addi r1, r1, 1
+  blt r1, r10, init
+  li r3, 0
+  li r4, %d
+chase:
+  ld.d r3, 0(r3)
+  subi r4, r4, 1
+  bne r4, r0, chase
+  halt
+|}
+       n steps)
+
+let memory_bound ~n =
+  make "memory_bound" "one load per iteration (maximal bus pressure)"
+    (Printf.sprintf
+       {|
+main:
+  li r1, %d
+loop:
+  subi r1, r1, 1
+  ld.d r3, 0(r1)
+  bne r1, r0, loop
+  halt
+|}
+       n)
+
+let l1_thrash ~n =
+  make "l1_thrash"
+    "constant-address loads thrashing one L1 set (tight bounds, bus-visible)"
+    (Printf.sprintf
+       {|
+main:
+  li r1, %d
+loop:
+  ld.d r2, 0(r0)
+  ld.d r3, 16(r0)
+  ld.d r4, 32(r0)
+  subi r1, r1, 1
+  bne r1, r0, loop
+  halt
+|}
+       n)
+
+(* Loads at [ways] constant addresses all mapping to the same cache set
+   (stride = one way of a 64-set/16B-line cache), repeated [reps] times. *)
+let assoc_stress ~ways ~reps =
+  let stride_words = 64 * 16 / 4 in
+  let body =
+    String.concat ""
+      (List.init ways (fun k ->
+           Printf.sprintf "  ld.d r2, %d(r0)\n" (k * stride_words)))
+  in
+  make "assoc_stress"
+    "same-set loads straining associativity (partition-scheme separator)"
+    (Printf.sprintf "main:\n  li r1, %d\nloop:\n%s  subi r1, r1, 1\n  bne r1, r0, loop\n  halt\n"
+       reps body)
+
+let straightline ~n =
+  let body =
+    String.concat ""
+      (List.init n (fun k ->
+           Printf.sprintf "  addi r2, r2, %d\n  st.d r2, %d(r0)\n" (k + 1) k))
+  in
+  make "straightline"
+    "unrolled code touching every line exactly once (all single-usage)"
+    ("main:\n" ^ body ^ "  halt\n")
+
+let div_like =
+  let annot =
+    Dataflow.Annot.with_loop_bound Dataflow.Annot.empty ~proc:"main"
+      ~header_label:"loop" 64
+  in
+  make "div_like" ~annot
+    "software-division-style loop, input-dependent trip count (annotated)"
+    {|
+main:
+  ld.io r1, 0(r0)
+  li r2, 7
+  li r3, 0
+loop:
+  blt r1, r2, done
+  sub r1, r1, r2
+  addi r3, r3, 1
+  jmp loop
+done:
+  halt
+|}
+
+let calls =
+  make "calls" "call-graph exercise: two levels of helpers"
+    {|
+main:
+  li r1, 5
+  call square
+  call add_ten
+  call square
+  halt
+square:
+  mul r1, r1, r1
+  ret
+add_ten:
+  call add_five
+  call add_five
+  ret
+add_five:
+  addi r1, r1, 5
+  ret
+|}
+
+let suite () =
+  [
+    fibonacci ~n:32;
+    vector_sum ~n:48;
+    memcpy ~n:32;
+    matmul ~n:6;
+    fir ~n:40 ~taps:8;
+    bubble_sort ~n:12;
+    crc ~n:16;
+    bitcount;
+    cache_stress ~stride:16 ~count:24;
+    pointer_chase ~n:32 ~steps:24;
+    memory_bound ~n:32;
+    l1_thrash ~n:16;
+    assoc_stress ~ways:4 ~reps:8;
+    straightline ~n:24;
+    div_like;
+    calls;
+  ]
+
+let by_name name = List.find_opt (fun b -> b.name = name) (suite ())
+
+let task_set ~cores ?(seed = 1) () =
+  let pool = Array.of_list (suite ()) in
+  let state = ref (seed land 0x3FFFFFFF) in
+  let next () =
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    !state
+  in
+  Array.init cores (fun _ ->
+      let b = pool.(next () mod Array.length pool) in
+      Some (b.program, b.annot))

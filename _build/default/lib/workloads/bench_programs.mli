@@ -1,0 +1,81 @@
+(** Benchmark programs (MiniRISC assembly), in the spirit of the
+    Mälardalen WCET suite: each exercises a distinct analysis challenge —
+    nested counted loops, data-dependent control flow, unknown addresses,
+    calls, annotation-requiring loops.  All programs are self-contained
+    (they initialize their own data) and halt. *)
+
+type t = {
+  name : string;
+  program : Isa.Program.t;
+  annot : Dataflow.Annot.t;
+  description : string;
+}
+
+val fibonacci : n:int -> t
+(** Iterative Fibonacci; a single counted loop of pure ALU work. *)
+
+val vector_sum : n:int -> t
+(** Init + reduce over an [n]-word array; data-cache streaming. *)
+
+val memcpy : n:int -> t
+(** Copy [n] words; two data accesses per iteration. *)
+
+val matmul : n:int -> t
+(** Dense [n*n] matrix multiply; triple loop nest, quadratic footprint. *)
+
+val fir : n:int -> taps:int -> t
+(** FIR filter: sliding-window reuse, two nested counted loops. *)
+
+val bubble_sort : n:int -> t
+(** WCET-friendly bubble sort (constant inner bound) on a reversed
+    array; data-dependent swap branch inside the nest. *)
+
+val crc : n:int -> t
+(** Bytewise CRC with an 8-iteration bit loop and a data-dependent
+    conditional xor. *)
+
+val bitcount : t
+(** Count the set bits of a constant in a 32-iteration loop. *)
+
+val cache_stress : stride:int -> count:int -> t
+(** Marching loads at a fixed stride: a cache-set conflict generator. *)
+
+val pointer_chase : n:int -> steps:int -> t
+(** Follows a pointer chain: statically unknown data addresses. *)
+
+val memory_bound : n:int -> t
+(** A load per iteration over [n] words: maximal bus pressure. *)
+
+val l1_thrash : n:int -> t
+(** Three constant-address loads that conflict in a small L1 data cache:
+    deterministic per-iteration misses, so single-core bounds are tight
+    and shared-bus interference becomes visible (experiment T2). *)
+
+val assoc_stress : ways:int -> reps:int -> t
+(** [ways] constant-address loads all mapping to one set of a 64-set/16B
+    cache, repeated [reps] times: hits iff the (partitioned) cache keeps
+    at least [ways] ways — the workload that separates columnization from
+    bankization (experiment T5). *)
+
+val straightline : n:int -> t
+(** [n] unrolled store instructions, each line touched exactly once:
+    the ideal bypass candidate (its whole footprint is single-usage). *)
+
+val div_like : t
+(** Software-division-style loop whose trip count depends on an I/O
+    input (the lDivMod pathology of Gebhard et al.): carries the loop
+    annotation it needs. *)
+
+val calls : t
+(** Exercises the call graph: main calling two levels of helpers. *)
+
+val suite : unit -> t list
+(** Default-size instances of every benchmark above. *)
+
+val by_name : string -> t option
+(** Lookup in {!suite} instances. *)
+
+val task_set :
+  cores:int -> ?seed:int -> unit -> (Isa.Program.t * Dataflow.Annot.t) option array
+(** Deterministic pseudo-random mix of suite benchmarks, one per core —
+    the workload generator for multicore experiments. *)

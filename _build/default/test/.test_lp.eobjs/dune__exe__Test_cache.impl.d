@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Array Cache Cfg Dataflow Isa List Printf QCheck QCheck_alcotest String

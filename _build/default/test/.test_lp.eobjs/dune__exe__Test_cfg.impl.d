@@ -1,0 +1,1 @@
+test/test_cfg.ml: Alcotest Cfg Isa List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Astring Cache Cfg Core Dataflow Interconnect Isa List Pipeline Printf Sim Workloads

@@ -1,0 +1,1 @@
+test/test_dataflow.ml: Alcotest Array Cfg Dataflow Isa List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Cache Core Dataflow Interconnect Isa List Printf QCheck QCheck_alcotest Sim String Workloads

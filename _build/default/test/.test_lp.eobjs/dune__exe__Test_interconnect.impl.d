@@ -1,0 +1,1 @@
+test/test_interconnect.ml: Alcotest Array Interconnect List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Array Isa List Printf QCheck QCheck_alcotest String

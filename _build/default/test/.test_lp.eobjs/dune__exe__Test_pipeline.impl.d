@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Cache Cfg Isa Pipeline

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Cache Interconnect Isa List Pipeline Printf QCheck QCheck_alcotest Sim String

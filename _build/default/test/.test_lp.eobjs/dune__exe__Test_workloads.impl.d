@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Core Isa List Printf QCheck QCheck_alcotest Workloads

@@ -1,0 +1,436 @@
+(* Tests for CFG reconstruction, dominators, loops, call graph. *)
+
+let parse src = Isa.Asm.parse ~name:"t" src
+
+let build src =
+  let p = parse src in
+  Cfg.Graph.build p ~entry:"main"
+
+let diamond_src =
+  {|
+main:
+  li r1, 1
+  beq r1, r0, else_
+  addi r2, r0, 10
+  jmp join
+else_:
+  addi r2, r0, 20
+join:
+  halt
+|}
+
+let loop_src =
+  {|
+main:
+  li r1, 10
+loop:
+  subi r1, r1, 1
+  bne r1, r0, loop
+  halt
+|}
+
+let nested_loop_src =
+  {|
+main:
+  li r1, 4
+outer:
+  li r2, 3
+inner:
+  subi r2, r2, 1
+  bne r2, r0, inner
+  subi r1, r1, 1
+  bne r1, r0, outer
+  halt
+|}
+
+(* ------------------------------------------------------------------ *)
+(* Graph construction                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_straightline () =
+  let g = build "main:\n  nop\n  nop\n  halt\n" in
+  Alcotest.(check int) "one block" 1 (Cfg.Graph.num_blocks g);
+  Alcotest.(check (list int)) "exit" [ 0 ] g.Cfg.Graph.exits;
+  Alcotest.(check int) "no succs" 0 (List.length (Cfg.Graph.succs g 0))
+
+let test_diamond () =
+  let g = build diamond_src in
+  Alcotest.(check int) "four blocks" 4 (Cfg.Graph.num_blocks g);
+  let entry_succs = Cfg.Graph.succs g g.Cfg.Graph.entry in
+  Alcotest.(check int) "entry has 2 succs" 2 (List.length entry_succs);
+  Alcotest.(check int) "one exit" 1 (List.length g.Cfg.Graph.exits);
+  let join = List.hd g.Cfg.Graph.exits in
+  Alcotest.(check int) "join has 2 preds" 2
+    (List.length (Cfg.Graph.preds g join))
+
+let test_self_loop () =
+  let g = build loop_src in
+  Alcotest.(check int) "three blocks" 3 (Cfg.Graph.num_blocks g);
+  (* Loop block has itself as a successor. *)
+  let has_self =
+    List.exists
+      (fun id ->
+        List.exists
+          (fun (e : Cfg.Graph.edge) -> e.dst = id)
+          (Cfg.Graph.succs g id))
+      [ 0; 1; 2 ]
+  in
+  Alcotest.(check bool) "self edge" true has_self
+
+let test_call_is_fallthrough () =
+  let g =
+    build "main:\n  call f\n  halt\nf:\n  nop\n  ret\n"
+  in
+  (* f's body is not part of main's graph. *)
+  Alcotest.(check int) "two blocks in main" 2 (Cfg.Graph.num_blocks g);
+  Alcotest.(check (option string)) "callee recorded" (Some "f")
+    (Cfg.Graph.callee_of_block g g.Cfg.Graph.entry)
+
+let test_block_of_instr () =
+  let g = build diamond_src in
+  (match Cfg.Graph.block_of_instr g 0 with
+  | Some id -> Alcotest.(check int) "entry instr in entry block" g.Cfg.Graph.entry id
+  | None -> Alcotest.fail "instr 0 unreachable?");
+  (* Instruction index beyond program is None. *)
+  Alcotest.(check (option int)) "unknown instr" None
+    (Cfg.Graph.block_of_instr g 999)
+
+let test_unreachable_code_excluded () =
+  let g =
+    build "main:\n  jmp end\n  addi r1, r0, 1\n  addi r1, r0, 2\nend:\n  halt\n"
+  in
+  (* The two addi instructions are dead; blocks: main-jmp and end. *)
+  Alcotest.(check int) "dead code dropped" 2 (Cfg.Graph.num_blocks g)
+
+let test_reverse_postorder () =
+  let g = build diamond_src in
+  let rpo = Cfg.Graph.reverse_postorder g in
+  Alcotest.(check int) "covers all blocks" (Cfg.Graph.num_blocks g)
+    (List.length rpo);
+  Alcotest.(check int) "starts at entry" g.Cfg.Graph.entry (List.hd rpo);
+  (* Every edge u->v that is not a back edge has u before v in RPO. *)
+  let pos id =
+    let rec find i = function
+      | [] -> -1
+      | x :: rest -> if x = id then i else find (i + 1) rest
+    in
+    find 0 rpo
+  in
+  List.iter
+    (fun id ->
+      List.iter
+        (fun (e : Cfg.Graph.edge) ->
+          if pos e.src >= pos e.dst then
+            Alcotest.failf "edge B%d->B%d violates RPO in a DAG" e.src e.dst)
+        (Cfg.Graph.succs g id))
+    rpo
+
+(* ------------------------------------------------------------------ *)
+(* Dominators                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_dominators_diamond () =
+  let g = build diamond_src in
+  let dom = Cfg.Dominators.compute g in
+  let entry = g.Cfg.Graph.entry in
+  let join = List.hd g.Cfg.Graph.exits in
+  Alcotest.(check bool) "entry dominates all" true
+    (List.for_all
+       (fun id -> Cfg.Dominators.dominates dom entry id)
+       [ 0; 1; 2; 3 ]);
+  Alcotest.(check bool) "reflexive" true
+    (Cfg.Dominators.dominates dom join join);
+  (* Neither branch arm dominates the join. *)
+  let arms =
+    List.filter (fun id -> id <> entry && id <> join) [ 0; 1; 2; 3 ]
+  in
+  List.iter
+    (fun arm ->
+      Alcotest.(check bool)
+        (Printf.sprintf "B%d does not dominate join" arm)
+        false
+        (Cfg.Dominators.dominates dom arm join))
+    arms;
+  Alcotest.(check (option int)) "idom of entry" None
+    (Cfg.Dominators.idom dom entry);
+  Alcotest.(check (option int)) "idom of join" (Some entry)
+    (Cfg.Dominators.idom dom join)
+
+let test_dominators_chain () =
+  let g = build "main:\n  nop\n  beq r0, r0, b\nb:\n  halt\n" in
+  let dom = Cfg.Dominators.compute g in
+  let doms = Cfg.Dominators.dominators dom (Cfg.Graph.num_blocks g - 1) in
+  Alcotest.(check bool) "chain contains entry" true
+    (List.mem g.Cfg.Graph.entry doms)
+
+(* ------------------------------------------------------------------ *)
+(* Loops                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let analyze_loops g =
+  let dom = Cfg.Dominators.compute g in
+  Cfg.Loops.analyze g dom
+
+let test_single_loop () =
+  let g = build loop_src in
+  let li = analyze_loops g in
+  (match Cfg.Loops.loops li with
+  | [ l ] ->
+      Alcotest.(check int) "depth 1" 1 l.Cfg.Loops.depth;
+      Alcotest.(check (option int)) "no parent" None l.Cfg.Loops.parent;
+      Alcotest.(check int) "one back edge" 1
+        (List.length l.Cfg.Loops.back_edges);
+      Alcotest.(check int) "one entry edge" 1
+        (List.length l.Cfg.Loops.entry_edges)
+  | ls -> Alcotest.failf "expected 1 loop, got %d" (List.length ls));
+  ()
+
+let test_nested_loops () =
+  let g = build nested_loop_src in
+  let li = analyze_loops g in
+  let ls = Cfg.Loops.loops li in
+  Alcotest.(check int) "two loops" 2 (List.length ls);
+  let outer = List.nth ls 0 and inner = List.nth ls 1 in
+  Alcotest.(check int) "outer depth" 1 outer.Cfg.Loops.depth;
+  Alcotest.(check int) "inner depth" 2 inner.Cfg.Loops.depth;
+  Alcotest.(check (option int)) "inner parent is outer"
+    (Some outer.Cfg.Loops.header) inner.Cfg.Loops.parent;
+  Alcotest.(check bool) "inner body inside outer body" true
+    (List.for_all
+       (fun b -> List.mem b outer.Cfg.Loops.body)
+       inner.Cfg.Loops.body);
+  (* Depth lookup on the inner header. *)
+  Alcotest.(check int) "loop_depth inner header" 2
+    (Cfg.Loops.loop_depth li inner.Cfg.Loops.header)
+
+let test_no_loops () =
+  let g = build diamond_src in
+  let li = analyze_loops g in
+  Alcotest.(check int) "no loops" 0 (List.length (Cfg.Loops.loops li));
+  Alcotest.(check int) "depth 0" 0 (Cfg.Loops.loop_depth li 0)
+
+let test_irreducible_rejected () =
+  (* Two entries into a cycle: classic irreducible shape.
+       main: beq -> l2 else fall into l1; l1 -> l2; l2 -> l1 (cycle l1<->l2
+       entered at both l1 and l2). *)
+  let src =
+    {|
+main:
+  beq r1, r0, l2
+l1:
+  nop
+  jmp l2
+l2:
+  nop
+  jmp l1
+|}
+  in
+  let g = build src in
+  let dom = Cfg.Dominators.compute g in
+  match Cfg.Loops.analyze g dom with
+  | exception Cfg.Loops.Irreducible _ -> ()
+  | _ -> Alcotest.fail "expected Irreducible"
+
+let test_innermost_containing () =
+  let g = build nested_loop_src in
+  let li = analyze_loops g in
+  let ls = Cfg.Loops.loops li in
+  let inner = List.nth ls 1 in
+  match Cfg.Loops.innermost_containing li inner.Cfg.Loops.header with
+  | Some l ->
+      Alcotest.(check int) "innermost is inner" inner.Cfg.Loops.header
+        l.Cfg.Loops.header
+  | None -> Alcotest.fail "header not in any loop?"
+
+(* ------------------------------------------------------------------ *)
+(* Call graph                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_callgraph_order () =
+  let p =
+    parse
+      {|
+main:
+  call f
+  call g
+  halt
+f:
+  call h
+  ret
+g:
+  ret
+h:
+  ret
+|}
+  in
+  let cg = Cfg.Callgraph.build p in
+  let names = List.map fst (Cfg.Callgraph.bottom_up cg) in
+  Alcotest.(check int) "four procedures" 4 (List.length names);
+  Alcotest.(check string) "root last" "main"
+    (List.nth names (List.length names - 1));
+  let pos n =
+    let rec find i = function
+      | [] -> Alcotest.failf "%s missing" n
+      | x :: rest -> if x = n then i else find (i + 1) rest
+    in
+    find 0 names
+  in
+  Alcotest.(check bool) "h before f" true (pos "h" < pos "f");
+  Alcotest.(check bool) "f before main" true (pos "f" < pos "main");
+  Alcotest.(check (list string)) "callees of main" [ "f"; "g" ]
+    (Cfg.Callgraph.callees cg "main")
+
+let test_callgraph_recursion_rejected () =
+  let direct = parse "main:\n  call main\n  halt\n" in
+  (match Cfg.Callgraph.build direct with
+  | exception Cfg.Callgraph.Recursive _ -> ()
+  | _ -> Alcotest.fail "expected Recursive (direct)");
+  let mutual =
+    parse "main:\n  call a\n  halt\na:\n  call b\n  ret\nb:\n  call a\n  ret\n"
+  in
+  match Cfg.Callgraph.build mutual with
+  | exception Cfg.Callgraph.Recursive cycle ->
+      Alcotest.(check bool) "cycle mentions a" true (List.mem "a" cycle)
+  | _ -> Alcotest.fail "expected Recursive (mutual)"
+
+let test_callgraph_shared_callee () =
+  (* Diamond call graph: main -> f,g; f -> h; g -> h. h analyzed once. *)
+  let p =
+    parse
+      {|
+main:
+  call f
+  call g
+  halt
+f:
+  call h
+  ret
+g:
+  call h
+  ret
+h:
+  ret
+|}
+  in
+  let cg = Cfg.Callgraph.build p in
+  Alcotest.(check int) "four procedures" 4
+    (List.length (Cfg.Callgraph.bottom_up cg))
+
+(* Property: for random structured programs (sequences of loops and
+   diamonds), the CFG partitions reachable instructions and edge endpoints
+   are valid. *)
+let gen_structured_src =
+  let open QCheck.Gen in
+  let block_body = int_range 1 4 in
+  let piece idx =
+    map
+      (fun n ->
+        match n mod 3 with
+        | 0 ->
+            (* loop *)
+            Printf.sprintf
+              "  li r1, 3\nl%d:\n  subi r1, r1, 1\n  bne r1, r0, l%d\n" idx
+              idx
+        | 1 ->
+            (* diamond *)
+            Printf.sprintf
+              "  beq r1, r0, a%d\n  nop\n  jmp b%d\na%d:\n  nop\nb%d:\n  nop\n"
+              idx idx idx idx
+        | _ -> String.concat "" (List.init 3 (fun _ -> "  nop\n")))
+      block_body
+  in
+  let* n = int_range 1 6 in
+  let rec build i acc =
+    if i >= n then return acc
+    else
+      let* s = piece i in
+      build (i + 1) (acc ^ s)
+  in
+  let* body = build 0 "main:\n" in
+  return (body ^ "  halt\n")
+
+let prop_cfg_partitions =
+  QCheck.Test.make ~name:"CFG blocks partition instructions" ~count:100
+    (QCheck.make ~print:(fun s -> s) gen_structured_src)
+    (fun src ->
+      let g = build src in
+      let n = Cfg.Graph.num_blocks g in
+      (* Blocks don't overlap and edges are in range. *)
+      let ranges =
+        List.init n (fun i ->
+            let b = Cfg.Graph.block g i in
+            (b.Cfg.Block.first, b.Cfg.Block.last))
+      in
+      let no_overlap =
+        List.for_all
+          (fun (f1, l1) ->
+            List.for_all
+              (fun (f2, l2) -> (f1, l1) = (f2, l2) || l1 < f2 || l2 < f1)
+              ranges)
+          ranges
+      in
+      let edges_valid =
+        List.for_all
+          (fun i ->
+            List.for_all
+              (fun (e : Cfg.Graph.edge) ->
+                e.src = i && e.dst >= 0 && e.dst < n)
+              (Cfg.Graph.succs g i))
+          (List.init n (fun i -> i))
+      in
+      no_overlap && edges_valid)
+
+let prop_loops_bounded_depth =
+  QCheck.Test.make ~name:"loop analysis terminates with sane depths"
+    ~count:100
+    (QCheck.make ~print:(fun s -> s) gen_structured_src)
+    (fun src ->
+      let g = build src in
+      let li = analyze_loops g in
+      List.for_all
+        (fun (l : Cfg.Loops.loop) ->
+          l.Cfg.Loops.depth >= 1 && List.mem l.Cfg.Loops.header l.Cfg.Loops.body)
+        (Cfg.Loops.loops li))
+
+let () =
+  Alcotest.run "cfg"
+    [
+      ( "graph",
+        [
+          Alcotest.test_case "straight line" `Quick test_straightline;
+          Alcotest.test_case "diamond" `Quick test_diamond;
+          Alcotest.test_case "self loop" `Quick test_self_loop;
+          Alcotest.test_case "call falls through" `Quick
+            test_call_is_fallthrough;
+          Alcotest.test_case "block_of_instr" `Quick test_block_of_instr;
+          Alcotest.test_case "unreachable code excluded" `Quick
+            test_unreachable_code_excluded;
+          Alcotest.test_case "reverse postorder" `Quick test_reverse_postorder;
+        ] );
+      ( "dominators",
+        [
+          Alcotest.test_case "diamond" `Quick test_dominators_diamond;
+          Alcotest.test_case "chain" `Quick test_dominators_chain;
+        ] );
+      ( "loops",
+        [
+          Alcotest.test_case "single loop" `Quick test_single_loop;
+          Alcotest.test_case "nested loops" `Quick test_nested_loops;
+          Alcotest.test_case "no loops" `Quick test_no_loops;
+          Alcotest.test_case "irreducible rejected" `Quick
+            test_irreducible_rejected;
+          Alcotest.test_case "innermost containing" `Quick
+            test_innermost_containing;
+        ] );
+      ( "callgraph",
+        [
+          Alcotest.test_case "bottom-up order" `Quick test_callgraph_order;
+          Alcotest.test_case "recursion rejected" `Quick
+            test_callgraph_recursion_rejected;
+          Alcotest.test_case "shared callee" `Quick
+            test_callgraph_shared_callee;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_cfg_partitions; prop_loops_bounded_depth ] );
+    ]

@@ -1,0 +1,840 @@
+(* Tests for IPET, platform bounds, single-task WCET, multicore
+   approaches, response-time analysis, predictability quotients. *)
+
+let parse src = Isa.Asm.parse ~name:"t" src
+
+let build src =
+  let p = parse src in
+  Cfg.Graph.build p ~entry:"main"
+
+(* ------------------------------------------------------------------ *)
+(* IPET                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let bounds_for g =
+  let dom = Cfg.Dominators.compute g in
+  let loops = Cfg.Loops.analyze g dom in
+  let va = Dataflow.Value_analysis.analyze g in
+  Dataflow.Loop_bounds.infer g dom loops va Dataflow.Annot.empty
+
+let test_ipet_straightline () =
+  let g = build "main:\n  nop\n  nop\n  halt\n" in
+  let r = Core.Ipet.solve g ~loop_bounds:[] ~block_cost:(fun _ -> 7) () in
+  Alcotest.(check int) "one block, cost 7" 7 r.Core.Ipet.wcet;
+  Alcotest.(check int) "executed once" 1 r.Core.Ipet.block_counts.(0)
+
+let test_ipet_diamond_takes_max () =
+  let g =
+    build
+      {|
+main:
+  beq r1, r0, cheap
+  nop
+  nop
+  jmp join
+cheap:
+  nop
+join:
+  halt
+|}
+  in
+  (* Cost = block length: the expensive arm must be chosen. *)
+  let cost id = Cfg.Block.length (Cfg.Graph.block g id) in
+  let r = Core.Ipet.solve g ~loop_bounds:[] ~block_cost:cost () in
+  (* entry(1) + expensive arm(3) + join(1) = 5 *)
+  Alcotest.(check int) "max path" 5 r.Core.Ipet.wcet
+
+let test_ipet_loop_bound () =
+  let g =
+    build
+      {|
+main:
+  li r1, 10
+loop:
+  subi r1, r1, 1
+  bne r1, r0, loop
+  halt
+|}
+  in
+  let bounds = bounds_for g in
+  let cost id = Cfg.Block.length (Cfg.Graph.block g id) in
+  let r = Core.Ipet.solve g ~loop_bounds:bounds ~block_cost:cost () in
+  (* Loop block (2 instrs) executes 10x, entry 1x (1 instr), halt 1x. *)
+  Alcotest.(check int) "loop wcet" (1 + 20 + 1) r.Core.Ipet.wcet;
+  let loop_block =
+    match Cfg.Graph.block_of_instr g 1 with
+    | Some id -> id
+    | None -> Alcotest.fail "loop block"
+  in
+  Alcotest.(check int) "loop count 10" 10 r.Core.Ipet.block_counts.(loop_block)
+
+let test_ipet_nested_bounds_multiply () =
+  let g =
+    build
+      {|
+main:
+  li r1, 4
+outer:
+  li r2, 3
+inner:
+  subi r2, r2, 1
+  bne r2, r0, inner
+  subi r1, r1, 1
+  bne r1, r0, outer
+  halt
+|}
+  in
+  let bounds = bounds_for g in
+  (* Unit costs make the objective push every count to its maximum. *)
+  let r = Core.Ipet.solve g ~loop_bounds:bounds ~block_cost:(fun _ -> 1) () in
+  let inner_block =
+    match Cfg.Graph.block_of_instr g 2 with
+    | Some id -> id
+    | None -> Alcotest.fail "inner block"
+  in
+  (* Inner body: 3 per outer iteration, 4 outer iterations = 12. *)
+  Alcotest.(check int) "inner executes 12x" 12
+    r.Core.Ipet.block_counts.(inner_block)
+
+let test_ipet_unbounded_loop_rejected () =
+  let g = build "main:\nloop:\n  nop\n  jmp loop\n" in
+  match Core.Ipet.solve g ~loop_bounds:[] ~block_cost:(fun _ -> 1) () with
+  | exception Core.Ipet.Flow_infeasible _ -> ()
+  | _ -> Alcotest.fail "expected Flow_infeasible (unbounded)"
+
+let test_ipet_mutually_exclusive () =
+  let g =
+    build
+      {|
+main:
+  beq r1, r0, b_
+a_:
+  nop
+  nop
+  jmp join
+b_:
+  nop
+join:
+  halt
+|}
+  in
+  let a = Cfg.Graph.block_of_instr g (Isa.Program.label_index g.Cfg.Graph.program "a_") in
+  let j = Cfg.Graph.block_of_instr g (Isa.Program.label_index g.Cfg.Graph.program "join") in
+  match (a, j) with
+  | Some a, Some j ->
+      let cost id = Cfg.Block.length (Cfg.Graph.block g id) in
+      let excl = Core.Ipet.solve g ~loop_bounds:[] ~block_cost:cost
+          ~mutually_exclusive:[ (a, j) ] () in
+      let plain = Core.Ipet.solve g ~loop_bounds:[] ~block_cost:cost () in
+      (* Excluding the expensive arm together with join forces the cheap
+         path. *)
+      Alcotest.(check bool) "exclusion lowers WCET" true
+        (excl.Core.Ipet.wcet < plain.Core.Ipet.wcet)
+  | _ -> Alcotest.fail "blocks not found"
+
+(* ------------------------------------------------------------------ *)
+(* Platform                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_platform_bounds () =
+  let p = Core.Platform.single_core () in
+  Alcotest.(check int) "private bus no wait" 0 (Core.Platform.bus_wait p);
+  let l2 = Cache.Config.make ~sets:16 ~assoc:2 ~line_size:16 in
+  let p2 =
+    {
+      p with
+      Core.Platform.l2 = Core.Platform.Private_l2 l2;
+      arbiter = Interconnect.Arbiter.Round_robin { cores = 4 };
+      core = 1;
+    }
+  in
+  (* lmax = l2 10 + mem 50 = 60; wait = 3 * 60. *)
+  Alcotest.(check int) "rr wait" 180 (Core.Platform.bus_wait p2);
+  let fcfs = { p2 with Core.Platform.arbiter = Interconnect.Arbiter.Fcfs { cores = 4 } } in
+  match Core.Platform.bus_wait fcfs with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "FCFS must be rejected"
+
+(* ------------------------------------------------------------------ *)
+(* Single-task WCET                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let sum_src =
+  "main:\n  li r1, 10\n  li r2, 0\nloop:\n  add r2, r2, r1\n  subi r1, r1, 1\n  bne r1, r0, loop\n  halt\n"
+
+let sim_config_of (platform : Core.Platform.t) =
+  {
+    Sim.Machine.latencies = platform.Core.Platform.latencies;
+    l1i = platform.Core.Platform.l1i;
+    l1d = platform.Core.Platform.l1d;
+    l2 =
+      (match platform.Core.Platform.l2 with
+      | Core.Platform.No_l2 -> Sim.Machine.No_l2
+      | Core.Platform.Private_l2 c -> Sim.Machine.Private_l2 [| c |]
+      | Core.Platform.Shared_l2 { config; _ }
+      | Core.Platform.Locked_l2 { config; _ } ->
+          Sim.Machine.Shared_l2 config);
+    arbiter = Interconnect.Arbiter.Private;
+    refresh = platform.Core.Platform.refresh;
+    i_path = Sim.Machine.Conventional;
+  }
+
+let test_wcet_sound_and_tight () =
+  let p = parse sum_src in
+  let platform = Core.Platform.single_core () in
+  let a = Core.Wcet.analyze platform p in
+  let r = Sim.Machine.run_single (sim_config_of platform) p () in
+  Alcotest.(check bool) "halted" true r.Sim.Machine.halted;
+  Alcotest.(check bool)
+    (Printf.sprintf "sound: %d >= %d" a.Core.Wcet.wcet r.Sim.Machine.cycles)
+    true
+    (a.Core.Wcet.wcet >= r.Sim.Machine.cycles);
+  Alcotest.(check bool)
+    (Printf.sprintf "tight within 2x (%d vs %d)" a.Core.Wcet.wcet
+       r.Sim.Machine.cycles)
+    true
+    (a.Core.Wcet.wcet <= 2 * r.Sim.Machine.cycles)
+
+let test_wcet_with_l2_sound () =
+  let p = parse sum_src in
+  let l2 = Cache.Config.make ~sets:16 ~assoc:2 ~line_size:16 in
+  let platform = Core.Platform.single_core ~l2 () in
+  let a = Core.Wcet.analyze platform p in
+  let r = Sim.Machine.run_single (sim_config_of platform) p () in
+  Alcotest.(check bool) "sound with L2" true
+    (a.Core.Wcet.wcet >= r.Sim.Machine.cycles)
+
+let test_wcet_calls () =
+  let p =
+    parse
+      "main:\n  li r1, 3\n  call f\n  call f\n  halt\nf:\n  mul r1, r1, r1\n  ret\n"
+  in
+  let platform = Core.Platform.single_core () in
+  let a = Core.Wcet.analyze platform p in
+  let r = Sim.Machine.run_single (sim_config_of platform) p () in
+  Alcotest.(check bool) "sound across calls" true
+    (a.Core.Wcet.wcet >= r.Sim.Machine.cycles);
+  Alcotest.(check int) "two procedures" 2 (List.length a.Core.Wcet.procs);
+  Alcotest.(check bool) "callee wcet positive" true
+    (Core.Wcet.proc_wcet a "f" > 0)
+
+let test_wcet_rejects_recursion () =
+  let p = parse "main:\n  call main\n  halt\n" in
+  match Core.Wcet.analyze (Core.Platform.single_core ()) p with
+  | exception Core.Wcet.Not_analysable _ -> ()
+  | _ -> Alcotest.fail "expected Not_analysable"
+
+let test_wcet_rejects_unbounded () =
+  let p = parse "main:\n  ld.io r1, 0(r0)\nl:\n  subi r1, r1, 1\n  bne r1, r0, l\n  halt\n" in
+  (match Core.Wcet.analyze (Core.Platform.single_core ()) p with
+  | exception Core.Wcet.Not_analysable _ -> ()
+  | _ -> Alcotest.fail "expected Not_analysable");
+  (* With an annotation it goes through. *)
+  let annot =
+    Dataflow.Annot.with_loop_bound Dataflow.Annot.empty ~proc:"main"
+      ~header_label:"l" 100
+  in
+  let a = Core.Wcet.analyze ~annot (Core.Platform.single_core ()) p in
+  Alcotest.(check bool) "bounded via annotation" true (a.Core.Wcet.wcet > 0)
+
+let test_wcet_monotone_in_bus_wait () =
+  let p = parse sum_src in
+  let l2 = Cache.Config.make ~sets:16 ~assoc:2 ~line_size:16 in
+  let base = Core.Platform.single_core ~l2 () in
+  let with_cores n =
+    {
+      base with
+      Core.Platform.arbiter = Interconnect.Arbiter.Round_robin { cores = n };
+      core = 0;
+    }
+  in
+  let w1 = (Core.Wcet.analyze (with_cores 1) p).Core.Wcet.wcet in
+  let w4 = (Core.Wcet.analyze (with_cores 4) p).Core.Wcet.wcet in
+  let w8 = (Core.Wcet.analyze (with_cores 8) p).Core.Wcet.wcet in
+  Alcotest.(check bool) "wcet grows with contention" true (w1 < w4 && w4 < w8)
+
+let test_wcet_footprint () =
+  let p = parse sum_src in
+  let l2 = Cache.Config.make ~sets:16 ~assoc:2 ~line_size:16 in
+  let platform = Core.Platform.single_core ~l2 () in
+  let a = Core.Wcet.analyze platform p in
+  match Core.Wcet.footprint a with
+  | Some fp ->
+      Alcotest.(check bool) "footprint nonempty" true
+        (Array.exists (fun c -> c > 0) fp)
+  | None -> Alcotest.fail "expected a footprint with an L2"
+
+(* ------------------------------------------------------------------ *)
+(* Multicore approaches                                               *)
+(* ------------------------------------------------------------------ *)
+
+let mk_system cores =
+  let task =
+    parse
+      "main:\n  li r1, 24\nloop:\n  subi r1, r1, 1\n  ld.d r2, 0(r1)\n  bne r1, r0, loop\n  halt\n"
+  in
+  Core.Multicore.default_system ~cores
+    ~tasks:(Array.init cores (fun _ -> Some (task, Dataflow.Annot.empty)))
+
+let get_wcets results =
+  Array.to_list (Core.Multicore.wcets results)
+  |> List.map (function Some w -> w | None -> Alcotest.fail "missing wcet")
+
+let test_multicore_oblivious_lowest () =
+  let sys = mk_system 4 in
+  let obl = get_wcets (Core.Multicore.analyze_oblivious sys) in
+  let joint = get_wcets (Core.Multicore.analyze_joint sys ()) in
+  let part =
+    get_wcets
+      (Core.Multicore.analyze_partitioned sys
+         ~scheme:Cache.Partition.Columnization)
+  in
+  (* The oblivious "bound" ignores bus and cache interference: it must be
+     the smallest — that is exactly why it is unsafe. *)
+  List.iteri
+    (fun i o ->
+      Alcotest.(check bool) "oblivious < joint" true (o < List.nth joint i);
+      Alcotest.(check bool) "oblivious < partitioned" true
+        (o < List.nth part i))
+    obl
+
+let test_multicore_joint_refinements_help () =
+  let sys = mk_system 4 in
+  let naive = get_wcets (Core.Multicore.analyze_joint sys ()) in
+  let bypassed = get_wcets (Core.Multicore.analyze_joint sys ~bypass:true ()) in
+  let no_overlap =
+    get_wcets
+      (Core.Multicore.analyze_joint sys ~overlaps:(fun _ _ -> false) ())
+  in
+  List.iteri
+    (fun i n ->
+      Alcotest.(check bool) "bypass never hurts" true
+        (List.nth bypassed i <= n);
+      Alcotest.(check bool) "no-overlap never hurts" true
+        (List.nth no_overlap i <= n))
+    naive
+
+let test_multicore_partition_schemes () =
+  let sys = mk_system 4 in
+  let col =
+    get_wcets
+      (Core.Multicore.analyze_partitioned sys
+         ~scheme:Cache.Partition.Columnization)
+  in
+  let bank =
+    get_wcets
+      (Core.Multicore.analyze_partitioned sys
+         ~scheme:Cache.Partition.Bankization)
+  in
+  Alcotest.(check int) "four columnized wcets" 4 (List.length col);
+  Alcotest.(check int) "four bankized wcets" 4 (List.length bank)
+
+let test_multicore_locked () =
+  let sys = mk_system 2 in
+  let locked = get_wcets (Core.Multicore.analyze_locked sys) in
+  Alcotest.(check int) "two wcets" 2 (List.length locked);
+  List.iter (fun w -> Alcotest.(check bool) "positive" true (w > 0)) locked
+
+let test_multicore_validation_joint () =
+  (* Soundness end-to-end: simulated contended execution within the joint
+     bound. *)
+  let sys = mk_system 2 in
+  let joint = get_wcets (Core.Multicore.analyze_joint sys ()) in
+  let cfg =
+    Core.Multicore.machine_config sys
+      ~l2:(Sim.Machine.Shared_l2 sys.Core.Multicore.l2)
+  in
+  let cores =
+    Array.map
+      (function
+        | Some (p, _) -> Sim.Machine.task p
+        | None -> Sim.Machine.idle)
+      sys.Core.Multicore.tasks
+  in
+  let rs = Sim.Machine.run cfg ~cores () in
+  Array.iteri
+    (fun i r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "core %d: %d <= %d" i r.Sim.Machine.cycles
+           (List.nth joint i))
+        true
+        (r.Sim.Machine.halted && r.Sim.Machine.cycles <= List.nth joint i))
+    rs
+
+let test_multicore_validation_partitioned () =
+  let sys = mk_system 2 in
+  let part =
+    get_wcets
+      (Core.Multicore.analyze_partitioned sys
+         ~scheme:Cache.Partition.Columnization)
+  in
+  let alloc =
+    Cache.Partition.even_shares Cache.Partition.Columnization
+      sys.Core.Multicore.l2 ~parts:2
+  in
+  let slices =
+    Array.init 2 (fun i ->
+        Cache.Partition.partition_config sys.Core.Multicore.l2 alloc ~index:i)
+  in
+  let cfg =
+    Core.Multicore.machine_config sys ~l2:(Sim.Machine.Private_l2 slices)
+  in
+  let cores =
+    Array.map
+      (function
+        | Some (p, _) -> Sim.Machine.task p
+        | None -> Sim.Machine.idle)
+      sys.Core.Multicore.tasks
+  in
+  let rs = Sim.Machine.run cfg ~cores () in
+  Array.iteri
+    (fun i r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "core %d: %d <= %d" i r.Sim.Machine.cycles
+           (List.nth part i))
+        true
+        (r.Sim.Machine.halted && r.Sim.Machine.cycles <= List.nth part i))
+    rs
+
+(* ------------------------------------------------------------------ *)
+(* Response time / lifetime                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_np_response_times () =
+  let tasks =
+    [
+      { Core.Response_time.name = "hi"; wcet = 2; period = 10 };
+      { Core.Response_time.name = "mid"; wcet = 3; period = 20 };
+      { Core.Response_time.name = "lo"; wcet = 4; period = 50 };
+    ]
+  in
+  match Core.Response_time.non_preemptive_response_times tasks with
+  | [ ("hi", Some rhi); ("mid", Some rmid); ("lo", Some rlo) ] ->
+      (* hi: C 2 + blocking max(3,4)=4 -> 6; mid: 3 + 4 + interference;
+         lo: no blocking. *)
+      Alcotest.(check int) "hi" 6 rhi;
+      Alcotest.(check bool) "mid >= 7" true (rmid >= 7);
+      Alcotest.(check bool) "lo >= 9" true (rlo >= 9)
+  | _ -> Alcotest.fail "unexpected RTA shape"
+
+let test_np_unschedulable () =
+  let tasks =
+    [
+      { Core.Response_time.name = "a"; wcet = 8; period = 10 };
+      { Core.Response_time.name = "b"; wcet = 8; period = 10 };
+    ]
+  in
+  match Core.Response_time.non_preemptive_response_times tasks with
+  | [ _; ("b", None) ] -> ()
+  | _ -> Alcotest.fail "expected b unschedulable"
+
+let test_lifetime_refinement () =
+  let sys = mk_system 2 in
+  (* Far-apart offsets: windows cannot overlap, conflicts vanish. *)
+  let apart =
+    Core.Response_time.lifetime_refinement sys ~offsets:[| 0; 1_000_000 |] ()
+  in
+  let together =
+    Core.Response_time.lifetime_refinement sys ~offsets:[| 0; 0 |] ()
+  in
+  let w arr i = match arr.(i) with Some w -> w | None -> Alcotest.fail "w" in
+  Alcotest.(check bool) "disjoint windows give lower or equal WCET" true
+    (w apart.Core.Response_time.wcets 0 <= w together.Core.Response_time.wcets 0);
+  Alcotest.(check bool) "overlap matrix reflects offsets" true
+    (not apart.Core.Response_time.overlaps.(0).(1));
+  Alcotest.(check bool) "together overlaps" true
+    together.Core.Response_time.overlaps.(0).(1)
+
+(* ------------------------------------------------------------------ *)
+(* BCET                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_bcet_sandwich () =
+  let p = parse sum_src in
+  let platform = Core.Platform.single_core () in
+  let w = Core.Wcet.analyze platform p in
+  let b = Core.Bcet.analyze platform p in
+  let r = Sim.Machine.run_single (sim_config_of platform) p () in
+  Alcotest.(check bool)
+    (Printf.sprintf "bcet %d <= observed %d <= wcet %d" b.Core.Bcet.bcet
+       r.Sim.Machine.cycles w.Core.Wcet.wcet)
+    true
+    (b.Core.Bcet.bcet <= r.Sim.Machine.cycles
+    && r.Sim.Machine.cycles <= w.Core.Wcet.wcet);
+  Alcotest.(check bool) "bcet positive" true (b.Core.Bcet.bcet > 0)
+
+let test_bcet_uses_min_loop_bounds () =
+  (* The counted loop runs exactly 10 times: the BCET path must include
+     all 10 iterations, not skip the loop. *)
+  let p = parse sum_src in
+  let b = Core.Bcet.analyze (Core.Platform.single_core ()) p in
+  let pr = List.assoc "main" b.Core.Bcet.procs in
+  let g = Cfg.Graph.build p ~entry:"main" in
+  let loop_block =
+    match Cfg.Graph.block_of_instr g (Isa.Program.label_index p "loop") with
+    | Some id -> id
+    | None -> Alcotest.fail "loop block"
+  in
+  Alcotest.(check int) "loop executed 10x on BCET path" 10
+    pr.Core.Bcet.ipet.Core.Ipet.block_counts.(loop_block)
+
+let test_bcet_diamond_takes_min () =
+  let p =
+    parse
+      "main:\n  ld.d r1, 0(r0)\n  beq r1, r0, cheap\n  mul r2, r2, r2\n  mul r2, r2, r2\n  jmp out\ncheap:\n  nop\nout:\n  halt\n"
+  in
+  let platform = Core.Platform.single_core () in
+  let w = (Core.Wcet.analyze platform p).Core.Wcet.wcet in
+  let b = (Core.Bcet.analyze platform p).Core.Bcet.bcet in
+  Alcotest.(check bool) "bcet < wcet on diamond" true (b < w)
+
+let test_analytic_quotient () =
+  Alcotest.(check (float 1e-9)) "half" 0.5
+    (Core.Bcet.analytic_quotient ~bcet:50 ~wcet:100);
+  Alcotest.(check (float 1e-9)) "clamped" 1.0
+    (Core.Bcet.analytic_quotient ~bcet:200 ~wcet:100)
+
+(* ------------------------------------------------------------------ *)
+(* Method cache platform                                              *)
+(* ------------------------------------------------------------------ *)
+
+let mc_config = { Cache.Method_cache.slots = 8; fill_per_word = 2 }
+
+let method_platform () =
+  { (Core.Platform.single_core ()) with Core.Platform.method_cache = Some mc_config }
+
+let method_sim_config (platform : Core.Platform.t) =
+  { (sim_config_of platform) with Sim.Machine.i_path = Sim.Machine.Method_cache mc_config }
+
+let test_method_cache_sound () =
+  let sources =
+    [ sum_src;
+      "main:\n  li r1, 3\n  call f\n  call f\n  halt\nf:\n  mul r1, r1, r1\n  ret\n";
+      "main:\n  li r1, 4\nl:\n  call work\n  subi r1, r1, 1\n  bne r1, r0, l\n  halt\nwork:\n  nop\n  nop\n  ret\n" ]
+  in
+  List.iter
+    (fun src ->
+      let p = parse src in
+      let platform = method_platform () in
+      let a = Core.Wcet.analyze platform p in
+      let r =
+        (Sim.Machine.run (method_sim_config platform)
+           ~cores:[| Sim.Machine.task p |] ()).(0)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "method-cache sound: %d >= %d" a.Core.Wcet.wcet
+           r.Sim.Machine.cycles)
+        true
+        (r.Sim.Machine.halted && a.Core.Wcet.wcet >= r.Sim.Machine.cycles))
+    sources
+
+let test_method_cache_misses_only_at_calls () =
+  (* A loop with no calls: after the initial function load, the method
+     cache never interferes; simulated time matches a pure
+     scratchpad-fetch model exactly. *)
+  let p = parse sum_src in
+  let platform = method_platform () in
+  let r =
+    (Sim.Machine.run (method_sim_config platform)
+       ~cores:[| Sim.Machine.task p |] ()).(0)
+  in
+  (* fetch 1 + exec cost per instruction, plus the single entry load. *)
+  let per_instr =
+    let st = Isa.Exec.init p in
+    let rec go acc =
+      if Isa.Exec.halted st then acc
+      else begin
+        let ins = Isa.Program.instr p st.Isa.Exec.pc in
+        let c =
+          1 + Pipeline.Latencies.exec_cost Pipeline.Latencies.default ins
+          + (match ins with
+            | Isa.Instr.Load _ | Isa.Instr.Store _ -> 1
+            | _ -> 0)
+        in
+        ignore (Isa.Exec.step p st);
+        go (acc + c)
+      end
+    in
+    go 0
+  in
+  let load =
+    Cache.Method_cache.load_cost mc_config ~mem_latency:50
+      ~size_words:(Isa.Program.length p)
+  in
+  Alcotest.(check int) "exact method-cache timing" (per_instr + load)
+    r.Sim.Machine.cycles
+
+let test_method_cache_thrashing_charged () =
+  (* Two functions alternating in a 1-slot cache: every call reloads. *)
+  let src =
+    "main:\n  li r1, 4\nl:\n  call f\n  subi r1, r1, 1\n  bne r1, r0, l\n  halt\nf:\n  ret\n"
+  in
+  let p = parse src in
+  let tiny = { Cache.Method_cache.slots = 1; fill_per_word = 2 } in
+  let platform =
+    { (Core.Platform.single_core ()) with Core.Platform.method_cache = Some tiny }
+  in
+  let roomy = method_platform () in
+  let w_tiny = (Core.Wcet.analyze platform p).Core.Wcet.wcet in
+  let w_roomy = (Core.Wcet.analyze roomy p).Core.Wcet.wcet in
+  Alcotest.(check bool) "thrashing costs more" true (w_tiny > w_roomy);
+  let sim_cfg =
+    { (sim_config_of platform) with Sim.Machine.i_path = Sim.Machine.Method_cache tiny }
+  in
+  let r = (Sim.Machine.run sim_cfg ~cores:[| Sim.Machine.task p |] ()).(0) in
+  Alcotest.(check bool)
+    (Printf.sprintf "tiny cache sound: %d >= %d" w_tiny r.Sim.Machine.cycles)
+    true
+    (w_tiny >= r.Sim.Machine.cycles)
+
+(* ------------------------------------------------------------------ *)
+(* Joint interleaving explorer                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_interleaving_product_growth () =
+  let g = build "main:\n  li r1, 2\nl:\n  subi r1, r1, 1\n  bne r1, r0, l\n  halt\n" in
+  let s1 = Core.Joint_interleaving.explore [ g ] in
+  let s2 = Core.Joint_interleaving.explore [ g; g ] in
+  let s3 = Core.Joint_interleaving.explore [ g; g; g ] in
+  Alcotest.(check int) "1 thread = blocks" (Cfg.Graph.num_blocks g)
+    s1.Core.Joint_interleaving.states;
+  Alcotest.(check int) "2 threads = blocks^2"
+    (s1.Core.Joint_interleaving.states * s1.Core.Joint_interleaving.states)
+    s2.Core.Joint_interleaving.states;
+  Alcotest.(check int) "3 threads = blocks^3"
+    (s1.Core.Joint_interleaving.states * s2.Core.Joint_interleaving.states)
+    s3.Core.Joint_interleaving.states;
+  Alcotest.(check int) "a-priori bound matches"
+    s2.Core.Joint_interleaving.states
+    (Core.Joint_interleaving.product_size_bound [ g; g ])
+
+let test_interleaving_cap () =
+  let g = build "main:\n  li r1, 2\nl:\n  subi r1, r1, 1\n  bne r1, r0, l\n  halt\n" in
+  let s = Core.Joint_interleaving.explore ~max_states:5 [ g; g; g ] in
+  Alcotest.(check bool) "capped flagged" true s.Core.Joint_interleaving.capped;
+  Alcotest.(check bool) "states at cap" true
+    (s.Core.Joint_interleaving.states <= 5)
+
+(* ------------------------------------------------------------------ *)
+(* Dynamic locking                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_dynamic_locking_runs () =
+  let sys = mk_system 2 in
+  let stat = get_wcets (Core.Multicore.analyze_locked sys) in
+  let dyn = get_wcets (Core.Multicore.analyze_locked_dynamic sys) in
+  Alcotest.(check int) "two static" 2 (List.length stat);
+  Alcotest.(check int) "two dynamic" 2 (List.length dyn);
+  List.iter (fun w -> Alcotest.(check bool) "positive" true (w > 0)) dyn
+
+let test_bypass_lines_of_straightline () =
+  (* A straight-line task's whole footprint is single-usage. *)
+  let b = Workloads.Bench_programs.straightline ~n:8 in
+  let sys =
+    Core.Multicore.default_system ~cores:1
+      ~tasks:
+        [| Some
+             ( b.Workloads.Bench_programs.program,
+               b.Workloads.Bench_programs.annot ) |]
+  in
+  let lines =
+    Core.Multicore.bypass_lines sys
+      (b.Workloads.Bench_programs.program, b.Workloads.Bench_programs.annot)
+  in
+  Alcotest.(check bool) "nonempty" true (lines <> []);
+  (* And a looped task keeps its loop lines out of the bypass set. *)
+  let loop = Workloads.Bench_programs.memory_bound ~n:8 in
+  let loop_lines =
+    Core.Multicore.bypass_lines sys
+      ( loop.Workloads.Bench_programs.program,
+        loop.Workloads.Bench_programs.annot )
+  in
+  let g =
+    Cfg.Graph.build loop.Workloads.Bench_programs.program ~entry:"main"
+  in
+  let loop_instr = Isa.Program.label_index g.Cfg.Graph.program "loop" in
+  let loop_code_line =
+    Cache.Config.line_of_addr sys.Core.Multicore.l2
+      (Isa.Program.addr_of_index g.Cfg.Graph.program loop_instr)
+  in
+  Alcotest.(check bool) "loop code line not bypassed" false
+    (List.mem loop_code_line loop_lines)
+
+(* ------------------------------------------------------------------ *)
+(* Predictability                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_quotient () =
+  Alcotest.(check (float 1e-9)) "constant" 1.0
+    (Core.Predictability.quotient [ 5; 5; 5 ]);
+  Alcotest.(check (float 1e-9)) "half" 0.5
+    (Core.Predictability.quotient [ 10; 20 ]);
+  Alcotest.(check (float 1e-9)) "empty" 1.0 (Core.Predictability.quotient [])
+
+let test_state_induced_quotient () =
+  let p =
+    parse "main:\n  li r1, 8\nl:\n  subi r1, r1, 1\n  ld.d r2, 0(r1)\n  bne r1, r0, l\n  halt\n"
+  in
+  let cfg =
+    {
+      Sim.Machine.latencies = Pipeline.Latencies.default;
+      l1i = Cache.Config.make ~sets:4 ~assoc:2 ~line_size:16;
+      l1d = Cache.Config.make ~sets:4 ~assoc:2 ~line_size:16;
+      l2 = Sim.Machine.No_l2;
+      arbiter = Interconnect.Arbiter.Private;
+      refresh = Interconnect.Arbiter.Burst;
+      i_path = Sim.Machine.Conventional;
+    }
+  in
+  let addresses =
+    List.init 8 (fun i -> Isa.Layout.byte_addr Isa.Instr.Data i)
+  in
+  let warmups =
+    Core.Predictability.random_warmups ~seed:42 ~count:8 ~addresses
+  in
+  let q = Core.Predictability.state_induced cfg p ~warmups in
+  Alcotest.(check bool) "0 < q <= 1" true (q > 0.0 && q <= 1.0);
+  (* Warm data caches can only help: the cold run is the slowest, so
+     with a warm state in the set the quotient is < 1. *)
+  Alcotest.(check bool) "state variation observed" true (q < 1.0)
+
+(* ------------------------------------------------------------------ *)
+(* Report / dot / input-induced quotient                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_report_render () =
+  let p = parse sum_src in
+  let a = Core.Wcet.analyze (Core.Platform.single_core ()) p in
+  let r = Core.Report.render a in
+  Alcotest.(check bool) "mentions wcet" true
+    (Astring.String.is_infix ~affix:(string_of_int a.Core.Wcet.wcet) r);
+  Alcotest.(check bool) "mentions loop bound" true
+    (Astring.String.is_infix ~affix:"<= 9 back edges" r);
+  let proc = Core.Report.render_proc a "main" in
+  Alcotest.(check bool) "per-proc blocks listed" true
+    (Astring.String.is_infix ~affix:"B0" proc)
+
+let test_dot_output () =
+  let p = parse sum_src in
+  let a = Core.Wcet.analyze (Core.Platform.single_core ()) p in
+  let dot = Core.Report.dot_of_proc a "main" in
+  Alcotest.(check bool) "digraph" true
+    (Astring.String.is_prefix ~affix:"digraph" dot);
+  Alcotest.(check bool) "edges present" true
+    (Astring.String.is_infix ~affix:"->" dot);
+  Alcotest.(check bool) "counts annotated" true
+    (Astring.String.is_infix ~affix:"x10" dot)
+
+let test_input_induced_quotient () =
+  (* A data-dependent branch: zero input skips the expensive arm. *)
+  let p =
+    parse
+      "main:\n  li r1, 12\nl:\n  ld.d r2, 0(r1)\n  beq r2, r0, s\n  mul r3, r2, r2\n  mul r3, r3, r3\ns:\n  subi r1, r1, 1\n  bne r1, r0, l\n  halt\n"
+  in
+  let cfg =
+    {
+      Sim.Machine.latencies = Pipeline.Latencies.default;
+      l1i = Cache.Config.make ~sets:16 ~assoc:2 ~line_size:16;
+      l1d = Cache.Config.make ~sets:16 ~assoc:2 ~line_size:16;
+      l2 = Sim.Machine.No_l2;
+      arbiter = Interconnect.Arbiter.Private;
+      refresh = Interconnect.Arbiter.Burst;
+      i_path = Sim.Machine.Conventional;
+    }
+  in
+  let zero = [] in
+  let ones = List.init 13 (fun i -> (i, 1)) in
+  let q = Core.Predictability.input_induced cfg p ~inputs:[ zero; ones ] in
+  Alcotest.(check bool) (Printf.sprintf "0 < %f < 1" q) true
+    (q > 0.0 && q < 1.0);
+  (* Same input twice: perfectly input-predictable. *)
+  Alcotest.(check (float 1e-9)) "same inputs" 1.0
+    (Core.Predictability.input_induced cfg p ~inputs:[ ones; ones ])
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "ipet",
+        [
+          Alcotest.test_case "straight line" `Quick test_ipet_straightline;
+          Alcotest.test_case "diamond takes max" `Quick
+            test_ipet_diamond_takes_max;
+          Alcotest.test_case "loop bound" `Quick test_ipet_loop_bound;
+          Alcotest.test_case "nested bounds multiply" `Quick
+            test_ipet_nested_bounds_multiply;
+          Alcotest.test_case "unbounded rejected" `Quick
+            test_ipet_unbounded_loop_rejected;
+          Alcotest.test_case "mutually exclusive" `Quick
+            test_ipet_mutually_exclusive;
+        ] );
+      ( "platform",
+        [ Alcotest.test_case "bounds" `Quick test_platform_bounds ] );
+      ( "wcet",
+        [
+          Alcotest.test_case "sound and tight" `Quick test_wcet_sound_and_tight;
+          Alcotest.test_case "sound with L2" `Quick test_wcet_with_l2_sound;
+          Alcotest.test_case "calls" `Quick test_wcet_calls;
+          Alcotest.test_case "rejects recursion" `Quick
+            test_wcet_rejects_recursion;
+          Alcotest.test_case "rejects unbounded / accepts annotation" `Quick
+            test_wcet_rejects_unbounded;
+          Alcotest.test_case "monotone in bus wait" `Quick
+            test_wcet_monotone_in_bus_wait;
+          Alcotest.test_case "footprint" `Quick test_wcet_footprint;
+        ] );
+      ( "multicore",
+        [
+          Alcotest.test_case "oblivious is lowest (unsafe)" `Quick
+            test_multicore_oblivious_lowest;
+          Alcotest.test_case "joint refinements help" `Quick
+            test_multicore_joint_refinements_help;
+          Alcotest.test_case "partition schemes" `Quick
+            test_multicore_partition_schemes;
+          Alcotest.test_case "locked" `Quick test_multicore_locked;
+          Alcotest.test_case "joint bound validates" `Quick
+            test_multicore_validation_joint;
+          Alcotest.test_case "partitioned bound validates" `Quick
+            test_multicore_validation_partitioned;
+        ] );
+      ( "extensions",
+        [
+          Alcotest.test_case "BCET sandwich" `Quick test_bcet_sandwich;
+          Alcotest.test_case "BCET honors min loop bounds" `Quick
+            test_bcet_uses_min_loop_bounds;
+          Alcotest.test_case "BCET takes cheap arm" `Quick
+            test_bcet_diamond_takes_min;
+          Alcotest.test_case "analytic quotient" `Quick test_analytic_quotient;
+          Alcotest.test_case "method cache sound" `Quick
+            test_method_cache_sound;
+          Alcotest.test_case "method cache exact (no calls)" `Quick
+            test_method_cache_misses_only_at_calls;
+          Alcotest.test_case "method cache thrashing" `Quick
+            test_method_cache_thrashing_charged;
+          Alcotest.test_case "interleaving product growth" `Quick
+            test_interleaving_product_growth;
+          Alcotest.test_case "interleaving cap" `Quick test_interleaving_cap;
+          Alcotest.test_case "dynamic locking" `Quick test_dynamic_locking_runs;
+          Alcotest.test_case "bypass line discovery" `Quick
+            test_bypass_lines_of_straightline;
+        ] );
+      ( "scheduling",
+        [
+          Alcotest.test_case "np response times" `Quick test_np_response_times;
+          Alcotest.test_case "unschedulable" `Quick test_np_unschedulable;
+          Alcotest.test_case "lifetime refinement" `Quick
+            test_lifetime_refinement;
+        ] );
+      ( "predictability",
+        [
+          Alcotest.test_case "quotient" `Quick test_quotient;
+          Alcotest.test_case "state-induced" `Quick
+            test_state_induced_quotient;
+          Alcotest.test_case "input-induced" `Quick
+            test_input_induced_quotient;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "text render" `Quick test_report_render;
+          Alcotest.test_case "graphviz" `Quick test_dot_output;
+        ] );
+    ]

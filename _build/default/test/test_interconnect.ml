@@ -1,0 +1,118 @@
+(* Tests for the arbiter bound models. *)
+
+module A = Interconnect.Arbiter
+
+let ww t ~core ~own ~max = A.worst_wait t ~core ~own_latency:own ~max_latency:max
+
+let test_private () =
+  Alcotest.(check int) "private no wait" 0
+    (ww A.Private ~core:0 ~own:10 ~max:10)
+
+let test_round_robin () =
+  Alcotest.(check int) "1 core" 0
+    (ww (A.Round_robin { cores = 1 }) ~core:0 ~own:10 ~max:10);
+  Alcotest.(check int) "4 cores" 30
+    (ww (A.Round_robin { cores = 4 }) ~core:0 ~own:10 ~max:10);
+  (* Heterogeneous: foreign transactions may be long. *)
+  Alcotest.(check int) "max latency governs" 180
+    (ww (A.Round_robin { cores = 4 }) ~core:2 ~own:10 ~max:60)
+
+let test_tdma () =
+  let t = A.Tdma { cores = 4; slot = 10 } in
+  Alcotest.(check int) "slot = latency" 39 (ww t ~core:0 ~own:10 ~max:10);
+  (* Short transactions still wait for whole foreign slots. *)
+  Alcotest.(check int) "short tx" 32 (ww t ~core:1 ~own:3 ~max:10);
+  Alcotest.check_raises "slot too small"
+    (Invalid_argument "Arbiter.worst_wait: TDMA slot shorter than transaction")
+    (fun () -> ignore (ww t ~core:0 ~own:11 ~max:11));
+  (* TDMA with slot = L equals round-robin plus the alignment cycle gap:
+     (N-1)*S + L - 1 vs (N-1)*L: TDMA = 39, RR = 30 here; with growing
+     slots TDMA degrades. *)
+  let long = A.Tdma { cores = 4; slot = 50 } in
+  Alcotest.(check int) "long slots degrade" 159 (ww long ~core:0 ~own:10 ~max:10)
+
+let test_weighted () =
+  let t = A.Weighted { weights = [| 3; 1 |] } in
+  (* Smooth-WRR round for 3:1 is a permutation of [0;0;1;0]: core 0's
+     largest foreign run is 1 slot -> (1+1)*max; core 1 appears once in a
+     4-slot round -> (3+1)*max. *)
+  Alcotest.(check int) "heavy core" 20 (ww t ~core:0 ~own:10 ~max:10);
+  Alcotest.(check int) "light core" 40 (ww t ~core:1 ~own:10 ~max:10);
+  Alcotest.(check bool) "heavier waits less" true
+    (ww t ~core:0 ~own:10 ~max:10 < ww t ~core:1 ~own:10 ~max:10);
+  (* An interleaved round beats naive concatenation: 2 heavy slots of 4
+     interleaved give gap 1, not 2. *)
+  let r = A.round t in
+  Alcotest.(check int) "round length = total weight" 4 (Array.length r);
+  Alcotest.(check int) "heavy slots" 3
+    (Array.fold_left (fun acc c -> if c = 0 then acc + 1 else acc) 0 r)
+
+let test_fcfs_not_analysable () =
+  let t = A.Fcfs { cores = 4 } in
+  Alcotest.(check bool) "fcfs flagged" false (A.analysable t);
+  Alcotest.(check bool) "others analysable" true
+    (List.for_all A.analysable
+       [
+         A.Private;
+         A.Round_robin { cores = 2 };
+         A.Tdma { cores = 2; slot = 8 };
+         A.Weighted { weights = [| 1; 1 |] };
+       ])
+
+let test_cores () =
+  Alcotest.(check int) "weighted cores" 3
+    (A.cores (A.Weighted { weights = [| 1; 2; 1 |] }));
+  Alcotest.(check int) "private" 1 (A.cores A.Private)
+
+let test_refresh () =
+  Alcotest.(check int) "distributed worst" 8
+    (A.refresh_wait (A.Distributed { interval = 100; duration = 8 }));
+  Alcotest.(check int) "burst zero" 0 (A.refresh_wait A.Burst)
+
+let test_bad_args () =
+  Alcotest.check_raises "bad latency"
+    (Invalid_argument "Arbiter.worst_wait: bad latencies") (fun () ->
+      ignore (ww A.Private ~core:0 ~own:0 ~max:0));
+  Alcotest.check_raises "bad core"
+    (Invalid_argument "Arbiter.worst_wait: bad core") (fun () ->
+      ignore (ww (A.Round_robin { cores = 2 }) ~core:5 ~own:1 ~max:1))
+
+(* Property: the survey's claims about arbitration scale linearly. *)
+let prop_rr_linear_in_cores =
+  QCheck.Test.make ~name:"round-robin wait linear in N" ~count:100
+    (QCheck.make
+       ~print:(fun (n, l) -> Printf.sprintf "(%d,%d)" n l)
+       QCheck.Gen.(pair (int_range 2 64) (int_range 1 100)))
+    (fun (n, l) ->
+      ww (A.Round_robin { cores = n }) ~core:0 ~own:l ~max:l = (n - 1) * l)
+
+let prop_tdma_dominates_rr =
+  QCheck.Test.make
+    ~name:"TDMA wait >= round-robin wait for slot >= latency" ~count:100
+    (QCheck.make
+       ~print:(fun (n, l, s) -> Printf.sprintf "(%d,%d,+%d)" n l s)
+       QCheck.Gen.(triple (int_range 2 16) (int_range 1 50) (int_range 0 50)))
+    (fun (n, l, extra) ->
+      let slot = l + extra in
+      ww (A.Tdma { cores = n; slot }) ~core:0 ~own:l ~max:l
+      >= ww (A.Round_robin { cores = n }) ~core:0 ~own:l ~max:l - 1)
+
+let () =
+  Alcotest.run "interconnect"
+    [
+      ( "bounds",
+        [
+          Alcotest.test_case "private" `Quick test_private;
+          Alcotest.test_case "round robin" `Quick test_round_robin;
+          Alcotest.test_case "tdma" `Quick test_tdma;
+          Alcotest.test_case "weighted" `Quick test_weighted;
+          Alcotest.test_case "fcfs not analysable" `Quick
+            test_fcfs_not_analysable;
+          Alcotest.test_case "cores" `Quick test_cores;
+          Alcotest.test_case "refresh" `Quick test_refresh;
+          Alcotest.test_case "bad arguments" `Quick test_bad_args;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_rr_linear_in_cores; prop_tdma_dominates_rr ] );
+    ]

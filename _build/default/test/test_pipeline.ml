@@ -1,0 +1,131 @@
+(* Tests for the block-cost model. *)
+
+let lat = Pipeline.Latencies.default
+
+let test_exec_costs () =
+  let check msg expected ins =
+    Alcotest.(check int) msg expected (Pipeline.Latencies.exec_cost lat ins)
+  in
+  check "add" lat.Pipeline.Latencies.base
+    (Isa.Instr.Alu (Isa.Instr.Add, 1, 2, 3));
+  check "mul" lat.Pipeline.Latencies.mul
+    (Isa.Instr.Alu (Isa.Instr.Mul, 1, 2, 3));
+  check "div" lat.Pipeline.Latencies.div
+    (Isa.Instr.Alu (Isa.Instr.Div, 1, 2, 3));
+  check "rem like div" lat.Pipeline.Latencies.div
+    (Isa.Instr.Alui (Isa.Instr.Rem, 1, 2, 3));
+  check "branch charged taken"
+    (lat.Pipeline.Latencies.base + lat.Pipeline.Latencies.branch_penalty)
+    (Isa.Instr.Branch (Isa.Instr.Eq, 1, 2, "l"));
+  check "jump"
+    (lat.Pipeline.Latencies.base + lat.Pipeline.Latencies.branch_penalty)
+    (Isa.Instr.Jump "l");
+  check "load base (memory charged separately)" lat.Pipeline.Latencies.base
+    (Isa.Instr.Load (Isa.Instr.Data, 1, 2, 0))
+
+let oracle ?(bus_wait = 0) ?(mem_wait = 0) () =
+  {
+    Pipeline.Cost.fetch_class =
+      (fun _ -> Pipeline.Cost.no_l2 Cache.Analysis.Always_hit);
+    data_class = (fun _ -> None);
+    is_io = (fun _ -> false);
+    bus_wait;
+    mem_wait;
+  }
+
+let mc l1 l2 = { Pipeline.Cost.l1; l2 }
+
+let test_access_costs () =
+  let o = oracle ~bus_wait:3 ~mem_wait:5 () in
+  let cost = Pipeline.Cost.access_cost lat o in
+  Alcotest.(check int) "AH = l1" 1
+    (cost (mc Cache.Analysis.Always_hit Cache.Analysis.Always_miss));
+  Alcotest.(check int) "PS charged as hit" 1
+    (cost (mc Cache.Analysis.Persistent Cache.Analysis.Always_miss));
+  (* L1 miss, L2 hit: 1 + bus 3 + l2 10 = 14. *)
+  Alcotest.(check int) "miss, L2 hit" 14
+    (cost (mc Cache.Analysis.Always_miss Cache.Analysis.Always_hit));
+  (* L1 miss, L2 miss: 14 + mem 50 + mem_wait 5 = 69. *)
+  Alcotest.(check int) "miss, L2 miss" 69
+    (cost (mc Cache.Analysis.Always_miss Cache.Analysis.Always_miss));
+  Alcotest.(check int) "NC like miss" 69
+    (cost (mc Cache.Analysis.Not_classified Cache.Analysis.Not_classified))
+
+let test_first_miss_penalty () =
+  let o = oracle ~bus_wait:3 ~mem_wait:5 () in
+  let pen = Pipeline.Cost.first_miss_penalty lat o in
+  Alcotest.(check int) "AH no penalty" 0
+    (pen (mc Cache.Analysis.Always_hit Cache.Analysis.Always_hit));
+  (* L1 PS with L2 hit: bus 3 + l2 10. *)
+  Alcotest.(check int) "L1 PS penalty" 13
+    (pen (mc Cache.Analysis.Persistent Cache.Analysis.Always_hit));
+  (* L1 PS with L2 miss path: 13 + 50 + 5. *)
+  Alcotest.(check int) "L1 PS penalty through memory" 68
+    (pen (mc Cache.Analysis.Persistent Cache.Analysis.Always_miss));
+  (* L1 NC, L2 PS: one memory trip. *)
+  Alcotest.(check int) "L2 PS penalty" 55
+    (pen (mc Cache.Analysis.Not_classified Cache.Analysis.Persistent))
+
+let test_block_cost () =
+  let p =
+    Isa.Asm.parse ~name:"t" "main:\n  addi r1, r0, 1\n  mul r2, r1, r1\n  halt\n"
+  in
+  let g = Cfg.Graph.build p ~entry:"main" in
+  let o = oracle () in
+  (* Every fetch AH (1): instrs cost (1+1) + (4+1) + (1+1) = 9. *)
+  Alcotest.(check int) "block cost" 9
+    (Pipeline.Cost.block_cost lat g o g.Cfg.Graph.entry)
+
+let test_block_cost_with_io () =
+  let p = Isa.Asm.parse ~name:"t" "main:\n  ld.io r1, 0(r0)\n  halt\n" in
+  let g = Cfg.Graph.build p ~entry:"main" in
+  let o =
+    {
+      (oracle ~bus_wait:7 ()) with
+      Pipeline.Cost.is_io =
+        (fun i ->
+          match Isa.Program.instr p i with
+          | Isa.Instr.Load (Isa.Instr.Io, _, _, _) -> true
+          | _ -> false);
+    }
+  in
+  (* ld.io: exec 1 + fetch 1 + io (7 bus + 20) = 29; halt: 1 + 1. *)
+  Alcotest.(check int) "io block cost" 31
+    (Pipeline.Cost.block_cost lat g o g.Cfg.Graph.entry)
+
+let test_bus_wait_monotone () =
+  (* Block costs grow monotonically with the arbiter wait: the multicore
+     WCET composition depends on this. *)
+  let p = Isa.Asm.parse ~name:"t" "main:\n  nop\n  halt\n" in
+  let g = Cfg.Graph.build p ~entry:"main" in
+  let cost bus_wait =
+    let o =
+      {
+        (oracle ~bus_wait ()) with
+        Pipeline.Cost.fetch_class =
+          (fun _ ->
+            mc Cache.Analysis.Always_miss Cache.Analysis.Always_hit);
+      }
+    in
+    Pipeline.Cost.block_cost lat g o g.Cfg.Graph.entry
+  in
+  Alcotest.(check bool) "monotone" true (cost 0 < cost 5 && cost 5 < cost 50);
+  (* Two misses in the block: each pays the wait once. *)
+  Alcotest.(check int) "wait charged per access" (cost 0 + 10) (cost 5)
+
+let () =
+  Alcotest.run "pipeline"
+    [
+      ( "cost",
+        [
+          Alcotest.test_case "exec costs" `Quick test_exec_costs;
+          Alcotest.test_case "access costs" `Quick test_access_costs;
+          Alcotest.test_case "first-miss penalties" `Quick
+            test_first_miss_penalty;
+          Alcotest.test_case "block cost" `Quick test_block_cost;
+          Alcotest.test_case "block cost with io" `Quick
+            test_block_cost_with_io;
+          Alcotest.test_case "bus wait monotone" `Quick
+            test_bus_wait_monotone;
+        ] );
+    ]
