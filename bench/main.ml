@@ -5,21 +5,48 @@
      dune exec bench/main.exe                 -- run everything
      dune exec bench/main.exe -- --only T5    -- one experiment
      dune exec bench/main.exe -- --list       -- list experiments
-     dune exec bench/main.exe -- --no-bechamel -- skip timing benchmarks *)
+     dune exec bench/main.exe -- --no-bechamel -- skip timing benchmarks
+     dune exec bench/main.exe -- -j 4          -- 4 worker domains
+                                                  (or PARATIME_WORKERS) *)
 
 module B = Workloads.Bench_programs
 
-let soundness_checks = ref 0
-let soundness_failures = ref 0
+(* Experiments run as {!Engine.Pool} jobs, one per catalog entry, so a
+   worker domain may execute any of them concurrently with the others.
+   All experiment printing goes through a domain-local buffer; the driver
+   prints each job's buffer in catalog order, so every experiment table
+   is byte-identical to a sequential run.  (The trailing per-experiment
+   cache-attribution lines and the wall-clock numbers can shift under
+   parallelism — concurrent misses on a shared key are analyzed by
+   whichever job gets there first — but the bounds never do.) *)
+let out_key = Domain.DLS.new_key (fun () -> Buffer.create 4096)
+let out () = Domain.DLS.get out_key
+let printf fmt = Printf.ksprintf (fun s -> Buffer.add_string (out ()) s) fmt
+
+let print_endline s =
+  Buffer.add_string (out ()) s;
+  Buffer.add_char (out ()) '\n'
+
+(* Soundness tallies are bumped from worker domains. *)
+let soundness_checks = Atomic.make 0
+let soundness_failures = Atomic.make 0
 
 let check_sound ~bound ~observed =
-  incr soundness_checks;
-  if observed > bound then incr soundness_failures
+  Atomic.incr soundness_checks;
+  if observed > bound then Atomic.incr soundness_failures
+
+(* Shared memoizing result cache and phase telemetry: experiments repeat
+   many (program, annotations, platform) points — T2's four identical
+   tasks, F1's sweep rows, T12's conventional platform equal to T1's —
+   and the cache serves the repeats.  T10 and the bechamel rows time the
+   *cost* of analysis, so they keep calling the raw entry points. *)
+let memo = Core.Memo.create ~capacity:512 ()
+let telemetry = Engine.Telemetry.create ()
 
 let rule width = print_endline (String.make width '-')
 
 let header id title =
-  Printf.printf "\n==== %s: %s ====\n" id title
+  printf "\n==== %s: %s ====\n" id title
 
 (* ------------------------------------------------------------------ *)
 (* Shared setup helpers                                                *)
@@ -82,15 +109,15 @@ let t1 () =
       i_path = Sim.Machine.Conventional;
     }
   in
-  Printf.printf "%-14s %8s %10s %10s %8s\n" "benchmark" "instrs" "observed"
+  printf "%-14s %8s %10s %10s %8s\n" "benchmark" "instrs" "observed"
     "WCET" "ratio";
   rule 56;
   List.iter
     (fun (b : B.t) ->
-      let a = Core.Wcet.analyze ~annot:b.B.annot platform b.B.program in
+      let a = Core.Memo.wcet memo ~annot:b.B.annot ~telemetry platform b.B.program in
       let r = (Sim.Machine.run sim_cfg ~cores:[| Sim.Machine.task b.B.program |] ()).(0) in
       check_sound ~bound:a.Core.Wcet.wcet ~observed:r.Sim.Machine.cycles;
-      Printf.printf "%-14s %8d %10d %10d %8.2f%s\n" b.B.name
+      printf "%-14s %8d %10d %10d %8.2f%s\n" b.B.name
         r.Sim.Machine.instructions r.Sim.Machine.cycles a.Core.Wcet.wcet
         (float_of_int a.Core.Wcet.wcet /. float_of_int r.Sim.Machine.cycles)
         (if r.Sim.Machine.cycles > a.Core.Wcet.wcet then "  UNSOUND!" else ""))
@@ -105,17 +132,17 @@ let t2 () =
     "interference-oblivious bounds vs. contended reality (Section 2.2)";
   let tasks = Array.init 4 (fun _ -> B.l1_thrash ~n:48) in
   let sys = system_of tasks in
-  let oblivious = Core.Multicore.analyze_oblivious sys in
-  let joint = Core.Multicore.analyze_joint sys () in
+  let oblivious = Core.Multicore.analyze_oblivious ~memo sys in
+  let joint = Core.Multicore.analyze_joint ~memo sys () in
   let rs = simulate_shared sys tasks in
-  Printf.printf "%-8s %10s %12s %12s\n" "core" "observed" "oblivious" "joint";
+  printf "%-8s %10s %12s %12s\n" "core" "observed" "oblivious" "joint";
   rule 48;
   Array.iteri
     (fun i (r : Sim.Machine.core_result) ->
       let ob = wcet_or_zero oblivious.(i) in
       let jo = wcet_or_zero joint.(i) in
       check_sound ~bound:jo ~observed:r.Sim.Machine.cycles;
-      Printf.printf "core %-3d %10d %12d %12d%s\n" i r.Sim.Machine.cycles ob jo
+      printf "core %-3d %10d %12d %12d%s\n" i r.Sim.Machine.cycles ob jo
         (if r.Sim.Machine.cycles > ob then "   oblivious VIOLATED" else ""))
     rs;
   print_endline
@@ -129,7 +156,7 @@ let t2 () =
 let t3 () =
   header "T3"
     "shared-L2 joint analysis vs. number of co-runners (Section 4.1)";
-  Printf.printf "%-12s %12s %12s %12s %12s\n" "co-runners" "victim WCET"
+  printf "%-12s %12s %12s %12s %12s\n" "co-runners" "victim WCET"
     "+bypass" "disjoint" "degraded%";
   rule 64;
   List.iter
@@ -140,10 +167,10 @@ let t3 () =
             else B.straightline ~n:24)
       in
       let sys = system_of tasks in
-      let joint = Core.Multicore.analyze_joint sys () in
-      let bypass = Core.Multicore.analyze_joint sys ~bypass:true () in
+      let joint = Core.Multicore.analyze_joint ~memo sys () in
+      let bypass = Core.Multicore.analyze_joint ~memo sys ~bypass:true () in
       let disjoint =
-        Core.Multicore.analyze_joint sys ~overlaps:(fun _ _ -> false) ()
+        Core.Multicore.analyze_joint ~memo sys ~overlaps:(fun _ _ -> false) ()
       in
       (* Validate the bypass bound on a bypass-capable machine. *)
       (let cfg =
@@ -187,7 +214,7 @@ let t3 () =
                /. float_of_int (max 1 (wcet_or_zero disjoint.(0))))
         | _ -> 0.0
       in
-      Printf.printf "%-12d %12d %12d %12d %11.1f%%\n" m
+      printf "%-12d %12d %12d %12d %11.1f%%\n" m
         (wcet_or_zero joint.(0))
         (wcet_or_zero bypass.(0))
         (wcet_or_zero disjoint.(0))
@@ -223,7 +250,7 @@ let t4 () =
     Cache.Partition.even_shares Cache.Partition.Columnization l2_default
       ~parts:2
   in
-  Printf.printf "%-14s %6s | %12s %12s\n" "task" "core" "core-based"
+  printf "%-14s %6s | %12s %12s\n" "task" "core" "core-based"
     "task-based";
   rule 52;
   let totals = ref (0, 0) in
@@ -239,28 +266,28 @@ let t4 () =
       Array.iter
         (fun (b : B.t) ->
           let wc slice =
-            (Core.Wcet.analyze ~annot:b.B.annot (base_platform slice core)
-               b.B.program)
+            (Core.Memo.wcet memo ~annot:b.B.annot ~telemetry
+               (base_platform slice core) b.B.program)
               .Core.Wcet.wcet
           in
           let cb = wc core_slice and tb = wc task_slice in
           let c, t = !totals in
           totals := (c + cb, t + tb);
-          Printf.printf "%-14s %6d | %12d %12d\n" b.B.name core cb tb)
+          printf "%-14s %6d | %12d %12d\n" b.B.name core cb tb)
         tasks)
     core_tasks;
   let c, t = !totals in
-  Printf.printf "%-14s %6s | %12d %12d\n" "TOTAL" "" c t;
+  printf "%-14s %6s | %12d %12d\n" "TOTAL" "" c t;
   (* Locking: static global selection vs per-region dynamic. *)
   let flat = Array.concat (Array.to_list core_tasks) in
   let sys4 = system_of flat in
-  let locked = Core.Multicore.analyze_locked sys4 in
-  let dyn = Core.Multicore.analyze_locked_dynamic sys4 in
-  Printf.printf "\n%-14s %12s %12s\n" "task" "locked-static" "locked-dyn";
+  let locked = Core.Multicore.analyze_locked ~memo sys4 in
+  let dyn = Core.Multicore.analyze_locked_dynamic ~memo sys4 in
+  printf "\n%-14s %12s %12s\n" "task" "locked-static" "locked-dyn";
   rule 42;
   Array.iteri
     (fun i (b : B.t) ->
-      Printf.printf "%-14s %12d %12d\n" b.B.name
+      printf "%-14s %12d %12d\n" b.B.name
         (wcet_or_zero locked.(i))
         (wcet_or_zero dyn.(i)))
     flat;
@@ -278,14 +305,16 @@ let t5 () =
   let tasks = Array.init 4 (fun _ -> B.assoc_stress ~ways:4 ~reps:12) in
   let sys = system_of tasks in
   let col =
-    Core.Multicore.analyze_partitioned sys ~scheme:Cache.Partition.Columnization
+    Core.Multicore.analyze_partitioned ~memo sys
+      ~scheme:Cache.Partition.Columnization
   in
   let bank =
-    Core.Multicore.analyze_partitioned sys ~scheme:Cache.Partition.Bankization
+    Core.Multicore.analyze_partitioned ~memo sys
+      ~scheme:Cache.Partition.Bankization
   in
   let col_rs = simulate_partitioned sys tasks ~scheme:Cache.Partition.Columnization in
   let bank_rs = simulate_partitioned sys tasks ~scheme:Cache.Partition.Bankization in
-  Printf.printf "%-8s %14s %14s %14s %14s\n" "core" "colmn WCET"
+  printf "%-8s %14s %14s %14s %14s\n" "core" "colmn WCET"
     "colmn observed" "bank WCET" "bank observed";
   rule 70;
   Array.iteri
@@ -294,7 +323,7 @@ let t5 () =
         ~observed:col_rs.(i).Sim.Machine.cycles;
       check_sound ~bound:(wcet_or_zero bank.(i))
         ~observed:bank_rs.(i).Sim.Machine.cycles;
-      Printf.printf "core %-3d %14d %14d %14d %14d\n" i
+      printf "core %-3d %14d %14d %14d %14d\n" i
         (wcet_or_zero col.(i))
         col_rs.(i).Sim.Machine.cycles
         (wcet_or_zero bank.(i))
@@ -323,14 +352,14 @@ let t6 () =
                Interconnect.Arbiter.Tdma { cores; slot = mult * lmax } ))
          [ 1; 2; 4 ]
   in
-  Printf.printf "%-16s %12s %12s %12s %12s\n" "arbiter" "wait bound"
+  printf "%-16s %12s %12s %12s %12s\n" "arbiter" "wait bound"
     "max observed" "WCET core0" "observed c0";
   rule 70;
   List.iter
     (fun (label, arbiter) ->
       let tasks = Array.init 4 (fun _ -> B.l1_thrash ~n:32) in
       let sys = system_of ~arbiter tasks in
-      let joint = Core.Multicore.analyze_joint sys () in
+      let joint = Core.Multicore.analyze_joint ~memo sys () in
       let rs = simulate_shared sys tasks in
       let bound =
         Interconnect.Arbiter.worst_wait (arbiter 4) ~core:0 ~own_latency:lmax
@@ -344,7 +373,7 @@ let t6 () =
       in
       check_sound ~bound:(wcet_or_zero joint.(0))
         ~observed:rs.(0).Sim.Machine.cycles;
-      Printf.printf "%-16s %12d %12d %12d %12d\n" label bound max_wait
+      printf "%-16s %12d %12d %12d %12d\n" label bound max_wait
         (wcet_or_zero joint.(0))
         rs.(0).Sim.Machine.cycles)
     rows
@@ -359,14 +388,14 @@ let t7 () =
     Pipeline.Latencies.default.Pipeline.Latencies.l2_hit
     + Pipeline.Latencies.default.Pipeline.Latencies.mem
   in
-  Printf.printf "%-6s %14s %12s %12s %12s %12s\n" "N" "survey N*L-1"
+  printf "%-6s %14s %12s %12s %12s %12s\n" "N" "survey N*L-1"
     "wait bound" "max observed" "WCET core0" "observed c0";
   rule 74;
   List.iter
     (fun n ->
       let tasks = Array.init n (fun _ -> B.l1_thrash ~n:32) in
       let sys = system_of tasks in
-      let joint = Core.Multicore.analyze_joint sys () in
+      let joint = Core.Multicore.analyze_joint ~memo sys () in
       let rs = simulate_shared sys tasks in
       let bound =
         Interconnect.Arbiter.worst_wait
@@ -381,7 +410,7 @@ let t7 () =
       in
       check_sound ~bound:(wcet_or_zero joint.(0))
         ~observed:rs.(0).Sim.Machine.cycles;
-      Printf.printf "%-6d %14d %12d %12d %12d %12d\n" n
+      printf "%-6d %14d %12d %12d %12d %12d\n" n
         ((n * lmax) - 1)
         bound max_wait
         (wcet_or_zero joint.(0))
@@ -405,19 +434,19 @@ let t8 () =
       ("weighted 5:1:1:1", Interconnect.Arbiter.Weighted { weights = [| 5; 1; 1; 1 |] });
     ]
   in
-  Printf.printf "%-18s %14s %14s %14s\n" "arbiter" "hungry WCET"
+  printf "%-18s %14s %14s %14s\n" "arbiter" "hungry WCET"
     "light WCET" "hungry observed";
   rule 64;
   List.iter
     (fun (label, arbiter) ->
       let sys = system_of ~arbiter:(fun _ -> arbiter) tasks in
-      let joint = Core.Multicore.analyze_joint sys () in
+      let joint = Core.Multicore.analyze_joint ~memo sys () in
       let rs = simulate_shared sys tasks in
       check_sound ~bound:(wcet_or_zero joint.(0))
         ~observed:rs.(0).Sim.Machine.cycles;
       check_sound ~bound:(wcet_or_zero joint.(1))
         ~observed:rs.(1).Sim.Machine.cycles;
-      Printf.printf "%-18s %14d %14d %14d\n" label
+      printf "%-18s %14d %14d %14d\n" label
         (wcet_or_zero joint.(0))
         (wcet_or_zero joint.(1))
         rs.(0).Sim.Machine.cycles)
@@ -448,17 +477,17 @@ let t9 () =
     }
   in
   let alone = Sim.Machine.run_single cfg hrt () in
-  Printf.printf "%-24s %12s %12s %16s\n" "configuration" "HRT cycles"
+  printf "%-24s %12s %12s %16s\n" "configuration" "HRT cycles"
     "identical" "NRT instrs";
   rule 68;
-  Printf.printf "%-24s %12d %12s %16s\n" "HRT alone"
+  printf "%-24s %12d %12s %16s\n" "HRT alone"
     alone.Sim.Machine.cycles "-" "-";
   List.iter
     (fun m ->
       let r =
         Sim.Smt.run_carcore cfg ~hrt ~nrts:(Array.make m heavy) ()
       in
-      Printf.printf "%-24s %12d %12b %16d\n"
+      printf "%-24s %12d %12b %16d\n"
         (Printf.sprintf "CarCore HRT + %d NRT" m)
         r.Sim.Smt.hrt.Sim.Machine.cycles
         (r.Sim.Smt.hrt.Sim.Machine.cycles = alone.Sim.Machine.cycles)
@@ -472,11 +501,11 @@ let t9 () =
     in
     (Sim.Smt.run_pret lat ~threads ()).Sim.Smt.thread_cycles.(0)
   in
-  Printf.printf "\n%-24s %12s\n" "PRET (4 hw threads)" "T0 cycles";
+  printf "\n%-24s %12s\n" "PRET (4 hw threads)" "T0 cycles";
   rule 38;
   List.iter
     (fun k ->
-      Printf.printf "%-24s %12d\n"
+      printf "%-24s %12d\n"
         (Printf.sprintf "thread0 + %d co-threads" (k - 1))
         (pret k))
     [ 1; 2; 4 ];
@@ -500,7 +529,7 @@ let t10 () =
   let program = (B.crc ~n:4).B.program in
   let g = Cfg.Graph.build program ~entry:"main" in
   let platform = Core.Platform.single_core ~l2:l2_default () in
-  Printf.printf "%-10s %16s %16s | %18s\n" "threads" "product states"
+  printf "%-10s %16s %16s | %18s\n" "threads" "product states"
     "explore ms" "isolation ms";
   rule 68;
   List.iter
@@ -514,7 +543,7 @@ let t10 () =
         time_ms (fun () ->
             List.init k (fun _ -> Core.Wcet.analyze platform program))
       in
-      Printf.printf "%-10d %16d %16.2f | %18.2f%s\n" k
+      printf "%-10d %16d %16.2f | %18.2f%s\n" k
         stats.Core.Joint_interleaving.states explore_ms iso_ms
         (if stats.Core.Joint_interleaving.capped then "  (capped)" else ""))
     [ 1; 2; 3; 4 ];
@@ -550,17 +579,18 @@ let t11 () =
       ~arbiter:(Interconnect.Arbiter.Round_robin { cores = 4 })
       ~mem_arbiter:(Some (Interconnect.Arbiter.Round_robin { cores = 4 }, 0))
   in
-  Printf.printf "%-14s %16s %16s %10s
+  printf "%-14s %16s %16s %10s
 " "task" "flat 16-core"
     "clustered 4x4" "gain";
   rule 60;
   List.iter
     (fun (b : B.t) ->
       let wc p =
-        (Core.Wcet.analyze ~annot:b.B.annot p b.B.program).Core.Wcet.wcet
+        (Core.Memo.wcet memo ~annot:b.B.annot ~telemetry p b.B.program)
+          .Core.Wcet.wcet
       in
       let f = wc flat and c = wc clustered in
-      Printf.printf "%-14s %16d %16d %9.2fx
+      printf "%-14s %16d %16d %9.2fx
 " b.B.name f c
         (float_of_int f /. float_of_int c))
     [ B.assoc_stress ~ways:4 ~reps:12; B.memory_bound ~n:32; B.crc ~n:8 ];
@@ -593,19 +623,23 @@ let t12 () =
       i_path;
     }
   in
-  Printf.printf "%-12s | %10s %10s %6s | %10s %10s %6s\n" "benchmark"
+  printf "%-12s | %10s %10s %6s | %10s %10s %6s\n" "benchmark"
     "conv obs" "conv WCET" "ratio" "mc obs" "mc WCET" "ratio";
   rule 78;
   List.iter
     (fun (b : B.t) ->
-      let conv_a = Core.Wcet.analyze ~annot:b.B.annot conventional b.B.program in
+      let conv_a =
+        Core.Memo.wcet memo ~annot:b.B.annot ~telemetry conventional b.B.program
+      in
       let conv_r =
         (Sim.Machine.run
            (sim_of conventional Sim.Machine.Conventional
               (Sim.Machine.Private_l2 [| l2_default |]))
            ~cores:[| Sim.Machine.task b.B.program |] ()).(0)
       in
-      let mc_a = Core.Wcet.analyze ~annot:b.B.annot methodp b.B.program in
+      let mc_a =
+        Core.Memo.wcet memo ~annot:b.B.annot ~telemetry methodp b.B.program
+      in
       let mc_r =
         (Sim.Machine.run
            (sim_of methodp (Sim.Machine.Method_cache mc) Sim.Machine.No_l2)
@@ -614,7 +648,7 @@ let t12 () =
       check_sound ~bound:conv_a.Core.Wcet.wcet
         ~observed:conv_r.Sim.Machine.cycles;
       check_sound ~bound:mc_a.Core.Wcet.wcet ~observed:mc_r.Sim.Machine.cycles;
-      Printf.printf "%-12s | %10d %10d %6.2f | %10d %10d %6.2f\n" b.B.name
+      printf "%-12s | %10d %10d %6.2f | %10d %10d %6.2f\n" b.B.name
         conv_r.Sim.Machine.cycles conv_a.Core.Wcet.wcet
         (float_of_int conv_a.Core.Wcet.wcet
         /. float_of_int conv_r.Sim.Machine.cycles)
@@ -638,12 +672,12 @@ let t13 () =
        B.vector_sum ~n:32; B.vector_sum ~n:32 |]
   in
   let sys = system_of tasks in
-  Printf.printf "%-22s %12s %12s %6s\n" "schedule" "victim WCET"
+  printf "%-22s %12s %12s %6s\n" "schedule" "victim WCET"
     "iterations" "overlap";
   rule 58;
   List.iter
     (fun (label, offsets) ->
-      let r = Core.Response_time.lifetime_refinement sys ~offsets () in
+      let r = Core.Response_time.lifetime_refinement ~memo sys ~offsets () in
       let overlapping =
         let n = Array.length tasks in
         let c = ref 0 in
@@ -654,7 +688,7 @@ let t13 () =
         done;
         !c
       in
-      Printf.printf "%-22s %12s %12d %6d\n" label
+      printf "%-22s %12s %12d %6d\n" label
         (match r.Core.Response_time.wcets.(0) with
         | Some w -> string_of_int w
         | None -> "-")
@@ -690,15 +724,15 @@ let t14 () =
   let sys = system_of (Array.of_list flat) in
   let approaches =
     [
-      ("oblivious (unsafe)", Core.Multicore.analyze_oblivious);
-      ("joint", fun s -> Core.Multicore.analyze_joint s ());
+      ("oblivious (unsafe)", Core.Multicore.analyze_oblivious ~memo);
+      ("joint", fun s -> Core.Multicore.analyze_joint ~memo s ());
       ( "partitioned",
-        Core.Multicore.analyze_partitioned ~scheme:Cache.Partition.Bankization
-      );
-      ("locked", Core.Multicore.analyze_locked);
+        Core.Multicore.analyze_partitioned ~memo
+          ~scheme:Cache.Partition.Bankization );
+      ("locked", Core.Multicore.analyze_locked ~memo);
     ]
   in
-  Printf.printf "%-20s %14s %28s\n" "approach" "schedulable?"
+  printf "%-20s %14s %28s\n" "approach" "schedulable?"
     "worst response / period";
   rule 66;
   List.iter
@@ -731,7 +765,7 @@ let t14 () =
             np
             (Core.Response_time.non_preemptive_response_times np))
         core_tasks;
-      Printf.printf "%-20s %14b %27.0f%%\n" label !all_ok (100. *. !worst))
+      printf "%-20s %14b %27.0f%%\n" label !all_ok (100. *. !worst))
     approaches;
   print_endline
     "(the paper's opening question: scheduling needs per-task WCETs; the\n\
@@ -745,7 +779,7 @@ let t14 () =
 
 let f1 () =
   header "F1" "WCET vs cores for the approach families (Sections 3/6)";
-  Printf.printf "%-6s %12s %12s %12s %12s\n" "cores" "oblivious" "joint"
+  printf "%-6s %12s %12s %12s %12s\n" "cores" "oblivious" "joint"
     "partitioned" "locked";
   rule 60;
   List.iter
@@ -757,13 +791,13 @@ let f1 () =
       in
       let sys = system_of tasks in
       let get f = wcet_or_zero (f sys).(0) in
-      Printf.printf "%-6d %12d %12d %12d %12d\n" n
-        (get Core.Multicore.analyze_oblivious)
-        (get (fun s -> Core.Multicore.analyze_joint s ()))
+      printf "%-6d %12d %12d %12d %12d\n" n
+        (get (Core.Multicore.analyze_oblivious ~memo))
+        (get (fun s -> Core.Multicore.analyze_joint ~memo s ()))
         (get
-           (Core.Multicore.analyze_partitioned
+           (Core.Multicore.analyze_partitioned ~memo
               ~scheme:Cache.Partition.Bankization))
-        (get Core.Multicore.analyze_locked))
+        (get (Core.Multicore.analyze_locked ~memo)))
     [ 1; 2; 4 ];
   print_endline
     "(oblivious is unsafe and flat; joint degrades with co-runner\n\
@@ -776,7 +810,7 @@ let f1 () =
 let f2 () =
   header "F2" "isolation vs capacity: partition share sweep (Section 4.2)";
   let b = B.assoc_stress ~ways:3 ~reps:12 in
-  Printf.printf "%-10s %12s %12s %10s\n" "ways" "WCET" "observed" "L2 AH%";
+  printf "%-10s %12s %12s %10s\n" "ways" "WCET" "observed" "L2 AH%";
   rule 48;
   List.iter
     (fun ways ->
@@ -789,7 +823,7 @@ let f2 () =
           l2 = Core.Platform.Private_l2 slice;
         }
       in
-      let a = Core.Wcet.analyze ~annot:b.B.annot platform b.B.program in
+      let a = Core.Memo.wcet memo ~annot:b.B.annot ~telemetry platform b.B.program in
       let infos =
         List.concat_map
           (fun (_, m) -> Cache.Multilevel.access_infos m)
@@ -822,7 +856,7 @@ let f2 () =
       in
       let r = Sim.Machine.run_single cfg b.B.program () in
       check_sound ~bound:a.Core.Wcet.wcet ~observed:r.Sim.Machine.cycles;
-      Printf.printf "%-10d %12d %12d %9.0f%%\n" ways a.Core.Wcet.wcet
+      printf "%-10d %12d %12d %9.0f%%\n" ways a.Core.Wcet.wcet
         r.Sim.Machine.cycles
         (100.
         *. float_of_int ah
@@ -856,7 +890,7 @@ let f3 () =
       l1d = Cache.Config.make ~sets:4 ~assoc:2 ~line_size:16;
     }
   in
-  Printf.printf "%-14s %14s %14s %16s\n" "benchmark" "cached core"
+  printf "%-14s %14s %14s %16s\n" "benchmark" "cached core"
     "PRET thread" "analytic B/W";
   rule 62;
   List.iter
@@ -874,16 +908,18 @@ let f3 () =
       in
       let analytic =
         let w =
-          (Core.Wcet.analyze ~annot:b.B.annot analytic_platform b.B.program)
+          (Core.Memo.wcet memo ~annot:b.B.annot ~telemetry analytic_platform
+             b.B.program)
             .Core.Wcet.wcet
         in
         let bc =
-          (Core.Bcet.analyze ~annot:b.B.annot analytic_platform b.B.program)
+          (Core.Memo.bcet memo ~annot:b.B.annot ~telemetry analytic_platform
+             b.B.program)
             .Core.Bcet.bcet
         in
         Core.Bcet.analytic_quotient ~bcet:bc ~wcet:w
       in
-      Printf.printf "%-14s %14.3f %14.3f %16.3f\n" b.B.name q_cached q_pret
+      printf "%-14s %14.3f %14.3f %16.3f\n" b.B.name q_cached q_pret
         analytic)
     [ B.vector_sum ~n:16; B.crc ~n:8; B.bubble_sort ~n:8; B.memory_bound ~n:16 ];
   print_endline
@@ -956,12 +992,12 @@ let bechamel_suite () =
         fun () -> ignore (Sim.Machine.run_single cfg crc.B.program ()) );
     ]
   in
-  Printf.printf "%-38s %16s\n" "benchmark" "ns/run";
+  printf "%-38s %16s\n" "benchmark" "ns/run";
   rule 56;
   List.iter
     (fun (name, fn) ->
       let ns = measure_ns name fn in
-      Printf.printf "%-38s %16.0f\n" name ns)
+      printf "%-38s %16.0f\n" name ns)
     rows
 
 (* ------------------------------------------------------------------ *)
@@ -999,8 +1035,29 @@ let () =
     in
     find args
   in
+  let workers =
+    let rec find = function
+      | ("-j" | "--jobs") :: n :: _ -> Some n
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    let parse s =
+      match int_of_string_opt s with
+      | Some n when n >= 1 -> n
+      | _ ->
+          Printf.eprintf "bad worker count %S\n" s;
+          exit 1
+    in
+    match find args with
+    | Some s -> parse s
+    | None -> (
+        match Sys.getenv_opt "PARATIME_WORKERS" with
+        | Some s -> parse s
+        | None -> 1)
+  in
   if List.mem "--list" args then
-    List.iter (fun (id, title, _) -> Printf.printf "%-5s %s\n" id title)
+    List.iter
+      (fun (id, title, _) -> Stdlib.Printf.printf "%-5s %s\n" id title)
       experiments
   else begin
     let selected =
@@ -1013,11 +1070,53 @@ let () =
       Printf.eprintf "unknown experiment; try --list\n";
       exit 1
     end;
-    List.iter (fun (_, _, run) -> run ()) selected;
-    if only = None && not (List.mem "--no-bechamel" args) then
+    let t0 = Engine.Telemetry.now_ns () in
+    (* One pool job per experiment; each job collects its output in the
+       worker's domain-local buffer and returns it, together with the
+       result-cache traffic it generated. *)
+    let jobs =
+      List.map
+        (fun (id, _, run) ->
+          Engine.Pool.job ~label:id (fun _ctx ->
+              Buffer.clear (out ());
+              let h0, l0 = Core.Memo.local_stats () in
+              run ();
+              let h1, l1 = Core.Memo.local_stats () in
+              if l1 > l0 then
+                printf "[%s result cache: %d hits / %d lookups]\n" id (h1 - h0)
+                  (l1 - l0);
+              Buffer.contents (out ())))
+        selected
+    in
+    let outcomes = Engine.Pool.run ~workers jobs in
+    let job_failures = ref 0 in
+    List.iter2
+      (fun (id, _, _) outcome ->
+        match outcome with
+        | Engine.Pool.Done text -> Stdlib.print_string text
+        | Engine.Pool.Failed { error; _ } ->
+            incr job_failures;
+            Stdlib.Printf.printf "\n==== %s FAILED: %s ====\n" id error
+        | Engine.Pool.Timed_out { after_ns; _ } ->
+            incr job_failures;
+            Stdlib.Printf.printf "\n==== %s TIMED OUT after %.1f ms ====\n" id
+              (Int64.to_float after_ns /. 1e6))
+      selected outcomes;
+    if only = None && not (List.mem "--no-bechamel" args) then begin
+      Buffer.clear (out ());
       bechamel_suite ();
-    Printf.printf
+      Stdlib.print_string (Buffer.contents (out ()))
+    end;
+    let wall_ns = Int64.sub (Engine.Telemetry.now_ns ()) t0 in
+    Stdlib.Printf.printf "\n==== engine: %d workers, wall %.1f ms ====\n"
+      workers
+      (Int64.to_float wall_ns /. 1e6);
+    Format.printf "result cache: %a@." Engine.Lru.pp_stats
+      (Core.Memo.stats memo);
+    Stdlib.print_string (Engine.Telemetry.render telemetry);
+    Stdlib.Printf.printf
       "\n==== soundness summary: %d checks, %d violations ====\n"
-      !soundness_checks !soundness_failures;
-    if !soundness_failures > 0 then exit 1
+      (Atomic.get soundness_checks)
+      (Atomic.get soundness_failures);
+    if Atomic.get soundness_failures > 0 || !job_failures > 0 then exit 1
   end

@@ -4,9 +4,17 @@
      analyze   <file.asm|bench:NAME>  static WCET analysis
      simulate  <file.asm|bench:NAME>  cycle-level simulation
      multicore <bench:NAME>...        task-set analysis under each approach
+     batch     <SOURCE>...            sources x configs in parallel, memoized
      benchmarks                       list the bundled benchmark suite *)
 
 open Cmdliner
+
+let die fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "paratime: %s\n" msg;
+      exit 2)
+    fmt
 
 let load source =
   if String.length source > 6 && String.sub source 0 6 = "bench:" then
@@ -14,13 +22,23 @@ let load source =
     match Workloads.Bench_programs.by_name name with
     | Some b ->
         (b.Workloads.Bench_programs.program, b.Workloads.Bench_programs.annot)
-    | None -> failwith (Printf.sprintf "unknown benchmark %S" name)
+    | None ->
+        let available =
+          List.map
+            (fun (b : Workloads.Bench_programs.t) ->
+              b.Workloads.Bench_programs.name)
+            (Workloads.Bench_programs.suite ())
+        in
+        die "unknown benchmark %S; available: %s" name
+          (String.concat ", " available)
   else
-    let ic = open_in source in
-    let n = in_channel_length ic in
-    let text = really_input_string ic n in
-    close_in ic;
-    (Isa.Asm.parse ~name:(Filename.basename source) text, Dataflow.Annot.empty)
+    match open_in source with
+    | exception Sys_error msg -> die "cannot read %s" msg
+    | ic ->
+        let n = in_channel_length ic in
+        let text = really_input_string ic n in
+        close_in ic;
+        (Isa.Asm.parse ~name:(Filename.basename source) text, Dataflow.Annot.empty)
 
 let l2_of_flag with_l2 =
   if with_l2 then Some (Cache.Config.make ~sets:64 ~assoc:4 ~line_size:16)
@@ -32,7 +50,7 @@ let arbiter_of cores kind =
   | "rr" -> Interconnect.Arbiter.Round_robin { cores }
   | "tdma" -> Interconnect.Arbiter.Tdma { cores; slot = 60 }
   | "fcfs" -> Interconnect.Arbiter.Fcfs { cores }
-  | s -> failwith (Printf.sprintf "unknown arbiter %S" s)
+  | s -> die "unknown arbiter %S (expected private | rr | tdma | fcfs)" s
 
 (* ---------------- analyze ---------------- *)
 
@@ -244,6 +262,212 @@ let cfg_cmd =
     (Cmd.info "cfg" ~doc:"Dump the control-flow graphs of a task")
     Term.(const run $ source $ dot)
 
+(* ---------------- batch ---------------- *)
+
+(* Named platform configurations a batch run sweeps each source through. *)
+let batch_configs =
+  [
+    ("base", fun () -> Core.Platform.single_core ());
+    ( "l2",
+      fun () ->
+        Core.Platform.single_core
+          ~l2:(Cache.Config.make ~sets:64 ~assoc:4 ~line_size:16)
+          () );
+    ( "mc",
+      fun () ->
+        {
+          (Core.Platform.single_core ()) with
+          Core.Platform.method_cache = Some Cache.Method_cache.default;
+        } );
+    ( "rr4",
+      fun () ->
+        {
+          (Core.Platform.single_core ()) with
+          Core.Platform.arbiter = Interconnect.Arbiter.Round_robin { cores = 4 };
+        } );
+    ( "tdma4",
+      fun () ->
+        {
+          (Core.Platform.single_core ()) with
+          Core.Platform.arbiter =
+            Interconnect.Arbiter.Tdma { cores = 4; slot = 60 };
+        } );
+  ]
+
+let workers_from_env () =
+  match Sys.getenv_opt "PARATIME_WORKERS" with
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some n when n >= 1 -> Some n
+      | _ -> die "PARATIME_WORKERS must be a positive integer, got %S" s)
+  | None -> None
+
+type batch_row = {
+  wcet : int;
+  bcet : int option;
+  job_ns : int64;
+  cache_hits : int;
+  cache_lookups : int;
+}
+
+let batch_cmd =
+  let run sources config_names jobs_flag repeat timeout_ms capacity phases csv
+      =
+    if repeat < 1 then die "--repeat must be >= 1";
+    let configs =
+      List.map
+        (fun name ->
+          match List.assoc_opt name batch_configs with
+          | Some mk -> (name, mk ())
+          | None ->
+              die "unknown config %S; available: %s" name
+                (String.concat ", " (List.map fst batch_configs)))
+        config_names
+    in
+    let tasks = List.map (fun s -> (s, load s)) sources in
+    let memo = Core.Memo.create ?capacity () in
+    let telemetry = Engine.Telemetry.create () in
+    let points =
+      (* repeat-major order so later rounds demonstrably hit the cache *)
+      List.concat_map
+        (fun round ->
+          List.concat_map
+            (fun (src, (program, annot)) ->
+              List.map
+                (fun (cname, platform) -> (round, src, cname, program, annot, platform))
+                configs)
+            tasks)
+        (List.init repeat (fun i -> i))
+    in
+    let jobs =
+      List.map
+        (fun (_, src, cname, program, annot, platform) ->
+          Engine.Pool.job
+            ~label:(Printf.sprintf "%s@%s" src cname)
+            (fun ctx ->
+              Engine.Pool.check ctx;
+              let h0, l0 = Core.Memo.local_stats () in
+              let t0 = Engine.Telemetry.now_ns () in
+              let w = Core.Memo.wcet memo ~annot ~telemetry platform program in
+              let b =
+                match Core.Memo.bcet memo ~annot ~telemetry platform program with
+                | b -> Some b.Core.Bcet.bcet
+                | exception Core.Wcet.Not_analysable _ -> None
+              in
+              let job_ns = Int64.sub (Engine.Telemetry.now_ns ()) t0 in
+              let h1, l1 = Core.Memo.local_stats () in
+              {
+                wcet = w.Core.Wcet.wcet;
+                bcet = b;
+                job_ns;
+                cache_hits = h1 - h0;
+                cache_lookups = l1 - l0;
+              }))
+        points
+    in
+    let workers =
+      max 1
+        (match jobs_flag with
+        | Some n -> n
+        | None -> (
+            match workers_from_env () with
+            | Some n -> n
+            | None -> Engine.Pool.default_workers ()))
+    in
+    let timeout_ns =
+      Option.map (fun ms -> Int64.of_int (ms * 1_000_000)) timeout_ms
+    in
+    let t0 = Engine.Telemetry.now_ns () in
+    let outcomes = Engine.Pool.run ~workers ?timeout_ns jobs in
+    let wall_ns = Int64.sub (Engine.Telemetry.now_ns ()) t0 in
+    Printf.printf "%-18s %-6s %3s %10s %10s %9s %6s\n" "source" "config" "rep"
+      "wcet" "bcet" "ms" "cache";
+    let failures = ref 0 in
+    List.iter2
+      (fun (round, src, cname, _, _, _) outcome ->
+        match outcome with
+        | Engine.Pool.Done r ->
+            Printf.printf "%-18s %-6s %3d %10d %10s %9.2f %3d/%d\n" src cname
+              round r.wcet
+              (match r.bcet with Some b -> string_of_int b | None -> "-")
+              (Int64.to_float r.job_ns /. 1e6)
+              r.cache_hits r.cache_lookups
+        | Engine.Pool.Failed { label; error } ->
+            incr failures;
+            Printf.printf "%-18s %-6s %3d  FAILED (%s): %s\n" src cname round
+              label error
+        | Engine.Pool.Timed_out { label; after_ns } ->
+            incr failures;
+            Printf.printf "%-18s %-6s %3d  TIMEOUT (%s) after %.2f ms\n" src
+              cname round label
+              (Int64.to_float after_ns /. 1e6))
+      points outcomes;
+    Printf.printf "\n%d jobs, %d workers, wall %.2f ms\n" (List.length jobs)
+      workers
+      (Int64.to_float wall_ns /. 1e6);
+    Format.printf "result cache: %a@." Engine.Lru.pp_stats
+      (Core.Memo.stats memo);
+    if phases then print_string (Engine.Telemetry.render telemetry);
+    if csv then print_string (Engine.Telemetry.to_csv telemetry);
+    if !failures > 0 then exit 1
+  in
+  let sources =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"SOURCE" ~doc:"Assembly files or bench:NAME entries.")
+  in
+  let configs =
+    Arg.(
+      value
+      & opt_all string [ "base"; "l2" ]
+      & info [ "config"; "c" ] ~docv:"NAME"
+          ~doc:"Platform configuration (repeatable): base, l2, mc, rr4, tdma4.")
+  in
+  let jobs_flag =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains (default: \\$(b,PARATIME_WORKERS) or the domain \
+             count recommended by the runtime).")
+  in
+  let repeat =
+    Arg.(
+      value & opt int 1
+      & info [ "repeat" ] ~docv:"K"
+          ~doc:"Analyze the whole matrix K times (exercises the cache).")
+  in
+  let timeout_ms =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "timeout-ms" ] ~docv:"MS" ~doc:"Per-job analysis budget.")
+  in
+  let capacity =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cache-capacity" ] ~docv:"N"
+          ~doc:"Result-cache capacity (default 512).")
+  in
+  let phases =
+    Arg.(
+      value & flag
+      & info [ "phases" ] ~doc:"Print the per-phase telemetry breakdown.")
+  in
+  let csv =
+    Arg.(value & flag & info [ "csv" ] ~doc:"Print telemetry as CSV rows.")
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Analyze many sources under many platform configurations in \
+          parallel, with a shared memoizing result cache")
+    Term.(
+      const run $ sources $ configs $ jobs_flag $ repeat $ timeout_ms
+      $ capacity $ phases $ csv)
+
 (* ---------------- benchmarks ---------------- *)
 
 let benchmarks_cmd =
@@ -265,4 +489,11 @@ let () =
     (Cmd.eval
        (Cmd.group
           (Cmd.info "paratime" ~version:"1.0.0" ~doc)
-          [ analyze_cmd; simulate_cmd; multicore_cmd; cfg_cmd; benchmarks_cmd ]))
+          [
+            analyze_cmd;
+            simulate_cmd;
+            multicore_cmd;
+            batch_cmd;
+            cfg_cmd;
+            benchmarks_cmd;
+          ]))

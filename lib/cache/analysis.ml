@@ -97,6 +97,14 @@ let entry_acs config entry kind =
   | Unknown_entry, Acs.May -> Acs.havoc cold
   | Unknown_entry, Acs.Pers -> cold
 
+(* Per-domain monotone sweep counter shared by every cache fixpoint in
+   this library (must/may/persistence here, the L2 fixpoints in
+   Multilevel): telemetry reads it before and after the cache phase and
+   charges the difference. *)
+let fixpoint_iters_key = Domain.DLS.new_key (fun () -> ref 0)
+let fixpoint_iterations () = !(Domain.DLS.get fixpoint_iters_key)
+let count_fixpoint_iteration () = incr (Domain.DLS.get fixpoint_iters_key)
+
 let fixpoint config g ~entry ~accesses_of ~had_call kind =
   let n = Cfg.Graph.num_blocks g in
   let bottom = None in
@@ -106,6 +114,7 @@ let fixpoint config g ~entry ~accesses_of ~had_call kind =
   let changed = ref true in
   while !changed do
     changed := false;
+    count_fixpoint_iteration ();
     List.iter
       (fun id ->
         let input =
@@ -163,6 +172,7 @@ let pers_fixpoint config g ~entry ~accesses_of ~had_call ~must_ins =
   let changed = ref true in
   while !changed do
     changed := false;
+    count_fixpoint_iteration ();
     List.iter
       (fun id ->
         let input =

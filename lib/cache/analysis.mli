@@ -75,3 +75,12 @@ val reachable_lines : t -> int list
 
 val transfer : Acs.t -> access list -> had_call:bool -> Acs.t
 (** Exposed for the multilevel/shared analyses and tests. *)
+
+val fixpoint_iterations : unit -> int
+(** Monotone count of abstract-interpretation sweeps (one per pass over
+    the CFG of any must/may/persistence/L2 fixpoint) performed *by the
+    calling domain*.  Read before and after an analysis and subtract for
+    telemetry; per-domain storage keeps parallel analyses race-free. *)
+
+val count_fixpoint_iteration : unit -> unit
+(** Exposed for {!Multilevel}'s L2 fixpoints; not for external use. *)

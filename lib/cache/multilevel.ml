@@ -84,6 +84,7 @@ let pers_fixpoint_l2 config g ~entry ~tagged ~had_call bypass ~must_ins =
   let changed = ref true in
   while !changed do
     changed := false;
+    Analysis.count_fixpoint_iteration ();
     List.iter
       (fun id ->
         let input =
@@ -137,6 +138,7 @@ let fixpoint_l2 config g ~entry ~tagged ~had_call bypass kind =
   let changed = ref true in
   while !changed do
     changed := false;
+    Analysis.count_fixpoint_iteration ();
     List.iter
       (fun id ->
         let input =

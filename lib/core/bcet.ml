@@ -39,7 +39,13 @@ let best_block_cost (lat : Pipeline.Latencies.t) g id =
     0
     (Cfg.Block.instr_indices b)
 
-let analyze ?(annot = Dataflow.Annot.empty) (platform : Platform.t) program =
+let analyze ?(annot = Dataflow.Annot.empty) ?telemetry (platform : Platform.t)
+    program =
+  let span name f =
+    match telemetry with
+    | None -> f ()
+    | Some t -> Engine.Telemetry.span t name f
+  in
   let fail fmt =
     Printf.ksprintf (fun s -> raise (Wcet.Not_analysable s)) fmt
   in
@@ -76,9 +82,10 @@ let analyze ?(annot = Dataflow.Annot.empty) (platform : Platform.t) program =
           | None -> base
         in
         let ipet =
-          try
-            Ipet.solve g ~loop_bounds ~block_cost ~direction:`Minimize ()
-          with Ipet.Flow_infeasible msg -> fail "%s: %s" name msg
+          span "ipet-solve" (fun () ->
+              try
+                Ipet.solve g ~loop_bounds ~block_cost ~direction:`Minimize ()
+              with Ipet.Flow_infeasible msg -> fail "%s: %s" name msg)
         in
         let r = { name; bcet = ipet.Ipet.wcet; ipet } in
         Hashtbl.replace results name r;

@@ -23,9 +23,14 @@ type t = {
   bcet : int;
 }
 
-val analyze : ?annot:Dataflow.Annot.t -> Platform.t -> Isa.Program.t -> t
+val analyze :
+  ?annot:Dataflow.Annot.t ->
+  ?telemetry:Engine.Telemetry.t ->
+  Platform.t ->
+  Isa.Program.t ->
+  t
 (** @raise Wcet.Not_analysable on the same conditions as {!Wcet.analyze}
-    (the flow facts are shared). *)
+    (the flow facts are shared).  [telemetry] as in {!Wcet.analyze}. *)
 
 val analytic_quotient : bcet:int -> wcet:int -> float
 (** [bcet / wcet], clamped to [0, 1]. *)

@@ -34,18 +34,26 @@ let platform_of system ~core ~l2 ~arbiter =
     method_cache = None;
   }
 
-let analyze_each system ~platform_for =
+(* Memoized or direct per-task analysis.  [salt] must encode the
+   semantics of any closures the platform's L2 mode carries — see
+   {!Memo}; closure-free platforms need none. *)
+let wcet_of ?memo ?salt ~annot platform program =
+  match memo with
+  | None -> Wcet.analyze ~annot platform program
+  | Some m -> Memo.wcet m ~annot ?salt platform program
+
+let analyze_each ?memo ?salt system ~platform_for =
   Array.mapi
     (fun core task ->
       match task with
       | None -> None
       | Some (program, annot) ->
-          Some (Wcet.analyze ~annot (platform_for core) program))
+          Some (wcet_of ?memo ?salt ~annot (platform_for core) program))
     system.tasks
 
 (* Oblivious: pretend the task owns the machine (private bus, whole L2). *)
-let analyze_oblivious system =
-  analyze_each system ~platform_for:(fun _core ->
+let analyze_oblivious ?memo system =
+  analyze_each ?memo system ~platform_for:(fun _core ->
       platform_of system ~core:0 ~l2:(Platform.Private_l2 system.l2)
         ~arbiter:Interconnect.Arbiter.Private)
 
@@ -63,17 +71,34 @@ let bypass_lines system (program, _annot) =
     (Cfg.Callgraph.bottom_up cg)
   |> List.sort_uniq compare
 
-let analyze_joint system ?(bypass = false) ?(overlaps = fun _ _ -> true) () =
+let analyze_joint ?memo system ?(bypass = false) ?(overlaps = fun _ _ -> true)
+    () =
   let n = Array.length system.tasks in
-  let bypass_of =
+  let bypass_sets =
     Array.map
       (fun task ->
         match (task, bypass) with
-        | Some t, true ->
-            let lines = bypass_lines system t in
-            fun l -> List.mem l lines
-        | _ -> fun _ -> false)
+        | Some t, true -> Some (bypass_lines system t)
+        | _ -> None)
       system.tasks
+  in
+  let bypass_of =
+    Array.map
+      (function
+        | Some lines -> fun l -> List.mem l lines
+        | None -> fun _ -> false)
+      bypass_sets
+  in
+  (* The [bypass] closure is the only platform ingredient the fingerprint
+     cannot see (the conflict counts are rendered by it), so the memo salt
+     is the bypass line set itself. *)
+  let salt_of =
+    Array.map
+      (function
+        | Some lines ->
+            "bypass:" ^ String.concat "," (List.map string_of_int lines)
+        | None -> "nobypass")
+      bypass_sets
   in
   (* Phase 1: footprints under zero conflicts. *)
   let phase conflicts_for =
@@ -91,7 +116,7 @@ let analyze_joint system ?(bypass = false) ?(overlaps = fun _ _ -> true) () =
                 }
             in
             Some
-              (Wcet.analyze ~annot
+              (wcet_of ?memo ~salt:salt_of.(core) ~annot
                  (platform_of system ~core ~l2 ~arbiter:system.arbiter)
                  program))
       system.tasks
@@ -128,24 +153,24 @@ let analyze_joint system ?(bypass = false) ?(overlaps = fun _ _ -> true) () =
   in
   phase conflicts_for
 
-let analyze_partitioned system ~scheme =
+let analyze_partitioned ?memo system ~scheme =
   let n = Array.length system.tasks in
   let alloc = Cache.Partition.even_shares scheme system.l2 ~parts:n in
-  analyze_each system ~platform_for:(fun core ->
+  analyze_each ?memo system ~platform_for:(fun core ->
       let slice = Cache.Partition.partition_config system.l2 alloc ~index:core in
       platform_of system ~core ~l2:(Platform.Private_l2 slice)
         ~arbiter:system.arbiter)
 
 (* Global greedy lock selection: line profits estimated from the
    oblivious analysis's block execution counts. *)
-let lock_selection system =
+let lock_selection ?memo system =
   let profits = Hashtbl.create 64 in
   Array.iter
     (function
       | None -> ()
       | Some (program, annot) -> (
           match
-            Wcet.analyze ~annot
+            wcet_of ?memo ~annot
               (platform_of system ~core:0 ~l2:(Platform.Private_l2 system.l2)
                  ~arbiter:Interconnect.Arbiter.Private)
               program
@@ -181,9 +206,16 @@ let lock_selection system =
   let candidates = Hashtbl.fold (fun l p acc -> (l, p) :: acc) profits [] in
   Cache.Locking.select system.l2 ~candidates
 
-let analyze_locked system =
-  let selection = lock_selection system in
-  analyze_each system ~platform_for:(fun core ->
+let analyze_locked ?memo system =
+  let selection = lock_selection ?memo system in
+  (* The selection depends on *all* tasks, not just the one being
+     analyzed, so it must appear in the memo key explicitly. *)
+  let salt =
+    "locked:"
+    ^ String.concat ","
+        (List.map string_of_int selection.Cache.Locking.locked)
+  in
+  analyze_each ?memo ~salt system ~platform_for:(fun core ->
       platform_of system ~core
         ~l2:
           (Platform.Locked_l2
@@ -318,7 +350,7 @@ let dynamic_lock_functions system program annot =
   in
   (selection_of, reload_cost)
 
-let analyze_locked_dynamic system =
+let analyze_locked_dynamic ?memo system =
   Array.mapi
     (fun core task ->
       match task with
@@ -334,7 +366,11 @@ let analyze_locked_dynamic system =
                    { config = system.l2; selection_of; reload_cost })
               ~arbiter:system.arbiter
           in
-          Some (Wcet.analyze ~annot platform program))
+          (* [dynamic_lock_functions] is a deterministic function of the
+             task's program and the L2 geometry / latencies, all of which
+             the fingerprint already covers — a constant salt suffices to
+             distinguish this mode from static locking. *)
+          Some (wcet_of ?memo ~salt:"dynamic" ~annot platform program))
     system.tasks
 
 let wcets results =

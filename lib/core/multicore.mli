@@ -1,5 +1,9 @@
 (** The paper's three approach families (Section 3), orchestrated over a
-    task set with one task per core:
+    task set with one task per core.  Every [analyze_*] entry point
+    takes an optional [?memo] ({!Memo.t}); when given, per-task analyses
+    are served from the shared result cache with mode-appropriate salts
+    for the closure-bearing L2 configurations (bypass sets, lock
+    selections), and results are bit-identical to the unmemoized path:
 
     - {!analyze_oblivious}: single-core analysis that *ignores* resource
       sharing — the unsafe baseline Section 2.2 warns about; experiment T2
@@ -33,9 +37,10 @@ val default_system :
     burst refresh — a deliberately small hierarchy so workloads exercise
     misses. *)
 
-val analyze_oblivious : system -> Wcet.t option array
+val analyze_oblivious : ?memo:Memo.t -> system -> Wcet.t option array
 
 val analyze_joint :
+  ?memo:Memo.t ->
   system ->
   ?bypass:bool ->
   ?overlaps:(int -> int -> bool) ->
@@ -50,12 +55,12 @@ val bypass_lines : system -> Isa.Program.t * Dataflow.Annot.t -> int list
     simulator's bypass the same way the joint analysis assumed it. *)
 
 val analyze_partitioned :
-  system -> scheme:Cache.Partition.scheme -> Wcet.t option array
+  ?memo:Memo.t -> system -> scheme:Cache.Partition.scheme -> Wcet.t option array
 
-val analyze_locked : system -> Wcet.t option array
+val analyze_locked : ?memo:Memo.t -> system -> Wcet.t option array
 (** Static locking: one global selection for the whole run. *)
 
-val analyze_locked_dynamic : system -> Wcet.t option array
+val analyze_locked_dynamic : ?memo:Memo.t -> system -> Wcet.t option array
 (** Dynamic locking (Suhendra & Mitra): per-task, per-outermost-loop
     selections with a reload cost charged on region entry.  A task uses
     the whole locked capacity while its region runs, so hot loops can own

@@ -80,3 +80,60 @@ let bus_wait t =
     let lmax = max_tx_latency t in
     Interconnect.Arbiter.worst_wait t.arbiter ~core:t.core ~own_latency:lmax
       ~max_latency:lmax
+
+(* Canonical rendering of everything the WCET/BCET analyses consume from
+   a platform: latencies, L1/L2 geometry (and shared-L2 conflict counts),
+   method cache, and the *resolved* arbiter bounds [bus_wait]/[mem_wait].
+   Rendering resolved waits instead of (arbiter, core) deliberately
+   identifies symmetric configurations — e.g. all cores of a round-robin
+   bus — so memoized sweeps share entries across cores, which is sound
+   because the analyses never look at the arbiter other than through
+   those two numbers. *)
+let fingerprint t =
+  match (bus_wait t, mem_wait t) with
+  | exception Failure _ -> None (* unanalysable arbiter: nothing to cache *)
+  | bus, mem ->
+      let b = Buffer.create 128 in
+      let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+      let lat = t.latencies in
+      add "lat:%d,%d,%d,%d,%d,%d,%d,%d;" lat.Pipeline.Latencies.base
+        lat.Pipeline.Latencies.mul lat.Pipeline.Latencies.div
+        lat.Pipeline.Latencies.branch_penalty lat.Pipeline.Latencies.l1_hit
+        lat.Pipeline.Latencies.l2_hit lat.Pipeline.Latencies.mem
+        lat.Pipeline.Latencies.io;
+      let geom (c : Cache.Config.t) =
+        add "%d/%d/%d;" c.Cache.Config.sets c.Cache.Config.assoc
+          c.Cache.Config.line_size
+      in
+      add "l1i:";
+      geom t.l1i;
+      add "l1d:";
+      geom t.l1d;
+      add "bus:%d;mem:%d;" bus mem;
+      (match t.method_cache with
+      | None -> add "mc:none;"
+      | Some mc ->
+          add "mc:%d/%d;" mc.Cache.Method_cache.slots
+            mc.Cache.Method_cache.fill_per_word);
+      let has_closures =
+        match t.l2 with
+        | No_l2 ->
+            add "l2:none;";
+            false
+        | Private_l2 c ->
+            add "l2:priv:";
+            geom c;
+            false
+        | Shared_l2 { config; conflicts; bypass = _ } ->
+            add "l2:shared:";
+            geom config;
+            Array.iter (fun n -> add "%d," n) conflicts;
+            add ";";
+            true (* [bypass] is a closure: the caller must salt it *)
+        | Locked_l2 { config; _ } ->
+            add "l2:locked:";
+            geom config;
+            true (* [selection_of]/[reload_cost] are closures *)
+      in
+      let s = Buffer.contents b in
+      Some (if has_closures then `Needs_salt s else `Pure s)

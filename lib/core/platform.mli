@@ -72,3 +72,17 @@ val mem_wait : t -> int
     @raise Failure if the memory arbiter is not analysable. *)
 
 val l2_config : t -> Cache.Config.t option
+
+val fingerprint : t -> [ `Pure of string | `Needs_salt of string ] option
+(** Canonical rendering of everything {!Wcet.analyze}/{!Bcet.analyze}
+    consume from a platform, for memoization keys ({!Memo}).  The arbiter
+    and core id are rendered as the *resolved* [bus_wait]/[mem_wait]
+    bounds — the only way the analyses observe them — so symmetric cores
+    of one bus share cache entries.
+
+    [`Needs_salt] marks platforms whose L2 mode embeds closures
+    ([Shared_l2.bypass], [Locked_l2.selection_of]/[reload_cost]) that a
+    rendering cannot capture: such a fingerprint is only a valid key when
+    combined with a caller-supplied salt encoding those closures'
+    semantics.  [None] when the arbiter admits no bound (FCFS) — the
+    analyses fail on such platforms, so there is nothing to cache. *)

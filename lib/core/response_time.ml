@@ -38,7 +38,7 @@ type lifetime_result = {
   overlaps : bool array array;
 }
 
-let lifetime_refinement system ~offsets ?(max_iterations = 10) () =
+let lifetime_refinement ?memo system ~offsets ?(max_iterations = 10) () =
   let n = Array.length system.Multicore.tasks in
   if Array.length offsets <> n then
     invalid_arg "Response_time.lifetime_refinement: offsets mismatch";
@@ -49,7 +49,7 @@ let lifetime_refinement system ~offsets ?(max_iterations = 10) () =
   let intersects (a1, a2) (b1, b2) = a1 < b2 && b1 < a2 in
   let rec iterate k prev_wcets =
     let results =
-      Multicore.analyze_joint system
+      Multicore.analyze_joint ?memo system
         ~overlaps:(fun i j -> overlaps.(i).(j))
         ()
     in

@@ -124,27 +124,47 @@ let make_l2_view platform g va ~entry ~l1i ~l1d =
             multilevel = Some m;
           })
 
-let analyze ?(annot = Dataflow.Annot.empty) platform program =
+let analyze ?(annot = Dataflow.Annot.empty) ?telemetry platform program =
+  (* Telemetry is optional and must cost nothing when absent: [span]
+     accumulates a phase's wall-clock time, [counted] charges the delta of
+     a per-domain monotone counter (fixpoint sweeps, simplex pivots). *)
+  let span name f =
+    match telemetry with
+    | None -> f ()
+    | Some t -> Engine.Telemetry.span t name f
+  in
+  let counted name current f =
+    match telemetry with
+    | None -> f ()
+    | Some t ->
+        let before = current () in
+        let finally () = Engine.Telemetry.add t name (current () - before) in
+        Fun.protect ~finally f
+  in
   let bus_wait =
     try Platform.bus_wait platform with Failure msg -> fail "%s" msg
   in
   let mem_wait = Platform.mem_wait platform in
   let lat = platform.Platform.latencies in
   let callgraph =
-    try Cfg.Callgraph.build program with
-    | Cfg.Callgraph.Recursive cycle ->
-        fail "recursive call cycle: %s" (String.concat " -> " cycle)
-    | Invalid_argument msg -> fail "%s" msg
+    span "cfg-build" (fun () ->
+        try Cfg.Callgraph.build program with
+        | Cfg.Callgraph.Recursive cycle ->
+            fail "recursive call cycle: %s" (String.concat " -> " cycle)
+        | Invalid_argument msg -> fail "%s" msg)
   in
   let root = callgraph.Cfg.Callgraph.root in
-  let clobbers = Dataflow.Clobbers.compute callgraph in
+  let clobbers =
+    span "cfg-build" (fun () -> Dataflow.Clobbers.compute callgraph)
+  in
   let call_clobbers = Dataflow.Clobbers.clobbered clobbers in
   let results = Hashtbl.create 8 in
   let multilevels = ref [] in
   let mc_analysis =
-    Option.map
-      (fun mc -> (mc, Cache.Method_cache.analyze callgraph mc))
-      platform.Platform.method_cache
+    span "cache-analysis" (fun () ->
+        Option.map
+          (fun mc -> (mc, Cache.Method_cache.analyze callgraph mc))
+          platform.Platform.method_cache)
   in
   let mc_load callee =
     match mc_analysis with
@@ -160,32 +180,48 @@ let analyze ?(annot = Dataflow.Annot.empty) platform program =
         + bus_wait + mem_wait
   in
   let analyze_proc (name, g) =
-    let dom = Cfg.Dominators.compute g in
-    let loops =
-      try Cfg.Loops.analyze g dom
-      with Cfg.Loops.Irreducible msg -> fail "%s: %s" name msg
+    let dom, loops =
+      span "cfg-loops" (fun () ->
+          let dom = Cfg.Dominators.compute g in
+          let loops =
+            try Cfg.Loops.analyze g dom
+            with Cfg.Loops.Irreducible msg -> fail "%s: %s" name msg
+          in
+          (dom, loops))
     in
-    let va = Dataflow.Value_analysis.analyze ~call_clobbers g in
+    let va =
+      span "value-analysis" (fun () ->
+          Dataflow.Value_analysis.analyze ~call_clobbers g)
+    in
     let loop_bounds =
-      try Dataflow.Loop_bounds.infer ~call_clobbers g dom loops va annot
-      with Dataflow.Loop_bounds.Unbounded msg -> fail "%s" msg
+      span "loop-bounds" (fun () ->
+          try Dataflow.Loop_bounds.infer ~call_clobbers g dom loops va annot
+          with Dataflow.Loop_bounds.Unbounded msg -> fail "%s" msg)
     in
     let entry =
       if name = root then Cache.Analysis.Cold else Cache.Analysis.Unknown_entry
     in
-    let l1i =
-      if mc_analysis <> None then None
-      else
-        Some
-          (Cache.Analysis.analyze platform.Platform.l1i g ~entry
-             ~accesses:
-               (Cache.Analysis.instruction_accesses platform.Platform.l1i g))
+    let l1i, l1d, l2_view =
+      span "cache-analysis" (fun () ->
+          counted "cache-fixpoint-iters" Cache.Analysis.fixpoint_iterations
+            (fun () ->
+              let l1i =
+                if mc_analysis <> None then None
+                else
+                  Some
+                    (Cache.Analysis.analyze platform.Platform.l1i g ~entry
+                       ~accesses:
+                         (Cache.Analysis.instruction_accesses
+                            platform.Platform.l1i g))
+              in
+              let l1d =
+                Cache.Analysis.analyze platform.Platform.l1d g ~entry
+                  ~accesses:
+                    (Cache.Analysis.data_accesses platform.Platform.l1d g va)
+              in
+              let l2_view = make_l2_view platform g va ~entry ~l1i ~l1d in
+              (l1i, l1d, l2_view)))
     in
-    let l1d =
-      Cache.Analysis.analyze platform.Platform.l1d g ~entry
-        ~accesses:(Cache.Analysis.data_accesses platform.Platform.l1d g va)
-    in
-    let l2_view = make_l2_view platform g va ~entry ~l1i ~l1d in
     (match l2_view.multilevel with
     | Some m -> multilevels := (name, m) :: !multilevels
     | None -> ());
@@ -221,6 +257,7 @@ let analyze ?(annot = Dataflow.Annot.empty) platform program =
       { Pipeline.Cost.fetch_class; data_class; is_io; bus_wait; mem_wait }
     in
     let block_costs =
+      span "block-costs" @@ fun () ->
       Array.init (Cfg.Graph.num_blocks g) (fun id ->
           let base = Pipeline.Cost.block_cost lat g oracle id in
           let base =
@@ -250,6 +287,7 @@ let analyze ?(annot = Dataflow.Annot.empty) platform program =
     (* Persistence penalties: one worst-case miss per persistent access
        point per procedure execution, at both levels. *)
     let ps_penalty =
+      span "block-costs" @@ fun () ->
       let of_kind analysis kind =
         List.fold_left
           (fun acc ((a : Cache.Analysis.access), _) ->
@@ -287,11 +325,13 @@ let analyze ?(annot = Dataflow.Annot.empty) platform program =
         (Dataflow.Annot.infeasible_pairs annot ~proc:name)
     in
     let ipet =
-      try
-        Ipet.solve g ~loop_bounds
-          ~block_cost:(fun id -> block_costs.(id))
-          ~mutually_exclusive ()
-      with Ipet.Flow_infeasible msg -> fail "%s: %s" name msg
+      span "ipet-solve" (fun () ->
+          counted "simplex-pivots" Lp.Simplex.pivots (fun () ->
+              try
+                Ipet.solve g ~loop_bounds
+                  ~block_cost:(fun id -> block_costs.(id))
+                  ~mutually_exclusive ()
+              with Ipet.Flow_infeasible msg -> fail "%s: %s" name msg))
     in
     let mc_penalty =
       match mc_analysis with
@@ -317,6 +357,9 @@ let analyze ?(annot = Dataflow.Annot.empty) platform program =
         ps_penalty;
       }
     in
+    (match telemetry with
+    | Some t -> Engine.Telemetry.add t "procedures" 1
+    | None -> ());
     Hashtbl.replace results name result;
     (name, result)
   in

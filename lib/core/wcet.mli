@@ -33,8 +33,20 @@ exception Not_analysable of string
 (** Irreducible loops, recursion, unboundable loops without annotations,
     or a non-analysable arbiter. *)
 
-val analyze : ?annot:Dataflow.Annot.t -> Platform.t -> Isa.Program.t -> t
-(** @raise Not_analysable with a human-readable reason. *)
+val analyze :
+  ?annot:Dataflow.Annot.t ->
+  ?telemetry:Engine.Telemetry.t ->
+  Platform.t ->
+  Isa.Program.t ->
+  t
+(** @raise Not_analysable with a human-readable reason.
+
+    [telemetry] accumulates per-phase wall-clock time ([cfg-build],
+    [cfg-loops], [value-analysis], [loop-bounds], [cache-analysis],
+    [block-costs], [ipet-solve]) and counters ([cache-fixpoint-iters],
+    [simplex-pivots], [procedures]); passing the same accumulator to many
+    analyses aggregates across them, including from concurrent worker
+    domains.  [None] (the default) costs nothing. *)
 
 val footprint : t -> Cache.Shared.conflicts option
 (** Combined L2 footprint of the whole task (None without L2). *)

@@ -32,3 +32,25 @@ let infeasible_pairs t ~proc =
   match KeyMap.find_opt (proc, "") t.infeasible with
   | Some l -> List.rev l
   | None -> []
+
+(* Canonical rendering for memoization keys: maps iterate in key order,
+   so equal annotation sets render identically however they were built. *)
+let fingerprint t =
+  let b = Buffer.create 64 in
+  KeyMap.iter
+    (fun (proc, header) n ->
+      Buffer.add_string b
+        (Printf.sprintf "b/%d:%s/%d:%s=%d;" (String.length proc) proc
+           (String.length header) header n))
+    t.bounds;
+  KeyMap.iter
+    (fun (proc, _) pairs ->
+      Buffer.add_string b (Printf.sprintf "x/%d:%s=" (String.length proc) proc);
+      List.iter
+        (fun (l1, l2) ->
+          Buffer.add_string b
+            (Printf.sprintf "%d:%s,%d:%s;" (String.length l1) l1
+               (String.length l2) l2))
+        (List.rev pairs))
+    t.infeasible;
+  Buffer.contents b

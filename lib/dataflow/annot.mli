@@ -22,3 +22,8 @@ val infeasible_pair : t -> proc:string -> string -> string -> t
     consumed by the IPET builder as [x_a + x_b <= max(count)] constraints. *)
 
 val infeasible_pairs : t -> proc:string -> (string * string) list
+
+val fingerprint : t -> string
+(** Canonical rendering of the whole annotation set (injective up to
+    annotation equality), for memoization keys: structurally equal
+    annotations always render to the same string. *)

@@ -1,0 +1,131 @@
+(* Hashtbl + intrusive doubly-linked recency list.  [head] is the
+   most-recently-used end, [tail] the eviction end.  All mutation happens
+   under [lock]. *)
+
+type ('k, 'v) node = {
+  key : 'k;
+  mutable value : 'v;
+  mutable prev : ('k, 'v) node option;  (* towards head / more recent *)
+  mutable next : ('k, 'v) node option;  (* towards tail / less recent *)
+}
+
+type ('k, 'v) t = {
+  lock : Mutex.t;
+  table : ('k, ('k, 'v) node) Hashtbl.t;
+  cap : int;
+  mutable head : ('k, 'v) node option;
+  mutable tail : ('k, 'v) node option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable insertions : int;
+}
+
+let create ~capacity () =
+  if capacity < 1 then invalid_arg "Lru.create: capacity must be >= 1";
+  {
+    lock = Mutex.create ();
+    table = Hashtbl.create (min capacity 64);
+    cap = capacity;
+    head = None;
+    tail = None;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    insertions = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  match f () with
+  | x ->
+      Mutex.unlock t.lock;
+      x
+  | exception e ->
+      Mutex.unlock t.lock;
+      raise e
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  n.prev <- None;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let find t k =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table k with
+      | Some n ->
+          t.hits <- t.hits + 1;
+          unlink t n;
+          push_front t n;
+          Some n.value
+      | None ->
+          t.misses <- t.misses + 1;
+          None)
+
+let mem t k = locked t (fun () -> Hashtbl.mem t.table k)
+
+let put t k v =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table k with
+      | Some n ->
+          n.value <- v;
+          unlink t n;
+          push_front t n
+      | None ->
+          if Hashtbl.length t.table >= t.cap then (
+            match t.tail with
+            | Some lru ->
+                unlink t lru;
+                Hashtbl.remove t.table lru.key;
+                t.evictions <- t.evictions + 1
+            | None -> assert false);
+          let n = { key = k; value = v; prev = None; next = None } in
+          Hashtbl.replace t.table k n;
+          push_front t n;
+          t.insertions <- t.insertions + 1)
+
+let length t = locked t (fun () -> Hashtbl.length t.table)
+let capacity t = t.cap
+
+let clear t =
+  locked t (fun () ->
+      Hashtbl.reset t.table;
+      t.head <- None;
+      t.tail <- None)
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  insertions : int;
+  size : int;
+  capacity : int;
+}
+
+let stats t =
+  locked t (fun () ->
+      {
+        hits = t.hits;
+        misses = t.misses;
+        evictions = t.evictions;
+        insertions = t.insertions;
+        size = Hashtbl.length t.table;
+        capacity = t.cap;
+      })
+
+let hit_rate s =
+  let lookups = s.hits + s.misses in
+  if lookups = 0 then 0. else float_of_int s.hits /. float_of_int lookups
+
+let pp_stats ppf s =
+  Format.fprintf ppf "%d hits / %d lookups (%.1f%%), %d evictions, %d/%d entries"
+    s.hits (s.hits + s.misses)
+    (100. *. hit_rate s)
+    s.evictions s.size s.capacity

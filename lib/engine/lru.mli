@@ -1,0 +1,50 @@
+(** Bounded, thread-safe LRU cache with hit/miss/eviction statistics.
+
+    Backs the memoizing analysis front-end ({!Core.Memo}): keys are
+    structural fingerprints of (program, annotations, platform
+    configuration), values are analysis results.  Size-based eviction
+    drops the least-recently-used entry once [capacity] is reached, so a
+    long batch run cannot grow without bound.
+
+    All operations take an internal mutex, so one cache may serve every
+    worker domain of a {!Pool} run. *)
+
+type ('k, 'v) t
+
+val create : capacity:int -> unit -> ('k, 'v) t
+(** @raise Invalid_argument if [capacity < 1]. *)
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Marks the entry most-recently-used and counts a hit; counts a miss
+    when absent. *)
+
+val put : ('k, 'v) t -> 'k -> 'v -> unit
+(** Insert or replace (either way the entry becomes most-recently-used);
+    evicts the least-recently-used entry when at capacity. *)
+
+val mem : ('k, 'v) t -> 'k -> bool
+(** Membership test: no recency update, no stats update. *)
+
+val length : ('k, 'v) t -> int
+
+val capacity : ('k, 'v) t -> int
+
+val clear : ('k, 'v) t -> unit
+(** Drop all entries; statistics are kept. *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  insertions : int;
+  size : int;
+  capacity : int;
+}
+
+val stats : ('k, 'v) t -> stats
+
+val hit_rate : stats -> float
+(** [hits / (hits + misses)]; [0.] before any lookup. *)
+
+val pp_stats : Format.formatter -> stats -> unit
+(** e.g. ["42 hits / 130 lookups (32.3%), 7 evictions, 88/256 entries"]. *)

@@ -1,0 +1,139 @@
+type ctx = { start_ns : int64; deadline_ns : int64 option }
+
+exception Timeout
+
+let check ctx =
+  match ctx.deadline_ns with
+  | Some d when Int64.compare (Telemetry.now_ns ()) d > 0 -> raise Timeout
+  | Some _ | None -> ()
+
+let elapsed_ns ctx = Int64.sub (Telemetry.now_ns ()) ctx.start_ns
+
+type 'a job = { label : string; work : ctx -> 'a }
+
+let job ?(label = "job") work = { label; work }
+
+type 'a outcome =
+  | Done of 'a
+  | Failed of { label : string; error : string }
+  | Timed_out of { label : string; after_ns : int64 }
+
+(* Bounded FIFO of job indices: producers block while full, consumers
+   block while empty, [close] wakes everyone up for shutdown. *)
+module Bqueue = struct
+  type t = {
+    lock : Mutex.t;
+    not_empty : Condition.t;
+    not_full : Condition.t;
+    buf : int array;
+    mutable rd : int;
+    mutable wr : int;
+    mutable len : int;
+    mutable closed : bool;
+  }
+
+  let create capacity =
+    {
+      lock = Mutex.create ();
+      not_empty = Condition.create ();
+      not_full = Condition.create ();
+      buf = Array.make capacity 0;
+      rd = 0;
+      wr = 0;
+      len = 0;
+      closed = false;
+    }
+
+  let push q x =
+    Mutex.lock q.lock;
+    while q.len = Array.length q.buf && not q.closed do
+      Condition.wait q.not_full q.lock
+    done;
+    if q.closed then begin
+      Mutex.unlock q.lock;
+      invalid_arg "Bqueue.push: closed"
+    end;
+    q.buf.(q.wr) <- x;
+    q.wr <- (q.wr + 1) mod Array.length q.buf;
+    q.len <- q.len + 1;
+    Condition.signal q.not_empty;
+    Mutex.unlock q.lock
+
+  let pop q =
+    Mutex.lock q.lock;
+    while q.len = 0 && not q.closed do
+      Condition.wait q.not_empty q.lock
+    done;
+    let x =
+      if q.len = 0 then None
+      else begin
+        let v = q.buf.(q.rd) in
+        q.rd <- (q.rd + 1) mod Array.length q.buf;
+        q.len <- q.len - 1;
+        Condition.signal q.not_full;
+        Some v
+      end
+    in
+    Mutex.unlock q.lock;
+    x
+
+  let close q =
+    Mutex.lock q.lock;
+    q.closed <- true;
+    Condition.broadcast q.not_empty;
+    Condition.broadcast q.not_full;
+    Mutex.unlock q.lock
+end
+
+let default_workers () = max 1 (Domain.recommended_domain_count () - 1)
+
+let run ?workers ?timeout_ns jobs =
+  let jobs = Array.of_list jobs in
+  let n = Array.length jobs in
+  let workers =
+    match workers with Some w -> max 1 w | None -> default_workers ()
+  in
+  let results = Array.make n None in
+  let exec i =
+    let j = jobs.(i) in
+    let start = Telemetry.now_ns () in
+    let ctx =
+      { start_ns = start; deadline_ns = Option.map (Int64.add start) timeout_ns }
+    in
+    let outcome =
+      match j.work ctx with
+      | v -> Done v
+      | exception Timeout ->
+          Timed_out { label = j.label; after_ns = elapsed_ns ctx }
+      | exception e -> Failed { label = j.label; error = Printexc.to_string e }
+    in
+    results.(i) <- Some outcome
+  in
+  if workers <= 1 || n <= 1 then
+    for i = 0 to n - 1 do
+      exec i
+    done
+  else begin
+    let q = Bqueue.create (2 * workers) in
+    let worker () =
+      let rec loop () =
+        match Bqueue.pop q with
+        | Some i ->
+            exec i;
+            loop ()
+        | None -> ()
+      in
+      loop ()
+    in
+    let domains = Array.init (min workers n) (fun _ -> Domain.spawn worker) in
+    for i = 0 to n - 1 do
+      Bqueue.push q i
+    done;
+    Bqueue.close q;
+    Array.iter Domain.join domains
+  end;
+  Array.to_list
+    (Array.map (function Some o -> o | None -> assert false) results)
+
+let map ?workers ?timeout_ns f xs =
+  run ?workers ?timeout_ns (List.map (fun x -> job (fun _ -> f x)) xs)

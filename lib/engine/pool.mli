@@ -1,0 +1,48 @@
+(** Worker-pool job scheduler on OCaml 5 domains.
+
+    [run] executes a list of jobs on a bounded work queue served by a
+    fixed set of worker domains and returns one outcome per job, *in job
+    order* regardless of completion order — parallel and sequential runs
+    of a deterministic job list are indistinguishable from the results.
+
+    A job that raises yields a [Failed] outcome; it never kills the pool
+    or the other jobs.  Runaway jobs (e.g. a joint-interleaving explosion)
+    are bounded cooperatively: each job receives a {!ctx} and may call
+    {!check} at convenient points; once the configured per-job timeout has
+    elapsed, the next [check] raises and the job ends as [Timed_out].
+    Jobs that never call [check] simply cannot be interrupted — timing out
+    is an opt-in contract between the job body and the scheduler. *)
+
+type ctx
+(** Per-job cancellation context. *)
+
+exception Timeout
+
+val check : ctx -> unit
+(** @raise Timeout once the job's deadline has passed. *)
+
+val elapsed_ns : ctx -> int64
+(** Monotonic time since this job started. *)
+
+type 'a job
+
+val job : ?label:string -> (ctx -> 'a) -> 'a job
+(** [label] appears in failure/timeout outcomes (default ["job"]). *)
+
+type 'a outcome =
+  | Done of 'a
+  | Failed of { label : string; error : string }
+      (** The job raised; [error] is the printed exception. *)
+  | Timed_out of { label : string; after_ns : int64 }
+
+val default_workers : unit -> int
+(** [Domain.recommended_domain_count () - 1], at least 1 — leaves a core
+    for the coordinating domain. *)
+
+val run : ?workers:int -> ?timeout_ns:int64 -> 'a job list -> 'a outcome list
+(** [workers] defaults to {!default_workers}; [workers <= 1] runs the
+    jobs in the calling domain (identical outcomes, no domains spawned).
+    [timeout_ns] is the per-job budget enforced via {!check}. *)
+
+val map : ?workers:int -> ?timeout_ns:int64 -> ('a -> 'b) -> 'a list -> 'b outcome list
+(** [map f xs] = [run (List.map (fun x -> job (fun _ -> f x)) xs)]. *)

@@ -1,0 +1,123 @@
+type cell = { mutable total_ns : int64; mutable calls : int }
+
+type t = {
+  lock : Mutex.t;
+  spans : (string, cell) Hashtbl.t;
+  mutable span_order : string list;  (* reversed *)
+  counts : (string, int ref) Hashtbl.t;
+  mutable count_order : string list;  (* reversed *)
+}
+
+let create () =
+  {
+    lock = Mutex.create ();
+    spans = Hashtbl.create 16;
+    span_order = [];
+    counts = Hashtbl.create 16;
+    count_order = [];
+  }
+
+let now_ns () = Monotonic_clock.now ()
+
+let locked t f =
+  Mutex.lock t.lock;
+  match f () with
+  | x ->
+      Mutex.unlock t.lock;
+      x
+  | exception e ->
+      Mutex.unlock t.lock;
+      raise e
+
+let add_ns t phase ns =
+  locked t (fun () ->
+      let cell =
+        match Hashtbl.find_opt t.spans phase with
+        | Some c -> c
+        | None ->
+            let c = { total_ns = 0L; calls = 0 } in
+            Hashtbl.add t.spans phase c;
+            t.span_order <- phase :: t.span_order;
+            c
+      in
+      cell.total_ns <- Int64.add cell.total_ns ns;
+      cell.calls <- cell.calls + 1)
+
+let span t phase f =
+  let t0 = now_ns () in
+  match f () with
+  | x ->
+      add_ns t phase (Int64.sub (now_ns ()) t0);
+      x
+  | exception e ->
+      add_ns t phase (Int64.sub (now_ns ()) t0);
+      raise e
+
+let add t name n =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.counts name with
+      | Some r -> r := !r + n
+      | None ->
+          Hashtbl.add t.counts name (ref n);
+          t.count_order <- name :: t.count_order)
+
+type phase = { phase : string; total_ns : int64; calls : int }
+
+let phases t =
+  locked t (fun () ->
+      List.rev_map
+        (fun name ->
+          let c = Hashtbl.find t.spans name in
+          { phase = name; total_ns = c.total_ns; calls = c.calls })
+        t.span_order)
+
+let counters t =
+  locked t (fun () ->
+      List.rev_map (fun name -> (name, !(Hashtbl.find t.counts name))) t.count_order)
+
+let total_ns t =
+  List.fold_left (fun acc p -> Int64.add acc p.total_ns) 0L (phases t)
+
+let ms ns = Int64.to_float ns /. 1e6
+
+let render t =
+  let ps = phases t and cs = counters t in
+  if ps = [] && cs = [] then ""
+  else begin
+    let b = Buffer.create 256 in
+    let total = total_ns t in
+    if ps <> [] then begin
+      Buffer.add_string b
+        (Printf.sprintf "%-24s %12s %7s %8s\n" "phase" "ms" "share" "calls");
+      List.iter
+        (fun p ->
+          let share =
+            if Int64.compare total 0L > 0 then
+              100. *. Int64.to_float p.total_ns /. Int64.to_float total
+            else 0.
+          in
+          Buffer.add_string b
+            (Printf.sprintf "%-24s %12.3f %6.1f%% %8d\n" p.phase (ms p.total_ns)
+               share p.calls))
+        ps;
+      Buffer.add_string b
+        (Printf.sprintf "%-24s %12.3f %6.1f%%\n" "total" (ms total) 100.)
+    end;
+    List.iter
+      (fun (name, v) -> Buffer.add_string b (Printf.sprintf "%-24s %12d\n" name v))
+      cs;
+    Buffer.contents b
+  end
+
+let to_csv t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "kind,name,value,calls\n";
+  List.iter
+    (fun p ->
+      Buffer.add_string b
+        (Printf.sprintf "phase,%s,%Ld,%d\n" p.phase p.total_ns p.calls))
+    (phases t);
+  List.iter
+    (fun (name, v) -> Buffer.add_string b (Printf.sprintf "counter,%s,%d,\n" name v))
+    (counters t);
+  Buffer.contents b

@@ -1,0 +1,46 @@
+(** Phase telemetry: monotonic-clock timers and counters for the analysis
+    pipeline (CFG build, value analysis, cache fixpoints, IPET solve,
+    simplex pivots, ...).
+
+    A [t] is a mutable accumulator safe to share between domains: spans
+    and counter bumps performed concurrently by worker domains all land in
+    the same record (each update holds a private mutex for a few dozen
+    nanoseconds).  Phases keep their first-seen order, so reports read in
+    pipeline order. *)
+
+type t
+
+val create : unit -> t
+
+val now_ns : unit -> int64
+(** The monotonic clock the timers use (CLOCK_MONOTONIC, nanoseconds). *)
+
+val span : t -> string -> (unit -> 'a) -> 'a
+(** [span t phase f] runs [f ()], accumulating its wall-clock duration
+    (and one call) under [phase].  Exceptions pass through; the time spent
+    until the raise is still recorded. *)
+
+val add_ns : t -> string -> int64 -> unit
+(** Accumulate an externally measured duration (one call) under a phase. *)
+
+val add : t -> string -> int -> unit
+(** Bump a named counter. *)
+
+type phase = { phase : string; total_ns : int64; calls : int }
+
+val phases : t -> phase list
+(** In first-recorded order. *)
+
+val counters : t -> (string * int) list
+(** In first-recorded order. *)
+
+val total_ns : t -> int64
+(** Sum over all phases. *)
+
+val render : t -> string
+(** Human-readable text summary: per-phase time/share/calls, then
+    counters.  Empty string when nothing was recorded. *)
+
+val to_csv : t -> string
+(** [kind,name,value] rows: [phase,<name>,<ns>,<calls>] and
+    [counter,<name>,<value>], with a header line. *)

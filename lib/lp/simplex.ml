@@ -18,7 +18,13 @@ type tableau = {
   blocked : bool array; (* columns that may never enter (artificials) *)
 }
 
+(* Per-domain monotone pivot counter: telemetry reads it before and after
+   a solve and charges the difference, without cross-domain races. *)
+let pivots_key = Domain.DLS.new_key (fun () -> ref 0)
+let pivots () = !(Domain.DLS.get pivots_key)
+
 let pivot t ~row ~col =
+  incr (Domain.DLS.get pivots_key);
   let m = Array.length t.rows and w = t.ncols + 1 in
   let piv = t.rows.(row).(col) in
   let inv = Q.inv piv in

@@ -18,3 +18,9 @@ val solve_with :
   Model.t -> extra:(Model.linexpr * Model.relation * Q.t) list -> outcome
 (** Solve the model with additional constraints appended (used by
     branch-and-bound without mutating the shared model). *)
+
+val pivots : unit -> int
+(** Monotone count of simplex pivots performed *by the calling domain*
+    since it started.  Read before and after a solve and subtract to
+    charge the difference to a telemetry counter; per-domain storage keeps
+    parallel analyses from racing. *)
