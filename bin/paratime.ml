@@ -5,6 +5,7 @@
      simulate  <file.asm|bench:NAME>  cycle-level simulation
      multicore <bench:NAME>...        task-set analysis under each approach
      batch     <SOURCE>...            sources x configs in parallel, memoized
+     fuzz                             differential soundness fuzzing
      benchmarks                       list the bundled benchmark suite *)
 
 open Cmdliner
@@ -324,6 +325,11 @@ let batch_cmd =
                 (String.concat ", " (List.map fst batch_configs)))
         config_names
     in
+    if sources = [] || configs = [] then
+      die
+        "nothing to do: the sources x configs product is empty (%d source(s), \
+         %d config(s)); pass at least one SOURCE and one --config"
+        (List.length sources) (List.length configs);
     let tasks = List.map (fun s -> (s, load s)) sources in
     let memo = Core.Memo.create ?capacity () in
     let telemetry = Engine.Telemetry.create () in
@@ -413,7 +419,7 @@ let batch_cmd =
   in
   let sources =
     Arg.(
-      non_empty & pos_all string []
+      value & pos_all string []
       & info [] ~docv:"SOURCE" ~doc:"Assembly files or bench:NAME entries.")
   in
   let configs =
@@ -468,6 +474,143 @@ let batch_cmd =
       const run $ sources $ configs $ jobs_flag $ repeat $ timeout_ms
       $ capacity $ phases $ csv)
 
+(* ---------------- fuzz ---------------- *)
+
+let fuzz_cmd =
+  let run seed count cores jobs_flag mode_args timeout_ms csv =
+    let modes =
+      match
+        List.concat_map (String.split_on_char ',') mode_args
+        |> List.filter (fun s -> s <> "")
+      with
+      | [] -> Fuzz.Oracle.all_modes
+      | names ->
+          List.map
+            (fun n ->
+              match Fuzz.Oracle.mode_of_string n with
+              | Ok m -> m
+              | Error msg -> die "%s" msg)
+            names
+    in
+    let workers =
+      match jobs_flag with Some n -> Some n | None -> workers_from_env ()
+    in
+    let timeout_ns =
+      Option.map (fun ms -> Int64.of_int (ms * 1_000_000)) timeout_ms
+    in
+    let memo = Core.Memo.create () in
+    let t0 = Engine.Telemetry.now_ns () in
+    let c =
+      match
+        Fuzz.Oracle.run_campaign ~modes ~cores ?workers ?timeout_ns ~memo ~seed
+          ~count ()
+      with
+      | c -> c
+      | exception Invalid_argument msg -> die "%s" msg
+    in
+    let wall_ns = Int64.sub (Engine.Telemetry.now_ns ()) t0 in
+    let r = c.Fuzz.Oracle.report in
+    if csv then print_string (Fuzz.Oracle.csv_of_report r)
+    else begin
+      Printf.printf
+        "fuzz campaign: seed %d, %d programs in %d-core groups, %d checks, \
+         wall %.2f ms\n\n"
+        c.Fuzz.Oracle.seed c.Fuzz.Oracle.count c.Fuzz.Oracle.cores
+        (List.length r.Fuzz.Oracle.checks)
+        (Int64.to_float wall_ns /. 1e6);
+      Printf.printf "%-12s %7s %6s %28s\n" "mode" "checks" "viol"
+        "tightness (WCET/observed)";
+      List.iter
+        (fun (s : Fuzz.Oracle.mode_stats) ->
+          let ratios =
+            if s.Fuzz.Oracle.s_max_ratio = 0. then
+              "analytic only" (* no simulated side (dynamic locking) *)
+            else
+              Printf.sprintf "min %.2f / mean %.2f / max %.2f"
+                s.Fuzz.Oracle.s_min_ratio s.Fuzz.Oracle.s_mean_ratio
+                s.Fuzz.Oracle.s_max_ratio
+          in
+          Printf.printf "%-12s %7d %6d %28s\n"
+            (Fuzz.Oracle.mode_name s.Fuzz.Oracle.s_mode)
+            s.Fuzz.Oracle.s_checks s.Fuzz.Oracle.s_violations ratios)
+        c.Fuzz.Oracle.stats;
+      match c.Fuzz.Oracle.memo_stats with
+      | Some st -> Format.printf "result cache: %a@." Engine.Lru.pp_stats st
+      | None -> ()
+    end;
+    List.iter
+      (fun e -> Printf.eprintf "fuzz: infrastructure error: %s\n" e)
+      r.Fuzz.Oracle.errors;
+    List.iter
+      (fun (v : Fuzz.Oracle.violation) ->
+        Printf.eprintf
+          "\nSOUNDNESS VIOLATION [%s/%s] task %s core %d: %s\n\
+           offending program:\n\
+           %s\n\
+           reproduce with: paratime fuzz --seed %d --count %d --modes %s\n"
+          (Fuzz.Oracle.mode_name v.Fuzz.Oracle.v_mode)
+          v.Fuzz.Oracle.v_shape v.Fuzz.Oracle.v_task v.Fuzz.Oracle.v_core
+          v.Fuzz.Oracle.reason v.Fuzz.Oracle.source seed count
+          (String.concat ","
+             (List.map Fuzz.Oracle.mode_name c.Fuzz.Oracle.modes)))
+      r.Fuzz.Oracle.violations;
+    if r.Fuzz.Oracle.violations <> [] || r.Fuzz.Oracle.errors <> [] then exit 1
+  in
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"N" ~doc:"Campaign seed (default 42).")
+  in
+  let count =
+    Arg.(
+      value & opt int 100
+      & info [ "count" ] ~docv:"N"
+          ~doc:"Number of generated programs (default 100).")
+  in
+  let cores =
+    Arg.(
+      value & opt int 4
+      & info [ "cores" ] ~docv:"N"
+          ~doc:"Task-group size for the contended modes (1-4, default 4).")
+  in
+  let jobs_flag =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains (default: \\$(b,PARATIME_WORKERS) or the domain \
+             count recommended by the runtime).")
+  in
+  let modes =
+    Arg.(
+      value & opt_all string []
+      & info [ "modes"; "m" ] ~docv:"NAMES"
+          ~doc:
+            "Comma-separated (or repeated) mode subset: solo, oblivious, \
+             joint, bypass, columnized, bankized, locked, dynamic.  Default: \
+             all.")
+  in
+  let timeout_ms =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "timeout-ms" ] ~docv:"MS" ~doc:"Per-group analysis budget.")
+  in
+  let csv =
+    Arg.(
+      value & flag
+      & info [ "csv" ] ~doc:"Print every check as a CSV row instead.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential soundness fuzzing: random MiniRISC programs checked \
+          simulator-vs-analysis (BCET <= observed <= WCET) across platform \
+          shapes and all multicore approach families")
+    Term.(
+      const run $ seed $ count $ cores $ jobs_flag $ modes $ timeout_ms $ csv)
+
 (* ---------------- benchmarks ---------------- *)
 
 let benchmarks_cmd =
@@ -494,6 +637,7 @@ let () =
             simulate_cmd;
             multicore_cmd;
             batch_cmd;
+            fuzz_cmd;
             cfg_cmd;
             benchmarks_cmd;
           ]))

@@ -73,14 +73,18 @@ let bump t age =
 let update_set t s tag =
   let assoc = t.config.Config.assoc in
   let old_age =
-    match TagMap.find_opt tag s.ages with
-    | Some a -> a
-    | None ->
-        (* Untracked tag: definite miss (age everything) — except in a May
-           state with the universe flag, where the tag may in fact be
-           resident arbitrarily young, so no aging of minimum ages is
-           guaranteed. *)
-        if t.kind = May && s.universe then -1 else assoc
+    (* In a May state with the universe flag, *some* untracked line may be
+       resident arbitrarily young — younger than the accessed tag — so no
+       aging of minimum ages is guaranteed, whether the accessed tag is
+       tracked or not.  Treating a tracked tag differently here is also
+       non-monotone: a tag toggling between tracked and untracked across
+       join iterations flips its set-mates between evicted and kept, and
+       the fixpoint oscillates forever (found by the lib/fuzz oracle). *)
+    if t.kind = May && s.universe then -1
+    else
+      match TagMap.find_opt tag s.ages with
+      | Some a -> a
+      | None -> assoc (* untracked tag: definite miss, age everything *)
   in
   let ages =
     TagMap.filter_map

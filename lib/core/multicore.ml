@@ -206,6 +206,8 @@ let lock_selection ?memo system =
   let candidates = Hashtbl.fold (fun l p acc -> (l, p) :: acc) profits [] in
   Cache.Locking.select system.l2 ~candidates
 
+let static_lock_selection = lock_selection
+
 let analyze_locked ?memo system =
   let selection = lock_selection ?memo system in
   (* The selection depends on *all* tasks, not just the one being

@@ -57,8 +57,16 @@ val bypass_lines : system -> Isa.Program.t * Dataflow.Annot.t -> int list
 val analyze_partitioned :
   ?memo:Memo.t -> system -> scheme:Cache.Partition.scheme -> Wcet.t option array
 
+val static_lock_selection :
+  ?memo:Memo.t -> system -> Cache.Locking.selection
+(** The global greedy selection {!analyze_locked} locks (profits from
+    the oblivious analyses' block counts), exposed so validation runs
+    can preload the simulator's L2 with exactly the lines the analysis
+    assumed. *)
+
 val analyze_locked : ?memo:Memo.t -> system -> Wcet.t option array
-(** Static locking: one global selection for the whole run. *)
+(** Static locking: one global selection for the whole run
+    ({!static_lock_selection}). *)
 
 val analyze_locked_dynamic : ?memo:Memo.t -> system -> Wcet.t option array
 (** Dynamic locking (Suhendra & Mitra): per-task, per-outermost-loop

@@ -1,0 +1,285 @@
+type op =
+  | Alu_burst of int
+  | Load of Isa.Instr.space * int
+  | Store of Isa.Instr.space * int
+  | Load_indexed of Isa.Instr.space * int
+
+type piece =
+  | Straight of op list
+  | Loop of { iters : int; body : piece list }
+  | Diamond of { sel_off : int; heavy : op list; light : op list }
+  | Call of int
+  | Io_poll of { off : int; bound : int }
+
+type params = {
+  max_pieces : int;
+  max_ops : int;
+  max_iters : int;
+  max_depth : int;
+  locality : float;
+  io_density : float;
+  call_density : float;
+}
+
+let default_params =
+  {
+    max_pieces = 6;
+    max_ops = 5;
+    max_iters = 12;
+    max_depth = 2;
+    locality = 0.6;
+    io_density = 0.15;
+    call_density = 0.25;
+  }
+
+type t = {
+  name : string;
+  pieces : piece list;
+  source : string;
+  program : Isa.Program.t;
+  annot : Dataflow.Annot.t;
+  data_init : (int * int) list;
+}
+
+(* Register discipline (r0 is hardwired zero):
+   - r1..r8    rotating scratch (ALU operands, load destinations)
+   - r9        diamond selector
+   - r10..r13  helper procedures only
+   - r14       I/O poll counter
+   - r20..r22  loop counters, one per nesting depth
+
+   Addresses are formed from immediates and loop counters only, never
+   from loaded values, so in-bounds accesses are guaranteed statically. *)
+
+let clamp lo hi v = max lo (min hi v)
+
+(* Largest absolute word offset per space (Exec's memory sizes), and the
+   largest base offset an indexed access may use (counter adds <= 64). *)
+let max_abs_off = function
+  | Isa.Instr.Data -> 4095
+  | Isa.Instr.Stack -> 1023
+  | Isa.Instr.Io -> 63
+
+let max_idx_off = function
+  | Isa.Instr.Data -> 4000
+  | Isa.Instr.Stack -> 900
+  | Isa.Instr.Io -> 0 (* unused: indexed I/O is demoted to absolute *)
+
+let space_suffix = function
+  | Isa.Instr.Data -> "d"
+  | Isa.Instr.Stack -> "s"
+  | Isa.Instr.Io -> "io"
+
+(* ---- random piece trees ---------------------------------------------- *)
+
+let random_offset rng p space =
+  if Rng.chance rng p.locality then Rng.int rng 16
+  else
+    match space with
+    | Isa.Instr.Data -> Rng.int rng 512
+    | Isa.Instr.Stack -> Rng.int rng 256
+    | Isa.Instr.Io -> Rng.int rng 48
+
+let random_space rng p =
+  if Rng.chance rng p.io_density then Isa.Instr.Io
+  else if Rng.bool rng then Isa.Instr.Data
+  else Isa.Instr.Stack
+
+let random_op rng p ~depth =
+  match Rng.int rng 8 with
+  | 0 | 1 -> Alu_burst (Rng.range rng 1 6)
+  | 2 | 3 ->
+      let s = random_space rng p in
+      Load (s, random_offset rng p s)
+  | 4 | 5 ->
+      let s = random_space rng p in
+      Store (s, random_offset rng p s)
+  | _ ->
+      let s = if Rng.bool rng then Isa.Instr.Data else Isa.Instr.Stack in
+      if depth > 0 then Load_indexed (s, random_offset rng p s)
+      else Load (s, random_offset rng p s)
+
+let random_ops rng p ~depth n =
+  List.init (Rng.range rng 1 (max 1 n)) (fun _ -> random_op rng p ~depth)
+
+let rec random_piece rng p ~depth =
+  let choice = Rng.int rng 10 in
+  if choice < 3 then Straight (random_ops rng p ~depth p.max_ops)
+  else if choice < 6 && depth < min p.max_depth 3 then
+    let iters = Rng.range rng 2 (max 2 p.max_iters) in
+    let body =
+      List.init (Rng.range rng 1 2) (fun _ ->
+          random_piece rng p ~depth:(depth + 1))
+    in
+    Loop { iters; body }
+  else if choice < 8 then
+    Diamond
+      {
+        sel_off = Rng.int rng 32;
+        heavy = random_ops rng p ~depth p.max_ops;
+        light = random_ops rng p ~depth 2;
+      }
+  else if Rng.chance rng p.call_density then Call (Rng.int rng 3)
+  else if Rng.chance rng p.io_density then
+    Io_poll { off = Rng.int rng 48; bound = Rng.int rng 16 }
+  else Straight (random_ops rng p ~depth p.max_ops)
+
+let random_pieces rng p =
+  List.init (Rng.range rng 1 (max 1 p.max_pieces)) (fun _ ->
+      random_piece rng p ~depth:0)
+
+(* ---- assembly emission ----------------------------------------------- *)
+
+type emit_state = {
+  buf : Buffer.t;
+  mutable labels : int;
+  mutable scratch : int;
+  mutable annots : (string * string * int) list;  (* proc, header, bound *)
+  mutable data_init : (int * int) list;
+}
+
+let emitf st fmt = Printf.ksprintf (fun s -> Buffer.add_string st.buf (s ^ "\n")) fmt
+
+let fresh_label st prefix =
+  let l = Printf.sprintf "%s%d" prefix st.labels in
+  st.labels <- st.labels + 1;
+  l
+
+let next_scratch st =
+  let r = 1 + (st.scratch mod 8) in
+  st.scratch <- st.scratch + 1;
+  r
+
+(* Counter register of the innermost active loop, r0 outside any loop. *)
+let counter_reg ~depth = if depth <= 0 then 0 else 20 + (min depth 3 - 1)
+
+let rec emit_op st ~depth op =
+  match op with
+  | Alu_burst k ->
+      let k = clamp 1 12 k in
+      for j = 0 to k - 1 do
+        let rd = next_scratch st in
+        let rs = 1 + ((rd + j) mod 8) in
+        match j mod 5 with
+        | 0 -> emitf st "  addi r%d, r%d, %d" rd rs (j + 1)
+        | 1 -> emitf st "  mul r%d, r%d, r%d" rd rd rs
+        | 2 -> emitf st "  xor r%d, r%d, r%d" rd rs rd
+        | 3 -> emitf st "  slt r%d, r%d, r%d" rd rs rd
+        | _ -> emitf st "  div r%d, r%d, r%d" rd rd rs
+      done
+  | Load (space, off) ->
+      let off = clamp 0 (max_abs_off space) (abs off) in
+      emitf st "  ld.%s r%d, %d(r0)" (space_suffix space) (next_scratch st) off
+  | Store (space, off) ->
+      let off = clamp 0 (max_abs_off space) (abs off) in
+      emitf st "  st.%s r%d, %d(r0)" (space_suffix space) (next_scratch st) off
+  | Load_indexed (space, off) -> (
+      match space with
+      | Isa.Instr.Io ->
+          (* counter + offset could leave the 64-word I/O space *)
+          emit_op st ~depth (Load (space, off))
+      | _ ->
+          let off = clamp 0 (max_idx_off space) (abs off) in
+          emitf st "  ld.%s r%d, %d(r%d)" (space_suffix space)
+            (next_scratch st) off (counter_reg ~depth))
+
+let rec emit_piece st ~depth piece =
+  match piece with
+  | Straight ops -> List.iter (emit_op st ~depth) ops
+  | Loop { iters; body } ->
+      if depth >= 3 then
+        (* no counter register left: run the body once, unlooped *)
+        List.iter (emit_piece st ~depth) body
+      else begin
+        let iters = clamp 1 64 iters in
+        let counter = 20 + depth in
+        let header = fresh_label st "lp" in
+        emitf st "  li r%d, %d" counter iters;
+        emitf st "%s:" header;
+        List.iter (emit_piece st ~depth:(depth + 1)) body;
+        emitf st "  subi r%d, r%d, 1" counter counter;
+        emitf st "  bne r%d, r0, %s" counter header;
+        (* [iters] executions = [iters - 1] back-edge traversals *)
+        st.annots <- ("main", header, iters - 1) :: st.annots
+      end
+  | Diamond { sel_off; heavy; light } ->
+      let l_else = fresh_label st "el" in
+      let l_join = fresh_label st "dj" in
+      let sel_off = clamp 0 4095 (abs sel_off) in
+      (* odd selector words are preloaded nonzero: the simulated path
+         takes the heavy (fallthrough) arm, even ones the light arm *)
+      if sel_off mod 2 = 1 && not (List.mem_assoc sel_off st.data_init) then
+        st.data_init <- (sel_off, 1) :: st.data_init;
+      emitf st "  ld.d r9, %d(r0)" sel_off;
+      emitf st "  beq r9, r0, %s" l_else;
+      List.iter (emit_op st ~depth) heavy;
+      emitf st "  jmp %s" l_join;
+      emitf st "%s:" l_else;
+      List.iter (emit_op st ~depth) light;
+      emitf st "%s:" l_join;
+      emitf st "  nop"
+  | Call k -> emitf st "  call h%d" (abs k mod 3)
+  | Io_poll { off; bound } ->
+      let off = clamp 0 63 (abs off) in
+      let bound = clamp 0 64 (abs bound) in
+      let header = fresh_label st "io" in
+      let done_ = fresh_label st "iod" in
+      emitf st "  ld.io r14, %d(r0)" off;
+      emitf st "%s:" header;
+      emitf st "  beq r14, r0, %s" done_;
+      emitf st "  subi r14, r14, 1";
+      emitf st "  jmp %s" header;
+      emitf st "%s:" done_;
+      emitf st "  nop";
+      (* fresh I/O memory reads 0, so the simulator takes 0 back edges;
+         the analysis charges the annotated bound *)
+      st.annots <- ("main", header, bound) :: st.annots
+
+(* Three fixed helper procedures.  They clobber only r10..r13, so loop
+   counters, the diamond selector, and the poll counter survive calls.
+   Uncalled helpers are dead code the callgraph never visits. *)
+let helpers st =
+  emitf st "";
+  emitf st "h0:";
+  emitf st "  addi r10, r10, 3";
+  emitf st "  mul r10, r10, r10";
+  emitf st "  ret";
+  emitf st "";
+  emitf st "h1:";
+  emitf st "  li r11, 4";
+  emitf st "h1l:";
+  emitf st "  ld.d r12, 2(r11)";
+  emitf st "  subi r11, r11, 1";
+  emitf st "  bne r11, r0, h1l";
+  emitf st "  ret";
+  emitf st "";
+  emitf st "h2:";
+  emitf st "  st.d r10, 5(r0)";
+  emitf st "  ld.s r13, 3(r0)";
+  emitf st "  xor r13, r13, r10";
+  emitf st "  ret";
+  st.annots <- ("h1", "h1l", 3) :: st.annots
+
+let assemble ?(name = "fuzz") pieces =
+  let st =
+    { buf = Buffer.create 512; labels = 0; scratch = 0; annots = [];
+      data_init = [] }
+  in
+  emitf st "main:";
+  List.iter (emit_piece st ~depth:0) pieces;
+  emitf st "  halt";
+  helpers st;
+  let source = Buffer.contents st.buf in
+  let program = Isa.Asm.parse ~name source in
+  let annot =
+    List.fold_left
+      (fun a (proc, header_label, bound) ->
+        Dataflow.Annot.with_loop_bound a ~proc ~header_label bound)
+      Dataflow.Annot.empty st.annots
+  in
+  { name; pieces; source; program; annot; data_init = List.rev st.data_init }
+
+let generate ?(params = default_params) ~seed ~index () =
+  let rng = Rng.of_pair ~seed ~index in
+  let pieces = random_pieces rng params in
+  assemble ~name:(Printf.sprintf "fuzz-%d-%d" seed index) pieces

@@ -1,0 +1,76 @@
+(** Seeded random MiniRISC program generator.
+
+    Programs are built from a small structured-control-flow algebra
+    ({!piece}) chosen so that *every* generated program is, by
+    construction:
+
+    - terminating: loops are counted (a [li]-initialized down-counter)
+      or polls of I/O values the fresh machine reads as zero;
+    - analysable: reducible CFGs, no recursion, and every loop header
+      carries a loop-bound annotation, so IPET stays decidable even when
+      automatic bound inference declines (e.g. calls inside loops);
+    - fault-free: memory addresses come only from immediates and loop
+      counters (never from loaded data), clamped inside each space
+      ([Data]/[Stack]/[Io]) of {!Isa.Exec};
+    - architecture-independent in its *path*: no timing-dependent control
+      flow, so one program can be replayed against every platform shape
+      and the same annotation stays exact.
+
+    {!assemble} is total over arbitrary piece lists (all quantities are
+    clamped, over-deep loops are flattened), which is what makes QCheck
+    shrinking over pieces safe. *)
+
+(** Loop-body payload operations.  Offsets are word indices interpreted
+    against the op's memory space; [Load_indexed] adds the innermost
+    active loop counter to the offset (a strided access pattern). *)
+type op =
+  | Alu_burst of int  (** [n] dependent ALU instructions (incl. mul/div) *)
+  | Load of Isa.Instr.space * int
+  | Store of Isa.Instr.space * int
+  | Load_indexed of Isa.Instr.space * int
+
+type piece =
+  | Straight of op list
+  | Loop of { iters : int; body : piece list }
+      (** counted loop, executes [iters] times (clamped to 1..64) *)
+  | Diamond of { sel_off : int; heavy : op list; light : op list }
+      (** if/else on a loaded data word; [heavy] is the fallthrough arm *)
+  | Call of int  (** call helper procedure [h(k mod 3)] *)
+  | Io_poll of { off : int; bound : int }
+      (** countdown on an I/O word (reads 0 on a fresh machine, so the
+          simulator exits immediately; the analysis charges [bound]) *)
+
+type params = {
+  max_pieces : int;  (** top-level pieces per program *)
+  max_ops : int;  (** ops per straight-line run / diamond arm *)
+  max_iters : int;  (** loop trip counts drawn from [2, max_iters] *)
+  max_depth : int;  (** loop nesting depth (hard cap 3) *)
+  locality : float;  (** probability an offset falls in the hot window *)
+  io_density : float;  (** probability a memory op targets the I/O space *)
+  call_density : float;  (** probability a piece slot becomes a call *)
+}
+
+val default_params : params
+
+type t = {
+  name : string;
+  pieces : piece list;  (** the shape the program was assembled from *)
+  source : string;  (** assembly text — print this to reproduce a failure *)
+  program : Isa.Program.t;
+  annot : Dataflow.Annot.t;  (** loop bounds for every generated header *)
+  data_init : (int * int) list;
+      (** data words to preload before simulation: diamonds with odd
+          selector offsets get a nonzero selector, so simulated paths
+          exercise the heavy arms too (a fresh machine reads 0
+          everywhere and would always fall into the light arms,
+          masking optimistic-join bugs on the heavy paths) *)
+}
+
+val random_pieces : Rng.t -> params -> piece list
+
+val assemble : ?name:string -> piece list -> t
+(** Total: clamps out-of-range quantities rather than rejecting them. *)
+
+val generate : ?params:params -> seed:int -> index:int -> unit -> t
+(** Program [index] of campaign [seed] — deterministic across machines,
+    OCaml versions, and worker counts; named ["fuzz-<seed>-<index>"]. *)

@@ -1,0 +1,515 @@
+module P = Core.Platform
+module M = Core.Multicore
+
+type mode =
+  | Solo
+  | Oblivious
+  | Joint
+  | Bypass
+  | Columnized
+  | Bankized
+  | Locked
+  | Dynamic
+
+let all_modes =
+  [ Solo; Oblivious; Joint; Bypass; Columnized; Bankized; Locked; Dynamic ]
+
+let mode_name = function
+  | Solo -> "solo"
+  | Oblivious -> "oblivious"
+  | Joint -> "joint"
+  | Bypass -> "bypass"
+  | Columnized -> "columnized"
+  | Bankized -> "bankized"
+  | Locked -> "locked"
+  | Dynamic -> "dynamic"
+
+let mode_of_string s =
+  match
+    List.find_opt (fun m -> mode_name m = String.lowercase_ascii s) all_modes
+  with
+  | Some m -> Ok m
+  | None ->
+      Error
+        (Printf.sprintf "unknown mode %S (expected one of: %s)" s
+           (String.concat ", " (List.map mode_name all_modes)))
+
+type check = {
+  mode : mode;
+  shape : string;
+  task : string;
+  core : int;
+  bcet : int;
+  wcet : int;
+  observed : int option;
+}
+
+type violation = {
+  v_mode : mode;
+  v_shape : string;
+  v_task : string;
+  v_core : int;
+  reason : string;
+  source : string;
+}
+
+type report = {
+  checks : check list;
+  violations : violation list;
+  errors : string list;
+}
+
+let empty_report = { checks = []; violations = []; errors = [] }
+
+let merge_reports rs =
+  {
+    checks = List.concat_map (fun r -> r.checks) rs;
+    violations = List.concat_map (fun r -> r.violations) rs;
+    errors = List.concat_map (fun r -> r.errors) rs;
+  }
+
+(* ---- bounds and machines --------------------------------------------- *)
+
+let wcet_bound ?memo ~annot platform program =
+  match memo with
+  | None -> (Core.Wcet.analyze ~annot platform program).Core.Wcet.wcet
+  | Some m -> (Core.Memo.wcet m ~annot platform program).Core.Wcet.wcet
+
+let bcet_bound ?memo ~annot platform program =
+  match memo with
+  | None -> (Core.Bcet.analyze ~annot platform program).Core.Bcet.bcet
+  | Some m -> (Core.Memo.bcet m ~annot platform program).Core.Bcet.bcet
+
+(* The concrete single-core machine a platform describes (the analysis
+   and the simulator must agree on geometry, refresh, and the
+   instruction path). *)
+let sim_config_of (p : P.t) =
+  {
+    Sim.Machine.latencies = p.P.latencies;
+    l1i = p.P.l1i;
+    l1d = p.P.l1d;
+    l2 =
+      (match p.P.l2 with
+      | P.No_l2 -> Sim.Machine.No_l2
+      | P.Private_l2 c -> Sim.Machine.Private_l2 [| c |]
+      | P.Shared_l2 { config; _ } | P.Locked_l2 { config; _ } ->
+          Sim.Machine.Shared_l2 config);
+    arbiter = Interconnect.Arbiter.Private;
+    refresh = p.P.refresh;
+    i_path =
+      (match p.P.method_cache with
+      | None -> Sim.Machine.Conventional
+      | Some mc -> Sim.Machine.Method_cache mc);
+  }
+
+let solo_shapes () =
+  let l2_small = Cache.Config.make ~sets:16 ~assoc:2 ~line_size:16 in
+  (* two sets of two ways: heavy eviction pressure with live ages, the
+     shape where an optimistic must/may-join is most visible *)
+  let tiny = Cache.Config.make ~sets:2 ~assoc:2 ~line_size:8 in
+  [
+    ("no-l2", P.single_core ());
+    ("l2", P.single_core ~l2:l2_small ());
+    ( "tiny-l1",
+      { (P.single_core ~l2:l2_small ()) with P.l1i = tiny; l1d = tiny } );
+    ( "refresh",
+      {
+        (P.single_core ()) with
+        P.refresh =
+          Interconnect.Arbiter.Distributed { interval = 128; duration = 12 };
+      } );
+    ( "method-cache",
+      {
+        (P.single_core ()) with
+        P.method_cache = Some Cache.Method_cache.default;
+      } );
+  ]
+
+(* A core's setup for a generated program: the diamond selectors the
+   generator wants driven down their heavy arms are preloaded. *)
+let setup_of (g : Generator.t) =
+  {
+    (Sim.Machine.task g.Generator.program) with
+    Sim.Machine.init_data = g.Generator.data_init;
+  }
+
+(* ---- the sandwich ---------------------------------------------------- *)
+
+let sandwich ~mode ~shape ~(g : Generator.t) ~core ~bcet ~wcet result =
+  let check = { mode; shape; task = g.Generator.name; core; bcet; wcet;
+                observed = Option.map (fun (r : Sim.Machine.core_result) ->
+                    r.Sim.Machine.cycles) result }
+  in
+  let viol reason =
+    Some
+      {
+        v_mode = mode;
+        v_shape = shape;
+        v_task = g.Generator.name;
+        v_core = core;
+        reason;
+        source = g.Generator.source;
+      }
+  in
+  let v =
+    match result with
+    | None ->
+        if wcet < bcet then
+          viol (Printf.sprintf "WCET bound %d below BCET bound %d" wcet bcet)
+        else None
+    | Some (r : Sim.Machine.core_result) ->
+        if not r.Sim.Machine.halted then
+          viol "simulation did not halt within the cycle horizon"
+        else if r.Sim.Machine.cycles > wcet then
+          viol
+            (Printf.sprintf "observed %d cycles exceeds WCET bound %d"
+               r.Sim.Machine.cycles wcet)
+        else if bcet > r.Sim.Machine.cycles then
+          viol
+            (Printf.sprintf "BCET bound %d exceeds observed %d cycles" bcet
+               r.Sim.Machine.cycles)
+        else None
+  in
+  (check, v)
+
+let collect pairs =
+  {
+    checks = List.map fst pairs;
+    violations = List.filter_map snd pairs;
+    errors = [];
+  }
+
+(* ---- solo mode ------------------------------------------------------- *)
+
+let check_solo ?memo ?(checkpoint = fun () -> ()) (g : Generator.t) =
+  let annot = g.Generator.annot and program = g.Generator.program in
+  let per_shape (shape, platform) =
+    checkpoint ();
+    match
+      let wcet = wcet_bound ?memo ~annot platform program in
+      let bcet = bcet_bound ?memo ~annot platform program in
+      let rs =
+        Sim.Machine.run (sim_config_of platform) ~cores:[| setup_of g |] ()
+      in
+      sandwich ~mode:Solo ~shape ~g ~core:0 ~bcet ~wcet (Some rs.(0))
+    with
+    | pair -> pair
+    | exception Core.Wcet.Not_analysable msg ->
+        sandwich ~mode:Solo ~shape ~g ~core:0 ~bcet:0 ~wcet:(-1) None
+        |> fun (c, _) ->
+        ( c,
+          Some
+            {
+              v_mode = Solo;
+              v_shape = shape;
+              v_task = g.Generator.name;
+              v_core = 0;
+              reason = "analysis failed: " ^ msg;
+              source = g.Generator.source;
+            } )
+  in
+  collect (List.map per_shape (solo_shapes ()))
+
+(* ---- contended modes ------------------------------------------------- *)
+
+(* The interference-free platform of [analyze_oblivious]: whole L2 as a
+   private slice, no bus contention.  Its BCET lower-bounds every
+   execution of the task on every mode. *)
+let private_platform (sys : M.system) =
+  {
+    P.latencies = sys.M.latencies;
+    l1i = sys.M.l1i;
+    l1d = sys.M.l1d;
+    l2 = P.Private_l2 sys.M.l2;
+    arbiter = Interconnect.Arbiter.Private;
+    core = 0;
+    refresh = sys.M.refresh;
+    mem_arbiter = None;
+    method_cache = None;
+  }
+
+let check_group ?memo ?(checkpoint = fun () -> ()) ~modes gens =
+  let n = Array.length gens in
+  if n < 1 then invalid_arg "Oracle.check_group: empty task group";
+  let modes = List.filter (fun m -> m <> Solo) modes in
+  let tasks =
+    Array.map
+      (fun (g : Generator.t) -> Some (g.Generator.program, g.Generator.annot))
+      gens
+  in
+  let sys = M.default_system ~cores:n ~tasks in
+  let bcets =
+    Array.map
+      (fun (g : Generator.t) ->
+        bcet_bound ?memo ~annot:g.Generator.annot (private_platform sys)
+          g.Generator.program)
+      gens
+  in
+  let plain_setups = Array.map setup_of gens in
+  (* One sandwich per core, against either a per-core result array, a
+     per-core solo run, or nothing (analytic modes). *)
+  let per_core ~mode ~shape wcets result_for =
+    List.filter_map
+      (fun core ->
+        match wcets.(core) with
+        | None -> None
+        | Some wcet ->
+            Some
+              (sandwich ~mode ~shape ~g:gens.(core) ~core ~bcet:bcets.(core)
+                 ~wcet (result_for core)))
+      (List.init n (fun i -> i))
+  in
+  let run_mode mode =
+    checkpoint ();
+    match mode with
+    | Solo -> []
+    | Oblivious ->
+        (* only claimed solo: validate each task owning the machine *)
+        let ws = M.wcets (M.analyze_oblivious ?memo sys) in
+        let cfg =
+          {
+            (M.machine_config sys ~l2:(Sim.Machine.Private_l2 [| sys.M.l2 |]))
+            with
+            Sim.Machine.arbiter = Interconnect.Arbiter.Private;
+          }
+        in
+        per_core ~mode ~shape:"private-l2" ws (fun core ->
+            Some (Sim.Machine.run cfg ~cores:[| plain_setups.(core) |] ()).(0))
+    | Joint ->
+        let ws = M.wcets (M.analyze_joint ?memo sys ()) in
+        let rs =
+          Sim.Machine.run
+            (M.machine_config sys ~l2:(Sim.Machine.Shared_l2 sys.M.l2))
+            ~cores:plain_setups ()
+        in
+        per_core ~mode ~shape:"shared-l2" ws (fun core -> Some rs.(core))
+    | Bypass ->
+        let ws = M.wcets (M.analyze_joint ?memo sys ~bypass:true ()) in
+        let setups =
+          Array.map
+            (fun (g : Generator.t) ->
+              let lines =
+                M.bypass_lines sys (g.Generator.program, g.Generator.annot)
+              in
+              {
+                (setup_of g) with
+                Sim.Machine.l2_bypass = (fun l -> List.mem l lines);
+              })
+            gens
+        in
+        let rs =
+          Sim.Machine.run
+            (M.machine_config sys ~l2:(Sim.Machine.Shared_l2 sys.M.l2))
+            ~cores:setups ()
+        in
+        per_core ~mode ~shape:"shared-l2+bypass" ws (fun core -> Some rs.(core))
+    | Columnized | Bankized ->
+        let scheme =
+          if mode = Columnized then Cache.Partition.Columnization
+          else Cache.Partition.Bankization
+        in
+        let ws = M.wcets (M.analyze_partitioned ?memo sys ~scheme) in
+        let alloc = Cache.Partition.even_shares scheme sys.M.l2 ~parts:n in
+        let slices =
+          Array.init n (fun i ->
+              Cache.Partition.partition_config sys.M.l2 alloc ~index:i)
+        in
+        let rs =
+          Sim.Machine.run
+            (M.machine_config sys ~l2:(Sim.Machine.Private_l2 slices))
+            ~cores:plain_setups ()
+        in
+        per_core ~mode
+          ~shape:(if mode = Columnized then "l2-columns" else "l2-banks")
+          ws
+          (fun core -> Some rs.(core))
+    | Locked ->
+        let selection = M.static_lock_selection ?memo sys in
+        let ws = M.wcets (M.analyze_locked ?memo sys) in
+        let setups =
+          Array.map
+            (fun s ->
+              {
+                s with
+                Sim.Machine.locked_l2_lines =
+                  selection.Cache.Locking.locked;
+              })
+            plain_setups
+        in
+        let rs =
+          Sim.Machine.run
+            (M.machine_config sys ~l2:(Sim.Machine.Shared_l2 sys.M.l2))
+            ~cores:setups ()
+        in
+        per_core ~mode ~shape:"locked-l2" ws (fun core -> Some rs.(core))
+    | Dynamic ->
+        (* analysis-level only: the machine cannot reprogram lock bits *)
+        let ws = M.wcets (M.analyze_locked_dynamic ?memo sys) in
+        per_core ~mode ~shape:"locked-l2-dynamic" ws (fun _ -> None)
+  in
+  let per_mode mode =
+    match run_mode mode with
+    | pairs -> collect pairs
+    | exception Core.Wcet.Not_analysable msg ->
+        {
+          empty_report with
+          violations =
+            [
+              {
+                v_mode = mode;
+                v_shape = "group";
+                v_task =
+                  String.concat "+"
+                    (Array.to_list
+                       (Array.map (fun g -> g.Generator.name) gens));
+                v_core = -1;
+                reason = "analysis failed: " ^ msg;
+                source = gens.(0).Generator.source;
+              };
+            ];
+        }
+  in
+  merge_reports (List.map per_mode modes)
+
+(* ---- campaign -------------------------------------------------------- *)
+
+type mode_stats = {
+  s_mode : mode;
+  s_checks : int;
+  s_violations : int;
+  s_min_ratio : float;
+  s_mean_ratio : float;
+  s_max_ratio : float;
+}
+
+type campaign = {
+  seed : int;
+  count : int;
+  cores : int;
+  modes : mode list;
+  report : report;
+  stats : mode_stats list;
+  memo_stats : Engine.Lru.stats option;
+}
+
+let stats_of report modes =
+  List.filter_map
+    (fun mode ->
+      let checks = List.filter (fun c -> c.mode = mode) report.checks in
+      if checks = [] then None
+      else
+        let ratios =
+          List.filter_map
+            (fun c ->
+              match c.observed with
+              | Some obs when obs > 0 ->
+                  Some (float_of_int c.wcet /. float_of_int obs)
+              | _ -> None)
+            checks
+        in
+        let violations =
+          List.length
+            (List.filter (fun v -> v.v_mode = mode) report.violations)
+        in
+        let min_r = List.fold_left min infinity ratios in
+        let max_r = List.fold_left max 0.0 ratios in
+        let mean_r =
+          if ratios = [] then 0.0
+          else List.fold_left ( +. ) 0.0 ratios /. float_of_int (List.length ratios)
+        in
+        Some
+          {
+            s_mode = mode;
+            s_checks = List.length checks;
+            s_violations = violations;
+            s_min_ratio = (if ratios = [] then 0.0 else min_r);
+            s_mean_ratio = mean_r;
+            s_max_ratio = max_r;
+          })
+    modes
+
+let run_campaign ?(params = Generator.default_params) ?(modes = all_modes)
+    ?(cores = 4) ?workers ?memo ?timeout_ns ~seed ~count () =
+  if count <= 0 then invalid_arg "Oracle.run_campaign: count must be positive";
+  if cores < 1 || cores > 4 then
+    invalid_arg "Oracle.run_campaign: cores must be in 1..4 (the L2 has 4 ways)";
+  let groups = (count + cores - 1) / cores in
+  let contended = List.filter (fun m -> m <> Solo) modes in
+  let jobs =
+    List.init groups (fun gi ->
+        Engine.Pool.job ~label:(Printf.sprintf "fuzz-group-%d" gi) (fun ctx ->
+            let checkpoint () = Engine.Pool.check ctx in
+            (* the last group wraps around to keep one task per core;
+               wrapped tasks are re-checked contended but not solo *)
+            let gens =
+              Array.init cores (fun k ->
+                  Generator.generate ~params ~seed
+                    ~index:(((gi * cores) + k) mod count)
+                    ())
+            in
+            let solo =
+              if List.mem Solo modes then
+                List.filter_map
+                  (fun k ->
+                    if (gi * cores) + k < count then
+                      Some (check_solo ?memo ~checkpoint gens.(k))
+                    else None)
+                  (List.init cores (fun i -> i))
+              else []
+            in
+            let grouped =
+              if contended = [] then empty_report
+              else check_group ?memo ~checkpoint ~modes:contended gens
+            in
+            merge_reports (solo @ [ grouped ])))
+  in
+  let outcomes = Engine.Pool.run ?workers ?timeout_ns jobs in
+  let reports =
+    List.map
+      (function
+        | Engine.Pool.Done r -> r
+        | Engine.Pool.Failed { label; error } ->
+            {
+              empty_report with
+              errors = [ Printf.sprintf "%s raised: %s" label error ];
+            }
+        | Engine.Pool.Timed_out { label; after_ns } ->
+            {
+              empty_report with
+              errors =
+                [
+                  Printf.sprintf "%s timed out after %.1fs" label
+                    (Int64.to_float after_ns /. 1e9);
+                ];
+            })
+      outcomes
+  in
+  let report = merge_reports reports in
+  {
+    seed;
+    count;
+    cores;
+    modes;
+    report;
+    stats = stats_of report modes;
+    memo_stats = Option.map Core.Memo.stats memo;
+  }
+
+let csv_of_report report =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "mode,shape,task,core,bcet,observed,wcet,ratio\n";
+  List.iter
+    (fun c ->
+      let observed, ratio =
+        match c.observed with
+        | Some o when o > 0 ->
+            (string_of_int o,
+             Printf.sprintf "%.3f" (float_of_int c.wcet /. float_of_int o))
+        | Some o -> (string_of_int o, "")
+        | None -> ("", "")
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%s,%s,%d,%d,%s,%d,%s\n" (mode_name c.mode) c.shape
+           c.task c.core c.bcet observed c.wcet ratio))
+    report.checks;
+  Buffer.contents buf

@@ -1,0 +1,124 @@
+(** Differential soundness oracle: static bounds vs. simulated cycles.
+
+    For every generated program the oracle asserts the execution-time
+    sandwich [BCET <= observed <= WCET] of the repo's platform contract:
+    the observed side comes from {!Sim.Machine} (the concrete machine),
+    the bound sides from {!Core.Wcet}/{!Core.Bcet}/{!Core.Multicore}
+    (the analyses), configured to describe *the same* machine.
+
+    Modes and what each validates:
+    - [Solo]: five single-core platform shapes (no L2, private L2, tiny
+      L1s, distributed DRAM refresh, method cache), full sandwich per
+      shape.
+    - [Oblivious]: the interference-oblivious baseline.  Its bound is
+      only claimed for a task owning the machine, so it is validated
+      against a *solo* run — under contention it can be exceeded (that
+      is experiment T2's point, not a soundness bug).
+    - [Joint]/[Bypass]: joint shared-L2 analysis (without/with
+      single-usage bypass) vs. a contended run of the whole task group
+      on the shared-L2 machine, co-runner interference included.
+    - [Columnized]/[Bankized]: partitioned L2 slices vs. a contended run
+      on the sliced machine.
+    - [Locked]: statically locked shared L2; the simulator's L2 is
+      preloaded with the same global selection the analysis chose.
+    - [Dynamic]: dynamic locking is analysis-level only (the machine
+      does not reprogram lock bits at run time), so its bound is checked
+      analytically against the task's BCET, never against a run.
+
+    BCET is computed once per task on the interference-free private
+    platform: it lower-bounds every execution on every mode, contended
+    ones included. *)
+
+type mode =
+  | Solo
+  | Oblivious
+  | Joint
+  | Bypass
+  | Columnized
+  | Bankized
+  | Locked
+  | Dynamic
+
+val all_modes : mode list
+val mode_name : mode -> string
+val mode_of_string : string -> (mode, string) result
+
+type check = {
+  mode : mode;
+  shape : string;  (** platform/sub-configuration label *)
+  task : string;
+  core : int;
+  bcet : int;
+  wcet : int;
+  observed : int option;  (** [None] for analytic-only checks *)
+}
+
+type violation = {
+  v_mode : mode;
+  v_shape : string;
+  v_task : string;
+  v_core : int;
+  reason : string;
+  source : string;  (** assembly text of the offending program *)
+}
+
+type report = {
+  checks : check list;
+  violations : violation list;
+  errors : string list;  (** infrastructure failures (pool job died) *)
+}
+
+val check_solo :
+  ?memo:Core.Memo.t -> ?checkpoint:(unit -> unit) -> Generator.t -> report
+(** The five [Solo] shapes for one program.  [checkpoint] is called
+    between shapes (pass {!Engine.Pool.check} for cooperative
+    timeouts). *)
+
+val check_group :
+  ?memo:Core.Memo.t ->
+  ?checkpoint:(unit -> unit) ->
+  modes:mode list ->
+  Generator.t array ->
+  report
+(** One task group (one task per core, 1..4 cores) through every
+    requested contended mode ([Solo] entries are ignored here).
+    [Columnized] needs at most as many cores as the L2 has ways (4). *)
+
+type mode_stats = {
+  s_mode : mode;
+  s_checks : int;
+  s_violations : int;
+  s_min_ratio : float;  (** min over checks of WCET / observed *)
+  s_mean_ratio : float;
+  s_max_ratio : float;
+}
+
+type campaign = {
+  seed : int;
+  count : int;
+  cores : int;
+  modes : mode list;
+  report : report;
+  stats : mode_stats list;
+  memo_stats : Engine.Lru.stats option;
+}
+
+val run_campaign :
+  ?params:Generator.params ->
+  ?modes:mode list ->
+  ?cores:int ->
+  ?workers:int ->
+  ?memo:Core.Memo.t ->
+  ?timeout_ns:int64 ->
+  seed:int ->
+  count:int ->
+  unit ->
+  campaign
+(** Generates programs [0..count-1] of [seed], groups them into task
+    sets of [cores] (default 4; the last group wraps around to fill its
+    cores), and fans one {!Engine.Pool} job per group over [workers]
+    domains.  Results are deterministic at any worker count.
+    @raise Invalid_argument if [count <= 0] or [cores] outside 1..4. *)
+
+val csv_of_report : report -> string
+(** [mode,shape,task,core,bcet,observed,wcet,ratio] rows. *)

@@ -1,0 +1,49 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+(* murmur3-style 64-bit finalizer: full avalanche, so consecutive seeds
+   and indices land in unrelated regions of the state space. *)
+let mix z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 33)) 0xFF51AFD7ED558CCDL in
+  let z = mul (logxor z (shift_right_logical z 33)) 0xC4CEB9FE1A85EC53L in
+  logxor z (shift_right_logical z 33)
+
+let create ~seed = { state = mix (Int64.of_int seed) }
+
+let of_pair ~seed ~index =
+  { state = mix (Int64.add (mix (Int64.of_int seed)) (Int64.of_int index)) }
+
+let copy t = { state = t.state }
+
+(* splitmix64 step *)
+let next64 t =
+  t.state <- Int64.add t.state golden;
+  let open Int64 in
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* 63 non-negative bits; modulo bias is negligible for the small
+     bounds the generator uses (< 2^16). *)
+  Int64.to_int
+    (Int64.rem (Int64.shift_right_logical (next64 t) 1) (Int64.of_int bound))
+
+let range t lo hi =
+  if hi < lo then invalid_arg "Rng.range: empty interval";
+  lo + int t (hi - lo + 1)
+
+let bool t = Int64.logand (next64 t) 1L = 1L
+
+let chance t p =
+  if p <= 0.0 then false
+  else if p >= 1.0 then true
+  else float_of_int (int t 1_000_000) < (p *. 1e6)
+
+let pick t = function
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | xs -> List.nth xs (int t (List.length xs))

@@ -1,0 +1,35 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    The fuzzer's contract is that a failing program is reproducible from
+    [(seed, index)] alone, on any machine, OCaml version, and worker
+    count.  The stdlib [Random] gives no cross-version stream stability,
+    so the generator carries its own: splitmix64 (Steele et al., the
+    stream-splitting generator of Java's [SplittableRandom]), 64-bit
+    state, one multiply-xor-shift avalanche per draw. *)
+
+type t
+
+val create : seed:int -> t
+(** Stream for [seed]; nearby seeds yield unrelated streams. *)
+
+val of_pair : seed:int -> index:int -> t
+(** Independent stream for program [index] of campaign [seed]: streams
+    for different indices of one seed do not overlap prefixes (the pair
+    is avalanched into the initial state, not used as an offset). *)
+
+val copy : t -> t
+
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [0, bound).
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val range : t -> int -> int -> int
+(** [range t lo hi] draws uniformly from [lo, hi] inclusive. *)
+
+val bool : t -> bool
+
+val chance : t -> float -> bool
+(** [chance t p] is true with probability (approximately) [p]. *)
+
+val pick : t -> 'a list -> 'a
+(** @raise Invalid_argument on an empty list. *)

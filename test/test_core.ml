@@ -751,6 +751,58 @@ let test_input_induced_quotient () =
   Alcotest.(check (float 1e-9)) "same inputs" 1.0
     (Core.Predictability.input_induced cfg p ~inputs:[ ones; ones ])
 
+(* ------------------------------------------------------------------ *)
+(* Monotonicity over generated programs (QCheck)                      *)
+(* ------------------------------------------------------------------ *)
+
+(* An index into a fixed fuzzing campaign: cheap to generate, trivially
+   printable, and each index is an independent structured program. *)
+let arb_fuzz_index =
+  QCheck.make
+    ~print:(fun i ->
+      (Fuzz.Generator.generate ~seed:20260805 ~index:i ()).Fuzz.Generator.source)
+    QCheck.Gen.(int_range 0 499)
+
+let fuzz_system ~cores idx =
+  let g = Fuzz.Generator.generate ~seed:20260805 ~index:idx () in
+  Core.Multicore.default_system ~cores
+    ~tasks:
+      (Array.init cores (fun _ ->
+           Some (g.Fuzz.Generator.program, g.Fuzz.Generator.annot)))
+
+let wcet0 results =
+  match results.(0) with
+  | Some (a : Core.Wcet.t) -> a.Core.Wcet.wcet
+  | None -> Alcotest.fail "core 0 has a task, expected a result"
+
+(* More interfering cores never shrink the joint bound: both the bus
+   population and the co-runner cache footprints grow with the task
+   set. *)
+let prop_joint_wcet_monotone_in_cores =
+  QCheck.Test.make ~name:"joint WCET non-decreasing in interfering cores"
+    ~count:12 arb_fuzz_index (fun idx ->
+      let bound cores =
+        wcet0 (Core.Multicore.analyze_joint (fuzz_system ~cores idx) ())
+      in
+      let w1 = bound 1 and w2 = bound 2 and w4 = bound 4 in
+      w1 <= w2 && w2 <= w4)
+
+(* The interference-oblivious analysis is the private-cache baseline
+   every sharing-control scheme pays on top of: single-usage bypass and
+   static locking must never report a bound below it. *)
+let prop_sharing_controls_dominate_oblivious =
+  QCheck.Test.make
+    ~name:"bypass/locked bounds never below the private baseline" ~count:10
+    arb_fuzz_index (fun idx ->
+      List.for_all
+        (fun cores ->
+          let sys = fuzz_system ~cores idx in
+          let obl = Core.Multicore.analyze_oblivious sys in
+          let byp = Core.Multicore.analyze_joint sys ~bypass:true () in
+          let locked = Core.Multicore.analyze_locked sys in
+          wcet0 obl <= wcet0 byp && wcet0 obl <= wcet0 locked)
+        [ 2; 3 ])
+
 let () =
   Alcotest.run "core"
     [
@@ -837,4 +889,10 @@ let () =
           Alcotest.test_case "text render" `Quick test_report_render;
           Alcotest.test_case "graphviz" `Quick test_dot_output;
         ] );
+      ( "monotonicity",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_joint_wcet_monotone_in_cores;
+            prop_sharing_controls_dominate_oblivious;
+          ] );
     ]

@@ -1,0 +1,196 @@
+(* Tests for the differential soundness fuzzer: generator determinism
+   and totality, the QCheck bridge with a structural piece shrinker, and
+   end-to-end mini campaigns through the oracle. *)
+
+module G = Fuzz.Generator
+module O = Fuzz.Oracle
+
+(* ------------------------------------------------------------------ *)
+(* QCheck arbitrary over piece lists                                   *)
+(* ------------------------------------------------------------------ *)
+
+let gen_space =
+  QCheck.Gen.oneofl [ Isa.Instr.Data; Isa.Instr.Stack; Isa.Instr.Io ]
+
+let gen_op =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun n -> G.Alu_burst n) (int_range 1 8);
+        map2 (fun s off -> G.Load (s, off)) gen_space (int_range 0 600);
+        map2 (fun s off -> G.Store (s, off)) gen_space (int_range 0 600);
+        map2
+          (fun s off -> G.Load_indexed (s, off))
+          gen_space (int_range 0 600);
+      ])
+
+let gen_piece =
+  QCheck.Gen.(
+    sized
+    @@ fix (fun self n ->
+           let leaf =
+             oneof
+               [
+                 map
+                   (fun ops -> G.Straight ops)
+                   (list_size (int_range 1 4) gen_op);
+                 map3
+                   (fun sel_off heavy light ->
+                     G.Diamond { sel_off; heavy; light })
+                   (int_range 0 40)
+                   (list_size (int_range 1 3) gen_op)
+                   (list_size (int_range 1 3) gen_op);
+                 map (fun k -> G.Call k) (int_range 0 2);
+                 map2
+                   (fun off bound -> G.Io_poll { off; bound })
+                   (int_range 0 63) (int_range 0 10);
+               ]
+           in
+           if n <= 1 then leaf
+           else
+             frequency
+               [
+                 (3, leaf);
+                 ( 1,
+                   map2
+                     (fun iters body -> G.Loop { iters; body })
+                     (int_range 1 10)
+                     (list_size (int_range 1 2) (self (n / 2))) );
+               ]))
+
+(* Structural shrinker: loops yield their body pieces (and shrink their
+   trip counts), diamonds yield their arms as straight-line code, calls
+   collapse to nothing.  [G.assemble] is total, so every shrink
+   candidate is still a valid program. *)
+let rec shrink_piece p =
+  let open QCheck.Iter in
+  match p with
+  | G.Straight ops ->
+      map (fun ops -> G.Straight ops) (QCheck.Shrink.list ops)
+  | G.Loop { iters; body } ->
+      of_list body
+      <+> map (fun iters -> G.Loop { iters; body }) (QCheck.Shrink.int iters)
+      <+> map
+            (fun body -> G.Loop { iters; body })
+            (QCheck.Shrink.list ~shrink:shrink_piece body)
+  | G.Diamond { sel_off; heavy; light } ->
+      of_list [ G.Straight heavy; G.Straight light ]
+      <+> map
+            (fun heavy -> G.Diamond { sel_off; heavy; light })
+            (QCheck.Shrink.list heavy)
+      <+> map
+            (fun light -> G.Diamond { sel_off; heavy; light })
+            (QCheck.Shrink.list light)
+  | G.Call _ -> return (G.Straight [])
+  | G.Io_poll { off; bound } ->
+      map (fun bound -> G.Io_poll { off; bound }) (QCheck.Shrink.int bound)
+
+let arb_pieces =
+  QCheck.make
+    ~print:(fun pieces -> (G.assemble pieces).G.source)
+    ~shrink:(QCheck.Shrink.list ~shrink:shrink_piece)
+    (QCheck.Gen.list_size (QCheck.Gen.int_range 1 5) gen_piece)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prop_assemble_total =
+  QCheck.Test.make ~name:"assemble is total over arbitrary pieces"
+    ~count:200 arb_pieces (fun pieces ->
+      let t = G.assemble pieces in
+      Isa.Program.length t.G.program > 0)
+
+let prop_solo_sandwich =
+  QCheck.Test.make
+    ~name:"BCET <= observed <= WCET on every solo shape" ~count:25
+    arb_pieces (fun pieces ->
+      let t = G.assemble ~name:"qcheck" pieces in
+      let r = O.check_solo t in
+      r.O.violations = [] && r.O.errors = [] && r.O.checks <> [])
+
+(* ------------------------------------------------------------------ *)
+(* Generator determinism                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_generate_deterministic () =
+  for index = 0 to 9 do
+    let a = G.generate ~seed:123 ~index () in
+    let b = G.generate ~seed:123 ~index () in
+    Alcotest.(check string) "same source" a.G.source b.G.source
+  done;
+  let a = G.generate ~seed:1 ~index:0 () in
+  let b = G.generate ~seed:2 ~index:0 () in
+  Alcotest.(check bool) "different seeds differ" true (a.G.source <> b.G.source)
+
+let test_generate_names () =
+  let g = G.generate ~seed:7 ~index:3 () in
+  Alcotest.(check string) "campaign-coded name" "fuzz-7-3" g.G.name
+
+(* ------------------------------------------------------------------ *)
+(* Campaigns                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_campaign_clean () =
+  let c = O.run_campaign ~seed:7 ~count:12 ~cores:3 () in
+  let r = c.O.report in
+  Alcotest.(check int) "violations" 0 (List.length r.O.violations);
+  Alcotest.(check int) "errors" 0 (List.length r.O.errors);
+  List.iter
+    (fun (s : O.mode_stats) ->
+      Alcotest.(check bool)
+        (O.mode_name s.O.s_mode ^ " produced checks")
+        true (s.O.s_checks > 0))
+    c.O.stats
+
+let test_campaign_worker_independent () =
+  let run workers =
+    O.csv_of_report (O.run_campaign ~seed:5 ~count:8 ~workers ()).O.report
+  in
+  Alcotest.(check string) "1 worker = 4 workers" (run 1) (run 4)
+
+let test_campaign_rejects_bad_inputs () =
+  let raises f =
+    match f () with
+    | (_ : O.campaign) -> false
+    | exception Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "count 0" true
+    (raises (fun () -> O.run_campaign ~seed:1 ~count:0 ()));
+  Alcotest.(check bool) "cores 5" true
+    (raises (fun () -> O.run_campaign ~seed:1 ~count:4 ~cores:5 ()))
+
+let test_csv_shape () =
+  let c = O.run_campaign ~seed:3 ~count:2 ~modes:[ O.Joint ] () in
+  let csv = O.csv_of_report c.O.report in
+  match String.split_on_char '\n' (String.trim csv) with
+  | header :: rows ->
+      Alcotest.(check string)
+        "header" "mode,shape,task,core,bcet,observed,wcet,ratio" header;
+      Alcotest.(check int) "one row per check"
+        (List.length c.O.report.O.checks)
+        (List.length rows)
+  | [] -> Alcotest.fail "empty csv"
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "generator",
+        [
+          Alcotest.test_case "deterministic" `Quick test_generate_deterministic;
+          Alcotest.test_case "names" `Quick test_generate_names;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_assemble_total; prop_solo_sandwich ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "clean on healthy analyses" `Quick
+            test_campaign_clean;
+          Alcotest.test_case "worker-count independent" `Quick
+            test_campaign_worker_independent;
+          Alcotest.test_case "rejects bad inputs" `Quick
+            test_campaign_rejects_bad_inputs;
+          Alcotest.test_case "csv shape" `Quick test_csv_shape;
+        ] );
+    ]
