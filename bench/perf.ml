@@ -1,0 +1,240 @@
+(* Solver/fixpoint performance harness: measures the sparse warm-started
+   LP stack and the worklist fixpoint engine against the reference dense
+   solver and the classic full-sweep iteration on the whole benchmark
+   catalog, and emits a machine-readable report.
+
+   Usage:
+     dune exec bench/perf.exe                      -- full run
+     dune exec bench/perf.exe -- --quick           -- single timing rep (CI)
+     dune exec bench/perf.exe -- --out FILE        -- report path
+                                                      (default BENCH_pr3.json)
+     dune exec bench/perf.exe -- --baseline FILE   -- WCET/BCET drift guard
+                                                      (default bench/wcet_baseline.txt)
+     dune exec bench/perf.exe -- --write-baseline  -- regenerate the baseline
+
+   The report carries, per program and in aggregate: simplex pivots and
+   branch-and-bound nodes for both solver stacks, fixpoint block
+   examinations (pops) for both scheduling strategies, transfer counts,
+   and wall times.  Both stacks must agree on every WCET and BCET — a
+   disagreement is a hard failure, as is any drift from the committed
+   baseline (a WCET bound silently changing is exactly what this harness
+   exists to catch). *)
+
+module B = Workloads.Bench_programs
+
+let quick = ref false
+let out_path = ref "BENCH_pr3.json"
+let baseline_path = ref "bench/wcet_baseline.txt"
+let write_baseline = ref false
+
+let usage = "perf.exe [--quick] [--out FILE] [--baseline FILE] [--write-baseline]"
+
+let spec =
+  [
+    ("--quick", Arg.Set quick, " single timing repetition (CI smoke)");
+    ("--out", Arg.Set_string out_path, "FILE report path (default BENCH_pr3.json)");
+    ( "--baseline",
+      Arg.Set_string baseline_path,
+      "FILE committed WCET/BCET baseline (default bench/wcet_baseline.txt)" );
+    ( "--write-baseline",
+      Arg.Set write_baseline,
+      " regenerate the baseline file instead of checking against it" );
+  ]
+
+let l2_default = Cache.Config.make ~sets:64 ~assoc:4 ~line_size:16
+
+type counters = {
+  pivots : int; (* simplex pivots, whichever stack ran *)
+  ilp_nodes : int;
+  pops : int; (* fixpoint block examinations *)
+  transfers : int; (* fixpoint transfer applications *)
+  sweeps : int; (* fixpoint rounds/sweeps *)
+  wall_ms : float;
+  wcet : int;
+  bcet : int;
+}
+
+(* One analysis run (WCET + BCET) under a given solver/strategy pair,
+   with every per-domain counter read before and after.  Runs on the
+   calling domain so the DLS counters are coherent. *)
+let measure ~solver ~strategy ~reps (b : B.t) =
+  let platform = Core.Platform.single_core ~l2:l2_default () in
+  let read () =
+    ( Lp.Simplex.pivots () + Lp.Reference.pivots (),
+      Lp.Ilp.nodes_explored () + Lp.Reference.ilp_nodes (),
+      Dataflow.Worklist.pops (),
+      Dataflow.Worklist.transfers (),
+      Cache.Analysis.fixpoint_iterations () )
+  in
+  Dataflow.Worklist.with_strategy strategy @@ fun () ->
+  let p0, n0, pop0, tr0, sw0 = read () in
+  let t0 = Sys.time () in
+  let w = Core.Wcet.analyze ~annot:b.B.annot ~solver platform b.B.program in
+  let bc = Core.Bcet.analyze ~annot:b.B.annot ~solver platform b.B.program in
+  let t1 = Sys.time () in
+  let p1, n1, pop1, tr1, sw1 = read () in
+  (* Extra repetitions refine the wall time only; counters come from the
+     first (they are identical across reps). *)
+  let wall = ref (t1 -. t0) in
+  for _ = 2 to reps do
+    let t0 = Sys.time () in
+    ignore (Core.Wcet.analyze ~annot:b.B.annot ~solver platform b.B.program);
+    ignore (Core.Bcet.analyze ~annot:b.B.annot ~solver platform b.B.program);
+    let t1 = Sys.time () in
+    wall := Float.min !wall (t1 -. t0)
+  done;
+  {
+    pivots = p1 - p0;
+    ilp_nodes = n1 - n0;
+    pops = pop1 - pop0;
+    transfers = tr1 - tr0;
+    sweeps = sw1 - sw0;
+    wall_ms = !wall *. 1000.;
+    wcet = w.Core.Wcet.wcet;
+    bcet = bc.Core.Bcet.bcet;
+  }
+
+let ratio num den = if den = 0 then 1.0 else float_of_int num /. float_of_int den
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let () =
+  Arg.parse (Arg.align spec) (fun a -> raise (Arg.Bad ("unexpected " ^ a))) usage;
+  let reps = if !quick then 1 else 3 in
+  let suite = B.suite () in
+  let rows =
+    List.map
+      (fun (b : B.t) ->
+        let sparse = measure ~solver:`Sparse ~strategy:`Worklist ~reps b in
+        let dense = measure ~solver:`Reference ~strategy:`Sweep ~reps b in
+        if sparse.wcet <> dense.wcet || sparse.bcet <> dense.bcet then begin
+          Printf.eprintf
+            "FAIL %s: solver stacks disagree (sparse %d/%d vs reference %d/%d)\n"
+            b.B.name sparse.wcet sparse.bcet dense.wcet dense.bcet;
+          exit 1
+        end;
+        (b.B.name, sparse, dense))
+      suite
+  in
+  (* WCET/BCET drift guard against the committed baseline. *)
+  let baseline_line (name, (s : counters), _) =
+    Printf.sprintf "%s %d %d" name s.wcet s.bcet
+  in
+  if !write_baseline then begin
+    let oc = open_out !baseline_path in
+    output_string oc
+      "# benchmark catalog WCET/BCET baseline: <name> <wcet> <bcet>\n";
+    List.iter (fun r -> output_string oc (baseline_line r ^ "\n")) rows;
+    close_out oc;
+    Printf.printf "wrote %s (%d programs)\n" !baseline_path (List.length rows)
+  end
+  else if Sys.file_exists !baseline_path then begin
+    let ic = open_in !baseline_path in
+    let expected = Hashtbl.create 32 in
+    (try
+       while true do
+         let line = String.trim (input_line ic) in
+         if line <> "" && line.[0] <> '#' then
+           match String.split_on_char ' ' line with
+           | [ name; w; b ] ->
+               Hashtbl.replace expected name (int_of_string w, int_of_string b)
+           | _ -> failwith ("malformed baseline line: " ^ line)
+       done
+     with End_of_file -> ());
+    close_in ic;
+    let drift = ref 0 in
+    List.iter
+      (fun (name, (s : counters), _) ->
+        match Hashtbl.find_opt expected name with
+        | None ->
+            incr drift;
+            Printf.eprintf "DRIFT %s: missing from baseline\n" name
+        | Some (w, b) ->
+            if (w, b) <> (s.wcet, s.bcet) then begin
+              incr drift;
+              Printf.eprintf "DRIFT %s: baseline %d/%d, got %d/%d\n" name w b
+                s.wcet s.bcet
+            end)
+      rows;
+    if !drift > 0 then begin
+      Printf.eprintf
+        "%d WCET/BCET bound(s) changed; if intentional, rerun with --write-baseline and commit\n"
+        !drift;
+      exit 1
+    end
+  end
+  else
+    Printf.eprintf "note: no baseline at %s (run --write-baseline to create)\n"
+      !baseline_path;
+  (* Aggregate + report. *)
+  let sum f = List.fold_left (fun acc (_, s, d) -> acc + f s d) 0 rows in
+  let sparse_pivots = sum (fun s _ -> s.pivots) in
+  let dense_pivots = sum (fun _ d -> d.pivots) in
+  let sparse_nodes = sum (fun s _ -> s.ilp_nodes) in
+  let dense_nodes = sum (fun _ d -> d.ilp_nodes) in
+  let worklist_pops = sum (fun s _ -> s.pops) in
+  let sweep_pops = sum (fun _ d -> d.pops) in
+  let transfers = sum (fun s _ -> s.transfers) in
+  let pivot_speedup = ratio dense_pivots sparse_pivots in
+  let pop_reduction = 1.0 -. ratio worklist_pops sweep_pops in
+  let buf = Buffer.create 4096 in
+  let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  p "{\n";
+  p "  \"bench\": \"pr3-solver-and-fixpoint\",\n";
+  p "  \"quick\": %b,\n" !quick;
+  p "  \"programs\": [\n";
+  List.iteri
+    (fun i (name, (s : counters), (d : counters)) ->
+      p "    {\"name\": \"%s\", \"wcet\": %d, \"bcet\": %d,\n" (json_escape name)
+        s.wcet s.bcet;
+      p
+        "     \"sparse\": {\"pivots\": %d, \"ilp_nodes\": %d, \"wall_ms\": %.3f},\n"
+        s.pivots s.ilp_nodes s.wall_ms;
+      p
+        "     \"reference\": {\"pivots\": %d, \"ilp_nodes\": %d, \"wall_ms\": %.3f},\n"
+        d.pivots d.ilp_nodes d.wall_ms;
+      p
+        "     \"worklist\": {\"pops\": %d, \"transfers\": %d, \"rounds\": %d},\n"
+        s.pops s.transfers s.sweeps;
+      p "     \"sweep\": {\"pops\": %d, \"transfers\": %d, \"rounds\": %d}}%s\n"
+        d.pops d.transfers d.sweeps
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  p "  ],\n";
+  p "  \"totals\": {\n";
+  p "    \"sparse_pivots\": %d,\n" sparse_pivots;
+  p "    \"reference_pivots\": %d,\n" dense_pivots;
+  p "    \"pivot_speedup\": %.3f,\n" pivot_speedup;
+  p "    \"sparse_ilp_nodes\": %d,\n" sparse_nodes;
+  p "    \"reference_ilp_nodes\": %d,\n" dense_nodes;
+  p "    \"worklist_pops\": %d,\n" worklist_pops;
+  p "    \"sweep_pops\": %d,\n" sweep_pops;
+  p "    \"block_transfer_reduction\": %.3f,\n" pop_reduction;
+  p "    \"transfer_applications\": %d\n" transfers;
+  p "  },\n";
+  p "  \"acceptance\": {\n";
+  p "    \"pivot_speedup_ge_2x\": %b,\n" (pivot_speedup >= 2.0);
+  p "    \"block_transfer_reduction_ge_30pct\": %b,\n" (pop_reduction >= 0.30);
+  p "    \"bounds_bit_identical\": true\n";
+  p "  }\n";
+  p "}\n";
+  let oc = open_out !out_path in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Printf.printf
+    "%d programs | pivots: %d sparse vs %d reference (%.2fx) | fixpoint pops: %d worklist vs %d sweep (%.1f%% fewer) -> %s\n"
+    (List.length rows) sparse_pivots dense_pivots pivot_speedup worklist_pops
+    sweep_pops (100. *. pop_reduction) !out_path;
+  if pivot_speedup < 2.0 || pop_reduction < 0.30 then begin
+    Printf.eprintf "FAIL: acceptance thresholds not met\n";
+    exit 1
+  end

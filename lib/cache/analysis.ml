@@ -106,49 +106,14 @@ let fixpoint_iterations () = !(Domain.DLS.get fixpoint_iters_key)
 let count_fixpoint_iteration () = incr (Domain.DLS.get fixpoint_iters_key)
 
 let fixpoint config g ~entry ~accesses_of ~had_call kind =
-  let n = Cfg.Graph.num_blocks g in
-  let bottom = None in
-  let ins = Array.make n bottom and outs = Array.make n bottom in
-  let rpo = Cfg.Graph.reverse_postorder g in
   let entry_state = entry_acs config entry kind in
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    count_fixpoint_iteration ();
-    List.iter
-      (fun id ->
-        let input =
-          let from_preds =
-            List.fold_left
-              (fun acc (e : Cfg.Graph.edge) ->
-                match (acc, outs.(e.src)) with
-                | None, x -> x
-                | x, None -> x
-                | Some a, Some b -> Some (Acs.join a b))
-              None (Cfg.Graph.preds g id)
-          in
-          if id = g.Cfg.Graph.entry then
-            match from_preds with
-            | None -> Some entry_state
-            | Some x -> Some (Acs.join entry_state x)
-          else from_preds
-        in
-        match input with
-        | None -> ()
-        | Some input ->
-            let stale =
-              match ins.(id) with
-              | None -> true
-              | Some old -> not (Acs.equal old input)
-            in
-            if stale then begin
-              ins.(id) <- Some input;
-              outs.(id) <-
-                Some (transfer input accesses_of.(id) ~had_call:had_call.(id));
-              changed := true
-            end)
-      rpo
-  done;
+  let ins, outs =
+    Dataflow.Worklist.solve g ~entry_fact:entry_state ~join:Acs.join
+      ~equal:Acs.equal
+      ~transfer:(fun id input ->
+        transfer input accesses_of.(id) ~had_call:had_call.(id))
+      ~on_round:count_fixpoint_iteration ()
+  in
   let force = function
     | Some x -> x
     | None -> entry_acs config entry kind (* unreachable block: any state *)
@@ -158,9 +123,6 @@ let fixpoint config g ~entry ~accesses_of ~had_call kind =
 (* Fixpoint for the persistence state, with the must fixpoint's per-block
    input states steering each access's aging. *)
 let pers_fixpoint config g ~entry ~accesses_of ~had_call ~must_ins =
-  let n = Cfg.Graph.num_blocks g in
-  let ins = Array.make n None and outs = Array.make n None in
-  let rpo = Cfg.Graph.reverse_postorder g in
   let entry_state = entry_acs config entry Acs.Pers in
   let transfer_pers id pers =
     let _, pers =
@@ -169,43 +131,11 @@ let pers_fixpoint config g ~entry ~accesses_of ~had_call ~must_ins =
     in
     if had_call.(id) then Acs.havoc pers else pers
   in
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    count_fixpoint_iteration ();
-    List.iter
-      (fun id ->
-        let input =
-          let from_preds =
-            List.fold_left
-              (fun acc (e : Cfg.Graph.edge) ->
-                match (acc, outs.(e.src)) with
-                | None, x -> x
-                | x, None -> x
-                | Some a, Some b -> Some (Acs.join a b))
-              None (Cfg.Graph.preds g id)
-          in
-          if id = g.Cfg.Graph.entry then
-            match from_preds with
-            | None -> Some entry_state
-            | Some x -> Some (Acs.join entry_state x)
-          else from_preds
-        in
-        match input with
-        | None -> ()
-        | Some input ->
-            let stale =
-              match ins.(id) with
-              | None -> true
-              | Some old -> not (Acs.equal old input)
-            in
-            if stale then begin
-              ins.(id) <- Some input;
-              outs.(id) <- Some (transfer_pers id input);
-              changed := true
-            end)
-      rpo
-  done;
+  let ins, outs =
+    Dataflow.Worklist.solve g ~entry_fact:entry_state ~join:Acs.join
+      ~equal:Acs.equal ~transfer:transfer_pers
+      ~on_round:count_fixpoint_iteration ()
+  in
   let force = function Some x -> x | None -> entry_state in
   (Array.map force ins, Array.map force outs)
 

@@ -68,110 +68,40 @@ let apply_l2_pers bypass (must, pers) ((a : Analysis.access), cac) =
   (must', pers')
 
 let pers_fixpoint_l2 config g ~entry ~tagged ~had_call bypass ~must_ins =
-  let n = Cfg.Graph.num_blocks g in
-  let ins = Array.make n None and outs = Array.make n None in
-  let rpo = Cfg.Graph.reverse_postorder g in
   let entry_state =
     match entry with
     | Analysis.Cold | Analysis.Unknown_entry -> Acs.empty config Acs.Pers
   in
-  let transfer pers id =
+  let transfer id pers =
     let _, pers =
       List.fold_left (apply_l2_pers bypass) (must_ins.(id), pers) tagged.(id)
     in
     if had_call.(id) then Acs.havoc pers else pers
   in
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    Analysis.count_fixpoint_iteration ();
-    List.iter
-      (fun id ->
-        let input =
-          let from_preds =
-            List.fold_left
-              (fun acc (e : Cfg.Graph.edge) ->
-                match (acc, outs.(e.src)) with
-                | None, x -> x
-                | x, None -> x
-                | Some a, Some b -> Some (Acs.join a b))
-              None (Cfg.Graph.preds g id)
-          in
-          if id = g.Cfg.Graph.entry then
-            match from_preds with
-            | None -> Some entry_state
-            | Some x -> Some (Acs.join entry_state x)
-          else from_preds
-        in
-        match input with
-        | None -> ()
-        | Some input ->
-            let stale =
-              match ins.(id) with
-              | None -> true
-              | Some old -> not (Acs.equal old input)
-            in
-            if stale then begin
-              ins.(id) <- Some input;
-              outs.(id) <- Some (transfer input id);
-              changed := true
-            end)
-      rpo
-  done;
+  let ins, outs =
+    Dataflow.Worklist.solve g ~entry_fact:entry_state ~join:Acs.join
+      ~equal:Acs.equal ~transfer
+      ~on_round:Analysis.count_fixpoint_iteration ()
+  in
   let force = function Some x -> x | None -> entry_state in
   (Array.map force ins, Array.map force outs)
 
 let fixpoint_l2 config g ~entry ~tagged ~had_call bypass kind =
-  let n = Cfg.Graph.num_blocks g in
-  let ins = Array.make n None and outs = Array.make n None in
-  let rpo = Cfg.Graph.reverse_postorder g in
   let entry_state =
     match (entry, kind) with
     | Analysis.Cold, _ -> Acs.empty config kind
     | Analysis.Unknown_entry, Acs.May -> Acs.havoc (Acs.empty config kind)
     | Analysis.Unknown_entry, (Acs.Must | Acs.Pers) -> Acs.empty config kind
   in
-  let transfer acs id =
+  let transfer id acs =
     let acs = List.fold_left (apply_l2 bypass) acs tagged.(id) in
     if had_call.(id) then Acs.havoc acs else acs
   in
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    Analysis.count_fixpoint_iteration ();
-    List.iter
-      (fun id ->
-        let input =
-          let from_preds =
-            List.fold_left
-              (fun acc (e : Cfg.Graph.edge) ->
-                match (acc, outs.(e.src)) with
-                | None, x -> x
-                | x, None -> x
-                | Some a, Some b -> Some (Acs.join a b))
-              None (Cfg.Graph.preds g id)
-          in
-          if id = g.Cfg.Graph.entry then
-            match from_preds with
-            | None -> Some entry_state
-            | Some x -> Some (Acs.join entry_state x)
-          else from_preds
-        in
-        match input with
-        | None -> ()
-        | Some input ->
-            let stale =
-              match ins.(id) with
-              | None -> true
-              | Some old -> not (Acs.equal old input)
-            in
-            if stale then begin
-              ins.(id) <- Some input;
-              outs.(id) <- Some (transfer input id);
-              changed := true
-            end)
-      rpo
-  done;
+  let ins, outs =
+    Dataflow.Worklist.solve g ~entry_fact:entry_state ~join:Acs.join
+      ~equal:Acs.equal ~transfer
+      ~on_round:Analysis.count_fixpoint_iteration ()
+  in
   let force = function Some x -> x | None -> entry_state in
   (Array.map force ins, Array.map force outs)
 

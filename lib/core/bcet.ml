@@ -39,8 +39,8 @@ let best_block_cost (lat : Pipeline.Latencies.t) g id =
     0
     (Cfg.Block.instr_indices b)
 
-let analyze ?(annot = Dataflow.Annot.empty) ?telemetry (platform : Platform.t)
-    program =
+let analyze ?(annot = Dataflow.Annot.empty) ?telemetry ?(solver = `Sparse)
+    (platform : Platform.t) program =
   let span name f =
     match telemetry with
     | None -> f ()
@@ -84,7 +84,8 @@ let analyze ?(annot = Dataflow.Annot.empty) ?telemetry (platform : Platform.t)
         let ipet =
           span "ipet-solve" (fun () ->
               try
-                Ipet.solve g ~loop_bounds ~block_cost ~direction:`Minimize ()
+                Ipet.solve g ~loop_bounds ~block_cost ~direction:`Minimize
+                  ~solver ()
               with Ipet.Flow_infeasible msg -> fail "%s: %s" name msg)
         in
         let r = { name; bcet = ipet.Ipet.wcet; ipet } in

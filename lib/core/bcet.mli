@@ -26,11 +26,13 @@ type t = {
 val analyze :
   ?annot:Dataflow.Annot.t ->
   ?telemetry:Engine.Telemetry.t ->
+  ?solver:[ `Sparse | `Reference ] ->
   Platform.t ->
   Isa.Program.t ->
   t
 (** @raise Wcet.Not_analysable on the same conditions as {!Wcet.analyze}
-    (the flow facts are shared).  [telemetry] as in {!Wcet.analyze}. *)
+    (the flow facts are shared).  [telemetry] and [solver] as in
+    {!Wcet.analyze}. *)
 
 val analytic_quotient : bcet:int -> wcet:int -> float
 (** [bcet / wcet], clamped to [0, 1]. *)

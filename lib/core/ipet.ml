@@ -3,7 +3,7 @@ type result = { wcet : int; block_counts : int array }
 exception Flow_infeasible of string
 
 let solve g ~loop_bounds ~block_cost ?(mutually_exclusive = [])
-    ?(direction = `Maximize) () =
+    ?(direction = `Maximize) ?(solver = `Sparse) () =
   let n = Cfg.Graph.num_blocks g in
   let m = Lp.Model.create () in
   (* One variable per CFG edge, plus a virtual entry edge. *)
@@ -92,7 +92,19 @@ let solve g ~loop_bounds ~block_cost ?(mutually_exclusive = [])
            List.map (fun (coef, v) -> (Lp.Q.mul c coef, v)) (in_terms id)))
   in
   Lp.Model.set_objective m objective;
-  match Lp.Ilp.solve m with
+  let outcome =
+    match solver with
+    | `Sparse -> Lp.Ilp.solve m
+    | `Reference -> (
+        (* Dense cold-start baseline, kept for A/B benchmarking: the
+           objective value (hence the WCET) is identical by LP duality,
+           only the work to reach it differs. *)
+        match Lp.Reference.solve_ilp m with
+        | Lp.Reference.Ilp_optimal (o, s) -> Lp.Ilp.Optimal (o, s)
+        | Lp.Reference.Ilp_unbounded -> Lp.Ilp.Unbounded
+        | Lp.Reference.Ilp_infeasible -> Lp.Ilp.Infeasible)
+  in
+  match outcome with
   | Lp.Ilp.Optimal (obj, solution) ->
       let obj = Lp.Q.mul (Lp.Q.of_int sign) obj in
       let count_of id =

@@ -21,10 +21,15 @@ val solve :
   block_cost:(Cfg.Block.id -> int) ->
   ?mutually_exclusive:(Cfg.Block.id * Cfg.Block.id) list ->
   ?direction:[ `Maximize | `Minimize ] ->
+  ?solver:[ `Sparse | `Reference ] ->
   unit ->
   result
 (** [mutually_exclusive (a, b)] adds [x_a + x_b <= 1] and is only accepted
     for blocks outside all loops (operating-mode exclusions).
+
+    [solver] selects the LP/ILP engine: [`Sparse] (default) is the
+    sparse warm-started stack; [`Reference] is the dense cold-start
+    baseline kept for A/B benchmarking.  Both produce the same optimum.
 
     [`Maximize] (default) computes the WCET path using the loops'
     [max_back_edges]; [`Minimize] computes the BCET path, constraining

@@ -124,7 +124,8 @@ let make_l2_view platform g va ~entry ~l1i ~l1d =
             multilevel = Some m;
           })
 
-let analyze ?(annot = Dataflow.Annot.empty) ?telemetry platform program =
+let analyze ?(annot = Dataflow.Annot.empty) ?telemetry ?(solver = `Sparse)
+    platform program =
   (* Telemetry is optional and must cost nothing when absent: [span]
      accumulates a phase's wall-clock time, [counted] charges the delta of
      a per-domain monotone counter (fixpoint sweeps, simplex pivots). *)
@@ -191,7 +192,8 @@ let analyze ?(annot = Dataflow.Annot.empty) ?telemetry platform program =
     in
     let va =
       span "value-analysis" (fun () ->
-          Dataflow.Value_analysis.analyze ~call_clobbers g)
+          counted "worklist-pops" Dataflow.Worklist.pops (fun () ->
+              Dataflow.Value_analysis.analyze ~call_clobbers g))
     in
     let loop_bounds =
       span "loop-bounds" (fun () ->
@@ -203,6 +205,8 @@ let analyze ?(annot = Dataflow.Annot.empty) ?telemetry platform program =
     in
     let l1i, l1d, l2_view =
       span "cache-analysis" (fun () ->
+          counted "worklist-pops" Dataflow.Worklist.pops @@ fun () ->
+          counted "cache-transfers" Dataflow.Worklist.transfers @@ fun () ->
           counted "cache-fixpoint-iters" Cache.Analysis.fixpoint_iterations
             (fun () ->
               let l1i =
@@ -326,12 +330,13 @@ let analyze ?(annot = Dataflow.Annot.empty) ?telemetry platform program =
     in
     let ipet =
       span "ipet-solve" (fun () ->
-          counted "simplex-pivots" Lp.Simplex.pivots (fun () ->
-              try
-                Ipet.solve g ~loop_bounds
-                  ~block_cost:(fun id -> block_costs.(id))
-                  ~mutually_exclusive ()
-              with Ipet.Flow_infeasible msg -> fail "%s: %s" name msg))
+          counted "simplex-pivots" Lp.Simplex.pivots @@ fun () ->
+          counted "ilp-nodes" Lp.Ilp.nodes_explored @@ fun () ->
+          try
+            Ipet.solve g ~loop_bounds
+              ~block_cost:(fun id -> block_costs.(id))
+              ~mutually_exclusive ~solver ()
+          with Ipet.Flow_infeasible msg -> fail "%s: %s" name msg)
     in
     let mc_penalty =
       match mc_analysis with

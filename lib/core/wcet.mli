@@ -36,6 +36,7 @@ exception Not_analysable of string
 val analyze :
   ?annot:Dataflow.Annot.t ->
   ?telemetry:Engine.Telemetry.t ->
+  ?solver:[ `Sparse | `Reference ] ->
   Platform.t ->
   Isa.Program.t ->
   t
@@ -44,9 +45,14 @@ val analyze :
     [telemetry] accumulates per-phase wall-clock time ([cfg-build],
     [cfg-loops], [value-analysis], [loop-bounds], [cache-analysis],
     [block-costs], [ipet-solve]) and counters ([cache-fixpoint-iters],
-    [simplex-pivots], [procedures]); passing the same accumulator to many
-    analyses aggregates across them, including from concurrent worker
-    domains.  [None] (the default) costs nothing. *)
+    [simplex-pivots], [ilp-nodes], [worklist-pops], [cache-transfers],
+    [procedures]); passing the same accumulator to many analyses
+    aggregates across them, including from concurrent worker domains.
+    [None] (the default) costs nothing.
+
+    [solver] selects the LP/ILP engine for the IPET stage, see
+    {!Ipet.solve}; results are identical, only the measured work
+    differs. *)
 
 val footprint : t -> Cache.Shared.conflicts option
 (** Combined L2 footprint of the whole task (None without L2). *)

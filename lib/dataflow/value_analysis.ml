@@ -114,7 +114,6 @@ let analyze ?(widen_after = 3)
   let n = Cfg.Graph.num_blocks g in
   let ins = Array.init n (fun _ -> bottom_state ()) in
   let outs = Array.init n (fun _ -> bottom_state ()) in
-  let visits = Array.make n 0 in
   ins.(g.Cfg.Graph.entry) <- top_state ();
   let rpo = Cfg.Graph.reverse_postorder g in
   let compute_in id =
@@ -126,29 +125,34 @@ let analyze ?(widen_after = 3)
         (bottom_state ())
         (Cfg.Graph.preds g id)
   in
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    List.iter
-      (fun id ->
+  (* The widening clock is keyed on the round number: the classic sweep
+     incremented every block's visit count once per sweep, so its
+     per-block [visits > widen_after] test was really a sweep-number
+     test, and [Worklist.run] guarantees rounds coincide with sweeps. *)
+  let retransfer id input =
+    Worklist.count_transfer ();
+    let out = transfer_block ~call_clobbers g id input in
+    let out_changed = not (equal_state out outs.(id)) in
+    outs.(id) <- out;
+    if out_changed then `Out_changed else `In_changed
+  in
+  let (_ : int) =
+    Worklist.run g
+      ~process:(fun ~round id ->
         let input = compute_in id in
         let input =
-          if visits.(id) > widen_after then widen_state ins.(id) input
+          if round - 1 > widen_after then widen_state ins.(id) input
           else input
         in
-        visits.(id) <- visits.(id) + 1;
         if not (equal_state input ins.(id)) then begin
           ins.(id) <- input;
-          outs.(id) <- transfer_block ~call_clobbers g id input;
-          changed := true
+          retransfer id input
         end
         else if is_bottom_state outs.(id) && not (is_bottom_state input)
-        then begin
-          outs.(id) <- transfer_block ~call_clobbers g id input;
-          changed := true
-        end)
-      rpo
-  done;
+        then retransfer id input
+        else `Unchanged)
+      ()
+  in
   (* One narrowing sweep recovers precision lost to widening where the
      refined inputs are strictly smaller. *)
   List.iter

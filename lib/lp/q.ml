@@ -1,15 +1,39 @@
 type t = { num : int; den : int }
 
+exception Overflow
+
+(* Checked native-int primitives.  The solver keeps coefficients small
+   (the sparse path never forms dense products of unrelated rows), so the
+   checks almost never fire — but when they would, wrapping silently used
+   to corrupt a WCET bound.  Raising is the only safe answer. *)
+
+let add_int a b =
+  let s = a + b in
+  if (a >= 0) = (b >= 0) && (s >= 0) <> (a >= 0) then raise Overflow;
+  s
+
+let neg_int a = if a = min_int then raise Overflow else -a
+
+let mul_int a b =
+  if a = 0 || b = 0 then 0
+  else if a = 1 then b
+  else if b = 1 then a
+  else if a = -1 then neg_int b
+  else if b = -1 then neg_int a
+  else
+    let p = a * b in
+    if p / b <> a then raise Overflow;
+    p
+
 let rec gcd a b = if b = 0 then a else gcd b (a mod b)
 
 let make num den =
   if den = 0 then raise Division_by_zero
   else
-    let s = if den < 0 then -1 else 1 in
-    let num = s * num and den = s * den in
+    let num, den = if den < 0 then (neg_int num, neg_int den) else (num, den) in
     if num = 0 then { num = 0; den = 1 }
     else
-      let g = gcd (abs num) den in
+      let g = gcd (Stdlib.abs num) den in
       { num = num / g; den = den / g }
 
 let of_int n = { num = n; den = 1 }
@@ -21,22 +45,47 @@ let minus_one = of_int (-1)
 let num t = t.num
 let den t = t.den
 
-let add a b = make ((a.num * b.den) + (b.num * a.den)) (a.den * b.den)
-let sub a b = make ((a.num * b.den) - (b.num * a.den)) (a.den * b.den)
-let mul a b = make (a.num * b.num) (a.den * b.den)
+(* Fast paths: integer-by-integer arithmetic (the common case in IPET
+   tableaus, where almost every coefficient is 0 or +-1) skips the gcd
+   normalization entirely; results of int ops are already normal. *)
+
+let add a b =
+  if a.den = 1 && b.den = 1 then { num = add_int a.num b.num; den = 1 }
+  else if a.num = 0 then b
+  else if b.num = 0 then a
+  else
+    make
+      (add_int (mul_int a.num b.den) (mul_int b.num a.den))
+      (mul_int a.den b.den)
+
+let sub a b =
+  if a.den = 1 && b.den = 1 then { num = add_int a.num (neg_int b.num); den = 1 }
+  else if b.num = 0 then a
+  else
+    make
+      (add_int (mul_int a.num b.den) (neg_int (mul_int b.num a.den)))
+      (mul_int a.den b.den)
+
+let mul a b =
+  if a.den = 1 && b.den = 1 then { num = mul_int a.num b.num; den = 1 }
+  else if a.num = 0 || b.num = 0 then zero
+  else make (mul_int a.num b.num) (mul_int a.den b.den)
 
 let div a b =
   if b.num = 0 then raise Division_by_zero
-  else make (a.num * b.den) (a.den * b.num)
+  else make (mul_int a.num b.den) (mul_int a.den b.num)
 
-let neg a = { a with num = -a.num }
+let neg a = { a with num = neg_int a.num }
 let abs a = { a with num = Stdlib.abs a.num }
 
 let inv a =
   if a.num = 0 then raise Division_by_zero else make a.den a.num
 
-let compare a b = Stdlib.compare (a.num * b.den) (b.num * a.den)
-let equal a b = compare a b = 0
+let compare a b =
+  if a.den = b.den then Stdlib.compare a.num b.num
+  else Stdlib.compare (mul_int a.num b.den) (mul_int b.num a.den)
+
+let equal a b = a.num = b.num && a.den = b.den
 let sign a = Stdlib.compare a.num 0
 let min a b = if compare a b <= 0 then a else b
 let max a b = if compare a b >= 0 then a else b

@@ -7,6 +7,13 @@
 
 type t = private { num : int; den : int }
 
+exception Overflow
+(** Raised by any arithmetic whose exact result does not fit native
+    [int]s.  Silent wrap-around would corrupt a WCET bound, so every
+    operation ([add], [sub], [mul], [div], [neg], [compare], ...) checks.
+    Integer-by-integer operations (both denominators 1, the common case
+    in IPET tableaus) take a fast path that skips gcd normalization. *)
+
 val make : int -> int -> t
 (** [make num den] is the normalized rational [num/den].
     @raise Division_by_zero if [den = 0]. *)

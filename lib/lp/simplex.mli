@@ -1,14 +1,20 @@
-(** Two-phase primal simplex over exact rationals.
+(** Two-phase primal simplex over exact rationals, sparse rows.
 
     Solves [maximize c.x  s.t.  A.x rel b,  x >= 0] built with {!Model}.
-    Bland's anti-cycling rule guarantees termination; exact {!Q} arithmetic
-    makes the result free of floating-point artifacts, which matters because
-    IPET WCET bounds must be safe, not approximately safe. *)
+    Rows are stored sparsely (IPET tableaus have a handful of nonzeros per
+    row), pricing is Dantzig's largest-coefficient rule with a fallback to
+    Bland's anti-cycling rule after a run of degenerate pivots, and a
+    crash basis seeds equality rows with their singleton unit columns so
+    phase 1 has little left to do.  Exact {!Q} arithmetic makes the result
+    free of floating-point artifacts, which matters because IPET WCET
+    bounds must be safe, not approximately safe. *)
 
 type outcome =
   | Optimal of Q.t * Q.t array
       (** Objective value and one optimal assignment, indexed by the
-          variable's creation order in the model. *)
+          variable's creation order in the model.  The objective value is
+          the unique LP optimum; the vertex reached may differ from other
+          pivot rules' when optima are not unique. *)
   | Unbounded
   | Infeasible
 
@@ -16,11 +22,45 @@ val solve : Model.t -> outcome
 
 val solve_with :
   Model.t -> extra:(Model.linexpr * Model.relation * Q.t) list -> outcome
-(** Solve the model with additional constraints appended (used by
-    branch-and-bound without mutating the shared model). *)
+(** Solve the model with additional constraints appended (used by callers
+    that do not need warm starts). *)
 
 val pivots : unit -> int
 (** Monotone count of simplex pivots performed *by the calling domain*
-    since it started.  Read before and after a solve and subtract to
-    charge the difference to a telemetry counter; per-domain storage keeps
-    parallel analyses from racing. *)
+    since it started (primal and dual pivots alike).  Read before and
+    after a solve and subtract to charge the difference to a telemetry
+    counter; per-domain storage keeps parallel analyses from racing. *)
+
+(** {1 Warm starts}
+
+    Branch-and-bound re-solves near-identical LPs: each child differs from
+    its parent by one variable bound.  Instead of rebuilding and re-solving
+    from scratch, a solved {!state} can be extended with one row and
+    re-optimized by dual simplex, reusing every pivot the parent paid
+    for. *)
+
+type state
+(** A solved tableau at a primal/dual-optimal basis, plus the objective.
+    Immutable from the caller's perspective: {!branch} and {!add_cutoff}
+    copy before mutating. *)
+
+val solve_state :
+  Model.t ->
+  extra:(Model.linexpr * Model.relation * Q.t) list ->
+  outcome * state option
+(** Like {!solve_with}, additionally returning the solved state when the
+    outcome is [Optimal] (and [None] otherwise). *)
+
+val branch :
+  state -> var:Model.var -> bound:[ `Le of int | `Ge of int ] -> outcome * state option
+(** [branch s ~var ~bound] appends the bound to a copy of [s] and
+    restores optimality with dual simplex.  Starting from a dual-feasible
+    basis the result is never [Unbounded]: it is [Optimal] (with the new
+    state) or [Infeasible] (child pruned). *)
+
+val add_cutoff : state -> lower:Q.t -> outcome * state option
+(** [add_cutoff s ~lower] constrains the objective to [>= lower] (sound
+    for branch-and-bound pruning only when the true optimum reaching the
+    caller's incumbent test is integral, so [lower = incumbent + 1]
+    excludes no improving solution).  [Infeasible] means no point of the
+    subproblem can beat the incumbent. *)

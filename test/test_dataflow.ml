@@ -515,6 +515,67 @@ loop:
              best case: lo - 1. *)
           b >= hi - 1 && bmin <= max 0 (lo - 1))
 
+(* ------------------------------------------------------------------ *)
+(* Worklist vs sweep scheduling                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* The dirty-set worklist engine must be *bit-identical* to the classic
+   all-blocks sweep — same value-analysis states (widening decisions
+   included, since rounds coincide with sweep numbers) and same WCET
+   bounds end to end.  Fuzzed programs provide loops, diamonds and calls
+   in one shape. *)
+let test_worklist_matches_sweep () =
+  let platform = Core.Platform.single_core () in
+  for index = 0 to 11 do
+    let t = Fuzz.Generator.generate ~seed:11 ~index () in
+    let g = Cfg.Graph.build t.Fuzz.Generator.program ~entry:"main" in
+    let under s f = Dataflow.Worklist.with_strategy s f in
+    let va_w = under `Worklist (fun () -> Dataflow.Value_analysis.analyze g) in
+    let va_s = under `Sweep (fun () -> Dataflow.Value_analysis.analyze g) in
+    for id = 0 to Cfg.Graph.num_blocks g - 1 do
+      let eq a b = Array.for_all2 I.equal a b in
+      if
+        not
+          (eq
+             (Dataflow.Value_analysis.block_in va_w id)
+             (Dataflow.Value_analysis.block_in va_s id)
+          && eq
+               (Dataflow.Value_analysis.block_out va_w id)
+               (Dataflow.Value_analysis.block_out va_s id))
+      then
+        Alcotest.failf "%s: value-analysis states differ at block %d"
+          t.Fuzz.Generator.name id
+    done;
+    let annot = t.Fuzz.Generator.annot in
+    let program = t.Fuzz.Generator.program in
+    let w_w =
+      under `Worklist (fun () -> Core.Wcet.analyze ~annot platform program)
+    in
+    let w_s =
+      under `Sweep (fun () -> Core.Wcet.analyze ~annot platform program)
+    in
+    Alcotest.(check int)
+      (t.Fuzz.Generator.name ^ " wcet")
+      w_s.Core.Wcet.wcet w_w.Core.Wcet.wcet
+  done
+
+let test_worklist_saves_pops () =
+  (* On a CFG with a loop, the worklist must examine strictly fewer
+     blocks than sweeping examines (blocks x rounds), else the engine
+     is not actually skipping clean blocks. *)
+  let t = Fuzz.Generator.generate ~seed:11 ~index:0 () in
+  let g = Cfg.Graph.build t.Fuzz.Generator.program ~entry:"main" in
+  let pops_under s =
+    Dataflow.Worklist.with_strategy s @@ fun () ->
+    let before = Dataflow.Worklist.pops () in
+    ignore (Dataflow.Value_analysis.analyze g);
+    Dataflow.Worklist.pops () - before
+  in
+  let w = pops_under `Worklist and s = pops_under `Sweep in
+  Alcotest.(check bool)
+    (Printf.sprintf "worklist pops (%d) < sweep pops (%d)" w s)
+    true (w < s)
+
 let () =
   Alcotest.run "dataflow"
     [
@@ -560,6 +621,13 @@ let () =
           Alcotest.test_case "clobber analysis" `Quick test_clobbers;
           Alcotest.test_case "call with precise clobbers" `Quick
             test_bound_with_innocuous_call;
+        ] );
+      ( "worklist scheduling",
+        [
+          Alcotest.test_case "matches full sweeps on fuzzed programs" `Quick
+            test_worklist_matches_sweep;
+          Alcotest.test_case "skips unchanged blocks" `Quick
+            test_worklist_saves_pops;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest

@@ -52,6 +52,24 @@ let test_q_to_int () =
   Alcotest.(check bool) "is_integer 5" true (Lp.Q.is_integer (q 5 1));
   Alcotest.(check bool) "is_integer 5/2" false (Lp.Q.is_integer (q 5 2))
 
+let test_q_overflow () =
+  Alcotest.check_raises "max_int + 1" Lp.Q.Overflow (fun () ->
+      ignore (Lp.Q.add (Lp.Q.of_int max_int) Lp.Q.one));
+  Alcotest.check_raises "min_int - 1" Lp.Q.Overflow (fun () ->
+      ignore (Lp.Q.sub (Lp.Q.of_int min_int) Lp.Q.one));
+  Alcotest.check_raises "neg min_int" Lp.Q.Overflow (fun () ->
+      ignore (Lp.Q.neg (Lp.Q.of_int min_int)));
+  Alcotest.check_raises "2^40 * 2^40" Lp.Q.Overflow (fun () ->
+      ignore (Lp.Q.mul (Lp.Q.of_int (1 lsl 40)) (Lp.Q.of_int (1 lsl 40))));
+  (* Comparison cross-multiplies, so it must check too. *)
+  Alcotest.check_raises "cross-multiplied compare" Lp.Q.Overflow (fun () ->
+      ignore (Lp.Q.compare (q max_int 2) (q (max_int - 2) 3)));
+  (* ... but exact results at the edge of the range are not rejected. *)
+  check_q "max_int reachable" (Lp.Q.of_int max_int)
+    (Lp.Q.add (Lp.Q.of_int (max_int - 1)) Lp.Q.one);
+  check_q "big fraction fast path" (q 1 2)
+    (Lp.Q.mul (q 1 (1 lsl 31)) (q (1 lsl 30) 1))
+
 (* Property: field axioms on random rationals (small to avoid overflow). *)
 let small_q =
   QCheck.Gen.(
@@ -337,6 +355,125 @@ let prop_ilp_matches_bruteforce =
       | Lp.Ilp.Unbounded, _ -> false (* region is bounded *)
       | Lp.Ilp.Optimal _, None | Lp.Ilp.Infeasible, Some _ -> false)
 
+(* ------------------------------------------------------------------ *)
+(* Differential: sparse/warm-started stack vs the dense reference      *)
+(* ------------------------------------------------------------------ *)
+
+(* Random small models over up to 4 variables with a mix of relation
+   kinds.  [bounded] adds an upper bound per variable, which keeps the
+   branch-and-bound trees small and also lets the unbounded outcome be
+   exercised when off. *)
+let gen_random_model =
+  QCheck.Gen.(
+    let term = tup2 (int_range (-4) 4) (int_range 0 3) in
+    let con =
+      tup3
+        (list_size (int_range 1 4) term)
+        (oneofl [ Lp.Model.Le; Lp.Model.Ge; Lp.Model.Eq ])
+        (int_range 0 10)
+    in
+    tup4 (int_range 1 4)
+      (list_size (int_range 1 6) con)
+      (list_size (int_range 1 4) term)
+      bool)
+
+let print_random_model (nvars, cons, obj, bounded) =
+  let terms ts =
+    String.concat "+"
+      (List.map (fun (c, v) -> Printf.sprintf "%d*x%d" c (v mod nvars)) ts)
+  in
+  Printf.sprintf "nvars=%d%s max %s s.t. %s" nvars
+    (if bounded then " (boxed)" else "")
+    (terms obj)
+    (String.concat "; "
+       (List.map
+          (fun (ts, rel, r) ->
+            Printf.sprintf "%s %s %d" (terms ts)
+              (match rel with Lp.Model.Le -> "<=" | Ge -> ">=" | Eq -> "=")
+              r)
+          cons))
+
+let build_random_model ~var_bound (nvars, cons, obj, bounded) =
+  let m = Lp.Model.create () in
+  let vars =
+    Array.init nvars (fun i ->
+        Lp.Model.add_var m ~name:(Printf.sprintf "x%d" i))
+  in
+  let terms ts = List.map (fun (c, v) -> (q c 1, vars.(v mod nvars))) ts in
+  List.iter (fun (ts, rel, r) -> Lp.Model.add_constraint m (terms ts) rel (q r 1))
+    cons;
+  if bounded then
+    Array.iter
+      (fun v ->
+        Lp.Model.add_constraint m [ (Lp.Q.one, v) ] Lp.Model.Le
+          (q var_bound 1))
+      vars;
+  Lp.Model.set_objective m (terms obj);
+  m
+
+let prop_lp_matches_reference =
+  QCheck.Test.make ~name:"sparse and dense LP solvers agree" ~count:500
+    (QCheck.make ~print:print_random_model gen_random_model)
+    (fun spec ->
+      let m = build_random_model ~var_bound:12 spec in
+      match (Lp.Simplex.solve m, Lp.Reference.solve_lp m) with
+      | Lp.Simplex.Optimal (o1, _), Lp.Reference.Optimal (o2, _) ->
+          (* Alternate optima may differ in the witness; the objective
+             value is unique. *)
+          Lp.Q.equal o1 o2
+      | Lp.Simplex.Unbounded, Lp.Reference.Unbounded -> true
+      | Lp.Simplex.Infeasible, Lp.Reference.Infeasible -> true
+      | _ -> false)
+
+let prop_ilp_matches_reference =
+  QCheck.Test.make ~name:"warm-started and cold branch-and-bound agree"
+    ~count:300
+    (QCheck.make ~print:print_random_model gen_random_model)
+    (fun (nvars, cons, obj, _) ->
+      (* Always boxed: keeps both search trees small and finite. *)
+      let m = build_random_model ~var_bound:8 (nvars, cons, obj, true) in
+      match (Lp.Ilp.solve m, Lp.Reference.solve_ilp m) with
+      | Lp.Ilp.Optimal (o1, _), Lp.Reference.Ilp_optimal (o2, _) ->
+          Lp.Q.equal o1 o2
+      | Lp.Ilp.Unbounded, Lp.Reference.Ilp_unbounded -> true
+      | Lp.Ilp.Infeasible, Lp.Reference.Ilp_infeasible -> true
+      | _ -> false)
+
+let test_ilp_reports_nodes () =
+  (* A fractional relaxation (max y s.t. 2y <= 3) forces a branch: the
+     root plus at least one child must be counted. *)
+  let m = Lp.Model.create () in
+  let y = Lp.Model.add_var m ~name:"y" in
+  Lp.Model.add_constraint m [ (q 2 1, y) ] Lp.Model.Le (q 3 1);
+  Lp.Model.set_objective m [ (Lp.Q.one, y) ];
+  let r = Lp.Ilp.solve_result m in
+  (match r.Lp.Ilp.outcome with
+  | Lp.Ilp.Optimal (obj, _) -> check_q "objective" Lp.Q.one obj
+  | _ -> Alcotest.fail "expected optimal");
+  Alcotest.(check bool) "branched" true (r.Lp.Ilp.nodes >= 2);
+  (* An integral relaxation solves at the root alone. *)
+  let m2 = Lp.Model.create () in
+  let x = Lp.Model.add_var m2 ~name:"x" in
+  Lp.Model.add_constraint m2 [ (Lp.Q.one, x) ] Lp.Model.Le (q 5 1);
+  Lp.Model.set_objective m2 [ (Lp.Q.one, x) ];
+  let r2 = Lp.Ilp.solve_result m2 in
+  Alcotest.(check int) "root only" 1 r2.Lp.Ilp.nodes
+
+let test_ilp_unbounded_at_root_only () =
+  (* Unboundedness surfaces at the root; branching never manufactures
+     it (the warm-started children are dual-feasible by construction,
+     which is what structurally fixed the old Unbounded-after-Le bug). *)
+  let m = Lp.Model.create () in
+  let x = Lp.Model.add_var m ~name:"x" in
+  let y = Lp.Model.add_var m ~name:"y" in
+  Lp.Model.add_constraint m [ (q 2 1, y) ] Lp.Model.Le (q 3 1);
+  Lp.Model.set_objective m [ (Lp.Q.one, x); (Lp.Q.one, y) ];
+  (match Lp.Ilp.solve m with
+  | Lp.Ilp.Unbounded -> ()
+  | _ -> Alcotest.fail "expected unbounded");
+  let r = Lp.Ilp.solve_result m in
+  Alcotest.(check int) "no descent past an unbounded root" 1 r.Lp.Ilp.nodes
+
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -345,6 +482,8 @@ let qcheck_cases =
       prop_sub_add_roundtrip;
       prop_floor_le;
       prop_ilp_matches_bruteforce;
+      prop_lp_matches_reference;
+      prop_ilp_matches_reference;
     ]
 
 let () =
@@ -359,6 +498,7 @@ let () =
           Alcotest.test_case "division by zero" `Quick
             test_q_division_by_zero;
           Alcotest.test_case "integer conversion" `Quick test_q_to_int;
+          Alcotest.test_case "overflow detection" `Quick test_q_overflow;
         ] );
       ( "simplex",
         [
@@ -381,6 +521,10 @@ let () =
           Alcotest.test_case "forces integrality" `Quick
             test_ilp_forces_integrality;
           Alcotest.test_case "infeasible" `Quick test_ilp_infeasible;
+          Alcotest.test_case "reports node counts" `Quick
+            test_ilp_reports_nodes;
+          Alcotest.test_case "unbounded only at the root" `Quick
+            test_ilp_unbounded_at_root_only;
         ] );
       ("properties", qcheck_cases);
     ]
