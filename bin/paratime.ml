@@ -6,6 +6,7 @@
      multicore <bench:NAME>...        task-set analysis under each approach
      batch     <SOURCE>...            sources x configs in parallel, memoized
      fuzz                             differential soundness fuzzing
+     trace     <file.asm|bench:NAME>  traced analysis run -> Chrome JSON
      benchmarks                       list the bundled benchmark suite *)
 
 open Cmdliner
@@ -44,6 +45,36 @@ let load source =
 let l2_of_flag with_l2 =
   if with_l2 then Some (Cache.Config.make ~sets:64 ~assoc:4 ~line_size:16)
   else None
+
+let write_file path contents =
+  match open_out path with
+  | exception Sys_error msg -> die "cannot write %s" msg
+  | oc ->
+      output_string oc contents;
+      close_out oc
+
+(* [--trace FILE] / [--trace-csv FILE] support shared by batch and fuzz:
+   install a sink before the run, return the finisher that exports and
+   uninstalls.  The finisher is called before any [exit], not from a
+   [Fun.protect] — [exit] does not unwind the stack. *)
+let start_trace ?(csv = None) json =
+  match (json, csv) with
+  | None, None -> fun () -> ()
+  | _ ->
+      let sink = Obs.Sink.create () in
+      Obs.set_sink (Some sink);
+      fun () ->
+        Obs.set_sink None;
+        Option.iter
+          (fun path ->
+            write_file path (Obs.Trace_export.to_json sink);
+            Printf.eprintf "paratime: trace written to %s\n%!" path)
+          json;
+        Option.iter
+          (fun path ->
+            write_file path (Obs.Csv_export.to_csv sink);
+            Printf.eprintf "paratime: trace CSV written to %s\n%!" path)
+          csv
 
 let arbiter_of cores kind =
   match kind with
@@ -313,7 +344,7 @@ type batch_row = {
 
 let batch_cmd =
   let run sources config_names jobs_flag repeat timeout_ms capacity phases csv
-      =
+      trace trace_csv =
     if repeat < 1 then die "--repeat must be >= 1";
     let configs =
       List.map
@@ -383,6 +414,13 @@ let batch_cmd =
     let timeout_ns =
       Option.map (fun ms -> Int64.of_int (ms * 1_000_000)) timeout_ms
     in
+    (* Header up front, rows at the end: a run killed mid-way leaves a
+       parseable (if row-less) CSV instead of an empty file. *)
+    if csv then begin
+      print_string Engine.Telemetry.csv_header;
+      flush stdout
+    end;
+    let trace_finish = start_trace ~csv:trace_csv trace in
     let t0 = Engine.Telemetry.now_ns () in
     let outcomes = Engine.Pool.run ~workers ?timeout_ns jobs in
     let wall_ns = Int64.sub (Engine.Telemetry.now_ns ()) t0 in
@@ -414,7 +452,9 @@ let batch_cmd =
     Format.printf "result cache: %a@." Engine.Lru.pp_stats
       (Core.Memo.stats memo);
     if phases then print_string (Engine.Telemetry.render telemetry);
-    if csv then print_string (Engine.Telemetry.to_csv telemetry);
+    if csv then print_string (Engine.Telemetry.csv_rows telemetry);
+    flush stdout;
+    trace_finish ();
     if !failures > 0 then exit 1
   in
   let sources =
@@ -465,6 +505,22 @@ let batch_cmd =
   let csv =
     Arg.(value & flag & info [ "csv" ] ~doc:"Print telemetry as CSV rows.")
   in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Record a Chrome trace_event JSON of the run into $(docv).")
+  in
+  let trace_csv =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-csv" ] ~docv:"FILE"
+          ~doc:
+            "Record the flat CSV export (spans and metrics, including the \
+             pool's queue-wait and run-time histograms) into $(docv).")
+  in
   Cmd.v
     (Cmd.info "batch"
        ~doc:
@@ -472,12 +528,12 @@ let batch_cmd =
           parallel, with a shared memoizing result cache")
     Term.(
       const run $ sources $ configs $ jobs_flag $ repeat $ timeout_ms
-      $ capacity $ phases $ csv)
+      $ capacity $ phases $ csv $ trace $ trace_csv)
 
 (* ---------------- fuzz ---------------- *)
 
 let fuzz_cmd =
-  let run seed count cores jobs_flag mode_args timeout_ms csv =
+  let run seed count cores jobs_flag mode_args timeout_ms csv trace =
     let modes =
       match
         List.concat_map (String.split_on_char ',') mode_args
@@ -499,6 +555,7 @@ let fuzz_cmd =
       Option.map (fun ms -> Int64.of_int (ms * 1_000_000)) timeout_ms
     in
     let memo = Core.Memo.create () in
+    let trace_finish = start_trace trace in
     let t0 = Engine.Telemetry.now_ns () in
     let c =
       match
@@ -554,6 +611,7 @@ let fuzz_cmd =
           (String.concat ","
              (List.map Fuzz.Oracle.mode_name c.Fuzz.Oracle.modes)))
       r.Fuzz.Oracle.violations;
+    trace_finish ();
     if r.Fuzz.Oracle.violations <> [] || r.Fuzz.Oracle.errors <> [] then exit 1
   in
   let seed =
@@ -602,6 +660,13 @@ let fuzz_cmd =
       value & flag
       & info [ "csv" ] ~doc:"Print every check as a CSV row instead.")
   in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Record a Chrome trace_event JSON of the campaign into $(docv).")
+  in
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:
@@ -609,7 +674,128 @@ let fuzz_cmd =
           simulator-vs-analysis (BCET <= observed <= WCET) across platform \
           shapes and all multicore approach families")
     Term.(
-      const run $ seed $ count $ cores $ jobs_flag $ modes $ timeout_ms $ csv)
+      const run $ seed $ count $ cores $ jobs_flag $ modes $ timeout_ms $ csv
+      $ trace)
+
+(* ---------------- trace ---------------- *)
+
+let trace_cmd =
+  let run source with_l2 jobs_flag out csv_out =
+    let program, annot = load source in
+    let l2 = l2_of_flag with_l2 in
+    let platform = Core.Platform.single_core ?l2 () in
+    let sim_cfg =
+      {
+        Sim.Machine.latencies = Pipeline.Latencies.default;
+        l1i = Cache.Config.make ~sets:64 ~assoc:2 ~line_size:16;
+        l1d = Cache.Config.make ~sets:64 ~assoc:2 ~line_size:16;
+        l2 =
+          (match l2 with
+          | Some c -> Sim.Machine.Private_l2 [| c |]
+          | None -> Sim.Machine.No_l2);
+        arbiter = Interconnect.Arbiter.Private;
+        refresh = Interconnect.Arbiter.Burst;
+        i_path = Sim.Machine.Conventional;
+      }
+    in
+    let sink = Obs.Sink.create () in
+    Obs.set_sink (Some sink);
+    (* Results cross domains through refs: the pool joins its workers
+       before [run] returns, which orders these writes before the reads
+       below. *)
+    let wcet = ref None and bcet = ref None and sim = ref None in
+    let jobs =
+      [
+        Engine.Pool.job ~label:"wcet" (fun _ ->
+            wcet := Some (Core.Wcet.analyze ~annot platform program));
+        Engine.Pool.job ~label:"bcet" (fun _ ->
+            bcet := Some (Core.Bcet.analyze ~annot platform program));
+        Engine.Pool.job ~label:"sim" (fun _ ->
+            sim := Some (Sim.Machine.run_single sim_cfg program ()));
+      ]
+    in
+    let workers =
+      max 1
+        (match jobs_flag with
+        | Some n -> n
+        | None -> (
+            match workers_from_env () with
+            | Some n -> n
+            | None -> Engine.Pool.default_workers ()))
+    in
+    let outcomes = Engine.Pool.run ~workers jobs in
+    Obs.set_sink None;
+    write_file out (Obs.Trace_export.to_json sink);
+    (match csv_out with
+    | Some path -> write_file path (Obs.Csv_export.to_csv sink)
+    | None -> ());
+    let events =
+      List.fold_left
+        (fun acc tr -> acc + List.length (Obs.Sink.events tr))
+        0 (Obs.Sink.tracks sink)
+    in
+    Printf.printf "trace: %d events on %d tracks -> %s\n" events
+      (List.length (Obs.Sink.tracks sink))
+      out;
+    (match !wcet with
+    | Some a -> Printf.printf "WCET bound: %d cycles\n" a.Core.Wcet.wcet
+    | None -> ());
+    (match !bcet with
+    | Some b -> Printf.printf "BCET bound: %d cycles\n" b.Core.Bcet.bcet
+    | None -> ());
+    (match !sim with
+    | Some r -> Printf.printf "simulated:  %d cycles\n" r.Sim.Machine.cycles
+    | None -> ());
+    let failed = ref false in
+    List.iter
+      (function
+        | Engine.Pool.Done () -> ()
+        | Engine.Pool.Failed { label; error } ->
+            failed := true;
+            Printf.eprintf "trace: %s failed: %s\n" label error
+        | Engine.Pool.Timed_out { label; _ } ->
+            failed := true;
+            Printf.eprintf "trace: %s timed out\n" label)
+      outcomes;
+    if !failed then exit 1
+  in
+  let source =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SOURCE" ~doc:"Assembly file or bench:NAME.")
+  in
+  let with_l2 =
+    Arg.(value & flag & info [ "l2" ] ~doc:"Add a 64x4x16 private L2.")
+  in
+  let jobs_flag =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Worker domains.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "trace.json"
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:
+            "Chrome trace_event JSON output (load in chrome://tracing or \
+             Perfetto).")
+  in
+  let csv_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE"
+          ~doc:"Also export the flat CSV (spans and metrics) into $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run WCET + BCET analysis and a simulation of one task under the \
+          tracer and export the merged trace")
+    Term.(const run $ source $ with_l2 $ jobs_flag $ out $ csv_out)
 
 (* ---------------- benchmarks ---------------- *)
 
@@ -638,6 +824,7 @@ let () =
             multicore_cmd;
             batch_cmd;
             fuzz_cmd;
+            trace_cmd;
             cfg_cmd;
             benchmarks_cmd;
           ]))

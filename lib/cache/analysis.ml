@@ -105,11 +105,18 @@ let fixpoint_iters_key = Domain.DLS.new_key (fun () -> ref 0)
 let fixpoint_iterations () = !(Domain.DLS.get fixpoint_iters_key)
 let count_fixpoint_iteration () = incr (Domain.DLS.get fixpoint_iters_key)
 
+let fixpoint_name level kind =
+  Printf.sprintf "cache.%s.%s" level
+    (match (kind : Acs.kind) with
+    | Acs.Must -> "must"
+    | Acs.May -> "may"
+    | Acs.Pers -> "pers")
+
 let fixpoint config g ~entry ~accesses_of ~had_call kind =
   let entry_state = entry_acs config entry kind in
   let ins, outs =
-    Dataflow.Worklist.solve g ~entry_fact:entry_state ~join:Acs.join
-      ~equal:Acs.equal
+    Dataflow.Worklist.solve g ~name:(fixpoint_name "l1" kind)
+      ~entry_fact:entry_state ~join:Acs.join ~equal:Acs.equal
       ~transfer:(fun id input ->
         transfer input accesses_of.(id) ~had_call:had_call.(id))
       ~on_round:count_fixpoint_iteration ()
@@ -132,9 +139,10 @@ let pers_fixpoint config g ~entry ~accesses_of ~had_call ~must_ins =
     if had_call.(id) then Acs.havoc pers else pers
   in
   let ins, outs =
-    Dataflow.Worklist.solve g ~entry_fact:entry_state ~join:Acs.join
-      ~equal:Acs.equal ~transfer:transfer_pers
-      ~on_round:count_fixpoint_iteration ()
+    Dataflow.Worklist.solve g
+      ~name:(fixpoint_name "l1" Acs.Pers)
+      ~entry_fact:entry_state ~join:Acs.join ~equal:Acs.equal
+      ~transfer:transfer_pers ~on_round:count_fixpoint_iteration ()
   in
   let force = function Some x -> x | None -> entry_state in
   (Array.map force ins, Array.map force outs)

@@ -84,3 +84,7 @@ val fixpoint_iterations : unit -> int
 
 val count_fixpoint_iteration : unit -> unit
 (** Exposed for {!Multilevel}'s L2 fixpoints; not for external use. *)
+
+val fixpoint_name : string -> Acs.kind -> string
+(** ["cache.<level>.<must|may|pers>"] — the {!Dataflow.Worklist} span
+    name for a cache fixpoint; exposed for {!Multilevel}. *)

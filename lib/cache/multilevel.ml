@@ -79,8 +79,9 @@ let pers_fixpoint_l2 config g ~entry ~tagged ~had_call bypass ~must_ins =
     if had_call.(id) then Acs.havoc pers else pers
   in
   let ins, outs =
-    Dataflow.Worklist.solve g ~entry_fact:entry_state ~join:Acs.join
-      ~equal:Acs.equal ~transfer
+    Dataflow.Worklist.solve g
+      ~name:(Analysis.fixpoint_name "l2" Acs.Pers)
+      ~entry_fact:entry_state ~join:Acs.join ~equal:Acs.equal ~transfer
       ~on_round:Analysis.count_fixpoint_iteration ()
   in
   let force = function Some x -> x | None -> entry_state in
@@ -98,8 +99,8 @@ let fixpoint_l2 config g ~entry ~tagged ~had_call bypass kind =
     if had_call.(id) then Acs.havoc acs else acs
   in
   let ins, outs =
-    Dataflow.Worklist.solve g ~entry_fact:entry_state ~join:Acs.join
-      ~equal:Acs.equal ~transfer
+    Dataflow.Worklist.solve g ~name:(Analysis.fixpoint_name "l2" kind)
+      ~entry_fact:entry_state ~join:Acs.join ~equal:Acs.equal ~transfer
       ~on_round:Analysis.count_fixpoint_iteration ()
   in
   let force = function Some x -> x | None -> entry_state in

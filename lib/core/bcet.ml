@@ -43,7 +43,7 @@ let analyze ?(annot = Dataflow.Annot.empty) ?telemetry ?(solver = `Sparse)
     (platform : Platform.t) program =
   let span name f =
     match telemetry with
-    | None -> f ()
+    | None -> Obs.span ~cat:"phase" name f
     | Some t -> Engine.Telemetry.span t name f
   in
   let fail fmt =

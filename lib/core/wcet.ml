@@ -131,7 +131,7 @@ let analyze ?(annot = Dataflow.Annot.empty) ?telemetry ?(solver = `Sparse)
      a per-domain monotone counter (fixpoint sweeps, simplex pivots). *)
   let span name f =
     match telemetry with
-    | None -> f ()
+    | None -> Obs.span ~cat:"phase" name f
     | Some t -> Engine.Telemetry.span t name f
   in
   let counted name current f =

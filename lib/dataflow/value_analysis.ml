@@ -137,7 +137,7 @@ let analyze ?(widen_after = 3)
     if out_changed then `Out_changed else `In_changed
   in
   let (_ : int) =
-    Worklist.run g
+    Worklist.run g ~name:"value-analysis"
       ~process:(fun ~round id ->
         let input = compute_in id in
         let input =

@@ -38,7 +38,7 @@ let transfers_key = Domain.DLS.new_key (fun () -> ref 0)
 let transfers () = !(Domain.DLS.get transfers_key)
 let count_transfer () = incr (Domain.DLS.get transfers_key)
 
-let run g ?(on_round = fun () -> ()) ~process () =
+let run_uninstrumented g ?(on_round = fun () -> ()) ~process () =
   let n = Cfg.Graph.num_blocks g in
   let rpo = Cfg.Graph.reverse_postorder g in
   let pos = Array.make n 0 in
@@ -87,11 +87,32 @@ let run g ?(on_round = fun () -> ()) ~process () =
   done;
   !rounds
 
+(* Observability wrapper: a [cat:"fixpoint"] span per fixpoint run
+   (named by the analysis that asked for it) plus pops/transfers
+   counters and a rounds histogram on the ambient sink.  One atomic
+   load when tracing is off. *)
+let run g ?(name = "fixpoint") ?on_round ~process () =
+  if not (Obs.enabled ()) then run_uninstrumented g ?on_round ~process ()
+  else begin
+    let pop0 = pops () and tr0 = transfers () in
+    let rounds =
+      Obs.span ~cat:"fixpoint"
+        ~args:[ ("blocks", Obs.Event.Int (Cfg.Graph.num_blocks g)) ]
+        name
+        (fun () -> run_uninstrumented g ?on_round ~process ())
+    in
+    Obs.add "dataflow.worklist.pops" (pops () - pop0);
+    Obs.add "dataflow.worklist.transfers" (transfers () - tr0);
+    Obs.observe "dataflow.worklist.rounds_per_fixpoint" rounds;
+    rounds
+  end
+
 (* The common join/equal/transfer instantiation shared by the four cache
    fixpoints: ['a option] lattice with [None] as bottom, predecessor outs
    joined in edge-list order, the entry fact joined in front of the entry
    block's input. *)
-let solve g ~entry_fact ~join ~equal ~transfer ?(on_round = fun () -> ()) () =
+let solve g ?name ~entry_fact ~join ~equal ~transfer ?(on_round = fun () -> ())
+    () =
   let n = Cfg.Graph.num_blocks g in
   let ins = Array.make n None in
   let outs = Array.make n None in
@@ -134,5 +155,5 @@ let solve g ~entry_fact ~join ~equal ~transfer ?(on_round = fun () -> ()) () =
           if out_changed then `Out_changed else `In_changed
         end
   in
-  let (_ : int) = run g ~on_round ~process () in
+  let (_ : int) = run g ?name ~on_round ~process () in
   (ins, outs)

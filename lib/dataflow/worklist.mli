@@ -35,6 +35,7 @@ val count_transfer : unit -> unit
 
 val run :
   Cfg.Graph.t ->
+  ?name:string ->
   ?on_round:(unit -> unit) ->
   process:(round:int -> Cfg.Block.id -> [ `Unchanged | `In_changed | `Out_changed ]) ->
   unit ->
@@ -46,10 +47,15 @@ val run :
     out-state changed (which is what schedules successors).  [round] is
     1-based and identical to the sweep number the classic iteration would
     be on, so round-keyed widening clocks carry over unchanged.
-    [on_round] fires at the start of each round (telemetry). *)
+    [on_round] fires at the start of each round (telemetry).
+
+    When an {!Obs} sink is installed, each run records a [cat:"fixpoint"]
+    span under [name] (default ["fixpoint"]) plus pops/transfers counters
+    and a rounds histogram on the sink's metrics. *)
 
 val solve :
   Cfg.Graph.t ->
+  ?name:string ->
   entry_fact:'a ->
   join:('a -> 'a -> 'a) ->
   equal:('a -> 'a -> bool) ->

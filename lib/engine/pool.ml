@@ -87,6 +87,30 @@ end
 
 let default_workers () = max 1 (Domain.recommended_domain_count () - 1)
 
+(* Tracing state of one pool run.  Job tracks are registered up front in
+   job order, so their tids — and therefore the merged export — do not
+   depend on which worker ends up executing which job; each worker gets
+   its own track for the queue-wait/run breakdown. *)
+type trace = {
+  obs : Obs.Sink.t;
+  job_tracks : Obs.Sink.track array;
+  enqueued_ns : int64 array;  (* when the job became runnable *)
+}
+
+let make_trace jobs =
+  match Obs.sink () with
+  | None -> None
+  | Some obs ->
+      Some
+        {
+          obs;
+          job_tracks =
+            Array.map
+              (fun j -> Obs.Sink.new_track obs ("job:" ^ j.label))
+              jobs;
+          enqueued_ns = Array.make (Array.length jobs) 0L;
+        }
+
 let run ?workers ?timeout_ns jobs =
   let jobs = Array.of_list jobs in
   let n = Array.length jobs in
@@ -94,39 +118,98 @@ let run ?workers ?timeout_ns jobs =
     match workers with Some w -> max 1 w | None -> default_workers ()
   in
   let results = Array.make n None in
-  let exec i =
+  let trace = make_trace jobs in
+  let worker_track =
+    match trace with
+    | None -> fun _ -> None
+    | Some tr ->
+        (* One track per worker, created lazily by worker index so a
+           sequential run registers exactly one. *)
+        let tracks = Array.make (max 1 workers) None in
+        fun w ->
+          (match tracks.(w) with
+          | Some _ -> ()
+          | None ->
+              tracks.(w) <-
+                Some (Obs.Sink.new_track tr.obs (Printf.sprintf "worker %d" w)));
+          tracks.(w)
+  in
+  let exec ~worker i =
     let j = jobs.(i) in
     let start = Telemetry.now_ns () in
     let ctx =
       { start_ns = start; deadline_ns = Option.map (Int64.add start) timeout_ns }
     in
-    let outcome =
-      match j.work ctx with
-      | v -> Done v
-      | exception Timeout ->
-          Timed_out { label = j.label; after_ns = elapsed_ns ctx }
-      | exception e -> Failed { label = j.label; error = Printexc.to_string e }
+    let body () =
+      let outcome =
+        match j.work ctx with
+        | v -> Done v
+        | exception Timeout ->
+            Timed_out { label = j.label; after_ns = elapsed_ns ctx }
+        | exception e ->
+            Failed { label = j.label; error = Printexc.to_string e }
+      in
+      results.(i) <- Some outcome
     in
-    results.(i) <- Some outcome
+    match trace with
+    | None -> body ()
+    | Some tr ->
+        let t0 = Obs.Sink.now tr.obs in
+        let queue_ns = Int64.to_int (Int64.sub t0 tr.enqueued_ns.(i)) in
+        let m = Obs.Sink.metrics tr.obs in
+        Obs.Metrics.observe m "pool.queue_wait_ns" queue_ns;
+        (match worker_track worker with
+        | None -> ()
+        | Some wt ->
+            Obs.Sink.begin_at wt ~ts:t0 ~cat:"pool"
+              ~args:
+                [
+                  ("job", Obs.Event.Str j.label);
+                  ("index", Obs.Event.Int i);
+                  ("queue_ns", Obs.Event.Int queue_ns);
+                ]
+              ("run:" ^ j.label));
+        Fun.protect
+          ~finally:(fun () ->
+            let t1 = Obs.Sink.now tr.obs in
+            Obs.Metrics.observe m "pool.run_ns"
+              (Int64.to_int (Int64.sub t1 t0));
+            Obs.Metrics.add m "pool.jobs" 1;
+            match worker_track worker with
+            | None -> ()
+            | Some wt -> Obs.Sink.end_at wt ~ts:t1)
+          (fun () -> Obs.with_track tr.obs tr.job_tracks.(i) body)
   in
-  if workers <= 1 || n <= 1 then
+  let mark_enqueued i =
+    match trace with
+    | None -> ()
+    | Some tr -> tr.enqueued_ns.(i) <- Obs.Sink.now tr.obs
+  in
+  if workers <= 1 || n <= 1 then begin
     for i = 0 to n - 1 do
-      exec i
+      mark_enqueued i
+    done;
+    for i = 0 to n - 1 do
+      exec ~worker:0 i
     done
+  end
   else begin
     let q = Bqueue.create (2 * workers) in
-    let worker () =
+    let worker w () =
       let rec loop () =
         match Bqueue.pop q with
         | Some i ->
-            exec i;
+            exec ~worker:w i;
             loop ()
         | None -> ()
       in
       loop ()
     in
-    let domains = Array.init (min workers n) (fun _ -> Domain.spawn worker) in
+    let domains =
+      Array.init (min workers n) (fun w -> Domain.spawn (worker w))
+    in
     for i = 0 to n - 1 do
+      mark_enqueued i;
       Bqueue.push q i
     done;
     Bqueue.close q;

@@ -11,7 +11,15 @@
     {!check} at convenient points; once the configured per-job timeout has
     elapsed, the next [check] raises and the job ends as [Timed_out].
     Jobs that never call [check] simply cannot be interrupted — timing out
-    is an opt-in contract between the job body and the scheduler. *)
+    is an opt-in contract between the job body and the scheduler.
+
+    When an {!Obs} sink is installed, [run] traces itself: each job gets
+    its own track (registered in job order, so tids — and the merged
+    export — are identical at any worker count), each worker a
+    ["worker N"] track carrying a [cat:"pool"] span per executed job with
+    its queue-wait, and the sink's metrics gain [pool.queue_wait_ns] /
+    [pool.run_ns] histograms and a [pool.jobs] counter.  Events the job
+    body records land on the job's track. *)
 
 type ctx
 (** Per-job cancellation context. *)

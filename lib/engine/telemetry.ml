@@ -1,79 +1,58 @@
-type cell = { mutable total_ns : int64; mutable calls : int }
+(* Shim over the Obs layer: a [t] is an Obs metrics registry (phase
+   histograms + counters) of its own, and every [span] additionally
+   mirrors Begin/End events into the ambient Obs sink when one is
+   installed — with the *same* timestamps used for the aggregate, so
+   the totals reported here equal the span-derived sums from the trace
+   exactly (test_engine asserts this). *)
 
-type t = {
-  lock : Mutex.t;
-  spans : (string, cell) Hashtbl.t;
-  mutable span_order : string list;  (* reversed *)
-  counts : (string, int ref) Hashtbl.t;
-  mutable count_order : string list;  (* reversed *)
-}
+type t = { metrics : Obs.Metrics.t }
 
-let create () =
-  {
-    lock = Mutex.create ();
-    spans = Hashtbl.create 16;
-    span_order = [];
-    counts = Hashtbl.create 16;
-    count_order = [];
-  }
-
+let create () = { metrics = Obs.Metrics.create () }
 let now_ns () = Monotonic_clock.now ()
 
-let locked t f =
-  Mutex.lock t.lock;
-  match f () with
-  | x ->
-      Mutex.unlock t.lock;
-      x
-  | exception e ->
-      Mutex.unlock t.lock;
-      raise e
-
-let add_ns t phase ns =
-  locked t (fun () ->
-      let cell =
-        match Hashtbl.find_opt t.spans phase with
-        | Some c -> c
-        | None ->
-            let c = { total_ns = 0L; calls = 0 } in
-            Hashtbl.add t.spans phase c;
-            t.span_order <- phase :: t.span_order;
-            c
-      in
-      cell.total_ns <- Int64.add cell.total_ns ns;
-      cell.calls <- cell.calls + 1)
+let add_ns t phase ns = Obs.Metrics.observe t.metrics phase (Int64.to_int ns)
 
 let span t phase f =
-  let t0 = now_ns () in
+  let t0 = Obs.now_ns () in
+  Obs.emit_begin ~ts:t0 ~cat:"phase" phase;
+  let finish () =
+    let t1 = Obs.now_ns () in
+    Obs.emit_end ~ts:t1;
+    add_ns t phase (Int64.sub t1 t0)
+  in
   match f () with
   | x ->
-      add_ns t phase (Int64.sub (now_ns ()) t0);
+      finish ();
       x
   | exception e ->
-      add_ns t phase (Int64.sub (now_ns ()) t0);
+      finish ();
       raise e
 
-let add t name n =
-  locked t (fun () ->
-      match Hashtbl.find_opt t.counts name with
-      | Some r -> r := !r + n
-      | None ->
-          Hashtbl.add t.counts name (ref n);
-          t.count_order <- name :: t.count_order)
+let add t name n = Obs.Metrics.add t.metrics name n
 
 type phase = { phase : string; total_ns : int64; calls : int }
 
 let phases t =
-  locked t (fun () ->
-      List.rev_map
-        (fun name ->
-          let c = Hashtbl.find t.spans name in
-          { phase = name; total_ns = c.total_ns; calls = c.calls })
-        t.span_order)
+  List.filter_map
+    (function
+      | Obs.Metrics.Hist_v (name, s) ->
+          Some
+            {
+              phase = name;
+              total_ns = Int64.of_int s.Obs.Histogram.s_sum;
+              calls = s.Obs.Histogram.s_count;
+            }
+      | Obs.Metrics.Counter_v _ | Obs.Metrics.Gauge_v _ -> None)
+    (Obs.Metrics.snapshot t.metrics)
 
 let counters t =
-  locked t (fun () ->
-      List.rev_map (fun name -> (name, !(Hashtbl.find t.counts name))) t.count_order)
+  List.filter_map
+    (function
+      | Obs.Metrics.Counter_v (name, v) -> Some (name, v)
+      | Obs.Metrics.Hist_v _ | Obs.Metrics.Gauge_v _ -> None)
+    (Obs.Metrics.snapshot t.metrics)
+
+let metrics t = t.metrics
 
 let total_ns t =
   List.fold_left (fun acc p -> Int64.add acc p.total_ns) 0L (phases t)
@@ -109,9 +88,10 @@ let render t =
     Buffer.contents b
   end
 
-let to_csv t =
+let csv_header = "kind,name,value,calls\n"
+
+let csv_rows t =
   let b = Buffer.create 256 in
-  Buffer.add_string b "kind,name,value,calls\n";
   List.iter
     (fun p ->
       Buffer.add_string b
@@ -121,3 +101,5 @@ let to_csv t =
     (fun (name, v) -> Buffer.add_string b (Printf.sprintf "counter,%s,%d,\n" name v))
     (counters t);
   Buffer.contents b
+
+let to_csv t = csv_header ^ csv_rows t

@@ -6,7 +6,14 @@
     and counter bumps performed concurrently by worker domains all land in
     the same record (each update holds a private mutex for a few dozen
     nanoseconds).  Phases keep their first-seen order, so reports read in
-    pipeline order. *)
+    pipeline order.
+
+    Since the [lib/obs] layer landed this module is a thin shim over it:
+    a [t] is an {!Obs.Metrics.t} registry (one histogram per phase, one
+    counter per name), and {!span} also mirrors Begin/End events into the
+    ambient {!Obs} sink when tracing is on — with the same timestamps it
+    aggregates, so the totals here equal the trace's span-derived sums
+    exactly. *)
 
 type t
 
@@ -34,6 +41,10 @@ val phases : t -> phase list
 val counters : t -> (string * int) list
 (** In first-recorded order. *)
 
+val metrics : t -> Obs.Metrics.t
+(** The backing registry (phases are its histograms, counters its
+    counters). *)
+
 val total_ns : t -> int64
 (** Sum over all phases. *)
 
@@ -41,6 +52,14 @@ val render : t -> string
 (** Human-readable text summary: per-phase time/share/calls, then
     counters.  Empty string when nothing was recorded. *)
 
+val csv_header : string
+(** The CSV header line (with trailing newline).  Exposed separately so
+    streaming consumers can emit it up front — a run killed mid-way then
+    still leaves a parseable file. *)
+
+val csv_rows : t -> string
+(** The data rows only: [phase,<name>,<ns>,<calls>] and
+    [counter,<name>,<value>,]. *)
+
 val to_csv : t -> string
-(** [kind,name,value] rows: [phase,<name>,<ns>,<calls>] and
-    [counter,<name>,<value>], with a header line. *)
+(** [csv_header ^ csv_rows t]. *)

@@ -19,7 +19,7 @@ let find_fractional solution =
   in
   go 0
 
-let solve_result ?(max_nodes = 100_000) model =
+let solve_result_uninstrumented ?(max_nodes = 100_000) model =
   let n = Model.num_vars model in
   let incumbent = ref None in
   let nodes = ref 0 in
@@ -95,5 +95,21 @@ let solve_result ?(max_nodes = 100_000) model =
       in
       { outcome; nodes = !nodes }
   | Simplex.Optimal _, None -> assert false
+
+(* Observability wrapper: a span per branch-and-bound tree plus node
+   counters and the per-solve node histogram. *)
+let solve_result ?max_nodes model =
+  if not (Obs.enabled ()) then solve_result_uninstrumented ?max_nodes model
+  else begin
+    let r =
+      Obs.span ~cat:"lp"
+        ~args:[ ("vars", Obs.Event.Int (Model.num_vars model)) ]
+        "lp.ilp.solve"
+        (fun () -> solve_result_uninstrumented ?max_nodes model)
+    in
+    Obs.add "lp.ilp.nodes" r.nodes;
+    Obs.observe "lp.ilp.nodes_per_solve" r.nodes;
+    r
+  end
 
 let solve ?max_nodes model = (solve_result ?max_nodes model).outcome

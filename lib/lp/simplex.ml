@@ -418,7 +418,7 @@ let cost_of_model model =
     (Model.objective model);
   cost
 
-let solve_state model ~extra =
+let solve_state_uninstrumented model ~extra =
   let rows, rhs, basis, ncols, is_art, art_rows = build_tableau model extra in
   let n = Model.num_vars model in
   let cost = cost_of_model model in
@@ -457,6 +457,25 @@ let solve_state model ~extra =
           t1.zval <- zval2;
           finish t1
         end
+  end
+
+(* Observability wrapper: a span per root solve plus the per-solve pivot
+   histogram.  With no sink installed this is one atomic load on top of
+   the solve. *)
+let solve_state model ~extra =
+  if not (Obs.enabled ()) then solve_state_uninstrumented model ~extra
+  else begin
+    let p0 = pivots () in
+    let r =
+      Obs.span ~cat:"lp"
+        ~args:[ ("vars", Obs.Event.Int (Model.num_vars model)) ]
+        "lp.simplex.solve"
+        (fun () -> solve_state_uninstrumented model ~extra)
+    in
+    let dp = pivots () - p0 in
+    Obs.add "lp.simplex.pivots" dp;
+    Obs.observe "lp.simplex.pivots_per_solve" dp;
+    r
   end
 
 let solve_with model ~extra = fst (solve_state model ~extra)
@@ -632,10 +651,15 @@ let add_le_row parent terms bound =
   | `Optimal -> (Optimal (t.zval, solution_of t s.nvars), Some s)
 
 let branch parent ~var ~bound =
-  let v = (var : Model.var :> int) in
-  match bound with
-  | `Le k -> add_le_row parent [ (Q.one, v) ] (Q.of_int k)
-  | `Ge k -> add_le_row parent [ (Q.minus_one, v) ] (Q.of_int (-k))
+  let p0 = if Obs.enabled () then pivots () else 0 in
+  let r =
+    let v = (var : Model.var :> int) in
+    match bound with
+    | `Le k -> add_le_row parent [ (Q.one, v) ] (Q.of_int k)
+    | `Ge k -> add_le_row parent [ (Q.minus_one, v) ] (Q.of_int (-k))
+  in
+  if Obs.enabled () then Obs.add "lp.simplex.pivots" (pivots () - p0);
+  r
 
 (* Incumbent cutoff: objective >= lower, i.e. -objective <= -lower. *)
 let add_cutoff parent ~lower =

@@ -1,0 +1,11 @@
+(** Flat CSV exporter for the bench harness.
+
+    Columns: [kind,tid,track,cat,name,ts_ns,dur_ns,value].  Span rows
+    carry begin-timestamp and duration in nanoseconds; counter/gauge
+    rows carry the value; histogram rows summarize as
+    [count=..;sum=..;min=..;max=..]. *)
+
+val header : string
+(** The header line (with trailing newline). *)
+
+val to_csv : Sink.t -> string

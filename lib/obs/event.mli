@@ -1,0 +1,21 @@
+(** Trace events.
+
+    A track's buffer holds a flat sequence of events; hierarchy is
+    implicit in the [Begin]/[End] nesting, exactly as in the Chrome
+    [trace_event] duration-event model.  An [End] closes the most recent
+    open [Begin] of its track. *)
+
+type value = Int of int | Float of float | Str of string | Bool of bool
+
+type kind =
+  | Begin of { name : string; cat : string; args : (string * value) list }
+  | End
+  | Instant of { name : string; cat : string; args : (string * value) list }
+
+type t = { ts : int64; kind : kind }
+
+val cat_of : t -> string option
+(** The category of a [Begin]/[Instant]; [None] for [End] (an [End]
+    belongs to whatever span it closes). *)
+
+val value_to_string : value -> string

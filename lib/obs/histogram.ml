@@ -1,0 +1,79 @@
+(* Log2-bucketed histogram: bucket 0 holds values <= 0, bucket i >= 1
+   holds [2^(i-1), 2^i).  64 buckets cover every nonnegative OCaml int,
+   so recording can never overflow the bucket array. *)
+
+let buckets = 64
+
+type t = {
+  mutable count : int;
+  mutable sum : int;
+  mutable min_v : int;
+  mutable max_v : int;
+  counts : int array;
+}
+
+let create () =
+  { count = 0; sum = 0; min_v = max_int; max_v = min_int; counts = Array.make buckets 0 }
+
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    (* 1 + floor(log2 v): shift v down until it vanishes. *)
+    let idx = ref 0 in
+    let x = ref v in
+    while !x > 0 do
+      incr idx;
+      x := !x lsr 1
+    done;
+    !idx
+  end
+
+let bucket_bounds i =
+  if i < 0 || i >= buckets then invalid_arg "Histogram.bucket_bounds"
+  else if i = 0 then (min_int, 1)
+  else
+    (* On a 63-bit int the top populated bucket is 62; clamp the powers
+       that would overflow. *)
+    let pow k = if k >= 62 then max_int else 1 lsl k in
+    (pow (i - 1), pow i)
+
+let observe t v =
+  t.count <- t.count + 1;
+  t.sum <- t.sum + v;
+  if v < t.min_v then t.min_v <- v;
+  if v > t.max_v then t.max_v <- v;
+  let b = bucket_of v in
+  t.counts.(b) <- t.counts.(b) + 1
+
+let merge_into ~into t =
+  into.count <- into.count + t.count;
+  into.sum <- into.sum + t.sum;
+  if t.count > 0 then begin
+    if t.min_v < into.min_v then into.min_v <- t.min_v;
+    if t.max_v > into.max_v then into.max_v <- t.max_v
+  end;
+  Array.iteri (fun i c -> into.counts.(i) <- into.counts.(i) + c) t.counts
+
+type snapshot = {
+  s_count : int;
+  s_sum : int;
+  s_min : int;  (* 0 when empty *)
+  s_max : int;  (* 0 when empty *)
+  s_buckets : (int * int) list;  (* (bucket index, count), nonzero only *)
+}
+
+let snapshot t =
+  let nonzero = ref [] in
+  for i = buckets - 1 downto 0 do
+    if t.counts.(i) > 0 then nonzero := (i, t.counts.(i)) :: !nonzero
+  done;
+  {
+    s_count = t.count;
+    s_sum = t.sum;
+    s_min = (if t.count = 0 then 0 else t.min_v);
+    s_max = (if t.count = 0 then 0 else t.max_v);
+    s_buckets = !nonzero;
+  }
+
+let count t = t.count
+let sum t = t.sum

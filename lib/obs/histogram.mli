@@ -1,0 +1,37 @@
+(** Fixed log-scale (log2) histogram.
+
+    Bucket 0 holds values [<= 0]; bucket [i >= 1] holds the half-open
+    range [[2^(i-1), 2^i)].  With 64 buckets every OCaml [int] maps to a
+    bucket, so [observe] never fails or saturates. *)
+
+val buckets : int
+(** Number of buckets (64). *)
+
+type t
+
+val create : unit -> t
+val observe : t -> int -> unit
+
+val bucket_of : int -> int
+(** The bucket index a value lands in. *)
+
+val bucket_bounds : int -> int * int
+(** [bucket_bounds i] is the half-open [(lo, hi)] range of bucket [i]:
+    [(min_int, 1)] for bucket 0, [(2^(i-1), 2^i)] otherwise (bucket 63's
+    upper bound clamps to [max_int]).
+    @raise Invalid_argument outside [0, buckets). *)
+
+val merge_into : into:t -> t -> unit
+(** Pointwise-add [t] into [into]. *)
+
+type snapshot = {
+  s_count : int;
+  s_sum : int;
+  s_min : int;  (** 0 when empty *)
+  s_max : int;  (** 0 when empty *)
+  s_buckets : (int * int) list;  (** nonzero [(bucket, count)] pairs *)
+}
+
+val snapshot : t -> snapshot
+val count : t -> int
+val sum : t -> int

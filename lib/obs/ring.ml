@@ -1,0 +1,32 @@
+(* Fixed-capacity event ring.  Writes never block and never allocate
+   beyond the event itself: once full, the oldest event is overwritten
+   and counted in [dropped].  Reading (export time) returns the surviving
+   events oldest-first. *)
+
+type t = {
+  buf : Event.t option array;
+  mutable wr : int;  (* next write slot *)
+  mutable len : int;
+  mutable dropped : int;
+}
+
+let create capacity =
+  if capacity <= 0 then invalid_arg "Ring.create";
+  { buf = Array.make capacity None; wr = 0; len = 0; dropped = 0 }
+
+let push t e =
+  let cap = Array.length t.buf in
+  if t.len = cap then t.dropped <- t.dropped + 1 else t.len <- t.len + 1;
+  t.buf.(t.wr) <- Some e;
+  t.wr <- (t.wr + 1) mod cap
+
+let length t = t.len
+let dropped t = t.dropped
+
+let to_list t =
+  let cap = Array.length t.buf in
+  let first = (t.wr - t.len + cap) mod cap in
+  List.init t.len (fun i ->
+      match t.buf.((first + i) mod cap) with
+      | Some e -> e
+      | None -> assert false)

@@ -1,0 +1,20 @@
+(** Fixed-capacity event ring buffer.
+
+    A full ring overwrites its oldest event ([dropped] counts how many
+    were lost) rather than blocking or growing — recording cost stays
+    constant no matter how long a run is.  Exporters repair the
+    [Begin]/[End] imbalance that dropping the front can introduce. *)
+
+type t
+
+val create : int -> t
+(** @raise Invalid_argument on a non-positive capacity. *)
+
+val push : t -> Event.t -> unit
+val length : t -> int
+
+val dropped : t -> int
+(** Events overwritten since creation. *)
+
+val to_list : t -> Event.t list
+(** Surviving events, oldest first. *)

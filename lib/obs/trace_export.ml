@@ -1,0 +1,130 @@
+(* Chrome trace_event JSON ("JSON object format"), loadable by
+   chrome://tracing and Perfetto.
+
+   Layout decisions that matter for consumers and for determinism:
+   - one event per line, so line-oriented tools (jq -c, grep, the test
+     suite's scanner) can stream it;
+   - tracks are emitted in tid order and each track's events in recording
+     order, so the file is a pure function of the recorded data — two
+     runs that record the same events (e.g. under a virtual clock) export
+     byte-identical files regardless of domain scheduling;
+   - timestamps are microseconds with three decimals, preserving the
+     nanosecond exactly;
+   - every track with at least one kept event gets a thread_name
+     metadata record so Perfetto shows meaningful lane names. *)
+
+let buf_add_json_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let buf_add_value b = function
+  | Event.Int i -> Buffer.add_string b (string_of_int i)
+  | Event.Float f -> Buffer.add_string b (Printf.sprintf "%.17g" f)
+  | Event.Bool v -> Buffer.add_string b (string_of_bool v)
+  | Event.Str s -> buf_add_json_string b s
+
+let buf_add_args b args =
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      buf_add_json_string b k;
+      Buffer.add_char b ':';
+      buf_add_value b v)
+    args;
+  Buffer.add_char b '}'
+
+let buf_add_ts b ts =
+  (* microseconds, nanosecond-exact: <ns/1000>.<ns mod 1000> *)
+  let ns = Int64.to_int ts in
+  Buffer.add_string b (Printf.sprintf "%d.%03d" (ns / 1000) (ns mod 1000))
+
+let pid = 1
+
+let to_json ?(keep = fun ~cat:_ -> true) sink =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+  let first = ref true in
+  let emit line =
+    if not !first then Buffer.add_string b ",\n";
+    first := false;
+    Buffer.add_string b line
+  in
+  let line_of tr (e : Event.t) =
+    let lb = Buffer.create 128 in
+    (match e.kind with
+    | Event.Begin { name; cat; args } | Event.Instant { name; cat; args } ->
+        Buffer.add_string lb "{\"ph\":";
+        Buffer.add_string lb
+          (match e.kind with Event.Begin _ -> "\"B\"" | _ -> "\"i\"");
+        Buffer.add_string lb ",\"name\":";
+        buf_add_json_string lb name;
+        Buffer.add_string lb ",\"cat\":";
+        buf_add_json_string lb (if cat = "" then "default" else cat);
+        Buffer.add_string lb ",\"ts\":";
+        buf_add_ts lb e.ts;
+        Buffer.add_string lb
+          (Printf.sprintf ",\"pid\":%d,\"tid\":%d" pid (Sink.tid tr));
+        (match e.kind with
+        | Event.Instant _ -> Buffer.add_string lb ",\"s\":\"t\""
+        | _ -> ());
+        if args <> [] then begin
+          Buffer.add_string lb ",\"args\":";
+          buf_add_args lb args
+        end;
+        Buffer.add_char lb '}'
+    | Event.End ->
+        Buffer.add_string lb "{\"ph\":\"E\",\"ts\":";
+        buf_add_ts lb e.ts;
+        Buffer.add_string lb
+          (Printf.sprintf ",\"pid\":%d,\"tid\":%d}" pid (Sink.tid tr)));
+    Buffer.contents lb
+  in
+  List.iter
+    (fun tr ->
+      (* Filter on span boundaries: an End is kept iff the Begin it
+         closes is kept, so balance survives filtering. *)
+      let keep_stack = ref [] in
+      let kept =
+        List.filter
+          (fun (e : Event.t) ->
+            match e.kind with
+            | Event.Begin { cat; _ } ->
+                let k = keep ~cat in
+                keep_stack := k :: !keep_stack;
+                k
+            | Event.End -> (
+                match !keep_stack with
+                | k :: rest ->
+                    keep_stack := rest;
+                    k
+                | [] -> false)
+            | Event.Instant { cat; _ } -> keep ~cat)
+          (Sink.events tr)
+      in
+      if kept <> [] then begin
+        let mb = Buffer.create 96 in
+        Buffer.add_string mb
+          (Printf.sprintf
+             "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":%d,\"tid\":%d,\"args\":{\"name\":"
+             pid (Sink.tid tr));
+        buf_add_json_string mb (Sink.track_name tr);
+        Buffer.add_string mb "}}";
+        emit (Buffer.contents mb);
+        List.iter (fun e -> emit (line_of tr e)) kept
+      end)
+    (Sink.tracks sink);
+  Buffer.add_string b "\n]}\n";
+  Buffer.contents b

@@ -1,0 +1,12 @@
+(** Chrome [trace_event] JSON exporter (chrome://tracing / Perfetto).
+
+    The export is a pure function of the recorded events: tracks in tid
+    order, each track's events in recording order, one event per line.
+    [Begin]/[End] pairs are balanced per tid (ring damage is repaired by
+    {!Sink.events}, and [keep] filters whole spans, never half of one).
+    Timestamps are microseconds with three decimals — nanosecond-exact.
+
+    [keep] filters events by category (default: keep everything); a
+    track with no kept events is omitted entirely, metadata included. *)
+
+val to_json : ?keep:(cat:string -> bool) -> Sink.t -> string

@@ -242,7 +242,7 @@ let step_core cfg bus core =
     end
   end
 
-let run cfg ~cores ?(max_cycles = 10_000_000) () =
+let run_uninstrumented cfg ~cores ?(max_cycles = 10_000_000) () =
   let n = Array.length cores in
   if Interconnect.Arbiter.cores cfg.arbiter <> n then
     invalid_arg "Machine.run: core count does not match arbiter";
@@ -374,6 +374,27 @@ let run cfg ~cores ?(max_cycles = 10_000_000) () =
             final_state = Some c.exec;
           })
     states
+
+(* Observability wrapper: a [cat:"sim"] span per machine run plus
+   aggregate cycle/instruction/stall counters on the ambient sink.  One
+   atomic load when tracing is off. *)
+let run cfg ~cores ?max_cycles () =
+  if not (Obs.enabled ()) then run_uninstrumented cfg ~cores ?max_cycles ()
+  else begin
+    let results =
+      Obs.span ~cat:"sim"
+        ~args:[ ("cores", Obs.Event.Int (Array.length cores)) ]
+        "sim.run"
+        (fun () -> run_uninstrumented cfg ~cores ?max_cycles ())
+    in
+    Array.iter
+      (fun r ->
+        Obs.add "sim.cycles" r.cycles;
+        Obs.add "sim.instructions" r.instructions;
+        Obs.add "sim.bus_stall_cycles" r.bus_stall_cycles)
+      results;
+    results
+  end
 
 let run_single cfg program ?max_cycles () =
   let cfg = { cfg with arbiter = Interconnect.Arbiter.Private } in

@@ -463,6 +463,57 @@ let test_telemetry_unmetered_analysis_unchanged () =
     (Core.Wcet.analyze ~annot:b.B.annot platform b.B.program)
     (Core.Wcet.analyze ~annot:b.B.annot ~telemetry:t platform b.B.program)
 
+let test_telemetry_totals_equal_span_sums () =
+  (* The shim reads each phase's clock once and feeds the same
+     timestamps to both the emitted Begin/End events and its aggregate,
+     so the reported totals must equal the span-derived sums exactly. *)
+  let sink = Obs.Sink.create () in
+  let t = Engine.Telemetry.create () in
+  let b = B.crc ~n:8 in
+  let platform = Core.Platform.single_core ~l2:l2_default () in
+  Obs.with_sink sink (fun () ->
+      ignore
+        (Core.Wcet.analyze ~annot:b.B.annot ~telemetry:t platform b.B.program));
+  let sums = Hashtbl.create 16 in
+  List.iter
+    (fun tr ->
+      let stack = ref [] in
+      List.iter
+        (fun (e : Obs.Event.t) ->
+          match e.Obs.Event.kind with
+          | Obs.Event.Begin { name; cat; _ } ->
+              stack := (name, cat, e.Obs.Event.ts) :: !stack
+          | Obs.Event.End -> (
+              match !stack with
+              | (name, cat, t0) :: rest ->
+                  stack := rest;
+                  if cat = "phase" then begin
+                    let d = Int64.to_int (Int64.sub e.Obs.Event.ts t0) in
+                    let total, calls =
+                      Option.value ~default:(0, 0) (Hashtbl.find_opt sums name)
+                    in
+                    Hashtbl.replace sums name (total + d, calls + 1)
+                  end
+              | [] -> ())
+          | Obs.Event.Instant _ -> ())
+        (Obs.Sink.events tr))
+    (Obs.Sink.tracks sink);
+  let phases = Engine.Telemetry.phases t in
+  Alcotest.(check bool) "phases recorded" true (phases <> []);
+  List.iter
+    (fun (p : Engine.Telemetry.phase) ->
+      match Hashtbl.find_opt sums p.Engine.Telemetry.phase with
+      | None ->
+          Alcotest.fail ("phase missing from trace: " ^ p.Engine.Telemetry.phase)
+      | Some (total, calls) ->
+          Alcotest.(check int)
+            (p.Engine.Telemetry.phase ^ " calls")
+            calls p.Engine.Telemetry.calls;
+          Alcotest.(check int64)
+            (p.Engine.Telemetry.phase ^ " total")
+            (Int64.of_int total) p.Engine.Telemetry.total_ns)
+    phases
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -522,5 +573,7 @@ let () =
             test_telemetry_span_on_exception;
           Alcotest.test_case "pure observer" `Quick
             test_telemetry_unmetered_analysis_unchanged;
+          Alcotest.test_case "shim totals equal span sums" `Quick
+            test_telemetry_totals_equal_span_sums;
         ] );
     ]

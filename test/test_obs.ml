@@ -1,0 +1,299 @@
+(* Observability layer: histogram bucketing, span well-formedness under
+   ring wrap, deterministic merge across worker counts, and exporter
+   round-trips on a recorded pool run. *)
+
+(* ------------------------------------------------------------------ *)
+(* Histogram                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_histogram_buckets () =
+  let check_bucket v expected =
+    Alcotest.(check int)
+      (Printf.sprintf "bucket_of %d" v)
+      expected (Obs.Histogram.bucket_of v)
+  in
+  check_bucket min_int 0;
+  check_bucket (-5) 0;
+  check_bucket 0 0;
+  check_bucket 1 1;
+  check_bucket 2 2;
+  check_bucket 3 2;
+  check_bucket 4 3;
+  check_bucket 7 3;
+  check_bucket 8 4;
+  check_bucket 100 7;
+  check_bucket max_int 62;
+  Alcotest.(check (pair int int)) "bounds 0" (min_int, 1)
+    (Obs.Histogram.bucket_bounds 0);
+  Alcotest.(check (pair int int)) "bounds 1" (1, 2)
+    (Obs.Histogram.bucket_bounds 1);
+  Alcotest.(check (pair int int)) "bounds 4" (8, 16)
+    (Obs.Histogram.bucket_bounds 4);
+  Alcotest.(check (pair int int)) "bounds 62 clamps" (1 lsl 61, max_int)
+    (Obs.Histogram.bucket_bounds 62);
+  (* Every value lands inside its own bucket's half-open range (modulo
+     the max_int clamp of the top buckets). *)
+  List.iter
+    (fun v ->
+      let lo, hi = Obs.Histogram.bucket_bounds (Obs.Histogram.bucket_of v) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%d within bounds" v)
+        true
+        (lo <= v && (v < hi || hi = max_int)))
+    [ min_int; -1; 0; 1; 2; 3; 5; 9; 1023; 1024; 123_456_789; max_int ]
+
+let test_histogram_snapshot_and_merge () =
+  let h = Obs.Histogram.create () in
+  List.iter (Obs.Histogram.observe h) [ 1; 1; 3; 100 ];
+  let s = Obs.Histogram.snapshot h in
+  Alcotest.(check int) "count" 4 s.Obs.Histogram.s_count;
+  Alcotest.(check int) "sum" 105 s.Obs.Histogram.s_sum;
+  Alcotest.(check int) "min" 1 s.Obs.Histogram.s_min;
+  Alcotest.(check int) "max" 100 s.Obs.Histogram.s_max;
+  Alcotest.(check (list (pair int int)))
+    "buckets"
+    [ (1, 2); (2, 1); (7, 1) ]
+    s.Obs.Histogram.s_buckets;
+  let h2 = Obs.Histogram.create () in
+  List.iter (Obs.Histogram.observe h2) [ 2; 100 ];
+  Obs.Histogram.merge_into ~into:h h2;
+  let s = Obs.Histogram.snapshot h in
+  Alcotest.(check int) "merged count" 6 s.Obs.Histogram.s_count;
+  Alcotest.(check int) "merged sum" 207 s.Obs.Histogram.s_sum;
+  Alcotest.(check (list (pair int int)))
+    "merged buckets"
+    [ (1, 2); (2, 2); (7, 2) ]
+    s.Obs.Histogram.s_buckets
+
+(* ------------------------------------------------------------------ *)
+(* Span well-formedness                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Balanced and properly nested: every [End] closes an open [Begin] and
+   nothing is left open. *)
+let check_well_formed what events =
+  let depth = ref 0 in
+  List.iter
+    (fun (e : Obs.Event.t) ->
+      match e.Obs.Event.kind with
+      | Obs.Event.Begin _ -> incr depth
+      | Obs.Event.End ->
+          decr depth;
+          if !depth < 0 then Alcotest.fail (what ^ ": End with no open Begin")
+      | Obs.Event.Instant _ -> ())
+    events;
+  Alcotest.(check int) (what ^ ": all spans closed") 0 !depth
+
+let test_span_nesting () =
+  let sink = Obs.Sink.create () in
+  Obs.with_sink sink (fun () ->
+      Obs.span "outer" (fun () ->
+          Obs.span ~cat:"x" "inner" (fun () -> Obs.instant "tick");
+          Obs.span "sibling" ignore);
+      (* The End must be recorded even when the body raises. *)
+      try Obs.span "fails" (fun () -> failwith "boom")
+      with Failure _ -> ());
+  match Obs.Sink.tracks sink with
+  | [ tr ] ->
+      let events = Obs.Sink.events tr in
+      check_well_formed "nesting" events;
+      let begins =
+        List.filter_map
+          (fun (e : Obs.Event.t) ->
+            match e.Obs.Event.kind with
+            | Obs.Event.Begin { name; _ } -> Some name
+            | _ -> None)
+          events
+      in
+      Alcotest.(check (list string))
+        "span order"
+        [ "outer"; "inner"; "sibling"; "fails" ]
+        begins
+  | trs -> Alcotest.fail (Printf.sprintf "expected 1 track, got %d" (List.length trs))
+
+let test_ring_wrap_stays_balanced () =
+  let sink = Obs.Sink.create ~track_capacity:8 () in
+  let tr = Obs.Sink.new_track sink "wrap" in
+  (* 3x the capacity in nested spans: the ring overwrites the oldest
+     events, leaving orphan Ends at the front and unclosed Begins at the
+     back for [events] to repair. *)
+  for i = 1 to 12 do
+    let ts = Int64.of_int (100 * i) in
+    Obs.Sink.begin_at tr ~ts "outer";
+    Obs.Sink.begin_at tr ~ts:(Int64.add ts 1L) "inner";
+    Obs.Sink.end_at tr ~ts:(Int64.add ts 2L);
+    Obs.Sink.end_at tr ~ts:(Int64.add ts 3L)
+  done;
+  Alcotest.(check bool) "events were dropped" true (Obs.Sink.dropped tr > 0);
+  check_well_formed "after wrap" (Obs.Sink.events tr)
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic merge                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Six jobs record spans with explicit (virtual) timestamps onto their
+   per-job tracks; pool bookkeeping (worker spans, queue waits) carries
+   cat:"pool" and is filtered out.  Per-job tracks are registered in job
+   order, so the filtered export must be bit-identical at any worker
+   count. *)
+let traced_pool_run ~workers =
+  let sink = Obs.Sink.create () in
+  let jobs =
+    List.init 6 (fun i ->
+        Engine.Pool.job
+          ~label:(Printf.sprintf "j%d" i)
+          (fun _ ->
+            let base = Int64.of_int (1000 * (i + 1)) in
+            Obs.emit_begin ~ts:base ~cat:"test"
+              ~args:[ ("i", Obs.Event.Int i) ]
+              "outer";
+            Obs.emit_begin ~ts:(Int64.add base 10L) ~cat:"test" "inner";
+            Obs.emit_end ~ts:(Int64.add base 20L);
+            Obs.emit_end ~ts:(Int64.add base 30L)))
+  in
+  let outcomes = Obs.with_sink sink (fun () -> Engine.Pool.run ~workers jobs) in
+  List.iter
+    (function
+      | Engine.Pool.Done () -> ()
+      | Engine.Pool.Failed { label; error } ->
+          Alcotest.fail (Printf.sprintf "job %s failed: %s" label error)
+      | Engine.Pool.Timed_out { label; _ } ->
+          Alcotest.fail (Printf.sprintf "job %s timed out" label))
+    outcomes;
+  sink
+
+let test_deterministic_merge () =
+  let export sink =
+    Obs.Trace_export.to_json ~keep:(fun ~cat -> cat <> "pool") sink
+  in
+  let a = export (traced_pool_run ~workers:1) in
+  let b = export (traced_pool_run ~workers:4) in
+  Alcotest.(check bool) "job tracks present" true
+    (Astring.String.is_infix ~affix:"job:j5" a);
+  Alcotest.(check bool) "worker tracks filtered" true
+    (not (Astring.String.is_infix ~affix:"worker" a));
+  Alcotest.(check string) "1 vs 4 workers bit-identical" a b
+
+(* ------------------------------------------------------------------ *)
+(* Exporter round-trip on a recorded pool run                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Minimal line-oriented scanning of the JSON export (no JSON parser in
+   the test deps): one event per line by construction. *)
+let field_int line key =
+  match Astring.String.find_sub ~sub:(Printf.sprintf "\"%s\":" key) line with
+  | None -> None
+  | Some i ->
+      let start = i + String.length key + 3 in
+      let j = ref start in
+      while
+        !j < String.length line
+        && (match line.[!j] with '0' .. '9' | '-' -> true | _ -> false)
+      do
+        incr j
+      done;
+      int_of_string_opt (String.sub line start (!j - start))
+
+let field_float line key =
+  match Astring.String.find_sub ~sub:(Printf.sprintf "\"%s\":" key) line with
+  | None -> None
+  | Some i ->
+      let start = i + String.length key + 3 in
+      let j = ref start in
+      while
+        !j < String.length line
+        &&
+        match line.[!j] with '0' .. '9' | '-' | '.' -> true | _ -> false
+      do
+        incr j
+      done;
+      float_of_string_opt (String.sub line start (!j - start))
+
+let test_trace_export_round_trip () =
+  let sink = traced_pool_run ~workers:2 in
+  let json = Obs.Trace_export.to_json sink in
+  let lines = String.split_on_char '\n' json in
+  let has sub line = Astring.String.is_infix ~affix:sub line in
+  let begins = List.filter (has "\"ph\":\"B\"") lines in
+  let ends = List.filter (has "\"ph\":\"E\"") lines in
+  Alcotest.(check int) "balanced B/E" (List.length begins) (List.length ends);
+  Alcotest.(check bool) "has events" true (List.length begins > 0);
+  (* Every event names a pid and tid; ts is monotone per tid. *)
+  let last_ts = Hashtbl.create 8 in
+  List.iter
+    (fun line ->
+      if has "\"ph\":\"B\"" line || has "\"ph\":\"E\"" line then begin
+        Alcotest.(check (option int)) "pid" (Some 1) (field_int line "pid");
+        let tid =
+          match field_int line "tid" with
+          | Some t -> t
+          | None -> Alcotest.fail ("event without tid: " ^ line)
+        in
+        let ts =
+          match field_float line "ts" with
+          | Some t -> t
+          | None -> Alcotest.fail ("event without ts: " ^ line)
+        in
+        (match Hashtbl.find_opt last_ts tid with
+        | Some prev when prev > ts ->
+            Alcotest.fail (Printf.sprintf "ts not monotone on tid %d" tid)
+        | _ -> ());
+        Hashtbl.replace last_ts tid ts
+      end)
+    lines;
+  (* One thread_name metadata record per track that has events. *)
+  let names = List.filter (has "thread_name") lines in
+  Alcotest.(check int) "thread_name per populated track"
+    (Hashtbl.length last_ts) (List.length names)
+
+let test_csv_export_round_trip () =
+  let sink = traced_pool_run ~workers:2 in
+  let csv = Obs.Csv_export.to_csv sink in
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' csv)
+  in
+  (match lines with
+  | header :: _ ->
+      Alcotest.(check string) "header first"
+        (String.trim Obs.Csv_export.header)
+        header
+  | [] -> Alcotest.fail "empty csv");
+  let commas s =
+    String.fold_left (fun acc c -> if c = ',' then acc + 1 else acc) 0 s
+  in
+  List.iter
+    (fun line ->
+      Alcotest.(check int) ("field count: " ^ line) 7 (commas line))
+    lines;
+  (* The job spans and the pool's queue-wait histogram both made it. *)
+  Alcotest.(check bool) "span rows" true
+    (List.exists (Astring.String.is_infix ~affix:"span,") lines);
+  Alcotest.(check bool) "queue-wait histogram" true
+    (List.exists (Astring.String.is_infix ~affix:"pool.queue_wait_ns") lines)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "histogram",
+        [
+          Alcotest.test_case "bucket boundaries" `Quick test_histogram_buckets;
+          Alcotest.test_case "snapshot and merge" `Quick
+            test_histogram_snapshot_and_merge;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "nesting well-formed" `Quick test_span_nesting;
+          Alcotest.test_case "ring wrap stays balanced" `Quick
+            test_ring_wrap_stays_balanced;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "deterministic at 1 vs 4 workers" `Quick
+            test_deterministic_merge;
+          Alcotest.test_case "trace_event round-trip" `Quick
+            test_trace_export_round_trip;
+          Alcotest.test_case "csv round-trip" `Quick test_csv_export_round_trip;
+        ] );
+    ]
