@@ -336,6 +336,7 @@ let workers_from_env () =
 
 type batch_row = {
   wcet : int;
+  wcet_vec : Pipeline.Cost.Vec.t;
   bcet : int option;
   job_ns : int64;
   cache_hits : int;
@@ -344,7 +345,7 @@ type batch_row = {
 
 let batch_cmd =
   let run sources config_names jobs_flag repeat timeout_ms capacity phases csv
-      trace trace_csv =
+      attrib trace trace_csv =
     if repeat < 1 then die "--repeat must be >= 1";
     let configs =
       List.map
@@ -395,6 +396,10 @@ let batch_cmd =
               let h1, l1 = Core.Memo.local_stats () in
               {
                 wcet = w.Core.Wcet.wcet;
+                wcet_vec =
+                  (match List.rev w.Core.Wcet.procs with
+                  | (_, pr) :: _ -> pr.Core.Wcet.wcet_vec
+                  | [] -> Pipeline.Cost.Vec.zero);
                 bcet = b;
                 job_ns;
                 cache_hits = h1 - h0;
@@ -451,6 +456,25 @@ let batch_cmd =
       (Int64.to_float wall_ns /. 1e6);
     Format.printf "result cache: %a@." Engine.Lru.pp_stats
       (Core.Memo.stats memo);
+    if attrib then begin
+      Printf.printf "\nWCET attribution (cycles per category, round 0):\n";
+      Printf.printf "%-18s %-6s" "source" "config";
+      List.iter
+        (fun c -> Printf.printf " %9s" (Pipeline.Cost.category_name c))
+        Pipeline.Cost.categories;
+      Printf.printf " %9s\n" "total";
+      List.iter2
+        (fun (round, src, cname, _, _, _) outcome ->
+          match outcome with
+          | Engine.Pool.Done r when round = 0 ->
+              Printf.printf "%-18s %-6s" src cname;
+              List.iter
+                (fun (_, n) -> Printf.printf " %9d" n)
+                (Pipeline.Cost.Vec.to_alist r.wcet_vec);
+              Printf.printf " %9d\n" (Pipeline.Cost.Vec.total r.wcet_vec)
+          | _ -> ())
+        points outcomes
+    end;
     if phases then print_string (Engine.Telemetry.render telemetry);
     if csv then print_string (Engine.Telemetry.csv_rows telemetry);
     flush stdout;
@@ -505,6 +529,14 @@ let batch_cmd =
   let csv =
     Arg.(value & flag & info [ "csv" ] ~doc:"Print telemetry as CSV rows.")
   in
+  let attrib =
+    Arg.(
+      value & flag
+      & info [ "attrib" ]
+          ~doc:
+            "Print each bound's per-category cycle attribution after the \
+             result table.")
+  in
   let trace =
     Arg.(
       value
@@ -528,12 +560,12 @@ let batch_cmd =
           parallel, with a shared memoizing result cache")
     Term.(
       const run $ sources $ configs $ jobs_flag $ repeat $ timeout_ms
-      $ capacity $ phases $ csv $ trace $ trace_csv)
+      $ capacity $ phases $ csv $ attrib $ trace $ trace_csv)
 
 (* ---------------- fuzz ---------------- *)
 
 let fuzz_cmd =
-  let run seed count cores jobs_flag mode_args timeout_ms csv trace =
+  let run seed count cores jobs_flag mode_args timeout_ms csv attrib trace =
     let modes =
       match
         List.concat_map (String.split_on_char ',') mode_args
@@ -555,6 +587,12 @@ let fuzz_cmd =
       Option.map (fun ms -> Int64.of_int (ms * 1_000_000)) timeout_ms
     in
     let memo = Core.Memo.create () in
+    (* Header before the campaign: a run killed mid-way leaves a
+       parseable (if row-less) CSV on stdout instead of nothing. *)
+    if csv then begin
+      print_string Fuzz.Oracle.csv_header;
+      flush stdout
+    end;
     let trace_finish = start_trace trace in
     let t0 = Engine.Telemetry.now_ns () in
     let c =
@@ -567,7 +605,7 @@ let fuzz_cmd =
     in
     let wall_ns = Int64.sub (Engine.Telemetry.now_ns ()) t0 in
     let r = c.Fuzz.Oracle.report in
-    if csv then print_string (Fuzz.Oracle.csv_of_report r)
+    if csv then print_string (Fuzz.Oracle.csv_rows r)
     else begin
       Printf.printf
         "fuzz campaign: seed %d, %d programs in %d-core groups, %d checks, \
@@ -575,8 +613,10 @@ let fuzz_cmd =
         c.Fuzz.Oracle.seed c.Fuzz.Oracle.count c.Fuzz.Oracle.cores
         (List.length r.Fuzz.Oracle.checks)
         (Int64.to_float wall_ns /. 1e6);
-      Printf.printf "%-12s %7s %6s %28s\n" "mode" "checks" "viol"
+      Printf.printf "%-12s %7s %6s %28s" "mode" "checks" "viol"
         "tightness (WCET/observed)";
+      if attrib then Printf.printf " %13s" "dominant gap";
+      print_newline ();
       List.iter
         (fun (s : Fuzz.Oracle.mode_stats) ->
           let ratios =
@@ -587,9 +627,15 @@ let fuzz_cmd =
                 s.Fuzz.Oracle.s_min_ratio s.Fuzz.Oracle.s_mean_ratio
                 s.Fuzz.Oracle.s_max_ratio
           in
-          Printf.printf "%-12s %7d %6d %28s\n"
+          Printf.printf "%-12s %7d %6d %28s"
             (Fuzz.Oracle.mode_name s.Fuzz.Oracle.s_mode)
-            s.Fuzz.Oracle.s_checks s.Fuzz.Oracle.s_violations ratios)
+            s.Fuzz.Oracle.s_checks s.Fuzz.Oracle.s_violations ratios;
+          if attrib then
+            Printf.printf " %13s"
+              (match s.Fuzz.Oracle.s_dominant_gap with
+              | Some cat -> Pipeline.Cost.category_name cat
+              | None -> "-");
+          print_newline ())
         c.Fuzz.Oracle.stats;
       match c.Fuzz.Oracle.memo_stats with
       | Some st -> Format.printf "result cache: %a@." Engine.Lru.pp_stats st
@@ -660,6 +706,14 @@ let fuzz_cmd =
       value & flag
       & info [ "csv" ] ~doc:"Print every check as a CSV row instead.")
   in
+  let attrib =
+    Arg.(
+      value & flag
+      & info [ "attrib" ]
+          ~doc:
+            "Add the dominant analysis-minus-observed gap category to the \
+             tightness table.")
+  in
   let trace =
     Arg.(
       value
@@ -675,7 +729,276 @@ let fuzz_cmd =
           shapes and all multicore approach families")
     Term.(
       const run $ seed $ count $ cores $ jobs_flag $ modes $ timeout_ms $ csv
-      $ trace)
+      $ attrib $ trace)
+
+(* ---------------- attribute ---------------- *)
+
+(* Mode wiring mirrors Fuzz.Oracle.run_mode: the analysis and the
+   simulated machine must describe the same hardware for the gap to mean
+   anything.  The attributed task runs on core 0; under the contended
+   modes every other core runs the same program as a co-runner. *)
+let attribute_cmd =
+  let run source mode_arg cores gap trace_out csv_out =
+    let mode =
+      match Fuzz.Oracle.mode_of_string mode_arg with
+      | Ok m -> m
+      | Error msg -> die "%s" msg
+    in
+    if cores < 1 || cores > 4 then die "--cores must be in 1..4";
+    let program, annot = load source in
+    let l2_cfg = Cache.Config.make ~sets:64 ~assoc:4 ~line_size:16 in
+    let analysis_of (w : Core.Wcet.t option) =
+      match w with
+      | Some w -> Attrib.of_wcet w
+      | None -> die "no analysis result for core 0"
+    in
+    let setups n =
+      Array.init n (fun i ->
+          {
+            (Sim.Machine.task program) with
+            Sim.Machine.attrib_blocks = i = 0;
+          })
+    in
+    let sys =
+      Core.Multicore.default_system ~cores
+        ~tasks:(Array.make cores (Some (program, annot)))
+    in
+    let shared_machine =
+      Core.Multicore.machine_config sys ~l2:(Sim.Machine.Shared_l2 sys.Core.Multicore.l2)
+    in
+    let analysis, sim_result =
+      match
+        match mode with
+        | Fuzz.Oracle.Solo ->
+            let platform = Core.Platform.single_core ~l2:l2_cfg () in
+            let a = Core.Wcet.analyze ~annot platform program in
+            let cfg =
+              {
+                Sim.Machine.latencies = platform.Core.Platform.latencies;
+                l1i = platform.Core.Platform.l1i;
+                l1d = platform.Core.Platform.l1d;
+                l2 = Sim.Machine.Private_l2 [| l2_cfg |];
+                arbiter = Interconnect.Arbiter.Private;
+                refresh = platform.Core.Platform.refresh;
+                i_path = Sim.Machine.Conventional;
+              }
+            in
+            ( Attrib.of_wcet a,
+              Some (Sim.Machine.run cfg ~cores:(setups 1) ()).(0) )
+        | Fuzz.Oracle.Oblivious ->
+            let a = analysis_of (Core.Multicore.analyze_oblivious sys).(0) in
+            let cfg =
+              {
+                (Core.Multicore.machine_config sys
+                   ~l2:(Sim.Machine.Private_l2 [| sys.Core.Multicore.l2 |]))
+                with
+                Sim.Machine.arbiter = Interconnect.Arbiter.Private;
+              }
+            in
+            (* the oblivious bound is only claimed solo *)
+            (a, Some (Sim.Machine.run cfg ~cores:(setups 1) ()).(0))
+        | Fuzz.Oracle.Joint ->
+            let a = analysis_of (Core.Multicore.analyze_joint sys ()).(0) in
+            (a, Some (Sim.Machine.run shared_machine ~cores:(setups cores) ()).(0))
+        | Fuzz.Oracle.Bypass ->
+            let a =
+              analysis_of (Core.Multicore.analyze_joint sys ~bypass:true ()).(0)
+            in
+            let lines = Core.Multicore.bypass_lines sys (program, annot) in
+            let cs =
+              Array.map
+                (fun s ->
+                  { s with Sim.Machine.l2_bypass = (fun l -> List.mem l lines) })
+                (setups cores)
+            in
+            (a, Some (Sim.Machine.run shared_machine ~cores:cs ()).(0))
+        | Fuzz.Oracle.Columnized | Fuzz.Oracle.Bankized ->
+            let scheme =
+              if mode = Fuzz.Oracle.Columnized then Cache.Partition.Columnization
+              else Cache.Partition.Bankization
+            in
+            let a =
+              analysis_of (Core.Multicore.analyze_partitioned sys ~scheme).(0)
+            in
+            let alloc =
+              Cache.Partition.even_shares scheme sys.Core.Multicore.l2
+                ~parts:cores
+            in
+            let slices =
+              Array.init cores (fun i ->
+                  Cache.Partition.partition_config sys.Core.Multicore.l2 alloc
+                    ~index:i)
+            in
+            let cfg =
+              Core.Multicore.machine_config sys
+                ~l2:(Sim.Machine.Private_l2 slices)
+            in
+            (a, Some (Sim.Machine.run cfg ~cores:(setups cores) ()).(0))
+        | Fuzz.Oracle.Locked ->
+            let selection = Core.Multicore.static_lock_selection sys in
+            let a = analysis_of (Core.Multicore.analyze_locked sys).(0) in
+            let cs =
+              Array.map
+                (fun s ->
+                  {
+                    s with
+                    Sim.Machine.locked_l2_lines = selection.Cache.Locking.locked;
+                  })
+                (setups cores)
+            in
+            (a, Some (Sim.Machine.run shared_machine ~cores:cs ()).(0))
+        | Fuzz.Oracle.Dynamic ->
+            (* analysis-level only: the machine cannot reprogram locks *)
+            (analysis_of (Core.Multicore.analyze_locked_dynamic sys).(0), None)
+      with
+      | pair -> pair
+      | exception Core.Wcet.Not_analysable msg ->
+          die "not analysable: %s" msg
+    in
+    let observed = Option.map Attrib.observed sim_result in
+    print_string (Attrib.render analysis);
+    (match observed with
+    | Some o when gap ->
+        print_newline ();
+        print_string (Attrib.render o);
+        print_newline ();
+        print_string (Attrib.render_gap (Attrib.gap ~analysis ~observed:o))
+    | Some o ->
+        Printf.printf "\nobserved: %d cycles (pass --gap for the breakdown)\n"
+          o.Attrib.bound
+    | None ->
+        print_string
+          "\nmode dynamic is analysis-only: no simulated side, no gap\n");
+    (match csv_out with
+    | Some path ->
+        let b = Buffer.create 2048 in
+        Buffer.add_string b Attrib.csv_header;
+        Buffer.add_string b (Attrib.csv_rows ~side:"analysis" analysis);
+        Option.iter
+          (fun o ->
+            Buffer.add_string b (Attrib.csv_rows ~side:"observed" o);
+            Buffer.add_string b
+              (Attrib.gap_csv_rows (Attrib.gap ~analysis ~observed:o)))
+          observed;
+        write_file path (Buffer.contents b);
+        Printf.eprintf "paratime: attribution CSV written to %s\n%!" path
+    | None -> ());
+    match trace_out with
+    | Some path ->
+        let sink = Obs.Sink.create () in
+        Obs.set_sink (Some sink);
+        Attrib.emit_counters ~side:"analysis" analysis;
+        Option.iter (fun o -> Attrib.emit_counters ~side:"observed" o) observed;
+        Obs.set_sink None;
+        write_file path (Obs.Trace_export.to_json sink);
+        Printf.eprintf "paratime: attribution trace written to %s\n%!" path
+    | None -> ()
+  in
+  let source =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SOURCE" ~doc:"Assembly file or bench:NAME.")
+  in
+  let mode =
+    Arg.(
+      value & opt string "solo"
+      & info [ "mode"; "m" ] ~docv:"MODE"
+          ~doc:
+            "Approach mode: solo, oblivious, joint, bypass, columnized, \
+             bankized, locked, dynamic.")
+  in
+  let cores =
+    Arg.(
+      value & opt int 2
+      & info [ "cores" ] ~docv:"N"
+          ~doc:
+            "Core count for the contended modes (1-4, default 2); co-runner \
+             cores execute the same task.")
+  in
+  let gap =
+    Arg.(
+      value & flag
+      & info [ "gap" ]
+          ~doc:
+            "Also print the observed attribution and the per-category \
+             analysis-minus-observed gap.")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Export the attribution as Chrome-trace counter tracks.")
+  in
+  let csv_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE"
+          ~doc:"Write the per-block attribution (and gap) CSV into $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "attribute"
+       ~doc:
+         "Decompose a WCET bound into per-block, per-category cycle budgets \
+          and compare against the simulator's observed attribution")
+    Term.(const run $ source $ mode $ cores $ gap $ trace_out $ csv_out)
+
+(* ---------------- report ---------------- *)
+
+let report_cmd =
+  let run source with_l2 dot proc =
+    let program, annot = load source in
+    let platform = Core.Platform.single_core ?l2:(l2_of_flag with_l2) () in
+    match Core.Wcet.analyze ~annot platform program with
+    | exception Core.Wcet.Not_analysable msg ->
+        Printf.eprintf "not analysable: %s\n" msg;
+        exit 1
+    | a -> (
+        let unknown p =
+          die "unknown procedure %S; known procedures: %s" p
+            (String.concat ", " (List.map fst a.Core.Wcet.procs))
+        in
+        match (dot, proc) with
+        | Some p, _ -> (
+            match Core.Report.dot_of_proc a p with
+            | s -> print_string s
+            | exception Not_found -> unknown p)
+        | None, Some p -> (
+            match Core.Report.render_proc a p with
+            | s -> print_string s
+            | exception Not_found -> unknown p)
+        | None, None -> print_string (Core.Report.render a))
+  in
+  let source =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SOURCE" ~doc:"Assembly file or bench:NAME.")
+  in
+  let with_l2 =
+    Arg.(value & flag & info [ "l2" ] ~doc:"Add a 64x4x16 private L2.")
+  in
+  let dot =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dot" ] ~docv:"PROC"
+          ~doc:"Graphviz CFG of one procedure, cost/count annotated.")
+  in
+  let proc =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "proc" ] ~docv:"PROC" ~doc:"Report for one procedure only.")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Render the full analysis report, one procedure's section, or a \
+          procedure's annotated CFG in Graphviz dot")
+    Term.(const run $ source $ with_l2 $ dot $ proc)
 
 (* ---------------- trace ---------------- *)
 
@@ -824,6 +1147,8 @@ let () =
             multicore_cmd;
             batch_cmd;
             fuzz_cmd;
+            attribute_cmd;
+            report_cmd;
             trace_cmd;
             cfg_cmd;
             benchmarks_cmd;

@@ -1,0 +1,92 @@
+(** Cycle attribution: where a WCET/BCET bound — or an observed run —
+    spends its cycles, decomposed per (procedure, block) over the five
+    categories of {!Pipeline.Cost.category}.
+
+    The analytic side redistributes the IPET solution *flat*: the bound
+    folds a callee's WCET into the calling block's cost, but here those
+    cycles are charged to the callee's own blocks, weighted by the
+    call-path multiplicity.  That makes the analytic view directly
+    comparable to the simulator's per-block counters
+    ({!Sim.Machine.core_result.block_attrib}), which naturally charge a
+    callee's cycles to the callee.
+
+    Everything is exact integer arithmetic on the same vectors the
+    analyses produced: for every view built here the per-category (and
+    per-block) sums equal the bound (or the observed cycle count)
+    bit-exactly — the invariant the property tests and the CI smoke job
+    assert. *)
+
+module Vec = Pipeline.Cost.Vec
+
+type row = {
+  proc : string;
+  block : int;  (** [-1] for the observed side's unattributed remainder *)
+  count : int option;
+      (** executions on the bound path (flat multiplicity); [None] on
+          the observed side, which counts cycles, not traversals *)
+  vec : Vec.t;  (** total cycles of this block, per category *)
+}
+
+type t = {
+  label : string;  (** ["wcet"], ["bcet"] or ["observed"] *)
+  bound : int;  (** the bound, or the observed cycle count *)
+  rows : row list;  (** sorted by (proc, block) *)
+  overheads : (string * Vec.t) list;
+      (** per-procedure one-time costs (persistence first misses,
+          method-cache loads) x multiplicity; analytic sides only *)
+  total : Vec.t;
+      (** sum of rows and overheads; [Vec.total total = bound]
+          bit-exactly (observed side: for a halted core) *)
+}
+
+val of_wcet : Core.Wcet.t -> t
+(** Flat attribution of the WCET bound.  Multiplicities propagate
+    top-down over the call graph: the root executes once, a callee
+    inherits [count(call block) * mult(caller)] from each call site. *)
+
+val of_bcet : Core.Bcet.t -> t
+
+val observed : Sim.Machine.core_result -> t
+(** The simulator's per-block counters as the same shape.  Cycles not
+    attributable to a block (no CFG location for the pc) appear as a
+    single [("(unattributed)", -1)] row, so the rows always sum to
+    [attrib] exactly. *)
+
+type gap = {
+  g_analysis : t;
+  g_observed : t;
+  diff : Vec.t;  (** [analysis - observed] per category; components can
+                     be negative on categories the run exceeded *)
+  per_block : ((string * int) * Vec.t) list;
+      (** per-(proc, block) gap over the union of both sides' rows *)
+  dominant : Pipeline.Cost.category;
+      (** the category dominating the pessimism, [Vec.dominant diff] *)
+}
+
+val gap : analysis:t -> observed:t -> gap
+(** [Vec.total diff = analysis.bound - observed.bound] bit-exactly. *)
+
+(** {1 Rendering} *)
+
+val render : t -> string
+(** Text table: one line per block, overheads, and a TOTAL line. *)
+
+val render_gap : gap -> string
+(** Per-category analysis/observed/gap table plus the dominant
+    category. *)
+
+val csv_header : string
+(** [side,proc,block,count,compute,l1_miss,l2_miss,bus,stall,total]. *)
+
+val csv_rows : side:string -> t -> string
+(** Per-block rows, overhead rows (block ["overhead"]), and a TOTAL row
+    whose [total] column is [bound]. *)
+
+val gap_csv_rows : gap -> string
+(** The per-block gap and its TOTAL row under side ["gap"]. *)
+
+val emit_counters : side:string -> t -> unit
+(** Record the attribution as an {!Obs} counter track
+    ([attrib.<side>], category ["attrib"]): one sample per row with the
+    five categories as args, then an [attrib.<side>.total] sample.
+    No-op without an installed sink. *)

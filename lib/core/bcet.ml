@@ -1,4 +1,12 @@
-type proc_result = { name : string; bcet : int; ipet : Ipet.result }
+module Vec = Pipeline.Cost.Vec
+
+type proc_result = {
+  name : string;
+  bcet : int;
+  ipet : Ipet.result;
+  attrib : Vec.t array;
+  bcet_vec : Vec.t;
+}
 
 type t = {
   program : Isa.Program.t;
@@ -23,7 +31,18 @@ let best_exec_cost (lat : Pipeline.Latencies.t) = function
   | Isa.Instr.Load _ | Isa.Instr.Store _ | Isa.Instr.Nop | Isa.Instr.Halt ->
       lat.Pipeline.Latencies.base
 
-let best_block_cost (lat : Pipeline.Latencies.t) g id =
+(* Category split of the optimistic cost: everything is local compute
+   except the redirect penalty of unconditional transfers. *)
+let best_exec_vec (lat : Pipeline.Latencies.t) ins =
+  let stall =
+    match ins with
+    | Isa.Instr.Jump _ | Isa.Instr.Call _ | Isa.Instr.Ret ->
+        lat.Pipeline.Latencies.branch_penalty
+    | _ -> 0
+  in
+  { Vec.zero with compute = best_exec_cost lat ins - stall; stall }
+
+let best_block_vec (lat : Pipeline.Latencies.t) g id =
   let b = Cfg.Graph.block g id in
   List.fold_left
     (fun acc i ->
@@ -35,8 +54,10 @@ let best_block_cost (lat : Pipeline.Latencies.t) g id =
             else lat.Pipeline.Latencies.io
         | _ -> 0
       in
-      acc + best_exec_cost lat ins + lat.Pipeline.Latencies.l1_hit + mem)
-    0
+      Vec.add acc
+        (Vec.add (best_exec_vec lat ins)
+           { Vec.zero with compute = lat.Pipeline.Latencies.l1_hit + mem }))
+    Vec.zero
     (Cfg.Block.instr_indices b)
 
 let analyze ?(annot = Dataflow.Annot.empty) ?telemetry ?(solver = `Sparse)
@@ -72,23 +93,40 @@ let analyze ?(annot = Dataflow.Annot.empty) ?telemetry ?(solver = `Sparse)
           try Dataflow.Loop_bounds.infer ~call_clobbers g dom loops va annot
           with Dataflow.Loop_bounds.Unbounded msg -> fail "%s" msg
         in
-        let block_cost id =
-          let base = best_block_cost lat g id in
-          match Cfg.Graph.callee_of_block g id with
-          | Some callee -> (
-              match Hashtbl.find_opt results callee with
-              | Some (r : proc_result) -> base + r.bcet
-              | None -> fail "callee %s analyzed out of order" callee)
-          | None -> base
+        let own_vecs =
+          Array.init (Cfg.Graph.num_blocks g) (best_block_vec lat g)
+        in
+        let full_vecs =
+          Array.mapi
+            (fun id v ->
+              match Cfg.Graph.callee_of_block g id with
+              | Some callee -> (
+                  match Hashtbl.find_opt results callee with
+                  | Some (r : proc_result) -> Vec.add v r.bcet_vec
+                  | None -> fail "callee %s analyzed out of order" callee)
+              | None -> v)
+            own_vecs
         in
         let ipet =
           span "ipet-solve" (fun () ->
               try
-                Ipet.solve g ~loop_bounds ~block_cost ~direction:`Minimize
-                  ~solver ()
+                Ipet.solve g ~loop_bounds
+                  ~block_cost:(fun id -> Vec.total full_vecs.(id))
+                  ~direction:`Minimize ~solver ()
               with Ipet.Flow_infeasible msg -> fail "%s: %s" name msg)
         in
-        let r = { name; bcet = ipet.Ipet.wcet; ipet } in
+        let bcet_vec =
+          let acc = ref Vec.zero in
+          Array.iteri
+            (fun id v ->
+              acc := Vec.add !acc (Vec.scale ipet.Ipet.block_counts.(id) v))
+            full_vecs;
+          !acc
+        in
+        assert (Vec.total bcet_vec = ipet.Ipet.wcet);
+        let r =
+          { name; bcet = ipet.Ipet.wcet; ipet; attrib = own_vecs; bcet_vec }
+        in
         Hashtbl.replace results name r;
         (name, r))
       (Cfg.Callgraph.bottom_up callgraph)

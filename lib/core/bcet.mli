@@ -15,6 +15,12 @@ type proc_result = {
   name : string;
   bcet : int;  (** includes callee BCETs *)
   ipet : Ipet.result;
+  attrib : Pipeline.Cost.Vec.t array;
+      (** per-block own cost vector (callee BCETs excluded); on the
+          optimistic path only [Compute] and [Stall] are nonzero *)
+  bcet_vec : Pipeline.Cost.Vec.t;
+      (** full category decomposition; [Vec.total bcet_vec = bcet]
+          bit-exactly *)
 }
 
 type t = {

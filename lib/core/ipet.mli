@@ -12,6 +12,10 @@ type result = {
   wcet : int;
   block_counts : int array;  (** worst-case execution count per block *)
 }
+(** The solver is exact over rationals and the objective is linear in the
+    block counts, so [wcet = sum over blocks of block_cost * count]
+    bit-exactly — the invariant the attribution layer ({!Wcet.proc_result}
+    vectors, [Attrib]) redistributes per category without rounding. *)
 
 exception Flow_infeasible of string
 

@@ -1,3 +1,5 @@
+module Vec = Pipeline.Cost.Vec
+
 type proc_result = {
   name : string;
   wcet : int;
@@ -5,6 +7,9 @@ type proc_result = {
   loop_bounds : Dataflow.Loop_bounds.bound list;
   block_costs : int array;
   ps_penalty : int;
+  attrib : Vec.t array;
+  overhead_vec : Vec.t;
+  wcet_vec : Vec.t;
 }
 
 type t = {
@@ -34,17 +39,20 @@ let combined_l2_accesses ~include_fetches l2cfg g va id =
       (fun (f : Cache.Analysis.access) -> f :: by_instr f.instr)
       fetches
 
-(* Per-access L2 classification lookup assembled per platform mode. *)
+(* Per-access L2 classification lookup assembled per platform mode.
+   [l2_class_base] is the task's own classification before co-runner
+   interference; it differs from [l2_class] only in shared-L2 mode, where
+   [Cache.Shared.interfere] may demote entries.  The attribution charges
+   the cost delta between the two to the bus/interference category. *)
 type l2_view = {
   l2_class : Cache.Analysis.kind -> int -> Cache.Analysis.classification;
+  l2_class_base : Cache.Analysis.kind -> int -> Cache.Analysis.classification;
   multilevel : Cache.Multilevel.t option;
 }
 
 let no_l2_view =
-  {
-    l2_class = (fun _ _ -> Cache.Analysis.Always_miss);
-    multilevel = None;
-  }
+  let all_miss _ _ = Cache.Analysis.Always_miss in
+  { l2_class = all_miss; l2_class_base = all_miss; multilevel = None }
 
 let make_l2_view platform g va ~entry ~l1i ~l1d =
   let cac_of (a : Cache.Analysis.access) =
@@ -74,14 +82,12 @@ let make_l2_view platform g va ~entry ~l1i ~l1d =
       match platform.Platform.l2 with
       | Platform.No_l2 -> assert false
       | Platform.Private_l2 _ ->
-          {
-            l2_class =
-              (fun kind i ->
-                match Cache.Multilevel.classification m ~kind i with
-                | c -> c
-                | exception Not_found -> Cache.Analysis.Always_miss);
-            multilevel = Some m;
-          }
+          let cls kind i =
+            match Cache.Multilevel.classification m ~kind i with
+            | c -> c
+            | exception Not_found -> Cache.Analysis.Always_miss
+          in
+          { l2_class = cls; l2_class_base = cls; multilevel = Some m }
       | Platform.Shared_l2 { conflicts; _ } ->
           let adjusted = Cache.Shared.interfere m conflicts in
           let table = Hashtbl.create 64 in
@@ -98,6 +104,11 @@ let make_l2_view platform g va ~entry ~l1i ~l1d =
                 match Hashtbl.find_opt table (i, kind) with
                 | Some c -> c
                 | None -> Cache.Analysis.Always_miss);
+            l2_class_base =
+              (fun kind i ->
+                match Cache.Multilevel.classification m ~kind i with
+                | c -> c
+                | exception Not_found -> Cache.Analysis.Always_miss);
             multilevel = Some m;
           }
       | Platform.Locked_l2 { selection_of; _ } ->
@@ -115,14 +126,12 @@ let make_l2_view platform g va ~entry ~l1i ~l1d =
                 (info.Cache.Multilevel.instr, info.Cache.Multilevel.kind)
                 cls)
             (Cache.Multilevel.access_infos m);
-          {
-            l2_class =
-              (fun kind i ->
-                match Hashtbl.find_opt table (i, kind) with
-                | Some c -> c
-                | None -> Cache.Analysis.Always_miss);
-            multilevel = Some m;
-          })
+          let cls kind i =
+            match Hashtbl.find_opt table (i, kind) with
+            | Some c -> c
+            | None -> Cache.Analysis.Always_miss
+          in
+          { l2_class = cls; l2_class_base = cls; multilevel = Some m })
 
 let analyze ?(annot = Dataflow.Annot.empty) ?telemetry ?(solver = `Sparse)
     platform program =
@@ -167,18 +176,22 @@ let analyze ?(annot = Dataflow.Annot.empty) ?telemetry ?(solver = `Sparse)
           (fun mc -> (mc, Cache.Method_cache.analyze callgraph mc))
           platform.Platform.method_cache)
   in
-  let mc_load callee =
+  let mc_load_vec callee =
     match mc_analysis with
-    | None -> 0
+    | None -> Vec.zero
     | Some (mc, a) ->
         let size =
           match List.assoc_opt callee a.Cache.Method_cache.procs with
           | Some sz -> sz
           | None -> 0
         in
-        Cache.Method_cache.load_cost mc
-          ~mem_latency:lat.Pipeline.Latencies.mem ~size_words:size
-        + bus_wait + mem_wait
+        {
+          Vec.zero with
+          l2_miss =
+            Cache.Method_cache.load_cost mc
+              ~mem_latency:lat.Pipeline.Latencies.mem ~size_words:size;
+          bus = bus_wait + mem_wait;
+        }
   in
   let analyze_proc (name, g) =
     let dom, loops =
@@ -260,37 +273,96 @@ let analyze ?(annot = Dataflow.Annot.empty) ?telemetry ?(solver = `Sparse)
     let oracle =
       { Pipeline.Cost.fetch_class; data_class; is_io; bus_wait; mem_wait }
     in
-    let block_costs =
-      span "block-costs" @@ fun () ->
-      Array.init (Cfg.Graph.num_blocks g) (fun id ->
-          let base = Pipeline.Cost.block_cost lat g oracle id in
-          let base =
-            match platform.Platform.l2 with
-            | Platform.Locked_l2 { reload_cost; _ } ->
-                base + reload_cost ~proc:name id
-            | Platform.No_l2 | Platform.Private_l2 _ | Platform.Shared_l2 _
-              ->
-                base
+    (* Pre-interference twin of [oracle]: only the L2 classifications
+       differ, and only in shared-L2 mode.  The per-block attribution is
+       decomposed against this baseline, with the (non-negative, since
+       [Cache.Shared.interfere] only demotes) cost delta charged to the
+       bus/interference category. *)
+    let oracle_base =
+      match platform.Platform.l2 with
+      | Platform.No_l2 | Platform.Private_l2 _ | Platform.Locked_l2 _ ->
+          oracle
+      | Platform.Shared_l2 _ ->
+          let fetch_class_base i =
+            match l1i with
+            | Some l1i ->
+                {
+                  Pipeline.Cost.l1 = Cache.Analysis.classification l1i i;
+                  l2 = l2_view.l2_class_base Cache.Analysis.Fetch i;
+                }
+            | None ->
+                {
+                  Pipeline.Cost.l1 = Cache.Analysis.Always_hit;
+                  l2 = Cache.Analysis.Always_hit;
+                }
           in
-          (* Method cache without a fit guarantee: a call may have to load
-             the callee and, on return, reload this procedure. *)
-          let base =
+          let data_class_base i =
+            match
+              Cache.Analysis.classification l1d ~kind:Cache.Analysis.Data i
+            with
+            | c ->
+                Some
+                  {
+                    Pipeline.Cost.l1 = c;
+                    l2 = l2_view.l2_class_base Cache.Analysis.Data i;
+                  }
+            | exception Not_found -> None
+          in
+          {
+            oracle with
+            Pipeline.Cost.fetch_class = fetch_class_base;
+            data_class = data_class_base;
+          }
+    in
+    let own_vecs, full_vecs, block_costs =
+      span "block-costs" @@ fun () ->
+      (* Own per-block cost vectors: everything the block pays per
+         execution except callee WCETs (those are redistributed to the
+         callee's own blocks by the attribution layer). *)
+      let own =
+        Array.init (Cfg.Graph.num_blocks g) (fun id ->
+            let v = Pipeline.Cost.block_vec lat g oracle_base id in
+            let v =
+              if oracle_base == oracle then v
+              else
+                let delta =
+                  Pipeline.Cost.block_cost lat g oracle id - Vec.total v
+                in
+                Vec.add v (Vec.make Pipeline.Cost.Bus delta)
+            in
+            let v =
+              match platform.Platform.l2 with
+              | Platform.Locked_l2 { reload_cost; _ } ->
+                  Vec.add v
+                    (Vec.make Pipeline.Cost.L2_miss (reload_cost ~proc:name id))
+              | Platform.No_l2 | Platform.Private_l2 _ | Platform.Shared_l2 _
+                ->
+                  v
+            in
+            (* Method cache without a fit guarantee: a call may have to
+               load the callee and, on return, reload this procedure. *)
             match (mc_analysis, Cfg.Graph.callee_of_block g id) with
             | Some (_, a), Some callee when not a.Cache.Method_cache.always_fits
               ->
-                base + mc_load callee + mc_load name
-            | _ -> base
-          in
-          match Cfg.Graph.callee_of_block g id with
-          | Some callee -> (
-              match Hashtbl.find_opt results callee with
-              | Some (r : proc_result) -> base + r.wcet
-              | None -> fail "callee %s analyzed out of order" callee)
-          | None -> base)
+                Vec.add v (Vec.add (mc_load_vec callee) (mc_load_vec name))
+            | _ -> v)
+      in
+      let full =
+        Array.mapi
+          (fun id v ->
+            match Cfg.Graph.callee_of_block g id with
+            | Some callee -> (
+                match Hashtbl.find_opt results callee with
+                | Some (r : proc_result) -> Vec.add v r.wcet_vec
+                | None -> fail "callee %s analyzed out of order" callee)
+            | None -> v)
+          own
+      in
+      (own, full, Array.map Vec.total full)
     in
     (* Persistence penalties: one worst-case miss per persistent access
        point per procedure execution, at both levels. *)
-    let ps_penalty =
+    let ps_vec =
       span "block-costs" @@ fun () ->
       let of_kind analysis kind =
         List.fold_left
@@ -306,16 +378,18 @@ let analyze ?(annot = Dataflow.Annot.empty) ?telemetry ?(solver = `Sparse)
                   l2 = l2_view.l2_class kind a.Cache.Analysis.instr;
                 }
               in
-              acc + Pipeline.Cost.first_miss_penalty lat oracle mc
+              Vec.add acc (Pipeline.Cost.first_miss_vec lat oracle mc)
             else acc)
-          0
+          Vec.zero
           (Cache.Analysis.accesses analysis)
       in
-      (match l1i with
-      | Some l1i -> of_kind l1i Cache.Analysis.Fetch
-      | None -> 0)
-      + of_kind l1d Cache.Analysis.Data
+      Vec.add
+        (match l1i with
+        | Some l1i -> of_kind l1i Cache.Analysis.Fetch
+        | None -> Vec.zero)
+        (of_kind l1d Cache.Analysis.Data)
     in
+    let ps_penalty = Vec.total ps_vec in
     let mutually_exclusive =
       List.filter_map
         (fun (la, lb) ->
@@ -338,28 +412,45 @@ let analyze ?(annot = Dataflow.Annot.empty) ?telemetry ?(solver = `Sparse)
               ~mutually_exclusive ~solver ()
           with Ipet.Flow_infeasible msg -> fail "%s: %s" name msg)
     in
-    let mc_penalty =
+    let mc_vec =
       match mc_analysis with
-      | None -> 0
+      | None -> Vec.zero
       | Some (_, a) ->
           if a.Cache.Method_cache.always_fits then
             if name = root then
               (* FIFO never evicts: one load per procedure per run. *)
               List.fold_left
-                (fun acc (p, _) -> acc + mc_load p)
-                0 a.Cache.Method_cache.procs
-            else 0
-          else if name = root then mc_load root
-          else 0 (* per-execution reloads already in the call blocks *)
+                (fun acc (p, _) -> Vec.add acc (mc_load_vec p))
+                Vec.zero a.Cache.Method_cache.procs
+            else Vec.zero
+          else if name = root then mc_load_vec root
+          else Vec.zero (* per-execution reloads already in the call blocks *)
     in
+    let mc_penalty = Vec.total mc_vec in
+    let overhead_vec = Vec.add ps_vec mc_vec in
+    let wcet_vec =
+      (* Exact by construction: the IPET objective is the same weighted
+         sum over the scalar totals of these vectors. *)
+      let acc = ref overhead_vec in
+      Array.iteri
+        (fun id v ->
+          acc := Vec.add !acc (Vec.scale ipet.Ipet.block_counts.(id) v))
+        full_vecs;
+      !acc
+    in
+    let wcet = ipet.Ipet.wcet + ps_penalty + mc_penalty in
+    assert (Vec.total wcet_vec = wcet);
     let result =
       {
         name;
-        wcet = ipet.Ipet.wcet + ps_penalty + mc_penalty;
+        wcet;
         ipet;
         loop_bounds;
         block_costs;
         ps_penalty;
+        attrib = own_vecs;
+        overhead_vec;
+        wcet_vec;
       }
     in
     (match telemetry with

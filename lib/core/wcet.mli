@@ -17,6 +17,22 @@ type proc_result = {
   loop_bounds : Dataflow.Loop_bounds.bound list;
   block_costs : int array;
   ps_penalty : int;
+  attrib : Pipeline.Cost.Vec.t array;
+      (** per-block *own* cost vector: the block's per-execution cost
+          decomposed over the five attribution categories, excluding
+          callee WCETs (which [wcet_vec] folds in and the attribution
+          layer redistributes to the callee's own blocks).
+          [Vec.total attrib.(b) + callee wcet = block_costs.(b)]
+          bit-exactly. *)
+  overhead_vec : Pipeline.Cost.Vec.t;
+      (** one-time costs per procedure execution (persistence first-miss
+          penalties, method-cache loads); its total is
+          [ps_penalty + mc_penalty]. *)
+  wcet_vec : Pipeline.Cost.Vec.t;
+      (** full category decomposition of [wcet]:
+          [Vec.total wcet_vec = wcet] bit-exactly.  In shared-L2 mode the
+          cost delta caused by co-runner conflict demotions is charged to
+          the [Bus] category. *)
 }
 
 type t = {

@@ -42,6 +42,8 @@ type check = {
   bcet : int;
   wcet : int;
   observed : int option;
+  a_vec : Pipeline.Cost.Vec.t;
+  o_vec : Pipeline.Cost.Vec.t option;
 }
 
 type violation = {
@@ -70,10 +72,16 @@ let merge_reports rs =
 
 (* ---- bounds and machines --------------------------------------------- *)
 
-let wcet_bound ?memo ~annot platform program =
+let wcet_result ?memo ~annot platform program =
   match memo with
-  | None -> (Core.Wcet.analyze ~annot platform program).Core.Wcet.wcet
-  | Some m -> (Core.Memo.wcet m ~annot platform program).Core.Wcet.wcet
+  | None -> Core.Wcet.analyze ~annot platform program
+  | Some m -> Core.Memo.wcet m ~annot platform program
+
+(* The root procedure's category decomposition of the bound. *)
+let root_vec (w : Core.Wcet.t) =
+  match List.rev w.Core.Wcet.procs with
+  | (_, pr) :: _ -> pr.Core.Wcet.wcet_vec
+  | [] -> Pipeline.Cost.Vec.zero
 
 let bcet_bound ?memo ~annot platform program =
   match memo with
@@ -135,10 +143,13 @@ let setup_of (g : Generator.t) =
 
 (* ---- the sandwich ---------------------------------------------------- *)
 
-let sandwich ~mode ~shape ~(g : Generator.t) ~core ~bcet ~wcet result =
+let sandwich ~mode ~shape ~(g : Generator.t) ~core ~bcet ~wcet ~a_vec result =
   let check = { mode; shape; task = g.Generator.name; core; bcet; wcet;
                 observed = Option.map (fun (r : Sim.Machine.core_result) ->
-                    r.Sim.Machine.cycles) result }
+                    r.Sim.Machine.cycles) result;
+                a_vec;
+                o_vec = Option.map (fun (r : Sim.Machine.core_result) ->
+                    r.Sim.Machine.attrib) result }
   in
   let viol reason =
     Some
@@ -186,16 +197,18 @@ let check_solo ?memo ?(checkpoint = fun () -> ()) (g : Generator.t) =
   let per_shape (shape, platform) =
     checkpoint ();
     match
-      let wcet = wcet_bound ?memo ~annot platform program in
+      let w = wcet_result ?memo ~annot platform program in
       let bcet = bcet_bound ?memo ~annot platform program in
       let rs =
         Sim.Machine.run (sim_config_of platform) ~cores:[| setup_of g |] ()
       in
-      sandwich ~mode:Solo ~shape ~g ~core:0 ~bcet ~wcet (Some rs.(0))
+      sandwich ~mode:Solo ~shape ~g ~core:0 ~bcet ~wcet:w.Core.Wcet.wcet
+        ~a_vec:(root_vec w) (Some rs.(0))
     with
     | pair -> pair
     | exception Core.Wcet.Not_analysable msg ->
-        sandwich ~mode:Solo ~shape ~g ~core:0 ~bcet:0 ~wcet:(-1) None
+        sandwich ~mode:Solo ~shape ~g ~core:0 ~bcet:0 ~wcet:(-1)
+          ~a_vec:Pipeline.Cost.Vec.zero None
         |> fun (c, _) ->
         ( c,
           Some
@@ -248,15 +261,15 @@ let check_group ?memo ?(checkpoint = fun () -> ()) ~modes gens =
   let plain_setups = Array.map setup_of gens in
   (* One sandwich per core, against either a per-core result array, a
      per-core solo run, or nothing (analytic modes). *)
-  let per_core ~mode ~shape wcets result_for =
+  let per_core ~mode ~shape results result_for =
     List.filter_map
       (fun core ->
-        match wcets.(core) with
+        match results.(core) with
         | None -> None
-        | Some wcet ->
+        | Some (w : Core.Wcet.t) ->
             Some
               (sandwich ~mode ~shape ~g:gens.(core) ~core ~bcet:bcets.(core)
-                 ~wcet (result_for core)))
+                 ~wcet:w.Core.Wcet.wcet ~a_vec:(root_vec w) (result_for core)))
       (List.init n (fun i -> i))
   in
   let run_mode mode =
@@ -265,7 +278,7 @@ let check_group ?memo ?(checkpoint = fun () -> ()) ~modes gens =
     | Solo -> []
     | Oblivious ->
         (* only claimed solo: validate each task owning the machine *)
-        let ws = M.wcets (M.analyze_oblivious ?memo sys) in
+        let ws = M.analyze_oblivious ?memo sys in
         let cfg =
           {
             (M.machine_config sys ~l2:(Sim.Machine.Private_l2 [| sys.M.l2 |]))
@@ -276,7 +289,7 @@ let check_group ?memo ?(checkpoint = fun () -> ()) ~modes gens =
         per_core ~mode ~shape:"private-l2" ws (fun core ->
             Some (Sim.Machine.run cfg ~cores:[| plain_setups.(core) |] ()).(0))
     | Joint ->
-        let ws = M.wcets (M.analyze_joint ?memo sys ()) in
+        let ws = M.analyze_joint ?memo sys () in
         let rs =
           Sim.Machine.run
             (M.machine_config sys ~l2:(Sim.Machine.Shared_l2 sys.M.l2))
@@ -284,7 +297,7 @@ let check_group ?memo ?(checkpoint = fun () -> ()) ~modes gens =
         in
         per_core ~mode ~shape:"shared-l2" ws (fun core -> Some rs.(core))
     | Bypass ->
-        let ws = M.wcets (M.analyze_joint ?memo sys ~bypass:true ()) in
+        let ws = M.analyze_joint ?memo sys ~bypass:true () in
         let setups =
           Array.map
             (fun (g : Generator.t) ->
@@ -308,7 +321,7 @@ let check_group ?memo ?(checkpoint = fun () -> ()) ~modes gens =
           if mode = Columnized then Cache.Partition.Columnization
           else Cache.Partition.Bankization
         in
-        let ws = M.wcets (M.analyze_partitioned ?memo sys ~scheme) in
+        let ws = M.analyze_partitioned ?memo sys ~scheme in
         let alloc = Cache.Partition.even_shares scheme sys.M.l2 ~parts:n in
         let slices =
           Array.init n (fun i ->
@@ -325,7 +338,7 @@ let check_group ?memo ?(checkpoint = fun () -> ()) ~modes gens =
           (fun core -> Some rs.(core))
     | Locked ->
         let selection = M.static_lock_selection ?memo sys in
-        let ws = M.wcets (M.analyze_locked ?memo sys) in
+        let ws = M.analyze_locked ?memo sys in
         let setups =
           Array.map
             (fun s ->
@@ -344,7 +357,7 @@ let check_group ?memo ?(checkpoint = fun () -> ()) ~modes gens =
         per_core ~mode ~shape:"locked-l2" ws (fun core -> Some rs.(core))
     | Dynamic ->
         (* analysis-level only: the machine cannot reprogram lock bits *)
-        let ws = M.wcets (M.analyze_locked_dynamic ?memo sys) in
+        let ws = M.analyze_locked_dynamic ?memo sys in
         per_core ~mode ~shape:"locked-l2-dynamic" ws (fun _ -> None)
   in
   let per_mode mode =
@@ -380,6 +393,8 @@ type mode_stats = {
   s_min_ratio : float;
   s_mean_ratio : float;
   s_max_ratio : float;
+  s_gap : Pipeline.Cost.Vec.t;
+  s_dominant_gap : Pipeline.Cost.category option;
 }
 
 type campaign = {
@@ -417,6 +432,16 @@ let stats_of report modes =
           if ratios = [] then 0.0
           else List.fold_left ( +. ) 0.0 ratios /. float_of_int (List.length ratios)
         in
+        let gap =
+          List.fold_left
+            (fun acc c ->
+              match c.o_vec with
+              | Some o ->
+                  Pipeline.Cost.Vec.add acc (Pipeline.Cost.Vec.sub c.a_vec o)
+              | None -> acc)
+            Pipeline.Cost.Vec.zero checks
+        in
+        let any_observed = List.exists (fun c -> c.o_vec <> None) checks in
         Some
           {
             s_mode = mode;
@@ -425,6 +450,10 @@ let stats_of report modes =
             s_min_ratio = (if ratios = [] then 0.0 else min_r);
             s_mean_ratio = mean_r;
             s_max_ratio = max_r;
+            s_gap = gap;
+            s_dominant_gap =
+              (if any_observed then Some (Pipeline.Cost.Vec.dominant gap)
+               else None);
           })
     modes
 
@@ -495,9 +524,10 @@ let run_campaign ?(params = Generator.default_params) ?(modes = all_modes)
     memo_stats = Option.map Core.Memo.stats memo;
   }
 
-let csv_of_report report =
+let csv_header = "mode,shape,task,core,bcet,observed,wcet,ratio,dominant_gap\n"
+
+let csv_rows report =
   let buf = Buffer.create 1024 in
-  Buffer.add_string buf "mode,shape,task,core,bcet,observed,wcet,ratio\n";
   List.iter
     (fun c ->
       let observed, ratio =
@@ -508,8 +538,17 @@ let csv_of_report report =
         | Some o -> (string_of_int o, "")
         | None -> ("", "")
       in
+      let dominant =
+        match c.o_vec with
+        | Some o ->
+            Pipeline.Cost.category_name
+              (Pipeline.Cost.Vec.dominant (Pipeline.Cost.Vec.sub c.a_vec o))
+        | None -> ""
+      in
       Buffer.add_string buf
-        (Printf.sprintf "%s,%s,%s,%d,%d,%s,%d,%s\n" (mode_name c.mode) c.shape
-           c.task c.core c.bcet observed c.wcet ratio))
+        (Printf.sprintf "%s,%s,%s,%d,%d,%s,%d,%s,%s\n" (mode_name c.mode)
+           c.shape c.task c.core c.bcet observed c.wcet ratio dominant))
     report.checks;
   Buffer.contents buf
+
+let csv_of_report report = csv_header ^ csv_rows report

@@ -51,6 +51,11 @@ type check = {
   bcet : int;
   wcet : int;
   observed : int option;  (** [None] for analytic-only checks *)
+  a_vec : Pipeline.Cost.Vec.t;
+      (** category decomposition of [wcet] (the root procedure's
+          [wcet_vec]; zero when the analysis failed) *)
+  o_vec : Pipeline.Cost.Vec.t option;
+      (** the simulated core's observed attribution, when a run exists *)
 }
 
 type violation = {
@@ -91,6 +96,11 @@ type mode_stats = {
   s_min_ratio : float;  (** min over checks of WCET / observed *)
   s_mean_ratio : float;
   s_max_ratio : float;
+  s_gap : Pipeline.Cost.Vec.t;
+      (** summed per-category pessimism [a_vec - o_vec] over the mode's
+          simulated checks *)
+  s_dominant_gap : Pipeline.Cost.category option;
+      (** [Vec.dominant s_gap]; [None] for analytic-only modes *)
 }
 
 type campaign = {
@@ -120,5 +130,14 @@ val run_campaign :
     domains.  Results are deterministic at any worker count.
     @raise Invalid_argument if [count <= 0] or [cores] outside 1..4. *)
 
+val csv_header : string
+(** [mode,shape,task,core,bcet,observed,wcet,ratio,dominant_gap] —
+    exposed separately so the CLI can emit (and flush) it before the
+    campaign runs: a killed run leaves a parseable CSV. *)
+
+val csv_rows : report -> string
+(** One row per check; [dominant_gap] names the category dominating
+    [a_vec - o_vec] (empty for analytic-only checks). *)
+
 val csv_of_report : report -> string
-(** [mode,shape,task,core,bcet,observed,wcet,ratio] rows. *)
+(** [csv_header ^ csv_rows]. *)

@@ -6,6 +6,7 @@
 
    - span rows:    span,<tid>,<track>,<cat>,<name>,<begin ns>,<dur ns>,
    - instant rows: instant,<tid>,<track>,<cat>,<name>,<ts ns>,,
+   - counter events: ctr,<tid>,<track>,<cat>,<name>,<ts ns>,,k=v;k=v
    - counters:     counter,,,,<name>,,,<value>
    - gauges:       gauge,,,,<name>,,,<value>
    - histograms:   hist,,,,<name>,,,count=..;sum=..;min=..;max=..
@@ -55,7 +56,13 @@ let to_csv sink =
                     ""
               | [] -> ())
           | Event.Instant { name; cat; _ } ->
-              row "instant" tid tname cat name (Int64.to_string e.ts) "" "")
+              row "instant" tid tname cat name (Int64.to_string e.ts) "" ""
+          | Event.Counter { name; cat; args } ->
+              row "ctr" tid tname cat name (Int64.to_string e.ts) ""
+                (String.concat ";"
+                   (List.map
+                      (fun (k, v) -> k ^ "=" ^ Event.value_to_string v)
+                      args)))
         (Sink.events tr))
     (Sink.tracks sink);
   List.iter

@@ -4,12 +4,13 @@ type kind =
   | Begin of { name : string; cat : string; args : (string * value) list }
   | End
   | Instant of { name : string; cat : string; args : (string * value) list }
+  | Counter of { name : string; cat : string; args : (string * value) list }
 
 type t = { ts : int64; kind : kind }
 
 let cat_of e =
   match e.kind with
-  | Begin { cat; _ } | Instant { cat; _ } -> Some cat
+  | Begin { cat; _ } | Instant { cat; _ } | Counter { cat; _ } -> Some cat
   | End -> None
 
 let value_to_string = function

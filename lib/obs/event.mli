@@ -11,6 +11,10 @@ type kind =
   | Begin of { name : string; cat : string; args : (string * value) list }
   | End
   | Instant of { name : string; cat : string; args : (string * value) list }
+  | Counter of { name : string; cat : string; args : (string * value) list }
+      (** a sampled multi-series value (Chrome [ph:"C"] counter track):
+          each arg is one series at this timestamp — used for the
+          attribution category tracks *)
 
 type t = { ts : int64; kind : kind }
 

@@ -73,6 +73,11 @@ let instant ?cat ?args name =
   | None -> ()
   | Some s -> Sink.instant s (track_for s) ?cat ?args name
 
+let counter ?cat ?args name =
+  match Atomic.get sink_cell with
+  | None -> ()
+  | Some s -> Sink.counter s (track_for s) ?cat ?args name
+
 let emit_begin ~ts ?cat ?args name =
   match Atomic.get sink_cell with
   | None -> ()

@@ -44,6 +44,10 @@ val span : ?cat:string -> ?args:(string * Event.value) list -> string -> (unit -
 
 val instant : ?cat:string -> ?args:(string * Event.value) list -> string -> unit
 
+val counter : ?cat:string -> ?args:(string * Event.value) list -> string -> unit
+(** Record a {!Event.Counter} sample (Chrome counter-track point) on the
+    current domain's track; each arg is one series value. *)
+
 val emit_begin : ts:int64 -> ?cat:string -> ?args:(string * Event.value) list -> string -> unit
 (** Low-level: record a [Begin] with an externally read timestamp.  Used
     by callers that need the measured duration themselves (e.g. the

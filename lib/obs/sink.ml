@@ -63,6 +63,13 @@ let instant t tr ?(cat = "") ?(args = []) name =
   Ring.push tr.ring
     { Event.ts = t.clock (); kind = Event.Instant { name; cat; args } }
 
+let counter t tr ?(cat = "") ?(args = []) name =
+  Ring.push tr.ring
+    { Event.ts = t.clock (); kind = Event.Counter { name; cat; args } }
+
+let counter_at tr ~ts ?(cat = "") ?(args = []) name =
+  Ring.push tr.ring { Event.ts; kind = Event.Counter { name; cat; args } }
+
 (* Export-time repair: a ring that wrapped may have lost Begins whose
    Ends survived (drop those Ends), and a recording interrupted mid-span
    leaves unclosed Begins (synthesize Ends at the last timestamp).  The
@@ -83,7 +90,7 @@ let events tr =
               decr depth;
               true
             end
-        | Event.Instant _ -> true)
+        | Event.Instant _ | Event.Counter _ -> true)
       raw
   in
   if !depth = 0 then kept

@@ -36,6 +36,11 @@ val end_ : t -> track -> unit
 val end_at : track -> ts:int64 -> unit
 val instant : t -> track -> ?cat:string -> ?args:(string * Event.value) list -> string -> unit
 
+val counter : t -> track -> ?cat:string -> ?args:(string * Event.value) list -> string -> unit
+(** Record a {!Event.Counter} sample; each arg is one series value. *)
+
+val counter_at : track -> ts:int64 -> ?cat:string -> ?args:(string * Event.value) list -> string -> unit
+
 val events : track -> Event.t list
 (** The track's surviving events, oldest first, with ring-wrap damage
     repaired: orphan [End]s dropped, unclosed [Begin]s closed at the last

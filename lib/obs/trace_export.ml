@@ -65,10 +65,15 @@ let to_json ?(keep = fun ~cat:_ -> true) sink =
   let line_of tr (e : Event.t) =
     let lb = Buffer.create 128 in
     (match e.kind with
-    | Event.Begin { name; cat; args } | Event.Instant { name; cat; args } ->
+    | Event.Begin { name; cat; args }
+    | Event.Instant { name; cat; args }
+    | Event.Counter { name; cat; args } ->
         Buffer.add_string lb "{\"ph\":";
         Buffer.add_string lb
-          (match e.kind with Event.Begin _ -> "\"B\"" | _ -> "\"i\"");
+          (match e.kind with
+          | Event.Begin _ -> "\"B\""
+          | Event.Counter _ -> "\"C\""
+          | _ -> "\"i\"");
         Buffer.add_string lb ",\"name\":";
         buf_add_json_string lb name;
         Buffer.add_string lb ",\"cat\":";
@@ -111,7 +116,8 @@ let to_json ?(keep = fun ~cat:_ -> true) sink =
                     keep_stack := rest;
                     k
                 | [] -> false)
-            | Event.Instant { cat; _ } -> keep ~cat)
+            | Event.Instant { cat; _ } | Event.Counter { cat; _ } ->
+                keep ~cat)
           (Sink.events tr)
       in
       if kept <> [] then begin

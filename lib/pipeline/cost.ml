@@ -1,3 +1,97 @@
+(* Where a cycle goes.  The same five categories decompose the analytic
+   block costs (here), the IPET-weighted bound (Core.Wcet/Bcet) and the
+   simulator's per-cycle accounting (Sim.Machine), so analysis-vs-observed
+   gaps can be compared category by category. *)
+type category = Compute | L1_miss | L2_miss | Bus | Stall
+
+let categories = [ Compute; L1_miss; L2_miss; Bus; Stall ]
+
+let category_name = function
+  | Compute -> "compute"
+  | L1_miss -> "l1_miss"
+  | L2_miss -> "l2_miss"
+  | Bus -> "bus"
+  | Stall -> "stall"
+
+let category_index = function
+  | Compute -> 0
+  | L1_miss -> 1
+  | L2_miss -> 2
+  | Bus -> 3
+  | Stall -> 4
+
+module Vec = struct
+  type t = {
+    compute : int;
+    l1_miss : int;
+    l2_miss : int;
+    bus : int;
+    stall : int;
+  }
+
+  let zero = { compute = 0; l1_miss = 0; l2_miss = 0; bus = 0; stall = 0 }
+
+  let make cat n =
+    match cat with
+    | Compute -> { zero with compute = n }
+    | L1_miss -> { zero with l1_miss = n }
+    | L2_miss -> { zero with l2_miss = n }
+    | Bus -> { zero with bus = n }
+    | Stall -> { zero with stall = n }
+
+  let add a b =
+    {
+      compute = a.compute + b.compute;
+      l1_miss = a.l1_miss + b.l1_miss;
+      l2_miss = a.l2_miss + b.l2_miss;
+      bus = a.bus + b.bus;
+      stall = a.stall + b.stall;
+    }
+
+  let sub a b =
+    {
+      compute = a.compute - b.compute;
+      l1_miss = a.l1_miss - b.l1_miss;
+      l2_miss = a.l2_miss - b.l2_miss;
+      bus = a.bus - b.bus;
+      stall = a.stall - b.stall;
+    }
+
+  let scale k v =
+    {
+      compute = k * v.compute;
+      l1_miss = k * v.l1_miss;
+      l2_miss = k * v.l2_miss;
+      bus = k * v.bus;
+      stall = k * v.stall;
+    }
+
+  let total v = v.compute + v.l1_miss + v.l2_miss + v.bus + v.stall
+
+  let get v = function
+    | Compute -> v.compute
+    | L1_miss -> v.l1_miss
+    | L2_miss -> v.l2_miss
+    | Bus -> v.bus
+    | Stall -> v.stall
+
+  let of_array arr =
+    {
+      compute = arr.(category_index Compute);
+      l1_miss = arr.(category_index L1_miss);
+      l2_miss = arr.(category_index L2_miss);
+      bus = arr.(category_index Bus);
+      stall = arr.(category_index Stall);
+    }
+
+  let to_alist v = List.map (fun c -> (c, get v c)) categories
+
+  let dominant v =
+    List.fold_left
+      (fun best c -> if get v c > get v best then c else best)
+      Compute categories
+end
+
 type mem_class = {
   l1 : Cache.Analysis.classification;
   l2 : Cache.Analysis.classification;
@@ -11,57 +105,93 @@ type oracle = {
   mem_wait : int;
 }
 
-let l2_miss_cost (lat : Latencies.t) oracle = function
-  | Cache.Analysis.Always_hit | Cache.Analysis.Persistent -> 0
-  | Cache.Analysis.Always_miss | Cache.Analysis.Not_classified ->
-      lat.Latencies.mem + oracle.mem_wait
+(* Category conventions, shared with the simulator's counters:
+   - local latencies (base exec, L1 lookups, the I/O device time) are
+     [Compute];
+   - the L2 lookup paid because an access missed L1 is [L1_miss];
+   - the DRAM latency paid because it also missed L2 is [L2_miss];
+   - everything charged only because other agents share the memory path —
+     arbiter wait, controller/refresh wait — is [Bus];
+   - pipeline redirect penalties are [Stall]. *)
 
-let access_cost (lat : Latencies.t) oracle mc =
+let l2_miss_vec (lat : Latencies.t) oracle = function
+  | Cache.Analysis.Always_hit | Cache.Analysis.Persistent -> Vec.zero
+  | Cache.Analysis.Always_miss | Cache.Analysis.Not_classified ->
+      { Vec.zero with l2_miss = lat.Latencies.mem; bus = oracle.mem_wait }
+
+let access_vec (lat : Latencies.t) oracle mc =
   match mc.l1 with
   | Cache.Analysis.Always_hit | Cache.Analysis.Persistent ->
-      lat.Latencies.l1_hit
+      { Vec.zero with compute = lat.Latencies.l1_hit }
   | Cache.Analysis.Always_miss | Cache.Analysis.Not_classified ->
-      lat.Latencies.l1_hit + oracle.bus_wait + lat.Latencies.l2_hit
-      + l2_miss_cost lat oracle mc.l2
+      Vec.add
+        {
+          Vec.compute = lat.Latencies.l1_hit;
+          l1_miss = lat.Latencies.l2_hit;
+          l2_miss = 0;
+          bus = oracle.bus_wait;
+          stall = 0;
+        }
+        (l2_miss_vec lat oracle mc.l2)
 
-let first_miss_penalty (lat : Latencies.t) oracle mc =
+let access_cost lat oracle mc = Vec.total (access_vec lat oracle mc)
+
+let first_miss_vec (lat : Latencies.t) oracle mc =
   match mc.l1 with
   | Cache.Analysis.Persistent ->
       (* The one L1 miss crosses the bus into L2; if the L2 cannot
          guarantee a hit — including when the line is merely *persistent*
          there, since its one L2 miss coincides with this one L1 miss —
          it continues into memory. *)
-      oracle.bus_wait + lat.Latencies.l2_hit
-      + (match mc.l2 with
-        | Cache.Analysis.Always_hit -> 0
+      Vec.add
+        {
+          Vec.compute = 0;
+          l1_miss = lat.Latencies.l2_hit;
+          l2_miss = 0;
+          bus = oracle.bus_wait;
+          stall = 0;
+        }
+        (match mc.l2 with
+        | Cache.Analysis.Always_hit -> Vec.zero
         | Cache.Analysis.Persistent | Cache.Analysis.Always_miss
         | Cache.Analysis.Not_classified ->
-            lat.Latencies.mem + oracle.mem_wait)
+            { Vec.zero with l2_miss = lat.Latencies.mem; bus = oracle.mem_wait })
   | Cache.Analysis.Always_miss | Cache.Analysis.Not_classified -> (
       match mc.l2 with
-      | Cache.Analysis.Persistent -> lat.Latencies.mem + oracle.mem_wait
+      | Cache.Analysis.Persistent ->
+          { Vec.zero with l2_miss = lat.Latencies.mem; bus = oracle.mem_wait }
       | Cache.Analysis.Always_hit | Cache.Analysis.Always_miss
       | Cache.Analysis.Not_classified ->
-          0)
-  | Cache.Analysis.Always_hit -> 0
+          Vec.zero)
+  | Cache.Analysis.Always_hit -> Vec.zero
 
-let data_cost lat oracle i =
-  if oracle.is_io i then oracle.bus_wait + lat.Latencies.io
+let first_miss_penalty lat oracle mc = Vec.total (first_miss_vec lat oracle mc)
+
+let exec_vec (lat : Latencies.t) ins =
+  let stall = Latencies.exec_stall lat ins in
+  { Vec.zero with compute = Latencies.exec_cost lat ins - stall; stall }
+
+let data_vec (lat : Latencies.t) oracle i =
+  if oracle.is_io i then
+    { Vec.zero with compute = lat.Latencies.io; bus = oracle.bus_wait }
   else
     match oracle.data_class i with
-    | Some mc -> access_cost lat oracle mc
-    | None -> 0
+    | Some mc -> access_vec lat oracle mc
+    | None -> Vec.zero
 
-let block_cost lat g oracle id =
+let block_vec lat g oracle id =
   let b = Cfg.Graph.block g id in
   List.fold_left
     (fun acc i ->
       let ins = Isa.Program.instr g.Cfg.Graph.program i in
-      acc
-      + Latencies.exec_cost lat ins
-      + access_cost lat oracle (oracle.fetch_class i)
-      + data_cost lat oracle i)
-    0
+      Vec.add acc
+        (Vec.add (exec_vec lat ins)
+           (Vec.add
+              (access_vec lat oracle (oracle.fetch_class i))
+              (data_vec lat oracle i))))
+    Vec.zero
     (Cfg.Block.instr_indices b)
+
+let block_cost lat g oracle id = Vec.total (block_vec lat g oracle id)
 
 let no_l2 c = { l1 = c; l2 = Cache.Analysis.Always_miss }

@@ -10,7 +10,62 @@
     Memory path model: the L1 caches are private; L1 misses cross the
     shared bus (paying the arbiter's worst wait) into the L2; L2 misses
     continue to DRAM, paying the memory controller's worst extra wait.
-    Uncached I/O accesses cross the bus every time. *)
+    Uncached I/O accesses cross the bus every time.
+
+    Every cost is also available as a {!Vec.t} decomposition over the five
+    attribution categories; the scalar costs are defined as the totals of
+    their vectors, so per-category sums are bit-exact against the bounds
+    by construction. *)
+
+(** Attribution category of a cycle.  Shared verbatim between the static
+    analysis ([Core.Wcet]/[Core.Bcet] weight these by IPET flow counts)
+    and the simulator ([Sim.Machine] counts actual cycles per category):
+
+    - [Compute]: local work — base execution latency, L1 lookups, the
+      I/O device's own service time;
+    - [L1_miss]: the L2 lookup latency paid because an access missed L1;
+    - [L2_miss]: the DRAM latency paid because it also missed L2
+      (including method-cache function loads and lock-reload traffic);
+    - [Bus]: cycles charged only because the memory path is shared —
+      arbiter wait, memory-controller/refresh wait, and (in shared-L2
+      mode) the reclassification delta caused by co-runner conflicts;
+    - [Stall]: pipeline redirect penalties after control transfers. *)
+type category = Compute | L1_miss | L2_miss | Bus | Stall
+
+val categories : category list
+(** All five, in fixed schema order. *)
+
+val category_name : category -> string
+val category_index : category -> int  (** position in {!categories} *)
+
+(** Cycle vectors over the five categories. *)
+module Vec : sig
+  type t = {
+    compute : int;
+    l1_miss : int;
+    l2_miss : int;
+    bus : int;
+    stall : int;
+  }
+
+  val zero : t
+  val make : category -> int -> t
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val scale : int -> t -> t
+  val total : t -> int
+  val get : t -> category -> int
+
+  val of_array : int array -> t
+  (** Read counters indexed by {!category_index} (length >= 5). *)
+
+  val to_alist : t -> (category * int) list
+
+  val dominant : t -> category
+  (** The category with the largest component (first in {!categories}
+      order on ties).  On a gap vector [sub analysis observed] this is
+      the category dominating the pessimism. *)
+end
 
 type mem_class = {
   l1 : Cache.Analysis.classification;
@@ -33,13 +88,30 @@ val access_cost : Latencies.t -> oracle -> mem_class -> int
     is charged as a hit here; its one-off miss is accounted separately by
     {!first_miss_penalty} times the enclosing scope's entry count. *)
 
+val access_vec : Latencies.t -> oracle -> mem_class -> Vec.t
+(** Category decomposition of {!access_cost};
+    [access_cost = Vec.total (access_vec ...)] exactly. *)
+
 val first_miss_penalty : Latencies.t -> oracle -> mem_class -> int
 (** The extra cost of the single allowed miss of a [Persistent] access
     (zero if the access is not persistent at any level). *)
 
+val first_miss_vec : Latencies.t -> oracle -> mem_class -> Vec.t
+(** Category decomposition of {!first_miss_penalty}. *)
+
+val exec_vec : Latencies.t -> Isa.Instr.t -> Vec.t
+(** [Latencies.exec_cost] split into compute vs redirect-stall cycles. *)
+
+val data_vec : Latencies.t -> oracle -> int -> Vec.t
+(** Category decomposition of the data-access cost of instruction [i]. *)
+
 val block_cost : Latencies.t -> Cfg.Graph.t -> oracle -> Cfg.Block.id -> int
 (** Sum over the block's instructions of execution, fetch, and data
     costs. *)
+
+val block_vec : Latencies.t -> Cfg.Graph.t -> oracle -> Cfg.Block.id -> Vec.t
+(** Category decomposition of {!block_cost};
+    [block_cost = Vec.total (block_vec ...)] exactly. *)
 
 val no_l2 : Cache.Analysis.classification -> mem_class
 (** Lift a single-level classification to a platform without L2. *)

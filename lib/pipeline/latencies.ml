@@ -21,6 +21,14 @@ let default =
     io = 20;
   }
 
+let exec_stall t = function
+  | Isa.Instr.Branch _ | Isa.Instr.Jump _ | Isa.Instr.Call _ | Isa.Instr.Ret
+    ->
+      t.branch_penalty
+  | Isa.Instr.Alu _ | Isa.Instr.Alui _ | Isa.Instr.Load _ | Isa.Instr.Store _
+  | Isa.Instr.Nop | Isa.Instr.Halt ->
+      0
+
 let exec_cost t = function
   | Isa.Instr.Alu (op, _, _, _) | Isa.Instr.Alui (op, _, _, _) -> (
       match op with

@@ -26,3 +26,7 @@ val exec_cost : t -> Isa.Instr.t -> int
 (** Execution (non-memory) cost: base/mul/div plus the branch penalty for
     instructions that may redirect the fetch stream ([Branch] is charged
     taken — the worst case —, [Jump]/[Call]/[Ret] always redirect). *)
+
+val exec_stall : t -> Isa.Instr.t -> int
+(** The redirect-penalty portion of {!exec_cost} (the pipeline-stall
+    attribution category); zero for non-control instructions. *)

@@ -11,6 +11,11 @@ type t = {
   mutable clock : int;
   max_wait : int array;
   total_wait : int array;
+  (* Per-cycle stall-cause counters: a pending cycle is either spent
+     being serviced (the transaction's own latency) or waiting on the
+     arbiter (interference from co-runners). *)
+  wait_cycles : int array;
+  service_cycles : int array;
 }
 
 let create policy =
@@ -26,6 +31,8 @@ let create policy =
     clock = 0;
     max_wait = Array.make ncores 0;
     total_wait = Array.make ncores 0;
+    wait_cycles = Array.make ncores 0;
+    service_cycles = Array.make ncores 0;
   }
 
 let request t ~core ~latency =
@@ -90,6 +97,14 @@ let step t =
      match arbitrate t with
      | Some core -> start_service t core
      | None -> ());
+  (let serving = match t.in_service with Some (c, _) -> c | None -> -1 in
+   Array.iteri
+     (fun c r ->
+       if r <> None then
+         if c = serving then
+           t.service_cycles.(c) <- t.service_cycles.(c) + 1
+         else t.wait_cycles.(c) <- t.wait_cycles.(c) + 1)
+     t.pending);
   (match t.in_service with
   | Some (core, remaining) ->
       let remaining = remaining - 1 in
@@ -104,3 +119,8 @@ let step t =
 let now t = t.clock
 let max_wait t ~core = t.max_wait.(core)
 let total_wait t ~core = t.total_wait.(core)
+let wait_cycles t ~core = t.wait_cycles.(core)
+let service_cycles t ~core = t.service_cycles.(core)
+
+let serving t ~core =
+  match t.in_service with Some (c, _) -> c = core | None -> false

@@ -29,3 +29,18 @@ val max_wait : t -> core:int -> int
 (** Largest observed request-to-service-start wait for that core. *)
 
 val total_wait : t -> core:int -> int
+
+val wait_cycles : t -> core:int -> int
+(** Cycles the core's transactions spent pending but *not* in service —
+    pure arbitration interference from co-runners (plus TDMA slot
+    alignment).  Counted per bus step. *)
+
+val service_cycles : t -> core:int -> int
+(** Cycles the core's transactions spent being serviced (their own
+    latency).  [wait_cycles + service_cycles] = pending cycles total. *)
+
+val serving : t -> core:int -> bool
+(** The bus is currently servicing this core's transaction.  Between
+    steps, this is what a stalled core observes: a stall cycle with
+    [serving = false] is arbitration wait, one with [serving = true] is
+    the transaction's own service latency. *)

@@ -23,6 +23,7 @@ type core_setup = {
   warm_i : int list;
   warm_d : int list;
   l2_bypass : int -> bool;
+  attrib_blocks : bool;
 }
 
 let task program =
@@ -34,6 +35,7 @@ let task program =
     warm_i = [];
     warm_d = [];
     l2_bypass = (fun _ -> false);
+    attrib_blocks = false;
   }
 
 let idle =
@@ -45,6 +47,7 @@ let idle =
     warm_i = [];
     warm_d = [];
     l2_bypass = (fun _ -> false);
+    attrib_blocks = false;
   }
 
 type core_result = {
@@ -57,11 +60,20 @@ type core_result = {
   l1d_misses : int;
   max_bus_wait : int;
   bus_stall_cycles : int;
+  attrib : Pipeline.Cost.Vec.t;
+  block_attrib : ((string * int) * Pipeline.Cost.Vec.t) list;
   final_state : Isa.Exec.state option;
 }
 
-(* Work items of the current instruction, consumed cycle by cycle. *)
-type work = Local of int | Bus_tx of int
+(* Work items of the current instruction, consumed cycle by cycle.  Each
+   [Local] cycle is tagged with its attribution category; a bus
+   transaction carries the category breakdown of its service latency
+   ([Vec.total tx_vec = tx_latency]), charged at issue — the remaining
+   serviced stall cycles are then skipped by the per-cycle accounting,
+   while arbitration-wait stall cycles are charged to [Bus] one by one. *)
+type tx = { tx_latency : int; tx_vec : Pipeline.Cost.Vec.t }
+
+type work = Local of Pipeline.Cost.category * int | Bus_tx of tx
 
 type core_state = {
   id : int;
@@ -75,6 +87,10 @@ type core_state = {
   mutable done_cycle : int option;
   mutable instructions : int;
   mutable bus_stall_cycles : int;
+  attrib : int array;  (* indexed by Pipeline.Cost.category_index *)
+  block_attrib : (string * int, int array) Hashtbl.t option;
+  loc_of_instr : (string * int) option array option;
+  mutable cur_block : (string * int) option;
   l2_bypass : int -> bool;
   mcache : mcache_state option;
 }
@@ -112,8 +128,49 @@ let build_mcache mc program =
     proc_sizes;
   }
 
+(* Instruction -> (procedure name, block id) map for per-block
+   attribution; mirrors [build_mcache]'s first-wins convention for code
+   shared between procedures. *)
+let build_locs program =
+  match Cfg.Callgraph.build program with
+  | exception _ -> None
+  | cg ->
+      let locs = Array.make (Isa.Program.length program) None in
+      List.iter
+        (fun (name, (g : Cfg.Graph.t)) ->
+          for id = 0 to Cfg.Graph.num_blocks g - 1 do
+            let b = Cfg.Graph.block g id in
+            for i = b.Cfg.Block.first to b.Cfg.Block.last do
+              if locs.(i) = None then locs.(i) <- Some (name, id)
+            done
+          done)
+        (Cfg.Callgraph.bottom_up cg);
+      Some locs
+
+let bump core cat n =
+  let i = Pipeline.Cost.category_index cat in
+  core.attrib.(i) <- core.attrib.(i) + n;
+  match (core.block_attrib, core.cur_block) with
+  | Some tbl, Some loc ->
+      let arr =
+        match Hashtbl.find_opt tbl loc with
+        | Some a -> a
+        | None ->
+            let a = Array.make (List.length Pipeline.Cost.categories) 0 in
+            Hashtbl.add tbl loc a;
+            a
+      in
+      arr.(i) <- arr.(i) + n
+  | _ -> ()
+
+let bump_vec core v =
+  List.iter
+    (fun (cat, n) -> if n <> 0 then bump core cat n)
+    (Pipeline.Cost.Vec.to_alist v)
+
 (* Bus transaction for loading the function containing [instr], if it is
-   not resident. *)
+   not resident.  Function loads are DRAM traffic: the whole latency is
+   attributed to [L2_miss], matching the analysis side's [mc_load_vec]. *)
 let mcache_miss_tx lat st instr =
   if instr < 0 || instr >= Array.length st.proc_of_instr then []
   else
@@ -123,11 +180,17 @@ let mcache_miss_tx lat st instr =
       match Cache.Method_cache.access st.cache p with
       | `Hit -> []
       | `Miss ->
+          let cost =
+            Cache.Method_cache.load_cost st.mc_config
+              ~mem_latency:lat.Pipeline.Latencies.mem
+              ~size_words:st.proc_sizes.(p)
+          in
           [
             Bus_tx
-              (Cache.Method_cache.load_cost st.mc_config
-                 ~mem_latency:lat.Pipeline.Latencies.mem
-                 ~size_words:st.proc_sizes.(p));
+              {
+                tx_latency = cost;
+                tx_vec = Pipeline.Cost.Vec.make Pipeline.Cost.L2_miss cost;
+              };
           ]
 
 (* Worst-case extra wait if a DRAM access can collide with a refresh. *)
@@ -137,9 +200,13 @@ let refresh_extra refresh clock =
   | Interconnect.Arbiter.Distributed { interval; duration } ->
       if clock mod interval < duration then duration else 0
 
-(* Latency of the bus transaction serving an L1 miss: L2 lookup plus DRAM
-   on an L2 miss.  The L2 state is updated here (issue time). *)
-let miss_tx_latency cfg core clock addr =
+(* The bus transaction serving an L1 miss: L2 lookup plus DRAM on an L2
+   miss.  The L2 state is updated here (issue time).  Attribution mirrors
+   the analysis decomposition: the L2 lookup goes to [L1_miss], the DRAM
+   latency to [L2_miss], and refresh collisions — memory-controller
+   interference — to [Bus]. *)
+let miss_tx cfg core clock addr =
+  let lat = cfg.latencies in
   let bypassed =
     match core.l2 with
     | Some l2 ->
@@ -147,32 +214,59 @@ let miss_tx_latency cfg core clock addr =
     | None -> false
   in
   match (if bypassed then None else core.l2) with
-  | None -> cfg.latencies.Pipeline.Latencies.mem + refresh_extra cfg.refresh clock
+  | None ->
+      let refresh = refresh_extra cfg.refresh clock in
+      {
+        tx_latency = lat.Pipeline.Latencies.mem + refresh;
+        tx_vec =
+          {
+            Pipeline.Cost.Vec.zero with
+            l2_miss = lat.Pipeline.Latencies.mem;
+            bus = refresh;
+          };
+      }
   | Some l2 -> (
       match Cache.Concrete.access l2 addr with
-      | `Hit -> cfg.latencies.Pipeline.Latencies.l2_hit
+      | `Hit ->
+          {
+            tx_latency = lat.Pipeline.Latencies.l2_hit;
+            tx_vec =
+              Pipeline.Cost.Vec.make Pipeline.Cost.L1_miss
+                lat.Pipeline.Latencies.l2_hit;
+          }
       | `Miss ->
-          cfg.latencies.Pipeline.Latencies.l2_hit
-          + cfg.latencies.Pipeline.Latencies.mem
-          + refresh_extra cfg.refresh clock)
+          let refresh = refresh_extra cfg.refresh clock in
+          {
+            tx_latency =
+              lat.Pipeline.Latencies.l2_hit + lat.Pipeline.Latencies.mem
+              + refresh;
+            tx_vec =
+              {
+                Pipeline.Cost.Vec.zero with
+                l1_miss = lat.Pipeline.Latencies.l2_hit;
+                l2_miss = lat.Pipeline.Latencies.mem;
+                bus = refresh;
+              };
+          })
 
 (* Build the work list for the instruction at the current pc. *)
 let plan_instruction cfg bus core =
   let lat = cfg.latencies in
-  let ins = Isa.Program.instr core.program core.exec.Isa.Exec.pc in
+  let pc = core.exec.Isa.Exec.pc in
+  let ins = Isa.Program.instr core.program pc in
   let clock = Bus.now bus in
-  let fetch_addr = Isa.Program.addr_of_index core.program core.exec.Isa.Exec.pc in
+  (match core.loc_of_instr with
+  | Some locs -> core.cur_block <- locs.(pc)
+  | None -> ());
+  let fetch_addr = Isa.Program.addr_of_index core.program pc in
+  let l1_lookup = Local (Pipeline.Cost.Compute, lat.Pipeline.Latencies.l1_hit) in
   let fetch =
     match core.mcache with
-    | Some _ -> [ Local lat.Pipeline.Latencies.l1_hit ]
+    | Some _ -> [ l1_lookup ]
     | None -> (
         match Cache.Concrete.access core.l1i fetch_addr with
-        | `Hit -> [ Local lat.Pipeline.Latencies.l1_hit ]
-        | `Miss ->
-            [
-              Local lat.Pipeline.Latencies.l1_hit;
-              Bus_tx (miss_tx_latency cfg core clock fetch_addr);
-            ])
+        | `Hit -> [ l1_lookup ]
+        | `Miss -> [ l1_lookup; Bus_tx (miss_tx cfg core clock fetch_addr) ])
   in
   (* Method cache: call and return may need to load the target function. *)
   let mc_control =
@@ -188,7 +282,19 @@ let plan_instruction cfg bus core =
             | [] -> [])
         | _ -> [])
   in
-  let exec = [ Local (Pipeline.Latencies.exec_cost lat ins) ] in
+  let exec =
+    (* Split compute from the redirect penalty, preserving the total
+       cycle count (a [Local (_, 0)] head would cost a spurious cycle). *)
+    let stall = Pipeline.Latencies.exec_stall lat ins in
+    let compute = Pipeline.Latencies.exec_cost lat ins - stall in
+    if compute > 0 && stall > 0 then
+      [
+        Local (Pipeline.Cost.Compute, compute);
+        Local (Pipeline.Cost.Stall, stall);
+      ]
+    else if stall > 0 then [ Local (Pipeline.Cost.Stall, stall) ]
+    else [ Local (Pipeline.Cost.Compute, compute) ]
+  in
   let data =
     match ins with
     | Isa.Instr.Load (sp, _, rb, off) | Isa.Instr.Store (sp, _, rb, off) ->
@@ -196,13 +302,19 @@ let plan_instruction cfg bus core =
         let addr = Isa.Layout.byte_addr sp idx in
         if Isa.Layout.is_cacheable sp then
           match Cache.Concrete.access core.l1d addr with
-          | `Hit -> [ Local lat.Pipeline.Latencies.l1_hit ]
-          | `Miss ->
-              [
-                Local lat.Pipeline.Latencies.l1_hit;
-                Bus_tx (miss_tx_latency cfg core clock addr);
-              ]
-        else [ Bus_tx lat.Pipeline.Latencies.io ]
+          | `Hit -> [ l1_lookup ]
+          | `Miss -> [ l1_lookup; Bus_tx (miss_tx cfg core clock addr) ]
+        else
+          (* The device's own service time is work, not interference. *)
+          [
+            Bus_tx
+              {
+                tx_latency = lat.Pipeline.Latencies.io;
+                tx_vec =
+                  Pipeline.Cost.Vec.make Pipeline.Cost.Compute
+                    lat.Pipeline.Latencies.io;
+              };
+          ]
     | Isa.Instr.Alu _ | Isa.Instr.Alui _ | Isa.Instr.Branch _
     | Isa.Instr.Jump _ | Isa.Instr.Call _ | Isa.Instr.Ret | Isa.Instr.Nop
     | Isa.Instr.Halt ->
@@ -225,17 +337,26 @@ let step_core cfg bus core =
   if core.done_cycle = None then begin
     if core.waiting_bus && not (Bus.pending bus ~core:core.id) then
       core.waiting_bus <- false;
-    if core.waiting_bus then
+    if core.waiting_bus then begin
       core.bus_stall_cycles <- core.bus_stall_cycles + 1;
+      (* Serviced stall cycles were already charged at issue via the
+         transaction's breakdown; the rest is arbitration wait. *)
+      if not (Bus.serving bus ~core:core.id) then
+        bump core Pipeline.Cost.Bus 1
+    end;
     if not core.waiting_bus then begin
       if core.queue = [] then retire_and_plan cfg bus core;
       if core.done_cycle = None then
         match core.queue with
-        | Local n :: rest ->
+        | Local (cat, n) :: rest ->
+            bump core cat 1;
             if n <= 1 then core.queue <- rest
-            else core.queue <- Local (n - 1) :: rest
-        | Bus_tx latency :: rest ->
-            Bus.request bus ~core:core.id ~latency;
+            else core.queue <- Local (cat, n - 1) :: rest
+        | Bus_tx tx :: rest ->
+            (* Charge the whole service latency now (this issue cycle
+               plus the latency-minus-one serviced stall cycles). *)
+            bump_vec core tx.tx_vec;
+            Bus.request bus ~core:core.id ~latency:tx.tx_latency;
             core.waiting_bus <- true;
             core.queue <- rest
         | [] -> assert false (* plan always yields at least the fetch *)
@@ -295,6 +416,9 @@ let run_uninstrumented cfg ~cores ?(max_cycles = 10_000_000) () =
               | Conventional -> None
               | Method_cache mc -> Some (build_mcache mc program)
             in
+            let loc_of_instr =
+              if setup.attrib_blocks then build_locs program else None
+            in
             let core =
               {
                 id = i;
@@ -308,6 +432,13 @@ let run_uninstrumented cfg ~cores ?(max_cycles = 10_000_000) () =
                 done_cycle = None;
                 instructions = 0;
                 bus_stall_cycles = 0;
+                attrib =
+                  Array.make (List.length Pipeline.Cost.categories) 0;
+                block_attrib =
+                  (if setup.attrib_blocks then Some (Hashtbl.create 64)
+                   else None);
+                loc_of_instr;
+                cur_block = None;
                 l2_bypass = setup.l2_bypass;
                 mcache;
               }
@@ -353,11 +484,23 @@ let run_uninstrumented cfg ~cores ?(max_cycles = 10_000_000) () =
             l1d_misses = 0;
             max_bus_wait = 0;
             bus_stall_cycles = 0;
+            attrib = Pipeline.Cost.Vec.zero;
+            block_attrib = [];
             final_state = None;
           }
       | Some c ->
           let l1i_hits, l1i_misses = Cache.Concrete.stats c.l1i in
           let l1d_hits, l1d_misses = Cache.Concrete.stats c.l1d in
+          let block_attrib =
+            match c.block_attrib with
+            | None -> []
+            | Some tbl ->
+                Hashtbl.fold
+                  (fun loc arr acc ->
+                    (loc, Pipeline.Cost.Vec.of_array arr) :: acc)
+                  tbl []
+                |> List.sort compare
+          in
           {
             cycles =
               (match c.done_cycle with
@@ -371,6 +514,8 @@ let run_uninstrumented cfg ~cores ?(max_cycles = 10_000_000) () =
             l1d_misses;
             max_bus_wait = Bus.max_wait bus ~core:i;
             bus_stall_cycles = c.bus_stall_cycles;
+            attrib = Pipeline.Cost.Vec.of_array c.attrib;
+            block_attrib;
             final_state = Some c.exec;
           })
     states
@@ -391,7 +536,11 @@ let run cfg ~cores ?max_cycles () =
       (fun r ->
         Obs.add "sim.cycles" r.cycles;
         Obs.add "sim.instructions" r.instructions;
-        Obs.add "sim.bus_stall_cycles" r.bus_stall_cycles)
+        Obs.add "sim.bus_stall_cycles" r.bus_stall_cycles;
+        List.iter
+          (fun (cat, n) ->
+            Obs.add ("sim.attrib." ^ Pipeline.Cost.category_name cat) n)
+          (Pipeline.Cost.Vec.to_alist r.attrib))
       results;
     results
   end

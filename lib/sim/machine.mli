@@ -57,6 +57,10 @@ type core_setup = {
       (** L2 lines (in L2 geometry) this core's accesses bypass — the
           compiler-directed single-usage bypass of Hardy et al.; bypassed
           misses go straight to memory and never fill the L2 *)
+  attrib_blocks : bool;
+      (** also attribute cycles per (procedure, block) — requires a CFG
+          reconstruction of the task at setup time, so it is off by
+          default; the per-core category totals are always counted *)
 }
 
 val task : Isa.Program.t -> core_setup
@@ -74,6 +78,19 @@ type core_result = {
   bus_stall_cycles : int;
       (** cycles the core spent stalled on bus transactions (waiting plus
           being serviced) — the slack an SMT core could give co-threads *)
+  attrib : Pipeline.Cost.Vec.t;
+      (** observed attribution: where this core's cycles actually went,
+          on the same five categories the analysis decomposes its bound
+          over.  Every cycle is charged to exactly one category (local
+          work as tagged, bus transactions by their service breakdown,
+          arbitration wait to [Bus]), so for a halted core
+          [Vec.total attrib = cycles] bit-exactly. *)
+  block_attrib : ((string * int) * Pipeline.Cost.Vec.t) list;
+      (** observed attribution per (procedure, block), sorted; populated
+          only when the core's setup had [attrib_blocks] set.  Cycles of
+          a callee's execution are charged to the *callee's* blocks (the
+          flat view, matching [Attrib]'s redistribution of the analytic
+          bound).  Sums to [attrib] for a halted core. *)
   final_state : Isa.Exec.state option;
 }
 

@@ -1,0 +1,314 @@
+(* Tests for the attribution layer (lib/attrib): the per-category
+   budgets must sum bit-exactly to the bound on the analytic side and
+   to the cycle count on the observed side — in every multicore
+   approach mode — and the Report/Attrib renderers are pinned by golden
+   tests.  Set ATTRIB_GOLDEN_DUMP=1 to print the actual strings when
+   regenerating the goldens. *)
+
+module G = Fuzz.Generator
+module M = Core.Multicore
+module P = Core.Platform
+module Vec = Pipeline.Cost.Vec
+
+let l2_small = Cache.Config.make ~sets:16 ~assoc:2 ~line_size:16
+
+(* ------------------------------------------------------------------ *)
+(* Exactness helpers                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Rows plus overheads, the decomposition a reader actually sums. *)
+let sum_sides (a : Attrib.t) =
+  let rows =
+    List.fold_left
+      (fun acc (r : Attrib.row) -> Vec.add acc r.Attrib.vec)
+      Vec.zero a.Attrib.rows
+  in
+  List.fold_left (fun acc (_, ov) -> Vec.add acc ov) rows a.Attrib.overheads
+
+let exact ~bound (a : Attrib.t) =
+  a.Attrib.bound = bound
+  && Vec.total a.Attrib.total = bound
+  && sum_sides a = a.Attrib.total
+
+let arb_case =
+  QCheck.make
+    ~print:(fun (seed, index) -> Printf.sprintf "seed=%d index=%d" seed index)
+    QCheck.Gen.(pair (int_range 0 999) (int_range 0 99))
+
+(* ------------------------------------------------------------------ *)
+(* Analytic side                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let prop_solo_exact =
+  QCheck.Test.make
+    ~name:"solo: attribution sums equal the WCET and BCET bounds" ~count:20
+    arb_case (fun (seed, index) ->
+      let g = G.generate ~seed ~index () in
+      let platform = P.single_core ~l2:l2_small () in
+      let w = Core.Wcet.analyze ~annot:g.G.annot platform g.G.program in
+      let b = Core.Bcet.analyze ~annot:g.G.annot platform g.G.program in
+      exact ~bound:w.Core.Wcet.wcet (Attrib.of_wcet w)
+      && exact ~bound:b.Core.Bcet.bcet (Attrib.of_bcet b))
+
+(* All five approach families (joint twice: with and without bypass,
+   partitioned twice: both schemes, locking twice: static and
+   dynamic). *)
+let mode_analyses sys =
+  [
+    ("oblivious", M.analyze_oblivious sys);
+    ("joint", M.analyze_joint sys ());
+    ("bypass", M.analyze_joint sys ~bypass:true ());
+    ( "columnized",
+      M.analyze_partitioned sys ~scheme:Cache.Partition.Columnization );
+    ("bankized", M.analyze_partitioned sys ~scheme:Cache.Partition.Bankization);
+    ("locked", M.analyze_locked sys);
+    ("dynamic", M.analyze_locked_dynamic sys);
+  ]
+
+let prop_modes_exact =
+  QCheck.Test.make
+    ~name:"every multicore mode: flat attribution sums equal the bound"
+    ~count:5 arb_case (fun (seed, index) ->
+      let gens =
+        [| G.generate ~seed ~index (); G.generate ~seed ~index:(index + 1000) () |]
+      in
+      let tasks =
+        Array.map (fun (g : G.t) -> Some (g.G.program, g.G.annot)) gens
+      in
+      let sys = M.default_system ~cores:2 ~tasks in
+      List.for_all
+        (fun (_mode, ws) ->
+          Array.for_all
+            (function
+              | None -> true
+              | Some (w : Core.Wcet.t) ->
+                  exact ~bound:w.Core.Wcet.wcet (Attrib.of_wcet w))
+            ws)
+        (mode_analyses sys))
+
+(* ------------------------------------------------------------------ *)
+(* Observed side                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let sim_cfg =
+  {
+    Sim.Machine.latencies = Pipeline.Latencies.default;
+    l1i = Cache.Config.make ~sets:16 ~assoc:2 ~line_size:16;
+    l1d = Cache.Config.make ~sets:16 ~assoc:2 ~line_size:16;
+    l2 =
+      Sim.Machine.Private_l2
+        [| Cache.Config.make ~sets:64 ~assoc:4 ~line_size:16 |];
+    arbiter = Interconnect.Arbiter.Private;
+    refresh = Interconnect.Arbiter.Burst;
+    i_path = Sim.Machine.Conventional;
+  }
+
+let prop_observed_exact =
+  QCheck.Test.make
+    ~name:"sim: observed attribution sums equal the cycle count" ~count:15
+    arb_case (fun (seed, index) ->
+      let g = G.generate ~seed ~index () in
+      let setup =
+        {
+          (Sim.Machine.task g.G.program) with
+          Sim.Machine.init_data = g.G.data_init;
+          attrib_blocks = true;
+        }
+      in
+      let r = (Sim.Machine.run sim_cfg ~cores:[| setup |] ()).(0) in
+      let a = Attrib.observed r in
+      r.Sim.Machine.halted
+      && exact ~bound:r.Sim.Machine.cycles a
+      && List.for_all
+           (fun (row : Attrib.row) -> row.Attrib.count = None)
+           a.Attrib.rows)
+
+(* ------------------------------------------------------------------ *)
+(* Gap and CSV                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let solo_pair ~seed ~index =
+  let g = G.generate ~seed ~index () in
+  let w =
+    Core.Wcet.analyze ~annot:g.G.annot (P.single_core ~l2:l2_small ())
+      g.G.program
+  in
+  let setup =
+    {
+      (Sim.Machine.task g.G.program) with
+      Sim.Machine.init_data = g.G.data_init;
+      attrib_blocks = true;
+    }
+  in
+  let r = (Sim.Machine.run sim_cfg ~cores:[| setup |] ()).(0) in
+  (Attrib.of_wcet w, Attrib.observed r)
+
+let test_gap_identity () =
+  let analysis, observed = solo_pair ~seed:11 ~index:4 in
+  let gap = Attrib.gap ~analysis ~observed in
+  Alcotest.(check int)
+    "total gap = bound difference"
+    (analysis.Attrib.bound - observed.Attrib.bound)
+    (Vec.total gap.Attrib.diff);
+  Alcotest.(check bool)
+    "dominant is the dominant of diff" true
+    (gap.Attrib.dominant = Vec.dominant gap.Attrib.diff);
+  (* [per_block] spans the rows of both sides; the analytic overheads
+     have no block home, so they make up the rest of [diff]. *)
+  let per_block_sum =
+    List.fold_left
+      (fun acc (_, v) -> Vec.add acc v)
+      Vec.zero gap.Attrib.per_block
+  in
+  let overhead_sum =
+    List.fold_left
+      (fun acc (_, v) -> Vec.add acc v)
+      Vec.zero analysis.Attrib.overheads
+  in
+  Alcotest.(check bool) "per-block gaps + overheads sum to diff" true
+    (Vec.add per_block_sum overhead_sum = gap.Attrib.diff)
+
+(* The same check the CI smoke job runs with awk: data rows' [total]
+   column sums to the TOTAL row, which carries the bound. *)
+let csv_totals side csv =
+  let rows =
+    String.split_on_char '\n' (String.trim csv)
+    |> List.filter_map (fun line ->
+           match String.split_on_char ',' line with
+           | s :: proc :: rest when s = side ->
+               let total = int_of_string (List.nth rest (List.length rest - 1)) in
+               Some (proc, total)
+           | _ -> None)
+  in
+  let data, totals = List.partition (fun (p, _) -> p <> "TOTAL") rows in
+  ( List.fold_left (fun acc (_, t) -> acc + t) 0 data,
+    match totals with [ (_, t) ] -> t | _ -> -1 )
+
+let test_csv_sums () =
+  let analysis, observed = solo_pair ~seed:23 ~index:7 in
+  let csv =
+    Attrib.csv_header
+    ^ Attrib.csv_rows ~side:"analysis" analysis
+    ^ Attrib.csv_rows ~side:"observed" observed
+  in
+  let a_sum, a_total = csv_totals "analysis" csv in
+  Alcotest.(check int) "analysis rows sum to TOTAL" a_total a_sum;
+  Alcotest.(check int) "analysis TOTAL is the bound" analysis.Attrib.bound
+    a_total;
+  let o_sum, o_total = csv_totals "observed" csv in
+  Alcotest.(check int) "observed rows sum to TOTAL" o_total o_sum;
+  Alcotest.(check int) "observed TOTAL is the cycle count"
+    observed.Attrib.bound o_total
+
+(* ------------------------------------------------------------------ *)
+(* Golden renders                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let golden_src =
+  "main:\n\
+  \  li r1, 3\n\
+   loop:\n\
+  \  ld.d r2, 0(r1)\n\
+  \  add r3, r3, r2\n\
+  \  subi r1, r1, 1\n\
+  \  bne r1, r0, loop\n\
+  \  halt\n"
+
+let golden_analysis () =
+  Core.Wcet.analyze (P.single_core ()) (Isa.Asm.parse ~name:"golden" golden_src)
+
+let maybe_dump name s =
+  if Sys.getenv_opt "ATTRIB_GOLDEN_DUMP" <> None then
+    Printf.printf "=== %s ===\n%s=== end %s ===\n" name s name
+
+let check_golden name expected actual =
+  maybe_dump name actual;
+  Alcotest.(check string) name expected actual
+
+let golden_render_proc =
+  "procedure main\n\
+  \  WCET: 217 cycles (path 97 + persistence 120)\n\
+  \  loop at B1: <= 2 back edges (inferred)\n\
+  \  block      cost    count    contrib\n\
+  \  B0           62        1         62\n\
+  \  B1           11        3         33\n\
+  \  B2            2        1          2\n"
+
+let golden_render =
+  "task golden on core 0 (private bus)\nWCET bound: 217 cycles\n\n"
+  ^ golden_render_proc
+
+let golden_dot =
+  "digraph \"main\" {\n\
+  \  node [shape=box, fontname=monospace];\n\
+  \  b0 [label=\"B0 [cost 62 x1]\\laddi r1, r0, 3\\l\"];\n\
+  \  b1 [label=\"B1 [cost 11 x3]\\lld.d r2, 0(r1)\\ladd r3, r3, r2\\lsubi \
+   r1, r1, 1\\lbne r1, r0, loop\\l\"];\n\
+  \  b2 [label=\"B2 [cost 2 x1]\\lhalt\\l\"];\n\
+  \  b0 -> b1;\n\
+  \  b1 -> b1 [label=\"T\"];\n\
+  \  b1 -> b2;\n\
+   }\n"
+
+let golden_attrib =
+  "wcet attribution: 217 cycles\n\
+   proc                block  count   compute   l1_miss   l2_miss       \
+   bus     stall     total\n\
+   main                    0      1         2        10        50         \
+   0         0        62\n\
+   main                    1      3        27         0         0         \
+   0         6        33\n\
+   main                    2      1         2         0         0         \
+   0         0         2\n\
+   main             overhead      -         0        20       100         \
+   0         0       120\n\
+   TOTAL                                   31        30       150         \
+   0         6       217\n"
+
+let test_golden_render () =
+  check_golden "Report.render" golden_render
+    (Core.Report.render (golden_analysis ()))
+
+let test_golden_render_proc () =
+  check_golden "Report.render_proc" golden_render_proc
+    (Core.Report.render_proc (golden_analysis ()) "main")
+
+let test_golden_dot () =
+  check_golden "Report.dot_of_proc" golden_dot
+    (Core.Report.dot_of_proc (golden_analysis ()) "main")
+
+let test_golden_attrib () =
+  check_golden "Attrib.render" golden_attrib
+    (Attrib.render (Attrib.of_wcet (golden_analysis ())))
+
+let test_report_unknown_proc () =
+  let a = golden_analysis () in
+  let raises f =
+    match f () with (_ : string) -> false | exception Not_found -> true
+  in
+  Alcotest.(check bool) "render_proc raises" true
+    (raises (fun () -> Core.Report.render_proc a "nope"));
+  Alcotest.(check bool) "dot_of_proc raises" true
+    (raises (fun () -> Core.Report.dot_of_proc a "nope"))
+
+let () =
+  Alcotest.run "attrib"
+    [
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_solo_exact; prop_modes_exact; prop_observed_exact ] );
+      ( "gap",
+        [
+          Alcotest.test_case "gap identities" `Quick test_gap_identity;
+          Alcotest.test_case "csv sums" `Quick test_csv_sums;
+        ] );
+      ( "golden",
+        [
+          Alcotest.test_case "render" `Quick test_golden_render;
+          Alcotest.test_case "render_proc" `Quick test_golden_render_proc;
+          Alcotest.test_case "dot_of_proc" `Quick test_golden_dot;
+          Alcotest.test_case "attrib render" `Quick test_golden_attrib;
+          Alcotest.test_case "unknown proc raises" `Quick
+            test_report_unknown_proc;
+        ] );
+    ]

@@ -495,7 +495,7 @@ let test_telemetry_totals_equal_span_sums () =
                     Hashtbl.replace sums name (total + d, calls + 1)
                   end
               | [] -> ())
-          | Obs.Event.Instant _ -> ())
+          | Obs.Event.Instant _ | Obs.Event.Counter _ -> ())
         (Obs.Sink.events tr))
     (Obs.Sink.tracks sink);
   let phases = Engine.Telemetry.phases t in

@@ -80,7 +80,7 @@ let check_well_formed what events =
       | Obs.Event.End ->
           decr depth;
           if !depth < 0 then Alcotest.fail (what ^ ": End with no open Begin")
-      | Obs.Event.Instant _ -> ())
+      | Obs.Event.Instant _ | Obs.Event.Counter _ -> ())
     events;
   Alcotest.(check int) (what ^ ": all spans closed") 0 !depth
 
