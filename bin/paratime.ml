@@ -18,29 +18,34 @@ let die fmt =
       exit 2)
     fmt
 
+(* Every command that takes a SOURCE resolves it here, so bad sources
+   fail uniformly: exit 2 with the valid names spelled out. *)
+let bench_listing () =
+  String.concat ", "
+    (List.map
+       (fun (b : Workloads.Bench_programs.t) -> b.Workloads.Bench_programs.name)
+       (Workloads.Bench_programs.suite ()))
+
 let load source =
   if String.length source > 6 && String.sub source 0 6 = "bench:" then
     let name = String.sub source 6 (String.length source - 6) in
     match Workloads.Bench_programs.by_name name with
     | Some b ->
         (b.Workloads.Bench_programs.program, b.Workloads.Bench_programs.annot)
-    | None ->
-        let available =
-          List.map
-            (fun (b : Workloads.Bench_programs.t) ->
-              b.Workloads.Bench_programs.name)
-            (Workloads.Bench_programs.suite ())
-        in
-        die "unknown benchmark %S; available: %s" name
-          (String.concat ", " available)
+    | None -> die "unknown benchmark %S; available: %s" name (bench_listing ())
   else
     match open_in source with
-    | exception Sys_error msg -> die "cannot read %s" msg
-    | ic ->
+    | exception Sys_error msg ->
+        die "cannot read %s; expected an assembly file or bench:NAME with NAME one of: %s"
+          msg (bench_listing ())
+    | ic -> (
         let n = in_channel_length ic in
         let text = really_input_string ic n in
         close_in ic;
-        (Isa.Asm.parse ~name:(Filename.basename source) text, Dataflow.Annot.empty)
+        match Isa.Asm.parse ~name:(Filename.basename source) text with
+        | program -> (program, Dataflow.Annot.empty)
+        | exception Isa.Asm.Parse_error (line, msg) ->
+            die "%s:%d: %s" source line msg)
 
 let l2_of_flag with_l2 =
   if with_l2 then Some (Cache.Config.make ~sets:64 ~assoc:4 ~line_size:16)
@@ -1135,6 +1140,245 @@ let benchmarks_cmd =
     (Cmd.info "benchmarks" ~doc:"List the bundled benchmark suite")
     Term.(const run $ const ())
 
+(* ---------------- serve ---------------- *)
+
+let serve_cmd =
+  let run port jobs_flag queue store_root budget_mb mem_capacity trace_out
+      csv_out =
+    let workers =
+      match jobs_flag with Some n -> Some (max 1 n) | None -> workers_from_env ()
+    in
+    let config =
+      {
+        Server_lib.Server.port;
+        workers;
+        queue_capacity = max 0 queue;
+        store_root;
+        budget_bytes = max 4096 (budget_mb * 1024 * 1024);
+        mem_capacity = max 1 mem_capacity;
+      }
+    in
+    (* [Server.run] installs the sink for the serving window; it stays
+       around afterwards for the optional trace export *)
+    let sink = Obs.Sink.create () in
+    let ready port =
+      Printf.printf "paratime: serving on 127.0.0.1:%d%s\n%!" port
+        (match store_root with
+        | Some root -> Printf.sprintf " (store %s)" root
+        | None -> " (in-memory store)")
+    in
+    Server_lib.Server.run ~ready ~sink config;
+    Option.iter
+      (fun path ->
+        write_file path (Obs.Trace_export.to_json sink);
+        Printf.eprintf "paratime: trace written to %s\n%!" path)
+      trace_out;
+    Option.iter
+      (fun path ->
+        write_file path (Obs.Csv_export.to_csv sink);
+        Printf.eprintf "paratime: trace CSV written to %s\n%!" path)
+      csv_out;
+    Printf.printf "paratime: server stopped\n%!"
+  in
+  let port =
+    Arg.(
+      value & opt int 7421
+      & info [ "p"; "port" ] ~docv:"PORT"
+          ~doc:"Listening port on 127.0.0.1 (0 = ephemeral, default 7421).")
+  in
+  let jobs_flag =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Analysis worker domains (default: \\$(b,PARATIME_WORKERS) or \
+             the domain count).")
+  in
+  let queue =
+    Arg.(
+      value & opt int 64
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "Cold-analysis queue capacity; a full queue answers \
+             $(b,busy) (default 64).")
+  in
+  let store_root =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "store" ] ~docv:"DIR"
+          ~doc:
+            "Persist results in a content-addressed store under $(docv); \
+             omitted = in-memory only.")
+  in
+  let budget_mb =
+    Arg.(
+      value & opt int 64
+      & info [ "budget-mb" ] ~docv:"MB"
+          ~doc:"On-disk store byte budget; LRU-evicted above it (default 64).")
+  in
+  let mem_capacity =
+    Arg.(
+      value & opt int 512
+      & info [ "mem-capacity" ] ~docv:"N"
+          ~doc:"In-memory result-cache entries (default 512).")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Chrome trace_event JSON of the serving run, written at exit.")
+  in
+  let csv_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-csv" ] ~docv:"FILE" ~doc:"Flat CSV trace, written at exit.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the analysis service: line-delimited JSON over loopback TCP, \
+          warm answers from the result store, cold analyses on a persistent \
+          worker-domain pool with backpressure")
+    Term.(
+      const run $ port $ jobs_flag $ queue $ store_root $ budget_mb
+      $ mem_capacity $ trace_out $ csv_out)
+
+(* ---------------- loadtest ---------------- *)
+
+let loadtest_cmd =
+  let run host port requests connections repeat working_set modes_s cores
+      kind_s seed shutdown json_out =
+    let modes =
+      if modes_s = "all" then Fuzz.Oracle.all_modes
+      else
+        List.map
+          (fun s ->
+            match Fuzz.Oracle.mode_of_string (String.trim s) with
+            | Ok m -> m
+            | Error msg -> die "%s" msg)
+          (String.split_on_char ',' modes_s)
+    in
+    let kind =
+      match Server_lib.Modes.kind_of_string kind_s with
+      | Ok k -> k
+      | Error msg -> die "%s" msg
+    in
+    if cores < 1 || cores > 4 then die "cores %d out of range 1..4" cores;
+    let config =
+      {
+        Server_lib.Loadtest.host;
+        port;
+        requests = max 0 requests;
+        connections = max 1 connections;
+        repeat_ratio = repeat;
+        working_set = max 1 working_set;
+        modes;
+        cores;
+        kind;
+        seed;
+        shutdown_after = shutdown;
+      }
+    in
+    match Server_lib.Loadtest.run config with
+    | Error msg -> die "%s" msg
+    | Ok report ->
+        print_string (Server_lib.Loadtest.render report);
+        Option.iter
+          (fun path ->
+            write_file path
+              (Server_lib.Json.to_string
+                 (Server_lib.Loadtest.report_json report)))
+          json_out;
+        if report.Server_lib.Loadtest.errors > 0 then exit 1
+  in
+  let host =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"HOST" ~doc:"Server host (default 127.0.0.1).")
+  in
+  let port =
+    Arg.(
+      value & opt int 7421
+      & info [ "p"; "port" ] ~docv:"PORT" ~doc:"Server port (default 7421).")
+  in
+  let requests =
+    Arg.(
+      value & opt int 200
+      & info [ "n"; "requests" ] ~docv:"N"
+          ~doc:"Total requests across all connections (default 200).")
+  in
+  let connections =
+    Arg.(
+      value & opt int 8
+      & info [ "c"; "connections" ] ~docv:"N"
+          ~doc:"Concurrent client connections (default 8).")
+  in
+  let repeat =
+    Arg.(
+      value & opt float 0.8
+      & info [ "repeat" ] ~docv:"R"
+          ~doc:
+            "Fraction of requests that repeat a catalog benchmark (cache \
+             hits); the rest ship freshly generated programs inline \
+             (default 0.8).")
+  in
+  let working_set =
+    Arg.(
+      value & opt int 4
+      & info [ "working-set" ] ~docv:"N"
+          ~doc:
+            "How many catalog benchmarks the repeated mix draws from \
+             (default 4).")
+  in
+  let modes_s =
+    Arg.(
+      value & opt string "all"
+      & info [ "mode" ] ~docv:"MODES"
+          ~doc:
+            "Comma-separated approach-mode rotation, or $(b,all) (default) \
+             for all eight.")
+  in
+  let cores =
+    Arg.(
+      value & opt int 2
+      & info [ "cores" ] ~docv:"N"
+          ~doc:"Core count for the contended modes (1-4, default 2).")
+  in
+  let kind_s =
+    Arg.(
+      value & opt string "wcet"
+      & info [ "kind" ] ~docv:"KIND" ~doc:"wcet (default) or bcet (solo only).")
+  in
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"N" ~doc:"Workload seed (default 42).")
+  in
+  let shutdown =
+    Arg.(
+      value & flag
+      & info [ "shutdown" ] ~doc:"Send a shutdown request when done.")
+  in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Write the report as JSON to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "loadtest"
+       ~doc:
+         "Drive a running paratime server with a repeated/fresh request mix \
+          and report p50/p99 latency per outcome plus the cache hit-rate \
+          curve")
+    Term.(
+      const run $ host $ port $ requests $ connections $ repeat $ working_set
+      $ modes_s $ cores $ kind_s $ seed $ shutdown $ json_out)
+
 let () =
   let doc = "static WCET analysis for parallel architectures" in
   exit
@@ -1151,5 +1395,7 @@ let () =
             report_cmd;
             trace_cmd;
             cfg_cmd;
+            serve_cmd;
+            loadtest_cmd;
             benchmarks_cmd;
           ]))

@@ -28,6 +28,12 @@ let infeasible_pair t ~proc l1 l2 =
   in
   { t with infeasible = KeyMap.add key ((l1, l2) :: existing) t.infeasible }
 
+let loop_bounds t =
+  KeyMap.fold
+    (fun (proc, header_label) n acc -> (proc, header_label, n) :: acc)
+    t.bounds []
+  |> List.rev
+
 let infeasible_pairs t ~proc =
   match KeyMap.find_opt (proc, "") t.infeasible with
   | Some l -> List.rev l

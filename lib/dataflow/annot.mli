@@ -16,6 +16,11 @@ val with_loop_bound : t -> proc:string -> header_label:string -> int -> t
 
 val loop_bound : t -> proc:string -> header_label:string -> int option
 
+val loop_bounds : t -> (string * string * int) list
+(** All bounds as [(proc, header_label, bound)], in canonical (key)
+    order — the enumeration the serve protocol ships inline so a client
+    can send a generated program together with its flow facts. *)
+
 val infeasible_pair : t -> proc:string -> string -> string -> t
 (** Declares that the blocks starting at the two labels are mutually
     exclusive within any single execution (operating-mode style exclusion);

@@ -1,0 +1,41 @@
+type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let connect ?(host = "127.0.0.1") ~port () =
+  match Unix.inet_addr_of_string host with
+  | exception Failure _ -> Error (Printf.sprintf "bad host %S" host)
+  | addr -> (
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      (try Unix.setsockopt fd Unix.TCP_NODELAY true
+       with Unix.Unix_error _ -> ());
+      match Unix.connect fd (Unix.ADDR_INET (addr, port)) with
+      | () ->
+          Ok
+            {
+              fd;
+              ic = Unix.in_channel_of_descr fd;
+              oc = Unix.out_channel_of_descr fd;
+            }
+      | exception Unix.Unix_error (e, _, _) ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Error
+            (Printf.sprintf "connect %s:%d: %s" host port
+               (Unix.error_message e)))
+
+let request_line t line =
+  match
+    output_string t.oc line;
+    output_char t.oc '\n';
+    flush t.oc;
+    input_line t.ic
+  with
+  | reply -> (
+      match Json.parse reply with
+      | Ok v -> Ok v
+      | Error msg -> Error ("malformed reply: " ^ msg))
+  | exception End_of_file -> Error "connection closed by server"
+  | exception Sys_error msg -> Error msg
+
+let request t v = request_line t (Json.to_string v)
+
+let close t =
+  try Unix.close t.fd with Unix.Unix_error _ -> ()

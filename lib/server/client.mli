@@ -1,0 +1,16 @@
+(** Blocking line-protocol client for {!Server}. *)
+
+type t
+
+val connect : ?host:string -> port:int -> unit -> (t, string) result
+(** Default host 127.0.0.1. *)
+
+val request : t -> Json.t -> (Json.t, string) result
+(** Send one request object (rendered to one line), read one reply line,
+    parse it.  [Error] on connection loss or a malformed reply — protocol
+    errors come back as [Ok] replies with ["ok": false]. *)
+
+val request_line : t -> string -> (Json.t, string) result
+(** Like {!request} with a pre-rendered line (must be newline-free). *)
+
+val close : t -> unit

@@ -1,0 +1,124 @@
+type kind = Wcet | Bcet
+
+let kind_name = function Wcet -> "wcet" | Bcet -> "bcet"
+
+let kind_of_string = function
+  | "wcet" -> Ok Wcet
+  | "bcet" -> Ok Bcet
+  | s -> Error (Printf.sprintf "unknown kind %S (expected wcet | bcet)" s)
+
+let mode_of_string = Fuzz.Oracle.mode_of_string
+
+(* Same shared-L2 geometry the CLI's attribute/analyze paths use. *)
+let l2_cfg = Cache.Config.make ~sets:64 ~assoc:4 ~line_size:16
+let solo_platform () = Core.Platform.single_core ~l2:l2_cfg ()
+
+let system ~cores task =
+  Core.Multicore.default_system ~cores
+    ~tasks:(Array.make cores (Some task))
+
+(* The multicore modes build their platforms (and closures: lock
+   selections, bypass sets) deterministically from the system record and
+   the task group, so fingerprinting the system's concrete parameters
+   plus the mode name pins the whole analysis configuration. *)
+let system_fingerprint (sys : Core.Multicore.system) =
+  let fp = Engine.Fingerprint.create () in
+  let cache (c : Cache.Config.t) =
+    Engine.Fingerprint.ints fp
+      [ c.Cache.Config.sets; c.Cache.Config.assoc; c.Cache.Config.line_size ]
+  in
+  cache sys.Core.Multicore.l1i;
+  cache sys.Core.Multicore.l1d;
+  cache sys.Core.Multicore.l2;
+  Engine.Fingerprint.string fp
+    (Interconnect.Arbiter.describe sys.Core.Multicore.arbiter);
+  Engine.Fingerprint.string fp
+    (match sys.Core.Multicore.refresh with
+    | Interconnect.Arbiter.Burst -> "burst"
+    | Interconnect.Arbiter.Distributed { interval; duration } ->
+        Printf.sprintf "distributed:%d:%d" interval duration);
+  (* latencies: default_system always uses the default table *)
+  Engine.Fingerprint.string fp "latencies:default";
+  Engine.Fingerprint.digest fp
+
+let store_key ~mode ~cores ~kind annot program =
+  let kind_s = kind_name kind in
+  match mode with
+  | Fuzz.Oracle.Solo -> (
+      match
+        Core.Memo.key ~kind:kind_s ~annot ~salt:None (solo_platform ()) program
+      with
+      | Some k -> k
+      | None ->
+          (* unreachable for the pure solo platform, but never crash the
+             keying path *)
+          Engine.Fingerprint.of_strings
+            [
+              "paratime-serve-v1";
+              kind_s;
+              "solo-fallback";
+              Dataflow.Annot.fingerprint annot;
+              Core.Memo.program_fingerprint program;
+            ])
+  | _ ->
+      let sys = system ~cores (program, Dataflow.Annot.empty) in
+      Engine.Fingerprint.of_strings
+        [
+          "paratime-serve-v1";
+          kind_s;
+          Fuzz.Oracle.mode_name mode;
+          string_of_int cores;
+          system_fingerprint sys;
+          Dataflow.Annot.fingerprint annot;
+          Core.Memo.program_fingerprint program;
+        ]
+
+let analyze ~mode ~cores ~kind ((program, annot) as task) =
+  match (kind, mode) with
+  | Bcet, Fuzz.Oracle.Solo -> (
+      match Core.Bcet.analyze ~annot (solo_platform ()) program with
+      | b -> Ok (Store.Entry.of_bcet b)
+      | exception Core.Wcet.Not_analysable msg ->
+          Error ("not analysable: " ^ msg))
+  | Bcet, m ->
+      Error
+        (Printf.sprintf
+           "kind bcet is only defined for mode solo (got mode %s)"
+           (Fuzz.Oracle.mode_name m))
+  | Wcet, m -> (
+      let of_core0 results =
+        match results.(0) with
+        | Some w -> Ok (Store.Entry.of_wcet w)
+        | None -> Error "no analysis result for core 0"
+      in
+      match
+        match m with
+        | Fuzz.Oracle.Solo ->
+            Ok
+              (Store.Entry.of_wcet
+                 (Core.Wcet.analyze ~annot (solo_platform ()) program))
+        | Fuzz.Oracle.Oblivious ->
+            of_core0 (Core.Multicore.analyze_oblivious (system ~cores task))
+        | Fuzz.Oracle.Joint ->
+            of_core0 (Core.Multicore.analyze_joint (system ~cores task) ())
+        | Fuzz.Oracle.Bypass ->
+            of_core0
+              (Core.Multicore.analyze_joint (system ~cores task) ~bypass:true
+                 ())
+        | Fuzz.Oracle.Columnized ->
+            of_core0
+              (Core.Multicore.analyze_partitioned (system ~cores task)
+                 ~scheme:Cache.Partition.Columnization)
+        | Fuzz.Oracle.Bankized ->
+            of_core0
+              (Core.Multicore.analyze_partitioned (system ~cores task)
+                 ~scheme:Cache.Partition.Bankization)
+        | Fuzz.Oracle.Locked ->
+            of_core0 (Core.Multicore.analyze_locked (system ~cores task))
+        | Fuzz.Oracle.Dynamic ->
+            of_core0
+              (Core.Multicore.analyze_locked_dynamic (system ~cores task))
+      with
+      | r -> r
+      | exception Core.Wcet.Not_analysable msg ->
+          Error ("not analysable: " ^ msg))

@@ -1,0 +1,51 @@
+(** Per-approach-mode analysis wiring for the service.
+
+    The serve protocol names the same eight approach modes the fuzz
+    oracle validates ({!Fuzz.Oracle.mode}); this module maps a (mode,
+    cores, kind, task) request to a distilled {!Store.Entry.t} and to the
+    store key that caches it.
+
+    Co-runner convention: the contended modes analyze a task *group*
+    with the requested program on every core (the same convention
+    [paratime attribute] uses); the served bound is core 0's.
+
+    Key discipline: the key covers everything the bound depends on —
+    kind x mode x core count x a fingerprint of the system configuration
+    x annotation fingerprint x program fingerprint.  [Solo] requests key
+    through {!Core.Memo.key} on the actual (pure) platform; the
+    multicore modes fingerprint {!Core.Multicore.default_system}'s
+    concrete parameters plus the mode name, which pins the per-core
+    platforms *and* the mode-derived closures (lock selections, bypass
+    sets) because those are deterministic functions of the system and
+    task group.  Nothing closure-bearing is ever persisted behind an
+    under-descriptive key — the salt discipline of {!Core.Memo}, carried
+    over. *)
+
+type kind = Wcet | Bcet
+
+val kind_name : kind -> string
+val kind_of_string : string -> (kind, string) result
+
+val mode_of_string : string -> (Fuzz.Oracle.mode, string) result
+(** {!Fuzz.Oracle.mode_of_string} minus [Solo]-only spellings — accepts
+    exactly the oracle's eight names. *)
+
+val store_key :
+  mode:Fuzz.Oracle.mode ->
+  cores:int ->
+  kind:kind ->
+  Dataflow.Annot.t ->
+  Isa.Program.t ->
+  string
+
+val analyze :
+  mode:Fuzz.Oracle.mode ->
+  cores:int ->
+  kind:kind ->
+  Isa.Program.t * Dataflow.Annot.t ->
+  (Store.Entry.t, string) result
+(** [Error] for: BCET under a contended mode (only [Solo] has a defined
+    best case here), a task set the analysis rejects
+    ({!Core.Wcet.Not_analysable}), or a mode yielding no core-0 result.
+    Runs on the calling domain — the server submits it to
+    {!Engine.Service}. *)

@@ -1,0 +1,144 @@
+type op = Analyze | Attribute | Status | Stats | Shutdown
+
+type request = {
+  id : int;
+  op : op;
+  source : source;
+  mode : Fuzz.Oracle.mode;
+  cores : int;
+  kind : Modes.kind;
+}
+
+and source =
+  | No_source
+  | Bench of string
+  | Inline of {
+      name : string;
+      asm : string;
+      bounds : (string * string * int) list;
+    }
+
+let op_of_string = function
+  | "analyze" -> Ok Analyze
+  | "attribute" -> Ok Attribute
+  | "status" -> Ok Status
+  | "stats" -> Ok Stats
+  | "shutdown" -> Ok Shutdown
+  | s -> Error (Printf.sprintf "unknown op %S" s)
+
+let parse_request line =
+  let bad msg = Error ("bad_request", msg) in
+  match Json.parse line with
+  | Error msg -> bad msg
+  | Ok j -> (
+      let id = Option.value ~default:0 (Json.int_field "id" j) in
+      match Json.str_field "op" j with
+      | None -> bad "missing op"
+      | Some op_s -> (
+          match op_of_string op_s with
+          | Error msg -> bad msg
+          | Ok op -> (
+              let parse_bounds () =
+                match Json.member "bounds" j with
+                | None | Some Json.Null -> Ok []
+                | Some v -> (
+                    match Json.to_list v with
+                    | None -> Error "bounds must be a list"
+                    | Some items ->
+                        let triple item =
+                          match Json.to_list item with
+                          | Some [ Json.Str p; Json.Str l; Json.Int n ]
+                            when n >= 0 ->
+                              Some (p, l, n)
+                          | _ -> None
+                        in
+                        let parsed = List.filter_map triple items in
+                        if List.length parsed = List.length items then
+                          Ok parsed
+                        else
+                          Error
+                            "each bound must be [proc, header_label, n>=0]")
+              in
+              let source =
+                match (Json.str_field "source" j, Json.str_field "asm" j) with
+                | Some s, _ -> Ok (Bench s)
+                | None, Some asm -> (
+                    let name =
+                      Option.value ~default:"inline"
+                        (Json.str_field "name" j)
+                    in
+                    match parse_bounds () with
+                    | Ok bounds -> Ok (Inline { name; asm; bounds })
+                    | Error msg -> Error msg)
+                | None, None -> (
+                    match op with
+                    | Analyze | Attribute ->
+                        Error "missing source (or name+asm)"
+                    | _ -> Ok No_source)
+              in
+              match source with
+              | Error msg -> bad msg
+              | Ok source -> (
+                  let mode_r =
+                    match Json.str_field "mode" j with
+                    | None -> Ok Fuzz.Oracle.Solo
+                    | Some s -> Modes.mode_of_string s
+                  in
+                  let kind_r =
+                    match Json.str_field "kind" j with
+                    | None -> Ok Modes.Wcet
+                    | Some s -> Modes.kind_of_string s
+                  in
+                  let cores = Option.value ~default:2 (Json.int_field "cores" j) in
+                  match (mode_r, kind_r) with
+                  | Error msg, _ | _, Error msg -> bad msg
+                  | Ok mode, Ok kind ->
+                      if cores < 1 || cores > 4 then
+                        bad
+                          (Printf.sprintf "cores %d out of range 1..4" cores)
+                      else Ok { id; op; source; mode; cores; kind }))))
+
+type cached = Hot | Warm | Cold
+
+let cached_name = function Hot -> "hot" | Warm -> "warm" | Cold -> "cold"
+
+let ok_reply ~id ~cached ~key ~detail entry =
+  let result =
+    if detail then Store.Entry.to_json entry else Store.Entry.summary_json entry
+  in
+  Printf.sprintf
+    {|{"id":%d,"ok":true,"cached":"%s","key":"%s","result":%s}|} id
+    (cached_name cached) key result
+
+let error_reply ~id ~code msg =
+  Json.to_string
+    (Json.Obj
+       [
+         ("id", Json.Int id);
+         ("ok", Json.Bool false);
+         ("code", Json.Str code);
+         ("error", Json.Str msg);
+       ])
+
+let percentile (snap : Obs.Histogram.snapshot) q =
+  if snap.Obs.Histogram.s_count = 0 then 0
+  else begin
+    let rank =
+      int_of_float (ceil (q *. float_of_int snap.Obs.Histogram.s_count))
+    in
+    let rank = max 1 (min rank snap.Obs.Histogram.s_count) in
+    let seen = ref 0 in
+    let answer = ref snap.Obs.Histogram.s_max in
+    (try
+       List.iter
+         (fun (bucket, count) ->
+           seen := !seen + count;
+           if !seen >= rank then begin
+             let _, hi = Obs.Histogram.bucket_bounds bucket in
+             answer := min hi snap.Obs.Histogram.s_max;
+             raise Exit
+           end)
+         snap.Obs.Histogram.s_buckets
+     with Exit -> ());
+    !answer
+  end

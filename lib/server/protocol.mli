@@ -1,0 +1,64 @@
+(** Wire protocol for [paratime serve]: one JSON object per line.
+
+    Requests:
+    {v
+    {"id":1,"op":"analyze","source":"bench:matmul","mode":"joint","cores":2}
+    {"id":2,"op":"attribute","name":"t","asm":"start:\n  halt","kind":"wcet"}
+    {"id":3,"op":"status"}
+    {"id":4,"op":"stats"}
+    {"id":5,"op":"shutdown"}
+    v}
+
+    [source] names a catalog program ("bench:NAME"); alternatively
+    [name] + [asm] carry an inline assembly listing.  [mode] defaults to
+    "solo", [cores] to 2 (clamped to 1..4 by validation), [kind] to
+    "wcet".  [attribute] is [analyze] plus the full per-block
+    attribution table in the reply.
+
+    Replies always echo ["id"] and carry ["ok"].  Successful analyses
+    add ["cached"] ("hot" = in-memory, "warm" = on-disk, "cold" =
+    freshly computed), ["key"] (the store key), and ["result"].  Errors
+    carry ["code"] (one of [bad_request], [unknown_benchmark], [busy],
+    [not_analysable], [internal]) and ["error"]. *)
+
+type op = Analyze | Attribute | Status | Stats | Shutdown
+
+type request = {
+  id : int;
+  op : op;
+  source : source;
+  mode : Fuzz.Oracle.mode;
+  cores : int;
+  kind : Modes.kind;
+}
+
+and source =
+  | No_source
+  | Bench of string
+  | Inline of {
+      name : string;
+      asm : string;
+      bounds : (string * string * int) list;
+          (** (proc, header label, bound) flow facts, wire field
+              ["bounds": [[proc,label,n],...]] — generated programs are
+              useless without their loop bounds *)
+    }
+
+val parse_request : string -> (request, string * string) result
+(** [Error (code, message)] — [code] is a protocol error code. *)
+
+type cached = Hot | Warm | Cold
+
+val cached_name : cached -> string
+
+val ok_reply :
+  id:int -> cached:cached -> key:string -> detail:bool -> Store.Entry.t -> string
+(** [detail] selects the full attribution table ([attribute]) over the
+    summary ([analyze]).  Single line, no trailing newline. *)
+
+val error_reply : id:int -> code:string -> string -> string
+
+val percentile : Obs.Histogram.snapshot -> float -> int
+(** [percentile snap q] with [q] in [0,1]: smallest bucket upper bound
+    covering rank [q * count] — the resolution is the histogram's log2
+    bucketing.  [0] on an empty snapshot. *)

@@ -1,0 +1,398 @@
+type config = {
+  port : int;
+  workers : int option;
+  queue_capacity : int;
+  store_root : string option;
+  budget_bytes : int;
+  mem_capacity : int;
+}
+
+let default_config =
+  {
+    port = 7421;
+    workers = None;
+    queue_capacity = 64;
+    store_root = None;
+    budget_bytes = Store.Disk.default_budget_bytes;
+    mem_capacity = 512;
+  }
+
+type state = {
+  front : Store.Front.t;
+  service : Engine.Service.t;
+  sink : Obs.Sink.t;
+  started_ns : int64;
+  lock : Mutex.t;
+  mutable requests : int;
+  mutable stopping : bool;
+  mutable conns : Unix.file_descr list;  (* open connection sockets *)
+  listen_fd : Unix.file_descr;
+  (* catalog programs are immutable, so their store keys are too; the
+     key fingerprint (program + system rendering) would otherwise
+     dominate the warm path *)
+  key_cache : (string, string) Hashtbl.t;
+  key_lock : Mutex.t;
+}
+
+(* [Bench_programs.by_name] assembles the whole suite per call — fine
+   for a CLI run, ~100us per request here.  The catalog is immutable, so
+   build it once. *)
+let catalog =
+  lazy
+    (let tbl = Hashtbl.create 32 in
+     let names =
+       List.map
+         (fun (b : Workloads.Bench_programs.t) ->
+           Hashtbl.replace tbl b.Workloads.Bench_programs.name b;
+           b.Workloads.Bench_programs.name)
+         (Workloads.Bench_programs.suite ())
+     in
+     (tbl, String.concat ", " names))
+
+let resolve_source = function
+  | Protocol.No_source -> Error ("bad_request", "missing source")
+  | Protocol.Bench s -> (
+      let name =
+        if String.length s > 6 && String.sub s 0 6 = "bench:" then
+          String.sub s 6 (String.length s - 6)
+        else s
+      in
+      let tbl, listing = Lazy.force catalog in
+      match Hashtbl.find_opt tbl name with
+      | Some b ->
+          Ok
+            ( b.Workloads.Bench_programs.program,
+              b.Workloads.Bench_programs.annot )
+      | None ->
+          Error
+            ( "unknown_benchmark",
+              Printf.sprintf "unknown benchmark %S; available: %s" name listing
+            ))
+  | Protocol.Inline { name; asm; bounds } -> (
+      match Isa.Asm.parse ~name asm with
+      | program ->
+          let annot =
+            List.fold_left
+              (fun a (proc, header_label, n) ->
+                Dataflow.Annot.with_loop_bound a ~proc ~header_label n)
+              Dataflow.Annot.empty bounds
+          in
+          Ok (program, annot)
+      | exception Isa.Asm.Parse_error (line, msg) ->
+          Error ("bad_request", Printf.sprintf "parse error line %d: %s" line msg))
+
+(* Analyze/attribute: store lookup on the connection thread, cold work on
+   the service domains.  The reply is rendered from the distilled
+   {!Store.Entry.t} in all three cases, so hot, warm and cold replies for
+   the same key are bit-identical. *)
+let handle_analysis state (req : Protocol.request) ~detail =
+  match resolve_source req.Protocol.source with
+  | Error (code, msg) -> Protocol.error_reply ~id:req.Protocol.id ~code msg
+  | Ok ((program, annot) as task) -> (
+      let mode = req.Protocol.mode and cores = req.Protocol.cores in
+      let kind = req.Protocol.kind in
+      let key =
+        let compute () = Modes.store_key ~mode ~cores ~kind annot program in
+        match req.Protocol.source with
+        | Protocol.Bench name ->
+            let token =
+              Printf.sprintf "%s|%s|%d|%s" name
+                (Fuzz.Oracle.mode_name mode)
+                cores (Modes.kind_name kind)
+            in
+            Mutex.lock state.key_lock;
+            let cached = Hashtbl.find_opt state.key_cache token in
+            Mutex.unlock state.key_lock;
+            (match cached with
+            | Some k -> k
+            | None ->
+                let k = compute () in
+                Mutex.lock state.key_lock;
+                Hashtbl.replace state.key_cache token k;
+                Mutex.unlock state.key_lock;
+                k)
+        | _ -> compute ()
+      in
+      let reply cached entry =
+        Obs.add ("server." ^ Protocol.cached_name cached) 1;
+        Protocol.ok_reply ~id:req.Protocol.id ~cached ~key ~detail entry
+      in
+      match Store.Front.find state.front key with
+      | Some (Store.Front.Memory, entry) -> reply Protocol.Hot entry
+      | Some (Store.Front.Disk, entry) -> reply Protocol.Warm entry
+      | None -> (
+          let label =
+            Printf.sprintf "serve:%s:%s"
+              (Fuzz.Oracle.mode_name mode)
+              (Modes.kind_name kind)
+          in
+          match
+            Engine.Service.submit state.service ~label (fun () ->
+                Modes.analyze ~mode ~cores ~kind task)
+          with
+          | None ->
+              Obs.add "server.busy" 1;
+              Protocol.error_reply ~id:req.Protocol.id ~code:"busy"
+                "analysis queue full; retry later"
+          | Some ticket -> (
+              match Engine.Service.await ticket with
+              | Error msg ->
+                  Protocol.error_reply ~id:req.Protocol.id ~code:"internal" msg
+              | Ok (Error msg) ->
+                  Protocol.error_reply ~id:req.Protocol.id
+                    ~code:"not_analysable" msg
+              | Ok (Ok entry) ->
+                  Store.Front.put state.front key entry;
+                  reply Protocol.Cold entry)))
+
+let uptime_ns state = Int64.sub (Obs.now_ns ()) state.started_ns
+
+let status_reply state id =
+  let s = Engine.Service.stats state.service in
+  let requests =
+    Mutex.lock state.lock;
+    let r = state.requests in
+    Mutex.unlock state.lock;
+    r
+  in
+  Json.to_string
+    (Json.Obj
+       [
+         ("id", Json.Int id);
+         ("ok", Json.Bool true);
+         ("uptime_ms", Json.Int (Int64.to_int (Int64.div (uptime_ns state) 1_000_000L)));
+         ("requests", Json.Int requests);
+         ( "service",
+           Json.Obj
+             [
+               ("workers", Json.Int s.Engine.Service.s_workers);
+               ("capacity", Json.Int s.Engine.Service.s_capacity);
+               ("queued", Json.Int s.Engine.Service.s_queued);
+               ("running", Json.Int s.Engine.Service.s_running);
+               ("completed", Json.Int s.Engine.Service.s_completed);
+               ("failed", Json.Int s.Engine.Service.s_failed);
+               ("rejected", Json.Int s.Engine.Service.s_rejected);
+             ] );
+       ])
+
+let hist_json metrics name =
+  match Obs.Metrics.hist metrics name with
+  | None -> Json.Null
+  | Some snap ->
+      Json.Obj
+        [
+          ("count", Json.Int snap.Obs.Histogram.s_count);
+          ("min", Json.Int snap.Obs.Histogram.s_min);
+          ("max", Json.Int snap.Obs.Histogram.s_max);
+          ("p50", Json.Int (Protocol.percentile snap 0.50));
+          ("p99", Json.Int (Protocol.percentile snap 0.99));
+        ]
+
+let stats_reply state id =
+  let metrics = Obs.Sink.metrics state.sink in
+  let c name = Json.Int (Obs.Metrics.counter metrics name) in
+  let store_fields =
+    let mem = Store.Front.mem_stats state.front in
+    let base =
+      [
+        ("mem_entries", Json.Int mem.Engine.Lru.size);
+        ("mem_hits", Json.Int mem.Engine.Lru.hits);
+        ("mem_misses", Json.Int mem.Engine.Lru.misses);
+      ]
+    in
+    match Store.Front.disk_stats state.front with
+    | None -> base
+    | Some d ->
+        base
+        @ [
+            ("disk_entries", Json.Int d.Store.Disk.entries);
+            ("disk_bytes", Json.Int d.Store.Disk.bytes);
+            ("disk_budget", Json.Int d.Store.Disk.budget);
+            ("disk_hits", Json.Int d.Store.Disk.hits);
+            ("disk_misses", Json.Int d.Store.Disk.misses);
+            ("disk_evictions", Json.Int d.Store.Disk.evictions);
+            ("disk_corrupt", Json.Int d.Store.Disk.corrupt);
+          ]
+  in
+  Json.to_string
+    (Json.Obj
+       [
+         ("id", Json.Int id);
+         ("ok", Json.Bool true);
+         ( "requests",
+           Json.Obj
+             [
+               ("hot", c "server.hot");
+               ("warm", c "server.warm");
+               ("cold", c "server.cold");
+               ("busy", c "server.busy");
+               ("errors", c "server.errors");
+             ] );
+         ("latency_ns", hist_json metrics "server.request_ns");
+         ("service_run_ns", hist_json metrics "service.run_ns");
+         ("store", Json.Obj store_fields);
+       ])
+
+let request_stop state =
+  Mutex.lock state.lock;
+  let was = state.stopping in
+  state.stopping <- true;
+  let conns = state.conns in
+  Mutex.unlock state.lock;
+  if not was then begin
+    (* wake the accept loop; a racing close is fine, accept just fails *)
+    (try Unix.shutdown state.listen_fd Unix.SHUTDOWN_ALL
+     with Unix.Unix_error _ -> ());
+    (* wake connection threads blocked reading an idle client: receive
+       side only, so a reply still in flight can finish writing.  Any
+       connection registered after the snapshot observes [stopping]
+       before serving (both happen under [lock]) and exits itself. *)
+    List.iter
+      (fun fd ->
+        try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE
+        with Unix.Unix_error _ -> ())
+      conns
+  end
+
+let handle_line state line =
+  let t0 = Obs.now_ns () in
+  let reply, stop =
+    match Protocol.parse_request line with
+    | Error (code, msg) ->
+        Obs.add "server.errors" 1;
+        (Protocol.error_reply ~id:0 ~code msg, false)
+    | Ok req -> (
+        match req.Protocol.op with
+        | Protocol.Analyze -> (handle_analysis state req ~detail:false, false)
+        | Protocol.Attribute -> (handle_analysis state req ~detail:true, false)
+        | Protocol.Status -> (status_reply state req.Protocol.id, false)
+        | Protocol.Stats -> (stats_reply state req.Protocol.id, false)
+        | Protocol.Shutdown ->
+            ( Json.to_string
+                (Json.Obj
+                   [
+                     ("id", Json.Int req.Protocol.id);
+                     ("ok", Json.Bool true);
+                     ("stopping", Json.Bool true);
+                   ]),
+              true ))
+  in
+  Mutex.lock state.lock;
+  state.requests <- state.requests + 1;
+  Mutex.unlock state.lock;
+  Obs.add "server.requests" 1;
+  Obs.observe "server.request_ns"
+    (Int64.to_int (Int64.sub (Obs.now_ns ()) t0));
+  (reply, stop)
+
+let connection_loop state fd =
+  Mutex.lock state.lock;
+  state.conns <- fd :: state.conns;
+  let stopping = state.stopping in
+  Mutex.unlock state.lock;
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file -> ()
+    | exception Sys_error _ -> ()
+    | line when String.trim line = "" -> loop ()
+    | line -> (
+        let reply, stop = handle_line state line in
+        match
+          output_string oc reply;
+          output_char oc '\n';
+          flush oc
+        with
+        | () -> if stop then request_stop state else loop ()
+        | exception Sys_error _ -> ())
+  in
+  if not stopping then loop ();
+  Mutex.lock state.lock;
+  state.conns <- List.filter (fun c -> c != fd) state.conns;
+  Mutex.unlock state.lock;
+  (try Unix.close fd with Unix.Unix_error _ -> ())
+
+let run ?(ready = fun _ -> ()) ~sink config =
+  (* the sink is ambient for the server's lifetime: connection threads
+     and worker domains record through the global switch, the stats op
+     reads the same sink back *)
+  Obs.set_sink (Some sink);
+  let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+  Unix.bind listen_fd
+    (Unix.ADDR_INET (Unix.inet_addr_loopback, config.port));
+  Unix.listen listen_fd 64;
+  let port =
+    match Unix.getsockname listen_fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> config.port
+  in
+  let disk =
+    Option.map
+      (fun root -> Store.Disk.open_ ~budget_bytes:config.budget_bytes root)
+      config.store_root
+  in
+  let front = Store.Front.create ~mem_capacity:config.mem_capacity ?disk () in
+  let service =
+    Engine.Service.create ?workers:config.workers
+      ~queue_capacity:config.queue_capacity ()
+  in
+  let state =
+    {
+      front;
+      service;
+      sink;
+      started_ns = Obs.now_ns ();
+      lock = Mutex.create ();
+      requests = 0;
+      stopping = false;
+      conns = [];
+      listen_fd;
+      key_cache = Hashtbl.create 256;
+      key_lock = Mutex.create ();
+    }
+  in
+  let prev_handlers =
+    List.map
+      (fun s ->
+        (s, Sys.signal s (Sys.Signal_handle (fun _ -> request_stop state))))
+      [ Sys.sigterm; Sys.sigint ]
+  in
+  ready port;
+  let threads = ref [] in
+  let rec accept_loop () =
+    match Unix.accept listen_fd with
+    | exception Unix.Unix_error ((Unix.EINVAL | Unix.EBADF | Unix.ECONNABORTED), _, _)
+      when (Mutex.lock state.lock;
+            let s = state.stopping in
+            Mutex.unlock state.lock;
+            s) ->
+        ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+        let s =
+          Mutex.lock state.lock;
+          let s = state.stopping in
+          Mutex.unlock state.lock;
+          s
+        in
+        if not s then accept_loop ()
+    | fd, _ ->
+        (try Unix.setsockopt fd Unix.TCP_NODELAY true
+         with Unix.Unix_error _ -> ());
+        threads := Thread.create (connection_loop state) fd :: !threads;
+        let s =
+          Mutex.lock state.lock;
+          let s = state.stopping in
+          Mutex.unlock state.lock;
+          s
+        in
+        if not s then accept_loop ()
+  in
+  accept_loop ();
+  List.iter (fun (s, h) -> Sys.set_signal s h) prev_handlers;
+  List.iter (fun t -> try Thread.join t with _ -> ()) !threads;
+  Engine.Service.shutdown state.service;
+  Store.Front.close state.front;
+  (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+  Obs.set_sink None

@@ -1,0 +1,38 @@
+(** [paratime serve] — a persistent analysis service.
+
+    One listening TCP socket (loopback), one sys-thread per connection,
+    line-delimited JSON requests ({!Protocol}).  Warm requests are
+    answered from the two-level result store ({!Store.Front}) on the
+    connection thread; cold analyses are submitted to a persistent
+    {!Engine.Service} domain pool with a bounded queue — a full queue is
+    an explicit ["busy"] reply, never an unbounded backlog.
+
+    Observability discipline: connection threads are sys-threads sharing
+    the main domain, so they touch only the mutex-protected metrics
+    (counters / gauges / histograms); spans are recorded exclusively by
+    the service's worker domains, which each own a track.  Request
+    latency lands in the ["server.request_ns"] histogram, split by
+    outcome in ["server.hot"/"server.warm"/"server.cold"/"server.busy"]
+    counters. *)
+
+type config = {
+  port : int;  (** 0 = ephemeral; the bound port goes to [ready] *)
+  workers : int option;  (** [None] = {!Engine.Pool.default_workers} *)
+  queue_capacity : int;
+  store_root : string option;  (** [None] = in-memory store only *)
+  budget_bytes : int;
+  mem_capacity : int;
+}
+
+val default_config : config
+(** port 7421, default workers, queue 64, no disk store, 64 MiB budget,
+    512 in-memory entries. *)
+
+val run : ?ready:(int -> unit) -> sink:Obs.Sink.t -> config -> unit
+(** Serve until a ["shutdown"] request or SIGTERM/SIGINT; [ready] is
+    called with the bound port once listening.  [sink] is installed
+    ambiently ({!Obs.set_sink}) for the server's lifetime and
+    uninstalled on return; the caller owns trace export afterwards.
+    On return the service is drained, the store flushed, and all
+    sockets closed — shutdown wakes connections blocked on an idle
+    client rather than waiting for them to disconnect. *)

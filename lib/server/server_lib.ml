@@ -1,0 +1,12 @@
+(** paratime as a service: line-delimited JSON protocol over loopback
+    TCP, warm answers from the content-addressed result store
+    ({!Store}), cold analyses on a persistent {!Engine.Service} domain
+    pool, and a load-generator client for measuring the cache's effect
+    on tail latency. *)
+
+module Json = Json
+module Modes = Modes
+module Protocol = Protocol
+module Server = Server
+module Client = Client
+module Loadtest = Loadtest

@@ -1,0 +1,363 @@
+type entry = { size : int; mutable last : int }
+
+type t = {
+  root : string;
+  budget : int;
+  index : (string, entry) Hashtbl.t;
+  mutable bytes : int;
+  mutable seq : int;  (* recency clock: bumped on every touch *)
+  mutable dirty : int;  (* mutations since the manifest was written *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable puts : int;
+  mutable corrupt : int;
+  mutable oversize : int;
+  shards : (string, unit) Hashtbl.t;  (* shard dirs known to exist *)
+  lock : Mutex.t;
+}
+
+let default_budget_bytes = 64 * 1024 * 1024
+let root t = t.root
+let budget_bytes t = t.budget
+let objects_dir t = Filename.concat t.root "objects"
+let tmp_dir t = Filename.concat t.root "tmp"
+let manifest_path t = Filename.concat t.root "MANIFEST"
+let manifest_magic = "paratime-store v1"
+
+let valid_key k =
+  String.length k >= 2
+  && String.for_all (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false) k
+
+let object_path t key =
+  Filename.concat (Filename.concat (objects_dir t) (String.sub key 0 2)) key
+
+let mkdir_p path =
+  let rec go p =
+    if p <> "/" && p <> "." && not (Sys.file_exists p) then begin
+      go (Filename.dirname p);
+      try Unix.mkdir p 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  go path
+
+(* ---------------- object framing ---------------- *)
+
+(* "PTO1" <version> <varint payload length> <payload> <16-byte MD5(payload)>.
+   The digest is over the payload only; truncation is caught by the
+   length, bit flips by the digest. *)
+let obj_magic = "PTO1"
+let obj_version = 1
+
+let put_uint b n =
+  let rec go n =
+    if n < 0x80 then Buffer.add_char b (Char.chr n)
+    else begin
+      Buffer.add_char b (Char.chr (0x80 lor (n land 0x7f)));
+      go (n lsr 7)
+    end
+  in
+  go n
+
+let frame blob =
+  let b = Buffer.create (String.length blob + 32) in
+  Buffer.add_string b obj_magic;
+  put_uint b obj_version;
+  put_uint b (String.length blob);
+  Buffer.add_string b blob;
+  Buffer.add_string b (Digest.string blob);
+  Buffer.contents b
+
+exception Bad_object
+
+let unframe s =
+  let len = String.length s in
+  let pos = ref 0 in
+  let byte () =
+    if !pos >= len then raise Bad_object;
+    let v = Char.code s.[!pos] in
+    incr pos;
+    v
+  in
+  let uint () =
+    let rec go shift acc =
+      if shift > 62 then raise Bad_object;
+      let b = byte () in
+      let acc = acc lor ((b land 0x7f) lsl shift) in
+      if b land 0x80 = 0 then acc else go (shift + 7) acc
+    in
+    go 0 0
+  in
+  if len < 4 || String.sub s 0 4 <> obj_magic then raise Bad_object;
+  pos := 4;
+  if uint () <> obj_version then raise Bad_object;
+  let n = uint () in
+  if !pos + n + 16 <> len then raise Bad_object;
+  let blob = String.sub s !pos n in
+  let digest = String.sub s (!pos + n) 16 in
+  if Digest.string blob <> digest then raise Bad_object;
+  blob
+
+(* ---------------- manifest ---------------- *)
+
+let write_manifest t =
+  let tmp =
+    Filename.concat (tmp_dir t)
+      (Printf.sprintf "MANIFEST.%d.%d" (Unix.getpid ()) t.seq)
+  in
+  let oc = open_out tmp in
+  output_string oc (manifest_magic ^ "\n");
+  Hashtbl.iter
+    (fun key e -> Printf.fprintf oc "%s %d %d\n" key e.size e.last)
+    t.index;
+  close_out oc;
+  Sys.rename tmp (manifest_path t);
+  t.dirty <- 0
+
+let read_manifest path =
+  if not (Sys.file_exists path) then None
+  else
+    let ic = open_in path in
+    let result =
+      try
+        if input_line ic <> manifest_magic then None
+        else begin
+          let tbl = Hashtbl.create 256 in
+          (try
+             while true do
+               let line = input_line ic in
+               match String.split_on_char ' ' line with
+               | [ key; size; last ] ->
+                   Hashtbl.replace tbl key
+                     (int_of_string size, int_of_string last)
+               | _ -> failwith "malformed"
+             done
+           with End_of_file -> ());
+          Some tbl
+        end
+      with _ -> None
+    in
+    close_in ic;
+    result
+
+(* ---------------- open / accounting ---------------- *)
+
+let gauge t = Obs.set_gauge "store.bytes" t.bytes
+
+let scan_objects t =
+  let dir = objects_dir t in
+  let shards = try Sys.readdir dir with Sys_error _ -> [||] in
+  Array.sort compare shards;
+  Array.iter
+    (fun shard ->
+      let sdir = Filename.concat dir shard in
+      if Sys.is_directory sdir then begin
+        let files = Sys.readdir sdir in
+        Array.sort compare files;
+        Array.iter
+          (fun key ->
+            if valid_key key then
+              try
+                let size =
+                  (Unix.stat (Filename.concat sdir key)).Unix.st_size
+                in
+                Hashtbl.replace t.index key { size; last = 0 };
+                t.bytes <- t.bytes + size
+              with Unix.Unix_error _ -> ())
+          files
+      end)
+    shards
+
+let open_ ?(budget_bytes = default_budget_bytes) rootdir =
+  if budget_bytes < 1 then invalid_arg "Store.Disk.open_: budget_bytes < 1";
+  let t =
+    {
+      root = rootdir;
+      budget = budget_bytes;
+      index = Hashtbl.create 256;
+      bytes = 0;
+      seq = 1;
+      dirty = 0;
+      hits = 0;
+      misses = 0;
+      evictions = 0;
+      puts = 0;
+      corrupt = 0;
+      oversize = 0;
+      shards = Hashtbl.create 64;
+      lock = Mutex.create ();
+    }
+  in
+  mkdir_p (objects_dir t);
+  mkdir_p (tmp_dir t);
+  (* leftover temp files from a crashed writer are garbage *)
+  Array.iter
+    (fun f -> try Sys.remove (Filename.concat (tmp_dir t) f) with _ -> ())
+    (try Sys.readdir (tmp_dir t) with Sys_error _ -> [||]);
+  (* ground truth is the directory scan (sizes from stat); the manifest
+     only contributes recency for the keys it still correctly lists *)
+  scan_objects t;
+  (match read_manifest (manifest_path t) with
+  | None -> ()
+  | Some recorded ->
+      Hashtbl.iter
+        (fun key e ->
+          match Hashtbl.find_opt recorded key with
+          | Some (_, last) ->
+              e.last <- last;
+              t.seq <- max t.seq (last + 1)
+          | None -> ())
+        t.index);
+  gauge t;
+  t
+
+let touch t e =
+  e.last <- t.seq;
+  t.seq <- t.seq + 1
+
+let maybe_flush t = if t.dirty >= 32 then write_manifest t
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* ---------------- operations ---------------- *)
+
+let drop t key e =
+  Hashtbl.remove t.index key;
+  t.bytes <- t.bytes - e.size;
+  (try Sys.remove (object_path t key) with Sys_error _ -> ());
+  t.dirty <- t.dirty + 1
+
+let find t key =
+  with_lock t @@ fun () ->
+  match Hashtbl.find_opt t.index key with
+  | None ->
+      t.misses <- t.misses + 1;
+      Obs.add "store.miss" 1;
+      None
+  | Some e -> (
+      let t0 = Obs.now_ns () in
+      let contents =
+        try
+          let ic = open_in_bin (object_path t key) in
+          let n = in_channel_length ic in
+          let s = really_input_string ic n in
+          close_in ic;
+          Some s
+        with Sys_error _ | End_of_file -> None
+      in
+      match Option.map unframe contents with
+      | Some blob ->
+          touch t e;
+          t.hits <- t.hits + 1;
+          Obs.add "store.hit" 1;
+          Obs.observe "store.read_ns" (Int64.to_int (Int64.sub (Obs.now_ns ()) t0));
+          Some blob
+      | None | (exception Bad_object) ->
+          (* checksum mismatch or unreadable: a clean miss, and the bad
+             object never gets a second chance *)
+          drop t key e;
+          t.corrupt <- t.corrupt + 1;
+          t.misses <- t.misses + 1;
+          Obs.add "store.corrupt" 1;
+          Obs.add "store.miss" 1;
+          gauge t;
+          maybe_flush t;
+          None)
+
+let evict_to_budget t =
+  while t.bytes > t.budget do
+    let victim =
+      Hashtbl.fold
+        (fun key e acc ->
+          match acc with
+          | Some (_, best) when best.last <= e.last -> acc
+          | _ -> Some (key, e))
+        t.index None
+    in
+    match victim with
+    | None -> t.bytes <- 0 (* unreachable: bytes > 0 implies an entry *)
+    | Some (key, e) ->
+        drop t key e;
+        t.evictions <- t.evictions + 1;
+        Obs.add "store.eviction" 1
+  done
+
+let put t key blob =
+  if not (valid_key key) then
+    invalid_arg (Printf.sprintf "Store.Disk.put: key %S is not a fingerprint" key);
+  with_lock t @@ fun () ->
+  let framed = frame blob in
+  if String.length framed > t.budget then begin
+    t.oversize <- t.oversize + 1;
+    Obs.add "store.oversize" 1
+  end
+  else begin
+    let t0 = Obs.now_ns () in
+    let tmp =
+      Filename.concat (tmp_dir t)
+        (Printf.sprintf "%s.%d.%d" key (Unix.getpid ()) t.seq)
+    in
+    let oc = open_out_bin tmp in
+    output_string oc framed;
+    close_out oc;
+    let path = object_path t key in
+    (* shard dirs are created once and remembered — two stats per put
+       otherwise, which is real money next to a 4-syscall write *)
+    let shard = Filename.dirname path in
+    if not (Hashtbl.mem t.shards shard) then begin
+      mkdir_p shard;
+      Hashtbl.replace t.shards shard ()
+    end;
+    Sys.rename tmp path;
+    (match Hashtbl.find_opt t.index key with
+    | Some old -> t.bytes <- t.bytes - old.size
+    | None -> ());
+    let e = { size = String.length framed; last = 0 } in
+    touch t e;
+    Hashtbl.replace t.index key e;
+    t.bytes <- t.bytes + e.size;
+    t.puts <- t.puts + 1;
+    t.dirty <- t.dirty + 1;
+    Obs.add "store.put" 1;
+    Obs.observe "store.write_ns" (Int64.to_int (Int64.sub (Obs.now_ns ()) t0));
+    evict_to_budget t;
+    gauge t;
+    maybe_flush t
+  end
+
+let mem t key = with_lock t @@ fun () -> Hashtbl.mem t.index key
+let flush t = with_lock t @@ fun () -> write_manifest t
+let close = flush
+
+type stats = {
+  entries : int;
+  bytes : int;
+  budget : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+  puts : int;
+  corrupt : int;
+  oversize : int;
+}
+
+let stats t =
+  with_lock t @@ fun () ->
+  {
+    entries = Hashtbl.length t.index;
+    bytes = t.bytes;
+    budget = t.budget;
+    hits = t.hits;
+    misses = t.misses;
+    evictions = t.evictions;
+    puts = t.puts;
+    corrupt = t.corrupt;
+    oversize = t.oversize;
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "%d entries, %d/%d bytes, %d hits / %d lookups, %d evictions, %d corrupt"
+    s.entries s.bytes s.budget s.hits (s.hits + s.misses) s.evictions s.corrupt

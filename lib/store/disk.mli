@@ -1,0 +1,74 @@
+(** On-disk content-addressed result store.
+
+    One file per result under a sharded hash layout
+    ([<root>/objects/<k[0..1]>/<key>]), where [key] is the hex
+    fingerprint {!Core.Memo}/{!Engine.Fingerprint} already computes for
+    an analysis point.  This is everything the guillotine
+    [analysis_cache.zig] review said an analysis cache must not omit:
+    the store is *bounded* (byte budget with least-recently-used
+    eviction), *observable* (hit/miss/eviction/bytes surfaced through
+    {!Obs} counters and gauges and the {!stats} record), and *robust*
+    (every object is framed with a checksum; a truncated or bit-flipped
+    file is a clean miss that deletes the bad object, never a crash).
+
+    Durability model: object writes go to a temp file and [rename] into
+    place, so a crash never leaves a half-written object visible.  The
+    [MANIFEST] (size accounting and access order) is rewritten atomically
+    every few mutations and on {!close}; on open it is reconciled against
+    a directory scan, so a stale or missing manifest only costs
+    recency information, never correctness.
+
+    One [t] may be shared by every domain of a process: all operations
+    take an internal mutex.  (Two processes should not write the same
+    root concurrently; readers are always safe.) *)
+
+type t
+
+val default_budget_bytes : int
+(** 64 MiB. *)
+
+val open_ : ?budget_bytes:int -> string -> t
+(** [open_ root] creates [root] (and its layout) if needed and loads the
+    manifest, reconciling it against the objects actually present.
+    @raise Invalid_argument if [budget_bytes < 1]. *)
+
+val root : t -> string
+val budget_bytes : t -> int
+
+val find : t -> string -> string option
+(** Look up a blob by key.  Corrupt objects (checksum mismatch,
+    truncation) are deleted and reported as a miss.  A hit refreshes the
+    entry's recency. *)
+
+val put : t -> string -> string -> unit
+(** Insert (or overwrite) a blob, then evict least-recently-used entries
+    until the store fits its byte budget again.  A blob whose on-disk
+    size alone exceeds the budget is rejected (counted in
+    [stats.oversize], the store is left unchanged).
+    @raise Invalid_argument on keys that are not lowercase hex (the
+    store is keyed by fingerprints, nothing else belongs in it). *)
+
+val mem : t -> string -> bool
+(** No recency or stats update. *)
+
+val flush : t -> unit
+(** Write the manifest now. *)
+
+val close : t -> unit
+(** {!flush}; the handle stays usable (close is about durability, the
+    store holds no file descriptors between operations). *)
+
+type stats = {
+  entries : int;
+  bytes : int;  (** on-disk payload bytes currently accounted *)
+  budget : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+  puts : int;
+  corrupt : int;  (** objects dropped on checksum/framing mismatch *)
+  oversize : int;  (** puts rejected because one blob exceeds the budget *)
+}
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,213 @@
+module Vec = Pipeline.Cost.Vec
+
+type t = { kind : string; bound : int; attrib : Attrib.t }
+
+let of_wcet (w : Core.Wcet.t) =
+  { kind = "wcet"; bound = w.Core.Wcet.wcet; attrib = Attrib.of_wcet w }
+
+let of_bcet (b : Core.Bcet.t) =
+  { kind = "bcet"; bound = b.Core.Bcet.bcet; attrib = Attrib.of_bcet b }
+
+let equal a b =
+  a.kind = b.kind && a.bound = b.bound
+  && a.attrib.Attrib.label = b.attrib.Attrib.label
+  && a.attrib.Attrib.bound = b.attrib.Attrib.bound
+  && a.attrib.Attrib.rows = b.attrib.Attrib.rows
+  && a.attrib.Attrib.overheads = b.attrib.Attrib.overheads
+  && a.attrib.Attrib.total = b.attrib.Attrib.total
+
+(* ---------------- binary codec ---------------- *)
+
+let magic = "PTE1"
+let version = 1
+
+(* Unsigned LEB128; signed fields go through zigzag so small negatives
+   (the observed side's block = -1) stay one byte. *)
+let put_uint b n =
+  assert (n >= 0);
+  let rec go n =
+    if n < 0x80 then Buffer.add_char b (Char.chr n)
+    else begin
+      Buffer.add_char b (Char.chr (0x80 lor (n land 0x7f)));
+      go (n lsr 7)
+    end
+  in
+  go n
+
+let put_int b n = put_uint b (if n >= 0 then n lsl 1 else ((-n) lsl 1) - 1)
+
+let put_string b s =
+  put_uint b (String.length s);
+  Buffer.add_string b s
+
+let put_vec b (v : Vec.t) =
+  put_int b v.Vec.compute;
+  put_int b v.Vec.l1_miss;
+  put_int b v.Vec.l2_miss;
+  put_int b v.Vec.bus;
+  put_int b v.Vec.stall
+
+let put_row b (r : Attrib.row) =
+  put_string b r.Attrib.proc;
+  put_int b r.Attrib.block;
+  (match r.Attrib.count with
+  | None -> put_uint b 0
+  | Some c ->
+      put_uint b 1;
+      put_int b c);
+  put_vec b r.Attrib.vec
+
+let encode t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b magic;
+  put_uint b version;
+  put_string b t.kind;
+  put_int b t.bound;
+  put_string b t.attrib.Attrib.label;
+  put_int b t.attrib.Attrib.bound;
+  put_uint b (List.length t.attrib.Attrib.rows);
+  List.iter (put_row b) t.attrib.Attrib.rows;
+  put_uint b (List.length t.attrib.Attrib.overheads);
+  List.iter
+    (fun (name, v) ->
+      put_string b name;
+      put_vec b v)
+    t.attrib.Attrib.overheads;
+  put_vec b t.attrib.Attrib.total;
+  Buffer.contents b
+
+exception Malformed
+
+type cursor = { s : string; mutable pos : int }
+
+let get_byte c =
+  if c.pos >= String.length c.s then raise Malformed;
+  let v = Char.code c.s.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let get_uint c =
+  let rec go shift acc =
+    if shift > 62 then raise Malformed;
+    let byte = get_byte c in
+    let acc = acc lor ((byte land 0x7f) lsl shift) in
+    if byte land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  go 0 0
+
+let get_int c =
+  let n = get_uint c in
+  if n land 1 = 0 then n lsr 1 else -((n + 1) lsr 1)
+
+let get_string c =
+  let n = get_uint c in
+  if n < 0 || c.pos + n > String.length c.s then raise Malformed;
+  let s = String.sub c.s c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let get_vec c =
+  let compute = get_int c in
+  let l1_miss = get_int c in
+  let l2_miss = get_int c in
+  let bus = get_int c in
+  let stall = get_int c in
+  { Vec.compute; l1_miss; l2_miss; bus; stall }
+
+let get_list c f = List.init (get_uint c) (fun _ -> f c)
+
+let get_row c =
+  let proc = get_string c in
+  let block = get_int c in
+  let count =
+    match get_uint c with
+    | 0 -> None
+    | 1 -> Some (get_int c)
+    | _ -> raise Malformed
+  in
+  let vec = get_vec c in
+  { Attrib.proc; block; count; vec }
+
+let decode s =
+  match
+    if
+      String.length s < String.length magic
+      || String.sub s 0 (String.length magic) <> magic
+    then raise Malformed;
+    let c = { s; pos = String.length magic } in
+    if get_uint c <> version then raise Malformed;
+    let kind = get_string c in
+    let bound = get_int c in
+    let label = get_string c in
+    let abound = get_int c in
+    let rows = get_list c get_row in
+    let overheads =
+      get_list c (fun c ->
+          let name = get_string c in
+          (name, get_vec c))
+    in
+    let total = get_vec c in
+    if c.pos <> String.length s then raise Malformed;
+    { kind; bound; attrib = { Attrib.label; bound = abound; rows; overheads; total } }
+  with
+  | t -> Some t
+  | exception Malformed -> None
+
+(* ---------------- JSON rendering ---------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let vec_json (v : Vec.t) =
+  Printf.sprintf
+    "{\"compute\":%d,\"l1_miss\":%d,\"l2_miss\":%d,\"bus\":%d,\"stall\":%d}"
+    v.Vec.compute v.Vec.l1_miss v.Vec.l2_miss v.Vec.bus v.Vec.stall
+
+let base_fields t =
+  Printf.sprintf "\"kind\":\"%s\",\"bound\":%d,\"label\":\"%s\",\"total\":%s"
+    (json_escape t.kind) t.bound
+    (json_escape t.attrib.Attrib.label)
+    (vec_json t.attrib.Attrib.total)
+
+let summary_json t = "{" ^ base_fields t ^ "}"
+
+let to_json t =
+  let b = Buffer.create 512 in
+  Buffer.add_char b '{';
+  Buffer.add_string b (base_fields t);
+  Buffer.add_string b ",\"rows\":[";
+  List.iteri
+    (fun i (r : Attrib.row) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "{\"proc\":\"%s\",\"block\":%d,%s\"vec\":%s}"
+           (json_escape r.Attrib.proc)
+           r.Attrib.block
+           (match r.Attrib.count with
+           | Some c -> Printf.sprintf "\"count\":%d," c
+           | None -> "")
+           (vec_json r.Attrib.vec)))
+    t.attrib.Attrib.rows;
+  Buffer.add_string b "],\"overheads\":[";
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "{\"proc\":\"%s\",\"vec\":%s}" (json_escape name)
+           (vec_json v)))
+    t.attrib.Attrib.overheads;
+  Buffer.add_string b "]}";
+  Buffer.contents b

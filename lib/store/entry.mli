@@ -1,0 +1,47 @@
+(** Distilled analysis results: the serving currency of the result store.
+
+    A full {!Core.Wcet.t} carries the platform (including closures) and
+    every intermediate analysis structure — it is neither serializable nor
+    needed to *serve* a bound.  What a client of the analysis service
+    consumes is exactly what this entry keeps: the bound, its kind, and
+    the complete per-(procedure, block) {!Attrib} decomposition, which is
+    the whole explainability surface [paratime attribute] exposes.
+
+    The codec is a compact versioned binary format (magic + version byte,
+    LEB128 varints, zigzag for signed fields).  Encoding is canonical:
+    structurally equal entries produce byte-identical blobs, which is what
+    lets a warm service reply be compared bit-for-bit against the cold one
+    it was distilled from.  {!decode} is total — any malformed input
+    (wrong magic, unknown version, truncation, trailing garbage) yields
+    [None], never an exception; whole-blob corruption detection is the
+    {!Disk} layer's checksummed framing. *)
+
+type t = {
+  kind : string;  (** ["wcet"] or ["bcet"] *)
+  bound : int;
+  attrib : Attrib.t;  (** full per-block decomposition of [bound] *)
+}
+
+val of_wcet : Core.Wcet.t -> t
+(** Distill a WCET result: [bound] is the root WCET, [attrib] is
+    {!Attrib.of_wcet}. *)
+
+val of_bcet : Core.Bcet.t -> t
+
+val encode : t -> string
+(** Canonical binary rendering (deterministic: equal entries encode to
+    equal strings). *)
+
+val decode : string -> t option
+(** Inverse of {!encode}; [None] on any malformed input. *)
+
+val equal : t -> t -> bool
+(** Structural equality (the round-trip property of the codec). *)
+
+val to_json : t -> string
+(** One-line JSON rendering for protocol replies: kind, bound, the
+    per-category totals, per-block rows and overheads. *)
+
+val summary_json : t -> string
+(** Like {!to_json} but without the per-block rows — the [analyze]
+    reply's payload (the [attribute] reply carries the full rows). *)

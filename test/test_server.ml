@@ -1,0 +1,376 @@
+(* End-to-end coverage for the serving stack: cold / hot / warm replies
+   bit-identical across a server restart, the protocol's error paths
+   (uniform codes, benchmark listing), inline programs with loop bounds,
+   status/stats introspection, and the bounded-queue backpressure the
+   [busy] reply is built on. *)
+
+module Json = Server_lib.Json
+module Client = Server_lib.Client
+module Server = Server_lib.Server
+
+(* ---------------- in-process server ---------------- *)
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error _ -> ()
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+
+let start_server ?store_root () =
+  let sink = Obs.Sink.create () in
+  let port_box = ref None in
+  let lock = Mutex.create () in
+  let cond = Condition.create () in
+  let config =
+    {
+      Server.port = 0;
+      workers = Some 1;
+      queue_capacity = 4;
+      store_root;
+      budget_bytes = Server.default_config.Server.budget_bytes;
+      mem_capacity = 64;
+    }
+  in
+  let thread =
+    Thread.create
+      (fun () ->
+        Server.run
+          ~ready:(fun port ->
+            Mutex.lock lock;
+            port_box := Some port;
+            Condition.signal cond;
+            Mutex.unlock lock)
+          ~sink config)
+      ()
+  in
+  Mutex.lock lock;
+  while !port_box = None do
+    Condition.wait cond lock
+  done;
+  let port = Option.get !port_box in
+  Mutex.unlock lock;
+  (port, thread)
+
+let stop_server port thread =
+  (match Client.connect ~port () with
+  | Error _ -> ()
+  | Ok c ->
+      ignore
+        (Client.request c
+           (Json.Obj [ ("id", Json.Int 0); ("op", Json.Str "shutdown") ]));
+      Client.close c);
+  Thread.join thread
+
+let with_server ?store_root f =
+  let port, thread = start_server ?store_root () in
+  Fun.protect ~finally:(fun () -> stop_server port thread) (fun () -> f port)
+
+(* Raw line round-trip: the bit-identity assertions must compare the
+   bytes the server wrote, not a re-rendering of the parsed reply. *)
+let raw_request port line =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  output_string oc line;
+  output_char oc '\n';
+  flush oc;
+  let reply = input_line ic in
+  Unix.close fd;
+  reply
+
+(* Everything from ["key":...] on — the reply minus id/ok/cached, which
+   is exactly the part hot, warm and cold must agree on byte-for-byte. *)
+let from_key reply =
+  match Astring.String.find_sub ~sub:{|"key":|} reply with
+  | Some i -> String.sub reply i (String.length reply - i)
+  | None -> Alcotest.failf "reply has no key: %s" reply
+
+let cached_of reply =
+  match Json.parse reply with
+  | Error msg -> Alcotest.failf "unparsable reply %S: %s" reply msg
+  | Ok j -> (
+      match (Json.member "ok" j, Json.str_field "cached" j) with
+      | Some (Json.Bool true), Some c -> c
+      | _ -> Alcotest.failf "not an ok reply: %s" reply)
+
+let expect_error c req ~code =
+  match Client.request c req with
+  | Error msg -> Alcotest.failf "transport error: %s" msg
+  | Ok j ->
+      Alcotest.(check bool)
+        (code ^ " reply is not ok") false
+        (Json.member "ok" j = Some (Json.Bool true));
+      Alcotest.(check (option string)) ("code is " ^ code) (Some code)
+        (Json.str_field "code" j)
+
+(* ---------------- tests ---------------- *)
+
+let analyze_line =
+  {|{"id":1,"op":"analyze","source":"bench:crc","mode":"solo","cores":1,"kind":"wcet"}|}
+
+let test_cold_hot_warm_identity () =
+  let root =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "paratime-test-serve-%d" (Unix.getpid ()))
+  in
+  rm_rf root;
+  Fun.protect
+    ~finally:(fun () -> rm_rf root)
+    (fun () ->
+      let port, thread = start_server ~store_root:root () in
+      let cold = raw_request port analyze_line in
+      let hot = raw_request port analyze_line in
+      stop_server port thread;
+      Alcotest.(check string) "first touch is cold" "cold" (cached_of cold);
+      Alcotest.(check string) "second touch is hot" "hot" (cached_of hot);
+      Alcotest.(check string) "hot reply is bit-identical to cold"
+        (from_key cold) (from_key hot);
+      (* a fresh process over the same store must serve the same bytes *)
+      let port, thread = start_server ~store_root:root () in
+      let warm = raw_request port analyze_line in
+      Alcotest.(check string) "post-restart touch is warm" "warm"
+        (cached_of warm);
+      Alcotest.(check string) "warm reply is bit-identical to cold"
+        (from_key cold) (from_key warm);
+      (* attribute renders the same entry with full rows *)
+      let attr =
+        raw_request port
+          {|{"id":2,"op":"attribute","source":"bench:crc","mode":"solo","cores":1}|}
+      in
+      Alcotest.(check string) "attribute is served from the store" "hot"
+        (cached_of attr);
+      Alcotest.(check bool) "attribute carries the rows" true
+        (Astring.String.is_infix ~affix:{|"rows":|} attr);
+      stop_server port thread)
+
+let test_inline_with_bounds () =
+  with_server (fun port ->
+      match Client.connect ~port () with
+      | Error msg -> Alcotest.fail msg
+      | Ok c ->
+          let req =
+            Json.Obj
+              [
+                ("id", Json.Int 3);
+                ("op", Json.Str "analyze");
+                ("name", Json.Str "loopy");
+                ( "asm",
+                  Json.Str
+                    "main:\n\
+                    \  li r1, 8\n\
+                     loop:\n\
+                    \  subi r1, r1, 1\n\
+                    \  ld.d r2, 0(r1)\n\
+                    \  bne r1, r0, loop\n\
+                    \  halt\n" );
+                ( "bounds",
+                  Json.List
+                    [
+                      Json.List
+                        [ Json.Str "main"; Json.Str "loop"; Json.Int 8 ];
+                    ] );
+                ("mode", Json.Str "solo");
+                ("cores", Json.Int 1);
+              ]
+          in
+          let bound_of = function
+            | Error msg -> Alcotest.failf "transport error: %s" msg
+            | Ok j -> (
+                match Json.member "result" j with
+                | Some r -> (
+                    match Json.int_field "bound" r with
+                    | Some b -> b
+                    | None -> Alcotest.failf "no bound: %s" (Json.to_string j))
+                | None -> Alcotest.failf "no result: %s" (Json.to_string j))
+          in
+          let b1 = bound_of (Client.request c req) in
+          Alcotest.(check bool) "inline program analysed" true (b1 > 0);
+          (* same source, same bounds => same key => a cache hit with the
+             same bound *)
+          let b2 = bound_of (Client.request c req) in
+          Alcotest.(check int) "repeat serves the same bound" b1 b2;
+          Client.close c)
+
+let test_protocol_errors () =
+  with_server (fun port ->
+      match Client.connect ~port () with
+      | Error msg -> Alcotest.fail msg
+      | Ok c ->
+          (match Client.request_line c "this is not json" with
+          | Error msg -> Alcotest.failf "transport error: %s" msg
+          | Ok j ->
+              Alcotest.(check (option string))
+                "garbage line is bad_request" (Some "bad_request")
+                (Json.str_field "code" j));
+          expect_error c ~code:"bad_request"
+            (Json.Obj [ ("id", Json.Int 1); ("op", Json.Str "frobnicate") ]);
+          expect_error c ~code:"bad_request"
+            (Json.Obj [ ("id", Json.Int 1); ("op", Json.Str "analyze") ]);
+          expect_error c ~code:"bad_request"
+            (Json.Obj
+               [
+                 ("id", Json.Int 1);
+                 ("op", Json.Str "analyze");
+                 ("source", Json.Str "bench:crc");
+                 ("cores", Json.Int 9);
+               ]);
+          expect_error c ~code:"bad_request"
+            (Json.Obj
+               [
+                 ("id", Json.Int 1);
+                 ("op", Json.Str "analyze");
+                 ("source", Json.Str "bench:crc");
+                 ("mode", Json.Str "warp-drive");
+               ]);
+          (* BCET is only defined for the uncontended solo platform *)
+          expect_error c ~code:"not_analysable"
+            (Json.Obj
+               [
+                 ("id", Json.Int 1);
+                 ("op", Json.Str "analyze");
+                 ("source", Json.Str "bench:crc");
+                 ("mode", Json.Str "joint");
+                 ("kind", Json.Str "bcet");
+               ]);
+          (* unknown benchmark names the catalog, as the CLI does *)
+          (match
+             Client.request c
+               (Json.Obj
+                  [
+                    ("id", Json.Int 1);
+                    ("op", Json.Str "analyze");
+                    ("source", Json.Str "bench:no_such_bench");
+                  ])
+           with
+          | Error msg -> Alcotest.failf "transport error: %s" msg
+          | Ok j ->
+              Alcotest.(check (option string))
+                "code is unknown_benchmark" (Some "unknown_benchmark")
+                (Json.str_field "code" j);
+              let err = Option.value ~default:"" (Json.str_field "error" j) in
+              Alcotest.(check bool) "error lists the catalog" true
+                (Astring.String.is_infix ~affix:"available:" err
+                && Astring.String.is_infix ~affix:"crc" err));
+          Client.close c)
+
+let test_status_and_stats () =
+  with_server (fun port ->
+      match Client.connect ~port () with
+      | Error msg -> Alcotest.fail msg
+      | Ok c ->
+          ignore (raw_request port analyze_line);
+          (match
+             Client.request c
+               (Json.Obj [ ("id", Json.Int 5); ("op", Json.Str "status") ])
+           with
+          | Error msg -> Alcotest.failf "transport error: %s" msg
+          | Ok j ->
+              Alcotest.(check bool) "status is ok" true
+                (Json.member "ok" j = Some (Json.Bool true));
+              let workers =
+                Option.bind (Json.member "service" j) (Json.int_field "workers")
+              in
+              Alcotest.(check (option int)) "one worker" (Some 1) workers);
+          (match
+             Client.request c
+               (Json.Obj [ ("id", Json.Int 6); ("op", Json.Str "stats") ])
+           with
+          | Error msg -> Alcotest.failf "transport error: %s" msg
+          | Ok j ->
+              let cold =
+                Option.bind (Json.member "requests" j) (Json.int_field "cold")
+              in
+              Alcotest.(check bool) "one cold analysis counted" true
+                (match cold with Some n -> n >= 1 | None -> false);
+              let latency_count =
+                Option.bind (Json.member "latency_ns" j) (Json.int_field "count")
+              in
+              Alcotest.(check bool) "request latencies recorded" true
+                (match latency_count with Some n -> n >= 1 | None -> false);
+              let mem_entries =
+                Option.bind (Json.member "store" j)
+                  (Json.int_field "mem_entries")
+              in
+              Alcotest.(check bool) "store holds the result" true
+                (match mem_entries with Some n -> n >= 1 | None -> false));
+          Client.close c)
+
+(* The busy reply is Engine.Service backpressure verbatim: a full queue
+   refuses immediately.  Driven at the service layer where the race is
+   controllable — worker occupancy and queue depth are pinned with
+   condvars, so the third submit is deterministically rejected. *)
+let test_busy_backpressure () =
+  let service = Engine.Service.create ~workers:1 ~queue_capacity:1 () in
+  let lock = Mutex.create () in
+  let cond = Condition.create () in
+  let started = ref false and release = ref false in
+  let blocker () =
+    Mutex.lock lock;
+    started := true;
+    Condition.broadcast cond;
+    while not !release do
+      Condition.wait cond lock
+    done;
+    Mutex.unlock lock;
+    "done"
+  in
+  let t1 =
+    match Engine.Service.submit service blocker with
+    | Some t -> t
+    | None -> Alcotest.fail "idle service rejected a job"
+  in
+  (* wait until the worker owns the blocker, so the queue is empty *)
+  Mutex.lock lock;
+  while not !started do
+    Condition.wait cond lock
+  done;
+  Mutex.unlock lock;
+  let t2 =
+    match Engine.Service.submit service (fun () -> "queued") with
+    | Some t -> t
+    | None -> Alcotest.fail "service rejected a job with queue space free"
+  in
+  (* worker busy + queue full: this is the submit the server answers
+     with a busy reply *)
+  (match Engine.Service.submit service (fun () -> "overflow") with
+  | None -> ()
+  | Some _ -> Alcotest.fail "service accepted a job beyond queue capacity");
+  Alcotest.(check bool) "rejection counted" true
+    ((Engine.Service.stats service).Engine.Service.s_rejected >= 1);
+  Mutex.lock lock;
+  release := true;
+  Condition.broadcast cond;
+  Mutex.unlock lock;
+  Alcotest.(check (result string string)) "blocker completes" (Ok "done")
+    (Engine.Service.await t1);
+  Alcotest.(check (result string string)) "queued job completes"
+    (Ok "queued") (Engine.Service.await t2);
+  Engine.Service.shutdown service
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "serving",
+        [
+          Alcotest.test_case "cold/hot/warm replies bit-identical" `Quick
+            test_cold_hot_warm_identity;
+          Alcotest.test_case "inline program with loop bounds" `Quick
+            test_inline_with_bounds;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "error paths carry uniform codes" `Quick
+            test_protocol_errors;
+          Alcotest.test_case "status and stats introspection" `Quick
+            test_status_and_stats;
+        ] );
+      ( "backpressure",
+        [
+          Alcotest.test_case "full queue refuses deterministically" `Quick
+            test_busy_backpressure;
+        ] );
+    ]
