@@ -1,13 +1,14 @@
-(* Solver/fixpoint performance harness: measures the sparse warm-started
-   LP stack and the worklist fixpoint engine against the reference dense
-   solver and the classic full-sweep iteration on the whole benchmark
-   catalog, and emits a machine-readable report.
+(* Performance harness: the sparse warm-started LP stack and worklist
+   fixpoint engine against their reference counterparts on the benchmark
+   catalog, plus the block-predecoded simulator against the
+   per-instruction reference interpreter on a fuzz corpus, emitting one
+   machine-readable report.
 
    Usage:
      dune exec bench/perf.exe                      -- full run
      dune exec bench/perf.exe -- --quick           -- single timing rep (CI)
      dune exec bench/perf.exe -- --out FILE        -- report path
-                                                      (default BENCH_pr5.json)
+                                                      (default BENCH_pr7.json)
      dune exec bench/perf.exe -- --baseline FILE   -- WCET/BCET drift guard
                                                       (default bench/wcet_baseline.txt)
      dune exec bench/perf.exe -- --write-baseline  -- regenerate the baseline
@@ -15,15 +16,20 @@
    The report carries, per program and in aggregate: simplex pivots and
    branch-and-bound nodes for both solver stacks, fixpoint block
    examinations (pops) for both scheduling strategies, transfer counts,
-   and wall times.  Both stacks must agree on every WCET and BCET — a
-   disagreement is a hard failure, as is any drift from the committed
-   baseline (a WCET bound silently changing is exactly what this harness
-   exists to catch). *)
+   wall times, and the simulator section: per approach mode, total
+   simulated cycles and wall time under both interpreters.  Both solver
+   stacks must agree on every WCET and BCET, both interpreters must be
+   bit-identical on every run (cycles, attribution vectors, per-block
+   tables, architectural state), and the block interpreter must clear a
+   3x aggregate throughput gate — a disagreement or a regression is a
+   hard failure, as is any drift from the committed baseline. *)
 
 module B = Workloads.Bench_programs
+module G = Fuzz.Generator
+module MC = Core.Multicore
 
 let quick = ref false
-let out_path = ref "BENCH_pr5.json"
+let out_path = ref "BENCH_pr7.json"
 let baseline_path = ref "bench/wcet_baseline.txt"
 let write_baseline = ref false
 
@@ -32,7 +38,7 @@ let usage = "perf.exe [--quick] [--out FILE] [--baseline FILE] [--write-baseline
 let spec =
   [
     ("--quick", Arg.Set quick, " single timing repetition (CI smoke)");
-    ("--out", Arg.Set_string out_path, "FILE report path (default BENCH_pr5.json)");
+    ("--out", Arg.Set_string out_path, "FILE report path (default BENCH_pr7.json)");
     ( "--baseline",
       Arg.Set_string baseline_path,
       "FILE committed WCET/BCET baseline (default bench/wcet_baseline.txt)" );
@@ -217,6 +223,249 @@ let attrib_overhead_fraction () =
     t_sim_off *. 1000.,
     t_sim_on *. 1000. )
 
+(* ---- simulator: block-predecoded vs reference interpreter ------------ *)
+
+(* Corpus: generator programs with bench-heavy parameters (more pieces,
+   longer and deeper loops) so steady-state simulation dominates the
+   per-run machine construction that both interpreters share.  Each
+   adjacent pair forms a 2-core task group; the seven simulable approach
+   modes reuse exactly the machine shapes the fuzz oracle validates
+   (dynamic locking is analysis-only and has no run to speed up). *)
+let sim_params =
+  {
+    G.default_params with
+    G.max_pieces = 8;
+    max_ops = 8;
+    max_iters = 48;
+    max_depth = 3;
+  }
+
+type sim_row = {
+  sim_mode : string;
+  sim_cycles : int;  (* identical under both interpreters, or we failed *)
+  sim_block_ms : float;
+  sim_ref_ms : float;
+}
+
+let sim_bench ~reps ~programs =
+  let gens =
+    Array.init programs (fun i -> G.generate ~params:sim_params ~seed:7 ~index:i ())
+  in
+  let setup (g : G.t) =
+    {
+      (Sim.Machine.task g.G.program) with
+      Sim.Machine.init_data = g.G.data_init;
+    }
+  in
+  (* One (config, setups) unit per machine the mode runs. *)
+  let solo_units =
+    Array.to_list gens
+    |> List.map (fun (g : G.t) ->
+           let sys =
+             MC.default_system ~cores:1
+               ~tasks:[| Some (g.G.program, g.G.annot) |]
+           in
+           let cfg =
+             {
+               (MC.machine_config sys
+                  ~l2:(Sim.Machine.Private_l2 [| sys.MC.l2 |]))
+               with
+               Sim.Machine.arbiter = Interconnect.Arbiter.Private;
+             }
+           in
+           (cfg, [| setup g |]))
+  in
+  let pair_units of_pair =
+    List.concat
+      (List.init (programs / 2) (fun k ->
+           let ga = gens.(2 * k) and gb = gens.((2 * k) + 1) in
+           let sys =
+             MC.default_system ~cores:2
+               ~tasks:
+                 [|
+                   Some (ga.G.program, ga.G.annot);
+                   Some (gb.G.program, gb.G.annot);
+                 |]
+           in
+           of_pair sys ga gb))
+  in
+  let modes =
+    [
+      ("solo", solo_units);
+      ( "oblivious",
+        pair_units (fun sys ga gb ->
+            let cfg =
+              {
+                (MC.machine_config sys
+                   ~l2:(Sim.Machine.Private_l2 [| sys.MC.l2 |]))
+                with
+                Sim.Machine.arbiter = Interconnect.Arbiter.Private;
+              }
+            in
+            [ (cfg, [| setup ga |]); (cfg, [| setup gb |]) ]) );
+      ( "joint",
+        pair_units (fun sys ga gb ->
+            [
+              ( MC.machine_config sys ~l2:(Sim.Machine.Shared_l2 sys.MC.l2),
+                [| setup ga; setup gb |] );
+            ]) );
+      ( "bypass",
+        pair_units (fun sys ga gb ->
+            let with_bypass (g : G.t) =
+              let lines = MC.bypass_lines sys (g.G.program, g.G.annot) in
+              {
+                (setup g) with
+                Sim.Machine.l2_bypass = (fun l -> List.mem l lines);
+              }
+            in
+            [
+              ( MC.machine_config sys ~l2:(Sim.Machine.Shared_l2 sys.MC.l2),
+                [| with_bypass ga; with_bypass gb |] );
+            ]) );
+      ( "columnized",
+        pair_units (fun sys ga gb ->
+            let alloc =
+              Cache.Partition.even_shares Cache.Partition.Columnization
+                sys.MC.l2 ~parts:2
+            in
+            let slices =
+              Array.init 2 (fun i ->
+                  Cache.Partition.partition_config sys.MC.l2 alloc ~index:i)
+            in
+            [
+              ( MC.machine_config sys ~l2:(Sim.Machine.Private_l2 slices),
+                [| setup ga; setup gb |] );
+            ]) );
+      ( "bankized",
+        pair_units (fun sys ga gb ->
+            let alloc =
+              Cache.Partition.even_shares Cache.Partition.Bankization sys.MC.l2
+                ~parts:2
+            in
+            let slices =
+              Array.init 2 (fun i ->
+                  Cache.Partition.partition_config sys.MC.l2 alloc ~index:i)
+            in
+            [
+              ( MC.machine_config sys ~l2:(Sim.Machine.Private_l2 slices),
+                [| setup ga; setup gb |] );
+            ]) );
+      ( "locked",
+        pair_units (fun sys ga gb ->
+            let selection = MC.static_lock_selection sys in
+            let with_locks g =
+              {
+                (setup g) with
+                Sim.Machine.locked_l2_lines = selection.Cache.Locking.locked;
+              }
+            in
+            [
+              ( MC.machine_config sys ~l2:(Sim.Machine.Shared_l2 sys.MC.l2),
+                [| with_locks ga; with_locks gb |] );
+            ]) );
+    ]
+  in
+  (* Verification pass: both interpreters, per-block attribution on,
+     every result field bit-identical (the corpus halts, so the
+     truncation caveat never applies). *)
+  let cycles_of (mode, units) =
+    List.fold_left
+      (fun acc (cfg, setups) ->
+        let with_attrib =
+          Array.map
+            (fun s -> { s with Sim.Machine.attrib_blocks = true })
+            setups
+        in
+        let rb = Sim.Machine.run ~interp:`Block cfg ~cores:with_attrib () in
+        let rr = Sim.Machine.run ~interp:`Reference cfg ~cores:with_attrib () in
+        Array.iteri
+          (fun i (b : Sim.Machine.core_result) ->
+            let r = rr.(i) in
+            if not r.Sim.Machine.halted then begin
+              Printf.eprintf "FAIL sim %s: core %d did not halt\n" mode i;
+              exit 1
+            end;
+            if b <> r then begin
+              Printf.eprintf
+                "FAIL sim %s: interpreters diverge on core %d (block %d \
+                 cycles, reference %d cycles)\n"
+                mode i b.Sim.Machine.cycles r.Sim.Machine.cycles;
+              exit 1
+            end)
+          rb;
+        acc
+        + Array.fold_left
+            (fun a (r : Sim.Machine.core_result) -> a + r.Sim.Machine.cycles)
+            0 rb)
+      0 units
+  in
+  let time_pass interp units =
+    let t0 = Sys.time () in
+    List.iter
+      (fun (cfg, setups) -> ignore (Sim.Machine.run ~interp cfg ~cores:setups ()))
+      units;
+    Sys.time () -. t0
+  in
+  List.map
+    (fun (mode, units) ->
+      let sim_cycles = cycles_of (mode, units) in
+      let best f =
+        let m = ref infinity in
+        for _ = 1 to reps do
+          m := Float.min !m (f ())
+        done;
+        !m
+      in
+      let sim_block_ms = 1000. *. best (fun () -> time_pass `Block units) in
+      let sim_ref_ms = 1000. *. best (fun () -> time_pass `Reference units) in
+      { sim_mode = mode; sim_cycles; sim_block_ms; sim_ref_ms })
+    modes
+
+(* Stall-replay guard for the reference interpreter: cycles that merely
+   count down an instruction's remaining local work (the stall-replay
+   path) must not re-plan or re-decode the instruction — the fix keeps
+   the decoded instruction cached on the core and decrements the work
+   item in place.  A div-heavy loop spends ~12 local cycles per
+   instruction against the ALU loop's ~2, so with the fix its cycle
+   rate is strictly higher (planning is amortized over 6x the cycles);
+   if replay cycles re-decoded, the two rates would collapse together.
+   The guard asserts the div loop stays faster per cycle. *)
+let stall_replay_guard () =
+  let loop body =
+    Isa.Asm.parse ~name:"guard"
+      (Printf.sprintf
+         "main:\n  addi r1, r0, 30000\nloop:\n%s  subi r1, r1, 1\n  bne r1, \
+          r0, loop\n  halt\n"
+         body)
+  in
+  let alu = loop "  addi r2, r2, 3\n  addi r3, r3, 7\n" in
+  let divs = loop "  div r2, r2, r1\n  div r3, r3, r1\n" in
+  let cfg =
+    {
+      Sim.Machine.latencies = Pipeline.Latencies.default;
+      l1i = Cache.Config.make ~sets:4 ~assoc:2 ~line_size:16;
+      l1d = Cache.Config.make ~sets:4 ~assoc:2 ~line_size:16;
+      l2 = Sim.Machine.No_l2;
+      arbiter = Interconnect.Arbiter.Private;
+      refresh = Interconnect.Arbiter.Burst;
+      i_path = Sim.Machine.Conventional;
+    }
+  in
+  let rate program =
+    ignore (Sim.Machine.run_single ~interp:`Reference cfg program ());
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let t0 = Sys.time () in
+      let r = Sim.Machine.run_single ~interp:`Reference cfg program () in
+      let dt = Sys.time () -. t0 in
+      best := Float.min !best (dt /. float_of_int r.Sim.Machine.cycles)
+    done;
+    1e-6 /. !best (* Mcycles/s *)
+  in
+  let alu_rate = rate alu in
+  let stall_rate = rate divs in
+  (alu_rate, stall_rate)
+
 let json_escape s =
   let buf = Buffer.create (String.length s) in
   String.iter
@@ -312,10 +561,19 @@ let () =
       =
     attrib_overhead_fraction ()
   in
+  (* The corpus size stays fixed in quick mode (the gate needs the
+     long-running programs of the corpus tail); only timing reps drop. *)
+  let sim_rows = sim_bench ~reps:(if !quick then 1 else 3) ~programs:8 in
+  let sim_block_total =
+    List.fold_left (fun a r -> a +. r.sim_block_ms) 0. sim_rows
+  in
+  let sim_ref_total = List.fold_left (fun a r -> a +. r.sim_ref_ms) 0. sim_rows in
+  let sim_speedup = sim_ref_total /. Float.max 1e-9 sim_block_total in
+  let guard_alu_rate, guard_stall_rate = stall_replay_guard () in
   let buf = Buffer.create 4096 in
   let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   p "{\n";
-  p "  \"bench\": \"pr5-attribution\",\n";
+  p "  \"bench\": \"pr7-block-sim\",\n";
   p "  \"quick\": %b,\n" !quick;
   p "  \"programs\": [\n";
   List.iteri
@@ -360,7 +618,29 @@ let () =
   p "    \"sim_block_attrib_off_ms\": %.3f,\n" sim_off_ms;
   p "    \"sim_block_attrib_on_ms\": %.3f\n" sim_on_ms;
   p "  },\n";
+  p "  \"sim\": {\n";
+  p "    \"modes\": [\n";
+  List.iteri
+    (fun i r ->
+      p
+        "      {\"mode\": \"%s\", \"cycles\": %d, \"block_ms\": %.3f, \
+         \"reference_ms\": %.3f, \"speedup\": %.3f}%s\n"
+        r.sim_mode r.sim_cycles r.sim_block_ms r.sim_ref_ms
+        (r.sim_ref_ms /. Float.max 1e-9 r.sim_block_ms)
+        (if i = List.length sim_rows - 1 then "" else ","))
+    sim_rows;
+  p "    ],\n";
+  p "    \"block_ms\": %.3f,\n" sim_block_total;
+  p "    \"reference_ms\": %.3f,\n" sim_ref_total;
+  p "    \"speedup\": %.3f,\n" sim_speedup;
+  p "    \"stall_replay_alu_mcps\": %.2f,\n" guard_alu_rate;
+  p "    \"stall_replay_div_mcps\": %.2f\n" guard_stall_rate;
+  p "  },\n";
   p "  \"acceptance\": {\n";
+  p "    \"sim_speedup_ge_3x\": %b,\n" (sim_speedup >= 3.0);
+  p "    \"sim_bit_identical\": true,\n";
+  p "    \"stall_replay_not_redecoding\": %b,\n"
+    (guard_stall_rate >= guard_alu_rate);
   p "    \"pivot_speedup_ge_2x\": %b,\n" (pivot_speedup >= 2.0);
   p "    \"block_transfer_reduction_ge_30pct\": %b,\n" (pop_reduction >= 0.30);
   p "    \"obs_disabled_overhead_lt_2pct\": %b,\n" (obs_frac < 0.02);
@@ -372,12 +652,26 @@ let () =
   Buffer.output_buffer oc buf;
   close_out oc;
   Printf.printf
-    "%d programs | pivots: %d sparse vs %d reference (%.2fx) | fixpoint pops: %d worklist vs %d sweep (%.1f%% fewer) | obs disabled overhead %.3f%% | attrib flatten %.3f%% -> %s\n"
+    "%d programs | pivots: %d sparse vs %d reference (%.2fx) | fixpoint pops: %d worklist vs %d sweep (%.1f%% fewer) | obs disabled overhead %.3f%% | attrib flatten %.3f%% | sim %.1f/%.1f ms (%.2fx) -> %s\n"
     (List.length rows) sparse_pivots dense_pivots pivot_speedup worklist_pops
     sweep_pops (100. *. pop_reduction) (100. *. obs_frac) (100. *. attrib_frac)
-    !out_path;
+    sim_block_total sim_ref_total sim_speedup !out_path;
   if pivot_speedup < 2.0 || pop_reduction < 0.30 then begin
     Printf.eprintf "FAIL: acceptance thresholds not met\n";
+    exit 1
+  end;
+  if sim_speedup < 3.0 then begin
+    Printf.eprintf
+      "FAIL: block interpreter speedup %.2fx below the 3x gate (block %.1f \
+       ms, reference %.1f ms)\n"
+      sim_speedup sim_block_total sim_ref_total;
+    exit 1
+  end;
+  if guard_stall_rate < guard_alu_rate then begin
+    Printf.eprintf
+      "FAIL: stall-replay guard: div loop %.1f Mc/s not above ALU loop %.1f \
+       Mc/s — replay cycles look like they are re-planning\n"
+      guard_stall_rate guard_alu_rate;
     exit 1
   end;
   if obs_frac >= 0.02 then begin

@@ -570,7 +570,15 @@ let batch_cmd =
 (* ---------------- fuzz ---------------- *)
 
 let fuzz_cmd =
-  let run seed count cores jobs_flag mode_args timeout_ms csv attrib trace =
+  let run seed count cores jobs_flag mode_args timeout_ms csv attrib trace
+      interp_arg =
+    let interp =
+      match String.lowercase_ascii interp_arg with
+      | "block" -> `Block
+      | "reference" -> `Reference
+      | "both" -> `Both
+      | s -> die "unknown --interp %S (expected block, reference or both)" s
+    in
     let modes =
       match
         List.concat_map (String.split_on_char ',') mode_args
@@ -602,8 +610,8 @@ let fuzz_cmd =
     let t0 = Engine.Telemetry.now_ns () in
     let c =
       match
-        Fuzz.Oracle.run_campaign ~modes ~cores ?workers ?timeout_ns ~memo ~seed
-          ~count ()
+        Fuzz.Oracle.run_campaign ~modes ~cores ?workers ?timeout_ns ~memo
+          ~interp ~seed ~count ()
       with
       | c -> c
       | exception Invalid_argument msg -> die "%s" msg
@@ -655,12 +663,16 @@ let fuzz_cmd =
           "\nSOUNDNESS VIOLATION [%s/%s] task %s core %d: %s\n\
            offending program:\n\
            %s\n\
-           reproduce with: paratime fuzz --seed %d --count %d --modes %s\n"
+           reproduce with: paratime fuzz --seed %d --count %d --modes %s%s\n"
           (Fuzz.Oracle.mode_name v.Fuzz.Oracle.v_mode)
           v.Fuzz.Oracle.v_shape v.Fuzz.Oracle.v_task v.Fuzz.Oracle.v_core
           v.Fuzz.Oracle.reason v.Fuzz.Oracle.source seed count
           (String.concat ","
-             (List.map Fuzz.Oracle.mode_name c.Fuzz.Oracle.modes)))
+             (List.map Fuzz.Oracle.mode_name c.Fuzz.Oracle.modes))
+          (match interp with
+          | `Block -> ""
+          | `Reference -> " --interp reference"
+          | `Both -> " --interp both"))
       r.Fuzz.Oracle.violations;
     trace_finish ();
     if r.Fuzz.Oracle.violations <> [] || r.Fuzz.Oracle.errors <> [] then exit 1
@@ -726,6 +738,16 @@ let fuzz_cmd =
       & info [ "trace" ] ~docv:"FILE"
           ~doc:"Record a Chrome trace_event JSON of the campaign into $(docv).")
   in
+  let interp_arg =
+    Arg.(
+      value & opt string "block"
+      & info [ "interp" ] ~docv:"WHICH"
+          ~doc:
+            "Simulator interpreter for the observed side: $(b,block) (the \
+             pre-decoded hot path, default), $(b,reference) (the \
+             per-instruction stepper), or $(b,both) — run both and report \
+             any block-vs-reference divergence as a violation.")
+  in
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:
@@ -734,7 +756,7 @@ let fuzz_cmd =
           shapes and all multicore approach families")
     Term.(
       const run $ seed $ count $ cores $ jobs_flag $ modes $ timeout_ms $ csv
-      $ attrib $ trace)
+      $ attrib $ trace $ interp_arg)
 
 (* ---------------- attribute ---------------- *)
 

@@ -1,5 +1,13 @@
-(* Each set holds an MRU-first list of resident tags plus a locked set. *)
-type set_state = { mutable lru : int list; mutable locked : int list }
+(* Each set holds its resident tags MRU-first in a fixed [assoc]-sized
+   array ([n] of which are valid), plus a list of locked tags kept
+   outside the recency order.  The array representation makes hits,
+   reorders and fills in-place and allocation-free — this is the
+   simulator's hottest data structure. *)
+type set_state = {
+  ways : int array;  (* MRU-first resident tags; indices >= n are stale *)
+  mutable n : int;
+  mutable locked : int list;
+}
 
 type t = {
   config : Config.t;
@@ -11,41 +19,78 @@ type t = {
 let create config =
   {
     config;
-    sets = Array.init config.Config.sets (fun _ -> { lru = []; locked = [] });
+    sets =
+      Array.init config.Config.sets (fun _ ->
+          { ways = Array.make config.Config.assoc (-1); n = 0; locked = [] });
     hits = 0;
     misses = 0;
   }
 
 let config t = t.config
 
-let access t addr =
-  let s = t.sets.(Config.set_of_addr t.config addr) in
-  let tag = Config.tag_of_addr t.config addr in
+(* Move ways.(i) to the front, sliding 0..i-1 down one. *)
+let to_front s i =
+  let tag = s.ways.(i) in
+  for j = i downto 1 do
+    s.ways.(j) <- s.ways.(j - 1)
+  done;
+  s.ways.(0) <- tag
+
+let access_slow t s tag =
   if List.mem tag s.locked then begin
     t.hits <- t.hits + 1;
     `Hit
   end
-  else if List.mem tag s.lru then begin
-    t.hits <- t.hits + 1;
-    s.lru <- tag :: List.filter (fun x -> x <> tag) s.lru;
-    `Hit
-  end
   else begin
-    t.misses <- t.misses + 1;
-    let capacity = t.config.Config.assoc - List.length s.locked in
-    let resident = tag :: s.lru in
-    s.lru <-
-      (if List.length resident > capacity then
-         (* drop the LRU entry *)
-         List.filteri (fun i _ -> i < capacity) resident
-       else resident);
-    `Miss
+    let rec find i = if i >= s.n then -1 else if s.ways.(i) = tag then i else find (i + 1) in
+    let i = find 0 in
+    if i >= 0 then begin
+      t.hits <- t.hits + 1;
+      to_front s i;
+      `Hit
+    end
+    else begin
+      t.misses <- t.misses + 1;
+      let capacity = t.config.Config.assoc - List.length s.locked in
+      if capacity > 0 then begin
+        (* insert as MRU, evicting the LRU entry if full *)
+        let n' = if s.n + 1 < capacity then s.n + 1 else capacity in
+        for j = n' - 1 downto 1 do
+          s.ways.(j) <- s.ways.(j - 1)
+        done;
+        s.ways.(0) <- tag;
+        s.n <- n'
+      end;
+      `Miss
+    end
   end
 
+let access t addr =
+  (* [Config.set_of_addr]/[tag_of_addr] inlined to share one division. *)
+  let cfg = t.config in
+  let line = addr / cfg.Config.line_size in
+  let nsets = cfg.Config.sets in
+  let s = t.sets.(line mod nsets) in
+  let tag = line / nsets in
+  if s.n > 0 && s.ways.(0) = tag then begin
+    (* Already most-recently-used: a hit that moves nothing.  (Locked
+       tags are never in the ways array, so no lock check is needed.) *)
+    t.hits <- t.hits + 1;
+    `Hit
+  end
+  else access_slow t s tag
+
+let note_hit t = t.hits <- t.hits + 1
+
 let probe t addr =
-  let s = t.sets.(Config.set_of_addr t.config addr) in
-  let tag = Config.tag_of_addr t.config addr in
-  List.mem tag s.locked || List.mem tag s.lru
+  let cfg = t.config in
+  let line = addr / cfg.Config.line_size in
+  let s = t.sets.(line mod cfg.Config.sets) in
+  let tag = line / cfg.Config.sets in
+  List.mem tag s.locked
+  ||
+  let rec find i = i < s.n && (s.ways.(i) = tag || find (i + 1)) in
+  find 0
 
 let lock_line t addr =
   let s = t.sets.(Config.set_of_addr t.config addr) in
@@ -55,24 +100,32 @@ let lock_line t addr =
     failwith "Concrete.lock_line: set fully locked"
   else begin
     s.locked <- tag :: s.locked;
-    s.lru <- List.filter (fun x -> x <> tag) s.lru;
+    (* drop the tag from the recency order if resident *)
+    let rec find i = if i >= s.n then -1 else if s.ways.(i) = tag then i else find (i + 1) in
+    let i = find 0 in
+    if i >= 0 then begin
+      for j = i to s.n - 2 do
+        s.ways.(j) <- s.ways.(j + 1)
+      done;
+      s.n <- s.n - 1
+    end;
     (* Locking may shrink the unlocked capacity below current residency. *)
     let capacity = t.config.Config.assoc - List.length s.locked in
-    s.lru <- List.filteri (fun i _ -> i < capacity) s.lru
+    if s.n > capacity then s.n <- capacity
   end
 
 let unlock_all t = Array.iter (fun s -> s.locked <- []) t.sets
 
-let invalidate t = Array.iter (fun s -> s.lru <- []) t.sets
+let invalidate t = Array.iter (fun s -> s.n <- 0) t.sets
 
 let resident_lines t =
   let lines = ref [] in
   Array.iteri
     (fun set s ->
+      let tags = s.locked @ Array.to_list (Array.sub s.ways 0 s.n) in
       List.iter
-        (fun tag ->
-          lines := ((tag * t.config.Config.sets) + set) :: !lines)
-        (s.locked @ s.lru))
+        (fun tag -> lines := ((tag * t.config.Config.sets) + set) :: !lines)
+        tags)
     t.sets;
   List.sort compare !lines
 

@@ -14,6 +14,12 @@ val access : t -> int -> [ `Hit | `Miss ]
 (** Look up the byte address; on miss the line is filled, evicting the LRU
     unlocked line of the set if full.  Locked lines always hit. *)
 
+val note_hit : t -> unit
+(** Count a hit the caller has proved state-neutral: the line accessed is
+    the one the cache touched last (hence most-recently-used in its set),
+    so [access] would return [`Hit] and move nothing.  Lets hot loops
+    skip the lookup entirely. *)
+
 val probe : t -> int -> bool
 (** Is the address's line resident?  Does not update LRU state. *)
 

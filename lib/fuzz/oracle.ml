@@ -34,6 +34,8 @@ let mode_of_string s =
         (Printf.sprintf "unknown mode %S (expected one of: %s)" s
            (String.concat ", " (List.map mode_name all_modes)))
 
+type interp = [ `Block | `Reference | `Both ]
+
 type check = {
   mode : mode;
   shape : string;
@@ -141,6 +143,84 @@ let setup_of (g : Generator.t) =
     Sim.Machine.init_data = g.Generator.data_init;
   }
 
+(* ---- interpreter cross-check ----------------------------------------- *)
+
+(* Run the simulator under the chosen interpreter.  [`Both] runs the
+   block interpreter *and* the reference stepper and cross-checks every
+   field the block interpreter guarantees bit-exactly (all of them on a
+   halted run); a mismatch is a violation against the diverging core's
+   task, and the reference result is the oracle-of-record downstream. *)
+let sim_run ~(interp : interp) ~mode ~shape ~(g_of : int -> Generator.t) cfg
+    ~cores () =
+  match interp with
+  | `Block -> (Sim.Machine.run ~interp:`Block cfg ~cores (), [])
+  | `Reference -> (Sim.Machine.run ~interp:`Reference cfg ~cores (), [])
+  | `Both ->
+      let rb = Sim.Machine.run ~interp:`Block cfg ~cores () in
+      let rr = Sim.Machine.run ~interp:`Reference cfg ~cores () in
+      let vs = ref [] in
+      Array.iteri
+        (fun i (b : Sim.Machine.core_result) ->
+          let r = rr.(i) in
+          let mismatch =
+            if b.Sim.Machine.cycles <> r.Sim.Machine.cycles then
+              Some
+                (Printf.sprintf "cycles: block %d, reference %d"
+                   b.Sim.Machine.cycles r.Sim.Machine.cycles)
+            else if b.Sim.Machine.halted <> r.Sim.Machine.halted then
+              Some
+                (Printf.sprintf "halted: block %b, reference %b"
+                   b.Sim.Machine.halted r.Sim.Machine.halted)
+            else if b.Sim.Machine.attrib <> r.Sim.Machine.attrib then
+              Some "attribution vector differs"
+            else if b.Sim.Machine.block_attrib <> r.Sim.Machine.block_attrib
+            then Some "per-block attribution differs"
+            else if
+              b.Sim.Machine.bus_stall_cycles <> r.Sim.Machine.bus_stall_cycles
+            then
+              Some
+                (Printf.sprintf "bus_stall_cycles: block %d, reference %d"
+                   b.Sim.Machine.bus_stall_cycles r.Sim.Machine.bus_stall_cycles)
+            else if b.Sim.Machine.max_bus_wait <> r.Sim.Machine.max_bus_wait
+            then
+              Some
+                (Printf.sprintf "max_bus_wait: block %d, reference %d"
+                   b.Sim.Machine.max_bus_wait r.Sim.Machine.max_bus_wait)
+            else if not b.Sim.Machine.halted then
+              (* truncated runs: only the fields above are promised *)
+              None
+            else if b.Sim.Machine.instructions <> r.Sim.Machine.instructions
+            then
+              Some
+                (Printf.sprintf "instructions: block %d, reference %d"
+                   b.Sim.Machine.instructions r.Sim.Machine.instructions)
+            else if
+              (b.Sim.Machine.l1i_hits, b.Sim.Machine.l1i_misses,
+               b.Sim.Machine.l1d_hits, b.Sim.Machine.l1d_misses)
+              <> (r.Sim.Machine.l1i_hits, r.Sim.Machine.l1i_misses,
+                  r.Sim.Machine.l1d_hits, r.Sim.Machine.l1d_misses)
+            then Some "L1 hit/miss counters differ"
+            else if b.Sim.Machine.final_state <> r.Sim.Machine.final_state then
+              Some "final architectural state differs"
+            else None
+          in
+          match mismatch with
+          | None -> ()
+          | Some reason ->
+              let g = g_of i in
+              vs :=
+                {
+                  v_mode = mode;
+                  v_shape = shape;
+                  v_task = g.Generator.name;
+                  v_core = i;
+                  reason = "interpreter divergence: " ^ reason;
+                  source = g.Generator.source;
+                }
+                :: !vs)
+        rb;
+      (rr, List.rev !vs)
+
 (* ---- the sandwich ---------------------------------------------------- *)
 
 let sandwich ~mode ~shape ~(g : Generator.t) ~core ~bcet ~wcet ~a_vec result =
@@ -192,16 +272,22 @@ let collect pairs =
 
 (* ---- solo mode ------------------------------------------------------- *)
 
-let check_solo ?memo ?(checkpoint = fun () -> ()) (g : Generator.t) =
+let check_solo ?memo ?(checkpoint = fun () -> ())
+    ?(interp : interp = `Block) (g : Generator.t) =
   let annot = g.Generator.annot and program = g.Generator.program in
+  let divergences = ref [] in
   let per_shape (shape, platform) =
     checkpoint ();
     match
       let w = wcet_result ?memo ~annot platform program in
       let bcet = bcet_bound ?memo ~annot platform program in
-      let rs =
-        Sim.Machine.run (sim_config_of platform) ~cores:[| setup_of g |] ()
+      let rs, dv =
+        sim_run ~interp ~mode:Solo ~shape
+          ~g_of:(fun _ -> g)
+          (sim_config_of platform)
+          ~cores:[| setup_of g |] ()
       in
+      divergences := !divergences @ dv;
       sandwich ~mode:Solo ~shape ~g ~core:0 ~bcet ~wcet:w.Core.Wcet.wcet
         ~a_vec:(root_vec w) (Some rs.(0))
     with
@@ -221,7 +307,8 @@ let check_solo ?memo ?(checkpoint = fun () -> ()) (g : Generator.t) =
               source = g.Generator.source;
             } )
   in
-  collect (List.map per_shape (solo_shapes ()))
+  let r = collect (List.map per_shape (solo_shapes ())) in
+  { r with violations = r.violations @ !divergences }
 
 (* ---- contended modes ------------------------------------------------- *)
 
@@ -241,9 +328,11 @@ let private_platform (sys : M.system) =
     method_cache = None;
   }
 
-let check_group ?memo ?(checkpoint = fun () -> ()) ~modes gens =
+let check_group ?memo ?(checkpoint = fun () -> ())
+    ?(interp : interp = `Block) ~modes gens =
   let n = Array.length gens in
   if n < 1 then invalid_arg "Oracle.check_group: empty task group";
+  let divergences = ref [] in
   let modes = List.filter (fun m -> m <> Solo) modes in
   let tasks =
     Array.map
@@ -259,6 +348,12 @@ let check_group ?memo ?(checkpoint = fun () -> ()) ~modes gens =
       gens
   in
   let plain_setups = Array.map setup_of gens in
+  (* All group runs share the interpreter cross-check plumbing. *)
+  let sim ~mode ~shape ~g_of cfg ~cores =
+    let rs, dv = sim_run ~interp ~mode ~shape ~g_of cfg ~cores () in
+    divergences := !divergences @ dv;
+    rs
+  in
   (* One sandwich per core, against either a per-core result array, a
      per-core solo run, or nothing (analytic modes). *)
   let per_core ~mode ~shape results result_for =
@@ -287,13 +382,18 @@ let check_group ?memo ?(checkpoint = fun () -> ()) ~modes gens =
           }
         in
         per_core ~mode ~shape:"private-l2" ws (fun core ->
-            Some (Sim.Machine.run cfg ~cores:[| plain_setups.(core) |] ()).(0))
+            Some
+              (sim ~mode ~shape:"private-l2"
+                 ~g_of:(fun _ -> gens.(core))
+                 cfg
+                 ~cores:[| plain_setups.(core) |]).(0))
     | Joint ->
         let ws = M.analyze_joint ?memo sys () in
         let rs =
-          Sim.Machine.run
+          sim ~mode ~shape:"shared-l2"
+            ~g_of:(fun i -> gens.(i))
             (M.machine_config sys ~l2:(Sim.Machine.Shared_l2 sys.M.l2))
-            ~cores:plain_setups ()
+            ~cores:plain_setups
         in
         per_core ~mode ~shape:"shared-l2" ws (fun core -> Some rs.(core))
     | Bypass ->
@@ -311,9 +411,10 @@ let check_group ?memo ?(checkpoint = fun () -> ()) ~modes gens =
             gens
         in
         let rs =
-          Sim.Machine.run
+          sim ~mode ~shape:"shared-l2+bypass"
+            ~g_of:(fun i -> gens.(i))
             (M.machine_config sys ~l2:(Sim.Machine.Shared_l2 sys.M.l2))
-            ~cores:setups ()
+            ~cores:setups
         in
         per_core ~mode ~shape:"shared-l2+bypass" ws (fun core -> Some rs.(core))
     | Columnized | Bankized ->
@@ -327,13 +428,15 @@ let check_group ?memo ?(checkpoint = fun () -> ()) ~modes gens =
           Array.init n (fun i ->
               Cache.Partition.partition_config sys.M.l2 alloc ~index:i)
         in
+        let shape = if mode = Columnized then "l2-columns" else "l2-banks" in
         let rs =
-          Sim.Machine.run
+          sim ~mode ~shape
+            ~g_of:(fun i -> gens.(i))
             (M.machine_config sys ~l2:(Sim.Machine.Private_l2 slices))
-            ~cores:plain_setups ()
+            ~cores:plain_setups
         in
         per_core ~mode
-          ~shape:(if mode = Columnized then "l2-columns" else "l2-banks")
+          ~shape
           ws
           (fun core -> Some rs.(core))
     | Locked ->
@@ -350,9 +453,10 @@ let check_group ?memo ?(checkpoint = fun () -> ()) ~modes gens =
             plain_setups
         in
         let rs =
-          Sim.Machine.run
+          sim ~mode ~shape:"locked-l2"
+            ~g_of:(fun i -> gens.(i))
             (M.machine_config sys ~l2:(Sim.Machine.Shared_l2 sys.M.l2))
-            ~cores:setups ()
+            ~cores:setups
         in
         per_core ~mode ~shape:"locked-l2" ws (fun core -> Some rs.(core))
     | Dynamic ->
@@ -382,7 +486,8 @@ let check_group ?memo ?(checkpoint = fun () -> ()) ~modes gens =
             ];
         }
   in
-  merge_reports (List.map per_mode modes)
+  let r = merge_reports (List.map per_mode modes) in
+  { r with violations = r.violations @ !divergences }
 
 (* ---- campaign -------------------------------------------------------- *)
 
@@ -458,7 +563,8 @@ let stats_of report modes =
     modes
 
 let run_campaign ?(params = Generator.default_params) ?(modes = all_modes)
-    ?(cores = 4) ?workers ?memo ?timeout_ns ~seed ~count () =
+    ?(cores = 4) ?workers ?memo ?timeout_ns ?(interp : interp = `Block) ~seed
+    ~count () =
   if count <= 0 then invalid_arg "Oracle.run_campaign: count must be positive";
   if cores < 1 || cores > 4 then
     invalid_arg "Oracle.run_campaign: cores must be in 1..4 (the L2 has 4 ways)";
@@ -481,14 +587,14 @@ let run_campaign ?(params = Generator.default_params) ?(modes = all_modes)
                 List.filter_map
                   (fun k ->
                     if (gi * cores) + k < count then
-                      Some (check_solo ?memo ~checkpoint gens.(k))
+                      Some (check_solo ?memo ~checkpoint ~interp gens.(k))
                     else None)
                   (List.init cores (fun i -> i))
               else []
             in
             let grouped =
               if contended = [] then empty_report
-              else check_group ?memo ~checkpoint ~modes:contended gens
+              else check_group ?memo ~checkpoint ~interp ~modes:contended gens
             in
             merge_reports (solo @ [ grouped ])))
   in

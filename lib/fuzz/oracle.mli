@@ -43,6 +43,14 @@ val all_modes : mode list
 val mode_name : mode -> string
 val mode_of_string : string -> (mode, string) result
 
+type interp = [ `Block | `Reference | `Both ]
+(** Which simulator interpreter the observed side runs on.  [`Both]
+    runs the block interpreter *and* the per-instruction reference,
+    cross-checks every field the block interpreter guarantees bit-exact
+    (all of them on a halted run), reports any mismatch as an
+    ["interpreter divergence: ..."] violation, and uses the reference
+    result for the sandwich. *)
+
 type check = {
   mode : mode;
   shape : string;  (** platform/sub-configuration label *)
@@ -74,7 +82,11 @@ type report = {
 }
 
 val check_solo :
-  ?memo:Core.Memo.t -> ?checkpoint:(unit -> unit) -> Generator.t -> report
+  ?memo:Core.Memo.t ->
+  ?checkpoint:(unit -> unit) ->
+  ?interp:interp ->
+  Generator.t ->
+  report
 (** The five [Solo] shapes for one program.  [checkpoint] is called
     between shapes (pass {!Engine.Pool.check} for cooperative
     timeouts). *)
@@ -82,6 +94,7 @@ val check_solo :
 val check_group :
   ?memo:Core.Memo.t ->
   ?checkpoint:(unit -> unit) ->
+  ?interp:interp ->
   modes:mode list ->
   Generator.t array ->
   report
@@ -120,6 +133,7 @@ val run_campaign :
   ?workers:int ->
   ?memo:Core.Memo.t ->
   ?timeout_ns:int64 ->
+  ?interp:interp ->
   seed:int ->
   count:int ->
   unit ->

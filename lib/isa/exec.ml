@@ -76,10 +76,9 @@ let cond_holds c a b =
   | Instr.Lt -> a < b
   | Instr.Ge -> a >= b
 
-let step program state =
+let step_decoded program state ins =
   if halted state then None
   else begin
-    let ins = Program.instr program state.pc in
     state.steps <- state.steps + 1;
     let next = state.pc + 1 in
     match ins with
@@ -126,6 +125,10 @@ let step program state =
         state.pc <- -1;
         None
   end
+
+let step program state =
+  if halted state then None
+  else step_decoded program state (Program.instr program state.pc)
 
 let run ?(fuel = 10_000_000) program state =
   let rec go budget =

@@ -44,6 +44,12 @@ val step : Program.t -> state -> event option
     instruction is [Halt].
     @raise Fault on memory/call-stack violations. *)
 
+val step_decoded : Program.t -> state -> Instr.t -> event option
+(** [step] with the instruction at [state.pc] already decoded, so a
+    caller that has the instruction in hand (the simulator plans it
+    before executing it) does not pay the fetch again.  [ins] must be the
+    instruction at [state.pc]. *)
+
 val run : ?fuel:int -> Program.t -> state -> int
 (** Run to halt; returns the number of instructions executed (including
     those executed before the call).  Default fuel: [10_000_000].
@@ -52,3 +58,17 @@ val run : ?fuel:int -> Program.t -> state -> int
 
 val alu : Instr.alu_op -> int -> int -> int
 (** The pure ALU function, exposed for the simulator. *)
+
+val cond_holds : Instr.cond -> int -> int -> bool
+(** Branch-condition evaluation, exposed for the simulator. *)
+
+val set_reg : state -> Instr.reg -> int -> unit
+(** Register write with the r0-is-zero guard. *)
+
+val read_mem : state -> Instr.space -> int -> int
+(** Word read at a space-relative index.
+    @raise Fault out of range. *)
+
+val write_mem : state -> Instr.space -> int -> int -> unit
+(** Word write at a space-relative index.
+    @raise Fault out of range. *)

@@ -168,8 +168,8 @@ let first_miss_vec (lat : Latencies.t) oracle mc =
 let first_miss_penalty lat oracle mc = Vec.total (first_miss_vec lat oracle mc)
 
 let exec_vec (lat : Latencies.t) ins =
-  let stall = Latencies.exec_stall lat ins in
-  { Vec.zero with compute = Latencies.exec_cost lat ins - stall; stall }
+  let compute, stall = Latencies.exec_split lat ins in
+  { Vec.zero with compute; stall }
 
 let data_vec (lat : Latencies.t) oracle i =
   if oracle.is_io i then

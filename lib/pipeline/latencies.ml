@@ -29,6 +29,8 @@ let exec_stall t = function
   | Isa.Instr.Nop | Isa.Instr.Halt ->
       0
 
+(* Split kept alongside [exec_cost]/[exec_stall] so the simulator's
+   pre-decoder and the analysis share one definition of the split. *)
 let exec_cost t = function
   | Isa.Instr.Alu (op, _, _, _) | Isa.Instr.Alui (op, _, _, _) -> (
       match op with
@@ -42,3 +44,7 @@ let exec_cost t = function
   | Isa.Instr.Branch _ -> t.base + t.branch_penalty
   | Isa.Instr.Jump _ | Isa.Instr.Call _ | Isa.Instr.Ret ->
       t.base + t.branch_penalty
+
+let exec_split t ins =
+  let stall = exec_stall t ins in
+  (exec_cost t ins - stall, stall)

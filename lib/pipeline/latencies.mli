@@ -30,3 +30,8 @@ val exec_cost : t -> Isa.Instr.t -> int
 val exec_stall : t -> Isa.Instr.t -> int
 (** The redirect-penalty portion of {!exec_cost} (the pipeline-stall
     attribution category); zero for non-control instructions. *)
+
+val exec_split : t -> Isa.Instr.t -> int * int
+(** [(exec_cost - exec_stall, exec_stall)]: the (compute, stall) split
+    used both by {!Cost.exec_vec} and the simulator's pre-decoder, so the
+    two sides can never disagree on the decomposition. *)

@@ -35,14 +35,23 @@ let create policy =
     service_cycles = Array.make ncores 0;
   }
 
+let is_pending t core =
+  match t.pending.(core) with Some _ -> true | None -> false
+
 let request t ~core ~latency =
   if latency <= 0 then invalid_arg "Bus.request: latency <= 0";
-  if t.pending.(core) <> None then
-    invalid_arg "Bus.request: outstanding request";
+  if is_pending t core then invalid_arg "Bus.request: outstanding request";
   t.pending.(core) <- Some { latency; issued_at = t.clock };
   Queue.push core t.fifo
 
-let pending t ~core = t.pending.(core) <> None
+let pending t ~core = is_pending t core
+
+let has_pending t =
+  let n = Array.length t.pending in
+  let rec go i = i < n && (is_pending t i || go (i + 1)) in
+  go 0
+
+let in_service t = t.in_service
 
 (* Pick the next core to serve, if any, and advance arbitration state. *)
 let arbitrate t =
@@ -53,7 +62,7 @@ let arbitrate t =
       else
         let pos = (t.token + i) mod n in
         let core = t.round.(pos) in
-        if t.pending.(core) <> None then begin
+        if is_pending t core then begin
           t.token <- (pos + 1) mod n;
           Some core
         end
@@ -71,7 +80,7 @@ let arbitrate t =
         if Queue.is_empty t.fifo then None
         else
           let core = Queue.pop t.fifo in
-          if t.pending.(core) <> None then Some core else pop ()
+          if is_pending t core then Some core else pop ()
       in
       pop ()
   | Interconnect.Arbiter.Tdma { cores; slot } ->
@@ -93,18 +102,21 @@ let start_service t core =
       t.in_service <- Some (core, r.latency)
 
 let step t =
-  (if t.in_service = None then
-     match arbitrate t with
-     | Some core -> start_service t core
-     | None -> ());
+  (match t.in_service with
+  | Some _ -> ()
+  | None -> (
+      match arbitrate t with
+      | Some core -> start_service t core
+      | None -> ()));
   (let serving = match t.in_service with Some (c, _) -> c | None -> -1 in
-   Array.iteri
-     (fun c r ->
-       if r <> None then
+   for c = 0 to t.ncores - 1 do
+     match t.pending.(c) with
+     | None -> ()
+     | Some _ ->
          if c = serving then
            t.service_cycles.(c) <- t.service_cycles.(c) + 1
-         else t.wait_cycles.(c) <- t.wait_cycles.(c) + 1)
-     t.pending);
+         else t.wait_cycles.(c) <- t.wait_cycles.(c) + 1
+   done);
   (match t.in_service with
   | Some (core, remaining) ->
       let remaining = remaining - 1 in
@@ -115,6 +127,32 @@ let step t =
       else t.in_service <- Some (core, remaining)
   | None -> ());
   t.clock <- t.clock + 1
+
+(* Advance [k] cycles during which no arbitration decision can occur:
+   either a service is in flight with at least [k] cycles remaining, or
+   the bus is completely idle (no pending requests).  Equivalent to [k]
+   calls to [step] under that precondition, in O(cores). *)
+let skip t k =
+  if k <= 0 then invalid_arg "Bus.skip: k <= 0";
+  (match t.in_service with
+  | Some (core, remaining) ->
+      if k > remaining then invalid_arg "Bus.skip: past end of service";
+      for c = 0 to t.ncores - 1 do
+        match t.pending.(c) with
+        | None -> ()
+        | Some _ ->
+            if c = core then
+              t.service_cycles.(c) <- t.service_cycles.(c) + k
+            else t.wait_cycles.(c) <- t.wait_cycles.(c) + k
+      done;
+      let remaining = remaining - k in
+      if remaining = 0 then begin
+        t.in_service <- None;
+        t.pending.(core) <- None
+      end
+      else t.in_service <- Some (core, remaining)
+  | None -> if has_pending t then invalid_arg "Bus.skip: pending request");
+  t.clock <- t.clock + k
 
 let now t = t.clock
 let max_wait t ~core = t.max_wait.(core)

@@ -18,9 +18,26 @@ val request : t -> core:int -> latency:int -> unit
 val pending : t -> core:int -> bool
 (** Request issued and not yet completed. *)
 
+val has_pending : t -> bool
+(** Any core has an outstanding request. *)
+
+val in_service : t -> (int * int) option
+(** The transaction currently being serviced, as [(core, remaining
+    cycles)].  Exposed so the block interpreter can size bulk-skip
+    windows without changing arbitration behaviour. *)
+
 val step : t -> unit
 (** Advance one cycle: start a service if the bus is idle and the policy
     allows, then progress the in-flight service. *)
+
+val skip : t -> int -> unit
+(** [skip t k] advances [k] cycles at once.  Bit-equivalent to [k]
+    successive {!step}s *provided* no arbitration decision can fall in
+    the window: either a service is in flight with [k <=] its remaining
+    cycles, or the bus is idle with no pending request.  Wait/service
+    accounting is applied in bulk.
+    @raise Invalid_argument if the precondition is violated or
+    [k <= 0]. *)
 
 val now : t -> int
 (** Cycles stepped so far (drives TDMA slot positions). *)

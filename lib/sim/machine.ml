@@ -1,536 +1,32 @@
-type l2_config =
-  | No_l2
-  | Shared_l2 of Cache.Config.t
-  | Private_l2 of Cache.Config.t array
+(* Public simulator facade.  The model (types, cost model, per-core
+   setup) lives in [Machine_core]; the two interpreters are [Predecode]
+   (block-predecoded, the default) and [Reference] (the per-instruction
+   oracle stepper).  This module adds argument validation, interpreter
+   selection, and the [Obs] instrumentation. *)
 
-type i_path = Conventional | Method_cache of Cache.Method_cache.config
+include Machine_core
 
-type config = {
-  latencies : Pipeline.Latencies.t;
-  l1i : Cache.Config.t;
-  l1d : Cache.Config.t;
-  l2 : l2_config;
-  arbiter : Interconnect.Arbiter.t;
-  refresh : Interconnect.Arbiter.refresh_policy;
-  i_path : i_path;
-}
+type interp = [ `Block | `Reference ]
 
-type core_setup = {
-  program : Isa.Program.t option;
-  init_regs : (int * int) list;
-  init_data : (int * int) list;
-  locked_l2_lines : int list;
-  warm_i : int list;
-  warm_d : int list;
-  l2_bypass : int -> bool;
-  attrib_blocks : bool;
-}
-
-let task program =
-  {
-    program = Some program;
-    init_regs = [];
-    init_data = [];
-    locked_l2_lines = [];
-    warm_i = [];
-    warm_d = [];
-    l2_bypass = (fun _ -> false);
-    attrib_blocks = false;
-  }
-
-let idle =
-  {
-    program = None;
-    init_regs = [];
-    init_data = [];
-    locked_l2_lines = [];
-    warm_i = [];
-    warm_d = [];
-    l2_bypass = (fun _ -> false);
-    attrib_blocks = false;
-  }
-
-type core_result = {
-  cycles : int;
-  halted : bool;
-  instructions : int;
-  l1i_hits : int;
-  l1i_misses : int;
-  l1d_hits : int;
-  l1d_misses : int;
-  max_bus_wait : int;
-  bus_stall_cycles : int;
-  attrib : Pipeline.Cost.Vec.t;
-  block_attrib : ((string * int) * Pipeline.Cost.Vec.t) list;
-  final_state : Isa.Exec.state option;
-}
-
-(* Work items of the current instruction, consumed cycle by cycle.  Each
-   [Local] cycle is tagged with its attribution category; a bus
-   transaction carries the category breakdown of its service latency
-   ([Vec.total tx_vec = tx_latency]), charged at issue — the remaining
-   serviced stall cycles are then skipped by the per-cycle accounting,
-   while arbitration-wait stall cycles are charged to [Bus] one by one. *)
-type tx = { tx_latency : int; tx_vec : Pipeline.Cost.Vec.t }
-
-type work = Local of Pipeline.Cost.category * int | Bus_tx of tx
-
-type core_state = {
-  id : int;
-  program : Isa.Program.t;
-  exec : Isa.Exec.state;
-  l1i : Cache.Concrete.t;
-  l1d : Cache.Concrete.t;
-  l2 : Cache.Concrete.t option;
-  mutable queue : work list;
-  mutable waiting_bus : bool;
-  mutable done_cycle : int option;
-  mutable instructions : int;
-  mutable bus_stall_cycles : int;
-  attrib : int array;  (* indexed by Pipeline.Cost.category_index *)
-  block_attrib : (string * int, int array) Hashtbl.t option;
-  loc_of_instr : (string * int) option array option;
-  mutable cur_block : (string * int) option;
-  l2_bypass : int -> bool;
-  mcache : mcache_state option;
-}
-
-and mcache_state = {
-  cache : Cache.Method_cache.t;
-  mc_config : Cache.Method_cache.config;
-  proc_of_instr : int array;  (* -1 = unknown *)
-  proc_sizes : int array;
-}
-
-(* Function map for the method cache: which procedure an instruction
-   belongs to, and each procedure's size in words. *)
-let build_mcache mc program =
-  let cg = Cfg.Callgraph.build program in
-  let procs = Cfg.Callgraph.bottom_up cg in
-  let proc_of_instr = Array.make (Isa.Program.length program) (-1) in
-  let proc_sizes = Array.make (List.length procs) 0 in
-  List.iteri
-    (fun idx (_, (g : Cfg.Graph.t)) ->
-      let size = ref 0 in
-      for id = 0 to Cfg.Graph.num_blocks g - 1 do
-        let b = Cfg.Graph.block g id in
-        size := !size + Cfg.Block.length b;
-        for i = b.Cfg.Block.first to b.Cfg.Block.last do
-          if proc_of_instr.(i) < 0 then proc_of_instr.(i) <- idx
-        done
-      done;
-      proc_sizes.(idx) <- !size)
-    procs;
-  {
-    cache = Cache.Method_cache.create mc;
-    mc_config = mc;
-    proc_of_instr;
-    proc_sizes;
-  }
-
-(* Instruction -> (procedure name, block id) map for per-block
-   attribution; mirrors [build_mcache]'s first-wins convention for code
-   shared between procedures. *)
-let build_locs program =
-  match Cfg.Callgraph.build program with
-  | exception _ -> None
-  | cg ->
-      let locs = Array.make (Isa.Program.length program) None in
-      List.iter
-        (fun (name, (g : Cfg.Graph.t)) ->
-          for id = 0 to Cfg.Graph.num_blocks g - 1 do
-            let b = Cfg.Graph.block g id in
-            for i = b.Cfg.Block.first to b.Cfg.Block.last do
-              if locs.(i) = None then locs.(i) <- Some (name, id)
-            done
-          done)
-        (Cfg.Callgraph.bottom_up cg);
-      Some locs
-
-let bump core cat n =
-  let i = Pipeline.Cost.category_index cat in
-  core.attrib.(i) <- core.attrib.(i) + n;
-  match (core.block_attrib, core.cur_block) with
-  | Some tbl, Some loc ->
-      let arr =
-        match Hashtbl.find_opt tbl loc with
-        | Some a -> a
-        | None ->
-            let a = Array.make (List.length Pipeline.Cost.categories) 0 in
-            Hashtbl.add tbl loc a;
-            a
-      in
-      arr.(i) <- arr.(i) + n
-  | _ -> ()
-
-let bump_vec core v =
-  List.iter
-    (fun (cat, n) -> if n <> 0 then bump core cat n)
-    (Pipeline.Cost.Vec.to_alist v)
-
-(* Bus transaction for loading the function containing [instr], if it is
-   not resident.  Function loads are DRAM traffic: the whole latency is
-   attributed to [L2_miss], matching the analysis side's [mc_load_vec]. *)
-let mcache_miss_tx lat st instr =
-  if instr < 0 || instr >= Array.length st.proc_of_instr then []
-  else
-    let p = st.proc_of_instr.(instr) in
-    if p < 0 then []
-    else
-      match Cache.Method_cache.access st.cache p with
-      | `Hit -> []
-      | `Miss ->
-          let cost =
-            Cache.Method_cache.load_cost st.mc_config
-              ~mem_latency:lat.Pipeline.Latencies.mem
-              ~size_words:st.proc_sizes.(p)
-          in
-          [
-            Bus_tx
-              {
-                tx_latency = cost;
-                tx_vec = Pipeline.Cost.Vec.make Pipeline.Cost.L2_miss cost;
-              };
-          ]
-
-(* Worst-case extra wait if a DRAM access can collide with a refresh. *)
-let refresh_extra refresh clock =
-  match refresh with
-  | Interconnect.Arbiter.Burst -> 0
-  | Interconnect.Arbiter.Distributed { interval; duration } ->
-      if clock mod interval < duration then duration else 0
-
-(* The bus transaction serving an L1 miss: L2 lookup plus DRAM on an L2
-   miss.  The L2 state is updated here (issue time).  Attribution mirrors
-   the analysis decomposition: the L2 lookup goes to [L1_miss], the DRAM
-   latency to [L2_miss], and refresh collisions — memory-controller
-   interference — to [Bus]. *)
-let miss_tx cfg core clock addr =
-  let lat = cfg.latencies in
-  let bypassed =
-    match core.l2 with
-    | Some l2 ->
-        core.l2_bypass (Cache.Config.line_of_addr (Cache.Concrete.config l2) addr)
-    | None -> false
-  in
-  match (if bypassed then None else core.l2) with
-  | None ->
-      let refresh = refresh_extra cfg.refresh clock in
-      {
-        tx_latency = lat.Pipeline.Latencies.mem + refresh;
-        tx_vec =
-          {
-            Pipeline.Cost.Vec.zero with
-            l2_miss = lat.Pipeline.Latencies.mem;
-            bus = refresh;
-          };
-      }
-  | Some l2 -> (
-      match Cache.Concrete.access l2 addr with
-      | `Hit ->
-          {
-            tx_latency = lat.Pipeline.Latencies.l2_hit;
-            tx_vec =
-              Pipeline.Cost.Vec.make Pipeline.Cost.L1_miss
-                lat.Pipeline.Latencies.l2_hit;
-          }
-      | `Miss ->
-          let refresh = refresh_extra cfg.refresh clock in
-          {
-            tx_latency =
-              lat.Pipeline.Latencies.l2_hit + lat.Pipeline.Latencies.mem
-              + refresh;
-            tx_vec =
-              {
-                Pipeline.Cost.Vec.zero with
-                l1_miss = lat.Pipeline.Latencies.l2_hit;
-                l2_miss = lat.Pipeline.Latencies.mem;
-                bus = refresh;
-              };
-          })
-
-(* Build the work list for the instruction at the current pc. *)
-let plan_instruction cfg bus core =
-  let lat = cfg.latencies in
-  let pc = core.exec.Isa.Exec.pc in
-  let ins = Isa.Program.instr core.program pc in
-  let clock = Bus.now bus in
-  (match core.loc_of_instr with
-  | Some locs -> core.cur_block <- locs.(pc)
-  | None -> ());
-  let fetch_addr = Isa.Program.addr_of_index core.program pc in
-  let l1_lookup = Local (Pipeline.Cost.Compute, lat.Pipeline.Latencies.l1_hit) in
-  let fetch =
-    match core.mcache with
-    | Some _ -> [ l1_lookup ]
-    | None -> (
-        match Cache.Concrete.access core.l1i fetch_addr with
-        | `Hit -> [ l1_lookup ]
-        | `Miss -> [ l1_lookup; Bus_tx (miss_tx cfg core clock fetch_addr) ])
-  in
-  (* Method cache: call and return may need to load the target function. *)
-  let mc_control =
-    match core.mcache with
-    | None -> []
-    | Some st -> (
-        match ins with
-        | Isa.Instr.Call l ->
-            mcache_miss_tx lat st (Isa.Program.label_index core.program l)
-        | Isa.Instr.Ret -> (
-            match core.exec.Isa.Exec.call_stack with
-            | r :: _ -> mcache_miss_tx lat st r
-            | [] -> [])
-        | _ -> [])
-  in
-  let exec =
-    (* Split compute from the redirect penalty, preserving the total
-       cycle count (a [Local (_, 0)] head would cost a spurious cycle). *)
-    let stall = Pipeline.Latencies.exec_stall lat ins in
-    let compute = Pipeline.Latencies.exec_cost lat ins - stall in
-    if compute > 0 && stall > 0 then
-      [
-        Local (Pipeline.Cost.Compute, compute);
-        Local (Pipeline.Cost.Stall, stall);
-      ]
-    else if stall > 0 then [ Local (Pipeline.Cost.Stall, stall) ]
-    else [ Local (Pipeline.Cost.Compute, compute) ]
-  in
-  let data =
-    match ins with
-    | Isa.Instr.Load (sp, _, rb, off) | Isa.Instr.Store (sp, _, rb, off) ->
-        let idx = core.exec.Isa.Exec.regs.(rb) + off in
-        let addr = Isa.Layout.byte_addr sp idx in
-        if Isa.Layout.is_cacheable sp then
-          match Cache.Concrete.access core.l1d addr with
-          | `Hit -> [ l1_lookup ]
-          | `Miss -> [ l1_lookup; Bus_tx (miss_tx cfg core clock addr) ]
-        else
-          (* The device's own service time is work, not interference. *)
-          [
-            Bus_tx
-              {
-                tx_latency = lat.Pipeline.Latencies.io;
-                tx_vec =
-                  Pipeline.Cost.Vec.make Pipeline.Cost.Compute
-                    lat.Pipeline.Latencies.io;
-              };
-          ]
-    | Isa.Instr.Alu _ | Isa.Instr.Alui _ | Isa.Instr.Branch _
-    | Isa.Instr.Jump _ | Isa.Instr.Call _ | Isa.Instr.Ret | Isa.Instr.Nop
-    | Isa.Instr.Halt ->
-        []
-  in
-  core.queue <- fetch @ mc_control @ exec @ data
-
-(* Retire the instruction whose work just drained and plan the next; the
-   retire itself costs no cycles (its cost is in the consumed work). *)
-let retire_and_plan cfg bus core =
-  core.instructions <- core.instructions + 1;
-  match Isa.Exec.step core.program core.exec with
-  | Some _ when not (Isa.Exec.halted core.exec) ->
-      plan_instruction cfg bus core
-  | Some _ | None -> core.done_cycle <- Some (Bus.now bus)
-
-(* One simulation cycle for a core: either stall on the bus or consume
-   exactly one unit of work. *)
-let step_core cfg bus core =
-  if core.done_cycle = None then begin
-    if core.waiting_bus && not (Bus.pending bus ~core:core.id) then
-      core.waiting_bus <- false;
-    if core.waiting_bus then begin
-      core.bus_stall_cycles <- core.bus_stall_cycles + 1;
-      (* Serviced stall cycles were already charged at issue via the
-         transaction's breakdown; the rest is arbitration wait. *)
-      if not (Bus.serving bus ~core:core.id) then
-        bump core Pipeline.Cost.Bus 1
-    end;
-    if not core.waiting_bus then begin
-      if core.queue = [] then retire_and_plan cfg bus core;
-      if core.done_cycle = None then
-        match core.queue with
-        | Local (cat, n) :: rest ->
-            bump core cat 1;
-            if n <= 1 then core.queue <- rest
-            else core.queue <- Local (cat, n - 1) :: rest
-        | Bus_tx tx :: rest ->
-            (* Charge the whole service latency now (this issue cycle
-               plus the latency-minus-one serviced stall cycles). *)
-            bump_vec core tx.tx_vec;
-            Bus.request bus ~core:core.id ~latency:tx.tx_latency;
-            core.waiting_bus <- true;
-            core.queue <- rest
-        | [] -> assert false (* plan always yields at least the fetch *)
-    end
-  end
-
-let run_uninstrumented cfg ~cores ?(max_cycles = 10_000_000) () =
-  let n = Array.length cores in
-  if Interconnect.Arbiter.cores cfg.arbiter <> n then
+let run_uninstrumented ?(interp = `Block) cfg ~cores ?max_cycles () =
+  if Interconnect.Arbiter.cores cfg.arbiter <> Array.length cores then
     invalid_arg "Machine.run: core count does not match arbiter";
-  let bus = Bus.create cfg.arbiter in
-  let l2_shared =
-    match cfg.l2 with
-    | Shared_l2 c -> Some (Cache.Concrete.create c)
-    | No_l2 | Private_l2 _ -> None
-  in
-  let l2_for i =
-    match cfg.l2 with
-    | No_l2 -> None
-    | Shared_l2 _ -> l2_shared
-    | Private_l2 arr ->
-        if Array.length arr <> n then
-          invalid_arg "Machine.run: Private_l2 needs one slice per core"
-        else Some (Cache.Concrete.create arr.(i))
-  in
-  let states =
-    Array.mapi
-      (fun i (setup : core_setup) ->
-        match setup.program with
-        | None -> None
-        | Some program ->
-            let exec = Isa.Exec.init program in
-            List.iter
-              (fun (r, v) -> if r <> 0 then exec.Isa.Exec.regs.(r) <- v)
-              setup.init_regs;
-            List.iter
-              (fun (a, v) ->
-                if a >= 0 && a < Array.length exec.Isa.Exec.data then
-                  exec.Isa.Exec.data.(a) <- v)
-              setup.init_data;
-            let l2 = l2_for i in
-            (match l2 with
-            | Some l2c ->
-                List.iter
-                  (fun line ->
-                    Cache.Concrete.lock_line l2c
-                      (Cache.Config.addr_of_line (Cache.Concrete.config l2c)
-                         line))
-                  setup.locked_l2_lines
-            | None -> ());
-            let l1i = Cache.Concrete.create cfg.l1i in
-            let l1d = Cache.Concrete.create cfg.l1d in
-            List.iter (fun a -> ignore (Cache.Concrete.access l1i a)) setup.warm_i;
-            List.iter (fun a -> ignore (Cache.Concrete.access l1d a)) setup.warm_d;
-            let mcache =
-              match cfg.i_path with
-              | Conventional -> None
-              | Method_cache mc -> Some (build_mcache mc program)
-            in
-            let loc_of_instr =
-              if setup.attrib_blocks then build_locs program else None
-            in
-            let core =
-              {
-                id = i;
-                program;
-                exec;
-                l1i;
-                l1d;
-                l2;
-                queue = [];
-                waiting_bus = false;
-                done_cycle = None;
-                instructions = 0;
-                bus_stall_cycles = 0;
-                attrib =
-                  Array.make (List.length Pipeline.Cost.categories) 0;
-                block_attrib =
-                  (if setup.attrib_blocks then Some (Hashtbl.create 64)
-                   else None);
-                loc_of_instr;
-                cur_block = None;
-                l2_bypass = setup.l2_bypass;
-                mcache;
-              }
-            in
-            plan_instruction cfg bus core;
-            (* The entry function itself must be loaded first. *)
-            (match core.mcache with
-            | Some st ->
-                core.queue <-
-                  mcache_miss_tx cfg.latencies st program.Isa.Program.entry
-                  @ core.queue
-            | None -> ());
-            Some core)
-      cores
-  in
-  let all_done () =
-    Array.for_all
-      (function None -> true | Some c -> c.done_cycle <> None)
-      states
-  in
-  let rec loop cycles =
-    if cycles >= max_cycles || all_done () then ()
-    else begin
-      Array.iter
-        (function None -> () | Some c -> step_core cfg bus c)
-        states;
-      Bus.step bus;
-      loop (cycles + 1)
-    end
-  in
-  loop 0;
-  Array.mapi
-    (fun i state ->
-      match state with
-      | None ->
-          {
-            cycles = 0;
-            halted = true;
-            instructions = 0;
-            l1i_hits = 0;
-            l1i_misses = 0;
-            l1d_hits = 0;
-            l1d_misses = 0;
-            max_bus_wait = 0;
-            bus_stall_cycles = 0;
-            attrib = Pipeline.Cost.Vec.zero;
-            block_attrib = [];
-            final_state = None;
-          }
-      | Some c ->
-          let l1i_hits, l1i_misses = Cache.Concrete.stats c.l1i in
-          let l1d_hits, l1d_misses = Cache.Concrete.stats c.l1d in
-          let block_attrib =
-            match c.block_attrib with
-            | None -> []
-            | Some tbl ->
-                Hashtbl.fold
-                  (fun loc arr acc ->
-                    (loc, Pipeline.Cost.Vec.of_array arr) :: acc)
-                  tbl []
-                |> List.sort compare
-          in
-          {
-            cycles =
-              (match c.done_cycle with
-              | Some cy -> cy
-              | None -> Bus.now bus);
-            halted = c.done_cycle <> None;
-            instructions = c.instructions;
-            l1i_hits;
-            l1i_misses;
-            l1d_hits;
-            l1d_misses;
-            max_bus_wait = Bus.max_wait bus ~core:i;
-            bus_stall_cycles = c.bus_stall_cycles;
-            attrib = Pipeline.Cost.Vec.of_array c.attrib;
-            block_attrib;
-            final_state = Some c.exec;
-          })
-    states
+  match interp with
+  | `Block -> Predecode.run cfg ~cores ?max_cycles ()
+  | `Reference -> Reference.run cfg ~cores ?max_cycles ()
 
 (* Observability wrapper: a [cat:"sim"] span per machine run plus
    aggregate cycle/instruction/stall counters on the ambient sink.  One
    atomic load when tracing is off. *)
-let run cfg ~cores ?max_cycles () =
-  if not (Obs.enabled ()) then run_uninstrumented cfg ~cores ?max_cycles ()
+let run ?interp cfg ~cores ?max_cycles () =
+  if not (Obs.enabled ()) then
+    run_uninstrumented ?interp cfg ~cores ?max_cycles ()
   else begin
     let results =
       Obs.span ~cat:"sim"
         ~args:[ ("cores", Obs.Event.Int (Array.length cores)) ]
         "sim.run"
-        (fun () -> run_uninstrumented cfg ~cores ?max_cycles ())
+        (fun () -> run_uninstrumented ?interp cfg ~cores ?max_cycles ())
     in
     Array.iter
       (fun r ->
@@ -545,7 +41,7 @@ let run cfg ~cores ?max_cycles () =
     results
   end
 
-let run_single cfg program ?max_cycles () =
+let run_single ?interp cfg program ?max_cycles () =
   let cfg = { cfg with arbiter = Interconnect.Arbiter.Private } in
-  let results = run cfg ~cores:[| task program |] ?max_cycles () in
+  let results = run ?interp cfg ~cores:[| task program |] ?max_cycles () in
   results.(0)

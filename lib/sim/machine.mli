@@ -17,7 +17,22 @@
     the bus transaction is *issued*, not when it is granted, so concurrent
     fills may be ordered differently than their bus services.  This only
     reorders cache content among co-runners and cannot affect the
-    validation direction (each core's own accesses stay ordered). *)
+    validation direction (each core's own accesses stay ordered).
+
+    Two interpreters implement the same machine: {!Predecode} (block
+    pre-decoded micro-ops, the default) and {!Reference} (the original
+    per-instruction stepper, kept verbatim as the differential oracle).
+    They are bit-identical on every halted run.  On a *horizon-truncated*
+    run the block interpreter has pre-applied the semantics and cache
+    accesses of micro-ops it already planned (whole block groups under
+    batchable configurations — burst refresh, conventional fetch,
+    private/uncontended L2 — and provably-hit prefixes elsewhere), so
+    the instruction count, cache stats and final state of a *non-halted*
+    core can differ from the reference's at the horizon, and a faulting
+    instruction can be reached (and raise) a few cycles earlier than the
+    reference would reach it; [cycles], [halted], [attrib],
+    [block_attrib] and [bus_stall_cycles] are exact in every mode
+    regardless. *)
 
 type l2_config =
   | No_l2
@@ -94,12 +109,27 @@ type core_result = {
   final_state : Isa.Exec.state option;
 }
 
-val run : config -> cores:core_setup array -> ?max_cycles:int -> unit -> core_result array
+type interp = [ `Block | `Reference ]
+(** Which interpreter steps the machine: the block-predecoded hot path
+    (default) or the per-instruction oracle stepper. *)
+
+val run :
+  ?interp:interp ->
+  config ->
+  cores:core_setup array ->
+  ?max_cycles:int ->
+  unit ->
+  core_result array
 (** Runs until every core halts or [max_cycles] (default 10_000_000).
     @raise Invalid_argument if the core count does not match the
     arbiter's, or a [Private_l2] array is missing slices. *)
 
 val run_single :
-  config -> Isa.Program.t -> ?max_cycles:int -> unit -> core_result
+  ?interp:interp ->
+  config ->
+  Isa.Program.t ->
+  ?max_cycles:int ->
+  unit ->
+  core_result
 (** One task on core 0 of a single-core instance of [config] (the
     arbiter is replaced by [Private]). *)

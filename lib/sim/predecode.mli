@@ -1,0 +1,23 @@
+(** Block-predecoded simulator interpreter — the default hot path behind
+    {!Machine.run}.
+
+    Decodes each program once into per-block arrays of fused micro-ops
+    (resolved operands and control targets, precomputed fetch addresses
+    and exec-cost splits), dispatches per basic block where the platform
+    timing permits, and advances eventless cycle stretches in bulk.
+    Bit-identical to {!Reference} on every halted run — cycles,
+    attribution vectors, per-block attribution, bus stalls, cache stats,
+    instruction counts and final state; see machine.mli for the one
+    caveat on horizon-truncated runs.
+
+    Use {!Machine.run} (optionally with [~interp:`Block]) rather than
+    calling this directly. *)
+
+val run :
+  Machine_core.config ->
+  cores:Machine_core.core_setup array ->
+  ?max_cycles:int ->
+  unit ->
+  Machine_core.core_result array
+(** Precondition (checked by {!Machine.run}): the arbiter's core count
+    matches [cores]. *)

@@ -1,0 +1,18 @@
+(** The per-instruction reference stepper — the differential oracle the
+    block-predecoded interpreter ({!Predecode}) is validated against, in
+    the same oracle pattern PR 3 used for the LP solver.
+
+    Semantics are the original [Sim.Machine] cycle loop, verbatim; the
+    only changes are allocation/decode hoists that cannot affect any
+    counter.  Use {!Machine.run} with [~interp:`Reference] rather than
+    calling this directly — the wrapper adds argument validation and the
+    [Obs] instrumentation. *)
+
+val run :
+  Machine_core.config ->
+  cores:Machine_core.core_setup array ->
+  ?max_cycles:int ->
+  unit ->
+  Machine_core.core_result array
+(** Precondition (checked by {!Machine.run}): the arbiter's core count
+    matches [cores]. *)

@@ -447,6 +447,341 @@ let prop_straightline_cost_sum =
         p.Isa.Program.code;
       r.Sim.Machine.cycles = !expected)
 
+(* ------------------------------------------------------------------ *)
+(* Bus arbitration edge cases                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_bus_zero_latency_rejected () =
+  let bus = Sim.Bus.create Interconnect.Arbiter.Private in
+  Alcotest.check_raises "zero latency"
+    (Invalid_argument "Bus.request: latency <= 0") (fun () ->
+      Sim.Bus.request bus ~core:0 ~latency:0);
+  Alcotest.check_raises "negative latency"
+    (Invalid_argument "Bus.request: latency <= 0") (fun () ->
+      Sim.Bus.request bus ~core:0 ~latency:(-3))
+
+let test_bus_skip_preconditions () =
+  let bus = Sim.Bus.create (Interconnect.Arbiter.Round_robin { cores = 2 }) in
+  Alcotest.check_raises "k <= 0" (Invalid_argument "Bus.skip: k <= 0")
+    (fun () -> Sim.Bus.skip bus 0);
+  Sim.Bus.request bus ~core:1 ~latency:5;
+  (* Idle bus with a pending request: a skip would jump over the
+     arbitration decision. *)
+  Alcotest.check_raises "idle with pending"
+    (Invalid_argument "Bus.skip: pending request") (fun () ->
+      Sim.Bus.skip bus 3);
+  Sim.Bus.step bus;
+  (* Service started last cycle, 4 cycles remain. *)
+  Alcotest.check_raises "past end of service"
+    (Invalid_argument "Bus.skip: past end of service") (fun () ->
+      Sim.Bus.skip bus 10)
+
+let test_bus_skip_matches_step () =
+  (* A skip over an in-flight service must leave the bus in the same
+     state as the equivalent number of single steps, co-runner wait
+     accounting included. *)
+  let mk () =
+    let bus =
+      Sim.Bus.create (Interconnect.Arbiter.Round_robin { cores = 2 })
+    in
+    Sim.Bus.request bus ~core:0 ~latency:7;
+    Sim.Bus.request bus ~core:1 ~latency:3;
+    Sim.Bus.step bus;
+    (* core 0 granted, 6 cycles of service remain *)
+    bus
+  in
+  let stepped = mk () and skipped = mk () in
+  for _ = 1 to 6 do
+    Sim.Bus.step stepped
+  done;
+  Sim.Bus.skip skipped 6;
+  Alcotest.(check int) "same clock" (Sim.Bus.now stepped)
+    (Sim.Bus.now skipped);
+  Alcotest.(check bool) "same in-service state" true
+    (Sim.Bus.in_service stepped = Sim.Bus.in_service skipped);
+  List.iter
+    (fun core ->
+      Alcotest.(check bool)
+        (Printf.sprintf "core %d same pending" core)
+        (Sim.Bus.pending stepped ~core)
+        (Sim.Bus.pending skipped ~core);
+      Alcotest.(check int)
+        (Printf.sprintf "core %d same wait cycles" core)
+        (Sim.Bus.wait_cycles stepped ~core)
+        (Sim.Bus.wait_cycles skipped ~core);
+      Alcotest.(check int)
+        (Printf.sprintf "core %d same service cycles" core)
+        (Sim.Bus.service_cycles stepped ~core)
+        (Sim.Bus.service_cycles skipped ~core))
+    [ 0; 1 ]
+
+let test_bus_tdma_exact_fit () =
+  (* A transaction of exactly the slot length is granted at the slot
+     boundary; one a single cycle longer can never fit and starves
+     (the documented TDMA discipline: no slot straddling). *)
+  let mk () = Sim.Bus.create (Interconnect.Arbiter.Tdma { cores = 2; slot = 4 }) in
+  let bus = mk () in
+  Sim.Bus.request bus ~core:0 ~latency:4;
+  drain bus 0;
+  Alcotest.(check int) "exact fit served in its first slot" 4 (Sim.Bus.now bus);
+  Alcotest.(check int) "no wait at the boundary" 0 (Sim.Bus.max_wait bus ~core:0);
+  let bus = mk () in
+  Sim.Bus.request bus ~core:0 ~latency:5;
+  for _ = 1 to 200 do
+    Sim.Bus.step bus
+  done;
+  Alcotest.(check bool) "oversized transaction is never granted" true
+    (Sim.Bus.pending bus ~core:0);
+  Alcotest.(check bool) "bus stays idle" true (Sim.Bus.in_service bus = None)
+
+let test_bus_fcfs_requeue_goes_to_back () =
+  (* A core that completes and immediately re-requests queues behind a
+     co-runner whose request arrived earlier. *)
+  let bus = Sim.Bus.create (Interconnect.Arbiter.Fcfs { cores = 2 }) in
+  Sim.Bus.request bus ~core:0 ~latency:2;
+  Sim.Bus.request bus ~core:1 ~latency:3;
+  drain bus 0;
+  Alcotest.(check int) "first arrival served first" 2 (Sim.Bus.now bus);
+  Sim.Bus.request bus ~core:0 ~latency:2;
+  drain bus 0;
+  (* core 1 (3 cycles) goes before core 0's re-request (2 cycles). *)
+  Alcotest.(check int) "re-request waits behind the earlier arrival" 7
+    (Sim.Bus.now bus);
+  Alcotest.(check int) "core 0's second wait = core 1's service" 3
+    (Sim.Bus.max_wait bus ~core:0)
+
+let test_refresh_boundary_simultaneous_requests () =
+  (* Both cores issue misses in the same cycles while a short-period
+     distributed refresh keeps toggling the DRAM surcharge: the refresh
+     windows and round-robin arbitration must compose identically in the
+     block and reference interpreters. *)
+  let cfg =
+    {
+      (base_config ~l1i:small_l1
+         ~arbiter:(Interconnect.Arbiter.Round_robin { cores = 2 })
+         ())
+      with
+      Sim.Machine.refresh =
+        Interconnect.Arbiter.Distributed { interval = 8; duration = 5 };
+    }
+  in
+  let p = parse (memory_bound_src 12) in
+  let cores = [| Sim.Machine.task p; Sim.Machine.task p |] in
+  let b = Sim.Machine.run ~interp:`Block cfg ~cores () in
+  let r = Sim.Machine.run ~interp:`Reference cfg ~cores () in
+  Alcotest.(check bool) "both cores halted" true
+    (Array.for_all (fun x -> x.Sim.Machine.halted) b);
+  Array.iteri
+    (fun i br ->
+      Alcotest.(check bool)
+        (Printf.sprintf "core %d bit-identical across interpreters" i)
+        true (br = r.(i)))
+    b
+
+(* ------------------------------------------------------------------ *)
+(* Differential property: block interpreter vs. reference oracle       *)
+(* ------------------------------------------------------------------ *)
+
+module G = Fuzz.Generator
+
+(* QCheck arbitrary over generator pieces, with a structural shrinker:
+   loops yield their body pieces, diamonds their arms, calls collapse.
+   [G.assemble] is total, so every shrink candidate is a valid,
+   terminating, fault-free program. *)
+let gen_space =
+  QCheck.Gen.oneofl [ Isa.Instr.Data; Isa.Instr.Stack; Isa.Instr.Io ]
+
+let gen_op =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun n -> G.Alu_burst n) (int_range 1 8);
+        map2 (fun s off -> G.Load (s, off)) gen_space (int_range 0 600);
+        map2 (fun s off -> G.Store (s, off)) gen_space (int_range 0 600);
+        map2
+          (fun s off -> G.Load_indexed (s, off))
+          gen_space (int_range 0 600);
+      ])
+
+let gen_piece =
+  QCheck.Gen.(
+    sized
+    @@ fix (fun self n ->
+           let leaf =
+             oneof
+               [
+                 map
+                   (fun ops -> G.Straight ops)
+                   (list_size (int_range 1 4) gen_op);
+                 map3
+                   (fun sel_off heavy light ->
+                     G.Diamond { sel_off; heavy; light })
+                   (int_range 0 40)
+                   (list_size (int_range 1 3) gen_op)
+                   (list_size (int_range 1 3) gen_op);
+                 map (fun k -> G.Call k) (int_range 0 2);
+                 map2
+                   (fun off bound -> G.Io_poll { off; bound })
+                   (int_range 0 63) (int_range 0 10);
+               ]
+           in
+           if n <= 1 then leaf
+           else
+             frequency
+               [
+                 (3, leaf);
+                 ( 1,
+                   map2
+                     (fun iters body -> G.Loop { iters; body })
+                     (int_range 1 10)
+                     (list_size (int_range 1 2) (self (n / 2))) );
+               ]))
+
+let rec shrink_piece p =
+  let open QCheck.Iter in
+  match p with
+  | G.Straight ops ->
+      map (fun ops -> G.Straight ops) (QCheck.Shrink.list ops)
+  | G.Loop { iters; body } ->
+      of_list body
+      <+> map (fun iters -> G.Loop { iters; body }) (QCheck.Shrink.int iters)
+      <+> map
+            (fun body -> G.Loop { iters; body })
+            (QCheck.Shrink.list ~shrink:shrink_piece body)
+  | G.Diamond { sel_off; heavy; light } ->
+      of_list [ G.Straight heavy; G.Straight light ]
+      <+> map
+            (fun heavy -> G.Diamond { sel_off; heavy; light })
+            (QCheck.Shrink.list heavy)
+      <+> map
+            (fun light -> G.Diamond { sel_off; heavy; light })
+            (QCheck.Shrink.list light)
+  | G.Call _ -> return (G.Straight [])
+  | G.Io_poll { off; bound } ->
+      map (fun bound -> G.Io_poll { off; bound }) (QCheck.Shrink.int bound)
+
+let arb_pieces =
+  QCheck.make
+    ~print:(fun pieces -> (G.assemble pieces).G.source)
+    ~shrink:(QCheck.Shrink.list ~shrink:shrink_piece)
+    (QCheck.Gen.list_size (QCheck.Gen.int_range 1 5) gen_piece)
+
+(* Platform shapes chosen to exercise every dispatch path of the block
+   interpreter: whole-block batching (burst refresh, private memory
+   path), probe-guarded hybrid dispatch (distributed refresh, shared
+   L2, contention), the method-cache instruction path, and truncated
+   horizons (the TDMA shape can starve oversized transactions).  The
+   TDMA slot (80) exceeds the largest transaction the machine can issue
+   (l2_hit + mem + refresh duration = 67), so halting runs stay live. *)
+let diff_l2 = Cache.Config.make ~sets:16 ~assoc:4 ~line_size:16
+
+let diff_configs =
+  let slices =
+    let alloc =
+      Cache.Partition.even_shares Cache.Partition.Columnization diff_l2
+        ~parts:2
+    in
+    Array.init 2 (fun i ->
+        Cache.Partition.partition_config diff_l2 alloc ~index:i)
+  in
+  [
+    ("solo/no-l2", base_config (), 1);
+    ("solo/l2", base_config ~l2:(Sim.Machine.Shared_l2 diff_l2) (), 1);
+    ( "solo/refresh",
+      {
+        (base_config ~l1i:small_l1 ()) with
+        Sim.Machine.refresh =
+          Interconnect.Arbiter.Distributed { interval = 64; duration = 9 };
+      },
+      1 );
+    ( "solo/mcache",
+      {
+        (base_config ()) with
+        Sim.Machine.i_path =
+          Sim.Machine.Method_cache Cache.Method_cache.default;
+      },
+      1 );
+    ( "dual/shared-l2-rr",
+      base_config
+        ~l2:(Sim.Machine.Shared_l2 diff_l2)
+        ~arbiter:(Interconnect.Arbiter.Round_robin { cores = 2 })
+        (),
+      2 );
+    ( "dual/shared-l2-tdma-refresh",
+      {
+        (base_config ~l1i:small_l1
+           ~l2:(Sim.Machine.Shared_l2 diff_l2)
+           ~arbiter:(Interconnect.Arbiter.Tdma { cores = 2; slot = 80 })
+           ())
+        with
+        Sim.Machine.refresh =
+          Interconnect.Arbiter.Distributed { interval = 96; duration = 7 };
+      },
+      2 );
+    ( "dual/sliced-fcfs",
+      base_config ~l1i:small_l1
+        ~l2:(Sim.Machine.Private_l2 slices)
+        ~arbiter:(Interconnect.Arbiter.Fcfs { cores = 2 })
+        (),
+      2 );
+  ]
+
+(* A low horizon on purpose: long random programs get truncated, which
+   exercises the mid-group cut-off path of the block interpreter (the
+   always-exact field subset below is the documented contract there). *)
+let diff_max_cycles = 150_000
+
+let run_both cfg ~cores g =
+  let setup =
+    {
+      (Sim.Machine.task g.G.program) with
+      Sim.Machine.init_data = g.G.data_init;
+      attrib_blocks = true;
+    }
+  in
+  let setups = Array.init cores (fun _ -> setup) in
+  let b =
+    Sim.Machine.run ~interp:`Block cfg ~cores:setups
+      ~max_cycles:diff_max_cycles ()
+  in
+  let r =
+    Sim.Machine.run ~interp:`Reference cfg ~cores:setups
+      ~max_cycles:diff_max_cycles ()
+  in
+  (b, r)
+
+let check_pair cfg_name core (b : Sim.Machine.core_result)
+    (r : Sim.Machine.core_result) =
+  let fail field =
+    QCheck.Test.fail_reportf
+      "%s core %d: %s differs between block and reference interpreters"
+      cfg_name core field
+  in
+  (* Exact in every mode, truncated runs included. *)
+  if b.Sim.Machine.cycles <> r.Sim.Machine.cycles then fail "cycles";
+  if b.Sim.Machine.halted <> r.Sim.Machine.halted then fail "halted";
+  if b.Sim.Machine.attrib <> r.Sim.Machine.attrib then fail "attrib";
+  if b.Sim.Machine.block_attrib <> r.Sim.Machine.block_attrib then
+    fail "block_attrib";
+  if b.Sim.Machine.bus_stall_cycles <> r.Sim.Machine.bus_stall_cycles then
+    fail "bus_stall_cycles";
+  if b.Sim.Machine.max_bus_wait <> r.Sim.Machine.max_bus_wait then
+    fail "max_bus_wait";
+  (* On a halted run every field is exact, final state included. *)
+  if b.Sim.Machine.halted && b <> r then fail "full result record"
+
+let prop_block_matches_reference =
+  QCheck.Test.make
+    ~name:"block interpreter bit-identical to reference (all shapes)"
+    ~count:30 arb_pieces (fun pieces ->
+      let g = G.assemble ~name:"qcheck" pieces in
+      List.iter
+        (fun (name, cfg, cores) ->
+          let bs, rs = run_both cfg ~cores g in
+          Array.iteri (fun i b -> check_pair name i b rs.(i)) bs)
+        diff_configs;
+      true)
+
 let () =
   Alcotest.run "sim"
     [
@@ -489,6 +824,18 @@ let () =
             test_bus_fcfs_arrival_order;
           Alcotest.test_case "weighted bandwidth share" `Quick
             test_bus_weighted_round_share;
+          Alcotest.test_case "zero-length burst rejected" `Quick
+            test_bus_zero_latency_rejected;
+          Alcotest.test_case "skip preconditions" `Quick
+            test_bus_skip_preconditions;
+          Alcotest.test_case "skip matches step" `Quick
+            test_bus_skip_matches_step;
+          Alcotest.test_case "TDMA exact slot fit" `Quick
+            test_bus_tdma_exact_fit;
+          Alcotest.test_case "FCFS re-request order" `Quick
+            test_bus_fcfs_requeue_goes_to_back;
+          Alcotest.test_case "refresh-boundary interp agreement" `Quick
+            test_refresh_boundary_simultaneous_requests;
         ] );
       ( "smt",
         [
@@ -497,5 +844,6 @@ let () =
           Alcotest.test_case "CarCore isolation" `Quick test_carcore_isolation;
         ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest [ prop_straightline_cost_sum ] );
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_straightline_cost_sum; prop_block_matches_reference ] );
     ]
