@@ -183,9 +183,11 @@ let t3 () =
              let lines =
                Core.Multicore.bypass_lines sys (b.B.program, b.B.annot)
              in
+             let set = Hashtbl.create (2 * List.length lines + 1) in
+             List.iter (fun l -> Hashtbl.replace set l ()) lines;
              {
                (Sim.Machine.task b.B.program) with
-               Sim.Machine.l2_bypass = (fun l -> List.mem l lines);
+               Sim.Machine.l2_bypass = (fun l -> Hashtbl.mem set l);
              })
            tasks
        in
@@ -724,12 +726,13 @@ let t14 () =
   let sys = system_of (Array.of_list flat) in
   let approaches =
     [
-      ("oblivious (unsafe)", Core.Multicore.analyze_oblivious ~memo);
+      ("oblivious (unsafe)", fun s -> Core.Multicore.analyze_oblivious ~memo s);
       ("joint", fun s -> Core.Multicore.analyze_joint ~memo s ());
       ( "partitioned",
-        Core.Multicore.analyze_partitioned ~memo
-          ~scheme:Cache.Partition.Bankization );
-      ("locked", Core.Multicore.analyze_locked ~memo);
+        fun s ->
+          Core.Multicore.analyze_partitioned ~memo
+            ~scheme:Cache.Partition.Bankization s );
+      ("locked", fun s -> Core.Multicore.analyze_locked ~memo s);
     ]
   in
   printf "%-20s %14s %28s\n" "approach" "schedulable?"

@@ -1,14 +1,15 @@
 (* Performance harness: the sparse warm-started LP stack and worklist
    fixpoint engine against their reference counterparts on the benchmark
-   catalog, plus the block-predecoded simulator against the
-   per-instruction reference interpreter on a fuzz corpus, emitting one
+   catalog, the block-predecoded simulator against the per-instruction
+   reference interpreter on a fuzz corpus, and the shared-context 8-mode
+   sweep against the fresh-per-mode discipline, emitting one
    machine-readable report.
 
    Usage:
      dune exec bench/perf.exe                      -- full run
      dune exec bench/perf.exe -- --quick           -- single timing rep (CI)
      dune exec bench/perf.exe -- --out FILE        -- report path
-                                                      (default BENCH_pr7.json)
+                                                      (default BENCH_pr8.json)
      dune exec bench/perf.exe -- --baseline FILE   -- WCET/BCET drift guard
                                                       (default bench/wcet_baseline.txt)
      dune exec bench/perf.exe -- --write-baseline  -- regenerate the baseline
@@ -16,20 +17,25 @@
    The report carries, per program and in aggregate: simplex pivots and
    branch-and-bound nodes for both solver stacks, fixpoint block
    examinations (pops) for both scheduling strategies, transfer counts,
-   wall times, and the simulator section: per approach mode, total
-   simulated cycles and wall time under both interpreters.  Both solver
+   wall times, the simulator section (per approach mode, total simulated
+   cycles and wall time under both interpreters), and the context-sweep
+   section: the full 8-mode analysis sweep per catalog program, fresh
+   per mode versus one shared mode-invariant context pack.  Both solver
    stacks must agree on every WCET and BCET, both interpreters must be
    bit-identical on every run (cycles, attribution vectors, per-block
-   tables, architectural state), and the block interpreter must clear a
-   3x aggregate throughput gate — a disagreement or a regression is a
-   hard failure, as is any drift from the committed baseline. *)
+   tables, architectural state), the block interpreter must clear a 3x
+   aggregate throughput gate, and the shared-context sweep must be
+   bit-identical to fresh (bounds, IPET worst paths, attribution) while
+   clearing a 2.5x aggregate wall-clock gate — a disagreement or a
+   regression is a hard failure, as is any drift from the committed
+   baseline. *)
 
 module B = Workloads.Bench_programs
 module G = Fuzz.Generator
 module MC = Core.Multicore
 
 let quick = ref false
-let out_path = ref "BENCH_pr7.json"
+let out_path = ref "BENCH_pr8.json"
 let baseline_path = ref "bench/wcet_baseline.txt"
 let write_baseline = ref false
 
@@ -38,7 +44,7 @@ let usage = "perf.exe [--quick] [--out FILE] [--baseline FILE] [--write-baseline
 let spec =
   [
     ("--quick", Arg.Set quick, " single timing repetition (CI smoke)");
-    ("--out", Arg.Set_string out_path, "FILE report path (default BENCH_pr7.json)");
+    ("--out", Arg.Set_string out_path, "FILE report path (default BENCH_pr8.json)");
     ( "--baseline",
       Arg.Set_string baseline_path,
       "FILE committed WCET/BCET baseline (default bench/wcet_baseline.txt)" );
@@ -313,9 +319,11 @@ let sim_bench ~reps ~programs =
         pair_units (fun sys ga gb ->
             let with_bypass (g : G.t) =
               let lines = MC.bypass_lines sys (g.G.program, g.G.annot) in
+              let set = Hashtbl.create (2 * List.length lines + 1) in
+              List.iter (fun l -> Hashtbl.replace set l ()) lines;
               {
                 (setup g) with
-                Sim.Machine.l2_bypass = (fun l -> List.mem l lines);
+                Sim.Machine.l2_bypass = (fun l -> Hashtbl.mem set l);
               }
             in
             [
@@ -466,6 +474,101 @@ let stall_replay_guard () =
   let stall_rate = rate divs in
   (alu_rate, stall_rate)
 
+(* ---- mode-invariant contexts: the 8-mode sweep, fresh vs shared ------ *)
+
+(* The tentpole measurement: every approach mode over the catalog, once
+   with the pre-context discipline (each analysis call rebuilds the whole
+   mode-invariant front end) and once from a shared
+   [Core.Context]/[Multicore.contexts] pack — one front end per program,
+   thin per-mode back ends, prepared IPET tableaus re-solved per
+   objective.  Bounds, IPET worst paths (per-proc objective + block
+   counts) and full attribution tables must be bit-identical between the
+   two engines; the wall-clock gate is on the aggregate sweep. *)
+
+let ctx_sweep_cores = 2
+
+let ctx_sweep_bench ~reps suite =
+  let solo_platform = Core.Platform.single_core ~l2:l2_default () in
+  let fingerprint (w : Core.Wcet.t) =
+    ( w.Core.Wcet.wcet,
+      List.map
+        (fun (name, (pr : Core.Wcet.proc_result)) ->
+          ( name,
+            pr.Core.Wcet.ipet.Core.Ipet.wcet,
+            Array.to_list pr.Core.Wcet.ipet.Core.Ipet.block_counts,
+            pr.Core.Wcet.wcet_vec ))
+        w.Core.Wcet.procs,
+      Attrib.of_wcet w )
+  in
+  let sweep engine (b : B.t) =
+    let task = (b.B.program, b.B.annot) in
+    let sys =
+      MC.default_system ~cores:ctx_sweep_cores
+        ~tasks:(Array.make ctx_sweep_cores (Some task))
+    in
+    let ctxs, solo_ctx =
+      match engine with
+      | `Fresh -> (None, None)
+      | `Context ->
+          ( Some (MC.contexts sys),
+            Some
+              (Core.Context.of_platform ~annot:b.B.annot solo_platform
+                 b.B.program) )
+    in
+    let w0 r =
+      match r.(0) with Some w -> w | None -> failwith "no core-0 result"
+    in
+    let solo =
+      match solo_ctx with
+      | Some ctx -> Core.Wcet.analyze_with ~ctx solo_platform
+      | None -> Core.Wcet.analyze ~annot:b.B.annot solo_platform b.B.program
+    in
+    let bcet =
+      match solo_ctx with
+      | Some ctx -> Core.Bcet.analyze_with ~ctx solo_platform
+      | None -> Core.Bcet.analyze ~annot:b.B.annot solo_platform b.B.program
+    in
+    ( bcet.Core.Bcet.bcet,
+      List.map fingerprint
+        [
+          solo;
+          w0 (MC.analyze_oblivious ?ctxs sys);
+          w0 (MC.analyze_joint ?ctxs sys ());
+          w0 (MC.analyze_joint ?ctxs sys ~bypass:true ());
+          w0
+            (MC.analyze_partitioned ?ctxs sys
+               ~scheme:Cache.Partition.Columnization);
+          w0
+            (MC.analyze_partitioned ?ctxs sys
+               ~scheme:Cache.Partition.Bankization);
+          w0 (MC.analyze_locked ?ctxs sys);
+          w0 (MC.analyze_locked_dynamic ?ctxs sys);
+        ] )
+  in
+  let time engine b =
+    let p0 = Lp.Simplex.pivots () in
+    let t0 = Sys.time () in
+    let r = sweep engine b in
+    let t1 = Sys.time () in
+    let pivots = Lp.Simplex.pivots () - p0 in
+    let wall = ref (t1 -. t0) in
+    for _ = 2 to reps do
+      let t0 = Sys.time () in
+      ignore (sweep engine b);
+      let t1 = Sys.time () in
+      wall := Float.min !wall (t1 -. t0)
+    done;
+    (r, !wall *. 1000., pivots)
+  in
+  List.map
+    (fun (b : B.t) ->
+      let fresh_r, fresh_ms, fresh_pivots = time `Fresh b in
+      let ctx_r, ctx_ms, ctx_pivots = time `Context b in
+      (* structural equality IS bit-identity: the fingerprints are pure
+         data (ints, strings, cost vectors, attribution rows) *)
+      (b.B.name, fresh_r = ctx_r, fresh_ms, ctx_ms, fresh_pivots, ctx_pivots))
+    suite
+
 let json_escape s =
   let buf = Buffer.create (String.length s) in
   String.iter
@@ -570,10 +673,34 @@ let () =
   let sim_ref_total = List.fold_left (fun a r -> a +. r.sim_ref_ms) 0. sim_rows in
   let sim_speedup = sim_ref_total /. Float.max 1e-9 sim_block_total in
   let guard_alu_rate, guard_stall_rate = stall_replay_guard () in
+  (* Shared-context 8-mode sweep vs fresh-per-mode, over the catalog. *)
+  let ctx_rows = ctx_sweep_bench ~reps:(if !quick then 1 else 3) suite in
+  let ctx_fresh_ms =
+    List.fold_left (fun a (_, _, f, _, _, _) -> a +. f) 0. ctx_rows
+  in
+  let ctx_ctx_ms =
+    List.fold_left (fun a (_, _, _, c, _, _) -> a +. c) 0. ctx_rows
+  in
+  let ctx_fresh_pivots =
+    List.fold_left (fun a (_, _, _, _, fp, _) -> a + fp) 0 ctx_rows
+  in
+  let ctx_ctx_pivots =
+    List.fold_left (fun a (_, _, _, _, _, cp) -> a + cp) 0 ctx_rows
+  in
+  let ctx_identical = List.for_all (fun (_, ok, _, _, _, _) -> ok) ctx_rows in
+  let ctx_speedup = ctx_fresh_ms /. Float.max 1e-9 ctx_ctx_ms in
+  List.iter
+    (fun (name, ok, _, _, _, _) ->
+      if not ok then
+        Printf.eprintf
+          "FAIL: ctx sweep for %s: shared-context results differ from fresh\n"
+          name)
+    ctx_rows;
+  if not ctx_identical then exit 1;
   let buf = Buffer.create 4096 in
   let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   p "{\n";
-  p "  \"bench\": \"pr7-block-sim\",\n";
+  p "  \"bench\": \"pr8-ctx-sweep\",\n";
   p "  \"quick\": %b,\n" !quick;
   p "  \"programs\": [\n";
   List.iteri
@@ -636,7 +763,33 @@ let () =
   p "    \"stall_replay_alu_mcps\": %.2f,\n" guard_alu_rate;
   p "    \"stall_replay_div_mcps\": %.2f\n" guard_stall_rate;
   p "  },\n";
+  p "  \"ctx_sweep\": {\n";
+  p "    \"cores\": %d,\n" ctx_sweep_cores;
+  p "    \"modes\": 8,\n";
+  p "    \"programs\": [\n";
+  List.iteri
+    (fun i (name, ok, fresh_ms, ctx_ms, fresh_pivots, ctx_pivots) ->
+      p
+        "      {\"name\": \"%s\", \"fresh_ms\": %.3f, \"ctx_ms\": %.3f, \
+         \"speedup\": %.3f, \"fresh_pivots\": %d, \"ctx_pivots\": %d, \
+         \"identical\": %b}%s\n"
+        (json_escape name) fresh_ms ctx_ms
+        (fresh_ms /. Float.max 1e-9 ctx_ms)
+        fresh_pivots ctx_pivots ok
+        (if i = List.length ctx_rows - 1 then "" else ","))
+    ctx_rows;
+  p "    ],\n";
+  p "    \"fresh_ms\": %.3f,\n" ctx_fresh_ms;
+  p "    \"ctx_ms\": %.3f,\n" ctx_ctx_ms;
+  p "    \"speedup\": %.3f,\n" ctx_speedup;
+  p "    \"fresh_pivots\": %d,\n" ctx_fresh_pivots;
+  p "    \"ctx_pivots\": %d\n" ctx_ctx_pivots;
+  p "  },\n";
   p "  \"acceptance\": {\n";
+  p "    \"ctx_sweep_speedup_ge_2_5x\": %b,\n" (ctx_speedup >= 2.5);
+  p "    \"ctx_bit_identical\": %b,\n" ctx_identical;
+  p "    \"ctx_pivots_le_fresh\": %b,\n" (ctx_ctx_pivots <= ctx_fresh_pivots);
+  p "    \"warm_pivot_reduction_vs_cold_ge_2x\": %b,\n" (pivot_speedup >= 2.0);
   p "    \"sim_speedup_ge_3x\": %b,\n" (sim_speedup >= 3.0);
   p "    \"sim_bit_identical\": true,\n";
   p "    \"stall_replay_not_redecoding\": %b,\n"
@@ -652,12 +805,27 @@ let () =
   Buffer.output_buffer oc buf;
   close_out oc;
   Printf.printf
-    "%d programs | pivots: %d sparse vs %d reference (%.2fx) | fixpoint pops: %d worklist vs %d sweep (%.1f%% fewer) | obs disabled overhead %.3f%% | attrib flatten %.3f%% | sim %.1f/%.1f ms (%.2fx) -> %s\n"
+    "%d programs | pivots: %d sparse vs %d reference (%.2fx) | fixpoint pops: %d worklist vs %d sweep (%.1f%% fewer) | obs disabled overhead %.3f%% | attrib flatten %.3f%% | sim %.1f/%.1f ms (%.2fx) | ctx sweep %.1f/%.1f ms (%.2fx) -> %s\n"
     (List.length rows) sparse_pivots dense_pivots pivot_speedup worklist_pops
     sweep_pops (100. *. pop_reduction) (100. *. obs_frac) (100. *. attrib_frac)
-    sim_block_total sim_ref_total sim_speedup !out_path;
+    sim_block_total sim_ref_total sim_speedup ctx_fresh_ms ctx_ctx_ms
+    ctx_speedup !out_path;
   if pivot_speedup < 2.0 || pop_reduction < 0.30 then begin
     Printf.eprintf "FAIL: acceptance thresholds not met\n";
+    exit 1
+  end;
+  if ctx_speedup < 2.5 then begin
+    Printf.eprintf
+      "FAIL: shared-context sweep speedup %.2fx below the 2.5x gate (fresh \
+       %.1f ms, ctx %.1f ms)\n"
+      ctx_speedup ctx_fresh_ms ctx_ctx_ms;
+    exit 1
+  end;
+  if ctx_ctx_pivots > ctx_fresh_pivots then begin
+    Printf.eprintf
+      "FAIL: shared-context sweep pivoted more than fresh (%d vs %d) — warm \
+       starts are not being reused\n"
+      ctx_ctx_pivots ctx_fresh_pivots;
     exit 1
   end;
   if sim_speedup < 3.0 then begin

@@ -89,11 +89,40 @@ let arbiter_of cores kind =
   | "fcfs" -> Interconnect.Arbiter.Fcfs { cores }
   | s -> die "unknown arbiter %S (expected private | rr | tdma | fcfs)" s
 
+(* [--mode all]: every approach mode analyzed from one shared
+   mode-invariant context pack ({!Server_lib.Modes.analyze_all}) on the
+   standard serve/attribute hardware, rendered as one summary table —
+   mode, bound, and the five attribution categories. *)
+let render_all_modes results =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "%-12s %10s %10s %10s %10s %10s %10s\n" "mode" "wcet"
+       "compute" "l1_miss" "l2_miss" "bus" "stall");
+  List.iter
+    (fun (mode, r) ->
+      let name = Fuzz.Oracle.mode_name mode in
+      match r with
+      | Ok (e : Store.Entry.t) ->
+          let v = e.Store.Entry.attrib.Attrib.total in
+          Buffer.add_string b
+            (Printf.sprintf "%-12s %10d %10d %10d %10d %10d %10d\n" name
+               e.Store.Entry.bound v.Pipeline.Cost.Vec.compute
+               v.Pipeline.Cost.Vec.l1_miss v.Pipeline.Cost.Vec.l2_miss
+               v.Pipeline.Cost.Vec.bus v.Pipeline.Cost.Vec.stall)
+      | Error msg ->
+          Buffer.add_string b (Printf.sprintf "%-12s %10s  %s\n" name "-" msg))
+    results;
+  Buffer.contents b
+
+let all_modes_results ~cores task =
+  if cores < 1 || cores > 4 then die "--cores must be in 1..4 with --mode all";
+  Server_lib.Modes.analyze_all ~cores ~kind:Server_lib.Modes.Wcet task
+
 (* ---------------- analyze ---------------- *)
 
 let analyze_cmd =
-  let run source with_l2 cores arbiter_kind core_id method_cache verbose
-      report =
+  let run_platform source with_l2 cores arbiter_kind core_id method_cache
+      verbose report =
     let program, annot = load source in
     let l2 = l2_of_flag with_l2 in
     let platform =
@@ -136,6 +165,29 @@ let analyze_cmd =
                 pr.Core.Wcet.loop_bounds)
             a.Core.Wcet.procs
   in
+  let run source mode_arg with_l2 cores arbiter_kind core_id method_cache
+      verbose report =
+    match mode_arg with
+    | Some "all" ->
+        print_string (render_all_modes (all_modes_results ~cores (load source)))
+    | Some mode_s -> (
+        match Server_lib.Modes.mode_of_string mode_s with
+        | Error msg -> die "%s; or \"all\" for the whole sweep" msg
+        | Ok mode ->
+            if cores < 1 || cores > 4 then
+              die "--cores must be in 1..4 with --mode";
+            let task = load source in
+            print_string
+              (render_all_modes
+                 [
+                   ( mode,
+                     Server_lib.Modes.analyze ~mode ~cores
+                       ~kind:Server_lib.Modes.Wcet task );
+                 ]))
+    | None ->
+        run_platform source with_l2 cores arbiter_kind core_id method_cache
+          verbose report
+  in
   let source =
     Arg.(
       required
@@ -166,11 +218,23 @@ let analyze_cmd =
   let report =
     Arg.(value & flag & info [ "report" ] ~doc:"Full per-block report.")
   in
+  let mode =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "mode"; "m" ] ~docv:"MODE"
+          ~doc:
+            "Analyze under an approach mode (solo, oblivious, joint, bypass, \
+             columnized, bankized, locked, dynamic) on the standard \
+             serve/attribute hardware instead of the flag-built platform; \
+             $(b,all) sweeps every mode from one shared analysis context \
+             and prints a per-mode summary table.")
+  in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Static WCET analysis of one task")
     Term.(
-      const run $ source $ with_l2 $ cores $ arbiter $ core_id $ method_cache
-      $ verbose $ report)
+      const run $ source $ mode $ with_l2 $ cores $ arbiter $ core_id
+      $ method_cache $ verbose $ report)
 
 (* ---------------- simulate ---------------- *)
 
@@ -391,9 +455,26 @@ let batch_cmd =
               Engine.Pool.check ctx;
               let h0, l0 = Core.Memo.local_stats () in
               let t0 = Engine.Telemetry.now_ns () in
-              let w = Core.Memo.wcet memo ~annot ~telemetry platform program in
+              (* one mode-invariant front end serves both bound sides;
+                 lazy so a double cache hit never builds it *)
+              let actx =
+                lazy (Core.Context.of_platform ~annot platform program)
+              in
+              let w =
+                Core.Memo.wcet memo ~annot ~telemetry
+                  ~compute:(fun () ->
+                    Core.Wcet.analyze_with ~telemetry ~ctx:(Lazy.force actx)
+                      platform)
+                  platform program
+              in
               let b =
-                match Core.Memo.bcet memo ~annot ~telemetry platform program with
+                match
+                  Core.Memo.bcet memo ~annot ~telemetry
+                    ~compute:(fun () ->
+                      Core.Bcet.analyze_with ~telemetry ~ctx:(Lazy.force actx)
+                        platform)
+                    platform program
+                with
                 | b -> Some b.Core.Bcet.bcet
                 | exception Core.Wcet.Not_analysable _ -> None
               in
@@ -571,13 +652,19 @@ let batch_cmd =
 
 let fuzz_cmd =
   let run seed count cores jobs_flag mode_args timeout_ms csv attrib trace
-      interp_arg =
+      interp_arg engine_arg =
     let interp =
       match String.lowercase_ascii interp_arg with
       | "block" -> `Block
       | "reference" -> `Reference
       | "both" -> `Both
       | s -> die "unknown --interp %S (expected block, reference or both)" s
+    in
+    let engine =
+      match String.lowercase_ascii engine_arg with
+      | "context" -> `Context
+      | "fresh" -> `Fresh
+      | s -> die "unknown --engine %S (expected context or fresh)" s
     in
     let modes =
       match
@@ -611,7 +698,7 @@ let fuzz_cmd =
     let c =
       match
         Fuzz.Oracle.run_campaign ~modes ~cores ?workers ?timeout_ns ~memo
-          ~interp ~seed ~count ()
+          ~interp ~engine ~seed ~count ()
       with
       | c -> c
       | exception Invalid_argument msg -> die "%s" msg
@@ -669,10 +756,11 @@ let fuzz_cmd =
           v.Fuzz.Oracle.reason v.Fuzz.Oracle.source seed count
           (String.concat ","
              (List.map Fuzz.Oracle.mode_name c.Fuzz.Oracle.modes))
-          (match interp with
-          | `Block -> ""
-          | `Reference -> " --interp reference"
-          | `Both -> " --interp both"))
+          ((match interp with
+           | `Block -> ""
+           | `Reference -> " --interp reference"
+           | `Both -> " --interp both")
+          ^ match engine with `Context -> "" | `Fresh -> " --engine fresh"))
       r.Fuzz.Oracle.violations;
     trace_finish ();
     if r.Fuzz.Oracle.violations <> [] || r.Fuzz.Oracle.errors <> [] then exit 1
@@ -748,6 +836,16 @@ let fuzz_cmd =
              per-instruction stepper), or $(b,both) — run both and report \
              any block-vs-reference divergence as a violation.")
   in
+  let engine_arg =
+    Arg.(
+      value & opt string "context"
+      & info [ "engine" ] ~docv:"WHICH"
+          ~doc:
+            "Analysis engine for the bound side: $(b,context) (one shared \
+             mode-invariant context per task, default) or $(b,fresh) (full \
+             front-to-back analysis per mode — the differential oracle for \
+             the context path; both produce bit-identical reports).")
+  in
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:
@@ -756,7 +854,7 @@ let fuzz_cmd =
           shapes and all multicore approach families")
     Term.(
       const run $ seed $ count $ cores $ jobs_flag $ modes $ timeout_ms $ csv
-      $ attrib $ trace $ interp_arg)
+      $ attrib $ trace $ interp_arg $ engine_arg)
 
 (* ---------------- attribute ---------------- *)
 
@@ -765,11 +863,47 @@ let fuzz_cmd =
    anything.  The attributed task runs on core 0; under the contended
    modes every other core runs the same program as a co-runner. *)
 let attribute_cmd =
+  let run_all source cores trace_out csv_out =
+    let results = all_modes_results ~cores (load source) in
+    print_string (render_all_modes results);
+    let each f =
+      List.iter
+        (fun (m, r) ->
+          match r with
+          | Ok (e : Store.Entry.t) ->
+              f (Fuzz.Oracle.mode_name m) e.Store.Entry.attrib
+          | Error _ -> ())
+        results
+    in
+    (match csv_out with
+    | Some path ->
+        let b = Buffer.create 4096 in
+        Buffer.add_string b Attrib.csv_header;
+        each (fun side a -> Buffer.add_string b (Attrib.csv_rows ~side a));
+        write_file path (Buffer.contents b);
+        Printf.eprintf "paratime: attribution CSV written to %s\n%!" path
+    | None -> ());
+    match trace_out with
+    | Some path ->
+        let sink = Obs.Sink.create () in
+        Obs.set_sink (Some sink);
+        each (fun side a -> Attrib.emit_counters ~side a);
+        Obs.set_sink None;
+        write_file path (Obs.Trace_export.to_json sink);
+        Printf.eprintf "paratime: attribution trace written to %s\n%!" path
+    | None -> ()
+  in
   let run source mode_arg cores gap trace_out csv_out =
+    if mode_arg = "all" then begin
+      if gap then
+        die "--gap needs a simulated side; not available with --mode all";
+      run_all source cores trace_out csv_out
+    end
+    else
     let mode =
       match Fuzz.Oracle.mode_of_string mode_arg with
       | Ok m -> m
-      | Error msg -> die "%s" msg
+      | Error msg -> die "%s; or \"all\" for the whole sweep" msg
     in
     if cores < 1 || cores > 4 then die "--cores must be in 1..4";
     let program, annot = load source in
@@ -832,10 +966,12 @@ let attribute_cmd =
               analysis_of (Core.Multicore.analyze_joint sys ~bypass:true ()).(0)
             in
             let lines = Core.Multicore.bypass_lines sys (program, annot) in
+            let set = Hashtbl.create (2 * List.length lines + 1) in
+            List.iter (fun l -> Hashtbl.replace set l ()) lines;
             let cs =
               Array.map
                 (fun s ->
-                  { s with Sim.Machine.l2_bypass = (fun l -> List.mem l lines) })
+                  { s with Sim.Machine.l2_bypass = (fun l -> Hashtbl.mem set l) })
                 (setups cores)
             in
             (a, Some (Sim.Machine.run shared_machine ~cores:cs ()).(0))
@@ -933,7 +1069,8 @@ let attribute_cmd =
       & info [ "mode"; "m" ] ~docv:"MODE"
           ~doc:
             "Approach mode: solo, oblivious, joint, bypass, columnized, \
-             bankized, locked, dynamic.")
+             bankized, locked, dynamic — or $(b,all) for a per-mode summary \
+             table over every mode, analyzed from one shared context.")
   in
   let cores =
     Arg.(
@@ -1056,10 +1193,12 @@ let trace_cmd =
     let wcet = ref None and bcet = ref None and sim = ref None in
     let jobs =
       [
-        Engine.Pool.job ~label:"wcet" (fun _ ->
-            wcet := Some (Core.Wcet.analyze ~annot platform program));
-        Engine.Pool.job ~label:"bcet" (fun _ ->
-            bcet := Some (Core.Bcet.analyze ~annot platform program));
+        (* both bound sides share one mode-invariant front end; a
+           context is not domain-safe, so they ride in one job *)
+        Engine.Pool.job ~label:"bounds" (fun _ ->
+            let ctx = Core.Context.of_platform ~annot platform program in
+            wcet := Some (Core.Wcet.analyze_with ~ctx platform);
+            bcet := Some (Core.Bcet.analyze_with ~ctx platform));
         Engine.Pool.job ~label:"sim" (fun _ ->
             sim := Some (Sim.Machine.run_single sim_cfg program ()));
       ]

@@ -60,8 +60,13 @@ let best_block_vec (lat : Pipeline.Latencies.t) g id =
     Vec.zero
     (Cfg.Block.instr_indices b)
 
-let analyze ?(annot = Dataflow.Annot.empty) ?telemetry ?(solver = `Sparse)
-    (platform : Platform.t) program =
+(* The best-case back end consumes only the mode-invariant part of the
+   context: graphs, loop bounds, and the prepared minimize-direction
+   IPET systems.  No cache or arbiter state is read — the optimistic
+   cost model assumes all-hit — so one context serves BCET alongside
+   every WCET mode. *)
+let analyze_with ?telemetry ?(solver = `Sparse) ~ctx (platform : Platform.t) =
+  Context.check_compatible ctx platform;
   let span name f =
     match telemetry with
     | None -> Obs.span ~cat:"phase" name f
@@ -71,28 +76,12 @@ let analyze ?(annot = Dataflow.Annot.empty) ?telemetry ?(solver = `Sparse)
     Printf.ksprintf (fun s -> raise (Wcet.Not_analysable s)) fmt
   in
   let lat = platform.Platform.latencies in
-  let callgraph =
-    try Cfg.Callgraph.build program with
-    | Cfg.Callgraph.Recursive cycle ->
-        fail "recursive call cycle: %s" (String.concat " -> " cycle)
-    | Invalid_argument msg -> fail "%s" msg
-  in
-  let clobbers = Dataflow.Clobbers.compute callgraph in
-  let call_clobbers = Dataflow.Clobbers.clobbered clobbers in
+  let program = ctx.Context.program in
   let results = Hashtbl.create 8 in
   let procs =
     List.map
-      (fun (name, g) ->
-        let dom = Cfg.Dominators.compute g in
-        let loops =
-          try Cfg.Loops.analyze g dom
-          with Cfg.Loops.Irreducible msg -> fail "%s: %s" name msg
-        in
-        let va = Dataflow.Value_analysis.analyze ~call_clobbers g in
-        let loop_bounds =
-          try Dataflow.Loop_bounds.infer ~call_clobbers g dom loops va annot
-          with Dataflow.Loop_bounds.Unbounded msg -> fail "%s" msg
-        in
+      (fun (name, (p : Context.proc)) ->
+        let g = p.Context.graph in
         let own_vecs =
           Array.init (Cfg.Graph.num_blocks g) (best_block_vec lat g)
         in
@@ -110,9 +99,10 @@ let analyze ?(annot = Dataflow.Annot.empty) ?telemetry ?(solver = `Sparse)
         let ipet =
           span "ipet-solve" (fun () ->
               try
-                Ipet.solve g ~loop_bounds
+                Ipet.solve_prepared
+                  (Lazy.force p.Context.ipet_bcet)
                   ~block_cost:(fun id -> Vec.total full_vecs.(id))
-                  ~direction:`Minimize ~solver ()
+                  ~solver ()
               with Ipet.Flow_infeasible msg -> fail "%s: %s" name msg)
         in
         let bcet_vec =
@@ -129,10 +119,15 @@ let analyze ?(annot = Dataflow.Annot.empty) ?telemetry ?(solver = `Sparse)
         in
         Hashtbl.replace results name r;
         (name, r))
-      (Cfg.Callgraph.bottom_up callgraph)
+      ctx.Context.procs
   in
-  let root = List.assoc callgraph.Cfg.Callgraph.root procs in
+  let root = List.assoc ctx.Context.root procs in
   { program; procs; bcet = root.bcet }
+
+let analyze ?(annot = Dataflow.Annot.empty) ?telemetry ?(solver = `Sparse)
+    (platform : Platform.t) program =
+  let ctx = Context.of_platform ~annot ?telemetry platform program in
+  analyze_with ?telemetry ~solver ~ctx platform
 
 let analytic_quotient ~bcet ~wcet =
   if wcet <= 0 then 1.0

@@ -29,6 +29,19 @@ type t = {
   bcet : int;
 }
 
+val analyze_with :
+  ?telemetry:Engine.Telemetry.t ->
+  ?solver:[ `Sparse | `Reference ] ->
+  ctx:Context.t ->
+  Platform.t ->
+  t
+(** Best-case back end over a prebuilt {!Context.t}.  Only the
+    mode-invariant part of the context is consumed (graphs, loop bounds,
+    prepared minimize-direction IPET systems) — the optimistic cost
+    model reads no cache or arbiter state — so one context serves BCET
+    alongside every WCET mode.  Bit-identical to {!analyze}.
+    @raise Invalid_argument on a geometry-incompatible platform. *)
+
 val analyze :
   ?annot:Dataflow.Annot.t ->
   ?telemetry:Engine.Telemetry.t ->

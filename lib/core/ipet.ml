@@ -2,8 +2,20 @@ type result = { wcet : int; block_counts : int array }
 
 exception Flow_infeasible of string
 
-let solve g ~loop_bounds ~block_cost ?(mutually_exclusive = [])
-    ?(direction = `Maximize) ?(solver = `Sparse) () =
+(* Shared model construction.  The constraint system — flow conservation,
+   loop bounds, exclusivity rows — depends on the CFG, bounds, and
+   direction but NOT on block costs, so it is built once here and used by
+   both the one-shot [solve] and the multi-objective [prepare] path.  The
+   construction order (variables, then rows) is fixed and deterministic:
+   two builds over the same inputs produce models whose tableaus, and
+   hence pivot trajectories, are identical. *)
+
+type built = {
+  b_model : Lp.Model.t;
+  b_in_terms : (Lp.Q.t * Lp.Model.var) list array; (* per block id *)
+}
+
+let build g ~loops ~loop_bounds ~mutually_exclusive ~direction =
   let n = Cfg.Graph.num_blocks g in
   let m = Lp.Model.create () in
   (* One variable per CFG edge, plus a virtual entry edge. *)
@@ -47,8 +59,6 @@ let solve g ~loop_bounds ~block_cost ?(mutually_exclusive = [])
   done;
   (* Loop bounds: sum(back) <= max_bound * sum(entry edges), and for the
      best-case direction also sum(back) >= min_bound * sum(entries). *)
-  let dom = Cfg.Dominators.compute g in
-  let loops = Cfg.Loops.analyze g dom in
   List.iter
     (fun (b : Dataflow.Loop_bounds.bound) ->
       match Cfg.Loops.loop_of_header loops b.Dataflow.Loop_bounds.header with
@@ -82,16 +92,50 @@ let solve g ~loop_bounds ~block_cost ?(mutually_exclusive = [])
           (in_terms a @ in_terms b)
           Lp.Model.Le Lp.Q.one)
     mutually_exclusive;
-  (* Objective: extremize sum over blocks of cost * count (the solver
-     maximizes, so minimization negates costs). *)
+  { b_model = m; b_in_terms = Array.init n in_terms }
+
+(* Objective: extremize sum over blocks of cost * count (the solver
+   maximizes, so minimization negates costs). *)
+let objective_of built ~block_cost ~sign =
+  List.concat
+    (List.init
+       (Array.length built.b_in_terms)
+       (fun id ->
+         let c = Lp.Q.of_int (sign * block_cost id) in
+         List.map
+           (fun (coef, v) -> (Lp.Q.mul c coef, v))
+           built.b_in_terms.(id)))
+
+let result_of built ~sign outcome =
+  match outcome with
+  | Lp.Ilp.Optimal (obj, solution) ->
+      let obj = Lp.Q.mul (Lp.Q.of_int sign) obj in
+      let count_of id =
+        List.fold_left
+          (fun acc ((_, v) : Lp.Q.t * Lp.Model.var) ->
+            acc + solution.((v :> int)))
+          0
+          built.b_in_terms.(id)
+      in
+      {
+        wcet = Lp.Q.to_int_exn obj;
+        block_counts = Array.init (Array.length built.b_in_terms) count_of;
+      }
+  | Lp.Ilp.Infeasible ->
+      raise (Flow_infeasible "IPET constraint system is infeasible")
+  | Lp.Ilp.Unbounded ->
+      raise
+        (Flow_infeasible
+           "IPET objective unbounded: a loop is missing its bound")
+
+let solve g ~loop_bounds ~block_cost ?(mutually_exclusive = [])
+    ?(direction = `Maximize) ?(solver = `Sparse) () =
+  let dom = Cfg.Dominators.compute g in
+  let loops = Cfg.Loops.analyze g dom in
+  let built = build g ~loops ~loop_bounds ~mutually_exclusive ~direction in
+  let m = built.b_model in
   let sign = match direction with `Maximize -> 1 | `Minimize -> -1 in
-  let objective =
-    List.concat
-      (List.init n (fun id ->
-           let c = Lp.Q.of_int (sign * block_cost id) in
-           List.map (fun (coef, v) -> (Lp.Q.mul c coef, v)) (in_terms id)))
-  in
-  Lp.Model.set_objective m objective;
+  Lp.Model.set_objective m (objective_of built ~block_cost ~sign);
   let outcome =
     match solver with
     | `Sparse -> Lp.Ilp.solve m
@@ -104,22 +148,39 @@ let solve g ~loop_bounds ~block_cost ?(mutually_exclusive = [])
         | Lp.Reference.Ilp_unbounded -> Lp.Ilp.Unbounded
         | Lp.Reference.Ilp_infeasible -> Lp.Ilp.Infeasible)
   in
-  match outcome with
-  | Lp.Ilp.Optimal (obj, solution) ->
-      let obj = Lp.Q.mul (Lp.Q.of_int sign) obj in
-      let count_of id =
-        List.fold_left
-          (fun acc ((_, v) : Lp.Q.t * Lp.Model.var) ->
-            acc + solution.((v :> int)))
-          0 (in_terms id)
-      in
-      {
-        wcet = Lp.Q.to_int_exn obj;
-        block_counts = Array.init n count_of;
-      }
-  | Lp.Ilp.Infeasible ->
-      raise (Flow_infeasible "IPET constraint system is infeasible")
-  | Lp.Ilp.Unbounded ->
-      raise
-        (Flow_infeasible
-           "IPET objective unbounded: a loop is missing its bound")
+  result_of built ~sign outcome
+
+(* ------------------------------------------------------------------ *)
+(* Prepared path: one constraint system, many objectives               *)
+(* ------------------------------------------------------------------ *)
+
+type prepared = {
+  p_built : built;
+  p_sign : int;
+  p_snapshot : Lp.Simplex.prepared;
+}
+
+let prepare g ~loops ~loop_bounds ?(mutually_exclusive = [])
+    ?(direction = `Maximize) () =
+  let built = build g ~loops ~loop_bounds ~mutually_exclusive ~direction in
+  let sign = match direction with `Maximize -> 1 | `Minimize -> -1 in
+  {
+    p_built = built;
+    p_sign = sign;
+    p_snapshot = Lp.Simplex.prepare built.b_model ~extra:[];
+  }
+
+let solve_prepared p ~block_cost ?(solver = `Sparse) () =
+  let m = p.p_built.b_model in
+  Lp.Model.set_objective m
+    (objective_of p.p_built ~block_cost ~sign:p.p_sign);
+  let outcome =
+    match solver with
+    | `Sparse -> (Lp.Ilp.solve_result_prepared p.p_snapshot m).Lp.Ilp.outcome
+    | `Reference -> (
+        match Lp.Reference.solve_ilp m with
+        | Lp.Reference.Ilp_optimal (o, s) -> Lp.Ilp.Optimal (o, s)
+        | Lp.Reference.Ilp_unbounded -> Lp.Ilp.Unbounded
+        | Lp.Reference.Ilp_infeasible -> Lp.Ilp.Infeasible)
+  in
+  result_of p.p_built ~sign:p.p_sign outcome

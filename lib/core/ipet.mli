@@ -42,3 +42,40 @@ val solve :
     @raise Flow_infeasible if the constraint system has no solution (a
     contradictory annotation).
     @raise Invalid_argument for a mutually-exclusive pair inside a loop. *)
+
+(** {1 Prepared path}
+
+    Across approach modes only block costs change: the flow structure,
+    loop bounds, and exclusivity rows are mode-invariant.  [prepare]
+    builds the constraint system and its solved-tableau prefix once;
+    each [solve_prepared] re-solves with fresh costs, reusing the
+    snapshot via {!Lp.Simplex.solve_prepared}.  Results are bit-identical
+    to {!solve} over the same inputs — same optimum, same
+    [block_counts] — because the replayed pivot trajectory is the cold
+    one. *)
+
+type prepared
+
+val prepare :
+  Cfg.Graph.t ->
+  loops:Cfg.Loops.t ->
+  loop_bounds:Dataflow.Loop_bounds.bound list ->
+  ?mutually_exclusive:(Cfg.Block.id * Cfg.Block.id) list ->
+  ?direction:[ `Maximize | `Minimize ] ->
+  unit ->
+  prepared
+(** [loops] must be the loop forest of the graph (callers holding a
+    precomputed {!Cfg.Loops.t} avoid the dominator/loop recompute that
+    {!solve} performs internally).  The snapshot is per-direction: the
+    best-case system carries extra lower-bound rows. *)
+
+val solve_prepared :
+  prepared ->
+  block_cost:(Cfg.Block.id -> int) ->
+  ?solver:[ `Sparse | `Reference ] ->
+  unit ->
+  result
+(** Same contract and exceptions as {!solve}.  [`Reference] re-solves the
+    prepared model densely from scratch (the snapshot buys nothing there;
+    kept so the differential baseline can run over prepared contexts
+    too). *)

@@ -69,14 +69,23 @@ let lookup t key =
       r
   | None -> None
 
-let wcet t ?(annot = Dataflow.Annot.empty) ?salt ?telemetry platform program =
+let wcet t ?(annot = Dataflow.Annot.empty) ?salt ?telemetry ?compute platform
+    program =
+  (* [compute] overrides the miss path (e.g. a context-based back end);
+     its result must be bit-identical to the fresh analysis — the memo
+     key cannot tell them apart, by design. *)
+  let analyze () =
+    match compute with
+    | Some f -> f ()
+    | None -> Wcet.analyze ~annot ?telemetry platform program
+  in
   match key ~kind:"wcet" ~annot ~salt platform program with
-  | None -> Wcet.analyze ~annot ?telemetry platform program
+  | None -> analyze ()
   | Some k -> (
       match lookup t k with
       | Some (Wcet_r r) -> r
       | Some (Bcet_r _) | None ->
-          let r = Wcet.analyze ~annot ?telemetry platform program in
+          let r = analyze () in
           Engine.Lru.put t.lru k (Wcet_r r);
           r)
 
@@ -133,13 +142,19 @@ let bcet_encoded t ~encode ?(annot = Dataflow.Annot.empty) ?salt ?telemetry
     ~unpack:(function Bcet_r r -> Some r | Wcet_r _ -> None)
     (key ~kind:"bcet" ~annot ~salt platform program)
 
-let bcet t ?(annot = Dataflow.Annot.empty) ?salt ?telemetry platform program =
+let bcet t ?(annot = Dataflow.Annot.empty) ?salt ?telemetry ?compute platform
+    program =
+  let analyze () =
+    match compute with
+    | Some f -> f ()
+    | None -> Bcet.analyze ~annot ?telemetry platform program
+  in
   match key ~kind:"bcet" ~annot ~salt platform program with
-  | None -> Bcet.analyze ~annot ?telemetry platform program
+  | None -> analyze ()
   | Some k -> (
       match lookup t k with
       | Some (Bcet_r r) -> r
       | Some (Wcet_r _) | None ->
-          let r = Bcet.analyze ~annot ?telemetry platform program in
+          let r = analyze () in
           Engine.Lru.put t.lru k (Bcet_r r);
           r)

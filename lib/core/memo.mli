@@ -93,12 +93,18 @@ val wcet :
   ?annot:Dataflow.Annot.t ->
   ?salt:string ->
   ?telemetry:Engine.Telemetry.t ->
+  ?compute:(unit -> Wcet.t) ->
   Platform.t ->
   Isa.Program.t ->
   Wcet.t
 (** Memoized {!Wcet.analyze}.  [salt] must encode the semantics of any
     closures the platform's L2 mode carries; wrong salts mean wrong
     results, missing salts merely disable caching.
+
+    [compute] overrides the miss path (and the uncacheable direct path)
+    — typically {!Wcet.analyze_with} over a shared {!Context.t}.  Its
+    result must be bit-identical to the fresh analysis of the same
+    point: the memo key cannot distinguish the two, by design.
     @raise Wcet.Not_analysable as the direct analysis (never cached). *)
 
 val bcet :
@@ -106,10 +112,11 @@ val bcet :
   ?annot:Dataflow.Annot.t ->
   ?salt:string ->
   ?telemetry:Engine.Telemetry.t ->
+  ?compute:(unit -> Bcet.t) ->
   Platform.t ->
   Isa.Program.t ->
   Bcet.t
-(** Memoized {!Bcet.analyze}. *)
+(** Memoized {!Bcet.analyze}; [compute] as in {!wcet}. *)
 
 val stats : t -> Engine.Lru.stats
 

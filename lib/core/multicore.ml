@@ -34,58 +34,122 @@ let platform_of system ~core ~l2 ~arbiter =
     method_cache = None;
   }
 
+(* One mode-invariant context per occupied core slot, shared between
+   slots that run the physically-same task — all eight approach modes of
+   a sweep then reuse one front end per distinct task. *)
+type contexts = Context.t option array
+
+let contexts system =
+  let built = ref [] in
+  Array.map
+    (function
+      | None -> None
+      | Some (program, annot) -> (
+          let same (p, a, _) = p == program && a == annot in
+          match List.find_opt same !built with
+          | Some (_, _, ctx) -> Some ctx
+          | None ->
+              let ctx =
+                Context.build ~annot ~l1i:system.l1i ~l1d:system.l1d program
+              in
+              built := (program, annot, ctx) :: !built;
+              Some ctx))
+    system.tasks
+
+let ctx_of ctxs core =
+  match ctxs with None -> None | Some a -> a.(core)
+
 (* Memoized or direct per-task analysis.  [salt] must encode the
    semantics of any closures the platform's L2 mode carries — see
-   {!Memo}; closure-free platforms need none. *)
-let wcet_of ?memo ?salt ~annot platform program =
+   {!Memo}; closure-free platforms need none.  With a [ctx], misses (and
+   uncacheable points) run the context back end instead of a fresh
+   front-to-back analysis; [bypass_key] keys the context's multilevel
+   memo with the same string discipline as the memo salt. *)
+let wcet_of ?memo ?salt ?ctx ?bypass_key ~annot platform program =
+  let compute =
+    Option.map
+      (fun ctx () -> Wcet.analyze_with ?bypass_key ~ctx platform)
+      ctx
+  in
   match memo with
-  | None -> Wcet.analyze ~annot platform program
-  | Some m -> Memo.wcet m ~annot ?salt platform program
+  | None -> (
+      match compute with
+      | Some f -> f ()
+      | None -> Wcet.analyze ~annot platform program)
+  | Some m -> Memo.wcet m ~annot ?salt ?compute platform program
 
-let analyze_each ?memo ?salt system ~platform_for =
+let analyze_each ?memo ?salt ?ctxs system ~platform_for =
   Array.mapi
     (fun core task ->
       match task with
       | None -> None
       | Some (program, annot) ->
-          Some (wcet_of ?memo ?salt ~annot (platform_for core) program))
+          Some
+            (wcet_of ?memo ?salt ?ctx:(ctx_of ctxs core) ~annot
+               (platform_for core) program))
     system.tasks
 
 (* Oblivious: pretend the task owns the machine (private bus, whole L2). *)
-let analyze_oblivious ?memo system =
-  analyze_each ?memo system ~platform_for:(fun _core ->
+let analyze_oblivious ?memo ?ctxs system =
+  analyze_each ?memo ?ctxs system ~platform_for:(fun _core ->
       platform_of system ~core:0 ~l2:(Platform.Private_l2 system.l2)
         ~arbiter:Interconnect.Arbiter.Private)
 
+(* Per-procedure flow facts of a task, bottom-up: from the shared
+   context when one is supplied, rebuilt otherwise.  The rebuild
+   matches what the context holds — in particular the *plain* value
+   analysis (no interprocedural clobber refinement), so both paths see
+   identical access-target sets. *)
+let task_procs ?ctx program =
+  match ctx with
+  | Some (c : Context.t) ->
+      List.map
+        (fun (_, (p : Context.proc)) ->
+          (p.Context.name, p.Context.graph, lazy p.Context.loops,
+           p.Context.va_plain))
+        c.Context.procs
+  | None ->
+      let cg = Cfg.Callgraph.build program in
+      List.map
+        (fun (name, g) ->
+          ( name,
+            g,
+            lazy (Cfg.Loops.analyze g (Cfg.Dominators.compute g)),
+            lazy (Dataflow.Value_analysis.analyze g) ))
+        (Cfg.Callgraph.bottom_up cg)
+
 (* Single-usage bypass lines of a task: union over its procedures. *)
-let bypass_lines system (program, _annot) =
-  let cg = Cfg.Callgraph.build program in
+let bypass_lines ?ctx system (program, _annot) =
   List.concat_map
-    (fun (_, g) ->
-      let dom = Cfg.Dominators.compute g in
-      let loops = Cfg.Loops.analyze g dom in
-      let va = Dataflow.Value_analysis.analyze g in
-      Cache.Multilevel.single_usage_lines g loops ~l2_accesses:(fun id ->
+    (fun (_, g, loops, va) ->
+      let va = Lazy.force va in
+      Cache.Multilevel.single_usage_lines g (Lazy.force loops)
+        ~l2_accesses:(fun id ->
           Cache.Analysis.instruction_accesses system.l2 g id
           @ Cache.Analysis.data_accesses system.l2 g va id))
-    (Cfg.Callgraph.bottom_up cg)
+    (task_procs ?ctx program)
   |> List.sort_uniq compare
 
-let analyze_joint ?memo system ?(bypass = false) ?(overlaps = fun _ _ -> true)
-    () =
+let analyze_joint ?memo ?ctxs system ?(bypass = false)
+    ?(overlaps = fun _ _ -> true) () =
   let n = Array.length system.tasks in
   let bypass_sets =
-    Array.map
-      (fun task ->
+    Array.mapi
+      (fun core task ->
         match (task, bypass) with
-        | Some t, true -> Some (bypass_lines system t)
+        | Some t, true -> Some (bypass_lines ?ctx:(ctx_of ctxs core) system t)
         | _ -> None)
       system.tasks
   in
   let bypass_of =
     Array.map
       (function
-        | Some lines -> fun l -> List.mem l lines
+        | Some lines ->
+            (* Probed once per L2 access of every fixpoint sweep: a hash
+               set, not an O(lines) list scan. *)
+            let set = Hashtbl.create (2 * List.length lines) in
+            List.iter (fun l -> Hashtbl.replace set l ()) lines;
+            fun l -> Hashtbl.mem set l
         | None -> fun _ -> false)
       bypass_sets
   in
@@ -116,7 +180,8 @@ let analyze_joint ?memo system ?(bypass = false) ?(overlaps = fun _ _ -> true)
                 }
             in
             Some
-              (wcet_of ?memo ~salt:salt_of.(core) ~annot
+              (wcet_of ?memo ~salt:salt_of.(core) ?ctx:(ctx_of ctxs core)
+                 ~bypass_key:salt_of.(core) ~annot
                  (platform_of system ~core ~l2 ~arbiter:system.arbiter)
                  program))
       system.tasks
@@ -153,35 +218,36 @@ let analyze_joint ?memo system ?(bypass = false) ?(overlaps = fun _ _ -> true)
   in
   phase conflicts_for
 
-let analyze_partitioned ?memo system ~scheme =
+let analyze_partitioned ?memo ?ctxs system ~scheme =
   let n = Array.length system.tasks in
   let alloc = Cache.Partition.even_shares scheme system.l2 ~parts:n in
-  analyze_each ?memo system ~platform_for:(fun core ->
+  analyze_each ?memo ?ctxs system ~platform_for:(fun core ->
       let slice = Cache.Partition.partition_config system.l2 alloc ~index:core in
       platform_of system ~core ~l2:(Platform.Private_l2 slice)
         ~arbiter:system.arbiter)
 
 (* Global greedy lock selection: line profits estimated from the
    oblivious analysis's block execution counts. *)
-let lock_selection ?memo system =
+let lock_selection ?memo ?ctxs system =
   let profits = Hashtbl.create 64 in
-  Array.iter
-    (function
+  Array.iteri
+    (fun core task ->
+      match task with
       | None -> ()
       | Some (program, annot) -> (
+          let ctx = ctx_of ctxs core in
           match
-            wcet_of ?memo ~annot
+            wcet_of ?memo ?ctx ~annot
               (platform_of system ~core:0 ~l2:(Platform.Private_l2 system.l2)
                  ~arbiter:Interconnect.Arbiter.Private)
               program
           with
           | w ->
-              let cg = Cfg.Callgraph.build program in
               List.iter
-                (fun (name, g) ->
+                (fun (name, g, _, va) ->
                   let pr = List.assoc name w.Wcet.procs in
                   let counts = pr.Wcet.ipet.Ipet.block_counts in
-                  let va = Dataflow.Value_analysis.analyze g in
+                  let va = Lazy.force va in
                   for id = 0 to Cfg.Graph.num_blocks g - 1 do
                     let accs =
                       Cache.Analysis.instruction_accesses system.l2 g id
@@ -201,15 +267,15 @@ let lock_selection ?memo system =
                             ())
                       accs
                   done)
-                (Cfg.Callgraph.bottom_up cg)))
+                (task_procs ?ctx program)))
     system.tasks;
   let candidates = Hashtbl.fold (fun l p acc -> (l, p) :: acc) profits [] in
   Cache.Locking.select system.l2 ~candidates
 
 let static_lock_selection = lock_selection
 
-let analyze_locked ?memo system =
-  let selection = lock_selection ?memo system in
+let analyze_locked ?memo ?ctxs system =
+  let selection = lock_selection ?memo ?ctxs system in
   (* The selection depends on *all* tasks, not just the one being
      analyzed, so it must appear in the memo key explicitly. *)
   let salt =
@@ -217,7 +283,7 @@ let analyze_locked ?memo system =
     ^ String.concat ","
         (List.map string_of_int selection.Cache.Locking.locked)
   in
-  analyze_each ?memo ~salt system ~platform_for:(fun core ->
+  analyze_each ?memo ~salt ?ctxs system ~platform_for:(fun core ->
       platform_of system ~core
         ~l2:
           (Platform.Locked_l2
@@ -235,9 +301,8 @@ let analyze_locked ?memo system =
    selection may use the full capacity; the comparison against static
    locking is at analysis level (the concrete machine model does not
    reprogram locks at run time). *)
-let dynamic_lock_functions system program annot =
+let dynamic_lock_functions ?ctx system program annot =
   ignore annot;
-  let cg = Cfg.Callgraph.build program in
   let lat = system.latencies in
   let reload_per_line =
     lat.Pipeline.Latencies.l2_hit + lat.Pipeline.Latencies.mem
@@ -245,10 +310,9 @@ let dynamic_lock_functions system program annot =
   (* Per proc: (instr -> selection), (block -> reload cost). *)
   let per_proc =
     List.map
-      (fun (name, g) ->
-        let dom = Cfg.Dominators.compute g in
-        let loops = Cfg.Loops.analyze g dom in
-        let va = Dataflow.Value_analysis.analyze g in
+      (fun (name, g, loops, va) ->
+        let loops = Lazy.force loops in
+        let va = Lazy.force va in
         let accesses id =
           Cache.Analysis.instruction_accesses system.l2 g id
           @ Cache.Analysis.data_accesses system.l2 g va id
@@ -332,7 +396,7 @@ let dynamic_lock_functions system program annot =
             0 (Cfg.Loops.loops loops)
         in
         (name, (g, selection_of, reload_of_block)))
-      (Cfg.Callgraph.bottom_up cg)
+      (task_procs ?ctx program)
   in
   (* Instruction indices are global to the program: route the lookup to
      the procedure whose graph contains the instruction. *)
@@ -352,14 +416,15 @@ let dynamic_lock_functions system program annot =
   in
   (selection_of, reload_cost)
 
-let analyze_locked_dynamic ?memo system =
+let analyze_locked_dynamic ?memo ?ctxs system =
   Array.mapi
     (fun core task ->
       match task with
       | None -> None
       | Some (program, annot) ->
+          let ctx = ctx_of ctxs core in
           let selection_of, reload_cost =
-            dynamic_lock_functions system program annot
+            dynamic_lock_functions ?ctx system program annot
           in
           let platform =
             platform_of system ~core
@@ -372,7 +437,7 @@ let analyze_locked_dynamic ?memo system =
              task's program and the L2 geometry / latencies, all of which
              the fingerprint already covers — a constant salt suffices to
              distinguish this mode from static locking. *)
-          Some (wcet_of ?memo ~salt:"dynamic" ~annot platform program))
+          Some (wcet_of ?memo ~salt:"dynamic" ?ctx ~annot platform program))
     system.tasks
 
 let wcets results =

@@ -37,10 +37,23 @@ val default_system :
     burst refresh — a deliberately small hierarchy so workloads exercise
     misses. *)
 
-val analyze_oblivious : ?memo:Memo.t -> system -> Wcet.t option array
+type contexts = Context.t option array
+(** One mode-invariant {!Context.t} per occupied core slot. *)
+
+val contexts : system -> contexts
+(** Build the task set's contexts once, sharing one context between
+    slots that run the physically-same (program, annot) pair.  Passing
+    the result as [?ctxs] to every [analyze_*] call of a sweep makes the
+    whole 8-mode sweep pay one front end per distinct task; results are
+    bit-identical to the context-free path.  Not domain-safe: build one
+    per worker domain. *)
+
+val analyze_oblivious :
+  ?memo:Memo.t -> ?ctxs:contexts -> system -> Wcet.t option array
 
 val analyze_joint :
   ?memo:Memo.t ->
+  ?ctxs:contexts ->
   system ->
   ?bypass:bool ->
   ?overlaps:(int -> int -> bool) ->
@@ -49,26 +62,35 @@ val analyze_joint :
 (** [overlaps i j] (default: always) — whether the tasks of cores [i] and
     [j] can execute concurrently; non-overlapping tasks do not conflict. *)
 
-val bypass_lines : system -> Isa.Program.t * Dataflow.Annot.t -> int list
+val bypass_lines :
+  ?ctx:Context.t -> system -> Isa.Program.t * Dataflow.Annot.t -> int list
 (** The single-usage L2 lines of a task (the compiler-directed bypass set
     of Hardy et al.), exposed so validation runs can configure the
-    simulator's bypass the same way the joint analysis assumed it. *)
+    simulator's bypass the same way the joint analysis assumed it.  With
+    [ctx], the task's flow facts come from the shared context instead of
+    a private callgraph / loop / value-analysis rebuild. *)
 
 val analyze_partitioned :
-  ?memo:Memo.t -> system -> scheme:Cache.Partition.scheme -> Wcet.t option array
+  ?memo:Memo.t ->
+  ?ctxs:contexts ->
+  system ->
+  scheme:Cache.Partition.scheme ->
+  Wcet.t option array
 
 val static_lock_selection :
-  ?memo:Memo.t -> system -> Cache.Locking.selection
+  ?memo:Memo.t -> ?ctxs:contexts -> system -> Cache.Locking.selection
 (** The global greedy selection {!analyze_locked} locks (profits from
     the oblivious analyses' block counts), exposed so validation runs
     can preload the simulator's L2 with exactly the lines the analysis
     assumed. *)
 
-val analyze_locked : ?memo:Memo.t -> system -> Wcet.t option array
+val analyze_locked :
+  ?memo:Memo.t -> ?ctxs:contexts -> system -> Wcet.t option array
 (** Static locking: one global selection for the whole run
     ({!static_lock_selection}). *)
 
-val analyze_locked_dynamic : ?memo:Memo.t -> system -> Wcet.t option array
+val analyze_locked_dynamic :
+  ?memo:Memo.t -> ?ctxs:contexts -> system -> Wcet.t option array
 (** Dynamic locking (Suhendra & Mitra): per-task, per-outermost-loop
     selections with a reload cost charged on region entry.  A task uses
     the whole locked capacity while its region runs, so hot loops can own

@@ -20,24 +20,9 @@ type t = {
   multilevels : (string * Cache.Multilevel.t) list;
 }
 
-exception Not_analysable of string
+exception Not_analysable = Context.Not_analysable
 
 let fail fmt = Printf.ksprintf (fun s -> raise (Not_analysable s)) fmt
-
-(* L2 accesses of a block: instruction fetches interleaved with data
-   accesses, in program order, with targets in L2 geometry.  Platforms
-   with a method cache route no fetches through the L2. *)
-let combined_l2_accesses ~include_fetches l2cfg g va id =
-  let data = Cache.Analysis.data_accesses l2cfg g va id in
-  if not include_fetches then data
-  else
-    let fetches = Cache.Analysis.instruction_accesses l2cfg g id in
-    let by_instr i =
-      List.filter (fun (a : Cache.Analysis.access) -> a.instr = i) data
-    in
-    List.concat_map
-      (fun (f : Cache.Analysis.access) -> f :: by_instr f.instr)
-      fetches
 
 (* Per-access L2 classification lookup assembled per platform mode.
    [l2_class_base] is the task's own classification before co-runner
@@ -54,87 +39,73 @@ let no_l2_view =
   let all_miss _ _ = Cache.Analysis.Always_miss in
   { l2_class = all_miss; l2_class_base = all_miss; multilevel = None }
 
-let make_l2_view platform g va ~entry ~l1i ~l1d =
-  let cac_of (a : Cache.Analysis.access) =
-    match a.Cache.Analysis.kind with
-    | Cache.Analysis.Fetch -> (
-        match l1i with
-        | Some l1i -> Cache.Multilevel.cac_of_l1_analysis l1i a
-        | None -> Cache.Multilevel.Never)
-    | Cache.Analysis.Data -> Cache.Multilevel.cac_of_l1_analysis l1d a
-  in
+(* Per-mode view over a computed multilevel fixpoint.  The fixpoint
+   itself is mode-invariant (given geometry and bypass semantics); this
+   is the thin mode-specific layer: direct classification for a private
+   slice, co-runner demotion for a shared L2, lock-membership for a
+   locked one. *)
+let view_of_multilevel (platform : Platform.t) m =
   match platform.Platform.l2 with
-  | Platform.No_l2 -> no_l2_view
-  | Platform.Private_l2 config | Platform.Locked_l2 { config; _ }
-  | Platform.Shared_l2 { config; _ } -> (
-      let bypass =
-        match platform.Platform.l2 with
-        | Platform.Shared_l2 { bypass; _ } -> bypass
-        | Platform.No_l2 | Platform.Private_l2 _ | Platform.Locked_l2 _ ->
-            fun _ -> false
+  | Platform.No_l2 -> assert false
+  | Platform.Private_l2 _ ->
+      let cls kind i =
+        match Cache.Multilevel.classification m ~kind i with
+        | c -> c
+        | exception Not_found -> Cache.Analysis.Always_miss
       in
-      let m =
-        Cache.Multilevel.analyze config g ~entry ~cac_of
-          ~l2_accesses:
-            (combined_l2_accesses ~include_fetches:(l1i <> None) config g va)
-          ~bypass ()
-      in
-      match platform.Platform.l2 with
-      | Platform.No_l2 -> assert false
-      | Platform.Private_l2 _ ->
-          let cls kind i =
-            match Cache.Multilevel.classification m ~kind i with
-            | c -> c
-            | exception Not_found -> Cache.Analysis.Always_miss
-          in
-          { l2_class = cls; l2_class_base = cls; multilevel = Some m }
-      | Platform.Shared_l2 { conflicts; _ } ->
-          let adjusted = Cache.Shared.interfere m conflicts in
-          let table = Hashtbl.create 64 in
-          List.iter2
-            (fun (info : Cache.Multilevel.access_info) (_, cls) ->
-              Hashtbl.replace table
-                (info.Cache.Multilevel.instr, info.Cache.Multilevel.kind)
-                cls)
-            (Cache.Multilevel.access_infos m)
-            adjusted;
-          {
-            l2_class =
-              (fun kind i ->
-                match Hashtbl.find_opt table (i, kind) with
-                | Some c -> c
-                | None -> Cache.Analysis.Always_miss);
-            l2_class_base =
-              (fun kind i ->
-                match Cache.Multilevel.classification m ~kind i with
-                | c -> c
-                | exception Not_found -> Cache.Analysis.Always_miss);
-            multilevel = Some m;
-          }
-      | Platform.Locked_l2 { selection_of; _ } ->
-          (* Locked contents: trivial classification by membership in the
-             selection active at that instruction. *)
-          let table = Hashtbl.create 64 in
-          List.iter
-            (fun (info : Cache.Multilevel.access_info) ->
-              let cls =
-                Cache.Locking.classify
-                  (selection_of info.Cache.Multilevel.instr)
-                  info.Cache.Multilevel.target
-              in
-              Hashtbl.replace table
-                (info.Cache.Multilevel.instr, info.Cache.Multilevel.kind)
-                cls)
-            (Cache.Multilevel.access_infos m);
-          let cls kind i =
+      { l2_class = cls; l2_class_base = cls; multilevel = Some m }
+  | Platform.Shared_l2 { conflicts; _ } ->
+      let adjusted = Cache.Shared.interfere m conflicts in
+      let table = Hashtbl.create 64 in
+      List.iter2
+        (fun (info : Cache.Multilevel.access_info) (_, cls) ->
+          Hashtbl.replace table
+            (info.Cache.Multilevel.instr, info.Cache.Multilevel.kind)
+            cls)
+        (Cache.Multilevel.access_infos m)
+        adjusted;
+      {
+        l2_class =
+          (fun kind i ->
             match Hashtbl.find_opt table (i, kind) with
             | Some c -> c
-            | None -> Cache.Analysis.Always_miss
+            | None -> Cache.Analysis.Always_miss);
+        l2_class_base =
+          (fun kind i ->
+            match Cache.Multilevel.classification m ~kind i with
+            | c -> c
+            | exception Not_found -> Cache.Analysis.Always_miss);
+        multilevel = Some m;
+      }
+  | Platform.Locked_l2 { selection_of; _ } ->
+      (* Locked contents: trivial classification by membership in the
+         selection active at that instruction. *)
+      let table = Hashtbl.create 64 in
+      List.iter
+        (fun (info : Cache.Multilevel.access_info) ->
+          let cls =
+            Cache.Locking.classify
+              (selection_of info.Cache.Multilevel.instr)
+              info.Cache.Multilevel.target
           in
-          { l2_class = cls; l2_class_base = cls; multilevel = Some m })
+          Hashtbl.replace table
+            (info.Cache.Multilevel.instr, info.Cache.Multilevel.kind)
+            cls)
+        (Cache.Multilevel.access_infos m);
+      let cls kind i =
+        match Hashtbl.find_opt table (i, kind) with
+        | Some c -> c
+        | None -> Cache.Analysis.Always_miss
+      in
+      { l2_class = cls; l2_class_base = cls; multilevel = Some m }
 
-let analyze ?(annot = Dataflow.Annot.empty) ?telemetry ?(solver = `Sparse)
-    platform program =
+(* The per-mode back end: everything that actually depends on the
+   platform's L2 mode and arbiter — the L2 view, block cost vectors,
+   and the IPET re-solve (via the context's prepared constraint system,
+   so modes after the first pay only phase-2 pivots).  All the
+   mode-invariant front-end work comes from [ctx]. *)
+let analyze_with ?telemetry ?(solver = `Sparse) ?bypass_key ~ctx platform =
+  Context.check_compatible ctx platform;
   (* Telemetry is optional and must cost nothing when absent: [span]
      accumulates a phase's wall-clock time, [counted] charges the delta of
      a per-domain monotone counter (fixpoint sweeps, simplex pivots). *)
@@ -156,26 +127,11 @@ let analyze ?(annot = Dataflow.Annot.empty) ?telemetry ?(solver = `Sparse)
   in
   let mem_wait = Platform.mem_wait platform in
   let lat = platform.Platform.latencies in
-  let callgraph =
-    span "cfg-build" (fun () ->
-        try Cfg.Callgraph.build program with
-        | Cfg.Callgraph.Recursive cycle ->
-            fail "recursive call cycle: %s" (String.concat " -> " cycle)
-        | Invalid_argument msg -> fail "%s" msg)
-  in
-  let root = callgraph.Cfg.Callgraph.root in
-  let clobbers =
-    span "cfg-build" (fun () -> Dataflow.Clobbers.compute callgraph)
-  in
-  let call_clobbers = Dataflow.Clobbers.clobbered clobbers in
+  let program = ctx.Context.program in
+  let root = ctx.Context.root in
   let results = Hashtbl.create 8 in
   let multilevels = ref [] in
-  let mc_analysis =
-    span "cache-analysis" (fun () ->
-        Option.map
-          (fun mc -> (mc, Cache.Method_cache.analyze callgraph mc))
-          platform.Platform.method_cache)
-  in
+  let mc_analysis = ctx.Context.mc_analysis in
   let mc_load_vec callee =
     match mc_analysis with
     | None -> Vec.zero
@@ -193,51 +149,33 @@ let analyze ?(annot = Dataflow.Annot.empty) ?telemetry ?(solver = `Sparse)
           bus = bus_wait + mem_wait;
         }
   in
-  let analyze_proc (name, g) =
-    let dom, loops =
-      span "cfg-loops" (fun () ->
-          let dom = Cfg.Dominators.compute g in
-          let loops =
-            try Cfg.Loops.analyze g dom
-            with Cfg.Loops.Irreducible msg -> fail "%s: %s" name msg
-          in
-          (dom, loops))
-    in
-    let va =
-      span "value-analysis" (fun () ->
-          counted "worklist-pops" Dataflow.Worklist.pops (fun () ->
-              Dataflow.Value_analysis.analyze ~call_clobbers g))
-    in
-    let loop_bounds =
-      span "loop-bounds" (fun () ->
-          try Dataflow.Loop_bounds.infer ~call_clobbers g dom loops va annot
-          with Dataflow.Loop_bounds.Unbounded msg -> fail "%s" msg)
-    in
-    let entry =
-      if name = root then Cache.Analysis.Cold else Cache.Analysis.Unknown_entry
-    in
-    let l1i, l1d, l2_view =
+  let analyze_proc (name, (p : Context.proc)) =
+    let g = p.Context.graph in
+    let l1i = p.Context.l1i in
+    let l1d = p.Context.l1d in
+    let loop_bounds = p.Context.loop_bounds in
+    let l2_view =
       span "cache-analysis" (fun () ->
           counted "worklist-pops" Dataflow.Worklist.pops @@ fun () ->
           counted "cache-transfers" Dataflow.Worklist.transfers @@ fun () ->
           counted "cache-fixpoint-iters" Cache.Analysis.fixpoint_iterations
             (fun () ->
-              let l1i =
-                if mc_analysis <> None then None
-                else
-                  Some
-                    (Cache.Analysis.analyze platform.Platform.l1i g ~entry
-                       ~accesses:
-                         (Cache.Analysis.instruction_accesses
-                            platform.Platform.l1i g))
-              in
-              let l1d =
-                Cache.Analysis.analyze platform.Platform.l1d g ~entry
-                  ~accesses:
-                    (Cache.Analysis.data_accesses platform.Platform.l1d g va)
-              in
-              let l2_view = make_l2_view platform g va ~entry ~l1i ~l1d in
-              (l1i, l1d, l2_view)))
+              match platform.Platform.l2 with
+              | Platform.No_l2 -> no_l2_view
+              | Platform.Private_l2 config | Platform.Locked_l2 { config; _ }
+                ->
+                  (* The fixpoint sees no bypass in these modes, so the
+                     constant key is always sound and lets every
+                     bypass-free mode share one entry. *)
+                  let m =
+                    Context.multilevel ctx p ~config ~bypass_key:"nobypass" ()
+                  in
+                  view_of_multilevel platform m
+              | Platform.Shared_l2 { config; bypass; _ } ->
+                  let m =
+                    Context.multilevel ctx p ~config ?bypass_key ~bypass ()
+                  in
+                  view_of_multilevel platform m))
     in
     (match l2_view.multilevel with
     | Some m -> multilevels := (name, m) :: !multilevels
@@ -390,26 +328,15 @@ let analyze ?(annot = Dataflow.Annot.empty) ?telemetry ?(solver = `Sparse)
         (of_kind l1d Cache.Analysis.Data)
     in
     let ps_penalty = Vec.total ps_vec in
-    let mutually_exclusive =
-      List.filter_map
-        (fun (la, lb) ->
-          match
-            ( Cfg.Graph.block_of_instr g (Isa.Program.label_index program la),
-              Cfg.Graph.block_of_instr g (Isa.Program.label_index program lb)
-            )
-          with
-          | Some a, Some b -> Some (a, b)
-          | _ -> None)
-        (Dataflow.Annot.infeasible_pairs annot ~proc:name)
-    in
     let ipet =
       span "ipet-solve" (fun () ->
           counted "simplex-pivots" Lp.Simplex.pivots @@ fun () ->
           counted "ilp-nodes" Lp.Ilp.nodes_explored @@ fun () ->
           try
-            Ipet.solve g ~loop_bounds
+            Ipet.solve_prepared
+              (Lazy.force p.Context.ipet_wcet)
               ~block_cost:(fun id -> block_costs.(id))
-              ~mutually_exclusive ~solver ()
+              ~solver ()
           with Ipet.Flow_infeasible msg -> fail "%s: %s" name msg)
     in
     let mc_vec =
@@ -459,7 +386,7 @@ let analyze ?(annot = Dataflow.Annot.empty) ?telemetry ?(solver = `Sparse)
     Hashtbl.replace results name result;
     (name, result)
   in
-  let procs = List.map analyze_proc (Cfg.Callgraph.bottom_up callgraph) in
+  let procs = List.map analyze_proc ctx.Context.procs in
   let root_result = List.assoc root procs in
   {
     program;
@@ -468,6 +395,14 @@ let analyze ?(annot = Dataflow.Annot.empty) ?telemetry ?(solver = `Sparse)
     wcet = root_result.wcet;
     multilevels = List.rev !multilevels;
   }
+
+(* Fresh-per-call analysis: build a context and run the back end over it
+   once.  This is the differential oracle's baseline — sharing one
+   context across modes must be bit-identical to this. *)
+let analyze ?(annot = Dataflow.Annot.empty) ?telemetry ?(solver = `Sparse)
+    platform program =
+  let ctx = Context.of_platform ~annot ?telemetry platform program in
+  analyze_with ?telemetry ~solver ~ctx platform
 
 let footprint t =
   match Platform.l2_config t.platform with

@@ -47,7 +47,33 @@ type t = {
 
 exception Not_analysable of string
 (** Irreducible loops, recursion, unboundable loops without annotations,
-    or a non-analysable arbiter. *)
+    or a non-analysable arbiter.  Implemented as a rebinding of
+    {!Context.Not_analysable}: front-end failures raised while building
+    a context are the same exception. *)
+
+val analyze_with :
+  ?telemetry:Engine.Telemetry.t ->
+  ?solver:[ `Sparse | `Reference ] ->
+  ?bypass_key:string ->
+  ctx:Context.t ->
+  Platform.t ->
+  t
+(** The thin per-mode back end: consumes a prebuilt mode-invariant
+    {!Context.t} and computes only what depends on the platform's L2
+    mode and arbiter — the L2 view, per-block cost vectors, and the IPET
+    re-solve through the context's prepared constraint system
+    ({!Ipet.solve_prepared}), so every mode after the first skips the
+    front end and the simplex phase-1 work.  Results are bit-identical
+    to {!analyze} over the same program and platform.
+
+    [bypass_key] follows the {!Memo} salt discipline for shared-L2
+    platforms whose [bypass] closure is not constant-false: it keys the
+    context's multilevel-fixpoint memo (see {!Context.multilevel}); omit
+    it to compute that fixpoint fresh.
+
+    @raise Invalid_argument when the platform's L1/method-cache geometry
+    differs from the context's ({!Context.check_compatible}).
+    @raise Not_analysable as {!analyze}. *)
 
 val analyze :
   ?annot:Dataflow.Annot.t ->

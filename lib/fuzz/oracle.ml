@@ -35,6 +35,7 @@ let mode_of_string s =
            (String.concat ", " (List.map mode_name all_modes)))
 
 type interp = [ `Block | `Reference | `Both ]
+type engine = [ `Context | `Fresh ]
 
 type check = {
   mode : mode;
@@ -74,10 +75,20 @@ let merge_reports rs =
 
 (* ---- bounds and machines --------------------------------------------- *)
 
-let wcet_result ?memo ~annot platform program =
+(* With a [ctx], misses run the context back end; without one the fresh
+   front-to-back analysis.  Both are bit-identical by contract — the
+   [engine] parameter below exists exactly to differentially check
+   that. *)
+let wcet_result ?memo ?ctx ~annot platform program =
+  let compute =
+    Option.map (fun ctx () -> Core.Wcet.analyze_with ~ctx platform) ctx
+  in
   match memo with
-  | None -> Core.Wcet.analyze ~annot platform program
-  | Some m -> Core.Memo.wcet m ~annot platform program
+  | None -> (
+      match compute with
+      | Some f -> f ()
+      | None -> Core.Wcet.analyze ~annot platform program)
+  | Some m -> Core.Memo.wcet m ~annot ?compute platform program
 
 (* The root procedure's category decomposition of the bound. *)
 let root_vec (w : Core.Wcet.t) =
@@ -85,10 +96,17 @@ let root_vec (w : Core.Wcet.t) =
   | (_, pr) :: _ -> pr.Core.Wcet.wcet_vec
   | [] -> Pipeline.Cost.Vec.zero
 
-let bcet_bound ?memo ~annot platform program =
+let bcet_bound ?memo ?ctx ~annot platform program =
+  let compute =
+    Option.map (fun ctx () -> Core.Bcet.analyze_with ~ctx platform) ctx
+  in
   match memo with
-  | None -> (Core.Bcet.analyze ~annot platform program).Core.Bcet.bcet
-  | Some m -> (Core.Memo.bcet m ~annot platform program).Core.Bcet.bcet
+  | None ->
+      (match compute with
+      | Some f -> f ()
+      | None -> Core.Bcet.analyze ~annot platform program)
+        .Core.Bcet.bcet
+  | Some m -> (Core.Memo.bcet m ~annot ?compute platform program).Core.Bcet.bcet
 
 (* The concrete single-core machine a platform describes (the analysis
    and the simulator must agree on geometry, refresh, and the
@@ -273,14 +291,22 @@ let collect pairs =
 (* ---- solo mode ------------------------------------------------------- *)
 
 let check_solo ?memo ?(checkpoint = fun () -> ())
-    ?(interp : interp = `Block) (g : Generator.t) =
+    ?(interp : interp = `Block) ?(engine : engine = `Context)
+    (g : Generator.t) =
   let annot = g.Generator.annot and program = g.Generator.program in
   let divergences = ref [] in
   let per_shape (shape, platform) =
     checkpoint ();
     match
-      let w = wcet_result ?memo ~annot platform program in
-      let bcet = bcet_bound ?memo ~annot platform program in
+      (* One context per shape (the shapes differ in geometry), shared
+         by the WCET and BCET sides. *)
+      let ctx =
+        match engine with
+        | `Context -> Some (Core.Context.of_platform ~annot platform program)
+        | `Fresh -> None
+      in
+      let w = wcet_result ?memo ?ctx ~annot platform program in
+      let bcet = bcet_bound ?memo ?ctx ~annot platform program in
       let rs, dv =
         sim_run ~interp ~mode:Solo ~shape
           ~g_of:(fun _ -> g)
@@ -329,7 +355,7 @@ let private_platform (sys : M.system) =
   }
 
 let check_group ?memo ?(checkpoint = fun () -> ())
-    ?(interp : interp = `Block) ~modes gens =
+    ?(interp : interp = `Block) ?(engine : engine = `Context) ~modes gens =
   let n = Array.length gens in
   if n < 1 then invalid_arg "Oracle.check_group: empty task group";
   let divergences = ref [] in
@@ -340,11 +366,21 @@ let check_group ?memo ?(checkpoint = fun () -> ())
       gens
   in
   let sys = M.default_system ~cores:n ~tasks in
+  (* One context per task, shared across every contended mode and the
+     BCET side (the private platform has the same L1 geometry).  This is
+     the campaign's dominant cost: with contexts, each task pays one
+     front end for the whole group run instead of one per mode. *)
+  let ctxs =
+    match engine with
+    | `Context -> Some (M.contexts sys)
+    | `Fresh -> None
+  in
+  let ctx_for core = Option.bind ctxs (fun a -> a.(core)) in
   let bcets =
-    Array.map
-      (fun (g : Generator.t) ->
-        bcet_bound ?memo ~annot:g.Generator.annot (private_platform sys)
-          g.Generator.program)
+    Array.mapi
+      (fun i (g : Generator.t) ->
+        bcet_bound ?memo ?ctx:(ctx_for i) ~annot:g.Generator.annot
+          (private_platform sys) g.Generator.program)
       gens
   in
   let plain_setups = Array.map setup_of gens in
@@ -373,7 +409,7 @@ let check_group ?memo ?(checkpoint = fun () -> ())
     | Solo -> []
     | Oblivious ->
         (* only claimed solo: validate each task owning the machine *)
-        let ws = M.analyze_oblivious ?memo sys in
+        let ws = M.analyze_oblivious ?memo ?ctxs sys in
         let cfg =
           {
             (M.machine_config sys ~l2:(Sim.Machine.Private_l2 [| sys.M.l2 |]))
@@ -388,7 +424,7 @@ let check_group ?memo ?(checkpoint = fun () -> ())
                  cfg
                  ~cores:[| plain_setups.(core) |]).(0))
     | Joint ->
-        let ws = M.analyze_joint ?memo sys () in
+        let ws = M.analyze_joint ?memo ?ctxs sys () in
         let rs =
           sim ~mode ~shape:"shared-l2"
             ~g_of:(fun i -> gens.(i))
@@ -397,16 +433,19 @@ let check_group ?memo ?(checkpoint = fun () -> ())
         in
         per_core ~mode ~shape:"shared-l2" ws (fun core -> Some rs.(core))
     | Bypass ->
-        let ws = M.analyze_joint ?memo sys ~bypass:true () in
+        let ws = M.analyze_joint ?memo ?ctxs sys ~bypass:true () in
         let setups =
-          Array.map
-            (fun (g : Generator.t) ->
+          Array.mapi
+            (fun core (g : Generator.t) ->
               let lines =
-                M.bypass_lines sys (g.Generator.program, g.Generator.annot)
+                M.bypass_lines ?ctx:(ctx_for core) sys
+                  (g.Generator.program, g.Generator.annot)
               in
+              let set = Hashtbl.create (2 * List.length lines) in
+              List.iter (fun l -> Hashtbl.replace set l ()) lines;
               {
                 (setup_of g) with
-                Sim.Machine.l2_bypass = (fun l -> List.mem l lines);
+                Sim.Machine.l2_bypass = (fun l -> Hashtbl.mem set l);
               })
             gens
         in
@@ -422,7 +461,7 @@ let check_group ?memo ?(checkpoint = fun () -> ())
           if mode = Columnized then Cache.Partition.Columnization
           else Cache.Partition.Bankization
         in
-        let ws = M.analyze_partitioned ?memo sys ~scheme in
+        let ws = M.analyze_partitioned ?memo ?ctxs sys ~scheme in
         let alloc = Cache.Partition.even_shares scheme sys.M.l2 ~parts:n in
         let slices =
           Array.init n (fun i ->
@@ -440,8 +479,8 @@ let check_group ?memo ?(checkpoint = fun () -> ())
           ws
           (fun core -> Some rs.(core))
     | Locked ->
-        let selection = M.static_lock_selection ?memo sys in
-        let ws = M.analyze_locked ?memo sys in
+        let selection = M.static_lock_selection ?memo ?ctxs sys in
+        let ws = M.analyze_locked ?memo ?ctxs sys in
         let setups =
           Array.map
             (fun s ->
@@ -461,7 +500,7 @@ let check_group ?memo ?(checkpoint = fun () -> ())
         per_core ~mode ~shape:"locked-l2" ws (fun core -> Some rs.(core))
     | Dynamic ->
         (* analysis-level only: the machine cannot reprogram lock bits *)
-        let ws = M.analyze_locked_dynamic ?memo sys in
+        let ws = M.analyze_locked_dynamic ?memo ?ctxs sys in
         per_core ~mode ~shape:"locked-l2-dynamic" ws (fun _ -> None)
   in
   let per_mode mode =
@@ -563,8 +602,8 @@ let stats_of report modes =
     modes
 
 let run_campaign ?(params = Generator.default_params) ?(modes = all_modes)
-    ?(cores = 4) ?workers ?memo ?timeout_ns ?(interp : interp = `Block) ~seed
-    ~count () =
+    ?(cores = 4) ?workers ?memo ?timeout_ns ?(interp : interp = `Block)
+    ?(engine : engine = `Context) ~seed ~count () =
   if count <= 0 then invalid_arg "Oracle.run_campaign: count must be positive";
   if cores < 1 || cores > 4 then
     invalid_arg "Oracle.run_campaign: cores must be in 1..4 (the L2 has 4 ways)";
@@ -587,14 +626,16 @@ let run_campaign ?(params = Generator.default_params) ?(modes = all_modes)
                 List.filter_map
                   (fun k ->
                     if (gi * cores) + k < count then
-                      Some (check_solo ?memo ~checkpoint ~interp gens.(k))
+                      Some (check_solo ?memo ~checkpoint ~interp ~engine gens.(k))
                     else None)
                   (List.init cores (fun i -> i))
               else []
             in
             let grouped =
               if contended = [] then empty_report
-              else check_group ?memo ~checkpoint ~interp ~modes:contended gens
+              else
+                check_group ?memo ~checkpoint ~interp ~engine ~modes:contended
+                  gens
             in
             merge_reports (solo @ [ grouped ])))
   in

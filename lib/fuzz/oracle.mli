@@ -51,6 +51,15 @@ type interp = [ `Block | `Reference | `Both ]
     ["interpreter divergence: ..."] violation, and uses the reference
     result for the sandwich. *)
 
+type engine = [ `Context | `Fresh ]
+(** Which analysis engine computes the bound side.  [`Context] (the
+    default) builds one mode-invariant {!Core.Context.t} per task and
+    shares it across every mode's back end and the BCET side —
+    the campaign's dominant cost becomes one front end per task.
+    [`Fresh] re-runs the full front-to-back analysis per mode (the
+    pre-context path, kept selectable as the differential oracle);
+    both engines produce bit-identical reports. *)
+
 type check = {
   mode : mode;
   shape : string;  (** platform/sub-configuration label *)
@@ -85,6 +94,7 @@ val check_solo :
   ?memo:Core.Memo.t ->
   ?checkpoint:(unit -> unit) ->
   ?interp:interp ->
+  ?engine:engine ->
   Generator.t ->
   report
 (** The five [Solo] shapes for one program.  [checkpoint] is called
@@ -95,6 +105,7 @@ val check_group :
   ?memo:Core.Memo.t ->
   ?checkpoint:(unit -> unit) ->
   ?interp:interp ->
+  ?engine:engine ->
   modes:mode list ->
   Generator.t array ->
   report
@@ -134,6 +145,7 @@ val run_campaign :
   ?memo:Core.Memo.t ->
   ?timeout_ns:int64 ->
   ?interp:interp ->
+  ?engine:engine ->
   seed:int ->
   count:int ->
   unit ->

@@ -19,7 +19,12 @@ let find_fractional solution =
   in
   go 0
 
-let solve_result_uninstrumented ?(max_nodes = 100_000) model =
+(* Core branch-and-bound, parameterized over how the root relaxation is
+   solved: cold ([Simplex.solve_state]) or replayed from a prepared
+   constraint snapshot ([Simplex.solve_prepared]).  Identical pricing
+   from an identical root basis makes the two trees — and hence the
+   optimum and every node count — bit-identical. *)
+let solve_result_from ?(max_nodes = 100_000) model root =
   let n = Model.num_vars model in
   let incumbent = ref None in
   let nodes = ref 0 in
@@ -77,7 +82,7 @@ let solve_result_uninstrumented ?(max_nodes = 100_000) model =
     | Simplex.Optimal (obj, sol), Some child -> explore child obj sol
     | _, _ -> count_node () (* infeasible child: a node, but a leaf *)
   in
-  match Simplex.solve_state model ~extra:[] with
+  match root with
   | Simplex.Unbounded, _ ->
       count_node ();
       { outcome = Unbounded; nodes = !nodes }
@@ -96,20 +101,29 @@ let solve_result_uninstrumented ?(max_nodes = 100_000) model =
       { outcome; nodes = !nodes }
   | Simplex.Optimal _, None -> assert false
 
+let solve_result_uninstrumented ?max_nodes model =
+  solve_result_from ?max_nodes model (Simplex.solve_state model ~extra:[])
+
 (* Observability wrapper: a span per branch-and-bound tree plus node
    counters and the per-solve node histogram. *)
-let solve_result ?max_nodes model =
-  if not (Obs.enabled ()) then solve_result_uninstrumented ?max_nodes model
+let instrumented model f =
+  if not (Obs.enabled ()) then f ()
   else begin
     let r =
       Obs.span ~cat:"lp"
         ~args:[ ("vars", Obs.Event.Int (Model.num_vars model)) ]
-        "lp.ilp.solve"
-        (fun () -> solve_result_uninstrumented ?max_nodes model)
+        "lp.ilp.solve" f
     in
     Obs.add "lp.ilp.nodes" r.nodes;
     Obs.observe "lp.ilp.nodes_per_solve" r.nodes;
     r
   end
+
+let solve_result ?max_nodes model =
+  instrumented model (fun () -> solve_result_uninstrumented ?max_nodes model)
+
+let solve_result_prepared ?max_nodes prepared model =
+  instrumented model (fun () ->
+      solve_result_from ?max_nodes model (Simplex.solve_prepared prepared model))
 
 let solve ?max_nodes model = (solve_result ?max_nodes model).outcome

@@ -37,6 +37,16 @@ val solve_result : ?max_nodes:int -> Model.t -> result
 val solve : ?max_nodes:int -> Model.t -> outcome
 (** [solve m] is [(solve_result m).outcome]. *)
 
+val solve_result_prepared :
+  ?max_nodes:int -> Simplex.prepared -> Model.t -> result
+(** Like {!solve_result}, but the root relaxation replays from a
+    {!Simplex.prepared} constraint snapshot instead of cold-starting —
+    the branch-and-bound tree, optimum, and node count are bit-identical
+    to {!solve_result} on the same model (same root basis, same
+    deterministic pricing), only the objective-independent tableau work
+    is skipped.  [model] must be the model the snapshot was prepared
+    from, with its objective re-set per solve. *)
+
 val nodes_explored : unit -> int
 (** Monotone count of branch-and-bound nodes explored by the calling
     domain, same telemetry contract as {!Simplex.pivots}. *)

@@ -482,6 +482,107 @@ let solve_with model ~extra = fst (solve_state model ~extra)
 let solve model = solve_with model ~extra:[]
 
 (* ------------------------------------------------------------------ *)
+(* Prepared solves: share the objective-independent prefix              *)
+(* ------------------------------------------------------------------ *)
+
+(* Everything [solve_state] does before the phase-2 objective row is
+   installed — normalization, the sparse tableau, the triangular crash
+   basis, and the phase-1 cleanup of infeasible artificial rows — depends
+   only on the constraint set.  [prepare] runs that prefix once and
+   snapshots the resulting tableau; [solve_prepared] replays from the
+   snapshot with a fresh objective, reproducing the cold solve's pivot
+   trajectory bit-exactly (same starting basis, same deterministic
+   pricing), so re-solves under new objective coefficients cost only the
+   phase-2 pivots. *)
+
+type prepared =
+  | Prepared of {
+      p_nvars : int;
+      p_rows : Svec.t array;
+      p_rhs : Q.t array;
+      p_basis : int array;
+      p_ncols : int;
+      p_blocked : bool array;
+    }
+  | Prepared_infeasible
+
+let prepare_uninstrumented model ~extra =
+  let rows, rhs, basis, ncols, is_art, art_rows = build_tableau model extra in
+  let n = Model.num_vars model in
+  let snapshot () =
+    Prepared
+      {
+        p_nvars = n;
+        p_rows = rows;
+        p_rhs = rhs;
+        p_basis = basis;
+        p_ncols = ncols;
+        p_blocked = is_art;
+      }
+  in
+  let active = List.filter (fun i -> Q.sign rhs.(i) > 0) art_rows in
+  if active = [] then snapshot ()
+  else begin
+    let z1, zval1 = phase1_z rows rhs basis ncols active in
+    let t1 =
+      { rows; rhs; basis; z = z1; zval = zval1; ncols; blocked = is_art }
+    in
+    match iterate t1 with
+    | `Unbounded -> assert false (* phase 1 is bounded above by 0 *)
+    | `Optimal -> if Q.sign t1.zval < 0 then Prepared_infeasible else snapshot ()
+  end
+
+let prepare model ~extra =
+  if not (Obs.enabled ()) then prepare_uninstrumented model ~extra
+  else
+    Obs.span ~cat:"lp"
+      ~args:[ ("vars", Obs.Event.Int (Model.num_vars model)) ]
+      "lp.simplex.prepare"
+      (fun () -> prepare_uninstrumented model ~extra)
+
+let solve_prepared_uninstrumented prepared model =
+  match prepared with
+  | Prepared_infeasible -> (Infeasible, None)
+  | Prepared p ->
+      let cost = cost_of_model model in
+      let rows = Array.map Svec.copy p.p_rows in
+      let rhs = Array.copy p.p_rhs in
+      let basis = Array.copy p.p_basis in
+      let z, zval = phase2_z cost rows rhs basis p.p_ncols in
+      let tab =
+        {
+          rows;
+          rhs;
+          basis;
+          z;
+          zval;
+          ncols = p.p_ncols;
+          blocked = Array.copy p.p_blocked;
+        }
+      in
+      (match iterate tab with
+      | `Unbounded -> (Unbounded, None)
+      | `Optimal ->
+          ( Optimal (tab.zval, solution_of tab p.p_nvars),
+            Some { nvars = p.p_nvars; cost; tab } ))
+
+let solve_prepared prepared model =
+  if not (Obs.enabled ()) then solve_prepared_uninstrumented prepared model
+  else begin
+    let p0 = pivots () in
+    let r =
+      Obs.span ~cat:"lp"
+        ~args:[ ("vars", Obs.Event.Int (Model.num_vars model)) ]
+        "lp.simplex.warm_solve"
+        (fun () -> solve_prepared_uninstrumented prepared model)
+    in
+    let dp = pivots () - p0 in
+    Obs.add "lp.simplex.pivots" dp;
+    Obs.observe "lp.simplex.pivots_per_solve" dp;
+    r
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Warm starts: dual simplex from a parent optimum                     *)
 (* ------------------------------------------------------------------ *)
 

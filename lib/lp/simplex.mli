@@ -51,6 +51,36 @@ val solve_state :
 (** Like {!solve_with}, additionally returning the solved state when the
     outcome is [Optimal] (and [None] otherwise). *)
 
+(** {1 Prepared solves}
+
+    Multi-mode analyses re-solve the {e same} constraint system under
+    different objective coefficients (the flow structure of an IPET model
+    is mode-invariant; only block costs change).  Everything up to the
+    phase-2 objective row — normalization, the sparse tableau, the
+    triangular crash basis, phase-1 cleanup — depends only on the
+    constraints, so it can be paid once and replayed per objective. *)
+
+type prepared
+(** A snapshot of the tableau after the objective-independent prefix of
+    {!solve_state} (post crash basis and phase 1), reusable across any
+    number of objectives over the same constraints. *)
+
+val prepare :
+  Model.t -> extra:(Model.linexpr * Model.relation * Q.t) list -> prepared
+(** Build the snapshot from the model's constraints; the model's current
+    objective is ignored.  If phase 1 already proves the constraints
+    infeasible, the snapshot remembers that and every
+    {!solve_prepared} returns [Infeasible] without further work. *)
+
+val solve_prepared : prepared -> Model.t -> outcome * state option
+(** [solve_prepared p model] solves [model]'s {e current} objective over
+    the snapshot's constraints ([model] must be the one [prepare] was
+    given, possibly after {!Model.set_objective}).  The pivot trajectory
+    — and therefore the optimal vertex, objective, and returned state —
+    is bit-identical to a cold {!solve_state} on the same model: the
+    replay starts from the same basis and prices with the same
+    deterministic rules. *)
+
 val branch :
   state -> var:Model.var -> bound:[ `Le of int | `Ge of int ] -> outcome * state option
 (** [branch s ~var ~bound] appends the bound to a copy of [s] and

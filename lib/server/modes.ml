@@ -73,10 +73,29 @@ let store_key ~mode ~cores ~kind annot program =
           Core.Memo.program_fingerprint program;
         ]
 
-let analyze ~mode ~cores ~kind ((program, annot) as task) =
+(* [ctxs]/[solo_ctx] are lazy context packs shared across the modes of a
+   multi-mode request ([analyze_all]); forcing happens inside the
+   per-mode exception guard, so a front-end failure surfaces as each
+   mode's [Error] exactly as it would on the fresh path.  The solo
+   platform has its own L1 geometry, hence its own context. *)
+let analyze_mode ?ctxs ?solo_ctx ~mode ~cores ~kind ((program, annot) as task)
+    =
+  let ctxs () = Option.map Lazy.force ctxs in
+  let solo_wcet () =
+    match solo_ctx with
+    | Some ctx ->
+        Core.Wcet.analyze_with ~ctx:(Lazy.force ctx) (solo_platform ())
+    | None -> Core.Wcet.analyze ~annot (solo_platform ()) program
+  in
+  let solo_bcet () =
+    match solo_ctx with
+    | Some ctx ->
+        Core.Bcet.analyze_with ~ctx:(Lazy.force ctx) (solo_platform ())
+    | None -> Core.Bcet.analyze ~annot (solo_platform ()) program
+  in
   match (kind, mode) with
   | Bcet, Fuzz.Oracle.Solo -> (
-      match Core.Bcet.analyze ~annot (solo_platform ()) program with
+      match solo_bcet () with
       | b -> Ok (Store.Entry.of_bcet b)
       | exception Core.Wcet.Not_analysable msg ->
           Error ("not analysable: " ^ msg))
@@ -93,32 +112,51 @@ let analyze ~mode ~cores ~kind ((program, annot) as task) =
       in
       match
         match m with
-        | Fuzz.Oracle.Solo ->
-            Ok
-              (Store.Entry.of_wcet
-                 (Core.Wcet.analyze ~annot (solo_platform ()) program))
+        | Fuzz.Oracle.Solo -> Ok (Store.Entry.of_wcet (solo_wcet ()))
         | Fuzz.Oracle.Oblivious ->
-            of_core0 (Core.Multicore.analyze_oblivious (system ~cores task))
+            of_core0
+              (Core.Multicore.analyze_oblivious ?ctxs:(ctxs ())
+                 (system ~cores task))
         | Fuzz.Oracle.Joint ->
-            of_core0 (Core.Multicore.analyze_joint (system ~cores task) ())
+            of_core0
+              (Core.Multicore.analyze_joint ?ctxs:(ctxs ())
+                 (system ~cores task) ())
         | Fuzz.Oracle.Bypass ->
             of_core0
-              (Core.Multicore.analyze_joint (system ~cores task) ~bypass:true
-                 ())
+              (Core.Multicore.analyze_joint ?ctxs:(ctxs ())
+                 (system ~cores task) ~bypass:true ())
         | Fuzz.Oracle.Columnized ->
             of_core0
-              (Core.Multicore.analyze_partitioned (system ~cores task)
-                 ~scheme:Cache.Partition.Columnization)
+              (Core.Multicore.analyze_partitioned ?ctxs:(ctxs ())
+                 (system ~cores task) ~scheme:Cache.Partition.Columnization)
         | Fuzz.Oracle.Bankized ->
             of_core0
-              (Core.Multicore.analyze_partitioned (system ~cores task)
-                 ~scheme:Cache.Partition.Bankization)
+              (Core.Multicore.analyze_partitioned ?ctxs:(ctxs ())
+                 (system ~cores task) ~scheme:Cache.Partition.Bankization)
         | Fuzz.Oracle.Locked ->
-            of_core0 (Core.Multicore.analyze_locked (system ~cores task))
+            of_core0
+              (Core.Multicore.analyze_locked ?ctxs:(ctxs ())
+                 (system ~cores task))
         | Fuzz.Oracle.Dynamic ->
             of_core0
-              (Core.Multicore.analyze_locked_dynamic (system ~cores task))
+              (Core.Multicore.analyze_locked_dynamic ?ctxs:(ctxs ())
+                 (system ~cores task))
       with
       | r -> r
       | exception Core.Wcet.Not_analysable msg ->
           Error ("not analysable: " ^ msg))
+
+let analyze ~mode ~cores ~kind task = analyze_mode ~mode ~cores ~kind task
+
+let analyze_all ?(modes = Fuzz.Oracle.all_modes) ~cores ~kind
+    ((program, annot) as task) =
+  (* One context pack for the whole request: every contended mode's back
+     end shares the task-group contexts, solo shares its own.  Lazy so a
+     modes list that never touches one pack never pays for it. *)
+  let ctxs = lazy (Core.Multicore.contexts (system ~cores task)) in
+  let solo_ctx =
+    lazy (Core.Context.of_platform ~annot (solo_platform ()) program)
+  in
+  List.map
+    (fun mode -> (mode, analyze_mode ~ctxs ~solo_ctx ~mode ~cores ~kind task))
+    modes

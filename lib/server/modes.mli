@@ -49,3 +49,19 @@ val analyze :
     ({!Core.Wcet.Not_analysable}), or a mode yielding no core-0 result.
     Runs on the calling domain — the server submits it to
     {!Engine.Service}. *)
+
+val analyze_all :
+  ?modes:Fuzz.Oracle.mode list ->
+  cores:int ->
+  kind:kind ->
+  Isa.Program.t * Dataflow.Annot.t ->
+  (Fuzz.Oracle.mode * (Store.Entry.t, string) result) list
+(** The multi-mode op behind [mode:"all"]: one entry per requested mode
+    (default: all eight, in {!Fuzz.Oracle.all_modes} order), computed
+    from a *shared* mode-invariant context pack — the task group's
+    {!Core.Multicore.contexts} for the contended modes plus one solo
+    context (the solo platform's L1 geometry differs from the system's,
+    so the packs cannot be shared across that boundary).  Each mode's
+    result is bit-identical to the corresponding single-mode {!analyze}
+    call; per-mode failures surface as that mode's [Error] without
+    aborting the rest. *)

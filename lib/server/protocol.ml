@@ -1,10 +1,12 @@
 type op = Analyze | Attribute | Status | Stats | Shutdown
 
+type mode_req = One of Fuzz.Oracle.mode | All
+
 type request = {
   id : int;
   op : op;
   source : source;
-  mode : Fuzz.Oracle.mode;
+  mode : mode_req;
   cores : int;
   kind : Modes.kind;
 }
@@ -81,8 +83,10 @@ let parse_request line =
               | Ok source -> (
                   let mode_r =
                     match Json.str_field "mode" j with
-                    | None -> Ok Fuzz.Oracle.Solo
-                    | Some s -> Modes.mode_of_string s
+                    | None -> Ok (One Fuzz.Oracle.Solo)
+                    | Some "all" -> Ok All
+                    | Some s ->
+                        Result.map (fun m -> One m) (Modes.mode_of_string s)
                   in
                   let kind_r =
                     match Json.str_field "kind" j with
@@ -109,6 +113,29 @@ let ok_reply ~id ~cached ~key ~detail entry =
   Printf.sprintf
     {|{"id":%d,"ok":true,"cached":"%s","key":"%s","result":%s}|} id
     (cached_name cached) key result
+
+let ok_all_reply ~id ~detail results =
+  let field (mode_name, r) =
+    match r with
+    | Ok (cached, key, entry) ->
+        let result =
+          if detail then Store.Entry.to_json entry
+          else Store.Entry.summary_json entry
+        in
+        Printf.sprintf {|"%s":{"ok":true,"cached":"%s","key":"%s","result":%s}|}
+          mode_name (cached_name cached) key result
+    | Error (code, msg) ->
+        Printf.sprintf {|"%s":%s|} mode_name
+          (Json.to_string
+             (Json.Obj
+                [
+                  ("ok", Json.Bool false);
+                  ("code", Json.Str code);
+                  ("error", Json.Str msg);
+                ]))
+  in
+  Printf.sprintf {|{"id":%d,"ok":true,"mode":"all","modes":{%s}}|} id
+    (String.concat "," (List.map field results))
 
 let error_reply ~id ~code msg =
   Json.to_string

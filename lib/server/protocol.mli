@@ -11,9 +11,10 @@
 
     [source] names a catalog program ("bench:NAME"); alternatively
     [name] + [asm] carry an inline assembly listing.  [mode] defaults to
-    "solo", [cores] to 2 (clamped to 1..4 by validation), [kind] to
-    "wcet".  [attribute] is [analyze] plus the full per-block
-    attribution table in the reply.
+    "solo" and additionally accepts "all" (every approach mode from one
+    shared analysis context; per-mode results in the reply), [cores] to
+    2 (clamped to 1..4 by validation), [kind] to "wcet".  [attribute] is
+    [analyze] plus the full per-block attribution table in the reply.
 
     Replies always echo ["id"] and carry ["ok"].  Successful analyses
     add ["cached"] ("hot" = in-memory, "warm" = on-disk, "cold" =
@@ -23,11 +24,16 @@
 
 type op = Analyze | Attribute | Status | Stats | Shutdown
 
+type mode_req = One of Fuzz.Oracle.mode | All
+(** [mode:"all"] requests every approach mode at once; the server
+    computes them from one shared context pack ({!Modes.analyze_all})
+    and replies with a per-mode object ({!ok_all_reply}). *)
+
 type request = {
   id : int;
   op : op;
   source : source;
-  mode : Fuzz.Oracle.mode;
+  mode : mode_req;
   cores : int;
   kind : Modes.kind;
 }
@@ -55,6 +61,17 @@ val ok_reply :
   id:int -> cached:cached -> key:string -> detail:bool -> Store.Entry.t -> string
 (** [detail] selects the full attribution table ([attribute]) over the
     summary ([analyze]).  Single line, no trailing newline. *)
+
+val ok_all_reply :
+  id:int ->
+  detail:bool ->
+  (string * (cached * string * Store.Entry.t, string * string) result) list ->
+  string
+(** Reply for a [mode:"all"] request: ["modes"] maps each mode name to
+    either an [ok_reply]-shaped object (minus the echoed id) or an
+    error object [(code, message)].  The top-level ["ok"] is [true] as
+    long as the request itself was well-formed — per-mode failures live
+    inside their mode's object. *)
 
 val error_reply : id:int -> code:string -> string -> string
 

@@ -81,69 +81,138 @@ let resolve_source = function
       | exception Isa.Asm.Parse_error (line, msg) ->
           Error ("bad_request", Printf.sprintf "parse error line %d: %s" line msg))
 
+let key_for state (req : Protocol.request) ~mode ~cores ~kind annot program =
+  let compute () = Modes.store_key ~mode ~cores ~kind annot program in
+  match req.Protocol.source with
+  | Protocol.Bench name ->
+      let token =
+        Printf.sprintf "%s|%s|%d|%s" name
+          (Fuzz.Oracle.mode_name mode)
+          cores (Modes.kind_name kind)
+      in
+      Mutex.lock state.key_lock;
+      let cached = Hashtbl.find_opt state.key_cache token in
+      Mutex.unlock state.key_lock;
+      (match cached with
+      | Some k -> k
+      | None ->
+          let k = compute () in
+          Mutex.lock state.key_lock;
+          Hashtbl.replace state.key_cache token k;
+          Mutex.unlock state.key_lock;
+          k)
+  | _ -> compute ()
+
 (* Analyze/attribute: store lookup on the connection thread, cold work on
    the service domains.  The reply is rendered from the distilled
    {!Store.Entry.t} in all three cases, so hot, warm and cold replies for
    the same key are bit-identical. *)
+let handle_one_mode state (req : Protocol.request) ~detail ~mode task =
+  let program, annot = task in
+  let cores = req.Protocol.cores and kind = req.Protocol.kind in
+  let key = key_for state req ~mode ~cores ~kind annot program in
+  let reply cached entry =
+    Obs.add ("server." ^ Protocol.cached_name cached) 1;
+    Protocol.ok_reply ~id:req.Protocol.id ~cached ~key ~detail entry
+  in
+  match Store.Front.find state.front key with
+  | Some (Store.Front.Memory, entry) -> reply Protocol.Hot entry
+  | Some (Store.Front.Disk, entry) -> reply Protocol.Warm entry
+  | None -> (
+      let label =
+        Printf.sprintf "serve:%s:%s"
+          (Fuzz.Oracle.mode_name mode)
+          (Modes.kind_name kind)
+      in
+      match
+        Engine.Service.submit state.service ~label (fun () ->
+            Modes.analyze ~mode ~cores ~kind task)
+      with
+      | None ->
+          Obs.add "server.busy" 1;
+          Protocol.error_reply ~id:req.Protocol.id ~code:"busy"
+            "analysis queue full; retry later"
+      | Some ticket -> (
+          match Engine.Service.await ticket with
+          | Error msg ->
+              Protocol.error_reply ~id:req.Protocol.id ~code:"internal" msg
+          | Ok (Error msg) ->
+              Protocol.error_reply ~id:req.Protocol.id ~code:"not_analysable"
+                msg
+          | Ok (Ok entry) ->
+              Store.Front.put state.front key entry;
+              reply Protocol.Cold entry))
+
+(* [mode:"all"]: per-mode store lookups on the connection thread, then
+   ONE service job computing every missing mode from a shared context
+   pack ({!Modes.analyze_all}).  Modes served from the store and modes
+   computed cold coexist in the same reply; cold results are stored
+   under the same per-mode keys the single-mode path uses, so the two
+   request shapes share cache state. *)
+let handle_all_modes state (req : Protocol.request) ~detail task =
+  let program, annot = task in
+  let cores = req.Protocol.cores and kind = req.Protocol.kind in
+  let keyed =
+    List.map
+      (fun mode ->
+        let key = key_for state req ~mode ~cores ~kind annot program in
+        (mode, key, Store.Front.find state.front key))
+      Fuzz.Oracle.all_modes
+  in
+  let missing =
+    List.filter_map
+      (fun (m, _, found) -> if found = None then Some m else None)
+      keyed
+  in
+  let computed =
+    if missing = [] then Ok []
+    else begin
+      let label = Printf.sprintf "serve:all:%s" (Modes.kind_name kind) in
+      match
+        Engine.Service.submit state.service ~label (fun () ->
+            Modes.analyze_all ~modes:missing ~cores ~kind task)
+      with
+      | None ->
+          Obs.add "server.busy" 1;
+          Error ("busy", "analysis queue full; retry later")
+      | Some ticket -> (
+          match Engine.Service.await ticket with
+          | Error msg -> Error ("internal", msg)
+          | Ok results -> Ok results)
+    end
+  in
+  match computed with
+  | Error (code, msg) -> Protocol.error_reply ~id:req.Protocol.id ~code msg
+  | Ok results ->
+      let rows =
+        List.map
+          (fun (mode, key, found) ->
+            let name = Fuzz.Oracle.mode_name mode in
+            let hit cached entry =
+              Obs.add ("server." ^ Protocol.cached_name cached) 1;
+              (name, Ok (cached, key, entry))
+            in
+            match found with
+            | Some (Store.Front.Memory, entry) -> hit Protocol.Hot entry
+            | Some (Store.Front.Disk, entry) -> hit Protocol.Warm entry
+            | None -> (
+                match List.assoc_opt mode results with
+                | Some (Ok entry) ->
+                    Store.Front.put state.front key entry;
+                    hit Protocol.Cold entry
+                | Some (Error msg) -> (name, Error ("not_analysable", msg))
+                | None -> (name, Error ("internal", "mode result missing"))))
+          keyed
+      in
+      Protocol.ok_all_reply ~id:req.Protocol.id ~detail rows
+
 let handle_analysis state (req : Protocol.request) ~detail =
   match resolve_source req.Protocol.source with
   | Error (code, msg) -> Protocol.error_reply ~id:req.Protocol.id ~code msg
-  | Ok ((program, annot) as task) -> (
-      let mode = req.Protocol.mode and cores = req.Protocol.cores in
-      let kind = req.Protocol.kind in
-      let key =
-        let compute () = Modes.store_key ~mode ~cores ~kind annot program in
-        match req.Protocol.source with
-        | Protocol.Bench name ->
-            let token =
-              Printf.sprintf "%s|%s|%d|%s" name
-                (Fuzz.Oracle.mode_name mode)
-                cores (Modes.kind_name kind)
-            in
-            Mutex.lock state.key_lock;
-            let cached = Hashtbl.find_opt state.key_cache token in
-            Mutex.unlock state.key_lock;
-            (match cached with
-            | Some k -> k
-            | None ->
-                let k = compute () in
-                Mutex.lock state.key_lock;
-                Hashtbl.replace state.key_cache token k;
-                Mutex.unlock state.key_lock;
-                k)
-        | _ -> compute ()
-      in
-      let reply cached entry =
-        Obs.add ("server." ^ Protocol.cached_name cached) 1;
-        Protocol.ok_reply ~id:req.Protocol.id ~cached ~key ~detail entry
-      in
-      match Store.Front.find state.front key with
-      | Some (Store.Front.Memory, entry) -> reply Protocol.Hot entry
-      | Some (Store.Front.Disk, entry) -> reply Protocol.Warm entry
-      | None -> (
-          let label =
-            Printf.sprintf "serve:%s:%s"
-              (Fuzz.Oracle.mode_name mode)
-              (Modes.kind_name kind)
-          in
-          match
-            Engine.Service.submit state.service ~label (fun () ->
-                Modes.analyze ~mode ~cores ~kind task)
-          with
-          | None ->
-              Obs.add "server.busy" 1;
-              Protocol.error_reply ~id:req.Protocol.id ~code:"busy"
-                "analysis queue full; retry later"
-          | Some ticket -> (
-              match Engine.Service.await ticket with
-              | Error msg ->
-                  Protocol.error_reply ~id:req.Protocol.id ~code:"internal" msg
-              | Ok (Error msg) ->
-                  Protocol.error_reply ~id:req.Protocol.id
-                    ~code:"not_analysable" msg
-              | Ok (Ok entry) ->
-                  Store.Front.put state.front key entry;
-                  reply Protocol.Cold entry)))
+  | Ok task -> (
+      match req.Protocol.mode with
+      | Protocol.One mode -> handle_one_mode state req ~detail ~mode task
+      | Protocol.All -> handle_all_modes state req ~detail task)
 
 let uptime_ns state = Int64.sub (Obs.now_ns ()) state.started_ns
 

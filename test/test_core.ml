@@ -661,6 +661,91 @@ let test_bypass_lines_of_straightline () =
     (List.mem loop_code_line loop_lines)
 
 (* ------------------------------------------------------------------ *)
+(* Mode-invariant contexts                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_context_backend_identical () =
+  let program =
+    parse
+      "main:\n\
+      \  li r1, 24\n\
+       loop:\n\
+      \  subi r1, r1, 1\n\
+      \  ld.d r2, 0(r1)\n\
+      \  bne r1, r0, loop\n\
+      \  halt\n"
+  in
+  let annot = Dataflow.Annot.empty in
+  let platform =
+    Core.Platform.single_core
+      ~l2:(Cache.Config.make ~sets:64 ~assoc:4 ~line_size:16)
+      ()
+  in
+  let fresh = Core.Wcet.analyze ~annot platform program in
+  let ctx = Core.Context.of_platform ~annot platform program in
+  let shared = Core.Wcet.analyze_with ~ctx platform in
+  Alcotest.(check int) "wcet" fresh.Core.Wcet.wcet shared.Core.Wcet.wcet;
+  List.iter2
+    (fun (n1, (p1 : Core.Wcet.proc_result)) (n2, p2) ->
+      Alcotest.(check string) "proc order" n1 n2;
+      Alcotest.(check int)
+        ("ipet objective of " ^ n1)
+        p1.Core.Wcet.ipet.Core.Ipet.wcet p2.Core.Wcet.ipet.Core.Ipet.wcet)
+    fresh.Core.Wcet.procs shared.Core.Wcet.procs;
+  (* the whole attribution surface, row by row *)
+  Alcotest.(check bool) "attrib rows identical" true
+    (Attrib.of_wcet fresh = Attrib.of_wcet shared);
+  let bf = Core.Bcet.analyze ~annot platform program in
+  let bs = Core.Bcet.analyze_with ~ctx platform in
+  Alcotest.(check int) "bcet" bf.Core.Bcet.bcet bs.Core.Bcet.bcet;
+  Alcotest.(check bool) "bcet attrib identical" true
+    (Attrib.of_bcet bf = Attrib.of_bcet bs)
+
+let test_context_shared_across_slots () =
+  let sys = mk_system 4 in
+  let ctxs = Core.Multicore.contexts sys in
+  Alcotest.(check int) "four slots" 4 (Array.length ctxs);
+  (match ctxs.(0) with
+  | None -> Alcotest.fail "no context for slot 0"
+  | Some c0 ->
+      Array.iteri
+        (fun i c ->
+          match c with
+          | Some ci ->
+              Alcotest.(check bool)
+                (Printf.sprintf "slot %d shares slot 0's context" i)
+                true (ci == c0)
+          | None -> Alcotest.fail "missing slot context")
+        ctxs);
+  let same name fresh shared =
+    Alcotest.(check (list int)) name (get_wcets fresh) (get_wcets shared)
+  in
+  same "oblivious"
+    (Core.Multicore.analyze_oblivious sys)
+    (Core.Multicore.analyze_oblivious ~ctxs sys);
+  same "joint"
+    (Core.Multicore.analyze_joint sys ())
+    (Core.Multicore.analyze_joint ~ctxs sys ());
+  same "bypass"
+    (Core.Multicore.analyze_joint sys ~bypass:true ())
+    (Core.Multicore.analyze_joint ~ctxs sys ~bypass:true ());
+  same "columnized"
+    (Core.Multicore.analyze_partitioned sys
+       ~scheme:Cache.Partition.Columnization)
+    (Core.Multicore.analyze_partitioned ~ctxs sys
+       ~scheme:Cache.Partition.Columnization);
+  same "bankized"
+    (Core.Multicore.analyze_partitioned sys ~scheme:Cache.Partition.Bankization)
+    (Core.Multicore.analyze_partitioned ~ctxs sys
+       ~scheme:Cache.Partition.Bankization);
+  same "locked"
+    (Core.Multicore.analyze_locked sys)
+    (Core.Multicore.analyze_locked ~ctxs sys);
+  same "dynamic"
+    (Core.Multicore.analyze_locked_dynamic sys)
+    (Core.Multicore.analyze_locked_dynamic ~ctxs sys)
+
+(* ------------------------------------------------------------------ *)
 (* Predictability                                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -868,6 +953,13 @@ let () =
           Alcotest.test_case "dynamic locking" `Quick test_dynamic_locking_runs;
           Alcotest.test_case "bypass line discovery" `Quick
             test_bypass_lines_of_straightline;
+        ] );
+      ( "context",
+        [
+          Alcotest.test_case "back end identical to fresh" `Quick
+            test_context_backend_identical;
+          Alcotest.test_case "shared across core slots" `Quick
+            test_context_shared_across_slots;
         ] );
       ( "scheduling",
         [

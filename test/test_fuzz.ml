@@ -109,6 +109,25 @@ let prop_solo_sandwich =
       let r = O.check_solo t in
       r.O.violations = [] && r.O.errors = [] && r.O.checks <> [])
 
+(* The differential oracle for the shared-context engine: the whole
+   report — every wcet, bcet, attribution vector, check row, violation
+   and error — must be structurally identical between the context-based
+   and the fresh per-mode analysis, over every mode.  [report] is pure
+   data (ints, strings, cost vectors), so polymorphic equality IS
+   bit-identity here. *)
+let prop_engines_bit_identical =
+  QCheck.Test.make
+    ~name:"context engine bit-identical to fresh (8 modes + solo shapes)"
+    ~count:8
+    (QCheck.pair arb_pieces arb_pieces)
+    (fun (pa, pb) ->
+      let ta = G.assemble ~name:"qcheck-a" pa
+      and tb = G.assemble ~name:"qcheck-b" pb in
+      let group = [| ta; tb |] in
+      O.check_group ~modes:O.all_modes ~engine:`Context group
+      = O.check_group ~modes:O.all_modes ~engine:`Fresh group
+      && O.check_solo ~engine:`Context ta = O.check_solo ~engine:`Fresh ta)
+
 (* ------------------------------------------------------------------ *)
 (* Generator determinism                                               *)
 (* ------------------------------------------------------------------ *)
@@ -183,7 +202,11 @@ let () =
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_assemble_total; prop_solo_sandwich ] );
+          [
+            prop_assemble_total;
+            prop_solo_sandwich;
+            prop_engines_bit_identical;
+          ] );
       ( "campaign",
         [
           Alcotest.test_case "clean on healthy analyses" `Quick

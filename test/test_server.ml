@@ -147,6 +147,67 @@ let test_cold_hot_warm_identity () =
         (Astring.String.is_infix ~affix:{|"rows":|} attr);
       stop_server port thread)
 
+(* [mode:"all"]: one request sweeps every approach mode from a shared
+   context pack; per-mode results share store keys with the single-mode
+   path in both directions. *)
+let test_mode_all () =
+  with_server (fun port ->
+      let joint_single =
+        raw_request port
+          {|{"id":1,"op":"analyze","source":"bench:crc","mode":"joint","cores":2,"kind":"wcet"}|}
+      in
+      let joint_bound =
+        match Json.parse joint_single with
+        | Ok j ->
+            Option.bind (Json.member "result" j) (Json.int_field "bound")
+        | Error msg -> Alcotest.failf "unparsable joint reply: %s" msg
+      in
+      let all =
+        raw_request port
+          {|{"id":2,"op":"analyze","source":"bench:crc","mode":"all","cores":2,"kind":"wcet"}|}
+      in
+      (match Json.parse all with
+      | Error msg -> Alcotest.failf "unparsable all reply: %s" msg
+      | Ok j -> (
+          Alcotest.(check bool)
+            "top-level ok" true
+            (Json.member "ok" j = Some (Json.Bool true));
+          match Json.member "modes" j with
+          | Some (Json.Obj fields) ->
+              Alcotest.(check (list string))
+                "all eight modes in oracle order"
+                (List.map Fuzz.Oracle.mode_name Fuzz.Oracle.all_modes)
+                (List.map fst fields);
+              List.iter
+                (fun (name, sub) ->
+                  Alcotest.(check bool)
+                    (name ^ " is ok") true
+                    (Json.member "ok" sub = Some (Json.Bool true));
+                  Alcotest.(check bool)
+                    (name ^ " carries a bound")
+                    true
+                    (match Json.member "result" sub with
+                    | Some r -> Json.int_field "bound" r <> None
+                    | None -> false))
+                fields;
+              (* the single-mode request seeded the store: joint comes
+                 back hot and with the same bound *)
+              let joint = List.assoc "joint" fields in
+              Alcotest.(check (option string))
+                "joint served from the store" (Some "hot")
+                (Json.str_field "cached" joint);
+              Alcotest.(check (option int))
+                "joint bound matches the single-mode reply" joint_bound
+                (Option.bind (Json.member "result" joint)
+                   (Json.int_field "bound"))
+          | _ -> Alcotest.fail "no modes object in the all reply"));
+      (* ...and the all request seeded the store for single-mode use *)
+      let locked =
+        raw_request port
+          {|{"id":3,"op":"analyze","source":"bench:crc","mode":"locked","cores":2,"kind":"wcet"}|}
+      in
+      Alcotest.(check string) "locked now hot" "hot" (cached_of locked))
+
 let test_inline_with_bounds () =
   with_server (fun port ->
       match Client.connect ~port () with
@@ -358,6 +419,8 @@ let () =
         [
           Alcotest.test_case "cold/hot/warm replies bit-identical" `Quick
             test_cold_hot_warm_identity;
+          Alcotest.test_case "mode all sweeps from one shared context" `Quick
+            test_mode_all;
           Alcotest.test_case "inline program with loop bounds" `Quick
             test_inline_with_bounds;
         ] );
