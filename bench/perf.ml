@@ -9,7 +9,7 @@
      dune exec bench/perf.exe                      -- full run
      dune exec bench/perf.exe -- --quick           -- single timing rep (CI)
      dune exec bench/perf.exe -- --out FILE        -- report path
-                                                      (default BENCH_pr8.json)
+                                                      (default BENCH_pr9.json)
      dune exec bench/perf.exe -- --baseline FILE   -- WCET/BCET drift guard
                                                       (default bench/wcet_baseline.txt)
      dune exec bench/perf.exe -- --write-baseline  -- regenerate the baseline
@@ -35,7 +35,7 @@ module G = Fuzz.Generator
 module MC = Core.Multicore
 
 let quick = ref false
-let out_path = ref "BENCH_pr8.json"
+let out_path = ref "BENCH_pr9.json"
 let baseline_path = ref "bench/wcet_baseline.txt"
 let write_baseline = ref false
 
@@ -44,7 +44,7 @@ let usage = "perf.exe [--quick] [--out FILE] [--baseline FILE] [--write-baseline
 let spec =
   [
     ("--quick", Arg.Set quick, " single timing repetition (CI smoke)");
-    ("--out", Arg.Set_string out_path, "FILE report path (default BENCH_pr8.json)");
+    ("--out", Arg.Set_string out_path, "FILE report path (default BENCH_pr9.json)");
     ( "--baseline",
       Arg.Set_string baseline_path,
       "FILE committed WCET/BCET baseline (default bench/wcet_baseline.txt)" );
@@ -569,6 +569,122 @@ let ctx_sweep_bench ~reps suite =
       (b.B.name, fresh_r = ctx_r, fresh_ms, ctx_ms, fresh_pivots, ctx_pivots))
     suite
 
+(* ---- infeasible-path refinement: catalog x 8 modes ------------------- *)
+
+(* Every catalog program under every approach mode, once through the
+   CEGAR refinement loop.  Each refined run carries its own cut-free
+   unrefined bound ([Core.Wcet.unrefined_wcet], the parallel pipeline),
+   so refined-vs-unrefined is one analysis per cell and the comparison
+   can never be skewed by front-end drift.  The gates: refinement never
+   loosens any bound anywhere, it strictly tightens at least three
+   catalog programs, and (measured solo with [measure_cold]) every
+   refinement iteration's warm-started pivots stay at or below the
+   from-scratch re-solve of the same cut system. *)
+
+type refine_cell = {
+  rc_mode : string;
+  rc_wcet : int;
+  rc_unrefined : int;
+  rc_cuts : int;
+}
+
+type refine_iter_row = {
+  rw_bench : string;
+  rw_proc : string;
+  rw_index : int;
+  rw_warm : int;
+  rw_cold : int;
+}
+
+let refine_bench () =
+  let cfg = Refine.default in
+  let solo_platform = Core.Platform.single_core ~l2:l2_default () in
+  let cuts_of (w : Core.Wcet.t) =
+    List.fold_left
+      (fun acc (_, (pr : Core.Wcet.proc_result)) ->
+        match pr.Core.Wcet.refine with
+        | Some s -> acc + Core.Ipet.refine_cuts_applied s
+        | None -> acc)
+      0 w.Core.Wcet.procs
+  in
+  let cell mode (w : Core.Wcet.t) =
+    match w.Core.Wcet.unrefined_wcet with
+    | Some u ->
+        {
+          rc_mode = mode;
+          rc_wcet = w.Core.Wcet.wcet;
+          rc_unrefined = u;
+          rc_cuts = cuts_of w;
+        }
+    | None -> failwith "refined analysis lost its unrefined pipeline"
+  in
+  let sweep (b : B.t) =
+    let task = (b.B.program, b.B.annot) in
+    let sys =
+      MC.default_system ~cores:ctx_sweep_cores
+        ~tasks:(Array.make ctx_sweep_cores (Some task))
+    in
+    let ctxs = Some (MC.contexts sys) in
+    let solo_ctx =
+      Core.Context.of_platform ~annot:b.B.annot solo_platform b.B.program
+    in
+    let w0 name r =
+      match r.(0) with
+      | Some w -> cell name w
+      | None -> failwith "no core-0 result"
+    in
+    [
+      cell "solo"
+        (Core.Wcet.analyze_with ~refine:cfg ~ctx:solo_ctx solo_platform);
+      w0 "oblivious" (MC.analyze_oblivious ?ctxs ~refine:cfg sys);
+      w0 "joint" (MC.analyze_joint ?ctxs ~refine:cfg sys ());
+      w0 "bypass" (MC.analyze_joint ?ctxs ~refine:cfg sys ~bypass:true ());
+      w0 "columnized"
+        (MC.analyze_partitioned ?ctxs ~refine:cfg sys
+           ~scheme:Cache.Partition.Columnization);
+      w0 "bankized"
+        (MC.analyze_partitioned ?ctxs ~refine:cfg sys
+           ~scheme:Cache.Partition.Bankization);
+      w0 "locked" (MC.analyze_locked ?ctxs ~refine:cfg sys);
+      w0 "dynamic" (MC.analyze_locked_dynamic ?ctxs ~refine:cfg sys);
+    ]
+  in
+  let rows =
+    List.map (fun (b : B.t) -> (b.B.name, sweep b)) (B.suite ())
+  in
+  (* Warm-vs-cold pivot differential, solo per program: every iteration
+     re-solved from scratch alongside the warm path (equal optima are
+     asserted inside refine_prepared). *)
+  let iter_rows =
+    List.concat_map
+      (fun (b : B.t) ->
+        let w =
+          Core.Wcet.analyze ~annot:b.B.annot ~refine:cfg ~measure_cold:true
+            solo_platform b.B.program
+        in
+        List.concat_map
+          (fun (proc, (pr : Core.Wcet.proc_result)) ->
+            match pr.Core.Wcet.refine with
+            | None -> []
+            | Some s ->
+                List.mapi
+                  (fun i (it : Core.Ipet.refine_iteration) ->
+                    {
+                      rw_bench = b.B.name;
+                      rw_proc = proc;
+                      rw_index = i + 1;
+                      rw_warm = it.Core.Ipet.ri_warm_pivots;
+                      rw_cold =
+                        (match it.Core.Ipet.ri_cold_pivots with
+                        | Some c -> c
+                        | None -> failwith "measure_cold recorded no pivots");
+                    })
+                  s.Core.Ipet.rf_iterations)
+          w.Core.Wcet.procs)
+      (B.suite ())
+  in
+  (rows, iter_rows)
+
 let json_escape s =
   let buf = Buffer.create (String.length s) in
   String.iter
@@ -697,10 +813,36 @@ let () =
           name)
     ctx_rows;
   if not ctx_identical then exit 1;
+  (* Infeasible-path refinement over the catalog, plus a refined fuzz
+     campaign for the soundness side (observed <= refined WCET). *)
+  let refine_rows, refine_iters = refine_bench () in
+  let refine_never_loosens =
+    List.for_all
+      (fun (_, cells) ->
+        List.for_all (fun c -> c.rc_wcet <= c.rc_unrefined) cells)
+      refine_rows
+  in
+  let refine_tightened =
+    List.filter
+      (fun (_, cells) ->
+        List.exists (fun c -> c.rc_wcet < c.rc_unrefined) cells)
+      refine_rows
+  in
+  let refine_warm_le_cold =
+    List.for_all (fun r -> r.rw_warm <= r.rw_cold) refine_iters
+  in
+  let refine_fuzz_count = if !quick then 30 else 100 in
+  let refine_fuzz =
+    Fuzz.Oracle.run_campaign ~refine:Refine.default ~seed:11
+      ~count:refine_fuzz_count ()
+  in
+  let refine_fuzz_violations =
+    List.length refine_fuzz.Fuzz.Oracle.report.Fuzz.Oracle.violations
+  in
   let buf = Buffer.create 4096 in
   let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   p "{\n";
-  p "  \"bench\": \"pr8-ctx-sweep\",\n";
+  p "  \"bench\": \"pr9-refine\",\n";
   p "  \"quick\": %b,\n" !quick;
   p "  \"programs\": [\n";
   List.iteri
@@ -785,7 +927,50 @@ let () =
   p "    \"fresh_pivots\": %d,\n" ctx_fresh_pivots;
   p "    \"ctx_pivots\": %d\n" ctx_ctx_pivots;
   p "  },\n";
+  p "  \"refine\": {\n";
+  p "    \"config\": \"%s\",\n" (json_escape (Refine.salt Refine.default));
+  p "    \"cores\": %d,\n" ctx_sweep_cores;
+  p "    \"programs\": [\n";
+  List.iteri
+    (fun i (name, cells) ->
+      let tightened =
+        List.exists (fun c -> c.rc_wcet < c.rc_unrefined) cells
+      in
+      p "      {\"name\": \"%s\", \"tightened\": %b, \"modes\": [\n"
+        (json_escape name) tightened;
+      List.iteri
+        (fun j c ->
+          p
+            "        {\"mode\": \"%s\", \"wcet\": %d, \"unrefined\": %d, \
+             \"cuts\": %d}%s\n"
+            c.rc_mode c.rc_wcet c.rc_unrefined c.rc_cuts
+            (if j = List.length cells - 1 then "" else ","))
+        cells;
+      p "      ]}%s\n" (if i = List.length refine_rows - 1 then "" else ","))
+    refine_rows;
+  p "    ],\n";
+  p "    \"iterations\": [\n";
+  List.iteri
+    (fun i r ->
+      p
+        "      {\"benchmark\": \"%s\", \"proc\": \"%s\", \"iteration\": %d, \
+         \"warm_pivots\": %d, \"cold_pivots\": %d}%s\n"
+        (json_escape r.rw_bench) (json_escape r.rw_proc) r.rw_index r.rw_warm
+        r.rw_cold
+        (if i = List.length refine_iters - 1 then "" else ","))
+    refine_iters;
+  p "    ],\n";
+  p "    \"tightened_benchmarks\": %d,\n" (List.length refine_tightened);
+  p "    \"fuzz\": {\"seed\": 11, \"count\": %d, \"violations\": %d}\n"
+    refine_fuzz_count refine_fuzz_violations;
+  p "  },\n";
   p "  \"acceptance\": {\n";
+  p "    \"refine_never_loosens\": %b,\n" refine_never_loosens;
+  p "    \"refine_tightens_ge_3_benchmarks\": %b,\n"
+    (List.length refine_tightened >= 3);
+  p "    \"refine_iter_warm_pivots_le_cold\": %b,\n" refine_warm_le_cold;
+  p "    \"refine_fuzz_zero_violations\": %b,\n"
+    (refine_fuzz_violations = 0);
   p "    \"ctx_sweep_speedup_ge_2_5x\": %b,\n" (ctx_speedup >= 2.5);
   p "    \"ctx_bit_identical\": %b,\n" ctx_identical;
   p "    \"ctx_pivots_le_fresh\": %b,\n" (ctx_ctx_pivots <= ctx_fresh_pivots);
@@ -805,11 +990,13 @@ let () =
   Buffer.output_buffer oc buf;
   close_out oc;
   Printf.printf
-    "%d programs | pivots: %d sparse vs %d reference (%.2fx) | fixpoint pops: %d worklist vs %d sweep (%.1f%% fewer) | obs disabled overhead %.3f%% | attrib flatten %.3f%% | sim %.1f/%.1f ms (%.2fx) | ctx sweep %.1f/%.1f ms (%.2fx) -> %s\n"
+    "%d programs | pivots: %d sparse vs %d reference (%.2fx) | fixpoint pops: %d worklist vs %d sweep (%.1f%% fewer) | obs disabled overhead %.3f%% | attrib flatten %.3f%% | sim %.1f/%.1f ms (%.2fx) | ctx sweep %.1f/%.1f ms (%.2fx) | refine: %d/%d tightened, %d fuzz violations -> %s\n"
     (List.length rows) sparse_pivots dense_pivots pivot_speedup worklist_pops
     sweep_pops (100. *. pop_reduction) (100. *. obs_frac) (100. *. attrib_frac)
     sim_block_total sim_ref_total sim_speedup ctx_fresh_ms ctx_ctx_ms
-    ctx_speedup !out_path;
+    ctx_speedup
+    (List.length refine_tightened)
+    (List.length refine_rows) refine_fuzz_violations !out_path;
   if pivot_speedup < 2.0 || pop_reduction < 0.30 then begin
     Printf.eprintf "FAIL: acceptance thresholds not met\n";
     exit 1
@@ -852,5 +1039,28 @@ let () =
     Printf.eprintf
       "FAIL: attribution flatten overhead %.3f%% exceeds the 2%% budget\n"
       (100. *. attrib_frac);
+    exit 1
+  end;
+  if not refine_never_loosens then begin
+    Printf.eprintf
+      "FAIL: refinement loosened a bound somewhere in the catalog sweep\n";
+    exit 1
+  end;
+  if List.length refine_tightened < 3 then begin
+    Printf.eprintf
+      "FAIL: refinement tightened only %d benchmark(s), need >= 3\n"
+      (List.length refine_tightened);
+    exit 1
+  end;
+  if not refine_warm_le_cold then begin
+    Printf.eprintf
+      "FAIL: a warm-started refinement iteration pivoted more than its cold \
+       re-solve\n";
+    exit 1
+  end;
+  if refine_fuzz_violations > 0 then begin
+    Printf.eprintf
+      "FAIL: refined fuzz campaign found %d soundness violation(s)\n"
+      refine_fuzz_violations;
     exit 1
   end

@@ -114,15 +114,18 @@ let render_all_modes results =
     results;
   Buffer.contents b
 
-let all_modes_results ~cores task =
+let all_modes_results ?refine ~cores task =
   if cores < 1 || cores > 4 then die "--cores must be in 1..4 with --mode all";
-  Server_lib.Modes.analyze_all ~cores ~kind:Server_lib.Modes.Wcet task
+  Server_lib.Modes.analyze_all ?refine ~cores ~kind:Server_lib.Modes.Wcet task
+
+(* [--refine] everywhere maps the flag to the default CEGAR budget. *)
+let refine_of_flag refine = if refine then Some Refine.default else None
 
 (* ---------------- analyze ---------------- *)
 
 let analyze_cmd =
   let run_platform source with_l2 cores arbiter_kind core_id method_cache
-      verbose report =
+      refine verbose report =
     let program, annot = load source in
     let l2 = l2_of_flag with_l2 in
     let platform =
@@ -134,13 +137,30 @@ let analyze_cmd =
           (if method_cache then Some Cache.Method_cache.default else None);
       }
     in
-    match Core.Wcet.analyze ~annot platform program with
+    match
+      Core.Wcet.analyze ~annot ?refine:(refine_of_flag refine) platform program
+    with
     | exception Core.Wcet.Not_analysable msg ->
         Printf.eprintf "not analysable: %s\n" msg;
         exit 1
     | a when report -> print_string (Core.Report.render a)
     | a ->
         Printf.printf "WCET bound: %d cycles\n" a.Core.Wcet.wcet;
+        (match a.Core.Wcet.unrefined_wcet with
+        | Some u ->
+            let cuts =
+              List.fold_left
+                (fun acc (_, (pr : Core.Wcet.proc_result)) ->
+                  match pr.Core.Wcet.refine with
+                  | Some s -> acc + Core.Ipet.refine_cuts_applied s
+                  | None -> acc)
+                0 a.Core.Wcet.procs
+            in
+            Printf.printf
+              "unrefined bound: %d cycles (refinement cut %d cycles with %d \
+               conflict cuts)\n"
+              u (u - a.Core.Wcet.wcet) cuts
+        | None -> ());
         (match Core.Bcet.analyze ~annot platform program with
         | b ->
             Printf.printf "BCET bound: %d cycles (analytic quotient %.3f)\n"
@@ -162,14 +182,32 @@ let analyze_cmd =
                     (match b.Dataflow.Loop_bounds.source with
                     | Dataflow.Loop_bounds.Inferred -> "inferred"
                     | Dataflow.Loop_bounds.Annotated -> "annotated"))
-                pr.Core.Wcet.loop_bounds)
+                pr.Core.Wcet.loop_bounds;
+              match pr.Core.Wcet.refine with
+              | None -> ()
+              | Some s ->
+                  let prev = ref s.Core.Ipet.rf_initial in
+                  List.iteri
+                    (fun i (it : Core.Ipet.refine_iteration) ->
+                      Printf.printf
+                        "  refine #%d: %d -> %d [%s] (warm pivots %d)\n"
+                        (i + 1) !prev it.Core.Ipet.ri_wcet
+                        (Format.asprintf "%a" Refine.pp_cut
+                           it.Core.Ipet.ri_cut)
+                        it.Core.Ipet.ri_warm_pivots;
+                      prev := it.Core.Ipet.ri_wcet)
+                    s.Core.Ipet.rf_iterations)
             a.Core.Wcet.procs
   in
   let run source mode_arg with_l2 cores arbiter_kind core_id method_cache
-      verbose report =
+      refine verbose report =
     match mode_arg with
     | Some "all" ->
-        print_string (render_all_modes (all_modes_results ~cores (load source)))
+        print_string
+          (render_all_modes
+             (all_modes_results
+                ?refine:(refine_of_flag refine)
+                ~cores (load source)))
     | Some mode_s -> (
         match Server_lib.Modes.mode_of_string mode_s with
         | Error msg -> die "%s; or \"all\" for the whole sweep" msg
@@ -181,12 +219,13 @@ let analyze_cmd =
               (render_all_modes
                  [
                    ( mode,
-                     Server_lib.Modes.analyze ~mode ~cores
-                       ~kind:Server_lib.Modes.Wcet task );
+                     Server_lib.Modes.analyze
+                       ?refine:(refine_of_flag refine)
+                       ~mode ~cores ~kind:Server_lib.Modes.Wcet task );
                  ]))
     | None ->
         run_platform source with_l2 cores arbiter_kind core_id method_cache
-          verbose report
+          refine verbose report
   in
   let source =
     Arg.(
@@ -218,6 +257,16 @@ let analyze_cmd =
   let report =
     Arg.(value & flag & info [ "report" ] ~doc:"Full per-block report.")
   in
+  let refine =
+    Arg.(
+      value & flag
+      & info [ "refine" ]
+          ~doc:
+            "Infeasible-path refinement: CEGAR conflict cuts over the \
+             warm-started IPET tableau.  The printed bound is the refined \
+             one; the unrefined bound and the tightening are reported next \
+             to it ($(b,--verbose) adds per-iteration detail).")
+  in
   let mode =
     Arg.(
       value
@@ -234,7 +283,7 @@ let analyze_cmd =
     (Cmd.info "analyze" ~doc:"Static WCET analysis of one task")
     Term.(
       const run $ source $ mode $ with_l2 $ cores $ arbiter $ core_id
-      $ method_cache $ verbose $ report)
+      $ method_cache $ refine $ verbose $ report)
 
 (* ---------------- simulate ---------------- *)
 
@@ -652,7 +701,7 @@ let batch_cmd =
 
 let fuzz_cmd =
   let run seed count cores jobs_flag mode_args timeout_ms csv attrib trace
-      interp_arg engine_arg =
+      interp_arg engine_arg refine_flag =
     let interp =
       match String.lowercase_ascii interp_arg with
       | "block" -> `Block
@@ -687,6 +736,7 @@ let fuzz_cmd =
       Option.map (fun ms -> Int64.of_int (ms * 1_000_000)) timeout_ms
     in
     let memo = Core.Memo.create () in
+    let refine = refine_of_flag refine_flag in
     (* Header before the campaign: a run killed mid-way leaves a
        parseable (if row-less) CSV on stdout instead of nothing. *)
     if csv then begin
@@ -698,7 +748,7 @@ let fuzz_cmd =
     let c =
       match
         Fuzz.Oracle.run_campaign ~modes ~cores ?workers ?timeout_ns ~memo
-          ~interp ~engine ~seed ~count ()
+          ?refine ~interp ~engine ~seed ~count ()
       with
       | c -> c
       | exception Invalid_argument msg -> die "%s" msg
@@ -715,6 +765,7 @@ let fuzz_cmd =
         (Int64.to_float wall_ns /. 1e6);
       Printf.printf "%-12s %7s %6s %28s" "mode" "checks" "viol"
         "tightness (WCET/observed)";
+      if refine <> None then Printf.printf " %11s" "refine gain";
       if attrib then Printf.printf " %13s" "dominant gap";
       print_newline ();
       List.iter
@@ -730,6 +781,11 @@ let fuzz_cmd =
           Printf.printf "%-12s %7d %6d %28s"
             (Fuzz.Oracle.mode_name s.Fuzz.Oracle.s_mode)
             s.Fuzz.Oracle.s_checks s.Fuzz.Oracle.s_violations ratios;
+          if refine <> None then
+            Printf.printf " %11s"
+              (match s.Fuzz.Oracle.s_mean_reduction with
+              | Some r -> Printf.sprintf "%.2f%%" (100. *. r)
+              | None -> "-");
           if attrib then
             Printf.printf " %13s"
               (match s.Fuzz.Oracle.s_dominant_gap with
@@ -760,7 +816,8 @@ let fuzz_cmd =
            | `Block -> ""
            | `Reference -> " --interp reference"
            | `Both -> " --interp both")
-          ^ match engine with `Context -> "" | `Fresh -> " --engine fresh"))
+          ^ (match engine with `Context -> "" | `Fresh -> " --engine fresh")
+          ^ match refine with None -> "" | Some _ -> " --refine"))
       r.Fuzz.Oracle.violations;
     trace_finish ();
     if r.Fuzz.Oracle.violations <> [] || r.Fuzz.Oracle.errors <> [] then exit 1
@@ -846,6 +903,16 @@ let fuzz_cmd =
              front-to-back analysis per mode — the differential oracle for \
              the context path; both produce bit-identical reports).")
   in
+  let refine_flag =
+    Arg.(
+      value & flag
+      & info [ "refine" ]
+          ~doc:
+            "Run every analysis bound through CEGAR infeasible-path \
+             refinement; the oracle then checks the $(i,refined) bound \
+             against the simulator (observed <= refined WCET), and the \
+             tightness table gains a mean refine-gain column.")
+  in
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:
@@ -854,18 +921,161 @@ let fuzz_cmd =
           shapes and all multicore approach families")
     Term.(
       const run $ seed $ count $ cores $ jobs_flag $ modes $ timeout_ms $ csv
-      $ attrib $ trace $ interp_arg $ engine_arg)
+      $ attrib $ trace $ interp_arg $ engine_arg $ refine_flag)
 
 (* ---------------- attribute ---------------- *)
 
 (* Mode wiring mirrors Fuzz.Oracle.run_mode: the analysis and the
    simulated machine must describe the same hardware for the gap to mean
    anything.  The attributed task runs on core 0; under the contended
-   modes every other core runs the same program as a co-runner. *)
+   modes every other core runs the same program as a co-runner.
+
+   [mode_attribution] is the one place that pairing lives: it returns
+   the analytic attribution plus the observed one when the mode has a
+   simulated side ([None] for dynamic locking, which the machine cannot
+   execute).  Both the single-mode report and the per-mode gap table of
+   [--mode all --gap] go through it.  Raises
+   {!Core.Wcet.Not_analysable}. *)
+let mode_attribution ~cores ~program ~annot mode =
+  let l2_cfg = Cache.Config.make ~sets:64 ~assoc:4 ~line_size:16 in
+  let analysis_of (w : Core.Wcet.t option) =
+    match w with
+    | Some w -> Attrib.of_wcet w
+    | None -> die "no analysis result for core 0"
+  in
+  let setups n =
+    Array.init n (fun i ->
+        {
+          (Sim.Machine.task program) with
+          Sim.Machine.attrib_blocks = i = 0;
+        })
+  in
+  let sys =
+    Core.Multicore.default_system ~cores
+      ~tasks:(Array.make cores (Some (program, annot)))
+  in
+  let shared_machine =
+    Core.Multicore.machine_config sys
+      ~l2:(Sim.Machine.Shared_l2 sys.Core.Multicore.l2)
+  in
+  let analysis, sim_result =
+    match mode with
+    | Fuzz.Oracle.Solo ->
+        let platform = Core.Platform.single_core ~l2:l2_cfg () in
+        let a = Core.Wcet.analyze ~annot platform program in
+        let cfg =
+          {
+            Sim.Machine.latencies = platform.Core.Platform.latencies;
+            l1i = platform.Core.Platform.l1i;
+            l1d = platform.Core.Platform.l1d;
+            l2 = Sim.Machine.Private_l2 [| l2_cfg |];
+            arbiter = Interconnect.Arbiter.Private;
+            refresh = platform.Core.Platform.refresh;
+            i_path = Sim.Machine.Conventional;
+          }
+        in
+        ( Attrib.of_wcet a,
+          Some (Sim.Machine.run cfg ~cores:(setups 1) ()).(0) )
+    | Fuzz.Oracle.Oblivious ->
+        let a = analysis_of (Core.Multicore.analyze_oblivious sys).(0) in
+        let cfg =
+          {
+            (Core.Multicore.machine_config sys
+               ~l2:(Sim.Machine.Private_l2 [| sys.Core.Multicore.l2 |]))
+            with
+            Sim.Machine.arbiter = Interconnect.Arbiter.Private;
+          }
+        in
+        (* the oblivious bound is only claimed solo *)
+        (a, Some (Sim.Machine.run cfg ~cores:(setups 1) ()).(0))
+    | Fuzz.Oracle.Joint ->
+        let a = analysis_of (Core.Multicore.analyze_joint sys ()).(0) in
+        (a, Some (Sim.Machine.run shared_machine ~cores:(setups cores) ()).(0))
+    | Fuzz.Oracle.Bypass ->
+        let a =
+          analysis_of (Core.Multicore.analyze_joint sys ~bypass:true ()).(0)
+        in
+        let lines = Core.Multicore.bypass_lines sys (program, annot) in
+        let set = Hashtbl.create (2 * List.length lines + 1) in
+        List.iter (fun l -> Hashtbl.replace set l ()) lines;
+        let cs =
+          Array.map
+            (fun s ->
+              { s with Sim.Machine.l2_bypass = (fun l -> Hashtbl.mem set l) })
+            (setups cores)
+        in
+        (a, Some (Sim.Machine.run shared_machine ~cores:cs ()).(0))
+    | Fuzz.Oracle.Columnized | Fuzz.Oracle.Bankized ->
+        let scheme =
+          if mode = Fuzz.Oracle.Columnized then Cache.Partition.Columnization
+          else Cache.Partition.Bankization
+        in
+        let a =
+          analysis_of (Core.Multicore.analyze_partitioned sys ~scheme).(0)
+        in
+        let alloc =
+          Cache.Partition.even_shares scheme sys.Core.Multicore.l2
+            ~parts:cores
+        in
+        let slices =
+          Array.init cores (fun i ->
+              Cache.Partition.partition_config sys.Core.Multicore.l2 alloc
+                ~index:i)
+        in
+        let cfg =
+          Core.Multicore.machine_config sys
+            ~l2:(Sim.Machine.Private_l2 slices)
+        in
+        (a, Some (Sim.Machine.run cfg ~cores:(setups cores) ()).(0))
+    | Fuzz.Oracle.Locked ->
+        let selection = Core.Multicore.static_lock_selection sys in
+        let a = analysis_of (Core.Multicore.analyze_locked sys).(0) in
+        let cs =
+          Array.map
+            (fun s ->
+              {
+                s with
+                Sim.Machine.locked_l2_lines = selection.Cache.Locking.locked;
+              })
+            (setups cores)
+        in
+        (a, Some (Sim.Machine.run shared_machine ~cores:cs ()).(0))
+    | Fuzz.Oracle.Dynamic ->
+        (* analysis-level only: the machine cannot reprogram locks *)
+        (analysis_of (Core.Multicore.analyze_locked_dynamic sys).(0), None)
+  in
+  (analysis, Option.map Attrib.observed sim_result)
+
 let attribute_cmd =
-  let run_all source cores trace_out csv_out =
-    let results = all_modes_results ~cores (load source) in
+  let run_all source cores gap trace_out csv_out =
+    let ((program, annot) as task) = load source in
+    let results = all_modes_results ~cores task in
     print_string (render_all_modes results);
+    if gap then begin
+      (* Per-mode gap table: each mode's analysis re-paired with its own
+         simulated machine (the all-modes sweep above is analysis-only).
+         Dynamic locking has no executable side, hence no gap. *)
+      Printf.printf "\n%-12s %10s %10s %10s %14s\n" "mode" "wcet" "observed"
+        "gap" "dominant gap";
+      List.iter
+        (fun (m, _) ->
+          match mode_attribution ~cores ~program ~annot m with
+          | analysis, Some o ->
+              let g = Attrib.gap ~analysis ~observed:o in
+              Printf.printf "%-12s %10d %10d %10d %14s\n"
+                (Fuzz.Oracle.mode_name m) analysis.Attrib.bound
+                o.Attrib.bound
+                (analysis.Attrib.bound - o.Attrib.bound)
+                (Pipeline.Cost.category_name g.Attrib.dominant)
+          | analysis, None ->
+              Printf.printf "%-12s %10d %10s %10s %14s\n"
+                (Fuzz.Oracle.mode_name m) analysis.Attrib.bound "-" "-"
+                "analytic only"
+          | exception Core.Wcet.Not_analysable msg ->
+              Printf.printf "%-12s not analysable: %s\n"
+                (Fuzz.Oracle.mode_name m) msg)
+        results
+    end;
     let each f =
       List.iter
         (fun (m, r) ->
@@ -894,131 +1104,21 @@ let attribute_cmd =
     | None -> ()
   in
   let run source mode_arg cores gap trace_out csv_out =
-    if mode_arg = "all" then begin
-      if gap then
-        die "--gap needs a simulated side; not available with --mode all";
-      run_all source cores trace_out csv_out
-    end
+    if cores < 1 || cores > 4 then die "--cores must be in 1..4";
+    if mode_arg = "all" then run_all source cores gap trace_out csv_out
     else
     let mode =
       match Fuzz.Oracle.mode_of_string mode_arg with
       | Ok m -> m
       | Error msg -> die "%s; or \"all\" for the whole sweep" msg
     in
-    if cores < 1 || cores > 4 then die "--cores must be in 1..4";
     let program, annot = load source in
-    let l2_cfg = Cache.Config.make ~sets:64 ~assoc:4 ~line_size:16 in
-    let analysis_of (w : Core.Wcet.t option) =
-      match w with
-      | Some w -> Attrib.of_wcet w
-      | None -> die "no analysis result for core 0"
-    in
-    let setups n =
-      Array.init n (fun i ->
-          {
-            (Sim.Machine.task program) with
-            Sim.Machine.attrib_blocks = i = 0;
-          })
-    in
-    let sys =
-      Core.Multicore.default_system ~cores
-        ~tasks:(Array.make cores (Some (program, annot)))
-    in
-    let shared_machine =
-      Core.Multicore.machine_config sys ~l2:(Sim.Machine.Shared_l2 sys.Core.Multicore.l2)
-    in
-    let analysis, sim_result =
-      match
-        match mode with
-        | Fuzz.Oracle.Solo ->
-            let platform = Core.Platform.single_core ~l2:l2_cfg () in
-            let a = Core.Wcet.analyze ~annot platform program in
-            let cfg =
-              {
-                Sim.Machine.latencies = platform.Core.Platform.latencies;
-                l1i = platform.Core.Platform.l1i;
-                l1d = platform.Core.Platform.l1d;
-                l2 = Sim.Machine.Private_l2 [| l2_cfg |];
-                arbiter = Interconnect.Arbiter.Private;
-                refresh = platform.Core.Platform.refresh;
-                i_path = Sim.Machine.Conventional;
-              }
-            in
-            ( Attrib.of_wcet a,
-              Some (Sim.Machine.run cfg ~cores:(setups 1) ()).(0) )
-        | Fuzz.Oracle.Oblivious ->
-            let a = analysis_of (Core.Multicore.analyze_oblivious sys).(0) in
-            let cfg =
-              {
-                (Core.Multicore.machine_config sys
-                   ~l2:(Sim.Machine.Private_l2 [| sys.Core.Multicore.l2 |]))
-                with
-                Sim.Machine.arbiter = Interconnect.Arbiter.Private;
-              }
-            in
-            (* the oblivious bound is only claimed solo *)
-            (a, Some (Sim.Machine.run cfg ~cores:(setups 1) ()).(0))
-        | Fuzz.Oracle.Joint ->
-            let a = analysis_of (Core.Multicore.analyze_joint sys ()).(0) in
-            (a, Some (Sim.Machine.run shared_machine ~cores:(setups cores) ()).(0))
-        | Fuzz.Oracle.Bypass ->
-            let a =
-              analysis_of (Core.Multicore.analyze_joint sys ~bypass:true ()).(0)
-            in
-            let lines = Core.Multicore.bypass_lines sys (program, annot) in
-            let set = Hashtbl.create (2 * List.length lines + 1) in
-            List.iter (fun l -> Hashtbl.replace set l ()) lines;
-            let cs =
-              Array.map
-                (fun s ->
-                  { s with Sim.Machine.l2_bypass = (fun l -> Hashtbl.mem set l) })
-                (setups cores)
-            in
-            (a, Some (Sim.Machine.run shared_machine ~cores:cs ()).(0))
-        | Fuzz.Oracle.Columnized | Fuzz.Oracle.Bankized ->
-            let scheme =
-              if mode = Fuzz.Oracle.Columnized then Cache.Partition.Columnization
-              else Cache.Partition.Bankization
-            in
-            let a =
-              analysis_of (Core.Multicore.analyze_partitioned sys ~scheme).(0)
-            in
-            let alloc =
-              Cache.Partition.even_shares scheme sys.Core.Multicore.l2
-                ~parts:cores
-            in
-            let slices =
-              Array.init cores (fun i ->
-                  Cache.Partition.partition_config sys.Core.Multicore.l2 alloc
-                    ~index:i)
-            in
-            let cfg =
-              Core.Multicore.machine_config sys
-                ~l2:(Sim.Machine.Private_l2 slices)
-            in
-            (a, Some (Sim.Machine.run cfg ~cores:(setups cores) ()).(0))
-        | Fuzz.Oracle.Locked ->
-            let selection = Core.Multicore.static_lock_selection sys in
-            let a = analysis_of (Core.Multicore.analyze_locked sys).(0) in
-            let cs =
-              Array.map
-                (fun s ->
-                  {
-                    s with
-                    Sim.Machine.locked_l2_lines = selection.Cache.Locking.locked;
-                  })
-                (setups cores)
-            in
-            (a, Some (Sim.Machine.run shared_machine ~cores:cs ()).(0))
-        | Fuzz.Oracle.Dynamic ->
-            (* analysis-level only: the machine cannot reprogram locks *)
-            (analysis_of (Core.Multicore.analyze_locked_dynamic sys).(0), None)
-      with
+    let analysis, observed =
+      match mode_attribution ~cores ~program ~annot mode with
       | pair -> pair
       | exception Core.Wcet.Not_analysable msg ->
           die "not analysable: %s" msg
     in
-    let observed = Option.map Attrib.observed sim_result in
     print_string (Attrib.render analysis);
     (match observed with
     | Some o when gap ->
@@ -1086,7 +1186,8 @@ let attribute_cmd =
       & info [ "gap" ]
           ~doc:
             "Also print the observed attribution and the per-category \
-             analysis-minus-observed gap.")
+             analysis-minus-observed gap; with $(b,--mode all), a per-mode \
+             gap table (dynamic locking stays analytic-only).")
   in
   let trace_out =
     Arg.(
@@ -1167,7 +1268,7 @@ let report_cmd =
 (* ---------------- trace ---------------- *)
 
 let trace_cmd =
-  let run source with_l2 jobs_flag out csv_out =
+  let run source with_l2 jobs_flag refine out csv_out =
     let program, annot = load source in
     let l2 = l2_of_flag with_l2 in
     let platform = Core.Platform.single_core ?l2 () in
@@ -1197,7 +1298,11 @@ let trace_cmd =
            context is not domain-safe, so they ride in one job *)
         Engine.Pool.job ~label:"bounds" (fun _ ->
             let ctx = Core.Context.of_platform ~annot platform program in
-            wcet := Some (Core.Wcet.analyze_with ~ctx platform);
+            wcet :=
+              Some
+                (Core.Wcet.analyze_with
+                   ?refine:(refine_of_flag refine)
+                   ~ctx platform);
             bcet := Some (Core.Bcet.analyze_with ~ctx platform));
         Engine.Pool.job ~label:"sim" (fun _ ->
             sim := Some (Sim.Machine.run_single sim_cfg program ()));
@@ -1227,7 +1332,12 @@ let trace_cmd =
       (List.length (Obs.Sink.tracks sink))
       out;
     (match !wcet with
-    | Some a -> Printf.printf "WCET bound: %d cycles\n" a.Core.Wcet.wcet
+    | Some a ->
+        Printf.printf "WCET bound: %d cycles\n" a.Core.Wcet.wcet;
+        Option.iter
+          (fun u ->
+            Printf.printf "unrefined bound: %d cycles\n" u)
+          a.Core.Wcet.unrefined_wcet
     | None -> ());
     (match !bcet with
     | Some b -> Printf.printf "BCET bound: %d cycles\n" b.Core.Bcet.bcet
@@ -1279,12 +1389,22 @@ let trace_cmd =
       & info [ "csv" ] ~docv:"FILE"
           ~doc:"Also export the flat CSV (spans and metrics) into $(docv).")
   in
+  let refine =
+    Arg.(
+      value & flag
+      & info [ "refine" ]
+          ~doc:
+            "Run the WCET side with infeasible-path refinement, so the \
+             trace carries the $(i,refine) span and counter tracks (one \
+             refine.iteration span and one refine.cuts counter per \
+             injected cut).")
+  in
   Cmd.v
     (Cmd.info "trace"
        ~doc:
          "Run WCET + BCET analysis and a simulation of one task under the \
           tracer and export the merged trace")
-    Term.(const run $ source $ with_l2 $ jobs_flag $ out $ csv_out)
+    Term.(const run $ source $ with_l2 $ jobs_flag $ refine $ out $ csv_out)
 
 (* ---------------- benchmarks ---------------- *)
 

@@ -73,6 +73,9 @@ type proc = {
   mutually_exclusive : (Cfg.Block.id * Cfg.Block.id) list;
   ipet_wcet : Ipet.prepared Lazy.t;
   ipet_bcet : Ipet.prepared Lazy.t;
+  refine_candidates : Refine.cut list Lazy.t;
+      (** mode-invariant semantic conflict cuts, derived from the value
+          analysis once and replayed by every refining mode *)
   l2_access_memo :
     (int * int * int, Cfg.Block.id -> Cache.Analysis.access list) Hashtbl.t;
 }
@@ -263,6 +266,10 @@ let build_uninstrumented ?(annot = Dataflow.Annot.empty) ?telemetry ~l1i ~l1d
         ipet_bcet =
           lazy
             (Ipet.prepare g ~loops ~loop_bounds ~direction:`Minimize ());
+        refine_candidates =
+          lazy
+            (Refine.candidates ~graph:g ~loops ~loop_bounds ~va ~call_clobbers
+               ());
         l2_access_memo = Hashtbl.create 2;
       } )
   in

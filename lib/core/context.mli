@@ -42,6 +42,9 @@ type proc = {
   mutually_exclusive : (Cfg.Block.id * Cfg.Block.id) list;
   ipet_wcet : Ipet.prepared Lazy.t;
   ipet_bcet : Ipet.prepared Lazy.t;
+  refine_candidates : Refine.cut list Lazy.t;
+      (** mode-invariant semantic conflict cuts ({!Refine.candidates}
+          over [va]), computed once and shared by every refining mode *)
   l2_access_memo :
     (int * int * int, Cfg.Block.id -> Cache.Analysis.access list) Hashtbl.t;
 }

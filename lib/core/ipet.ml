@@ -13,6 +13,11 @@ exception Flow_infeasible of string
 type built = {
   b_model : Lp.Model.t;
   b_in_terms : (Lp.Q.t * Lp.Model.var) list array; (* per block id *)
+  b_edge_vars :
+    (Cfg.Block.id * Cfg.Block.id * Cfg.Graph.edge_kind, Lp.Model.var)
+    Hashtbl.t;
+      (* witness extraction: the refinement loop reads per-edge flows
+         out of the integer solution and expresses cuts over them *)
 }
 
 let build g ~loops ~loop_bounds ~mutually_exclusive ~direction =
@@ -92,7 +97,7 @@ let build g ~loops ~loop_bounds ~mutually_exclusive ~direction =
           (in_terms a @ in_terms b)
           Lp.Model.Le Lp.Q.one)
     mutually_exclusive;
-  { b_model = m; b_in_terms = Array.init n in_terms }
+  { b_model = m; b_in_terms = Array.init n in_terms; b_edge_vars = edge_vars }
 
 (* Objective: extremize sum over blocks of cost * count (the solver
    maximizes, so minimization negates costs). *)
@@ -184,3 +189,179 @@ let solve_prepared p ~block_cost ?(solver = `Sparse) () =
         | Lp.Reference.Ilp_infeasible -> Lp.Ilp.Infeasible)
   in
   result_of p.p_built ~sign:p.p_sign outcome
+
+(* ------------------------------------------------------------------ *)
+(* Infeasible-path refinement: CEGAR over the prepared tableau         *)
+(* ------------------------------------------------------------------ *)
+
+type refine_iteration = {
+  ri_wcet : int;
+  ri_cut : Refine.cut;
+  ri_warm_pivots : int;
+  ri_cold_pivots : int option;
+}
+
+type refine_stats = {
+  rf_initial : int;
+  rf_iterations : refine_iteration list;
+  rf_exhausted : bool;
+}
+
+let refine_cuts_applied s = List.length s.rf_iterations
+
+let flow_of built solution (e : Cfg.Graph.edge) =
+  match
+    Hashtbl.find_opt built.b_edge_vars
+      (e.Cfg.Graph.src, e.Cfg.Graph.dst, e.Cfg.Graph.kind)
+  with
+  | Some v -> solution.((v : Lp.Model.var :> int))
+  | None -> 0
+
+let cut_terms built (cut : Refine.cut) =
+  List.filter_map
+    (fun (e : Cfg.Graph.edge) ->
+      Option.map
+        (fun v -> (Lp.Q.one, v))
+        (Hashtbl.find_opt built.b_edge_vars
+           (e.Cfg.Graph.src, e.Cfg.Graph.dst, e.Cfg.Graph.kind)))
+    cut.Refine.edges
+
+(* The CEGAR loop.  Iteration 0 is the ordinary prepared replay (so a
+   refined run's starting point is bit-identical to the unrefined
+   solve); each further iteration extracts per-edge flows from the
+   integer witness, finds the first candidate cut the witness violates,
+   appends it to the *root LP state* with one dual-simplex run
+   ([Simplex.add_le] — no phase 1, every previous pivot reused), and
+   re-runs branch-and-bound from the extended state.  Cuts accumulate by
+   chaining states, so iteration [i]'s tableau carries all [i] cuts.
+
+   [measure_cold] additionally re-solves each iteration's cut system
+   from scratch ([Simplex.solve_state ~extra] — two-phase, no snapshot)
+   purely for pivot accounting and as a differential oracle: the cold
+   optimum must equal the warm one.
+
+   Only the maximizing (WCET) direction refines: cuts shrink the
+   feasible flows, which tightens a maximum but would *raise* a
+   minimum — sound for BCET too, but out of scope here, so the
+   minimizing direction returns the plain solve unrefined. *)
+let refine_prepared p ~block_cost ~candidates ~(config : Refine.config)
+    ?(measure_cold = false) () =
+  let built = p.p_built in
+  let m = built.b_model in
+  Lp.Model.set_objective m (objective_of built ~block_cost ~sign:p.p_sign);
+  let no_refine outcome =
+    let r = result_of built ~sign:p.p_sign outcome in
+    (r, { rf_initial = r.wcet; rf_iterations = []; rf_exhausted = false })
+  in
+  if p.p_sign <> 1 || candidates = [] || config.Refine.max_iterations = 0
+  then no_refine (Lp.Ilp.solve_result_prepared p.p_snapshot m).Lp.Ilp.outcome
+  else begin
+    let ilp root =
+      match root with
+      | Lp.Simplex.Optimal _, Some _ ->
+          (Lp.Ilp.solve_result_state m root).Lp.Ilp.outcome
+      | (Lp.Simplex.Infeasible | Lp.Simplex.Optimal _), _ -> Lp.Ilp.Infeasible
+      | Lp.Simplex.Unbounded, _ -> Lp.Ilp.Unbounded
+    in
+    let root0 = Lp.Simplex.solve_prepared p.p_snapshot m in
+    let outcome0 = ilp root0 in
+    let initial =
+      match outcome0 with
+      | Lp.Ilp.Optimal (obj, _) -> Lp.Q.to_int_exn obj
+      | _ -> 0
+    in
+    let cold_solve applied =
+      let extra =
+        List.rev_map
+          (fun (c : Refine.cut) ->
+            (cut_terms built c, Lp.Model.Le, Lp.Q.of_int c.Refine.bound))
+          applied
+      in
+      let p0 = Lp.Simplex.pivots () in
+      let outcome = ilp (Lp.Simplex.solve_state m ~extra) in
+      (outcome, Lp.Simplex.pivots () - p0)
+    in
+    let rec loop iter root applied rev_iters outcome =
+      match outcome with
+      | (Lp.Ilp.Infeasible | Lp.Ilp.Unbounded) ->
+          (outcome, List.rev rev_iters, false)
+      | Lp.Ilp.Optimal (_, solution) -> (
+          let flow = flow_of built solution in
+          match
+            List.find_opt
+              (fun c -> (not (List.mem c applied)) && Refine.violated ~flow c)
+              candidates
+          with
+          | None -> (outcome, List.rev rev_iters, false)
+          | Some _
+            when iter >= config.Refine.max_iterations
+                 || List.length applied >= config.Refine.max_cuts ->
+              (outcome, List.rev rev_iters, true)
+          | Some cut -> (
+              match snd root with
+              | None -> (outcome, List.rev rev_iters, true)
+              | Some state -> (
+                  let inject () =
+                    let p0 = Lp.Simplex.pivots () in
+                    let root' =
+                      Lp.Simplex.add_le state ~terms:(cut_terms built cut)
+                        ~bound:(Lp.Q.of_int cut.Refine.bound)
+                    in
+                    (root', ilp root', Lp.Simplex.pivots () - p0)
+                  in
+                  let root', outcome', warm =
+                    if not (Obs.enabled ()) then inject ()
+                    else
+                      Obs.span ~cat:"refine"
+                        ~args:
+                          [
+                            ("iteration", Obs.Event.Int iter);
+                            ("cut_bound", Obs.Event.Int cut.Refine.bound);
+                          ]
+                        "refine.iteration" inject
+                  in
+                  if Obs.enabled () then begin
+                    Obs.add "refine.cuts" 1;
+                    Obs.counter ~cat:"refine"
+                      ~args:
+                        [
+                          ("cuts", Obs.Event.Int (List.length applied + 1));
+                          ("iteration", Obs.Event.Int (iter + 1));
+                        ]
+                      "refine.cuts"
+                  end;
+                  match outcome' with
+                  | Lp.Ilp.Optimal (obj, _) ->
+                      let cold =
+                        if not measure_cold then None
+                        else begin
+                          let cold_outcome, cold_pivots =
+                            cold_solve (cut :: applied)
+                          in
+                          (match cold_outcome with
+                          | Lp.Ilp.Optimal (cobj, _) ->
+                              assert (Lp.Q.equal cobj obj)
+                          | _ -> assert false);
+                          Some cold_pivots
+                        end
+                      in
+                      let it =
+                        {
+                          ri_wcet = Lp.Q.to_int_exn obj;
+                          ri_cut = cut;
+                          ri_warm_pivots = warm;
+                          ri_cold_pivots = cold;
+                        }
+                      in
+                      loop (iter + 1) root' (cut :: applied) (it :: rev_iters)
+                        outcome'
+                  | Lp.Ilp.Infeasible | Lp.Ilp.Unbounded ->
+                      (* A sound cut cannot empty the region of a program
+                         that executes at all; if it does (contradictory
+                         annotations), keep the last sound bound. *)
+                      (outcome, List.rev rev_iters, false))))
+    in
+    let final, iters, exhausted = loop 0 root0 [] [] outcome0 in
+    let r = result_of built ~sign:p.p_sign final in
+    (r, { rf_initial = initial; rf_iterations = iters; rf_exhausted = exhausted })
+  end

@@ -79,3 +79,60 @@ val solve_prepared :
     prepared model densely from scratch (the snapshot buys nothing there;
     kept so the differential baseline can run over prepared contexts
     too). *)
+
+(** {1 Infeasible-path refinement}
+
+    CEGAR over the prepared tableau: solve, read the optimal flow back as
+    a witness path, test it against semantic conflict cuts
+    ({!Refine.candidates}), inject the first violated cut with one
+    warm-started dual-simplex run ({!Lp.Simplex.add_le} on the root LP
+    state — no phase 1, the prepared snapshot's pivots all reused), and
+    re-run branch-and-bound from the extended state.  Repeats until the
+    witness satisfies every candidate or a budget is hit.  Each cut only
+    removes flows no execution can take, so the refined bound is still a
+    sound WCET and never exceeds the unrefined one. *)
+
+type refine_iteration = {
+  ri_wcet : int;  (** bound after this iteration's re-solve *)
+  ri_cut : Refine.cut;  (** the cut this iteration injected *)
+  ri_warm_pivots : int;
+      (** simplex pivots of the warm path: [add_le] + branch and bound *)
+  ri_cold_pivots : int option;
+      (** pivots of the from-scratch re-solve of the same cut system;
+          only measured under [measure_cold] *)
+}
+
+type refine_stats = {
+  rf_initial : int;  (** the unrefined (iteration-0) optimum *)
+  rf_iterations : refine_iteration list;  (** in injection order *)
+  rf_exhausted : bool;
+      (** a violated candidate remained when the budget ran out *)
+}
+
+val refine_cuts_applied : refine_stats -> int
+
+val refine_prepared :
+  prepared ->
+  block_cost:(Cfg.Block.id -> int) ->
+  candidates:Refine.cut list ->
+  config:Refine.config ->
+  ?measure_cold:bool ->
+  unit ->
+  result * refine_stats
+(** Iteration 0 replays the snapshot exactly as {!solve_prepared}, so
+    [rf_initial] is bit-identical to the unrefined solve.  Candidates are
+    tested in list order and the first violated one is injected, which
+    together with the solver's deterministic pricing makes the refined
+    result a function of the inputs alone (any worker count, any
+    sharing).  The minimizing direction returns the plain solve with
+    empty stats: cuts tighten a maximum but would raise a minimum.
+
+    [measure_cold] re-solves each iteration's cut system cold
+    ([Lp.Simplex.solve_state ~extra], two-phase) purely for pivot
+    accounting, asserting the cold optimum equals the warm one — the
+    differential oracle behind the [refine_iter_warm_pivots_le_cold]
+    bench gate.  Emits one [cat:"refine"] span and a cut counter per
+    iteration when tracing is on.
+    @raise Flow_infeasible as {!solve_prepared} (on the {e unrefined}
+    system; a cut that empties the region stops refinement and keeps the
+    last sound bound instead). *)

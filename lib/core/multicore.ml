@@ -65,11 +65,23 @@ let ctx_of ctxs core =
    uncacheable points) run the context back end instead of a fresh
    front-to-back analysis; [bypass_key] keys the context's multilevel
    memo with the same string discipline as the memo salt. *)
-let wcet_of ?memo ?salt ?ctx ?bypass_key ~annot platform program =
+let wcet_of ?memo ?salt ?ctx ?bypass_key ?refine ~annot platform program =
   let compute =
-    Option.map
-      (fun ctx () -> Wcet.analyze_with ?bypass_key ~ctx platform)
-      ctx
+    match (ctx, refine) with
+    | Some ctx, _ ->
+        Some (fun () -> Wcet.analyze_with ?bypass_key ?refine ~ctx platform)
+    | None, Some _ ->
+        (* The memo's default compute is the unrefined analysis. *)
+        Some (fun () -> Wcet.analyze ~annot ?refine platform program)
+    | None, None -> None
+  in
+  (* Refined and unrefined results must never share a cache entry: the
+     refinement budget joins the salt ({!Refine.salt}). *)
+  let salt =
+    match refine with
+    | None -> salt
+    | Some config ->
+        Some (Option.value salt ~default:"" ^ "|" ^ Refine.salt config)
   in
   match memo with
   | None -> (
@@ -78,20 +90,20 @@ let wcet_of ?memo ?salt ?ctx ?bypass_key ~annot platform program =
       | None -> Wcet.analyze ~annot platform program)
   | Some m -> Memo.wcet m ~annot ?salt ?compute platform program
 
-let analyze_each ?memo ?salt ?ctxs system ~platform_for =
+let analyze_each ?memo ?salt ?ctxs ?refine system ~platform_for =
   Array.mapi
     (fun core task ->
       match task with
       | None -> None
       | Some (program, annot) ->
           Some
-            (wcet_of ?memo ?salt ?ctx:(ctx_of ctxs core) ~annot
+            (wcet_of ?memo ?salt ?ctx:(ctx_of ctxs core) ?refine ~annot
                (platform_for core) program))
     system.tasks
 
 (* Oblivious: pretend the task owns the machine (private bus, whole L2). *)
-let analyze_oblivious ?memo ?ctxs system =
-  analyze_each ?memo ?ctxs system ~platform_for:(fun _core ->
+let analyze_oblivious ?memo ?ctxs ?refine system =
+  analyze_each ?memo ?ctxs ?refine system ~platform_for:(fun _core ->
       platform_of system ~core:0 ~l2:(Platform.Private_l2 system.l2)
         ~arbiter:Interconnect.Arbiter.Private)
 
@@ -130,7 +142,7 @@ let bypass_lines ?ctx system (program, _annot) =
     (task_procs ?ctx program)
   |> List.sort_uniq compare
 
-let analyze_joint ?memo ?ctxs system ?(bypass = false)
+let analyze_joint ?memo ?ctxs ?refine system ?(bypass = false)
     ?(overlaps = fun _ _ -> true) () =
   let n = Array.length system.tasks in
   let bypass_sets =
@@ -181,7 +193,7 @@ let analyze_joint ?memo ?ctxs system ?(bypass = false)
             in
             Some
               (wcet_of ?memo ~salt:salt_of.(core) ?ctx:(ctx_of ctxs core)
-                 ~bypass_key:salt_of.(core) ~annot
+                 ~bypass_key:salt_of.(core) ?refine ~annot
                  (platform_of system ~core ~l2 ~arbiter:system.arbiter)
                  program))
       system.tasks
@@ -218,10 +230,10 @@ let analyze_joint ?memo ?ctxs system ?(bypass = false)
   in
   phase conflicts_for
 
-let analyze_partitioned ?memo ?ctxs system ~scheme =
+let analyze_partitioned ?memo ?ctxs ?refine system ~scheme =
   let n = Array.length system.tasks in
   let alloc = Cache.Partition.even_shares scheme system.l2 ~parts:n in
-  analyze_each ?memo ?ctxs system ~platform_for:(fun core ->
+  analyze_each ?memo ?ctxs ?refine system ~platform_for:(fun core ->
       let slice = Cache.Partition.partition_config system.l2 alloc ~index:core in
       platform_of system ~core ~l2:(Platform.Private_l2 slice)
         ~arbiter:system.arbiter)
@@ -274,7 +286,11 @@ let lock_selection ?memo ?ctxs system =
 
 let static_lock_selection = lock_selection
 
-let analyze_locked ?memo ?ctxs system =
+let analyze_locked ?memo ?ctxs ?refine system =
+  (* The selection itself stays unrefined: it is a heuristic over the
+     oblivious block counts, and keeping it refine-independent means the
+     refined and unrefined sweeps lock the same lines (so the bound
+     comparison isolates the path refinement). *)
   let selection = lock_selection ?memo ?ctxs system in
   (* The selection depends on *all* tasks, not just the one being
      analyzed, so it must appear in the memo key explicitly. *)
@@ -283,7 +299,7 @@ let analyze_locked ?memo ?ctxs system =
     ^ String.concat ","
         (List.map string_of_int selection.Cache.Locking.locked)
   in
-  analyze_each ?memo ~salt ?ctxs system ~platform_for:(fun core ->
+  analyze_each ?memo ~salt ?ctxs ?refine system ~platform_for:(fun core ->
       platform_of system ~core
         ~l2:
           (Platform.Locked_l2
@@ -416,7 +432,7 @@ let dynamic_lock_functions ?ctx system program annot =
   in
   (selection_of, reload_cost)
 
-let analyze_locked_dynamic ?memo ?ctxs system =
+let analyze_locked_dynamic ?memo ?ctxs ?refine system =
   Array.mapi
     (fun core task ->
       match task with
@@ -437,7 +453,9 @@ let analyze_locked_dynamic ?memo ?ctxs system =
              task's program and the L2 geometry / latencies, all of which
              the fingerprint already covers — a constant salt suffices to
              distinguish this mode from static locking. *)
-          Some (wcet_of ?memo ~salt:"dynamic" ?ctx ~annot platform program))
+          Some
+            (wcet_of ?memo ~salt:"dynamic" ?ctx ?refine ~annot platform
+               program))
     system.tasks
 
 let wcets results =

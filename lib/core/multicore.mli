@@ -49,11 +49,22 @@ val contexts : system -> contexts
     per worker domain. *)
 
 val analyze_oblivious :
-  ?memo:Memo.t -> ?ctxs:contexts -> system -> Wcet.t option array
+  ?memo:Memo.t ->
+  ?ctxs:contexts ->
+  ?refine:Refine.config ->
+  system ->
+  Wcet.t option array
+(** Every [analyze_*] entry point also takes [?refine]: per-task
+    infeasible-path refinement ({!Wcet.analyze} with [?refine]), with
+    the budget appended to the memo salt ({!Refine.salt}) so refined and
+    unrefined results never share a cache entry.  Shared contexts carry
+    the candidate cuts, so an 8-mode refining sweep computes them once
+    per distinct task. *)
 
 val analyze_joint :
   ?memo:Memo.t ->
   ?ctxs:contexts ->
+  ?refine:Refine.config ->
   system ->
   ?bypass:bool ->
   ?overlaps:(int -> int -> bool) ->
@@ -73,6 +84,7 @@ val bypass_lines :
 val analyze_partitioned :
   ?memo:Memo.t ->
   ?ctxs:contexts ->
+  ?refine:Refine.config ->
   system ->
   scheme:Cache.Partition.scheme ->
   Wcet.t option array
@@ -85,12 +97,22 @@ val static_lock_selection :
     assumed. *)
 
 val analyze_locked :
-  ?memo:Memo.t -> ?ctxs:contexts -> system -> Wcet.t option array
+  ?memo:Memo.t ->
+  ?ctxs:contexts ->
+  ?refine:Refine.config ->
+  system ->
+  Wcet.t option array
 (** Static locking: one global selection for the whole run
-    ({!static_lock_selection}). *)
+    ({!static_lock_selection}).  The selection heuristic itself stays
+    unrefined under [?refine], so refined and unrefined sweeps lock the
+    same lines. *)
 
 val analyze_locked_dynamic :
-  ?memo:Memo.t -> ?ctxs:contexts -> system -> Wcet.t option array
+  ?memo:Memo.t ->
+  ?ctxs:contexts ->
+  ?refine:Refine.config ->
+  system ->
+  Wcet.t option array
 (** Dynamic locking (Suhendra & Mitra): per-task, per-outermost-loop
     selections with a reload cost charged on region entry.  A task uses
     the whole locked capacity while its region runs, so hot loops can own

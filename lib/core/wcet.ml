@@ -10,6 +10,7 @@ type proc_result = {
   attrib : Vec.t array;
   overhead_vec : Vec.t;
   wcet_vec : Vec.t;
+  refine : Ipet.refine_stats option;
 }
 
 type t = {
@@ -17,6 +18,7 @@ type t = {
   platform : Platform.t;
   procs : (string * proc_result) list;
   wcet : int;
+  unrefined_wcet : int option;
   multilevels : (string * Cache.Multilevel.t) list;
 }
 
@@ -104,7 +106,9 @@ let view_of_multilevel (platform : Platform.t) m =
    and the IPET re-solve (via the context's prepared constraint system,
    so modes after the first pay only phase-2 pivots).  All the
    mode-invariant front-end work comes from [ctx]. *)
-let analyze_with ?telemetry ?(solver = `Sparse) ?bypass_key ~ctx platform =
+let analyze_with ?telemetry ?(solver = `Sparse) ?bypass_key ?refine
+    ?(measure_cold = false) ~ctx
+    platform =
   Context.check_compatible ctx platform;
   (* Telemetry is optional and must cost nothing when absent: [span]
      accumulates a phase's wall-clock time, [counted] charges the delta of
@@ -130,6 +134,11 @@ let analyze_with ?telemetry ?(solver = `Sparse) ?bypass_key ~ctx platform =
   let program = ctx.Context.program in
   let root = ctx.Context.root in
   let results = Hashtbl.create 8 in
+  (* Refinement changes callee WCETs, and callee WCETs fold into caller
+     block costs, so the unrefined total needs its own bottom-up
+     pipeline: per procedure the plain (wcet, wcet_vec) pair with plain
+     callee fold-in.  Only populated when [refine] is on. *)
+  let results_unrefined : (string, int * Vec.t) Hashtbl.t = Hashtbl.create 8 in
   let multilevels = ref [] in
   let mc_analysis = ctx.Context.mc_analysis in
   let mc_load_vec callee =
@@ -298,6 +307,18 @@ let analyze_with ?telemetry ?(solver = `Sparse) ?bypass_key ~ctx platform =
       in
       (own, full, Array.map Vec.total full)
     in
+    (* Callee fold-in against the unrefined pipeline's vectors. *)
+    let full_vecs_unrefined () =
+      Array.mapi
+        (fun id v ->
+          match Cfg.Graph.callee_of_block g id with
+          | Some callee -> (
+              match Hashtbl.find_opt results_unrefined callee with
+              | Some (_, vec) -> Vec.add v vec
+              | None -> fail "callee %s analyzed out of order" callee)
+          | None -> v)
+        own_vecs
+    in
     (* Persistence penalties: one worst-case miss per persistent access
        point per procedure execution, at both levels. *)
     let ps_vec =
@@ -328,16 +349,34 @@ let analyze_with ?telemetry ?(solver = `Sparse) ?bypass_key ~ctx platform =
         (of_kind l1d Cache.Analysis.Data)
     in
     let ps_penalty = Vec.total ps_vec in
-    let ipet =
+    let solve_plain costs =
       span "ipet-solve" (fun () ->
           counted "simplex-pivots" Lp.Simplex.pivots @@ fun () ->
           counted "ilp-nodes" Lp.Ilp.nodes_explored @@ fun () ->
           try
             Ipet.solve_prepared
               (Lazy.force p.Context.ipet_wcet)
-              ~block_cost:(fun id -> block_costs.(id))
+              ~block_cost:(fun id -> costs.(id))
               ~solver ()
           with Ipet.Flow_infeasible msg -> fail "%s: %s" name msg)
+    in
+    let ipet, refine_stats =
+      match refine with
+      | None -> (solve_plain block_costs, None)
+      | Some config ->
+          let r, stats =
+            span "ipet-solve" (fun () ->
+                counted "simplex-pivots" Lp.Simplex.pivots @@ fun () ->
+                counted "ilp-nodes" Lp.Ilp.nodes_explored @@ fun () ->
+                try
+                  Ipet.refine_prepared
+                    (Lazy.force p.Context.ipet_wcet)
+                    ~block_cost:(fun id -> block_costs.(id))
+                    ~candidates:(Lazy.force p.Context.refine_candidates)
+                    ~config ~measure_cold ()
+                with Ipet.Flow_infeasible msg -> fail "%s: %s" name msg)
+          in
+          (r, Some stats)
     in
     let mc_vec =
       match mc_analysis with
@@ -367,6 +406,22 @@ let analyze_with ?telemetry ?(solver = `Sparse) ?bypass_key ~ctx platform =
     in
     let wcet = ipet.Ipet.wcet + ps_penalty + mc_penalty in
     assert (Vec.total wcet_vec = wcet);
+    (match refine with
+    | None -> ()
+    | Some _ ->
+        let full_u = full_vecs_unrefined () in
+        let costs_u = Array.map Vec.total full_u in
+        let ipet_u = solve_plain costs_u in
+        let wcet_u = ipet_u.Ipet.wcet + ps_penalty + mc_penalty in
+        let vec_u = ref overhead_vec in
+        Array.iteri
+          (fun id v ->
+            vec_u := Vec.add !vec_u (Vec.scale ipet_u.Ipet.block_counts.(id) v))
+          full_u;
+        assert (Vec.total !vec_u = wcet_u);
+        (* Cuts only remove infeasible flows: refinement never loosens. *)
+        assert (wcet <= wcet_u);
+        Hashtbl.replace results_unrefined name (wcet_u, !vec_u));
     let result =
       {
         name;
@@ -378,6 +433,7 @@ let analyze_with ?telemetry ?(solver = `Sparse) ?bypass_key ~ctx platform =
         attrib = own_vecs;
         overhead_vec;
         wcet_vec;
+        refine = refine_stats;
       }
     in
     (match telemetry with
@@ -393,6 +449,10 @@ let analyze_with ?telemetry ?(solver = `Sparse) ?bypass_key ~ctx platform =
     platform;
     procs;
     wcet = root_result.wcet;
+    unrefined_wcet =
+      (match refine with
+      | None -> None
+      | Some _ -> Some (fst (Hashtbl.find results_unrefined root)));
     multilevels = List.rev !multilevels;
   }
 
@@ -400,9 +460,9 @@ let analyze_with ?telemetry ?(solver = `Sparse) ?bypass_key ~ctx platform =
    once.  This is the differential oracle's baseline — sharing one
    context across modes must be bit-identical to this. *)
 let analyze ?(annot = Dataflow.Annot.empty) ?telemetry ?(solver = `Sparse)
-    platform program =
+    ?refine ?measure_cold platform program =
   let ctx = Context.of_platform ~annot ?telemetry platform program in
-  analyze_with ?telemetry ~solver ~ctx platform
+  analyze_with ?telemetry ~solver ?refine ?measure_cold ~ctx platform
 
 let footprint t =
   match Platform.l2_config t.platform with

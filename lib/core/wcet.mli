@@ -33,13 +33,20 @@ type proc_result = {
           [Vec.total wcet_vec = wcet] bit-exactly.  In shared-L2 mode the
           cost delta caused by co-runner conflict demotions is charged to
           the [Bus] category. *)
+  refine : Ipet.refine_stats option;
+      (** the CEGAR session behind this procedure's bound; [None] when
+          the analysis ran without [?refine] *)
 }
 
 type t = {
   program : Isa.Program.t;
   platform : Platform.t;
   procs : (string * proc_result) list;  (** bottom-up order *)
-  wcet : int;  (** the root procedure's WCET *)
+  wcet : int;  (** the root procedure's WCET (refined when [?refine]) *)
+  unrefined_wcet : int option;
+      (** under [?refine], the root WCET of a parallel cut-free pipeline
+          (callee fold-in included), so [wcet <= unrefined_wcet] always —
+          the tightening the refinement bought.  [None] otherwise. *)
   multilevels : (string * Cache.Multilevel.t) list;
       (** per procedure, when the platform has an L2: the task's L2-level
           behaviour — footprints for shared-cache composition *)
@@ -55,6 +62,8 @@ val analyze_with :
   ?telemetry:Engine.Telemetry.t ->
   ?solver:[ `Sparse | `Reference ] ->
   ?bypass_key:string ->
+  ?refine:Refine.config ->
+  ?measure_cold:bool ->
   ctx:Context.t ->
   Platform.t ->
   t
@@ -79,10 +88,28 @@ val analyze :
   ?annot:Dataflow.Annot.t ->
   ?telemetry:Engine.Telemetry.t ->
   ?solver:[ `Sparse | `Reference ] ->
+  ?refine:Refine.config ->
+  ?measure_cold:bool ->
   Platform.t ->
   Isa.Program.t ->
   t
 (** @raise Not_analysable with a human-readable reason.
+
+    [refine] turns on infeasible-path refinement: each procedure's IPET
+    solve becomes the CEGAR session of {!Ipet.refine_prepared} over the
+    context's shared {!Refine.candidates}, and a parallel cut-free
+    pipeline fills [unrefined_wcet].  Off (the default) the analysis is
+    bit-identical to previous releases.  The refined IPET path always
+    runs the warm sparse solver; [solver] only selects the engine of the
+    plain solves.
+
+    [measure_cold] (meaningful only with [refine], default false) makes
+    each refinement iteration also re-solve its cut system cold and
+    record the pivot count in {!Ipet.refine_iteration.ri_cold_pivots} —
+    the differential oracle for the warm-start discipline.  It never
+    changes the bound (equal objectives are asserted) and is
+    instrumentation, not semantics, so it deliberately does not
+    participate in any memo salt.
 
     [telemetry] accumulates per-phase wall-clock time ([cfg-build],
     [cfg-loops], [value-analysis], [loop-bounds], [cache-analysis],

@@ -44,6 +44,7 @@ type check = {
   core : int;
   bcet : int;
   wcet : int;
+  unrefined : int option;
   observed : int option;
   a_vec : Pipeline.Cost.Vec.t;
   o_vec : Pipeline.Cost.Vec.t option;
@@ -79,16 +80,23 @@ let merge_reports rs =
    front-to-back analysis.  Both are bit-identical by contract — the
    [engine] parameter below exists exactly to differentially check
    that. *)
-let wcet_result ?memo ?ctx ~annot platform program =
+let wcet_result ?memo ?ctx ?refine ~annot platform program =
   let compute =
-    Option.map (fun ctx () -> Core.Wcet.analyze_with ~ctx platform) ctx
+    match (ctx, refine) with
+    | Some ctx, _ -> Some (fun () -> Core.Wcet.analyze_with ?refine ~ctx platform)
+    | None, Some _ ->
+        Some (fun () -> Core.Wcet.analyze ~annot ?refine platform program)
+    | None, None -> None
   in
+  (* Refined results carry a salt ({!Refine.salt}) so they never share a
+     memo entry with the unrefined solo checks. *)
+  let salt = Option.map Refine.salt refine in
   match memo with
   | None -> (
       match compute with
       | Some f -> f ()
       | None -> Core.Wcet.analyze ~annot platform program)
-  | Some m -> Core.Memo.wcet m ~annot ?compute platform program
+  | Some m -> Core.Memo.wcet m ~annot ?salt ?compute platform program
 
 (* The root procedure's category decomposition of the bound. *)
 let root_vec (w : Core.Wcet.t) =
@@ -241,8 +249,10 @@ let sim_run ~(interp : interp) ~mode ~shape ~(g_of : int -> Generator.t) cfg
 
 (* ---- the sandwich ---------------------------------------------------- *)
 
-let sandwich ~mode ~shape ~(g : Generator.t) ~core ~bcet ~wcet ~a_vec result =
+let sandwich ?unrefined ~mode ~shape ~(g : Generator.t) ~core ~bcet ~wcet
+    ~a_vec result =
   let check = { mode; shape; task = g.Generator.name; core; bcet; wcet;
+                unrefined;
                 observed = Option.map (fun (r : Sim.Machine.core_result) ->
                     r.Sim.Machine.cycles) result;
                 a_vec;
@@ -291,7 +301,7 @@ let collect pairs =
 (* ---- solo mode ------------------------------------------------------- *)
 
 let check_solo ?memo ?(checkpoint = fun () -> ())
-    ?(interp : interp = `Block) ?(engine : engine = `Context)
+    ?(interp : interp = `Block) ?(engine : engine = `Context) ?refine
     (g : Generator.t) =
   let annot = g.Generator.annot and program = g.Generator.program in
   let divergences = ref [] in
@@ -305,7 +315,7 @@ let check_solo ?memo ?(checkpoint = fun () -> ())
         | `Context -> Some (Core.Context.of_platform ~annot platform program)
         | `Fresh -> None
       in
-      let w = wcet_result ?memo ?ctx ~annot platform program in
+      let w = wcet_result ?memo ?ctx ?refine ~annot platform program in
       let bcet = bcet_bound ?memo ?ctx ~annot platform program in
       let rs, dv =
         sim_run ~interp ~mode:Solo ~shape
@@ -314,8 +324,9 @@ let check_solo ?memo ?(checkpoint = fun () -> ())
           ~cores:[| setup_of g |] ()
       in
       divergences := !divergences @ dv;
-      sandwich ~mode:Solo ~shape ~g ~core:0 ~bcet ~wcet:w.Core.Wcet.wcet
-        ~a_vec:(root_vec w) (Some rs.(0))
+      sandwich ?unrefined:w.Core.Wcet.unrefined_wcet ~mode:Solo ~shape ~g
+        ~core:0 ~bcet ~wcet:w.Core.Wcet.wcet ~a_vec:(root_vec w)
+        (Some rs.(0))
     with
     | pair -> pair
     | exception Core.Wcet.Not_analysable msg ->
@@ -355,7 +366,8 @@ let private_platform (sys : M.system) =
   }
 
 let check_group ?memo ?(checkpoint = fun () -> ())
-    ?(interp : interp = `Block) ?(engine : engine = `Context) ~modes gens =
+    ?(interp : interp = `Block) ?(engine : engine = `Context) ?refine ~modes
+    gens =
   let n = Array.length gens in
   if n < 1 then invalid_arg "Oracle.check_group: empty task group";
   let divergences = ref [] in
@@ -399,7 +411,8 @@ let check_group ?memo ?(checkpoint = fun () -> ())
         | None -> None
         | Some (w : Core.Wcet.t) ->
             Some
-              (sandwich ~mode ~shape ~g:gens.(core) ~core ~bcet:bcets.(core)
+              (sandwich ?unrefined:w.Core.Wcet.unrefined_wcet ~mode ~shape
+                 ~g:gens.(core) ~core ~bcet:bcets.(core)
                  ~wcet:w.Core.Wcet.wcet ~a_vec:(root_vec w) (result_for core)))
       (List.init n (fun i -> i))
   in
@@ -409,7 +422,7 @@ let check_group ?memo ?(checkpoint = fun () -> ())
     | Solo -> []
     | Oblivious ->
         (* only claimed solo: validate each task owning the machine *)
-        let ws = M.analyze_oblivious ?memo ?ctxs sys in
+        let ws = M.analyze_oblivious ?memo ?ctxs ?refine sys in
         let cfg =
           {
             (M.machine_config sys ~l2:(Sim.Machine.Private_l2 [| sys.M.l2 |]))
@@ -424,7 +437,7 @@ let check_group ?memo ?(checkpoint = fun () -> ())
                  cfg
                  ~cores:[| plain_setups.(core) |]).(0))
     | Joint ->
-        let ws = M.analyze_joint ?memo ?ctxs sys () in
+        let ws = M.analyze_joint ?memo ?ctxs ?refine sys () in
         let rs =
           sim ~mode ~shape:"shared-l2"
             ~g_of:(fun i -> gens.(i))
@@ -433,7 +446,7 @@ let check_group ?memo ?(checkpoint = fun () -> ())
         in
         per_core ~mode ~shape:"shared-l2" ws (fun core -> Some rs.(core))
     | Bypass ->
-        let ws = M.analyze_joint ?memo ?ctxs sys ~bypass:true () in
+        let ws = M.analyze_joint ?memo ?ctxs ?refine sys ~bypass:true () in
         let setups =
           Array.mapi
             (fun core (g : Generator.t) ->
@@ -461,7 +474,7 @@ let check_group ?memo ?(checkpoint = fun () -> ())
           if mode = Columnized then Cache.Partition.Columnization
           else Cache.Partition.Bankization
         in
-        let ws = M.analyze_partitioned ?memo ?ctxs sys ~scheme in
+        let ws = M.analyze_partitioned ?memo ?ctxs ?refine sys ~scheme in
         let alloc = Cache.Partition.even_shares scheme sys.M.l2 ~parts:n in
         let slices =
           Array.init n (fun i ->
@@ -480,7 +493,7 @@ let check_group ?memo ?(checkpoint = fun () -> ())
           (fun core -> Some rs.(core))
     | Locked ->
         let selection = M.static_lock_selection ?memo ?ctxs sys in
-        let ws = M.analyze_locked ?memo ?ctxs sys in
+        let ws = M.analyze_locked ?memo ?ctxs ?refine sys in
         let setups =
           Array.map
             (fun s ->
@@ -500,7 +513,7 @@ let check_group ?memo ?(checkpoint = fun () -> ())
         per_core ~mode ~shape:"locked-l2" ws (fun core -> Some rs.(core))
     | Dynamic ->
         (* analysis-level only: the machine cannot reprogram lock bits *)
-        let ws = M.analyze_locked_dynamic ?memo ?ctxs sys in
+        let ws = M.analyze_locked_dynamic ?memo ?ctxs ?refine sys in
         per_core ~mode ~shape:"locked-l2-dynamic" ws (fun _ -> None)
   in
   let per_mode mode =
@@ -539,6 +552,7 @@ type mode_stats = {
   s_max_ratio : float;
   s_gap : Pipeline.Cost.Vec.t;
   s_dominant_gap : Pipeline.Cost.category option;
+  s_mean_reduction : float option;
 }
 
 type campaign = {
@@ -586,6 +600,15 @@ let stats_of report modes =
             Pipeline.Cost.Vec.zero checks
         in
         let any_observed = List.exists (fun c -> c.o_vec <> None) checks in
+        let reductions =
+          List.filter_map
+            (fun c ->
+              match c.unrefined with
+              | Some u when u > 0 ->
+                  Some (float_of_int (u - c.wcet) /. float_of_int u)
+              | _ -> None)
+            checks
+        in
         Some
           {
             s_mode = mode;
@@ -598,12 +621,18 @@ let stats_of report modes =
             s_dominant_gap =
               (if any_observed then Some (Pipeline.Cost.Vec.dominant gap)
                else None);
+            s_mean_reduction =
+              (if reductions = [] then None
+               else
+                 Some
+                   (List.fold_left ( +. ) 0.0 reductions
+                   /. float_of_int (List.length reductions)));
           })
     modes
 
 let run_campaign ?(params = Generator.default_params) ?(modes = all_modes)
     ?(cores = 4) ?workers ?memo ?timeout_ns ?(interp : interp = `Block)
-    ?(engine : engine = `Context) ~seed ~count () =
+    ?(engine : engine = `Context) ?refine ~seed ~count () =
   if count <= 0 then invalid_arg "Oracle.run_campaign: count must be positive";
   if cores < 1 || cores > 4 then
     invalid_arg "Oracle.run_campaign: cores must be in 1..4 (the L2 has 4 ways)";
@@ -626,7 +655,9 @@ let run_campaign ?(params = Generator.default_params) ?(modes = all_modes)
                 List.filter_map
                   (fun k ->
                     if (gi * cores) + k < count then
-                      Some (check_solo ?memo ~checkpoint ~interp ~engine gens.(k))
+                      Some
+                        (check_solo ?memo ~checkpoint ~interp ~engine ?refine
+                           gens.(k))
                     else None)
                   (List.init cores (fun i -> i))
               else []
@@ -634,8 +665,8 @@ let run_campaign ?(params = Generator.default_params) ?(modes = all_modes)
             let grouped =
               if contended = [] then empty_report
               else
-                check_group ?memo ~checkpoint ~interp ~engine ~modes:contended
-                  gens
+                check_group ?memo ~checkpoint ~interp ~engine ?refine
+                  ~modes:contended gens
             in
             merge_reports (solo @ [ grouped ])))
   in
@@ -671,7 +702,8 @@ let run_campaign ?(params = Generator.default_params) ?(modes = all_modes)
     memo_stats = Option.map Core.Memo.stats memo;
   }
 
-let csv_header = "mode,shape,task,core,bcet,observed,wcet,ratio,dominant_gap\n"
+let csv_header =
+  "mode,shape,task,core,bcet,observed,wcet,ratio,dominant_gap,unrefined\n"
 
 let csv_rows report =
   let buf = Buffer.create 1024 in
@@ -692,9 +724,13 @@ let csv_rows report =
               (Pipeline.Cost.Vec.dominant (Pipeline.Cost.Vec.sub c.a_vec o))
         | None -> ""
       in
+      let unrefined =
+        match c.unrefined with Some u -> string_of_int u | None -> ""
+      in
       Buffer.add_string buf
-        (Printf.sprintf "%s,%s,%s,%d,%d,%s,%d,%s,%s\n" (mode_name c.mode)
-           c.shape c.task c.core c.bcet observed c.wcet ratio dominant))
+        (Printf.sprintf "%s,%s,%s,%d,%d,%s,%d,%s,%s,%s\n" (mode_name c.mode)
+           c.shape c.task c.core c.bcet observed c.wcet ratio dominant
+           unrefined))
     report.checks;
   Buffer.contents buf
 

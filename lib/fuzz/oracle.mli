@@ -66,7 +66,12 @@ type check = {
   task : string;
   core : int;
   bcet : int;
-  wcet : int;
+  wcet : int;  (** refined when the campaign ran with [?refine] *)
+  unrefined : int option;
+      (** the cut-free bound under [?refine] ([Wcet.unrefined_wcet]);
+          [None] otherwise.  The sandwich always checks the {e refined}
+          bound, so a campaign with [?refine] is also its soundness
+          oracle: observed > refined WCET is a violation. *)
   observed : int option;  (** [None] for analytic-only checks *)
   a_vec : Pipeline.Cost.Vec.t;
       (** category decomposition of [wcet] (the root procedure's
@@ -95,17 +100,21 @@ val check_solo :
   ?checkpoint:(unit -> unit) ->
   ?interp:interp ->
   ?engine:engine ->
+  ?refine:Refine.config ->
   Generator.t ->
   report
 (** The five [Solo] shapes for one program.  [checkpoint] is called
     between shapes (pass {!Engine.Pool.check} for cooperative
-    timeouts). *)
+    timeouts).  [refine] turns on infeasible-path refinement on the
+    WCET side (salted memo entries, see {!Core.Multicore}); the
+    sandwich then validates the refined bound against the simulator. *)
 
 val check_group :
   ?memo:Core.Memo.t ->
   ?checkpoint:(unit -> unit) ->
   ?interp:interp ->
   ?engine:engine ->
+  ?refine:Refine.config ->
   modes:mode list ->
   Generator.t array ->
   report
@@ -125,6 +134,9 @@ type mode_stats = {
           simulated checks *)
   s_dominant_gap : Pipeline.Cost.category option;
       (** [Vec.dominant s_gap]; [None] for analytic-only modes *)
+  s_mean_reduction : float option;
+      (** mean of [(unrefined - wcet) / unrefined] over the mode's
+          checks; [None] unless the campaign ran with [?refine] *)
 }
 
 type campaign = {
@@ -146,6 +158,7 @@ val run_campaign :
   ?timeout_ns:int64 ->
   ?interp:interp ->
   ?engine:engine ->
+  ?refine:Refine.config ->
   seed:int ->
   count:int ->
   unit ->
@@ -157,8 +170,8 @@ val run_campaign :
     @raise Invalid_argument if [count <= 0] or [cores] outside 1..4. *)
 
 val csv_header : string
-(** [mode,shape,task,core,bcet,observed,wcet,ratio,dominant_gap] —
-    exposed separately so the CLI can emit (and flush) it before the
+(** [mode,shape,task,core,bcet,observed,wcet,ratio,dominant_gap,unrefined]
+    — exposed separately so the CLI can emit (and flush) it before the
     campaign runs: a killed run leaves a parseable CSV. *)
 
 val csv_rows : report -> string

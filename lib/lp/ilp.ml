@@ -126,4 +126,7 @@ let solve_result_prepared ?max_nodes prepared model =
   instrumented model (fun () ->
       solve_result_from ?max_nodes model (Simplex.solve_prepared prepared model))
 
+let solve_result_state ?max_nodes model root =
+  instrumented model (fun () -> solve_result_from ?max_nodes model root)
+
 let solve ?max_nodes model = (solve_result ?max_nodes model).outcome

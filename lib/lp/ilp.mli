@@ -47,6 +47,19 @@ val solve_result_prepared :
     is skipped.  [model] must be the model the snapshot was prepared
     from, with its objective re-set per solve. *)
 
+val solve_result_state :
+  ?max_nodes:int ->
+  Model.t ->
+  Simplex.outcome * Simplex.state option ->
+  result
+(** Branch and bound from an explicitly solved root relaxation — e.g. a
+    {!Simplex.solve_prepared} replay extended with {!Simplex.add_le}
+    conflict cuts.  The root must be optimal for [model]'s current
+    objective over [model]'s constraints plus whatever rows were added to
+    the state; the search then only ever appends further rows, so the cut
+    rows constrain every node exactly as if they were model
+    constraints. *)
+
 val nodes_explored : unit -> int
 (** Monotone count of branch-and-bound nodes explored by the calling
     domain, same telemetry contract as {!Simplex.pivots}. *)

@@ -762,6 +762,20 @@ let branch parent ~var ~bound =
   if Obs.enabled () then Obs.add "lp.simplex.pivots" (pivots () - p0);
   r
 
+(* General cut rows over model variables: the row-level primitive behind
+   [branch], exposed for infeasible-path conflict cuts (sum of edge flows
+   <= k).  Same warm-start contract: the parent's basis is reused, one
+   dual-simplex run restores optimality. *)
+let add_le parent ~terms ~bound =
+  let p0 = if Obs.enabled () then pivots () else 0 in
+  let r =
+    add_le_row parent
+      (List.map (fun (c, v) -> (c, (v : Model.var :> int))) terms)
+      bound
+  in
+  if Obs.enabled () then Obs.add "lp.simplex.pivots" (pivots () - p0);
+  r
+
 (* Incumbent cutoff: objective >= lower, i.e. -objective <= -lower. *)
 let add_cutoff parent ~lower =
   let terms = ref [] in

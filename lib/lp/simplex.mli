@@ -88,6 +88,16 @@ val branch :
     basis the result is never [Unbounded]: it is [Optimal] (with the new
     state) or [Infeasible] (child pruned). *)
 
+val add_le :
+  state -> terms:(Q.t * Model.var) list -> bound:Q.t -> outcome * state option
+(** [add_le s ~terms ~bound] appends the cut [terms <= bound] to a copy of
+    [s] and restores optimality with dual simplex — the general-row
+    primitive behind {!branch}, exposed so infeasible-path refinement can
+    inject conflict cuts (sums of edge-flow variables) without a cold
+    re-solve.  From a dual-feasible basis the result is [Optimal] (with
+    the extended state, reusable for further cuts) or [Infeasible] (the
+    cut empties the region); never [Unbounded]. *)
+
 val add_cutoff : state -> lower:Q.t -> outcome * state option
 (** [add_cutoff s ~lower] constrains the objective to [>= lower] (sound
     for branch-and-bound pruning only when the true optimum reaching the

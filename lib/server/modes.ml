@@ -41,12 +41,19 @@ let system_fingerprint (sys : Core.Multicore.system) =
   Engine.Fingerprint.string fp "latencies:default";
   Engine.Fingerprint.digest fp
 
-let store_key ~mode ~cores ~kind annot program =
+let store_key ?refine ~mode ~cores ~kind annot program =
   let kind_s = kind_name kind in
+  (* Refined and unrefined bounds must live under distinct keys: the
+     refinement budget salts both keying paths ({!Refine.salt}). *)
+  let refine_s =
+    match refine with None -> "norefine" | Some c -> Refine.salt c
+  in
   match mode with
   | Fuzz.Oracle.Solo -> (
       match
-        Core.Memo.key ~kind:kind_s ~annot ~salt:None (solo_platform ()) program
+        Core.Memo.key ~kind:kind_s ~annot
+          ~salt:(Option.map Refine.salt refine)
+          (solo_platform ()) program
       with
       | Some k -> k
       | None ->
@@ -57,6 +64,7 @@ let store_key ~mode ~cores ~kind annot program =
               "paratime-serve-v1";
               kind_s;
               "solo-fallback";
+              refine_s;
               Dataflow.Annot.fingerprint annot;
               Core.Memo.program_fingerprint program;
             ])
@@ -68,6 +76,7 @@ let store_key ~mode ~cores ~kind annot program =
           kind_s;
           Fuzz.Oracle.mode_name mode;
           string_of_int cores;
+          refine_s;
           system_fingerprint sys;
           Dataflow.Annot.fingerprint annot;
           Core.Memo.program_fingerprint program;
@@ -78,14 +87,14 @@ let store_key ~mode ~cores ~kind annot program =
    per-mode exception guard, so a front-end failure surfaces as each
    mode's [Error] exactly as it would on the fresh path.  The solo
    platform has its own L1 geometry, hence its own context. *)
-let analyze_mode ?ctxs ?solo_ctx ~mode ~cores ~kind ((program, annot) as task)
-    =
+let analyze_mode ?ctxs ?solo_ctx ?refine ~mode ~cores ~kind
+    ((program, annot) as task) =
   let ctxs () = Option.map Lazy.force ctxs in
   let solo_wcet () =
     match solo_ctx with
     | Some ctx ->
-        Core.Wcet.analyze_with ~ctx:(Lazy.force ctx) (solo_platform ())
-    | None -> Core.Wcet.analyze ~annot (solo_platform ()) program
+        Core.Wcet.analyze_with ?refine ~ctx:(Lazy.force ctx) (solo_platform ())
+    | None -> Core.Wcet.analyze ~annot ?refine (solo_platform ()) program
   in
   let solo_bcet () =
     match solo_ctx with
@@ -115,40 +124,41 @@ let analyze_mode ?ctxs ?solo_ctx ~mode ~cores ~kind ((program, annot) as task)
         | Fuzz.Oracle.Solo -> Ok (Store.Entry.of_wcet (solo_wcet ()))
         | Fuzz.Oracle.Oblivious ->
             of_core0
-              (Core.Multicore.analyze_oblivious ?ctxs:(ctxs ())
+              (Core.Multicore.analyze_oblivious ?ctxs:(ctxs ()) ?refine
                  (system ~cores task))
         | Fuzz.Oracle.Joint ->
             of_core0
-              (Core.Multicore.analyze_joint ?ctxs:(ctxs ())
+              (Core.Multicore.analyze_joint ?ctxs:(ctxs ()) ?refine
                  (system ~cores task) ())
         | Fuzz.Oracle.Bypass ->
             of_core0
-              (Core.Multicore.analyze_joint ?ctxs:(ctxs ())
+              (Core.Multicore.analyze_joint ?ctxs:(ctxs ()) ?refine
                  (system ~cores task) ~bypass:true ())
         | Fuzz.Oracle.Columnized ->
             of_core0
-              (Core.Multicore.analyze_partitioned ?ctxs:(ctxs ())
+              (Core.Multicore.analyze_partitioned ?ctxs:(ctxs ()) ?refine
                  (system ~cores task) ~scheme:Cache.Partition.Columnization)
         | Fuzz.Oracle.Bankized ->
             of_core0
-              (Core.Multicore.analyze_partitioned ?ctxs:(ctxs ())
+              (Core.Multicore.analyze_partitioned ?ctxs:(ctxs ()) ?refine
                  (system ~cores task) ~scheme:Cache.Partition.Bankization)
         | Fuzz.Oracle.Locked ->
             of_core0
-              (Core.Multicore.analyze_locked ?ctxs:(ctxs ())
+              (Core.Multicore.analyze_locked ?ctxs:(ctxs ()) ?refine
                  (system ~cores task))
         | Fuzz.Oracle.Dynamic ->
             of_core0
-              (Core.Multicore.analyze_locked_dynamic ?ctxs:(ctxs ())
+              (Core.Multicore.analyze_locked_dynamic ?ctxs:(ctxs ()) ?refine
                  (system ~cores task))
       with
       | r -> r
       | exception Core.Wcet.Not_analysable msg ->
           Error ("not analysable: " ^ msg))
 
-let analyze ~mode ~cores ~kind task = analyze_mode ~mode ~cores ~kind task
+let analyze ?refine ~mode ~cores ~kind task =
+  analyze_mode ?refine ~mode ~cores ~kind task
 
-let analyze_all ?(modes = Fuzz.Oracle.all_modes) ~cores ~kind
+let analyze_all ?(modes = Fuzz.Oracle.all_modes) ?refine ~cores ~kind
     ((program, annot) as task) =
   (* One context pack for the whole request: every contended mode's back
      end shares the task-group contexts, solo shares its own.  Lazy so a
@@ -158,5 +168,6 @@ let analyze_all ?(modes = Fuzz.Oracle.all_modes) ~cores ~kind
     lazy (Core.Context.of_platform ~annot (solo_platform ()) program)
   in
   List.map
-    (fun mode -> (mode, analyze_mode ~ctxs ~solo_ctx ~mode ~cores ~kind task))
+    (fun mode ->
+      (mode, analyze_mode ~ctxs ~solo_ctx ?refine ~mode ~cores ~kind task))
     modes

@@ -31,14 +31,19 @@ val mode_of_string : string -> (Fuzz.Oracle.mode, string) result
     exactly the oracle's eight names. *)
 
 val store_key :
+  ?refine:Refine.config ->
   mode:Fuzz.Oracle.mode ->
   cores:int ->
   kind:kind ->
   Dataflow.Annot.t ->
   Isa.Program.t ->
   string
+(** [refine] salts the key ({!Refine.salt}) so refined and unrefined
+    bounds never share a store entry — on both the {!Core.Memo.key}
+    (solo) and fingerprint (multicore) paths. *)
 
 val analyze :
+  ?refine:Refine.config ->
   mode:Fuzz.Oracle.mode ->
   cores:int ->
   kind:kind ->
@@ -52,6 +57,7 @@ val analyze :
 
 val analyze_all :
   ?modes:Fuzz.Oracle.mode list ->
+  ?refine:Refine.config ->
   cores:int ->
   kind:kind ->
   Isa.Program.t * Dataflow.Annot.t ->

@@ -9,6 +9,7 @@ type request = {
   mode : mode_req;
   cores : int;
   kind : Modes.kind;
+  refine : bool;
 }
 
 and source =
@@ -94,13 +95,18 @@ let parse_request line =
                     | Some s -> Modes.kind_of_string s
                   in
                   let cores = Option.value ~default:2 (Json.int_field "cores" j) in
+                  let refine =
+                    match Option.bind (Json.member "refine" j) Json.to_bool with
+                    | Some b -> b
+                    | None -> false
+                  in
                   match (mode_r, kind_r) with
                   | Error msg, _ | _, Error msg -> bad msg
                   | Ok mode, Ok kind ->
                       if cores < 1 || cores > 4 then
                         bad
                           (Printf.sprintf "cores %d out of range 1..4" cores)
-                      else Ok { id; op; source; mode; cores; kind }))))
+                      else Ok { id; op; source; mode; cores; kind; refine }))))
 
 type cached = Hot | Warm | Cold
 

@@ -36,6 +36,11 @@ type request = {
   mode : mode_req;
   cores : int;
   kind : Modes.kind;
+  refine : bool;
+      (** [refine:true] on an analyze/attribute request turns on
+          infeasible-path refinement ({!Refine.default} budget); the
+          served bound is the refined one and is stored under a salted
+          key ({!Modes.store_key}).  Defaults to [false]. *)
 }
 
 and source =

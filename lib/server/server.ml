@@ -81,14 +81,19 @@ let resolve_source = function
       | exception Isa.Asm.Parse_error (line, msg) ->
           Error ("bad_request", Printf.sprintf "parse error line %d: %s" line msg))
 
+let refine_of (req : Protocol.request) =
+  if req.Protocol.refine then Some Refine.default else None
+
 let key_for state (req : Protocol.request) ~mode ~cores ~kind annot program =
-  let compute () = Modes.store_key ~mode ~cores ~kind annot program in
+  let refine = refine_of req in
+  let compute () = Modes.store_key ?refine ~mode ~cores ~kind annot program in
   match req.Protocol.source with
   | Protocol.Bench name ->
       let token =
-        Printf.sprintf "%s|%s|%d|%s" name
+        Printf.sprintf "%s|%s|%d|%s|%s" name
           (Fuzz.Oracle.mode_name mode)
           cores (Modes.kind_name kind)
+          (match refine with None -> "norefine" | Some c -> Refine.salt c)
       in
       Mutex.lock state.key_lock;
       let cached = Hashtbl.find_opt state.key_cache token in
@@ -126,7 +131,7 @@ let handle_one_mode state (req : Protocol.request) ~detail ~mode task =
       in
       match
         Engine.Service.submit state.service ~label (fun () ->
-            Modes.analyze ~mode ~cores ~kind task)
+            Modes.analyze ?refine:(refine_of req) ~mode ~cores ~kind task)
       with
       | None ->
           Obs.add "server.busy" 1;
@@ -170,7 +175,8 @@ let handle_all_modes state (req : Protocol.request) ~detail task =
       let label = Printf.sprintf "serve:all:%s" (Modes.kind_name kind) in
       match
         Engine.Service.submit state.service ~label (fun () ->
-            Modes.analyze_all ~modes:missing ~cores ~kind task)
+            Modes.analyze_all ~modes:missing ?refine:(refine_of req) ~cores
+              ~kind task)
       with
       | None ->
           Obs.add "server.busy" 1;

@@ -363,6 +363,112 @@ done:
   halt
 |}
 
+(* The three refinement benchmarks below branch on r9, which no
+   instruction of theirs ever writes: it holds one (unknown) value for
+   the whole run, so branch conditions on it that demand disjoint
+   intervals are mutually exclusive — exactly the semantic fact the
+   structural IPET misses and CEGAR conflict cuts recover. *)
+
+let mode_select ~n =
+  make "mode_select"
+    "two config diamonds guarded by opposite tests of one unknown \
+     (conflict-pair refinement, straight-line)"
+    (Printf.sprintf
+       {|
+main:
+  li r2, %d
+  li r1, 0
+warm:
+  st.d r1, 0(r1)
+  addi r1, r1, 1
+  blt r1, r2, warm
+  li r3, 10
+  blt r9, r3, lowcfg
+  jmp join1
+lowcfg:
+  ld.d r4, 0(r0)
+  mul r4, r4, r4
+  ld.d r5, 8(r0)
+  mul r5, r5, r5
+  add r4, r4, r5
+  mul r4, r4, r4
+  st.d r4, 0(r0)
+join1:
+  bge r9, r3, highcfg
+  jmp join2
+highcfg:
+  ld.d r4, 16(r0)
+  mul r4, r4, r4
+  ld.d r5, 24(r0)
+  mul r5, r5, r5
+  add r4, r4, r5
+  mul r4, r4, r4
+  st.d r4, 8(r0)
+join2:
+  halt
+|}
+       n)
+
+let exclusive_modes ~iters =
+  make "exclusive_modes"
+    "per-iteration exclusive branch arms on one unknown \
+     (conflict-pair refinement inside a counted loop)"
+    (Printf.sprintf
+       {|
+main:
+  li r10, %d
+  li r1, 0
+loop:
+  li r3, 8
+  blt r9, r3, small
+  jmp j1
+small:
+  ld.d r4, 0(r1)
+  mul r4, r4, r4
+  st.d r4, 0(r1)
+j1:
+  bge r9, r3, big
+  jmp j2
+big:
+  add r5, r1, r10
+  ld.d r4, 0(r5)
+  mul r4, r4, r4
+  st.d r4, 0(r5)
+j2:
+  addi r1, r1, 1
+  blt r1, r10, loop
+  halt
+|}
+       iters)
+
+let dead_arm ~n =
+  make "dead_arm"
+    "statically dead expensive branch arm (dead-edge refinement)"
+    (Printf.sprintf
+       {|
+main:
+  li r1, 3
+  li r2, 7
+  blt r1, r2, live
+  ld.d r5, 0(r0)
+  mul r5, r5, r5
+  mul r5, r5, r5
+  ld.d r6, 32(r0)
+  mul r6, r6, r6
+  add r5, r5, r6
+  st.d r5, 48(r0)
+live:
+  li r1, 0
+  li r8, %d
+work:
+  ld.d r4, 0(r1)
+  add r3, r3, r4
+  addi r1, r1, 1
+  blt r1, r8, work
+  halt
+|}
+       n)
+
 let calls =
   make "calls" "call-graph exercise: two levels of helpers"
     {|
@@ -402,6 +508,9 @@ let suite () =
     straightline ~n:24;
     div_like;
     calls;
+    mode_select ~n:16;
+    exclusive_modes ~iters:12;
+    dead_arm ~n:16;
   ]
 
 let by_name name = List.find_opt (fun b -> b.name = name) (suite ())

@@ -69,6 +69,25 @@ val div_like : t
 val calls : t
 (** Exercises the call graph: main calling two levels of helpers. *)
 
+val mode_select : n:int -> t
+(** Two expensive configuration diamonds guarded by opposite tests
+    ([< 10] / [>= 10]) of a register the program never writes, after an
+    [n]-iteration warm-up loop.  The structural IPET charges both arms;
+    a single conflict cut proves them mutually exclusive — the
+    straight-line witness for infeasible-path refinement. *)
+
+val exclusive_modes : iters:int -> t
+(** The same opposite-test diamond pair, but inside one [iters]-bounded
+    counted loop: the conflict repeats per iteration, so the refinement
+    cut carries the loop bound (joint arm traversals <= iterations
+    instead of 2x). *)
+
+val dead_arm : n:int -> t
+(** A branch on two constants whose fall-through arm can never execute,
+    guarding an expensive straight-line block before an [n]-iteration
+    live loop: the dead-edge refinement cut ([flow <= 0]) removes the
+    arm from the bound. *)
+
 val suite : unit -> t list
 (** Default-size instances of every benchmark above. *)
 

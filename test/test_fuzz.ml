@@ -185,7 +185,8 @@ let test_csv_shape () =
   match String.split_on_char '\n' (String.trim csv) with
   | header :: rows ->
       Alcotest.(check string)
-        "header" "mode,shape,task,core,bcet,observed,wcet,ratio,dominant_gap"
+        "header"
+        "mode,shape,task,core,bcet,observed,wcet,ratio,dominant_gap,unrefined"
         header;
       Alcotest.(check int) "one row per check"
         (List.length c.O.report.O.checks)
