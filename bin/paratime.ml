@@ -1425,7 +1425,7 @@ let benchmarks_cmd =
 
 let serve_cmd =
   let run port jobs_flag queue store_root budget_mb mem_capacity trace_out
-      csv_out =
+      csv_out trace_sample slow_ms flight_dir =
     let workers =
       match jobs_flag with Some n -> Some (max 1 n) | None -> workers_from_env ()
     in
@@ -1437,6 +1437,9 @@ let serve_cmd =
         store_root;
         budget_bytes = max 4096 (budget_mb * 1024 * 1024);
         mem_capacity = max 1 mem_capacity;
+        trace_sample = max 0 trace_sample;
+        slow_ms;
+        flight_dir;
       }
     in
     (* [Server.run] installs the sink for the serving window; it stays
@@ -1518,6 +1521,33 @@ let serve_cmd =
       & opt (some string) None
       & info [ "trace-csv" ] ~docv:"FILE" ~doc:"Flat CSV trace, written at exit.")
   in
+  let trace_sample =
+    Arg.(
+      value & opt int 0
+      & info [ "trace-sample" ] ~docv:"N"
+          ~doc:
+            "Keep the span tree of 1-in-$(docv) cold requests (errors and \
+             slow requests are always kept); 0 (default) disables request \
+             tracing unless $(b,--flight-dir) is set.")
+  in
+  let slow_ms =
+    Arg.(
+      value & opt int 250
+      & info [ "slow-ms" ] ~docv:"MS"
+          ~doc:
+            "Slow-request threshold: at or above it a traced request is \
+             always kept and dumped to the flight recorder (default 250; 0 \
+             = every request, negative = never).")
+  in
+  let flight_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flight-dir" ] ~docv:"DIR"
+          ~doc:
+            "Bounded flight-recorder directory for slow-request span-tree \
+             dumps (oldest pruned beyond 64 files).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -1526,13 +1556,14 @@ let serve_cmd =
           worker-domain pool with backpressure")
     Term.(
       const run $ port $ jobs_flag $ queue $ store_root $ budget_mb
-      $ mem_capacity $ trace_out $ csv_out)
+      $ mem_capacity $ trace_out $ csv_out $ trace_sample $ slow_ms
+      $ flight_dir)
 
 (* ---------------- loadtest ---------------- *)
 
 let loadtest_cmd =
   let run host port requests connections repeat working_set modes_s cores
-      kind_s seed shutdown json_out =
+      kind_s seed shutdown json_out scrape =
     let modes =
       if modes_s = "all" then Fuzz.Oracle.all_modes
       else
@@ -1553,15 +1584,16 @@ let loadtest_cmd =
       {
         Server_lib.Loadtest.host;
         port;
-        requests = max 0 requests;
-        connections = max 1 connections;
+        requests;
+        connections;
         repeat_ratio = repeat;
-        working_set = max 1 working_set;
+        working_set;
         modes;
         cores;
         kind;
         seed;
         shutdown_after = shutdown;
+        scrape;
       }
     in
     match Server_lib.Loadtest.run config with
@@ -1650,6 +1682,15 @@ let loadtest_cmd =
       & opt (some string) None
       & info [ "json" ] ~docv:"FILE" ~doc:"Write the report as JSON to $(docv).")
   in
+  let scrape =
+    Arg.(
+      value & flag
+      & info [ "scrape" ]
+          ~doc:
+            "Snapshot server metrics before and after the run and include \
+             the delta in the report (and under $(b,server) in \
+             $(b,--json)).")
+  in
   Cmd.v
     (Cmd.info "loadtest"
        ~doc:
@@ -1658,7 +1699,83 @@ let loadtest_cmd =
           curve")
     Term.(
       const run $ host $ port $ requests $ connections $ repeat $ working_set
-      $ modes_s $ cores $ kind_s $ seed $ shutdown $ json_out)
+      $ modes_s $ cores $ kind_s $ seed $ shutdown $ json_out $ scrape)
+
+(* ---------------- top ---------------- *)
+
+let top_cmd =
+  let run addr host port interval_ms count no_clear =
+    let host, port =
+      match addr with
+      | None -> (host, port)
+      | Some a -> (
+          (* HOST:PORT, bare HOST, or bare PORT *)
+          match String.rindex_opt a ':' with
+          | Some i -> (
+              let h = String.sub a 0 i in
+              let p = String.sub a (i + 1) (String.length a - i - 1) in
+              match int_of_string_opt p with
+              | Some p when h <> "" -> (h, p)
+              | _ -> die "bad address %S (expected HOST:PORT)" a)
+          | None -> (
+              match int_of_string_opt a with
+              | Some p -> (host, p)
+              | None -> (a, port)))
+    in
+    let clear = (not no_clear) && (count <> 1 && Unix.isatty Unix.stdout) in
+    let config =
+      { Server_lib.Top.host; port; interval_ms = max 50 interval_ms; count; clear }
+    in
+    match Server_lib.Top.run config with
+    | Ok () -> ()
+    | Error msg -> die "%s" msg
+  in
+  let addr =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"ADDR"
+          ~doc:
+            "Server address as HOST:PORT (also accepts a bare host or a bare \
+             port); overrides $(b,--host)/$(b,--port).")
+  in
+  let host =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"HOST" ~doc:"Server host (default 127.0.0.1).")
+  in
+  let port =
+    Arg.(
+      value & opt int 7421
+      & info [ "p"; "port" ] ~docv:"PORT" ~doc:"Server port (default 7421).")
+  in
+  let interval_ms =
+    Arg.(
+      value & opt int 1000
+      & info [ "interval-ms" ] ~docv:"MS"
+          ~doc:"Refresh interval in milliseconds (default 1000, min 50).")
+  in
+  let count =
+    Arg.(
+      value & opt int 0
+      & info [ "count" ] ~docv:"N"
+          ~doc:
+            "Render $(docv) frames then exit; 0 (default) runs until the \
+             server goes away.")
+  in
+  let no_clear =
+    Arg.(
+      value & flag
+      & info [ "no-clear" ]
+          ~doc:"Append frames instead of clearing the screen between them.")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Watch a running paratime server: req/s by outcome, interval \
+          p50/p99, queue depth, store hit rate — all from metrics scrape \
+          deltas")
+    Term.(const run $ addr $ host $ port $ interval_ms $ count $ no_clear)
 
 let () =
   let doc = "static WCET analysis for parallel architectures" in
@@ -1678,5 +1795,6 @@ let () =
             cfg_cmd;
             serve_cmd;
             loadtest_cmd;
+            top_cmd;
             benchmarks_cmd;
           ]))

@@ -1,4 +1,13 @@
-type job = { label : string; run : unit -> bool; enq_ns : int64 }
+type job = {
+  label : string;
+  run : unit -> bool;
+  complete : unit -> unit;
+      (* resolves the ticket; called only after the traced wrapper
+         around [run] has fully closed, so a submitter woken by [await]
+         never observes a trace with spans still open *)
+  enq_ns : int64;
+  trace : (Obs.Reqtrace.t * int) option;
+}
 
 type t = {
   lock : Mutex.t;
@@ -38,7 +47,20 @@ let worker_loop t =
       Obs.observe "service.queue_wait_ns"
         (Int64.to_int (Int64.sub (now_ns ()) job.enq_ns));
       let t0 = now_ns () in
-      let ok = Obs.span ~cat:"service" job.label job.run in
+      let ok =
+        match job.trace with
+        | None -> Obs.span ~cat:"service" job.label job.run
+        | Some (rt, parent) ->
+            (* the wait is over by the time a worker sees the job, so it
+               is recorded retroactively from the enqueue stamp; the run
+               itself is scoped so every [Obs.span] inside the analysis
+               lands in the request's tree *)
+            Obs.Reqtrace.add_completed rt ~parent ~cat:"service"
+              ~t0:job.enq_ns "queue.wait";
+            Obs.Reqtrace.with_scope rt ~parent (fun () ->
+                Obs.span ~cat:"service" job.label job.run)
+      in
+      job.complete ();
       Obs.observe "service.run_ns" (Int64.to_int (Int64.sub (now_ns ()) t0));
       Obs.add "service.jobs" 1;
       Mutex.lock t.lock;
@@ -84,19 +106,21 @@ let resolve ticket r =
   Condition.broadcast ticket.tcond;
   Mutex.unlock ticket.tlock
 
-let submit t ?(label = "job") f =
+let submit t ?(label = "job") ?trace f =
   let ticket =
     { tlock = Mutex.create (); tcond = Condition.create (); state = Pending }
   in
+  let result = ref (Error "job never ran") in
   let run () =
     match f () with
     | v ->
-        resolve ticket (Ok v);
+        result := Ok v;
         true
     | exception e ->
-        resolve ticket (Error (Printexc.to_string e));
+        result := Error (Printexc.to_string e);
         false
   in
+  let complete () = resolve ticket !result in
   Mutex.lock t.lock;
   if t.stopping || Queue.length t.queue >= t.capacity then begin
     t.rejected <- t.rejected + 1;
@@ -105,7 +129,7 @@ let submit t ?(label = "job") f =
     None
   end
   else begin
-    Queue.push { label; run; enq_ns = now_ns () } t.queue;
+    Queue.push { label; run; complete; enq_ns = now_ns (); trace } t.queue;
     Condition.signal t.nonempty;
     Mutex.unlock t.lock;
     Some ticket

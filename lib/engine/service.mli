@@ -31,9 +31,20 @@ val queue_capacity : t -> int
 
 type 'a ticket
 
-val submit : t -> ?label:string -> (unit -> 'a) -> 'a ticket option
+val submit :
+  t ->
+  ?label:string ->
+  ?trace:Obs.Reqtrace.t * int ->
+  (unit -> 'a) ->
+  'a ticket option
 (** Enqueue a job; [None] when the queue is at capacity or the service
-    is shutting down (the caller should report [busy]).  Never blocks. *)
+    is shutting down (the caller should report [busy]).  Never blocks.
+
+    [trace] = [(rt, parent)] attaches the job to a request trace: the
+    executing worker records the queue wait retroactively (from the
+    enqueue stamp) as a ["queue.wait"] span under [parent], then runs
+    the job inside {!Obs.Reqtrace.with_scope} so every [Obs.span] in the
+    analysis lands in [rt]'s tree as well as on the worker's track. *)
 
 val await : 'a ticket -> ('a, string) result
 (** Block until the job resolves.  [Error] carries the printed

@@ -1,0 +1,100 @@
+(* A flight dump must never take the server down or fill the disk: every
+   filesystem failure is swallowed (the dump is diagnostic, the request
+   already completed) and the directory is pruned to [max_files] oldest
+   first.  Files are sequence-numbered so ordering survives restarts —
+   [open_] rescans and continues after the highest existing number —
+   and written via tmp + rename so a reader never sees a torn dump. *)
+
+type t = {
+  dir : string;
+  max_files : int;
+  lock : Mutex.t;
+  mutable next_seq : int;
+  mutable entries : (int * string) list;  (* (seq, basename), oldest first *)
+}
+
+let default_max_files = 64
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let seq_of basename =
+  match String.index_opt basename '-' with
+  | None -> None
+  | Some i -> int_of_string_opt (String.sub basename 0 i)
+
+let open_ ?(max_files = default_max_files) dir =
+  mkdir_p dir;
+  let entries =
+    match Sys.readdir dir with
+    | exception Sys_error _ -> []
+    | names ->
+        List.sort compare
+          (List.filter_map
+             (fun n -> Option.map (fun s -> (s, n)) (seq_of n))
+             (Array.to_list names))
+  in
+  let next_seq =
+    List.fold_left (fun acc (s, _) -> max acc (s + 1)) 0 entries
+  in
+  { dir; max_files = max 1 max_files; lock = Mutex.create (); next_seq; entries }
+
+let dir t = t.dir
+let max_files t = t.max_files
+
+let sanitize name =
+  let name = if name = "" then "trace" else name in
+  let name =
+    if String.length name > 64 then String.sub name 0 64 else name
+  in
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' | '-' -> c
+      | _ -> '_')
+    name
+
+let record t ~name contents =
+  Mutex.lock t.lock;
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  let basename = Printf.sprintf "%08d-%s.json" seq (sanitize name) in
+  let path = Filename.concat t.dir basename in
+  let written =
+    try
+      let tmp = path ^ ".tmp" in
+      let oc = open_out_bin tmp in
+      output_string oc contents;
+      output_char oc '\n';
+      close_out oc;
+      Sys.rename tmp path;
+      true
+    with Sys_error _ -> false
+  in
+  let r =
+    if written then begin
+      t.entries <- t.entries @ [ (seq, basename) ];
+      while List.length t.entries > t.max_files do
+        match t.entries with
+        | (_, oldest) :: rest ->
+            t.entries <- rest;
+            (try Sys.remove (Filename.concat t.dir oldest)
+             with Sys_error _ -> ())
+        | [] -> ()
+      done;
+      Some basename
+    end
+    else None
+  in
+  Mutex.unlock t.lock;
+  r
+
+let files t =
+  Mutex.lock t.lock;
+  let fs = List.map snd t.entries in
+  Mutex.unlock t.lock;
+  fs

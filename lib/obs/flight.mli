@@ -1,0 +1,28 @@
+(** Bounded on-disk flight recorder for slow-request trace dumps.
+
+    One directory, at most [max_files] dumps, oldest pruned first.
+    Files are named [NNNNNNNN-<name>.json] — the sequence number makes
+    ordering survive restarts ({!open_} rescans and continues after the
+    highest existing number) — and written via tmp + rename so a
+    concurrent reader never sees a torn dump.  Every filesystem error is
+    swallowed and reported as [None]: a failed dump must never take the
+    serving path down. *)
+
+type t
+
+val default_max_files : int
+(** 64. *)
+
+val open_ : ?max_files:int -> string -> t
+(** Create [dir] (and parents) if needed and scan existing dumps. *)
+
+val dir : t -> string
+val max_files : t -> int
+
+val record : t -> name:string -> string -> string option
+(** Write one dump ([name] is sanitised into the filename — client
+    trace ids are untrusted), prune beyond the bound, return the
+    basename written ([None] on any filesystem error). *)
+
+val files : t -> string list
+(** Retained dump basenames, oldest first. *)

@@ -39,6 +39,12 @@ let add t name n =
       | C_counter r -> r := !r + n
       | C_gauge _ | C_hist _ -> assert false)
 
+let set_counter t name v =
+  locked t (fun () ->
+      match cell t name Counter (fun () -> C_counter (ref 0)) with
+      | C_counter r -> if v > !r then r := v
+      | C_gauge _ | C_hist _ -> assert false)
+
 let set_gauge t name v =
   locked t (fun () ->
       match cell t name Gauge (fun () -> C_gauge (ref 0)) with

@@ -15,6 +15,11 @@ val create : unit -> t
 val add : t -> string -> int -> unit
 (** Bump a counter. *)
 
+val set_counter : t -> string -> int -> unit
+(** Raise a counter to an absolute value (never lowers it) — for
+    mirroring an externally maintained monotone total (store hit/miss
+    counts, ring drop totals) into the registry at scrape time. *)
+
 val set_gauge : t -> string -> int -> unit
 val observe : t -> string -> int -> unit
 (** Record a value into the named histogram. *)

@@ -5,6 +5,10 @@ module Ring = Ring
 module Sink = Sink
 module Trace_export = Trace_export
 module Csv_export = Csv_export
+module Reqtrace = Reqtrace
+module Sampler = Sampler
+module Flight = Flight
+module Prometheus = Prometheus
 
 let sink_cell : Sink.t option Atomic.t = Atomic.make None
 let set_sink s = Atomic.set sink_cell s
@@ -54,19 +58,45 @@ let now_ns () =
   | Some s -> Sink.now s
   | None -> Monotonic_clock.now ()
 
+(* The no-sink path stays exactly one atomic load; the request-trace
+   hook lives on the sink-present branch only.  With a sink but no
+   active scope (every path outside a traced service job) the extra
+   cost is one domain-local read. *)
 let span ?cat ?args name f =
   match Atomic.get sink_cell with
   | None -> f ()
   | Some s -> (
       let tr = track_for s in
-      Sink.begin_ s tr ?cat ?args name;
-      match f () with
-      | x ->
-          Sink.end_ s tr;
-          x
-      | exception e ->
-          Sink.end_ s tr;
-          raise e)
+      match Reqtrace.scoped_begin ?cat ?args name with
+      | Reqtrace.Inactive -> (
+          Sink.begin_ s tr ?cat ?args name;
+          match f () with
+          | x ->
+              Sink.end_ s tr;
+              x
+          | exception e ->
+              Sink.end_ s tr;
+              raise e)
+      | Reqtrace.Scoped info -> (
+          (match info with
+          | Some (id, parent, trace_id) ->
+              let args =
+                ("trace", Event.Str trace_id)
+                :: ("span", Event.Int id)
+                :: ("parent", Event.Int parent)
+                :: Option.value ~default:[] args
+              in
+              Sink.begin_ s tr ?cat ~args name
+          | None -> Sink.begin_ s tr ?cat ?args name);
+          match f () with
+          | x ->
+              Reqtrace.scoped_end ();
+              Sink.end_ s tr;
+              x
+          | exception e ->
+              Reqtrace.scoped_end ();
+              Sink.end_ s tr;
+              raise e))
 
 let instant ?cat ?args name =
   match Atomic.get sink_cell with
@@ -92,6 +122,11 @@ let add name n =
   match Atomic.get sink_cell with
   | None -> ()
   | Some s -> Metrics.add (Sink.metrics s) name n
+
+let set_counter name v =
+  match Atomic.get sink_cell with
+  | None -> ()
+  | Some s -> Metrics.set_counter (Sink.metrics s) name v
 
 let set_gauge name v =
   match Atomic.get sink_cell with

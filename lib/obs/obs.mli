@@ -22,6 +22,10 @@ module Ring = Ring
 module Sink = Sink
 module Trace_export = Trace_export
 module Csv_export = Csv_export
+module Reqtrace = Reqtrace
+module Sampler = Sampler
+module Flight = Flight
+module Prometheus = Prometheus
 
 (** {1 Ambient sink} *)
 
@@ -40,7 +44,11 @@ val with_sink : Sink.t -> (unit -> 'a) -> 'a
 val span : ?cat:string -> ?args:(string * Event.value) list -> string -> (unit -> 'a) -> 'a
 (** [span name f] runs [f] inside a [Begin]/[End] pair on the current
     domain's track (no-op without a sink).  Exceptions pass through; the
-    [End] is still recorded. *)
+    [End] is still recorded.  Inside a {!Reqtrace.with_scope} the span
+    is additionally recorded into the active request trace and the ring
+    event tagged with [trace]/[span]/[parent] correlation args; without
+    a sink the request-trace hook is never consulted, keeping the
+    disabled path at a single atomic load. *)
 
 val instant : ?cat:string -> ?args:(string * Event.value) list -> string -> unit
 
@@ -67,5 +75,6 @@ val with_track : Sink.t -> Sink.track -> (unit -> 'a) -> 'a
 (** {1 Ambient metrics} — all no-ops without a sink. *)
 
 val add : string -> int -> unit
+val set_counter : string -> int -> unit
 val set_gauge : string -> int -> unit
 val observe : string -> int -> unit

@@ -1,0 +1,66 @@
+(* Text exposition format, version 0.0.4: one [# TYPE] line per metric,
+   then its samples.  Metric names are derived mechanically from the
+   registry names ("server.request_ns" -> "paratime_server_request_ns")
+   so the mapping is stable across releases; counters get the
+   conventional [_total] suffix.  Histograms expose the log2 buckets as
+   cumulative [_bucket{le="2^i"}] samples — the [le] values are the
+   exact {!Histogram.bucket_bounds} upper bounds, which is what the
+   round-trip test pins down. *)
+
+let metric_name name =
+  let b = Buffer.create (String.length name + 10) in
+  Buffer.add_string b "paratime_";
+  String.iteri
+    (fun i c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '_' -> Buffer.add_char b c
+      | '0' .. '9' ->
+          if i = 0 then Buffer.add_char b '_';
+          Buffer.add_char b c
+      | _ -> Buffer.add_char b '_')
+    name;
+  Buffer.contents b
+
+let counter_name name =
+  let n = metric_name name in
+  if
+    String.length n >= 6
+    && String.sub n (String.length n - 6) 6 = "_total"
+  then n
+  else n ^ "_total"
+
+let add_hist b name (snap : Histogram.snapshot) =
+  Buffer.add_string b (Printf.sprintf "# TYPE %s histogram\n" name);
+  let cum = ref 0 in
+  List.iter
+    (fun (bucket, count) ->
+      cum := !cum + count;
+      let _, hi = Histogram.bucket_bounds bucket in
+      Buffer.add_string b
+        (Printf.sprintf "%s_bucket{le=\"%d\"} %d\n" name hi !cum))
+    snap.Histogram.s_buckets;
+  Buffer.add_string b
+    (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" name snap.Histogram.s_count);
+  Buffer.add_string b
+    (Printf.sprintf "%s_sum %d\n" name snap.Histogram.s_sum);
+  Buffer.add_string b
+    (Printf.sprintf "%s_count %d\n" name snap.Histogram.s_count)
+
+let render_items items =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun item ->
+      match item with
+      | Metrics.Counter_v (name, v) ->
+          let n = counter_name name in
+          Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n" n);
+          Buffer.add_string b (Printf.sprintf "%s %d\n" n v)
+      | Metrics.Gauge_v (name, v) ->
+          let n = metric_name name in
+          Buffer.add_string b (Printf.sprintf "# TYPE %s gauge\n" n);
+          Buffer.add_string b (Printf.sprintf "%s %d\n" n v)
+      | Metrics.Hist_v (name, snap) -> add_hist b (metric_name name) snap)
+    items;
+  Buffer.contents b
+
+let render metrics = render_items (Metrics.snapshot metrics)

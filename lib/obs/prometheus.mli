@@ -1,0 +1,19 @@
+(** Prometheus text exposition (format 0.0.4) for a {!Metrics} registry.
+
+    Names are derived mechanically and stably: [paratime_] prefix,
+    non-alphanumeric characters mapped to [_], counters suffixed
+    [_total].  Histograms render the log2 buckets as cumulative
+    [_bucket{le="..."}] samples whose [le] values are the exact
+    {!Histogram.bucket_bounds} upper bounds (powers of two), plus the
+    conventional [+Inf] bucket, [_sum] and [_count]. *)
+
+val metric_name : string -> string
+(** ["server.request_ns"] -> ["paratime_server_request_ns"]. *)
+
+val counter_name : string -> string
+(** {!metric_name} plus the [_total] suffix (not doubled). *)
+
+val render : Metrics.t -> string
+(** Whole-registry exposition in first-registration order. *)
+
+val render_items : Metrics.item list -> string

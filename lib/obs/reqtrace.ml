@@ -1,0 +1,344 @@
+(* A request trace is buffered privately rather than recorded straight
+   into a ring: connection handlers are sys-threads sharing domain 0,
+   so they may not write the domain's track, and the keep/drop decision
+   (sampling, errors, slow requests) is only known at completion anyway.
+   A kept trace is replayed as one balanced subtree into a dedicated
+   track ([emit]) and/or dumped as JSON ([to_json]).
+
+   The buffer is deliberately unsynchronised.  A trace is owned by one
+   thread of control at a time: the connection thread from [create] to
+   [Engine.Service.submit], the worker domain inside [with_scope] while
+   the owner blocks in [await], and the connection thread again after
+   [await] returns.  The service queue's mutex provides the
+   happens-before on each handoff, so a lock here would buy nothing and
+   cost a custom-block allocation per request (which accelerates the
+   minor GC — measurable at serving rates).
+
+   Span ids are allocated in recording order starting at 1 (the root),
+   so for a deterministic request the (id, parent, name) tree is
+   identical at any worker count — the property the propagation tests
+   pin down.  A trace never grows past [max_spans] completed spans:
+   beyond that, new spans are dropped but their children re-attach to
+   the nearest recorded ancestor (the current parent simply does not
+   advance), keeping the exported tree connected under truncation. *)
+
+type span = {
+  sp_id : int;
+  sp_parent : int;  (* 0 only for the root *)
+  sp_name : string;
+  sp_cat : string;
+  sp_t0 : int64;
+  sp_t1 : int64;
+  sp_args : (string * Event.value) list;
+}
+
+type t = {
+  clock : unit -> int64;
+  id : string;
+  max_spans : int;
+  root_name : string;
+  root_cat : string;
+  root_args : (string * Event.value) list;
+  root_t0 : int64;
+  mutable next_id : int;
+  mutable completed : span list;  (* reversed *)
+  mutable parents : int list;  (* explicit (owner-thread) open-span stack *)
+  mutable truncated : int;
+  mutable outcome : string option;
+  mutable root_t1 : int64;  (* 0 until [finish] *)
+}
+
+let default_max_spans = 4096
+
+let create ?clock ?(max_spans = default_max_spans) ?(cat = "") ?(args = [])
+    ?t0 ~id name =
+  let clock = match clock with Some c -> c | None -> Monotonic_clock.now in
+  let root_t0 = match t0 with Some t -> t | None -> clock () in
+  {
+    clock;
+    id;
+    max_spans = max 1 max_spans;
+    root_name = name;
+    root_cat = cat;
+    root_args = args;
+    root_t0;
+    next_id = 2;
+    completed = [];
+    parents = [ 1 ];
+    truncated = 0;
+    outcome = None;
+    root_t1 = 0L;
+  }
+
+let trace_id t = t.id
+let root t = ignore t; 1
+
+let alloc t =
+  if t.next_id > t.max_spans then begin
+    t.truncated <- t.truncated + 1;
+    None
+  end
+  else begin
+    let id = t.next_id in
+    t.next_id <- t.next_id + 1;
+    Some id
+  end
+
+let record t sp = t.completed <- sp :: t.completed
+
+let add_completed t ~parent ?(cat = "") ?(args = []) ~t0 ?t1 name =
+  let t1 = match t1 with Some v -> v | None -> t.clock () in
+  match alloc t with
+  | None -> ()
+  | Some id ->
+      record t
+        {
+          sp_id = id;
+          sp_parent = parent;
+          sp_name = name;
+          sp_cat = cat;
+          sp_t0 = t0;
+          sp_t1 = t1;
+          sp_args = args;
+        }
+
+let span t ?(cat = "") ?(args = []) name f =
+  let t0 = t.clock () in
+  let parent = match t.parents with p :: _ -> p | [] -> 1 in
+  let id = alloc t in
+  (match id with Some i -> t.parents <- i :: t.parents | None -> ());
+  let close () =
+    let t1 = t.clock () in
+    match id with
+    | None -> ()
+    | Some id ->
+        (match t.parents with
+        | p :: rest when p = id -> t.parents <- rest
+        | _ -> ());
+        record t
+          {
+            sp_id = id;
+            sp_parent = parent;
+            sp_name = name;
+            sp_cat = cat;
+            sp_t0 = t0;
+            sp_t1 = t1;
+            sp_args = args;
+          }
+  in
+  match f () with
+  | x ->
+      close ();
+      x
+  | exception e ->
+      close ();
+      raise e
+
+(* Worker-domain ambient scope.  DLS is safe here because a service
+   worker domain runs one job at a time; connection sys-threads (which
+   share domain 0) must use the explicit [span] above instead. *)
+
+type open_scoped = {
+  os_id : int option;  (* [None]: dropped by the [max_spans] cap *)
+  os_saved : int;
+  os_t0 : int64;
+  os_name : string;
+  os_cat : string;
+  os_args : (string * Event.value) list;
+}
+
+type scope = {
+  sc_t : t;
+  mutable sc_parent : int;
+  mutable sc_open : open_scoped list;
+}
+
+let scope_key : scope option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let with_scope t ~parent f =
+  let cell = Domain.DLS.get scope_key in
+  let old = !cell in
+  cell := Some { sc_t = t; sc_parent = parent; sc_open = [] };
+  Fun.protect ~finally:(fun () -> cell := old) f
+
+type scoped = Inactive | Scoped of (int * int * string) option
+
+let scoped_begin ?(cat = "") ?(args = []) name =
+  match !(Domain.DLS.get scope_key) with
+  | None -> Inactive
+  | Some sc ->
+      let t = sc.sc_t in
+      let id = alloc t in
+      sc.sc_open <-
+        {
+          os_id = id;
+          os_saved = sc.sc_parent;
+          os_t0 = t.clock ();
+          os_name = name;
+          os_cat = cat;
+          os_args = args;
+        }
+        :: sc.sc_open;
+      Scoped
+        (match id with
+        | None -> None
+        | Some i ->
+            let parent = sc.sc_parent in
+            sc.sc_parent <- i;
+            Some (i, parent, t.id))
+
+let scoped_end () =
+  match !(Domain.DLS.get scope_key) with
+  | None -> ()
+  | Some sc -> (
+      match sc.sc_open with
+      | [] -> ()
+      | os :: rest -> (
+          sc.sc_open <- rest;
+          sc.sc_parent <- os.os_saved;
+          match os.os_id with
+          | None -> ()
+          | Some id ->
+              let t = sc.sc_t in
+              let t1 = t.clock () in
+              record t
+                {
+                  sp_id = id;
+                  sp_parent = os.os_saved;
+                  sp_name = os.os_name;
+                  sp_cat = os.os_cat;
+                  sp_t0 = os.os_t0;
+                  sp_t1 = t1;
+                  sp_args = os.os_args;
+                }))
+
+let finish t ?t1 ~outcome () =
+  if t.outcome = None then begin
+    t.outcome <- Some outcome;
+    t.root_t1 <- (match t1 with Some v -> v | None -> t.clock ())
+  end;
+  Int64.sub t.root_t1 t.root_t0
+
+let outcome t = t.outcome
+let duration_ns t = Int64.sub t.root_t1 t.root_t0
+let truncated t = t.truncated
+
+let spans t =
+  let root_t1 =
+    if t.root_t1 <> 0L then t.root_t1
+    else
+      List.fold_left
+        (fun acc sp -> if sp.sp_t1 > acc then sp.sp_t1 else acc)
+        t.root_t0 t.completed
+  in
+  let root_args =
+    t.root_args
+    @
+    match t.outcome with
+    | None -> []
+    | Some o -> [ ("outcome", Event.Str o) ]
+  in
+  let root =
+    {
+      sp_id = 1;
+      sp_parent = 0;
+      sp_name = t.root_name;
+      sp_cat = t.root_cat;
+      sp_t0 = t.root_t0;
+      sp_t1 = root_t1;
+      sp_args = root_args;
+    }
+  in
+  List.sort (fun a b -> compare a.sp_id b.sp_id) (root :: t.completed)
+
+(* Replay the tree into [track] as one balanced subtree: depth-first,
+   children in (t0, id) order, every Begin tagged with trace/span/parent
+   so ring consumers can re-correlate.  The caller owns any serialisation
+   needed when several requests share the track. *)
+let emit t track =
+  let all = spans t in
+  let children = Hashtbl.create 16 in
+  List.iter
+    (fun sp ->
+      let siblings =
+        Option.value ~default:[] (Hashtbl.find_opt children sp.sp_parent)
+      in
+      Hashtbl.replace children sp.sp_parent (sp :: siblings))
+    all;
+  let kids parent =
+    List.sort
+      (fun a b ->
+        match Int64.compare a.sp_t0 b.sp_t0 with
+        | 0 -> compare a.sp_id b.sp_id
+        | c -> c)
+      (Option.value ~default:[] (Hashtbl.find_opt children parent))
+  in
+  let rec push sp =
+    let args =
+      ("trace", Event.Str t.id)
+      :: ("span", Event.Int sp.sp_id)
+      :: ("parent", Event.Int sp.sp_parent)
+      :: sp.sp_args
+    in
+    Sink.begin_at track ~ts:sp.sp_t0 ~cat:sp.sp_cat ~args sp.sp_name;
+    List.iter push (kids sp.sp_id);
+    Sink.end_at track ~ts:sp.sp_t1
+  in
+  List.iter push (kids 0)
+
+let escape b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let value_json b = function
+  | Event.Int i -> Buffer.add_string b (string_of_int i)
+  | Event.Float f -> Buffer.add_string b (Printf.sprintf "%.17g" f)
+  | Event.Bool v -> Buffer.add_string b (string_of_bool v)
+  | Event.Str s -> escape b s
+
+let to_json t =
+  let all = spans t in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\"trace_id\":";
+  escape b t.id;
+  Buffer.add_string b ",\"outcome\":";
+  escape b (Option.value ~default:"" (outcome t));
+  Buffer.add_string b
+    (Printf.sprintf ",\"dur_ns\":%Ld,\"spans_dropped\":%d,\"spans\":["
+       (duration_ns t) (truncated t));
+  List.iteri
+    (fun i sp ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "{\"id\":%d,\"parent\":%d,\"name\":" sp.sp_id
+           sp.sp_parent);
+      escape b sp.sp_name;
+      Buffer.add_string b ",\"cat\":";
+      escape b sp.sp_cat;
+      Buffer.add_string b
+        (Printf.sprintf ",\"t0_ns\":%Ld,\"t1_ns\":%Ld,\"args\":{" sp.sp_t0
+           sp.sp_t1);
+      List.iteri
+        (fun j (k, v) ->
+          if j > 0 then Buffer.add_char b ',';
+          escape b k;
+          Buffer.add_char b ':';
+          value_json b v)
+        sp.sp_args;
+      Buffer.add_string b "}}")
+    all;
+  Buffer.add_string b "]}";
+  Buffer.contents b

@@ -1,0 +1,127 @@
+(** Request-scoped trace buffer for the serving path.
+
+    One [t] per request.  Spans are buffered privately (never written to
+    a ring while the request runs — connection handlers are sys-threads
+    sharing domain 0, which may not write the domain track) and the
+    keep/drop decision happens at completion ({!Sampler}).  A kept trace
+    is replayed into a dedicated ring track ({!emit}) or dumped as JSON
+    ({!to_json}, the flight-recorder format).
+
+    Span ids are allocated in recording order from 1 (the root), so a
+    deterministic request produces an identical (id, parent, name) tree
+    at any service worker count.  The owning thread records with {!span}
+    and {!add_completed}; a service worker domain wraps the job in
+    {!with_scope}, which makes every {!Obs.span} inside the job land in
+    this trace too (the hook in [Obs.span] calls {!scoped_begin} /
+    {!scoped_end}).
+
+    The buffer is unsynchronised by design: a trace belongs to exactly
+    one thread of control at a time (the connection thread, then a
+    worker domain inside {!with_scope} while the owner blocks in
+    [await], then the connection thread again), and each handoff goes
+    through the service queue's lock.  Do not share a [t] between
+    concurrently running threads.
+
+    At most [max_spans] spans are recorded; further
+    spans are dropped but their descendants re-attach to the nearest
+    recorded ancestor, so the tree stays connected under truncation. *)
+
+type t
+
+type span = {
+  sp_id : int;
+  sp_parent : int;  (** 0 only for the root (whose id is 1) *)
+  sp_name : string;
+  sp_cat : string;
+  sp_t0 : int64;
+  sp_t1 : int64;
+  sp_args : (string * Event.value) list;
+}
+
+val default_max_spans : int
+(** 4096. *)
+
+val create :
+  ?clock:(unit -> int64) ->
+  ?max_spans:int ->
+  ?cat:string ->
+  ?args:(string * Event.value) list ->
+  ?t0:int64 ->
+  id:string ->
+  string ->
+  t
+(** [create ~id name] opens the root span (id 1) named [name] at [t0]
+    (default: now).  [id] is the request's trace id. *)
+
+val trace_id : t -> string
+
+val root : t -> int
+(** The root span id (always 1); the parent under which request phases
+    hang. *)
+
+val span :
+  t -> ?cat:string -> ?args:(string * Event.value) list -> string -> (unit -> 'a) -> 'a
+(** Record [f] as a span under the innermost open {!span} (or the root).
+    Owner-thread API — keeps its own open stack in [t], no domain-local
+    state. *)
+
+val add_completed :
+  t ->
+  parent:int ->
+  ?cat:string ->
+  ?args:(string * Event.value) list ->
+  t0:int64 ->
+  ?t1:int64 ->
+  string ->
+  unit
+(** Record an already-elapsed phase retroactively (parse time, queue
+    wait) with an explicit start; [t1] defaults to now. *)
+
+(** {1 Worker-domain scope} *)
+
+val with_scope : t -> parent:int -> (unit -> 'a) -> 'a
+(** Route this domain's {!Obs.span} calls into [t] under [parent] for
+    the duration of [f].  Per-domain state: safe only where a domain
+    runs one traced job at a time (the {!Engine.Service} workers). *)
+
+type scoped =
+  | Inactive  (** no scope on this domain *)
+  | Scoped of (int * int * string) option
+      (** scope active; [Some (id, parent, trace_id)] when the span was
+          recorded, [None] when dropped by the [max_spans] cap (the
+          matching {!scoped_end} is still required) *)
+
+val scoped_begin :
+  ?cat:string -> ?args:(string * Event.value) list -> string -> scoped
+(** Hook for [Obs.span]: open a span in the active scope, if any.  Every
+    non-[Inactive] return must be balanced by {!scoped_end}. *)
+
+val scoped_end : unit -> unit
+
+(** {1 Completion and export} *)
+
+val finish : t -> ?t1:int64 -> outcome:string -> unit -> int64
+(** Close the root at [t1] (default: now — callers that already read
+    the clock for their own latency metric pass it through), stamp
+    ["outcome"] into its args, return the request duration in ns.
+    First call wins; later calls return the same duration. *)
+
+val outcome : t -> string option
+val duration_ns : t -> int64
+
+val truncated : t -> int
+(** Spans dropped by the [max_spans] cap. *)
+
+val spans : t -> span list
+(** All recorded spans in id order, root first.  The tree is connected:
+    every parent id is present and smaller than its child's id. *)
+
+val emit : t -> Sink.track -> unit
+(** Replay the tree into [track] as one balanced subtree (depth-first,
+    children by start time), each [Begin] tagged with
+    [trace]/[span]/[parent] args.  The caller serialises concurrent
+    emissions onto a shared track. *)
+
+val to_json : t -> string
+(** The flight-recorder dump: trace id, outcome, duration, and the span
+    tree as one JSON object (single line). *)

@@ -1,0 +1,18 @@
+type t = { every : int; slow_ns : int64; counter : int Atomic.t }
+type decision = { keep : bool; slow : bool }
+
+let create ?(slow_ms = 250) ~every () =
+  let slow_ns =
+    if slow_ms < 0 then Int64.min_int (* sentinel: never slow *)
+    else Int64.mul (Int64.of_int slow_ms) 1_000_000L
+  in
+  { every; slow_ns; counter = Atomic.make 0 }
+
+let decide t ~cold ~error ~dur_ns =
+  let sampled =
+    cold
+    && t.every > 0
+    && Atomic.fetch_and_add t.counter 1 mod t.every = 0
+  in
+  let slow = t.slow_ns >= 0L && dur_ns >= t.slow_ns in
+  { keep = sampled || error || slow; slow }

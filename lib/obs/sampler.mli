@@ -1,0 +1,24 @@
+(** Completion-time sampling policy for request traces.
+
+    Cold requests are kept 1-in-[every] under a seeded shared counter
+    (the first cold request is always kept, then every [every]-th);
+    errors are always kept; requests at or above the slow threshold are
+    always kept and additionally flagged [slow] so the server dumps them
+    to the flight recorder.  The decision runs at completion because
+    that is when outcome and duration are known — recording is cheap,
+    keeping is what is sampled. *)
+
+type t
+
+type decision = {
+  keep : bool;
+  slow : bool;  (** at or above the slow threshold *)
+}
+
+val create : ?slow_ms:int -> every:int -> unit -> t
+(** [every <= 0] never samples cold requests (errors and slow requests
+    are still kept).  [slow_ms] defaults to 250; [0] marks every request
+    slow, negative disables the slow path entirely. *)
+
+val decide : t -> cold:bool -> error:bool -> dur_ns:int64 -> decision
+(** Only [cold] requests consume the 1-in-N counter. *)

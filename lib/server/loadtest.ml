@@ -10,6 +10,7 @@ type config = {
   kind : Modes.kind;
   seed : int;
   shutdown_after : bool;
+  scrape : bool;
 }
 
 let default_config =
@@ -25,9 +26,19 @@ let default_config =
     kind = Modes.Wcet;
     seed = 42;
     shutdown_after = false;
+    scrape = false;
   }
 
 type outcome_stats = { o_count : int; o_p50_ns : int; o_p99_ns : int }
+
+type server_delta = {
+  sd_requests : int;
+  sd_by_op : (string * int) list;
+  sd_outcomes : (string * int) list;
+  sd_p50_ns : int;
+  sd_p99_ns : int;
+  sd_write_dropped : int;
+}
 
 type report = {
   sent : int;
@@ -41,6 +52,7 @@ type report = {
   overall : outcome_stats;
   by_outcome : (string * outcome_stats) list;
   hit_curve : (int * int) list;
+  server : server_delta option;
 }
 
 (* per-thread accumulator; merged under [agg_lock] when the thread ends *)
@@ -181,9 +193,39 @@ let stats_of_hist h =
     o_p99_ns = Protocol.percentile snap 0.99;
   }
 
+(* One scrape round trip on its own connection; the scrape traffic is
+   [op:"metrics"], so per-op deltas over ["server.req.analyze"] count
+   exactly the analysis requests this run sent. *)
+let scrape_sample cfg =
+  match Client.connect ~host:cfg.host ~port:cfg.port () with
+  | Error msg -> Error (Printf.sprintf "scrape: %s" msg)
+  | Ok c ->
+      let r = Scrape.fetch c in
+      Client.close c;
+      Result.map_error (fun msg -> Printf.sprintf "scrape: %s" msg) r
+
+let delta_of ~before ~after =
+  {
+    sd_requests = Scrape.counter_delta ~before ~after "server.requests";
+    sd_by_op = Scrape.counters_with_prefix ~before ~after "server.req.";
+    sd_outcomes = Scrape.counters_with_prefix ~before ~after "server.out.";
+    sd_p50_ns =
+      Scrape.percentile (Scrape.hist_delta ~before ~after "server.request_ns") 0.50;
+    sd_p99_ns =
+      Scrape.percentile (Scrape.hist_delta ~before ~after "server.request_ns") 0.99;
+    sd_write_dropped =
+      Scrape.counter_delta ~before ~after "store.write_dropped";
+  }
+
 let run cfg =
-  if cfg.requests < 0 then Error "requests < 0"
-  else if cfg.connections < 1 then Error "connections < 1"
+  if cfg.requests < 0 then
+    Error (Printf.sprintf "requests must be >= 0 (got %d)" cfg.requests)
+  else if cfg.connections < 1 then
+    Error (Printf.sprintf "connections must be >= 1 (got %d)" cfg.connections)
+  else if cfg.working_set < 1 then
+    Error
+      (Printf.sprintf "working set is empty (--working-set %d; need >= 1)"
+         cfg.working_set)
   else if cfg.modes = [] then Error "empty mode rotation"
   else begin
     let cfg =
@@ -193,8 +235,15 @@ let run cfg =
        failures *)
     match Client.connect ~host:cfg.host ~port:cfg.port () with
     | Error msg -> Error msg
-    | Ok probe ->
+    | Ok probe -> (
         Client.close probe;
+        let before_scrape =
+          if cfg.scrape then Result.map Option.some (scrape_sample cfg)
+          else Ok None
+        in
+        match before_scrape with
+        | Error msg -> Error msg
+        | Ok before ->
         let per_thread = cfg.requests / cfg.connections in
         let remainder = cfg.requests mod cfg.connections in
         let accs = Array.init cfg.connections (fun _ -> fresh_acc ()) in
@@ -210,6 +259,15 @@ let run cfg =
         in
         List.iter Thread.join threads;
         let wall_ns = Int64.to_int (Int64.sub (Obs.now_ns ()) t0) in
+        (* scrape before any shutdown: the delta must cover exactly the
+           run's own traffic *)
+        let server_delta =
+          Option.map
+            (fun before ->
+              Result.map (fun after -> delta_of ~before ~after)
+                (scrape_sample cfg))
+            before
+        in
         if cfg.shutdown_after then
           (match Client.connect ~host:cfg.host ~port:cfg.port () with
           | Error _ -> ()
@@ -225,9 +283,10 @@ let run cfg =
               match (acc, r) with Some e, _ -> Some e | None, Error e -> Some e | None, Ok () -> None)
             None results
         in
-        (match first_err with
-        | Some e -> Error e
-        | None ->
+        (match (first_err, server_delta) with
+        | Some e, _ -> Error e
+        | None, Some (Error e) -> Error e
+        | None, (None | Some (Ok _)) ->
             let total = fresh_acc () in
             Array.iter
               (fun a ->
@@ -264,7 +323,11 @@ let run cfg =
                     (fun (k, h) -> (k, stats_of_hist h))
                     total.h_outcome;
                 hit_curve = Array.to_list total.deciles;
-              })
+                server =
+                  (match server_delta with
+                  | Some (Ok d) -> Some d
+                  | _ -> None);
+              }))
   end
 
 let hit_rate r =
@@ -294,6 +357,23 @@ let render r =
           (Printf.sprintf "    %-4s n=%-5d p50 %.3f ms  p99 %.3f ms\n" k
              s.o_count (ms s.o_p50_ns) (ms s.o_p99_ns)))
     r.by_outcome;
+  Option.iter
+    (fun d ->
+      Buffer.add_string b
+        (Printf.sprintf
+           "  server: %d requests seen, p50 %.3f ms, p99 %.3f ms, \
+            write-dropped %d\n"
+           d.sd_requests (ms d.sd_p50_ns) (ms d.sd_p99_ns) d.sd_write_dropped);
+      let row label kvs =
+        if kvs <> [] then
+          Buffer.add_string b
+            (Printf.sprintf "    %s:%s\n" label
+               (String.concat ""
+                  (List.map (fun (k, v) -> Printf.sprintf " %s %d" k v) kvs)))
+      in
+      row "by op" d.sd_by_op;
+      row "by outcome" d.sd_outcomes)
+    r.server;
   Buffer.add_string b "  hit-rate curve (per decile):";
   List.iter
     (fun (hits, n) ->
@@ -314,7 +394,7 @@ let outcome_json s =
 
 let report_json r =
   Json.Obj
-    [
+    ([
       ("sent", Json.Int r.sent);
       ("ok", Json.Int r.ok);
       ("hot", Json.Int r.hot);
@@ -334,3 +414,27 @@ let report_json r =
                Json.Obj [ ("hits", Json.Int hits); ("requests", Json.Int n) ])
              r.hit_curve) );
     ]
+    @
+    match r.server with
+    | None -> []
+    | Some d ->
+      [
+        ( "server",
+          Json.Obj
+            [
+              ("requests", Json.Int d.sd_requests);
+              ( "by_op",
+                Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) d.sd_by_op)
+              );
+              ( "outcomes",
+                Json.Obj
+                  (List.map (fun (k, v) -> (k, Json.Int v)) d.sd_outcomes) );
+              ( "latency",
+                Json.Obj
+                  [
+                    ("p50_ns", Json.Int d.sd_p50_ns);
+                    ("p99_ns", Json.Int d.sd_p99_ns);
+                  ] );
+              ("write_dropped", Json.Int d.sd_write_dropped);
+            ] );
+      ])

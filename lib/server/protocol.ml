@@ -1,6 +1,8 @@
-type op = Analyze | Attribute | Status | Stats | Shutdown
+type op = Analyze | Attribute | Status | Stats | Metrics | Shutdown
 
 type mode_req = One of Fuzz.Oracle.mode | All
+
+type metrics_format = Fmt_json | Fmt_prometheus
 
 type request = {
   id : int;
@@ -10,6 +12,8 @@ type request = {
   cores : int;
   kind : Modes.kind;
   refine : bool;
+  trace_id : string option;
+  format : metrics_format;
 }
 
 and source =
@@ -26,8 +30,17 @@ let op_of_string = function
   | "attribute" -> Ok Attribute
   | "status" -> Ok Status
   | "stats" -> Ok Stats
+  | "metrics" -> Ok Metrics
   | "shutdown" -> Ok Shutdown
   | s -> Error (Printf.sprintf "unknown op %S" s)
+
+let op_name = function
+  | Analyze -> "analyze"
+  | Attribute -> "attribute"
+  | Status -> "status"
+  | Stats -> "stats"
+  | Metrics -> "metrics"
+  | Shutdown -> "shutdown"
 
 let parse_request line =
   let bad msg = Error ("bad_request", msg) in
@@ -100,13 +113,36 @@ let parse_request line =
                     | Some b -> b
                     | None -> false
                   in
-                  match (mode_r, kind_r) with
-                  | Error msg, _ | _, Error msg -> bad msg
-                  | Ok mode, Ok kind ->
+                  let trace_id = Json.str_field "trace_id" j in
+                  let format_r =
+                    match Json.str_field "format" j with
+                    | None | Some "json" -> Ok Fmt_json
+                    | Some "prometheus" -> Ok Fmt_prometheus
+                    | Some s ->
+                        Error
+                          (Printf.sprintf
+                             "unknown format %S (json or prometheus)" s)
+                  in
+                  match (mode_r, kind_r, format_r) with
+                  | Error msg, _, _ | _, Error msg, _ | _, _, Error msg ->
+                      bad msg
+                  | Ok mode, Ok kind, Ok format ->
                       if cores < 1 || cores > 4 then
                         bad
                           (Printf.sprintf "cores %d out of range 1..4" cores)
-                      else Ok { id; op; source; mode; cores; kind; refine }))))
+                      else
+                        Ok
+                          {
+                            id;
+                            op;
+                            source;
+                            mode;
+                            cores;
+                            kind;
+                            refine;
+                            trace_id;
+                            format;
+                          }))))
 
 type cached = Hot | Warm | Cold
 

@@ -6,7 +6,8 @@
     {"id":2,"op":"attribute","name":"t","asm":"start:\n  halt","kind":"wcet"}
     {"id":3,"op":"status"}
     {"id":4,"op":"stats"}
-    {"id":5,"op":"shutdown"}
+    {"id":5,"op":"metrics","format":"prometheus"}
+    {"id":6,"op":"shutdown"}
     v}
 
     [source] names a catalog program ("bench:NAME"); alternatively
@@ -22,12 +23,17 @@
     carry ["code"] (one of [bad_request], [unknown_benchmark], [busy],
     [not_analysable], [internal]) and ["error"]. *)
 
-type op = Analyze | Attribute | Status | Stats | Shutdown
+type op = Analyze | Attribute | Status | Stats | Metrics | Shutdown
 
 type mode_req = One of Fuzz.Oracle.mode | All
 (** [mode:"all"] requests every approach mode at once; the server
     computes them from one shared context pack ({!Modes.analyze_all})
     and replies with a per-mode object ({!ok_all_reply}). *)
+
+type metrics_format = Fmt_json | Fmt_prometheus
+(** Rendering of a ["metrics"] reply: structured JSON (default) or
+    Prometheus text exposition carried in the reply's ["body"] field
+    (wire field ["format"]: "json" / "prometheus"). *)
 
 type request = {
   id : int;
@@ -41,6 +47,12 @@ type request = {
           infeasible-path refinement ({!Refine.default} budget); the
           served bound is the refined one and is stored under a salted
           key ({!Modes.store_key}).  Defaults to [false]. *)
+  trace_id : string option;
+      (** client-supplied trace id (wire field ["trace_id"]); [None]
+          lets the server mint one from its per-connection counter.
+          Never echoed in replies — analysis replies stay bit-identical
+          with tracing on. *)
+  format : metrics_format;
 }
 
 and source =
@@ -57,6 +69,10 @@ and source =
 
 val parse_request : string -> (request, string * string) result
 (** [Error (code, message)] — [code] is a protocol error code. *)
+
+val op_name : op -> string
+(** Wire name of an op — the suffix of the per-op request counters
+    (["server.req.analyze"], ...). *)
 
 type cached = Hot | Warm | Cold
 

@@ -1,0 +1,119 @@
+type hist = { h_count : int; h_sum : int; h_buckets : (int * int) list }
+
+type sample = {
+  counters : (string * int) list;
+  gauges : (string * int) list;
+  hists : (string * hist) list;
+}
+
+let empty = { counters = []; gauges = []; hists = [] }
+
+let hist_of_json j =
+  let buckets =
+    match Json.member "buckets" j with
+    | Some (Json.List items) ->
+        List.filter_map
+          (fun item ->
+            match item with
+            | Json.List [ Json.Int b; Json.Int c ] -> Some (b, c)
+            | _ -> None)
+          items
+    | _ -> []
+  in
+  {
+    h_count = Option.value ~default:0 (Json.int_field "count" j);
+    h_sum = Option.value ~default:0 (Json.int_field "sum" j);
+    h_buckets = buckets;
+  }
+
+let of_reply reply =
+  match Json.member "metrics" reply with
+  | None -> Error "reply has no metrics field"
+  | Some m ->
+      let ints field =
+        match Json.member field m with
+        | Some (Json.Obj fields) ->
+            List.filter_map
+              (fun (name, v) -> Option.map (fun i -> (name, i)) (Json.to_int v))
+              fields
+        | _ -> []
+      in
+      let hists =
+        match Json.member "histograms" m with
+        | Some (Json.Obj fields) ->
+            List.map (fun (name, v) -> (name, hist_of_json v)) fields
+        | _ -> []
+      in
+      Ok { counters = ints "counters"; gauges = ints "gauges"; hists }
+
+let fetch client =
+  match
+    Client.request client
+      (Json.Obj [ ("id", Json.Int 0); ("op", Json.Str "metrics") ])
+  with
+  | Error msg -> Error msg
+  | Ok reply -> (
+      match Json.member "ok" reply with
+      | Some (Json.Bool true) -> of_reply reply
+      | _ ->
+          Error
+            (Option.value ~default:"metrics request failed"
+               (Json.str_field "error" reply)))
+
+let counter s name =
+  Option.value ~default:0 (List.assoc_opt name s.counters)
+
+let gauge s name = Option.value ~default:0 (List.assoc_opt name s.gauges)
+let hist s name = List.assoc_opt name s.hists
+
+let counter_delta ~before ~after name = counter after name - counter before name
+
+let counters_with_prefix ~before ~after prefix =
+  let plen = String.length prefix in
+  List.filter_map
+    (fun (name, v) ->
+      if String.length name > plen && String.sub name 0 plen = prefix then begin
+        let d = v - counter before name in
+        if d = 0 then None
+        else Some (String.sub name plen (String.length name - plen), d)
+      end
+      else None)
+    after.counters
+
+let hist_delta ~before ~after name =
+  let b = Option.value ~default:{ h_count = 0; h_sum = 0; h_buckets = [] }
+      (hist before name)
+  and a = Option.value ~default:{ h_count = 0; h_sum = 0; h_buckets = [] }
+      (hist after name)
+  in
+  let buckets =
+    List.filter_map
+      (fun (bucket, count) ->
+        let d = count - Option.value ~default:0 (List.assoc_opt bucket b.h_buckets) in
+        if d > 0 then Some (bucket, d) else None)
+      a.h_buckets
+  in
+  {
+    h_count = a.h_count - b.h_count;
+    h_sum = a.h_sum - b.h_sum;
+    h_buckets = buckets;
+  }
+
+(* Percentiles over a scraped (delta) histogram: min/max are unknown
+   across the wire, so the snapshot's max is the top nonzero bucket's
+   upper bound — the same resolution the buckets themselves carry. *)
+let percentile h q =
+  let s_max =
+    List.fold_left
+      (fun acc (bucket, _) -> max acc (snd (Obs.Histogram.bucket_bounds bucket)))
+      0 h.h_buckets
+  in
+  Protocol.percentile
+    {
+      Obs.Histogram.s_count = h.h_count;
+      s_sum = h.h_sum;
+      s_min = 0;
+      s_max;
+      s_buckets = h.h_buckets;
+    }
+    q

@@ -1,0 +1,44 @@
+(** Client-side consumption of the ["metrics"] op: fetch the JSON
+    rendering into a {!sample}, and compute deltas between two scrapes —
+    the primitive under [paratime top] (rates, interval percentiles) and
+    [paratime loadtest --scrape] (server-observed delta in the report). *)
+
+type hist = {
+  h_count : int;
+  h_sum : int;
+  h_buckets : (int * int) list;  (** nonzero (log2 bucket, count) *)
+}
+
+type sample = {
+  counters : (string * int) list;
+  gauges : (string * int) list;
+  hists : (string * hist) list;
+}
+
+val empty : sample
+
+val fetch : Client.t -> (sample, string) result
+(** One ["metrics"] round trip on an open connection. *)
+
+val of_reply : Json.t -> (sample, string) result
+(** Parse an already-received metrics reply. *)
+
+val counter : sample -> string -> int
+(** 0 when absent. *)
+
+val gauge : sample -> string -> int
+val hist : sample -> string -> hist option
+val counter_delta : before:sample -> after:sample -> string -> int
+
+val counters_with_prefix :
+  before:sample -> after:sample -> string -> (string * int) list
+(** Nonzero counter deltas under a name prefix, suffix-keyed:
+    [counters_with_prefix ~before ~after "server.req."] yields
+    [("analyze", 120); ...]. *)
+
+val hist_delta : before:sample -> after:sample -> string -> hist
+(** Bucketwise [after - before] (monotone inputs assumed). *)
+
+val percentile : hist -> float -> int
+(** {!Protocol.percentile} over a scraped histogram (bucket-bound
+    resolution). *)

@@ -5,6 +5,9 @@ type config = {
   store_root : string option;
   budget_bytes : int;
   mem_capacity : int;
+  trace_sample : int;
+  slow_ms : int;
+  flight_dir : string option;
 }
 
 let default_config =
@@ -15,6 +18,9 @@ let default_config =
     store_root = None;
     budget_bytes = Store.Disk.default_budget_bytes;
     mem_capacity = 512;
+    trace_sample = 0;
+    slow_ms = 250;
+    flight_dir = None;
   }
 
 type state = {
@@ -24,6 +30,7 @@ type state = {
   started_ns : int64;
   lock : Mutex.t;
   mutable requests : int;
+  mutable inflight : int;
   mutable stopping : bool;
   mutable conns : Unix.file_descr list;  (* open connection sockets *)
   listen_fd : Unix.file_descr;
@@ -32,6 +39,14 @@ type state = {
      dominate the warm path *)
   key_cache : (string, string) Hashtbl.t;
   key_lock : Mutex.t;
+  (* request tracing: traces are buffered per request and, when kept by
+     the sampler, replayed onto one shared ring track; the replay lock
+     keeps that track single-writer *)
+  tracing : bool;
+  sampler : Obs.Sampler.t;
+  flight : Obs.Flight.t option;
+  req_track : Obs.Sink.track;
+  req_track_lock : Mutex.t;
 }
 
 (* [Bench_programs.by_name] assembles the whole suite per call — fine
@@ -108,19 +123,116 @@ let key_for state (req : Protocol.request) ~mode ~cores ~kind annot program =
           k)
   | _ -> compute ()
 
+(* Request-trace bookkeeping.  The connection thread's phases (parse,
+   store.probe, encode) are strictly sequential, so they are recorded as
+   boundary timestamps in flat mutable [int64] fields — one clock read
+   and one unboxed store per boundary, no span allocation on the request
+   path.  The span tree itself is only materialised at completion
+   ({!materialize}), after the reply has been flushed, so none of that
+   work sits on the client-visible latency path.  The one exception is a
+   cold request: the worker domain needs a live {!Obs.Reqtrace.t} to
+   record queue-wait and solve spans into, so [trace_of] materialises it
+   at submit time — the phases recorded so far are replayed into it
+   first, which keeps span ids identical to a tree recorded live.
+   [mark] restarts the phase chain after a gap owned by someone else
+   (the service job between probe and encode).  Every helper is a no-op
+   when the request is untraced ([tr = None]). *)
+type tracer = {
+  tr_id : string;
+  tr_args : (string * Obs.Event.value) list;  (* root-span args *)
+  tr_t0 : int64;
+  mutable tr_parsed : int64;  (* parse end / probe start *)
+  mutable tr_probe : int64;  (* store.probe end; 0 = no probe phase *)
+  mutable tr_probe_modes : int;  (* all-modes probe width; -1 = plain *)
+  mutable tr_mark : int64;  (* encode start override; 0 = chain *)
+  mutable tr_encode : int64;  (* encode end; 0 = no encode phase *)
+  mutable tr_rt : Obs.Reqtrace.t option;  (* materialised lazily *)
+}
+
+let probe_phase tr =
+  match tr with None -> () | Some tr -> tr.tr_probe <- Obs.now_ns ()
+
+let probe_phase_modes tr n =
+  match tr with
+  | None -> ()
+  | Some tr ->
+      tr.tr_probe <- Obs.now_ns ();
+      tr.tr_probe_modes <- n
+
+let mark tr =
+  match tr with None -> () | Some tr -> tr.tr_mark <- Obs.now_ns ()
+
+let encode_phase tr =
+  match tr with None -> () | Some tr -> tr.tr_encode <- Obs.now_ns ()
+
+(* Build the Reqtrace.t and replay the phases recorded so far into it.
+   Called at submit time (cold path) or at completion (everything else);
+   the encode boundary is always recorded after any worker spans, so
+   span ids come out the same as a live recording would produce. *)
+let materialize tr =
+  match tr.tr_rt with
+  | Some rt -> rt
+  | None ->
+      let rt =
+        Obs.Reqtrace.create ~clock:Obs.now_ns ~cat:"serve" ~t0:tr.tr_t0
+          ~args:tr.tr_args ~id:tr.tr_id "request"
+      in
+      Obs.Reqtrace.add_completed rt ~parent:1 ~cat:"serve" ~t0:tr.tr_t0
+        ~t1:tr.tr_parsed "parse";
+      if tr.tr_probe <> 0L then
+        Obs.Reqtrace.add_completed rt ~parent:1 ~cat:"serve"
+          ?args:
+            (if tr.tr_probe_modes >= 0 then
+               Some [ ("modes", Obs.Event.Int tr.tr_probe_modes) ]
+             else None)
+          ~t0:tr.tr_parsed ~t1:tr.tr_probe "store.probe";
+      tr.tr_rt <- Some rt;
+      rt
+
+let trace_of tr =
+  Option.map
+    (fun tr ->
+      let rt = materialize tr in
+      (rt, Obs.Reqtrace.root rt))
+    tr
+
+(* root-span args, hoisted so the traced path allocates no fresh list
+   per request *)
+let op_args =
+  let mk op = [ ("op", Obs.Event.Str (Protocol.op_name op)) ] in
+  let analyze = mk Protocol.Analyze
+  and attribute = mk Protocol.Attribute
+  and status = mk Protocol.Status
+  and stats = mk Protocol.Stats
+  and metrics = mk Protocol.Metrics
+  and shutdown = mk Protocol.Shutdown in
+  function
+  | Protocol.Analyze -> analyze
+  | Protocol.Attribute -> attribute
+  | Protocol.Status -> status
+  | Protocol.Stats -> stats
+  | Protocol.Metrics -> metrics
+  | Protocol.Shutdown -> shutdown
+
 (* Analyze/attribute: store lookup on the connection thread, cold work on
    the service domains.  The reply is rendered from the distilled
    {!Store.Entry.t} in all three cases, so hot, warm and cold replies for
-   the same key are bit-identical. *)
-let handle_one_mode state (req : Protocol.request) ~detail ~mode task =
+   the same key are bit-identical.  Returns the reply and the request
+   outcome ("hot"/"warm"/"cold"/"busy"/"error") for the per-outcome
+   metrics and the sampler. *)
+let handle_one_mode state tr (req : Protocol.request) ~detail ~mode task =
   let program, annot = task in
   let cores = req.Protocol.cores and kind = req.Protocol.kind in
   let key = key_for state req ~mode ~cores ~kind annot program in
   let reply cached entry =
     Obs.add ("server." ^ Protocol.cached_name cached) 1;
-    Protocol.ok_reply ~id:req.Protocol.id ~cached ~key ~detail entry
+    let r = Protocol.ok_reply ~id:req.Protocol.id ~cached ~key ~detail entry in
+    encode_phase tr;
+    (r, Protocol.cached_name cached)
   in
-  match Store.Front.find state.front key with
+  let found = Store.Front.find state.front key in
+  probe_phase tr;
+  match found with
   | Some (Store.Front.Memory, entry) -> reply Protocol.Hot entry
   | Some (Store.Front.Disk, entry) -> reply Protocol.Warm entry
   | None -> (
@@ -130,21 +242,28 @@ let handle_one_mode state (req : Protocol.request) ~detail ~mode task =
           (Modes.kind_name kind)
       in
       match
-        Engine.Service.submit state.service ~label (fun () ->
+        Engine.Service.submit state.service ~label ?trace:(trace_of tr)
+          (fun () ->
             Modes.analyze ?refine:(refine_of req) ~mode ~cores ~kind task)
       with
       | None ->
           Obs.add "server.busy" 1;
-          Protocol.error_reply ~id:req.Protocol.id ~code:"busy"
-            "analysis queue full; retry later"
+          ( Protocol.error_reply ~id:req.Protocol.id ~code:"busy"
+              "analysis queue full; retry later",
+            "busy" )
       | Some ticket -> (
           match Engine.Service.await ticket with
           | Error msg ->
-              Protocol.error_reply ~id:req.Protocol.id ~code:"internal" msg
+              ( Protocol.error_reply ~id:req.Protocol.id ~code:"internal" msg,
+                "error" )
           | Ok (Error msg) ->
-              Protocol.error_reply ~id:req.Protocol.id ~code:"not_analysable"
-                msg
+              ( Protocol.error_reply ~id:req.Protocol.id
+                  ~code:"not_analysable" msg,
+                "error" )
           | Ok (Ok entry) ->
+              (* the service job owned the gap since the probe; restart
+                 the phase chain so encode doesn't absorb it *)
+              mark tr;
               Store.Front.put state.front key entry;
               reply Protocol.Cold entry))
 
@@ -154,7 +273,7 @@ let handle_one_mode state (req : Protocol.request) ~detail ~mode task =
    computed cold coexist in the same reply; cold results are stored
    under the same per-mode keys the single-mode path uses, so the two
    request shapes share cache state. *)
-let handle_all_modes state (req : Protocol.request) ~detail task =
+let handle_all_modes state tr (req : Protocol.request) ~detail task =
   let program, annot = task in
   let cores = req.Protocol.cores and kind = req.Protocol.kind in
   let keyed =
@@ -164,6 +283,7 @@ let handle_all_modes state (req : Protocol.request) ~detail task =
         (mode, key, Store.Front.find state.front key))
       Fuzz.Oracle.all_modes
   in
+  probe_phase_modes tr (List.length Fuzz.Oracle.all_modes);
   let missing =
     List.filter_map
       (fun (m, _, found) -> if found = None then Some m else None)
@@ -174,7 +294,8 @@ let handle_all_modes state (req : Protocol.request) ~detail task =
     else begin
       let label = Printf.sprintf "serve:all:%s" (Modes.kind_name kind) in
       match
-        Engine.Service.submit state.service ~label (fun () ->
+        Engine.Service.submit state.service ~label ?trace:(trace_of tr)
+          (fun () ->
             Modes.analyze_all ~modes:missing ?refine:(refine_of req) ~cores
               ~kind task)
       with
@@ -184,12 +305,17 @@ let handle_all_modes state (req : Protocol.request) ~detail task =
       | Some ticket -> (
           match Engine.Service.await ticket with
           | Error msg -> Error ("internal", msg)
-          | Ok results -> Ok results)
+          | Ok results ->
+              mark tr;
+              Ok results)
     end
   in
   match computed with
-  | Error (code, msg) -> Protocol.error_reply ~id:req.Protocol.id ~code msg
+  | Error (code, msg) ->
+      ( Protocol.error_reply ~id:req.Protocol.id ~code msg,
+        if code = "busy" then "busy" else "error" )
   | Ok results ->
+      let any_warm = ref false in
       let rows =
         List.map
           (fun (mode, key, found) ->
@@ -200,7 +326,9 @@ let handle_all_modes state (req : Protocol.request) ~detail task =
             in
             match found with
             | Some (Store.Front.Memory, entry) -> hit Protocol.Hot entry
-            | Some (Store.Front.Disk, entry) -> hit Protocol.Warm entry
+            | Some (Store.Front.Disk, entry) ->
+                any_warm := true;
+                hit Protocol.Warm entry
             | None -> (
                 match List.assoc_opt mode results with
                 | Some (Ok entry) ->
@@ -210,15 +338,21 @@ let handle_all_modes state (req : Protocol.request) ~detail task =
                 | None -> (name, Error ("internal", "mode result missing"))))
           keyed
       in
-      Protocol.ok_all_reply ~id:req.Protocol.id ~detail rows
+      let outcome =
+        if missing <> [] then "cold" else if !any_warm then "warm" else "hot"
+      in
+      let r = Protocol.ok_all_reply ~id:req.Protocol.id ~detail rows in
+      encode_phase tr;
+      (r, outcome)
 
-let handle_analysis state (req : Protocol.request) ~detail =
+let handle_analysis state tr (req : Protocol.request) ~detail =
   match resolve_source req.Protocol.source with
-  | Error (code, msg) -> Protocol.error_reply ~id:req.Protocol.id ~code msg
+  | Error (code, msg) ->
+      (Protocol.error_reply ~id:req.Protocol.id ~code msg, "error")
   | Ok task -> (
       match req.Protocol.mode with
-      | Protocol.One mode -> handle_one_mode state req ~detail ~mode task
-      | Protocol.All -> handle_all_modes state req ~detail task)
+      | Protocol.One mode -> handle_one_mode state tr req ~detail ~mode task
+      | Protocol.All -> handle_all_modes state tr req ~detail task)
 
 let uptime_ns state = Int64.sub (Obs.now_ns ()) state.started_ns
 
@@ -263,6 +397,29 @@ let hist_json metrics name =
           ("p99", Json.Int (Protocol.percentile snap 0.99));
         ]
 
+(* Ring drops are repaired silently at export time ([Sink.events]); a
+   saturated server should still be able to say it dropped events, so
+   the stats reply surfaces the per-track drop totals. *)
+let obs_drops_json state =
+  let tracks = Obs.Sink.tracks state.sink in
+  let total =
+    List.fold_left (fun acc tr -> acc + Obs.Sink.dropped tr) 0 tracks
+  in
+  let by_track =
+    List.filter_map
+      (fun tr ->
+        let d = Obs.Sink.dropped tr in
+        if d = 0 then None
+        else Some (Obs.Sink.track_name tr, Json.Int d))
+      tracks
+  in
+  Json.Obj
+    [
+      ("tracks", Json.Int (List.length tracks));
+      ("dropped_events", Json.Int total);
+      ("dropped_by_track", Json.Obj by_track);
+    ]
+
 let stats_reply state id =
   let metrics = Obs.Sink.metrics state.sink in
   let c name = Json.Int (Obs.Metrics.counter metrics name) in
@@ -306,7 +463,99 @@ let stats_reply state id =
          ("latency_ns", hist_json metrics "server.request_ns");
          ("service_run_ns", hist_json metrics "service.run_ns");
          ("store", Json.Obj store_fields);
+         ("obs", obs_drops_json state);
        ])
+
+(* The metrics op: refresh the point-in-time values (gauges, mirrored
+   store/ring totals), then render the whole registry.  Pure registry
+   read + render — no analysis work, no store access beyond the stats
+   accessors — which is what keeps its latency under the warm-hit
+   budget the bench enforces. *)
+let refresh_metrics state =
+  let s = Engine.Service.stats state.service in
+  Obs.set_gauge "service.queue_depth" s.Engine.Service.s_queued;
+  Obs.set_gauge "service.running" s.Engine.Service.s_running;
+  let inflight =
+    Mutex.lock state.lock;
+    let n = state.inflight in
+    Mutex.unlock state.lock;
+    n
+  in
+  Obs.set_gauge "server.inflight" inflight;
+  let mem = Store.Front.mem_stats state.front in
+  Obs.set_gauge "store.mem.entries" mem.Engine.Lru.size;
+  Obs.set_counter "store.mem.hits" mem.Engine.Lru.hits;
+  Obs.set_counter "store.mem.misses" mem.Engine.Lru.misses;
+  (match Store.Front.disk_stats state.front with
+  | None -> ()
+  | Some d ->
+      Obs.set_gauge "store.disk.entries" d.Store.Disk.entries;
+      Obs.set_gauge "store.disk.bytes" d.Store.Disk.bytes;
+      Obs.set_counter "store.disk.hits" d.Store.Disk.hits;
+      Obs.set_counter "store.disk.misses" d.Store.Disk.misses;
+      Obs.set_counter "store.disk.evictions" d.Store.Disk.evictions;
+      Obs.set_counter "store.disk.corrupt" d.Store.Disk.corrupt);
+  Obs.set_counter "store.write_dropped" (Store.Front.write_dropped state.front);
+  let tracks = Obs.Sink.tracks state.sink in
+  Obs.set_gauge "obs.tracks" (List.length tracks);
+  Obs.set_counter "obs.dropped_events"
+    (List.fold_left (fun acc tr -> acc + Obs.Sink.dropped tr) 0 tracks)
+
+let hist_full_json (snap : Obs.Histogram.snapshot) =
+  Json.Obj
+    [
+      ("count", Json.Int snap.Obs.Histogram.s_count);
+      ("sum", Json.Int snap.Obs.Histogram.s_sum);
+      ("min", Json.Int snap.Obs.Histogram.s_min);
+      ("max", Json.Int snap.Obs.Histogram.s_max);
+      ( "buckets",
+        Json.List
+          (List.map
+             (fun (bucket, count) ->
+               Json.List [ Json.Int bucket; Json.Int count ])
+             snap.Obs.Histogram.s_buckets) );
+    ]
+
+let metrics_reply state (req : Protocol.request) =
+  refresh_metrics state;
+  let items = Obs.Metrics.snapshot (Obs.Sink.metrics state.sink) in
+  match req.Protocol.format with
+  | Protocol.Fmt_prometheus ->
+      Json.to_string
+        (Json.Obj
+           [
+             ("id", Json.Int req.Protocol.id);
+             ("ok", Json.Bool true);
+             ("format", Json.Str "prometheus");
+             ("body", Json.Str (Obs.Prometheus.render_items items));
+           ])
+  | Protocol.Fmt_json ->
+      let counters, gauges, hists =
+        List.fold_left
+          (fun (cs, gs, hs) item ->
+            match item with
+            | Obs.Metrics.Counter_v (name, v) ->
+                ((name, Json.Int v) :: cs, gs, hs)
+            | Obs.Metrics.Gauge_v (name, v) ->
+                (cs, (name, Json.Int v) :: gs, hs)
+            | Obs.Metrics.Hist_v (name, snap) ->
+                (cs, gs, (name, hist_full_json snap) :: hs))
+          ([], [], []) items
+      in
+      Json.to_string
+        (Json.Obj
+           [
+             ("id", Json.Int req.Protocol.id);
+             ("ok", Json.Bool true);
+             ("format", Json.Str "json");
+             ( "metrics",
+               Json.Obj
+                 [
+                   ("counters", Json.Obj (List.rev counters));
+                   ("gauges", Json.Obj (List.rev gauges));
+                   ("histograms", Json.Obj (List.rev hists));
+                 ] );
+           ])
 
 let request_stop state =
   Mutex.lock state.lock;
@@ -329,58 +578,162 @@ let request_stop state =
       conns
   end
 
-let handle_line state line =
+(* Completion side of the plane: decide keep/drop now that outcome and
+   duration are known, then — for kept traces only — materialise the
+   span tree, replay it onto the shared request track, and dump a slow
+   one to the flight recorder.  Runs after the reply has been flushed;
+   a dropped trace never builds its span tree at all. *)
+let finish_trace state tr ~t1 ~outcome =
+  let dur_ns = Int64.sub t1 tr.tr_t0 in
+  let d =
+    Obs.Sampler.decide state.sampler ~cold:(outcome = "cold")
+      ~error:(outcome = "error") ~dur_ns
+  in
+  if d.Obs.Sampler.keep then begin
+    let rt = materialize tr in
+    if tr.tr_encode <> 0L then begin
+      let enc_t0 =
+        if tr.tr_mark <> 0L then tr.tr_mark
+        else if tr.tr_probe <> 0L then tr.tr_probe
+        else tr.tr_parsed
+      in
+      Obs.Reqtrace.add_completed rt ~parent:1 ~cat:"serve" ~t0:enc_t0
+        ~t1:tr.tr_encode "encode"
+    end;
+    ignore (Obs.Reqtrace.finish rt ~t1 ~outcome ());
+    Obs.add "server.trace.kept" 1;
+    Mutex.lock state.req_track_lock;
+    (match Obs.Reqtrace.emit rt state.req_track with
+    | () -> Mutex.unlock state.req_track_lock
+    | exception e ->
+        Mutex.unlock state.req_track_lock;
+        raise e);
+    if d.Obs.Sampler.slow then
+      Option.iter
+        (fun flight ->
+          match
+            Obs.Flight.record flight ~name:(Obs.Reqtrace.trace_id rt)
+              (Obs.Reqtrace.to_json rt)
+          with
+          | Some _ -> Obs.add "server.trace.dumped" 1
+          | None -> Obs.add "server.trace.dump_failed" 1)
+        state.flight
+  end
+
+let handle_line state ~trace_seq line =
   let t0 = Obs.now_ns () in
-  let reply, stop =
-    match Protocol.parse_request line with
+  Mutex.lock state.lock;
+  state.inflight <- state.inflight + 1;
+  let inflight = state.inflight in
+  Mutex.unlock state.lock;
+  Obs.set_gauge "server.inflight" inflight;
+  let parsed = Protocol.parse_request line in
+  let reply, stop, outcome, tr =
+    match parsed with
     | Error (code, msg) ->
         Obs.add "server.errors" 1;
-        (Protocol.error_reply ~id:0 ~code msg, false)
-    | Ok req -> (
-        match req.Protocol.op with
-        | Protocol.Analyze -> (handle_analysis state req ~detail:false, false)
-        | Protocol.Attribute -> (handle_analysis state req ~detail:true, false)
-        | Protocol.Status -> (status_reply state req.Protocol.id, false)
-        | Protocol.Stats -> (stats_reply state req.Protocol.id, false)
-        | Protocol.Shutdown ->
-            ( Json.to_string
-                (Json.Obj
-                   [
-                     ("id", Json.Int req.Protocol.id);
-                     ("ok", Json.Bool true);
-                     ("stopping", Json.Bool true);
-                   ]),
-              true ))
+        Obs.add "server.req.invalid" 1;
+        (Protocol.error_reply ~id:0 ~code msg, false, "error", None)
+    | Ok req ->
+        Obs.add ("server.req." ^ Protocol.op_name req.Protocol.op) 1;
+        let tr =
+          if not state.tracing then None
+          else
+            let id =
+              match req.Protocol.trace_id with
+              | Some id -> id
+              | None -> trace_seq ()
+            in
+            Some
+              {
+                tr_id = id;
+                tr_args = op_args req.Protocol.op;
+                tr_t0 = t0;
+                tr_parsed = Obs.now_ns ();
+                tr_probe = 0L;
+                tr_probe_modes = -1;
+                tr_mark = 0L;
+                tr_encode = 0L;
+                tr_rt = None;
+              }
+        in
+        let reply, stop, outcome =
+          match req.Protocol.op with
+          | Protocol.Analyze ->
+              let reply, outcome = handle_analysis state tr req ~detail:false in
+              (reply, false, outcome)
+          | Protocol.Attribute ->
+              let reply, outcome = handle_analysis state tr req ~detail:true in
+              (reply, false, outcome)
+          | Protocol.Status -> (status_reply state req.Protocol.id, false, "ok")
+          | Protocol.Stats -> (stats_reply state req.Protocol.id, false, "ok")
+          | Protocol.Metrics -> (metrics_reply state req, false, "ok")
+          | Protocol.Shutdown ->
+              ( Json.to_string
+                  (Json.Obj
+                     [
+                       ("id", Json.Int req.Protocol.id);
+                       ("ok", Json.Bool true);
+                       ("stopping", Json.Bool true);
+                     ]),
+                true,
+                "ok" )
+        in
+        (reply, stop, outcome, tr)
   in
   Mutex.lock state.lock;
   state.requests <- state.requests + 1;
+  state.inflight <- state.inflight - 1;
   Mutex.unlock state.lock;
   Obs.add "server.requests" 1;
-  Obs.observe "server.request_ns"
-    (Int64.to_int (Int64.sub (Obs.now_ns ()) t0));
-  (reply, stop)
+  Obs.add ("server.out." ^ outcome) 1;
+  let t_end = Obs.now_ns () in
+  let dur = Int64.to_int (Int64.sub t_end t0) in
+  Obs.observe "server.request_ns" dur;
+  Obs.observe ("server.request_ns." ^ outcome) dur;
+  (* trace completion (materialise + sample + emit) is deferred until
+     after the reply is flushed — it must not sit on the client-visible
+     latency path *)
+  let post = Option.map (fun tr -> (tr, outcome, t_end)) tr in
+  (reply, stop, post)
 
-let connection_loop state fd =
+let connection_loop state ~conn_id fd =
   Mutex.lock state.lock;
   state.conns <- fd :: state.conns;
   let stopping = state.stopping in
   Mutex.unlock state.lock;
   let ic = Unix.in_channel_of_descr fd in
   let oc = Unix.out_channel_of_descr fd in
+  (* default trace ids are deterministic per connection: connection
+     ordinal (accept order) + request ordinal on that connection *)
+  let seq = ref 0 in
+  let seq_prefix = "c" ^ string_of_int conn_id ^ "-" in
+  let trace_seq () =
+    incr seq;
+    seq_prefix ^ string_of_int !seq
+  in
   let rec loop () =
     match input_line ic with
     | exception End_of_file -> ()
     | exception Sys_error _ -> ()
     | line when String.trim line = "" -> loop ()
     | line -> (
-        let reply, stop = handle_line state line in
+        let reply, stop, post = handle_line state ~trace_seq line in
+        let finish () =
+          Option.iter
+            (fun (tr, outcome, t_end) ->
+              finish_trace state tr ~t1:t_end ~outcome)
+            post
+        in
         match
           output_string oc reply;
           output_char oc '\n';
           flush oc
         with
-        | () -> if stop then request_stop state else loop ()
-        | exception Sys_error _ -> ())
+        | () ->
+            finish ();
+            if stop then request_stop state else loop ()
+        | exception Sys_error _ -> finish ())
   in
   if not stopping then loop ();
   Mutex.lock state.lock;
@@ -413,6 +766,9 @@ let run ?(ready = fun _ -> ()) ~sink config =
     Engine.Service.create ?workers:config.workers
       ~queue_capacity:config.queue_capacity ()
   in
+  (* the plane is off by default: no trace buffer is allocated per
+     request unless sampling or the flight recorder was asked for *)
+  let tracing = config.trace_sample > 0 || config.flight_dir <> None in
   let state =
     {
       front;
@@ -421,11 +777,19 @@ let run ?(ready = fun _ -> ()) ~sink config =
       started_ns = Obs.now_ns ();
       lock = Mutex.create ();
       requests = 0;
+      inflight = 0;
       stopping = false;
       conns = [];
       listen_fd;
       key_cache = Hashtbl.create 256;
       key_lock = Mutex.create ();
+      tracing;
+      sampler =
+        Obs.Sampler.create ~slow_ms:config.slow_ms ~every:config.trace_sample
+          ();
+      flight = Option.map (fun dir -> Obs.Flight.open_ dir) config.flight_dir;
+      req_track = Obs.Sink.new_track sink "requests";
+      req_track_lock = Mutex.create ();
     }
   in
   let prev_handlers =
@@ -436,6 +800,7 @@ let run ?(ready = fun _ -> ()) ~sink config =
   in
   ready port;
   let threads = ref [] in
+  let conn_counter = ref 0 in
   let rec accept_loop () =
     match Unix.accept listen_fd with
     | exception Unix.Unix_error ((Unix.EINVAL | Unix.EBADF | Unix.ECONNABORTED), _, _)
@@ -455,7 +820,11 @@ let run ?(ready = fun _ -> ()) ~sink config =
     | fd, _ ->
         (try Unix.setsockopt fd Unix.TCP_NODELAY true
          with Unix.Unix_error _ -> ());
-        threads := Thread.create (connection_loop state) fd :: !threads;
+        incr conn_counter;
+        let conn_id = !conn_counter in
+        threads :=
+          Thread.create (fun fd -> connection_loop state ~conn_id fd) fd
+          :: !threads;
         let s =
           Mutex.lock state.lock;
           let s = state.stopping in

@@ -9,11 +9,22 @@
 
     Observability discipline: connection threads are sys-threads sharing
     the main domain, so they touch only the mutex-protected metrics
-    (counters / gauges / histograms); spans are recorded exclusively by
-    the service's worker domains, which each own a track.  Request
-    latency lands in the ["server.request_ns"] histogram, split by
-    outcome in ["server.hot"/"server.warm"/"server.cold"/"server.busy"]
-    counters. *)
+    (counters / gauges / histograms) and private {!Obs.Reqtrace} buffers
+    — never a domain track directly; live spans are recorded exclusively
+    by the service's worker domains, which each own a track.  Request
+    latency lands in the ["server.request_ns"] histogram (plus a
+    per-outcome ["server.request_ns.<outcome>"] split), requests are
+    counted per op (["server.req.<op>"]) and per outcome
+    (["server.out.<outcome>"]), and the store-level
+    ["server.hot"/"server.warm"/"server.cold"/"server.busy"] counters
+    count per-mode lookups as before.
+
+    Request tracing is off by default.  With [trace_sample > 0] or a
+    [flight_dir], every request records into a private trace buffer;
+    at completion the {!Obs.Sampler} keeps 1-in-[trace_sample] cold
+    requests plus every error and every request at or above [slow_ms]
+    — kept trees are replayed onto a shared ["requests"] ring track,
+    and slow ones are dumped to the bounded [flight_dir] recorder. *)
 
 type config = {
   port : int;  (** 0 = ephemeral; the bound port goes to [ready] *)
@@ -22,11 +33,20 @@ type config = {
   store_root : string option;  (** [None] = in-memory store only *)
   budget_bytes : int;
   mem_capacity : int;
+  trace_sample : int;
+      (** keep 1-in-N cold request traces; [0] (default) records traces
+          only when [flight_dir] is set, and then keeps only
+          errors/slow *)
+  slow_ms : int;
+      (** slow-request threshold for always-keep + flight dump (250
+          default; [0] = every request, negative = never) *)
+  flight_dir : string option;  (** slow-request dump directory *)
 }
 
 val default_config : config
 (** port 7421, default workers, queue 64, no disk store, 64 MiB budget,
-    512 in-memory entries. *)
+    512 in-memory entries, tracing off (sample 0, slow 250 ms, no
+    flight dir). *)
 
 val run : ?ready:(int -> unit) -> sink:Obs.Sink.t -> config -> unit
 (** Serve until a ["shutdown"] request or SIGTERM/SIGINT; [ready] is

@@ -10,3 +10,5 @@ module Protocol = Protocol
 module Server = Server
 module Client = Client
 module Loadtest = Loadtest
+module Scrape = Scrape
+module Top = Top

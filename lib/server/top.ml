@@ -1,0 +1,119 @@
+(* One metrics + one status round trip per frame; everything shown is
+   computed client-side from scrape deltas, so the server cost of a
+   frame is two registry reads.  The first frame has no previous sample
+   and shows rates over the server's whole uptime instead. *)
+
+type config = {
+  host : string;
+  port : int;
+  interval_ms : int;
+  count : int;  (* 0 = until interrupted / connection loss *)
+  clear : bool;
+}
+
+let default_config =
+  { host = "127.0.0.1"; port = 7421; interval_ms = 1000; count = 0; clear = true }
+
+let ms_of_ns ns = float_of_int ns /. 1e6
+
+let fmt_rate b label n dt_s =
+  if dt_s > 0.0 then
+    Buffer.add_string b
+      (Printf.sprintf " %s %.1f/s" label (float_of_int n /. dt_s))
+
+let frame b ~addr ~uptime_ms ~requests ~service ~dt_s ~before ~after =
+  let open Scrape in
+  Buffer.add_string b
+    (Printf.sprintf "paratime top %s — up %.1f s, %d requests (window %.1f s)\n"
+       addr
+       (float_of_int uptime_ms /. 1e3)
+       requests dt_s);
+  let d name = counter_delta ~before ~after name in
+  let outcomes = [ "hot"; "warm"; "cold"; "busy"; "error"; "ok" ] in
+  let total = List.fold_left (fun acc o -> acc + d ("server.out." ^ o)) 0 outcomes in
+  Buffer.add_string b (Printf.sprintf "  rates   :");
+  fmt_rate b "req" total dt_s;
+  List.iter (fun o -> fmt_rate b o (d ("server.out." ^ o)) dt_s) outcomes;
+  Buffer.add_char b '\n';
+  let lat = hist_delta ~before ~after "server.request_ns" in
+  Buffer.add_string b
+    (Printf.sprintf "  latency : p50 %.3f ms  p99 %.3f ms  (%d requests)\n"
+       (ms_of_ns (percentile lat 0.50))
+       (ms_of_ns (percentile lat 0.99))
+       lat.h_count);
+  Buffer.add_string b
+    (Printf.sprintf "  service : queue %d  running %d  inflight %d%s\n"
+       (gauge after "service.queue_depth")
+       (gauge after "service.running")
+       (gauge after "server.inflight")
+       service);
+  let hits = d "server.out.hot" + d "server.out.warm" in
+  let lookups = hits + d "server.out.cold" in
+  let hit_rate =
+    if lookups = 0 then "-"
+    else Printf.sprintf "%.1f%%" (100.0 *. float_of_int hits /. float_of_int lookups)
+  in
+  Buffer.add_string b
+    (Printf.sprintf
+       "  store   : hit rate %s  mem %d entries  disk %d entries / %.1f MiB  \
+        write-dropped %d\n"
+       hit_rate
+       (gauge after "store.mem.entries")
+       (gauge after "store.disk.entries")
+       (float_of_int (gauge after "store.disk.bytes") /. (1024.0 *. 1024.0))
+       (counter after "store.write_dropped"));
+  Buffer.add_string b
+    (Printf.sprintf "  traces  : kept %d  dumped %d  ring-dropped %d\n"
+       (counter after "server.trace.kept")
+       (counter after "server.trace.dumped")
+       (counter after "obs.dropped_events"))
+
+let status client =
+  match
+    Client.request client
+      (Json.Obj [ ("id", Json.Int 0); ("op", Json.Str "status") ])
+  with
+  | Error msg -> Error msg
+  | Ok reply ->
+      let uptime_ms = Option.value ~default:0 (Json.int_field "uptime_ms" reply) in
+      let requests = Option.value ~default:0 (Json.int_field "requests" reply) in
+      let service =
+        match Json.member "service" reply with
+        | Some s ->
+            Printf.sprintf "  workers %d  completed %d  rejected %d"
+              (Option.value ~default:0 (Json.int_field "workers" s))
+              (Option.value ~default:0 (Json.int_field "completed" s))
+              (Option.value ~default:0 (Json.int_field "rejected" s))
+        | None -> ""
+      in
+      Ok (uptime_ms, requests, service)
+
+let run ?(print = print_string) cfg =
+  match Client.connect ~host:cfg.host ~port:cfg.port () with
+  | Error msg -> Error msg
+  | Ok client ->
+      let addr = Printf.sprintf "%s:%d" cfg.host cfg.port in
+      let finally () = Client.close client in
+      let rec loop i ~prev ~prev_uptime_ms =
+        match (Scrape.fetch client, status client) with
+        | Error msg, _ | _, Error msg ->
+            (* losing the server mid-watch is a normal way to stop *)
+            if i = 0 then Error msg else Ok ()
+        | Ok after, Ok (uptime_ms, requests, service) ->
+            let before, dt_s =
+              match prev with
+              | Some s ->
+                  (s, float_of_int (uptime_ms - prev_uptime_ms) /. 1e3)
+              | None -> (Scrape.empty, float_of_int uptime_ms /. 1e3)
+            in
+            let b = Buffer.create 512 in
+            if cfg.clear then Buffer.add_string b "\027[H\027[2J";
+            frame b ~addr ~uptime_ms ~requests ~service ~dt_s ~before ~after;
+            print (Buffer.contents b);
+            if cfg.count > 0 && i + 1 >= cfg.count then Ok ()
+            else begin
+              Thread.delay (float_of_int (max 1 cfg.interval_ms) /. 1e3);
+              loop (i + 1) ~prev:(Some after) ~prev_uptime_ms:uptime_ms
+            end
+      in
+      Fun.protect ~finally (fun () -> loop 0 ~prev:None ~prev_uptime_ms:0)

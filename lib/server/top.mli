@@ -1,0 +1,23 @@
+(** [paratime top] — a refreshing terminal view of a live server.
+
+    Polls ["metrics"] + ["status"] every [interval_ms] and renders
+    req/s by outcome, interval p50/p99 from histogram deltas, queue
+    depth / in-flight, store hit rate and trace-plane counters.  All
+    rates come from client-side scrape deltas; a frame costs the server
+    two registry reads. *)
+
+type config = {
+  host : string;
+  port : int;
+  interval_ms : int;
+  count : int;  (** frames to render; 0 = until the server goes away *)
+  clear : bool;  (** ANSI clear-screen between frames *)
+}
+
+val default_config : config
+(** localhost:7421, 1 s interval, run forever, clear. *)
+
+val run : ?print:(string -> unit) -> config -> (unit, string) result
+(** [Error] only when the first connection/scrape fails; losing the
+    server later ends the watch with [Ok ()].  [print] defaults to
+    stdout and exists for tests. *)

@@ -126,6 +126,15 @@ let memo_tier2 t =
 let mem_stats t = Engine.Lru.stats t.lru
 let disk_stats t = Option.map (fun w -> Disk.stats w.disk) t.writer
 
+let write_dropped t =
+  match t.writer with
+  | None -> 0
+  | Some w ->
+      Mutex.lock w.wlock;
+      let d = w.dropped in
+      Mutex.unlock w.wlock;
+      d
+
 let flush t =
   Option.iter
     (fun w ->

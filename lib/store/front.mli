@@ -53,6 +53,10 @@ val memo_tier2 : t -> Core.Memo.tier2
 val mem_stats : t -> Engine.Lru.stats
 val disk_stats : t -> Disk.stats option
 
+val write_dropped : t -> int
+(** Disk writes dropped at queue overflow (also counted under the
+    ambient ["store.write_dropped"] metric); [0] without a disk. *)
+
 val flush : t -> unit
 (** Block until every queued disk write has landed, then flush the disk
     manifest. *)

@@ -18,7 +18,8 @@ let rec rm_rf path =
       (try Unix.rmdir path with Unix.Unix_error _ -> ())
   | _ -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
 
-let start_server ?store_root () =
+let start_server ?store_root ?(workers = 1) ?(trace_sample = 0)
+    ?(slow_ms = 250) ?flight_dir () =
   let sink = Obs.Sink.create () in
   let port_box = ref None in
   let lock = Mutex.create () in
@@ -26,11 +27,14 @@ let start_server ?store_root () =
   let config =
     {
       Server.port = 0;
-      workers = Some 1;
+      workers = Some workers;
       queue_capacity = 4;
       store_root;
       budget_bytes = Server.default_config.Server.budget_bytes;
       mem_capacity = 64;
+      trace_sample;
+      slow_ms;
+      flight_dir;
     }
   in
   let thread =
@@ -63,8 +67,10 @@ let stop_server port thread =
       Client.close c);
   Thread.join thread
 
-let with_server ?store_root f =
-  let port, thread = start_server ?store_root () in
+let with_server ?store_root ?workers ?trace_sample ?slow_ms ?flight_dir f =
+  let port, thread =
+    start_server ?store_root ?workers ?trace_sample ?slow_ms ?flight_dir ()
+  in
   Fun.protect ~finally:(fun () -> stop_server port thread) (fun () -> f port)
 
 (* Raw line round-trip: the bit-identity assertions must compare the
@@ -357,8 +363,266 @@ let test_status_and_stats () =
                   (Json.int_field "mem_entries")
               in
               Alcotest.(check bool) "store holds the result" true
-                (match mem_entries with Some n -> n >= 1 | None -> false));
+                (match mem_entries with Some n -> n >= 1 | None -> false);
+              (* ring drop totals ride along in the stats reply *)
+              match Json.member "obs" j with
+              | Some o ->
+                  Alcotest.(check bool) "obs tracks counted" true
+                    (match Json.int_field "tracks" o with
+                    | Some n -> n >= 1
+                    | None -> false);
+                  Alcotest.(check bool) "obs drop total present" true
+                    (Json.int_field "dropped_events" o <> None);
+                  Alcotest.(check bool) "obs per-track drops present" true
+                    (match Json.member "dropped_by_track" o with
+                    | Some (Json.Obj _) -> true
+                    | _ -> false)
+              | None -> Alcotest.fail "no obs object in stats");
           Client.close c)
+
+(* ---------------- telemetry plane ---------------- *)
+
+module Scrape = Server_lib.Scrape
+
+let test_metrics_op () =
+  with_server (fun port ->
+      ignore (raw_request port analyze_line);
+      match Client.connect ~port () with
+      | Error msg -> Alcotest.fail msg
+      | Ok c ->
+          (match
+             Client.request c
+               (Json.Obj [ ("id", Json.Int 7); ("op", Json.Str "metrics") ])
+           with
+          | Error msg -> Alcotest.failf "transport error: %s" msg
+          | Ok j -> (
+              Alcotest.(check (option string)) "json is the default format"
+                (Some "json")
+                (Json.str_field "format" j);
+              match Json.member "metrics" j with
+              | None -> Alcotest.fail "no metrics object"
+              | Some m ->
+                  (match Json.member "counters" m with
+                  | Some (Json.Obj fields) ->
+                      let at_least n name =
+                        Alcotest.(check bool) name true
+                          (match List.assoc_opt name fields with
+                          | Some (Json.Int v) -> v >= n
+                          | _ -> false)
+                      in
+                      at_least 1 "server.requests";
+                      at_least 1 "server.req.analyze";
+                      at_least 1 "server.out.cold"
+                  | _ -> Alcotest.fail "no counters object");
+                  (match Json.member "gauges" m with
+                  | Some (Json.Obj fields) ->
+                      Alcotest.(check bool) "queue-depth gauge" true
+                        (List.mem_assoc "service.queue_depth" fields);
+                      Alcotest.(check bool) "inflight gauge" true
+                        (List.mem_assoc "server.inflight" fields)
+                  | _ -> Alcotest.fail "no gauges object");
+                  (match Json.member "histograms" m with
+                  | Some (Json.Obj fields) -> (
+                      match List.assoc_opt "server.request_ns" fields with
+                      | Some h ->
+                          Alcotest.(check bool) "latency histogram populated"
+                            true
+                            (match Json.int_field "count" h with
+                            | Some n -> n >= 1
+                            | None -> false)
+                      | None -> Alcotest.fail "no request latency histogram")
+                  | _ -> Alcotest.fail "no histograms object")));
+          (match
+             Client.request c
+               (Json.Obj
+                  [
+                    ("id", Json.Int 8);
+                    ("op", Json.Str "metrics");
+                    ("format", Json.Str "prometheus");
+                  ])
+           with
+          | Error msg -> Alcotest.failf "transport error: %s" msg
+          | Ok j ->
+              Alcotest.(check (option string)) "prometheus format echoed"
+                (Some "prometheus")
+                (Json.str_field "format" j);
+              let body = Option.value ~default:"" (Json.str_field "body" j) in
+              List.iter
+                (fun affix ->
+                  Alcotest.(check bool) ("exposition has " ^ affix) true
+                    (Astring.String.is_infix ~affix body))
+                [
+                  "# TYPE paratime_server_requests_total counter";
+                  "# TYPE paratime_server_request_ns histogram";
+                  "paratime_server_request_ns_bucket{le=\"+Inf\"}";
+                  "# TYPE paratime_service_queue_depth gauge";
+                ]);
+          expect_error c ~code:"bad_request"
+            (Json.Obj
+               [
+                 ("id", Json.Int 9);
+                 ("op", Json.Str "metrics");
+                 ("format", Json.Str "xml");
+               ]);
+          Client.close c)
+
+let test_scrape_monotone () =
+  with_server (fun port ->
+      match Client.connect ~port () with
+      | Error msg -> Alcotest.fail msg
+      | Ok c ->
+          let fetch () =
+            match Scrape.fetch c with
+            | Ok s -> s
+            | Error msg -> Alcotest.failf "scrape failed: %s" msg
+          in
+          let before = fetch () in
+          ignore (raw_request port analyze_line);
+          ignore (raw_request port analyze_line);
+          let after = fetch () in
+          List.iter
+            (fun (name, v) ->
+              Alcotest.(check bool) ("monotone: " ^ name) true
+                (Scrape.counter after name >= v))
+            before.Scrape.counters;
+          (* scrapes are op:"metrics", so the per-op analyze delta is the
+             client-side count exactly *)
+          Alcotest.(check int) "analyze delta exact" 2
+            (Scrape.counter_delta ~before ~after "server.req.analyze");
+          Alcotest.(check int) "the second scrape is the only metrics delta" 1
+            (Scrape.counter_delta ~before ~after "server.req.metrics");
+          Client.close c)
+
+(* One cold analysis under trace_sample=1 / slow_ms=0: the trace is
+   kept, flagged slow and dumped to the flight recorder.  The dumped
+   (id, parent, name) tree must be connected and identical at 1 and 4
+   service workers — span ids are allocated in recording order, not by
+   wall clock. *)
+let traced_tree ~workers =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "paratime-test-flight-%d-%d" (Unix.getpid ()) workers)
+  in
+  rm_rf dir;
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      with_server ~workers ~trace_sample:1 ~slow_ms:0 ~flight_dir:dir
+        (fun port ->
+          ignore
+            (raw_request port
+               {|{"id":1,"op":"analyze","source":"bench:crc","mode":"solo","cores":1,"kind":"wcet","trace_id":"t-test"}|}));
+      let dumps =
+        List.filter_map
+          (fun f ->
+            let ic = open_in (Filename.concat dir f) in
+            let line = input_line ic in
+            close_in ic;
+            match Json.parse line with
+            | Ok j when Json.str_field "trace_id" j = Some "t-test" -> Some j
+            | _ -> None)
+          (Array.to_list (Sys.readdir dir))
+      in
+      match dumps with
+      | [ j ] -> (
+          Alcotest.(check (option string)) "outcome stamped" (Some "cold")
+            (Json.str_field "outcome" j);
+          match Json.member "spans" j with
+          | Some (Json.List spans) ->
+              List.map
+                (fun sp ->
+                  match
+                    ( Json.int_field "id" sp,
+                      Json.int_field "parent" sp,
+                      Json.str_field "name" sp )
+                  with
+                  | Some id, Some parent, Some name -> (id, parent, name)
+                  | _ ->
+                      Alcotest.failf "malformed span: %s" (Json.to_string sp))
+                spans
+          | _ -> Alcotest.fail "dump has no spans")
+      | l -> Alcotest.failf "expected one t-test dump, got %d" (List.length l))
+
+let test_trace_tree_stable_across_workers () =
+  let tree1 = traced_tree ~workers:1 in
+  (* connected: root is (1, 0), every parent recorded with a smaller id *)
+  (match tree1 with
+  | (1, 0, "request") :: rest ->
+      let ids = List.map (fun (id, _, _) -> id) tree1 in
+      List.iter
+        (fun (id, parent, name) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "span %d (%s) parent precedes" id name)
+            true
+            (parent < id && List.mem parent ids))
+        rest
+  | _ -> Alcotest.fail "no root span");
+  let names = List.map (fun (_, _, n) -> n) tree1 in
+  List.iter
+    (fun phase ->
+      Alcotest.(check bool) ("phase recorded: " ^ phase) true
+        (List.mem phase names))
+    [ "request"; "parse"; "store.probe"; "queue.wait"; "encode" ];
+  let tree4 = traced_tree ~workers:4 in
+  Alcotest.(check bool) "1 vs 4 workers: identical (id, parent, name) tree"
+    true (tree1 = tree4)
+
+let test_loadtest_validation () =
+  let base = Server_lib.Loadtest.default_config in
+  let expect_err what cfg affix =
+    match Server_lib.Loadtest.run cfg with
+    | Ok _ -> Alcotest.failf "%s was accepted" what
+    | Error msg ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s names the problem (%s)" what msg)
+          true
+          (Astring.String.is_infix ~affix msg)
+  in
+  expect_err "connections=0"
+    { base with Server_lib.Loadtest.connections = 0 }
+    "connections must be >= 1";
+  expect_err "requests=-1"
+    { base with Server_lib.Loadtest.requests = -1 }
+    "requests must be >= 0";
+  expect_err "working_set=0"
+    { base with Server_lib.Loadtest.working_set = 0 }
+    "working set is empty";
+  expect_err "modes=[]"
+    { base with Server_lib.Loadtest.modes = [] }
+    "empty mode rotation"
+
+let test_loadtest_scrape_delta () =
+  with_server (fun port ->
+      let cfg =
+        {
+          Server_lib.Loadtest.host = "127.0.0.1";
+          port;
+          requests = 10;
+          connections = 2;
+          repeat_ratio = 1.0;
+          working_set = 2;
+          modes = [ List.hd Fuzz.Oracle.all_modes ];
+          cores = 2;
+          kind = Server_lib.Modes.Wcet;
+          seed = 7;
+          shutdown_after = false;
+          scrape = true;
+        }
+      in
+      match Server_lib.Loadtest.run cfg with
+      | Error msg -> Alcotest.failf "loadtest failed: %s" msg
+      | Ok r -> (
+          Alcotest.(check int) "all sent" 10 r.Server_lib.Loadtest.sent;
+          match r.Server_lib.Loadtest.server with
+          | None -> Alcotest.fail "scrape produced no server delta"
+          | Some d ->
+              Alcotest.(check (option int))
+                "server-side analyze count equals client-side sent" (Some 10)
+                (List.assoc_opt "analyze" d.Server_lib.Loadtest.sd_by_op);
+              Alcotest.(check bool)
+                "total includes the run's own first scrape" true
+                (d.Server_lib.Loadtest.sd_requests >= 10)))
 
 (* The busy reply is Engine.Service backpressure verbatim: a full queue
    refuses immediately.  Driven at the service layer where the race is
@@ -435,5 +699,21 @@ let () =
         [
           Alcotest.test_case "full queue refuses deterministically" `Quick
             test_busy_backpressure;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "metrics op in both renderings" `Quick
+            test_metrics_op;
+          Alcotest.test_case "counters monotone across scrapes" `Quick
+            test_scrape_monotone;
+          Alcotest.test_case "trace tree stable across worker counts" `Quick
+            test_trace_tree_stable_across_workers;
+        ] );
+      ( "loadtest",
+        [
+          Alcotest.test_case "invalid configs are clean errors" `Quick
+            test_loadtest_validation;
+          Alcotest.test_case "scrape delta matches the client count" `Quick
+            test_loadtest_scrape_delta;
         ] );
     ]
